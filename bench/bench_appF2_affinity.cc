@@ -1,0 +1,41 @@
+// Appendix F.2: effect of affinity. TPC-C at scale factor 1 with a single
+// worker under shared-everything-without-affinity, varying the number of
+// transaction executors: round-robin routing spreads requests across
+// executors and destroys locality.
+#include "bench/bench_common.h"
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Appendix F.2: shared-everything-without-affinity at scale factor 1, "
+      "1 worker, varying executors",
+      "throughput drops to ~86% with 2 executors and degrades progressively "
+      "to ~40% at 16 executors relative to 1 executor (locality destroyed "
+      "by round-robin routing)");
+
+  double base_tps = 0;
+  std::printf("%-12s %-12s %-16s\n", "executors", "tps", "relative[%]");
+  for (int executors : {1, 2, 4, 8, 16}) {
+    TpccRig rig = TpccRig::Create(
+        1, DeploymentConfig::SharedEverythingWithoutAffinity(executors));
+    tpcc::GeneratorOptions gen_options;
+    gen_options.num_warehouses = 1;
+    harness::DriverResult r =
+        RunTpcc(rig.rt.get(), gen_options, /*workers=*/1, 800 + executors);
+    if (executors == 1) base_tps = r.ThroughputTps();
+    std::printf("%-12d %-12.0f %-16.0f\n", executors, r.ThroughputTps(),
+                base_tps > 0 ? 100 * r.ThroughputTps() / base_tps : 100);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main() {
+  reactdb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Appendix F.3: containerization overhead. Empty transactions measure the
+// fixed per-invocation cost of the worker/executor boundary (thread
+// switches across cores) plus minimal commitment work.
+#include "bench/bench_common.h"
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+Proc Noop(TxnContext& ctx, Row args) {
+  (void)ctx;
+  (void)args;
+  co_return Value(int64_t{0});
+}
+
+void Run() {
+  PrintHeader(
+      "Appendix F.3: containerization overhead (empty transactions)",
+      "roughly constant ~22us per transaction invocation across scale "
+      "factors, dominated by worker<->executor thread switching");
+
+  std::printf("%-12s %-22s\n", "executors", "overhead per txn [us]");
+  for (int executors : {1, 2, 4, 8, 16}) {
+    auto def = std::make_unique<ReactorDatabaseDef>();
+    ReactorType& type = def->DefineType("Noop");
+    type.AddSchema(SchemaBuilder("t")
+                       .AddColumn("k", ValueType::kInt64)
+                       .SetKey({"k"})
+                       .Build()
+                       .value());
+    type.AddProcedure("noop", &Noop);
+    for (int i = 0; i < executors; ++i) {
+      REACTDB_CHECK_OK(
+          def->DeclareReactor("n_" + std::to_string(i), "Noop"));
+    }
+    SimRuntime rt{OpteronParams()};
+    REACTDB_CHECK_OK(
+        rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(executors)));
+    int64_t counter = 0;
+    auto gen = [&counter, executors](int) {
+      harness::Request req;
+      req.reactor = "n_" + std::to_string(counter++ % executors);
+      req.proc = "noop";
+      return req;
+    };
+    harness::DriverResult r = MeasureLatency(&rt, gen, /*num_epochs=*/10,
+                                             /*epoch_us=*/5000);
+    std::printf("%-12d %-22.2f\n", executors, r.mean_latency_us);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main() {
+  reactdb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 11 (Appendix B.1): multi-transfer latency when destination
+// accounts are co-located with the source (-local) vs spread across all
+// containers (-remote), for fully-sync and opt.
+#include "bench/bench_common.h"
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+double Measure(smallbank::Formulation form, int size, bool local) {
+  SmallbankRig rig = SmallbankRig::Create();
+  int64_t slot = 0;
+  auto gen = [&rig, &slot, size, local, form](int) {
+    std::vector<std::string> dsts;
+    for (int j = 0; j < size; ++j) {
+      int container = local ? 0 : j % SmallbankRig::kContainers;
+      dsts.push_back(rig.CustomerOn(container, slot++));
+    }
+    auto call = smallbank::MakeMultiTransfer(form, 1.0, dsts);
+    return harness::Request{rig.Source(), call.proc, std::move(call.args)};
+  };
+  return MeasureLatency(rig.rt.get(), gen).mean_latency_us;
+}
+
+void Run() {
+  PrintHeader(
+      "Figure 11: latency vs size for local vs remote destination reactors",
+      "fully-sync-remote rises sharply (processing + communication); "
+      "fully-sync-local grows only with processing; opt-local vs opt-remote "
+      "differ by a comparatively small overlapped-communication overhead");
+
+  std::printf("%-6s %-20s %-18s %-14s %-12s\n", "size", "fully-sync-remote",
+              "fully-sync-local", "opt-remote", "opt-local");
+  for (int size = 1; size <= 7; ++size) {
+    double fs_remote =
+        Measure(smallbank::Formulation::kFullySync, size, /*local=*/false);
+    double fs_local =
+        Measure(smallbank::Formulation::kFullySync, size, /*local=*/true);
+    double opt_remote =
+        Measure(smallbank::Formulation::kOpt, size, /*local=*/false);
+    double opt_local =
+        Measure(smallbank::Formulation::kOpt, size, /*local=*/true);
+    std::printf("%-6d %-20.2f %-18.2f %-14.2f %-12.2f\n", size, fs_remote,
+                fs_local, opt_remote, opt_local);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main() {
+  reactdb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figures 15 and 16 (Appendix E): effect of cross-reactor transactions.
+// 100% new-order at scale factor 8 with 8 workers (peak load); the
+// probability that each item of the transaction is drawn from a remote
+// warehouse is swept from 0% to 100% (already at 10% per-item probability
+// nearly two thirds of transactions are cross-reactor, producing the
+// paper's sharp drop for the shared-nothing deployments).
+#include "bench/bench_common.h"
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+constexpr int64_t kScaleFactor = 8;
+
+struct StrategyRow {
+  const char* name;
+  bool shared_nothing;
+  bool sync_programs;
+  RootRouting routing;
+};
+
+void Run() {
+  PrintHeader(
+      "Figures 15/16: 100% new-order vs % cross-reactor transactions "
+      "(scale factor 8, 8 workers)",
+      "shared-everything deployments nearly flat; shared-nothing drops "
+      "sharply from 0% to 10% (migration-of-control cost); "
+      "shared-nothing-async degrades more gracefully than "
+      "shared-nothing-sync (~2x better latency at 100%)");
+
+  const StrategyRow kStrategies[] = {
+      {"shared-everything-without-affinity", false, false,
+       RootRouting::kRoundRobin},
+      {"shared-nothing-async", true, false, RootRouting::kAffinity},
+      {"shared-everything-with-affinity", false, false,
+       RootRouting::kAffinity},
+      {"shared-nothing-sync", true, true, RootRouting::kAffinity},
+  };
+  const double kPercents[] = {0, 0.10, 0.20, 0.30, 0.40, 0.50, 1.0};
+
+  std::printf("%-38s %-10s %-12s %-14s %-10s\n", "deployment",
+              "cross[%]", "tps", "latency[us]", "abort[%]");
+  for (const StrategyRow& strategy : kStrategies) {
+    for (double pct : kPercents) {
+      DeploymentConfig dc;
+      if (strategy.shared_nothing) {
+        dc = DeploymentConfig::SharedNothing(kScaleFactor);
+      } else if (strategy.routing == RootRouting::kRoundRobin) {
+        dc = DeploymentConfig::SharedEverythingWithoutAffinity(kScaleFactor);
+      } else {
+        dc = DeploymentConfig::SharedEverythingWithAffinity(kScaleFactor);
+      }
+      TpccRig rig = TpccRig::Create(kScaleFactor, dc);
+      tpcc::GeneratorOptions gen_options;
+      gen_options.num_warehouses = kScaleFactor;
+      gen_options.mix_new_order = 100;
+      gen_options.mix_payment = 0;
+      gen_options.mix_order_status = 0;
+      gen_options.mix_delivery = 0;
+      gen_options.mix_stock_level = 0;
+      gen_options.remote_item_prob = pct;
+      gen_options.sync_subtxns = strategy.sync_programs;
+      harness::DriverResult r = RunTpcc(rig.rt.get(), gen_options,
+                                        /*workers=*/8, 300);
+      std::printf("%-38s %-10.0f %-12.0f %-14.1f %-10.2f\n", strategy.name,
+                  100 * pct, r.ThroughputTps(), r.mean_latency_us,
+                  100 * r.abort_rate);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main() {
+  reactdb::bench::Run();
+  return 0;
+}

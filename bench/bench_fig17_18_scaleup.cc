@@ -1,0 +1,48 @@
+// Figures 17 and 18 (Appendix F.1): transactional scale-up. TPC-C standard
+// mix with scale factor (= warehouses = executors = workers) from 1 to 16.
+#include "bench/bench_common.h"
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figures 17/18: TPC-C scale-up (workers = executors = scale factor)",
+      "shared-everything-with-affinity and shared-nothing-async scale "
+      "near-linearly and track each other (with-affinity slightly ahead); "
+      "shared-everything-without-affinity scales worst (no memory access "
+      "affinity under round-robin routing)");
+
+  const char* kStrategies[] = {"shared-everything-without-affinity",
+                               "shared-nothing-async",
+                               "shared-everything-with-affinity"};
+  const int kScales[] = {1, 2, 4, 8, 12, 16};
+  std::printf("%-38s %-8s %-12s %-14s %-10s\n", "deployment", "scale", "tps",
+              "latency[us]", "abort[%]");
+  for (const char* strategy : kStrategies) {
+    bool shared_nothing = std::string(strategy) == "shared-nothing-async";
+    for (int scale : kScales) {
+      DeploymentConfig dc = shared_nothing
+                                ? DeploymentConfig::SharedNothing(scale)
+                                : MakeDeployment(strategy, scale);
+      TpccRig rig = TpccRig::Create(scale, dc);
+      tpcc::GeneratorOptions gen_options;
+      gen_options.num_warehouses = scale;
+      harness::DriverResult r = RunTpcc(rig.rt.get(), gen_options,
+                                        /*workers=*/scale, 400 + scale,
+                                        /*num_epochs=*/10);
+      std::printf("%-38s %-8d %-12.0f %-14.1f %-10.2f\n", strategy, scale,
+                  r.ThroughputTps(), r.mean_latency_us, 100 * r.abort_rate);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main() {
+  reactdb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 5: multi-transfer latency vs transaction size for the four program
+// formulations (fully-sync, partially-async, fully-async, opt) on a
+// shared-nothing deployment with 7 containers.
+#include "bench/bench_common.h"
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 5: latency vs txn size and user program formulation",
+      "latency grows linearly with size; fully-sync highest, then "
+      "partially-async, then fully-async, then opt; gap widens with size");
+
+  std::printf("%-6s %-16s %-18s %-16s %-10s\n", "size", "fully-sync[us]",
+              "partially-async[us]", "fully-async[us]", "opt[us]");
+  using smallbank::Formulation;
+  const Formulation kForms[] = {Formulation::kFullySync,
+                                Formulation::kPartiallyAsync,
+                                Formulation::kFullyAsync, Formulation::kOpt};
+  for (int size = 1; size <= 7; ++size) {
+    double lat[4] = {0, 0, 0, 0};
+    for (int f = 0; f < 4; ++f) {
+      SmallbankRig rig = SmallbankRig::Create();
+      int64_t slot = 0;
+      Formulation form = kForms[f];
+      auto gen = [&rig, &slot, size, form](int) {
+        // Destination j on container j (container 0 == source's).
+        std::vector<std::string> dsts;
+        for (int j = 0; j < size; ++j) {
+          dsts.push_back(rig.CustomerOn(j % SmallbankRig::kContainers, slot++));
+        }
+        auto call = smallbank::MakeMultiTransfer(form, 1.0, dsts);
+        return harness::Request{rig.Source(), call.proc, std::move(call.args)};
+      };
+      harness::DriverResult result = MeasureLatency(rig.rt.get(), gen);
+      lat[f] = result.mean_latency_us;
+    }
+    std::printf("%-6d %-16.2f %-18.2f %-16.2f %-10.2f\n", size, lat[0], lat[1],
+                lat[2], lat[3]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main() {
+  reactdb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figures 7 and 8: TPC-C standard-mix throughput and latency under
+// increasing client load (1..8 workers) at scale factor 4, for the three
+// database architecture deployments of Section 3.3.
+#include "bench/bench_common.h"
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+constexpr int64_t kScaleFactor = 4;
+
+void Run() {
+  PrintHeader(
+      "Figures 7/8: TPC-C throughput & latency vs workers (scale factor 4)",
+      "shared-everything-with-affinity best throughout; shared-nothing-async "
+      "close below it; shared-everything-without-affinity worst; beyond 4 "
+      "workers aborts appear for the non-affinity/async deployments while "
+      "with-affinity stays near zero");
+
+  const char* kStrategies[] = {"shared-everything-without-affinity",
+                               "shared-nothing-async",
+                               "shared-everything-with-affinity"};
+  std::printf("%-38s %-8s %-14s %-14s %-10s %-10s\n", "deployment", "workers",
+              "tps", "latency[us]", "abort[%]", "util[%]");
+  for (const char* strategy : kStrategies) {
+    bool shared_nothing = std::string(strategy) == "shared-nothing-async";
+    for (int workers = 1; workers <= 8; ++workers) {
+      DeploymentConfig dc =
+          shared_nothing
+              ? DeploymentConfig::SharedNothing(kScaleFactor)
+              : MakeDeployment(strategy, kScaleFactor);
+      TpccRig rig = TpccRig::Create(kScaleFactor, dc);
+      tpcc::GeneratorOptions gen_options;
+      gen_options.num_warehouses = kScaleFactor;
+      harness::DriverResult r =
+          RunTpcc(rig.rt.get(), gen_options, workers, 100 + workers);
+      double util = 0;
+      for (double u : r.utilization) util += u;
+      util = r.utilization.empty() ? 0 : util / r.utilization.size();
+      std::printf("%-38s %-8d %-14.0f %-14.1f %-10.2f %-10.0f\n", strategy,
+                  workers, r.ThroughputTps(), r.mean_latency_us,
+                  100 * r.abort_rate, 100 * util);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main() {
+  reactdb::bench::Run();
+  return 0;
+}

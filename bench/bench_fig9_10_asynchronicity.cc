@@ -1,0 +1,58 @@
+// Figures 9 and 10: asynchronicity trade-offs. 100% new-order transactions
+// with an artificial 300-400us stock-replenishment delay and every item
+// drawn from a remote warehouse, at scale factor 8, under increasing load.
+#include "bench/bench_common.h"
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+constexpr int64_t kScaleFactor = 8;
+
+void Run() {
+  PrintHeader(
+      "Figures 9/10: new-order-delay throughput & latency vs workers "
+      "(scale factor 8, all items remote, 300-400us delay per stock update)",
+      "at 1 worker shared-nothing-async roughly doubles "
+      "shared-everything-with-affinity's throughput (parallel remote stock "
+      "updates); as workers increase, with-affinity grows faster and "
+      "overtakes, while async saturates — the crossover under load");
+
+  std::printf("%-34s %-8s %-12s %-14s %-10s\n", "deployment", "workers", "tps",
+              "latency[us]", "abort[%]");
+  for (bool shared_nothing : {true, false}) {
+    const char* name = shared_nothing ? "shared-nothing-async"
+                                      : "shared-everything-with-affinity";
+    for (int workers = 1; workers <= 8; ++workers) {
+      DeploymentConfig dc =
+          shared_nothing
+              ? DeploymentConfig::SharedNothing(kScaleFactor)
+              : DeploymentConfig::SharedEverythingWithAffinity(kScaleFactor);
+      TpccRig rig = TpccRig::Create(kScaleFactor, dc);
+      tpcc::GeneratorOptions gen_options;
+      gen_options.num_warehouses = kScaleFactor;
+      gen_options.mix_new_order = 100;
+      gen_options.mix_payment = 0;
+      gen_options.mix_order_status = 0;
+      gen_options.mix_delivery = 0;
+      gen_options.mix_stock_level = 0;
+      gen_options.remote_item_prob = 1.0;
+      gen_options.delay_min_us = 300;
+      gen_options.delay_max_us = 400;
+      harness::DriverResult r = RunTpcc(rig.rt.get(), gen_options, workers,
+                                        200 + workers, /*num_epochs=*/15,
+                                        /*epoch_us=*/60000);
+      std::printf("%-34s %-8d %-12.0f %-14.1f %-10.2f\n", name, workers,
+                  r.ThroughputTps(), r.mean_latency_us, 100 * r.abort_rate);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main() {
+  reactdb::bench::Run();
+  return 0;
+}

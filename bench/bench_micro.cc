@@ -1,0 +1,216 @@
+// Microbenchmarks of the substrate components (google-benchmark).
+//
+// These are not paper figures; they quantify the building blocks: key
+// encoding, B+-tree operations, OCC commit paths, the query layer, and the
+// discrete-event queue. Run in Release mode for meaningful numbers.
+#include <benchmark/benchmark.h>
+
+#include "src/query/query.h"
+#include "src/sim/event_queue.h"
+#include "src/storage/btree.h"
+#include "src/txn/silo_txn.h"
+#include "src/util/keycodec.h"
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+
+namespace reactdb {
+namespace {
+
+void BM_EncodeKey(benchmark::State& state) {
+  Row key = {Value(int64_t{123456}), Value("warehouse_17"), Value(3.25)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeKey(key));
+  }
+}
+BENCHMARK(BM_EncodeKey);
+
+void BM_DecodeKey(benchmark::State& state) {
+  std::string encoded =
+      EncodeKey({Value(int64_t{123456}), Value("warehouse_17"), Value(3.25)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeKey(encoded));
+  }
+}
+BENCHMARK(BM_DecodeKey);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BTree tree;
+    Rng rng(1);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.GetOrInsert(EncodeKey({Value(static_cast<int64_t>(rng.Next()))}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeGet(benchmark::State& state) {
+  BTree tree;
+  constexpr int64_t kKeys = 100000;
+  for (int64_t i = 0; i < kKeys; ++i) {
+    tree.GetOrInsert(EncodeKey({Value(i)}));
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Get(EncodeKey({Value(rng.NextInt(0, kKeys - 1))})));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeGet);
+
+void BM_BTreeScan100(benchmark::State& state) {
+  BTree tree;
+  constexpr int64_t kKeys = 100000;
+  for (int64_t i = 0; i < kKeys; ++i) {
+    tree.GetOrInsert(EncodeKey({Value(i)}));
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    int64_t lo = rng.NextInt(0, kKeys - 101);
+    int count = 0;
+    tree.Scan(EncodeKey({Value(lo)}), EncodeKey({Value(lo + 100)}),
+              [&count](const std::string&, Record*) {
+                ++count;
+                return true;
+              });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_BTreeScan100);
+
+Table* MakeAccountsTable() {
+  static Table* table = [] {
+    Schema schema = SchemaBuilder("accounts")
+                        .AddColumn("id", ValueType::kInt64)
+                        .AddColumn("balance", ValueType::kDouble)
+                        .SetKey({"id"})
+                        .Build()
+                        .value();
+    auto* t = new Table(schema);
+    return t;
+  }();
+  return table;
+}
+
+void BM_SiloReadOnlyTxn(benchmark::State& state) {
+  EpochManager epochs;
+  Table* table = MakeAccountsTable();
+  TidSource tids;
+  {
+    SiloTxn loader(&epochs);
+    for (int64_t i = 0; i < 10000; ++i) {
+      (void)loader.Insert(table, {Value(i), Value(100.0)}, 0);
+    }
+    (void)loader.Commit(&tids);
+  }
+  Rng rng(4);
+  for (auto _ : state) {
+    SiloTxn txn(&epochs);
+    for (int i = 0; i < 8; ++i) {
+      benchmark::DoNotOptimize(
+          txn.Get(table, {Value(rng.NextInt(0, 9999))}, 0));
+    }
+    benchmark::DoNotOptimize(txn.Commit(&tids));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_SiloReadOnlyTxn);
+
+void BM_SiloReadWriteTxn(benchmark::State& state) {
+  EpochManager epochs;
+  Schema schema = SchemaBuilder("rw")
+                      .AddColumn("id", ValueType::kInt64)
+                      .AddColumn("balance", ValueType::kDouble)
+                      .SetKey({"id"})
+                      .Build()
+                      .value();
+  Table table(schema);
+  TidSource tids;
+  {
+    SiloTxn loader(&epochs);
+    for (int64_t i = 0; i < 10000; ++i) {
+      (void)loader.Insert(&table, {Value(i), Value(100.0)}, 0);
+    }
+    (void)loader.Commit(&tids);
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    SiloTxn txn(&epochs);
+    for (int i = 0; i < 4; ++i) {
+      int64_t id = rng.NextInt(0, 9999);
+      StatusOr<Row> row = txn.Get(&table, {Value(id)}, 0);
+      Row updated = row.value();
+      updated[1] = Value(updated[1].AsNumeric() + 1);
+      (void)txn.Update(&table, {Value(id)}, std::move(updated), 0);
+    }
+    benchmark::DoNotOptimize(txn.Commit(&tids));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_SiloReadWriteTxn);
+
+void BM_QuerySelectSum(benchmark::State& state) {
+  EpochManager epochs;
+  Schema schema = SchemaBuilder("orders")
+                      .AddColumn("id", ValueType::kInt64)
+                      .AddColumn("value", ValueType::kDouble)
+                      .AddColumn("settled", ValueType::kString)
+                      .SetKey({"id"})
+                      .Build()
+                      .value();
+  Table table(schema);
+  TidSource tids;
+  {
+    SiloTxn loader(&epochs);
+    Rng rng(6);
+    for (int64_t i = 0; i < 5000; ++i) {
+      (void)loader.Insert(&table,
+                          {Value(i), Value(rng.NextDouble() * 100),
+                           Value(rng.NextBool(0.5) ? "N" : "Y")},
+                          0);
+    }
+    (void)loader.Commit(&tids);
+  }
+  for (auto _ : state) {
+    SiloTxn txn(&epochs);
+    Select sel(&table);
+    sel.Where(Col("settled") == Lit("N")).Limit(800).Reverse();
+    benchmark::DoNotOptimize(sel.Sum(&txn, 0, "value"));
+    txn.Abort();
+  }
+}
+BENCHMARK(BM_QuerySelectSum);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue queue;
+    int fired = 0;
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+      queue.Schedule(static_cast<double>(rng.NextUint64(100000)),
+                     [&fired] { ++fired; });
+    }
+    queue.RunAll();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_Zipfian(benchmark::State& state) {
+  ZipfianGenerator zipf(1000000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+}
+BENCHMARK(BM_Zipfian);
+
+}  // namespace
+}  // namespace reactdb
+
+BENCHMARK_MAIN();

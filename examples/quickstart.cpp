@@ -1,0 +1,105 @@
+// Quickstart: a tiny banking reactor database end-to-end.
+//
+//   1. define a reactor type (schema + procedures as C++20 coroutines)
+//   2. declare named reactors
+//   3. bootstrap a deployment (here: shared-nothing, 2 containers)
+//   4. run transactions, including an asynchronous cross-reactor transfer
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/runtime/reactdb.h"
+#include "src/util/logging.h"
+
+using namespace reactdb;  // NOLINT: example brevity
+
+namespace {
+
+// Procedure: deposit(amount) — credit this account reactor.
+Proc Deposit(TxnContext& ctx, Row args) {
+  double amount = args[0].AsNumeric();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row row, ctx.Get("account", {Value(int64_t{0})}));
+  double balance = row[1].AsNumeric() + amount;
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("account", {Value(int64_t{0})},
+                 {Value(int64_t{0}), Value(balance)}));
+  co_return Value(balance);
+}
+
+// Procedure: withdraw(amount) — user-level abort when overdrawn. An abort
+// anywhere rolls back the whole root transaction (no partial commitment).
+Proc Withdraw(TxnContext& ctx, Row args) {
+  double amount = args[0].AsNumeric();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row row, ctx.Get("account", {Value(int64_t{0})}));
+  double balance = row[1].AsNumeric();
+  if (balance < amount) co_return Status::UserAbort("insufficient funds");
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("account", {Value(int64_t{0})},
+                 {Value(int64_t{0}), Value(balance - amount)}));
+  co_return Value(balance - amount);
+}
+
+// Procedure: transfer(to, amount) — the reactor model's asynchronous
+// cross-reactor call: `deposit(amount) on reactor to`. The credit overlaps
+// with the local debit; serializability is guaranteed regardless.
+Proc TransferTo(TxnContext& ctx, Row args) {
+  const std::string to = args[0].AsString();
+  double amount = args[1].AsNumeric();
+  Future credit = ctx.CallOn(to, "deposit", {Value(amount)});
+  Future debit = ctx.CallOn(ctx.reactor_name(), "withdraw", {Value(amount)});
+  ProcResult debited = co_await debit;
+  REACTDB_CO_RETURN_IF_ERROR(debited.status());
+  ProcResult credited = co_await credit;
+  REACTDB_CO_RETURN_IF_ERROR(credited.status());
+  co_return Value(amount);
+}
+
+}  // namespace
+
+int main() {
+  // 1+2: reactor database definition.
+  ReactorDatabaseDef def;
+  ReactorType& account = def.DefineType("Account");
+  account.AddSchema(SchemaBuilder("account")
+                        .AddColumn("id", ValueType::kInt64)
+                        .AddColumn("balance", ValueType::kDouble)
+                        .SetKey({"id"})
+                        .Build()
+                        .value());
+  account.AddProcedure("deposit", &Deposit);
+  account.AddProcedure("withdraw", &Withdraw);
+  account.AddProcedure("transfer", &TransferTo);
+  for (const char* name : {"alice", "bob", "carol"}) {
+    REACTDB_CHECK_OK(def.DeclareReactor(name, "Account"));
+  }
+
+  // 3: deployment — change this line (not the app!) to morph architecture.
+  ThreadRuntime db;
+  REACTDB_CHECK_OK(db.Bootstrap(&def, DeploymentConfig::SharedNothing(2)));
+  REACTDB_CHECK_OK(db.RunDirect([&db](SiloTxn& txn) -> Status {
+    for (const char* name : {"alice", "bob", "carol"}) {
+      REACTDB_ASSIGN_OR_RETURN(Table * t, db.FindTable(name, "account"));
+      REACTDB_RETURN_IF_ERROR(txn.Insert(
+          t, {Value(int64_t{0}), Value(100.0)},
+          db.FindReactor(name)->container_id()));
+    }
+    return Status::OK();
+  }));
+  REACTDB_CHECK_OK(db.Start());
+
+  // 4: transactions.
+  ProcResult r = db.Execute("alice", "transfer", {Value("bob"), Value(30.0)});
+  std::printf("alice -> bob 30: %s\n",
+              r.ok() ? "committed" : r.status().ToString().c_str());
+
+  r = db.Execute("carol", "withdraw", {Value(1000.0)});
+  std::printf("carol withdraw 1000: %s (expected user abort)\n",
+              r.ok() ? "committed?!" : r.status().ToString().c_str());
+
+  for (const char* name : {"alice", "bob", "carol"}) {
+    ProcResult balance = db.Execute(name, "deposit", {Value(0.0)});
+    std::printf("%s balance: %.2f\n", name, balance->AsNumeric());
+  }
+  db.Stop();
+  return 0;
+}

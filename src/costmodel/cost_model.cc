@@ -1,0 +1,53 @@
+#include "src/costmodel/cost_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace reactdb {
+
+double ForkJoinLatencyUs(const ForkJoinTxn& txn, const CommCosts& comm) {
+  return ForkJoinBreakdown(txn, comm).total_us;
+}
+
+CostBreakdown ForkJoinBreakdown(const ForkJoinTxn& txn,
+                                const CommCosts& comm) {
+  CostBreakdown out;
+  out.sync_exec_us = txn.pseq_us;
+  for (const ForkJoinTxn& child : txn.sync_seq) {
+    out.sync_exec_us += ForkJoinLatencyUs(child, comm);
+    out.cs_us += comm.Cs(txn.dest, child.dest);
+    out.cr_us += comm.Cr(child.dest, txn.dest);
+  }
+
+  // Asynchronous branch: sends serialize on the parent; each child's
+  // completion additionally pays one receive on the way back.
+  double async_part = 0;
+  double prefix_cs = 0;
+  for (const ForkJoinTxn& child : txn.async_children) {
+    prefix_cs += comm.Cs(txn.dest, child.dest);
+    async_part = std::max(async_part, ForkJoinLatencyUs(child, comm) +
+                                          comm.Cr(child.dest, txn.dest) +
+                                          prefix_cs);
+  }
+
+  // Overlapped synchronous branch.
+  double ovp = txn.povp_us;
+  for (const ForkJoinTxn& child : txn.sync_ovp) {
+    ovp += ForkJoinLatencyUs(child, comm) + comm.Cs(txn.dest, child.dest) +
+           comm.Cr(child.dest, txn.dest);
+  }
+
+  out.async_exec_us = std::max(async_part, ovp);
+  out.total_us = out.sync_exec_us + out.cs_us + out.cr_us + out.async_exec_us;
+  return out;
+}
+
+std::string CostBreakdown::ToString() const {
+  std::ostringstream os;
+  os << "sync-execution=" << sync_exec_us << "us Cs=" << cs_us
+     << "us Cr=" << cr_us << "us async-execution=" << async_exec_us
+     << "us total=" << total_us << "us";
+  return os.str();
+}
+
+}  // namespace reactdb

@@ -1,0 +1,75 @@
+// Computational cost model for fork-join sub-transactions (paper Fig. 3).
+//
+// A fork-join sub-transaction consists of sequential logic (with
+// synchronous child calls), then one program point that issues all
+// asynchronous child calls, overlapped with further synchronous logic, and
+// finally collects all futures. Its latency is
+//
+//   L(ST) = Pseq + sum_{sync_seq} L(child)
+//         + sum_{dest(sync_seq)} (Cs + Cr)
+//         + max( max_{async child i} ( L(i) + Cr + sum_{j<=i} Cs_j ),
+//                Povp + sum_{sync_ovp} ( L(child) + Cs + Cr ) )
+//
+// where Cs(k,k') / Cr(k',k) are the send/receive communication costs
+// between the executors hosting reactors k and k' (zero when co-located).
+// Developers use this the way they use algorithmic complexity: to compare
+// program formulations (fully-sync vs opt multi-transfer, etc.) and predict
+// latency from a handful of calibrated parameters.
+
+#ifndef REACTDB_COSTMODEL_COST_MODEL_H_
+#define REACTDB_COSTMODEL_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace reactdb {
+
+/// Communication parameters. Location ids identify executors; communication
+/// between identical locations is free (inlined same-executor execution).
+struct CommCosts {
+  double cs_us = 0;
+  double cr_us = 0;
+
+  double Cs(int from, int to) const { return from == to ? 0 : cs_us; }
+  double Cr(int from, int to) const { return from == to ? 0 : cr_us; }
+};
+
+/// One fork-join sub-transaction.
+struct ForkJoinTxn {
+  /// Executor/location this sub-transaction runs on.
+  int dest = 0;
+  /// Sequential processing cost (Pseq).
+  double pseq_us = 0;
+  /// Synchronous children invoked in the sequential part.
+  std::vector<ForkJoinTxn> sync_seq;
+  /// Processing overlapped with the asynchronous children (Povp).
+  double povp_us = 0;
+  /// Synchronous children overlapped with the asynchronous children.
+  std::vector<ForkJoinTxn> sync_ovp;
+  /// Asynchronous children, in invocation order (their sends serialize on
+  /// the parent: child i pays the prefix sum of send costs).
+  std::vector<ForkJoinTxn> async_children;
+};
+
+/// Latency of a fork-join sub-transaction per the Fig. 3 equation
+/// (recursive; commitment overhead excluded, as in the paper).
+double ForkJoinLatencyUs(const ForkJoinTxn& txn, const CommCosts& comm);
+
+/// Component breakdown used by the Fig. 6 experiment.
+struct CostBreakdown {
+  double sync_exec_us = 0;  // Pseq + synchronous child latencies
+  double cs_us = 0;         // send costs on the critical (sequential) path
+  double cr_us = 0;         // receive costs on the critical path
+  double async_exec_us = 0; // the max(...) overlapped component
+  double total_us = 0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates the cost equation keeping the component attribution of the
+/// paper's Fig. 6: sync-execution, Cs, Cr, async-execution.
+CostBreakdown ForkJoinBreakdown(const ForkJoinTxn& txn, const CommCosts& comm);
+
+}  // namespace reactdb
+
+#endif  // REACTDB_COSTMODEL_COST_MODEL_H_

@@ -1,0 +1,182 @@
+#include "src/harness/sim_driver.h"
+
+#include <memory>
+#include <sstream>
+
+namespace reactdb {
+namespace harness {
+
+namespace {
+
+struct DriverState {
+  SimRuntime* rt;
+  DriverOptions options;
+  RequestGen gen;
+
+  bool stopped = false;
+  bool measuring = false;
+
+  // Current epoch accumulation.
+  uint64_t epoch_committed = 0;
+  uint64_t epoch_aborted = 0;
+  double epoch_latency_sum = 0;
+  double epoch_start_us = 0;
+
+  DriverResult result;
+  RootTxn::Profile profile_sum;
+  std::vector<double> busy_at_start;
+
+  void RecordOutcome(double t0, double completion, const ProcResult& outcome,
+                     const RootTxn::Profile& profile) {
+    if (!measuring) return;
+    if (outcome.ok()) {
+      ++epoch_committed;
+      ++result.committed;
+      double latency = completion - t0;
+      epoch_latency_sum += latency;
+      result.latency_hist.Add(latency);
+      profile_sum.sync_exec_us += profile.sync_exec_us;
+      profile_sum.cs_us += profile.cs_us;
+      profile_sum.cr_us += profile.cr_us;
+      profile_sum.commit_us += profile.commit_us;
+      profile_sum.input_gen_us += profile.input_gen_us;
+    } else if (outcome.status().IsUserAbort()) {
+      // Application rollback (e.g. TPC-C invalid item): not a concurrency
+      // abort; excluded from the abort rate as in the paper.
+      ++result.aborted_user;
+    } else {
+      ++epoch_aborted;
+      ++result.aborted;
+      if (outcome.status().IsSafetyAbort()) ++result.aborted_safety;
+    }
+  }
+};
+
+void NextTxn(std::shared_ptr<DriverState> st, int worker);
+
+void SubmitOne(std::shared_ptr<DriverState> st, int worker, double t0) {
+  Request req = st->gen(worker);
+  Status s = st->rt->Submit(
+      req.reactor, req.proc, std::move(req.args),
+      [st, worker, t0](ProcResult outcome, const RootTxn& root) {
+        // Runs inside the finalizing executor's segment; completion reaches
+        // the client after the notify boundary cost.
+        double completion =
+            st->rt->NowUs() + st->rt->params().client_notify_us;
+        RootTxn::Profile profile = root.profile;
+        profile.input_gen_us += st->rt->params().input_gen_us;
+        st->rt->events().Schedule(
+            completion,
+            [st, worker, t0, completion, outcome = std::move(outcome),
+             profile]() {
+              st->RecordOutcome(t0, completion, outcome, profile);
+              NextTxn(st, worker);
+            });
+      });
+  if (!s.ok()) {
+    // Generation bug; stop this worker rather than spin.
+    return;
+  }
+}
+
+void NextTxn(std::shared_ptr<DriverState> st, int worker) {
+  if (st->stopped) return;
+  double t0 = st->rt->NowUs();
+  double submit_at = t0 + st->rt->params().input_gen_us +
+                     st->rt->params().client_submit_us;
+  st->rt->events().Schedule(
+      submit_at, [st, worker, t0]() { SubmitOne(st, worker, t0); });
+}
+
+}  // namespace
+
+DriverResult RunClosedLoop(SimRuntime* rt, const DriverOptions& options,
+                           const RequestGen& gen) {
+  auto st = std::make_shared<DriverState>();
+  st->rt = rt;
+  st->options = options;
+  st->gen = gen;
+
+  double base = rt->events().now();
+
+  // Start workers, slightly staggered.
+  for (int w = 0; w < options.num_workers; ++w) {
+    rt->events().Schedule(base + 0.7 * w,
+                          [st, w]() { NextTxn(st, w); });
+  }
+
+  size_t num_execs = rt->deployment().total_executors() > 0
+                         ? static_cast<size_t>(rt->deployment().total_executors())
+                         : 0;
+
+  // Measurement window control.
+  double measure_start = base + options.warmup_us;
+  rt->events().Schedule(measure_start, [st, num_execs]() {
+    st->measuring = true;
+    st->epoch_start_us = st->rt->events().now();
+    st->busy_at_start.resize(num_execs);
+    for (size_t i = 0; i < num_execs; ++i) {
+      st->busy_at_start[i] = st->rt->BusyTotalUs(static_cast<uint32_t>(i));
+    }
+  });
+  for (int e = 1; e <= options.num_epochs; ++e) {
+    double boundary = measure_start + options.epoch_us * e;
+    bool last = e == options.num_epochs;
+    rt->events().Schedule(boundary, [st, last, num_execs]() {
+      double now = st->rt->events().now();
+      st->result.epochs.AddEpoch(st->epoch_committed, st->epoch_aborted,
+                                 now - st->epoch_start_us,
+                                 st->epoch_latency_sum);
+      st->epoch_committed = 0;
+      st->epoch_aborted = 0;
+      st->epoch_latency_sum = 0;
+      st->epoch_start_us = now;
+      if (last) {
+        st->measuring = false;
+        st->stopped = true;
+        st->result.measured_window_us =
+            now - (st->busy_at_start.empty() ? now : 0);
+        for (size_t i = 0; i < num_execs; ++i) {
+          double busy = st->rt->BusyTotalUs(static_cast<uint32_t>(i)) -
+                        st->busy_at_start[i];
+          double window =
+              st->options.epoch_us * st->options.num_epochs;
+          st->result.utilization.push_back(
+              window > 0 ? std::min(1.0, busy / window) : 0);
+        }
+      }
+    });
+  }
+
+  rt->RunAll();
+
+  DriverResult result = std::move(st->result);
+  uint64_t denom = result.committed + result.aborted;
+  result.abort_rate =
+      denom == 0 ? 0
+                 : static_cast<double>(result.aborted) /
+                       static_cast<double>(denom);
+  result.mean_latency_us = result.epochs.MeanLatencyUs();
+  if (result.committed > 0) {
+    double n = static_cast<double>(result.committed);
+    result.mean_profile.sync_exec_us = st->profile_sum.sync_exec_us / n;
+    result.mean_profile.cs_us = st->profile_sum.cs_us / n;
+    result.mean_profile.cr_us = st->profile_sum.cr_us / n;
+    result.mean_profile.commit_us = st->profile_sum.commit_us / n;
+    result.mean_profile.input_gen_us = st->profile_sum.input_gen_us / n;
+  }
+  result.measured_window_us = options.epoch_us * options.num_epochs;
+  return result;
+}
+
+std::string DriverResult::Summary() const {
+  std::ostringstream os;
+  os << "tps=" << epochs.MeanThroughputTps() << " (+/-"
+     << epochs.StdDevThroughputTps() << ") latency_us=" << mean_latency_us
+     << " (+/-" << epochs.StdDevLatencyUs() << ") abort_rate=" << abort_rate
+     << " committed=" << committed;
+  return os.str();
+}
+
+}  // namespace harness
+}  // namespace reactdb

@@ -1,0 +1,74 @@
+// Closed-loop benchmark driver for the simulated runtime.
+//
+// Mirrors the paper's methodology (Section 4.1.2): client worker threads
+// live in a separate worker container and generate transaction invocations
+// in a closed loop with affinity (worker i drives one reactor stream).
+// Measurement is epoch-based: after a warmup, throughput/latency are
+// aggregated per epoch and reported as mean +/- standard deviation across
+// epochs. Latency includes input generation and the client/executor
+// boundary crossings, exactly as in the paper ("all measurements include
+// the time to generate transaction inputs").
+
+#ifndef REACTDB_HARNESS_SIM_DRIVER_H_
+#define REACTDB_HARNESS_SIM_DRIVER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/runtime/sim_runtime.h"
+#include "src/util/histogram.h"
+
+namespace reactdb {
+namespace harness {
+
+/// One generated client request.
+struct Request {
+  std::string reactor;
+  std::string proc;
+  Row args;
+};
+
+/// Generator invoked per worker per iteration.
+using RequestGen = std::function<Request(int worker)>;
+
+struct DriverOptions {
+  int num_workers = 1;
+  /// Measured epochs (the paper uses 50).
+  int num_epochs = 50;
+  /// Virtual epoch length, microseconds.
+  double epoch_us = 20000;
+  /// Warmup before measurement starts, microseconds.
+  double warmup_us = 20000;
+};
+
+struct DriverResult {
+  EpochStats epochs;
+  uint64_t committed = 0;  // in measurement window
+  uint64_t aborted = 0;
+  uint64_t aborted_user = 0;
+  uint64_t aborted_safety = 0;
+  double abort_rate = 0;  // concurrency-control + safety aborts
+  double mean_latency_us = 0;
+  Histogram latency_hist;
+  /// Mean Fig. 6 profile over committed transactions.
+  RootTxn::Profile mean_profile;
+  /// Per-executor utilization over the measurement window.
+  std::vector<double> utilization;
+  double measured_window_us = 0;
+
+  double ThroughputTps() const { return epochs.MeanThroughputTps(); }
+  std::string Summary() const;
+};
+
+/// Runs the closed loop to completion and returns aggregated results.
+/// User-aborts (application rollbacks like TPC-C's 1% invalid item) are
+/// counted separately and excluded from the concurrency abort rate,
+/// matching the paper's reporting.
+DriverResult RunClosedLoop(SimRuntime* rt, const DriverOptions& options,
+                           const RequestGen& gen);
+
+}  // namespace harness
+}  // namespace reactdb
+
+#endif  // REACTDB_HARNESS_SIM_DRIVER_H_

@@ -1,0 +1,198 @@
+#include "src/query/expr.h"
+
+namespace reactdb {
+
+Expr Expr::Column(std::string name) {
+  Expr e;
+  e.op_ = ExprOp::kColumn;
+  e.column_name_ = std::move(name);
+  return e;
+}
+
+Expr Expr::Literal(Value v) {
+  Expr e;
+  e.op_ = ExprOp::kLiteral;
+  e.literal_ = std::move(v);
+  return e;
+}
+
+Expr Expr::Binary(ExprOp op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.op_ = op;
+  e.lhs_ = std::make_shared<Expr>(std::move(lhs));
+  e.rhs_ = std::make_shared<Expr>(std::move(rhs));
+  return e;
+}
+
+Expr Expr::Not(Expr inner) {
+  Expr e;
+  e.op_ = ExprOp::kNot;
+  e.lhs_ = std::make_shared<Expr>(std::move(inner));
+  return e;
+}
+
+namespace {
+
+bool IsComparison(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Value CompareOp(ExprOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  int c = a.Compare(b);
+  switch (op) {
+    case ExprOp::kEq:
+      return Value(c == 0);
+    case ExprOp::kNe:
+      return Value(c != 0);
+    case ExprOp::kLt:
+      return Value(c < 0);
+    case ExprOp::kLe:
+      return Value(c <= 0);
+    case ExprOp::kGt:
+      return Value(c > 0);
+    case ExprOp::kGe:
+      return Value(c >= 0);
+    default:
+      return Value::Null();
+  }
+}
+
+StatusOr<Value> ArithmeticOp(ExprOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  bool both_int =
+      a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64;
+  if (a.type() == ValueType::kString || b.type() == ValueType::kString ||
+      a.type() == ValueType::kBool || b.type() == ValueType::kBool) {
+    if (op == ExprOp::kAdd && a.type() == ValueType::kString &&
+        b.type() == ValueType::kString) {
+      return Value(a.AsString() + b.AsString());
+    }
+    return Status::InvalidArgument("arithmetic on non-numeric value");
+  }
+  if (both_int) {
+    int64_t x = a.AsInt64();
+    int64_t y = b.AsInt64();
+    switch (op) {
+      case ExprOp::kAdd:
+        return Value(x + y);
+      case ExprOp::kSub:
+        return Value(x - y);
+      case ExprOp::kMul:
+        return Value(x * y);
+      case ExprOp::kDiv:
+        if (y == 0) return Status::InvalidArgument("division by zero");
+        return Value(x / y);
+      default:
+        break;
+    }
+  }
+  double x = a.AsNumeric();
+  double y = b.AsNumeric();
+  switch (op) {
+    case ExprOp::kAdd:
+      return Value(x + y);
+    case ExprOp::kSub:
+      return Value(x - y);
+    case ExprOp::kMul:
+      return Value(x * y);
+    case ExprOp::kDiv:
+      if (y == 0) return Status::InvalidArgument("division by zero");
+      return Value(x / y);
+    default:
+      break;
+  }
+  return Status::Internal("bad arithmetic op");
+}
+
+}  // namespace
+
+StatusOr<Value> Expr::Eval(const Row& row, const Schema& schema) const {
+  switch (op_) {
+    case ExprOp::kColumn: {
+      int id = schema.ColumnId(column_name_);
+      if (id < 0) {
+        return Status::InvalidArgument("unknown column " + column_name_ +
+                                       " in " + schema.table_name());
+      }
+      return row[static_cast<size_t>(id)];
+    }
+    case ExprOp::kLiteral:
+      return literal_;
+    case ExprOp::kNot: {
+      REACTDB_ASSIGN_OR_RETURN(Value v, lhs_->Eval(row, schema));
+      if (v.is_null()) return Value::Null();
+      return Value(!v.AsBool());
+    }
+    case ExprOp::kAnd:
+    case ExprOp::kOr: {
+      REACTDB_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row, schema));
+      // Short-circuit on a decided left operand.
+      if (!a.is_null()) {
+        bool av = a.AsBool();
+        if (op_ == ExprOp::kAnd && !av) return Value(false);
+        if (op_ == ExprOp::kOr && av) return Value(true);
+      }
+      REACTDB_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row, schema));
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return op_ == ExprOp::kAnd ? Value(a.AsBool() && b.AsBool())
+                                 : Value(a.AsBool() || b.AsBool());
+    }
+    default: {
+      REACTDB_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row, schema));
+      REACTDB_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row, schema));
+      if (IsComparison(op_)) return CompareOp(op_, a, b);
+      return ArithmeticOp(op_, a, b);
+    }
+  }
+}
+
+bool Expr::Test(const Row& row, const Schema& schema) const {
+  StatusOr<Value> v = Eval(row, schema);
+  if (!v.ok() || v->is_null()) return false;
+  if (v->type() != ValueType::kBool) return false;
+  return v->AsBool();
+}
+
+std::string Expr::ToString() const {
+  switch (op_) {
+    case ExprOp::kColumn:
+      return column_name_;
+    case ExprOp::kLiteral:
+      return literal_.ToString();
+    case ExprOp::kNot:
+      return "NOT (" + lhs_->ToString() + ")";
+    default: {
+      const char* name = "?";
+      switch (op_) {
+        case ExprOp::kEq: name = "="; break;
+        case ExprOp::kNe: name = "<>"; break;
+        case ExprOp::kLt: name = "<"; break;
+        case ExprOp::kLe: name = "<="; break;
+        case ExprOp::kGt: name = ">"; break;
+        case ExprOp::kGe: name = ">="; break;
+        case ExprOp::kAnd: name = "AND"; break;
+        case ExprOp::kOr: name = "OR"; break;
+        case ExprOp::kAdd: name = "+"; break;
+        case ExprOp::kSub: name = "-"; break;
+        case ExprOp::kMul: name = "*"; break;
+        case ExprOp::kDiv: name = "/"; break;
+        default: break;
+      }
+      return "(" + lhs_->ToString() + " " + name + " " + rhs_->ToString() +
+             ")";
+    }
+  }
+}
+
+}  // namespace reactdb

@@ -1,0 +1,118 @@
+// Expression trees for intra-reactor declarative queries.
+//
+// Declarative querying is supported only within a single reactor (paper
+// Section 2.1, concept 2). Expressions are built with a small combinator
+// API and evaluated against rows of one relation:
+//
+//   auto pred = Col("settled") == Lit("N") && Col("value") > Lit(100.0);
+//   pred.Eval(row, schema)  // -> Value(bool)
+//
+// Supported: column refs, literals, comparisons, boolean AND/OR/NOT, and
+// +,-,*,/ arithmetic with numeric widening. NULL propagates through
+// arithmetic and comparisons; a NULL predicate result is treated as false
+// by the query layer.
+
+#ifndef REACTDB_QUERY_EXPR_H_
+#define REACTDB_QUERY_EXPR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/storage/schema.h"
+#include "src/util/statusor.h"
+#include "src/util/value.h"
+
+namespace reactdb {
+
+enum class ExprOp : uint8_t {
+  kColumn,
+  kLiteral,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+/// Immutable expression node. Copyable (shares subtrees).
+class Expr {
+ public:
+  Expr() : op_(ExprOp::kLiteral), literal_(Value::Null()) {}
+
+  static Expr Column(std::string name);
+  static Expr Literal(Value v);
+  static Expr Binary(ExprOp op, Expr lhs, Expr rhs);
+  static Expr Not(Expr inner);
+
+  ExprOp op() const { return op_; }
+
+  /// Evaluates against `row` interpreted by `schema`. Unknown column names
+  /// produce InvalidArgument.
+  StatusOr<Value> Eval(const Row& row, const Schema& schema) const;
+
+  /// Convenience: evaluates as a predicate; NULL and errors map to false.
+  bool Test(const Row& row, const Schema& schema) const;
+
+  std::string ToString() const;
+
+ private:
+  ExprOp op_;
+  std::string column_name_;
+  Value literal_;
+  std::shared_ptr<const Expr> lhs_;
+  std::shared_ptr<const Expr> rhs_;
+};
+
+/// Shorthand constructors used in stored procedures.
+inline Expr Col(std::string name) { return Expr::Column(std::move(name)); }
+inline Expr Lit(Value v) { return Expr::Literal(std::move(v)); }
+
+inline Expr operator==(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kEq, std::move(a), std::move(b));
+}
+inline Expr operator!=(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kNe, std::move(a), std::move(b));
+}
+inline Expr operator<(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kLt, std::move(a), std::move(b));
+}
+inline Expr operator<=(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kLe, std::move(a), std::move(b));
+}
+inline Expr operator>(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kGt, std::move(a), std::move(b));
+}
+inline Expr operator>=(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kGe, std::move(a), std::move(b));
+}
+inline Expr operator&&(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kAnd, std::move(a), std::move(b));
+}
+inline Expr operator||(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kOr, std::move(a), std::move(b));
+}
+inline Expr operator!(Expr a) { return Expr::Not(std::move(a)); }
+inline Expr operator+(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kAdd, std::move(a), std::move(b));
+}
+inline Expr operator-(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kSub, std::move(a), std::move(b));
+}
+inline Expr operator*(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kMul, std::move(a), std::move(b));
+}
+inline Expr operator/(Expr a, Expr b) {
+  return Expr::Binary(ExprOp::kDiv, std::move(a), std::move(b));
+}
+
+}  // namespace reactdb
+
+#endif  // REACTDB_QUERY_EXPR_H_

@@ -1,0 +1,117 @@
+// Fluent query API over one reactor-local relation.
+//
+// Stored procedures issue declarative reads/updates against the relations
+// encapsulated by the reactor they run on. The API mirrors the SQL subset
+// the paper's examples use: point selects, predicate scans, aggregates
+// (SUM/COUNT/MIN/MAX), ordered (reverse) range scans with limits, and
+// searched updates.
+//
+//   Select q(table);
+//   q.KeyPrefix({Value(w_id), Value(d_id)})
+//    .Where(Col("settled") == Lit("N"))
+//    .Limit(800)
+//    .Reverse();
+//   StatusOr<double> exposure = q.Sum(txn, container, "value");
+//
+// All access is routed through the surrounding SiloTxn, so queries are
+// fully transactional.
+
+#ifndef REACTDB_QUERY_QUERY_H_
+#define REACTDB_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/query/expr.h"
+#include "src/txn/silo_txn.h"
+
+namespace reactdb {
+
+class Select {
+ public:
+  explicit Select(Table* table) : table_(table) {}
+
+  /// Restricts the scan to keys starting with `prefix` (a prefix of the
+  /// primary key columns). Without any restriction the whole relation is
+  /// scanned.
+  Select& KeyPrefix(Row prefix);
+  /// Exact primary-key lookup.
+  Select& Key(Row key);
+  /// Key range [lo, hi); empty hi = unbounded.
+  Select& KeyRange(Row lo, Row hi);
+  /// Uses a secondary index with an exact match on its columns.
+  Select& Index(const std::string& index_name, Row index_key);
+  /// Residual filter predicate.
+  Select& Where(Expr predicate);
+  /// Caps the number of returned rows (applied after filtering).
+  Select& Limit(int64_t n);
+  /// Descending key order.
+  Select& Reverse();
+
+  /// Materializes matching rows.
+  StatusOr<std::vector<Row>> Rows(SiloTxn* txn, uint32_t container) const;
+  /// First matching row; NotFound if none.
+  StatusOr<Row> One(SiloTxn* txn, uint32_t container) const;
+  /// Number of matching rows.
+  StatusOr<int64_t> Count(SiloTxn* txn, uint32_t container) const;
+  /// SUM of a numeric column over matching rows (0 when empty).
+  StatusOr<double> Sum(SiloTxn* txn, uint32_t container,
+                       const std::string& column) const;
+  StatusOr<Value> Min(SiloTxn* txn, uint32_t container,
+                      const std::string& column) const;
+  StatusOr<Value> Max(SiloTxn* txn, uint32_t container,
+                      const std::string& column) const;
+
+ private:
+  enum class AccessPath { kFullScan, kKey, kKeyPrefix, kKeyRange, kIndex };
+
+  Status ForEach(SiloTxn* txn, uint32_t container,
+                 const std::function<bool(const Row&)>& cb) const;
+
+  Table* table_;
+  AccessPath path_ = AccessPath::kFullScan;
+  Row key_lo_;
+  Row key_hi_;
+  std::string index_name_;
+  std::optional<Expr> predicate_;
+  int64_t limit_ = -1;
+  bool reverse_ = false;
+};
+
+/// Searched update: applies `setter` to each matching row and writes it
+/// back. Returns the number of updated rows.
+class Update {
+ public:
+  explicit Update(Table* table) : select_(table), table_(table) {}
+
+  Update& Key(Row key) {
+    select_.Key(std::move(key));
+    return *this;
+  }
+  Update& KeyPrefix(Row prefix) {
+    select_.KeyPrefix(std::move(prefix));
+    return *this;
+  }
+  Update& Index(const std::string& index_name, Row index_key) {
+    select_.Index(index_name, std::move(index_key));
+    return *this;
+  }
+  Update& Where(Expr predicate) {
+    select_.Where(std::move(predicate));
+    return *this;
+  }
+  /// Sets `column` to the value of `e` evaluated on the pre-update row.
+  Update& Set(const std::string& column, Expr e);
+
+  StatusOr<int64_t> Execute(SiloTxn* txn, uint32_t container) const;
+
+ private:
+  Select select_;
+  Table* table_;
+  std::vector<std::pair<std::string, Expr>> sets_;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_QUERY_QUERY_H_

@@ -1,0 +1,472 @@
+#include "src/query/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace reactdb {
+
+namespace sql_internal {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < sql.size() && IsIdentChar(sql[i])) ++i;
+      tokens.push_back({Token::Kind::kIdent, sql.substr(start, i - start)});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+              ((sql[i] == '+' || sql[i] == '-') && i > start &&
+               (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        ++i;
+      }
+      tokens.push_back({Token::Kind::kNumber, sql.substr(start, i - start)});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      while (true) {
+        if (i >= sql.size()) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+            text.push_back('\'');  // escaped quote
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      tokens.push_back({Token::Kind::kString, std::move(text)});
+      continue;
+    }
+    // Multi-char operators first.
+    if (i + 1 < sql.size()) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+        tokens.push_back({Token::Kind::kSymbol, two});
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string("(),*=<>+-/").find(c) != std::string::npos) {
+      tokens.push_back({Token::Kind::kSymbol, std::string(1, c)});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in SQL");
+  }
+  tokens.push_back({Token::Kind::kEnd, ""});
+  return tokens;
+}
+
+}  // namespace sql_internal
+
+namespace {
+
+using sql_internal::Token;
+using sql_internal::Tokenize;
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Next() { return tokens_[pos_++]; }
+
+  bool AtKeyword(const std::string& kw) const {
+    return Peek().kind == Token::Kind::kIdent && Upper(Peek().text) == kw;
+  }
+  bool AcceptKeyword(const std::string& kw) {
+    if (!AtKeyword(kw)) return false;
+    Next();
+    return true;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument("expected " + kw + " near '" +
+                                     Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool AcceptSymbol(const std::string& s) {
+    if (Peek().kind == Token::Kind::kSymbol && Peek().text == s) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!AcceptSymbol(s)) {
+      return Status::InvalidArgument("expected '" + s + "' near '" +
+                                     Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  StatusOr<std::string> ExpectIdent() {
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().text + "'");
+    }
+    return Next().text;
+  }
+
+  // expr := or_expr
+  StatusOr<Expr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<Value> ParseLiteralValue() {
+    if (Peek().kind == Token::Kind::kString) return Value(Next().text);
+    if (Peek().kind == Token::Kind::kNumber) {
+      std::string text = Next().text;
+      if (text.find_first_of(".eE") == std::string::npos) {
+        return Value(static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10)));
+      }
+      return Value(std::strtod(text.c_str(), nullptr));
+    }
+    bool negative = false;
+    if (AcceptSymbol("-")) negative = true;
+    if (Peek().kind == Token::Kind::kNumber) {
+      std::string text = Next().text;
+      if (text.find_first_of(".eE") == std::string::npos) {
+        int64_t v = std::strtoll(text.c_str(), nullptr, 10);
+        return Value(negative ? -v : v);
+      }
+      double v = std::strtod(text.c_str(), nullptr);
+      return Value(negative ? -v : v);
+    }
+    if (AcceptKeyword("TRUE")) return Value(true);
+    if (AcceptKeyword("FALSE")) return Value(false);
+    if (AcceptKeyword("NULL")) return Value::Null();
+    return Status::InvalidArgument("expected literal near '" + Peek().text +
+                                   "'");
+  }
+
+ private:
+  StatusOr<Expr> ParseOr() {
+    REACTDB_ASSIGN_OR_RETURN(Expr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      REACTDB_ASSIGN_OR_RETURN(Expr rhs, ParseAnd());
+      lhs = std::move(lhs) || std::move(rhs);
+    }
+    return lhs;
+  }
+
+  StatusOr<Expr> ParseAnd() {
+    REACTDB_ASSIGN_OR_RETURN(Expr lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      REACTDB_ASSIGN_OR_RETURN(Expr rhs, ParseNot());
+      lhs = std::move(lhs) && std::move(rhs);
+    }
+    return lhs;
+  }
+
+  StatusOr<Expr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      REACTDB_ASSIGN_OR_RETURN(Expr inner, ParseNot());
+      return !std::move(inner);
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<Expr> ParseComparison() {
+    REACTDB_ASSIGN_OR_RETURN(Expr lhs, ParseAdditive());
+    if (Peek().kind == Token::Kind::kSymbol) {
+      std::string op = Peek().text;
+      if (op == "=" || op == "<>" || op == "!=" || op == "<" || op == "<=" ||
+          op == ">" || op == ">=") {
+        Next();
+        REACTDB_ASSIGN_OR_RETURN(Expr rhs, ParseAdditive());
+        if (op == "=") return std::move(lhs) == std::move(rhs);
+        if (op == "<>" || op == "!=") return std::move(lhs) != std::move(rhs);
+        if (op == "<") return std::move(lhs) < std::move(rhs);
+        if (op == "<=") return std::move(lhs) <= std::move(rhs);
+        if (op == ">") return std::move(lhs) > std::move(rhs);
+        return std::move(lhs) >= std::move(rhs);
+      }
+    }
+    return lhs;
+  }
+
+  StatusOr<Expr> ParseAdditive() {
+    REACTDB_ASSIGN_OR_RETURN(Expr lhs, ParseMultiplicative());
+    while (Peek().kind == Token::Kind::kSymbol &&
+           (Peek().text == "+" || Peek().text == "-")) {
+      std::string op = Next().text;
+      REACTDB_ASSIGN_OR_RETURN(Expr rhs, ParseMultiplicative());
+      lhs = op == "+" ? std::move(lhs) + std::move(rhs)
+                      : std::move(lhs) - std::move(rhs);
+    }
+    return lhs;
+  }
+
+  StatusOr<Expr> ParseMultiplicative() {
+    REACTDB_ASSIGN_OR_RETURN(Expr lhs, ParseUnary());
+    while (Peek().kind == Token::Kind::kSymbol &&
+           (Peek().text == "*" || Peek().text == "/")) {
+      std::string op = Next().text;
+      REACTDB_ASSIGN_OR_RETURN(Expr rhs, ParseUnary());
+      lhs = op == "*" ? std::move(lhs) * std::move(rhs)
+                      : std::move(lhs) / std::move(rhs);
+    }
+    return lhs;
+  }
+
+  StatusOr<Expr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      REACTDB_ASSIGN_OR_RETURN(Expr inner, ParseUnary());
+      return Lit(int64_t{0}) - std::move(inner);
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<Expr> ParsePrimary() {
+    if (AcceptSymbol("(")) {
+      REACTDB_ASSIGN_OR_RETURN(Expr inner, ParseExpr());
+      REACTDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (Peek().kind == Token::Kind::kString ||
+        Peek().kind == Token::Kind::kNumber) {
+      REACTDB_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      return Lit(std::move(v));
+    }
+    if (Peek().kind == Token::Kind::kIdent) {
+      std::string word = Upper(Peek().text);
+      if (word == "TRUE" || word == "FALSE" || word == "NULL") {
+        REACTDB_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        return Lit(std::move(v));
+      }
+      return Col(Next().text);
+    }
+    return Status::InvalidArgument("expected expression near '" +
+                                   Peek().text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+StatusOr<SqlResult> ExecSelect(Parser* p, SiloTxn* txn,
+                               const TableResolver& resolver,
+                               uint32_t container) {
+  // Projection: * or AGG(col) / COUNT(*).
+  enum class Agg { kNone, kSum, kCount, kMin, kMax };
+  Agg agg = Agg::kNone;
+  std::string agg_column;
+  if (p->AcceptSymbol("*")) {
+    // plain select
+  } else {
+    REACTDB_ASSIGN_OR_RETURN(std::string fn, p->ExpectIdent());
+    std::string fn_upper = Upper(fn);
+    if (fn_upper == "SUM") {
+      agg = Agg::kSum;
+    } else if (fn_upper == "COUNT") {
+      agg = Agg::kCount;
+    } else if (fn_upper == "MIN") {
+      agg = Agg::kMin;
+    } else if (fn_upper == "MAX") {
+      agg = Agg::kMax;
+    } else {
+      return Status::InvalidArgument(
+          "only *, SUM, COUNT, MIN, MAX projections are supported");
+    }
+    REACTDB_RETURN_IF_ERROR(p->ExpectSymbol("("));
+    if (agg == Agg::kCount && p->AcceptSymbol("*")) {
+      // COUNT(*)
+    } else {
+      REACTDB_ASSIGN_OR_RETURN(agg_column, p->ExpectIdent());
+    }
+    REACTDB_RETURN_IF_ERROR(p->ExpectSymbol(")"));
+  }
+  REACTDB_RETURN_IF_ERROR(p->ExpectKeyword("FROM"));
+  REACTDB_ASSIGN_OR_RETURN(std::string table_name, p->ExpectIdent());
+  REACTDB_ASSIGN_OR_RETURN(Table * table, resolver(table_name));
+  Select sel(table);
+  if (p->AcceptKeyword("WHERE")) {
+    REACTDB_ASSIGN_OR_RETURN(Expr pred, p->ParseExpr());
+    sel.Where(std::move(pred));
+  }
+  if (p->AcceptKeyword("ORDER")) {
+    REACTDB_RETURN_IF_ERROR(p->ExpectKeyword("BY"));
+    REACTDB_RETURN_IF_ERROR(p->ExpectKeyword("KEY"));
+    if (p->AcceptKeyword("DESC")) {
+      sel.Reverse();
+    } else {
+      (void)p->AcceptKeyword("ASC");
+    }
+  }
+  if (p->AcceptKeyword("LIMIT")) {
+    REACTDB_ASSIGN_OR_RETURN(Value n, p->ParseLiteralValue());
+    sel.Limit(n.AsInt64());
+  }
+  SqlResult result;
+  switch (agg) {
+    case Agg::kNone: {
+      REACTDB_ASSIGN_OR_RETURN(result.rows, sel.Rows(txn, container));
+      return result;
+    }
+    case Agg::kSum: {
+      REACTDB_ASSIGN_OR_RETURN(double sum, sel.Sum(txn, container, agg_column));
+      result.scalar = Value(sum);
+      break;
+    }
+    case Agg::kCount: {
+      REACTDB_ASSIGN_OR_RETURN(int64_t n, sel.Count(txn, container));
+      result.scalar = Value(n);
+      break;
+    }
+    case Agg::kMin: {
+      REACTDB_ASSIGN_OR_RETURN(Value v, sel.Min(txn, container, agg_column));
+      result.scalar = std::move(v);
+      break;
+    }
+    case Agg::kMax: {
+      REACTDB_ASSIGN_OR_RETURN(Value v, sel.Max(txn, container, agg_column));
+      result.scalar = std::move(v);
+      break;
+    }
+  }
+  result.has_scalar = true;
+  return result;
+}
+
+StatusOr<SqlResult> ExecUpdate(Parser* p, SiloTxn* txn,
+                               const TableResolver& resolver,
+                               uint32_t container) {
+  REACTDB_ASSIGN_OR_RETURN(std::string table_name, p->ExpectIdent());
+  REACTDB_ASSIGN_OR_RETURN(Table * table, resolver(table_name));
+  REACTDB_RETURN_IF_ERROR(p->ExpectKeyword("SET"));
+  Update upd(table);
+  do {
+    REACTDB_ASSIGN_OR_RETURN(std::string column, p->ExpectIdent());
+    REACTDB_RETURN_IF_ERROR(p->ExpectSymbol("="));
+    REACTDB_ASSIGN_OR_RETURN(Expr e, p->ParseExpr());
+    upd.Set(column, std::move(e));
+  } while (p->AcceptSymbol(","));
+  if (p->AcceptKeyword("WHERE")) {
+    REACTDB_ASSIGN_OR_RETURN(Expr pred, p->ParseExpr());
+    upd.Where(std::move(pred));
+  }
+  SqlResult result;
+  REACTDB_ASSIGN_OR_RETURN(result.affected, upd.Execute(txn, container));
+  return result;
+}
+
+StatusOr<SqlResult> ExecInsert(Parser* p, SiloTxn* txn,
+                               const TableResolver& resolver,
+                               uint32_t container) {
+  REACTDB_RETURN_IF_ERROR(p->ExpectKeyword("INTO"));
+  REACTDB_ASSIGN_OR_RETURN(std::string table_name, p->ExpectIdent());
+  REACTDB_ASSIGN_OR_RETURN(Table * table, resolver(table_name));
+  REACTDB_RETURN_IF_ERROR(p->ExpectKeyword("VALUES"));
+  SqlResult result;
+  do {
+    REACTDB_RETURN_IF_ERROR(p->ExpectSymbol("("));
+    Row row;
+    do {
+      REACTDB_ASSIGN_OR_RETURN(Value v, p->ParseLiteralValue());
+      row.push_back(std::move(v));
+    } while (p->AcceptSymbol(","));
+    REACTDB_RETURN_IF_ERROR(p->ExpectSymbol(")"));
+    REACTDB_RETURN_IF_ERROR(txn->Insert(table, row, container));
+    ++result.affected;
+  } while (p->AcceptSymbol(","));
+  return result;
+}
+
+StatusOr<SqlResult> ExecDelete(Parser* p, SiloTxn* txn,
+                               const TableResolver& resolver,
+                               uint32_t container) {
+  REACTDB_RETURN_IF_ERROR(p->ExpectKeyword("FROM"));
+  REACTDB_ASSIGN_OR_RETURN(std::string table_name, p->ExpectIdent());
+  REACTDB_ASSIGN_OR_RETURN(Table * table, resolver(table_name));
+  Select sel(table);
+  if (p->AcceptKeyword("WHERE")) {
+    REACTDB_ASSIGN_OR_RETURN(Expr pred, p->ParseExpr());
+    sel.Where(std::move(pred));
+  }
+  REACTDB_ASSIGN_OR_RETURN(std::vector<Row> rows, sel.Rows(txn, container));
+  for (const Row& row : rows) {
+    REACTDB_RETURN_IF_ERROR(
+        txn->Delete(table, table->schema().ExtractKey(row), container));
+  }
+  SqlResult result;
+  result.affected = static_cast<int64_t>(rows.size());
+  return result;
+}
+
+}  // namespace
+
+namespace sql_internal {
+
+StatusOr<Expr> ParseExpression(const std::string& text) {
+  REACTDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser p(std::move(tokens));
+  REACTDB_ASSIGN_OR_RETURN(Expr e, p.ParseExpr());
+  if (p.Peek().kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("trailing tokens after expression");
+  }
+  return e;
+}
+
+}  // namespace sql_internal
+
+StatusOr<SqlResult> ExecuteSql(SiloTxn* txn, const TableResolver& resolver,
+                               uint32_t container, const std::string& sql) {
+  REACTDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser p(std::move(tokens));
+  SqlResult result;
+  if (p.AcceptKeyword("SELECT")) {
+    REACTDB_ASSIGN_OR_RETURN(result, ExecSelect(&p, txn, resolver, container));
+  } else if (p.AcceptKeyword("UPDATE")) {
+    REACTDB_ASSIGN_OR_RETURN(result, ExecUpdate(&p, txn, resolver, container));
+  } else if (p.AcceptKeyword("INSERT")) {
+    REACTDB_ASSIGN_OR_RETURN(result, ExecInsert(&p, txn, resolver, container));
+  } else if (p.AcceptKeyword("DELETE")) {
+    REACTDB_ASSIGN_OR_RETURN(result, ExecDelete(&p, txn, resolver, container));
+  } else {
+    return Status::InvalidArgument(
+        "statement must start with SELECT, UPDATE, INSERT, or DELETE");
+  }
+  if (p.Peek().kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("trailing tokens after statement: '" +
+                                   p.Peek().text + "'");
+  }
+  return result;
+}
+
+}  // namespace reactdb

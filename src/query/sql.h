@@ -1,0 +1,69 @@
+// A small SQL front-end for intra-reactor declarative queries.
+//
+// The paper presents reactor procedures in SQL-flavored pseudocode
+// (Fig. 1); this module parses a practical subset of that SQL into the
+// query builders of query.h, executed against one reactor's relations:
+//
+//   SELECT * FROM orders WHERE settled = 'N' ORDER BY KEY DESC LIMIT 800
+//   SELECT SUM(value) FROM orders WHERE settled = 'N'
+//   SELECT COUNT(*) FROM customer WHERE last = 'BARBARBAR'
+//   UPDATE provider_info SET risk = risk * 1.1, time = 42 WHERE id = 0
+//   INSERT INTO orders VALUES (17, 450.0, 'N')
+//   DELETE FROM orders WHERE settled = 'Y'
+//
+// Supported expressions: integer/float/string ('...') literals, TRUE/FALSE,
+// NULL, column names, comparisons (=, <>, !=, <, <=, >, >=), AND/OR/NOT,
+// arithmetic (+ - * /), and parentheses. ORDER BY KEY [ASC|DESC] orders by
+// the primary key (the only physical order the storage layer provides).
+//
+// This is deliberately not a full SQL engine — no joins (cross-reactor
+// state is reachable only through asynchronous calls, paper Section 2.1)
+// and no subqueries.
+
+#ifndef REACTDB_QUERY_SQL_H_
+#define REACTDB_QUERY_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/query/query.h"
+
+namespace reactdb {
+
+/// Result of executing one SQL statement.
+struct SqlResult {
+  /// Rows for plain SELECT.
+  std::vector<Row> rows;
+  /// Scalar for aggregate SELECT (SUM/COUNT/MIN/MAX).
+  Value scalar;
+  bool has_scalar = false;
+  /// Rows touched by UPDATE/DELETE/INSERT.
+  int64_t affected = 0;
+};
+
+/// Resolves a relation name to a Table (one reactor's namespace).
+using TableResolver = std::function<StatusOr<Table*>(const std::string&)>;
+
+/// Parses and executes `sql` inside `txn` against tables resolved by
+/// `resolver`, charging container id `container`.
+StatusOr<SqlResult> ExecuteSql(SiloTxn* txn, const TableResolver& resolver,
+                               uint32_t container, const std::string& sql);
+
+namespace sql_internal {
+
+// Exposed for tests.
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kSymbol, kEnd };
+  Kind kind;
+  std::string text;
+};
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+/// Parses a standalone expression (tests).
+StatusOr<Expr> ParseExpression(const std::string& text);
+
+}  // namespace sql_internal
+
+}  // namespace reactdb
+
+#endif  // REACTDB_QUERY_SQL_H_

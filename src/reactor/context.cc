@@ -1,0 +1,135 @@
+#include "src/reactor/context.h"
+
+namespace reactdb {
+
+StatusOr<Table*> TxnContext::table(const std::string& table_name) const {
+  Table* t = frame_->reactor->FindTable(table_name);
+  if (t == nullptr) {
+    return Status::NotFound("reactor " + reactor_name() + " has no relation " +
+                            table_name);
+  }
+  return t;
+}
+
+void TxnContext::ChargeDelta(const TxnOpStats& before) {
+  const TxnOpStats& after = frame_->root->txn.stats();
+  if (after.point_reads > before.point_reads) {
+    bridge_->ChargeStorage(StorageOpKind::kPointRead,
+                           after.point_reads - before.point_reads);
+  }
+  if (after.scanned_rows > before.scanned_rows) {
+    bridge_->ChargeStorage(StorageOpKind::kScanRow,
+                           after.scanned_rows - before.scanned_rows);
+  }
+  if (after.scanned_leaves > before.scanned_leaves) {
+    bridge_->ChargeStorage(StorageOpKind::kScanLeaf,
+                           after.scanned_leaves - before.scanned_leaves);
+  }
+  if (after.writes > before.writes) {
+    bridge_->ChargeStorage(StorageOpKind::kWrite,
+                           after.writes - before.writes);
+  }
+  if (after.inserts > before.inserts) {
+    bridge_->ChargeStorage(StorageOpKind::kInsert,
+                           after.inserts - before.inserts);
+  }
+}
+
+StatusOr<Row> TxnContext::Get(const std::string& table_name, const Row& key) {
+  REACTDB_ASSIGN_OR_RETURN(Table * t, table(table_name));
+  TxnOpStats before = frame_->root->txn.stats();
+  auto result = frame_->root->txn.Get(t, key, container());
+  ChargeDelta(before);
+  return result;
+}
+
+Status TxnContext::Insert(const std::string& table_name, const Row& row) {
+  REACTDB_ASSIGN_OR_RETURN(Table * t, table(table_name));
+  TxnOpStats before = frame_->root->txn.stats();
+  Status s = frame_->root->txn.Insert(t, row, container());
+  ChargeDelta(before);
+  return s;
+}
+
+Status TxnContext::Update(const std::string& table_name, const Row& key,
+                          Row new_row) {
+  REACTDB_ASSIGN_OR_RETURN(Table * t, table(table_name));
+  TxnOpStats before = frame_->root->txn.stats();
+  Status s = frame_->root->txn.Update(t, key, std::move(new_row), container());
+  ChargeDelta(before);
+  return s;
+}
+
+Status TxnContext::Delete(const std::string& table_name, const Row& key) {
+  REACTDB_ASSIGN_OR_RETURN(Table * t, table(table_name));
+  TxnOpStats before = frame_->root->txn.stats();
+  Status s = frame_->root->txn.Delete(t, key, container());
+  ChargeDelta(before);
+  return s;
+}
+
+StatusOr<Select> TxnContext::From(const std::string& table_name) const {
+  REACTDB_ASSIGN_OR_RETURN(Table * t, table(table_name));
+  return Select(t);
+}
+
+StatusOr<std::vector<Row>> TxnContext::Rows(const Select& select) {
+  TxnOpStats before = frame_->root->txn.stats();
+  auto result = select.Rows(&frame_->root->txn, container());
+  ChargeDelta(before);
+  return result;
+}
+
+StatusOr<Row> TxnContext::One(const Select& select) {
+  TxnOpStats before = frame_->root->txn.stats();
+  auto result = select.One(&frame_->root->txn, container());
+  ChargeDelta(before);
+  return result;
+}
+
+StatusOr<int64_t> TxnContext::Count(const Select& select) {
+  TxnOpStats before = frame_->root->txn.stats();
+  auto result = select.Count(&frame_->root->txn, container());
+  ChargeDelta(before);
+  return result;
+}
+
+StatusOr<double> TxnContext::Sum(const Select& select,
+                                 const std::string& column) {
+  TxnOpStats before = frame_->root->txn.stats();
+  auto result = select.Sum(&frame_->root->txn, container(), column);
+  ChargeDelta(before);
+  return result;
+}
+
+StatusOr<Value> TxnContext::Min(const Select& select,
+                                const std::string& column) {
+  TxnOpStats before = frame_->root->txn.stats();
+  auto result = select.Min(&frame_->root->txn, container(), column);
+  ChargeDelta(before);
+  return result;
+}
+
+StatusOr<Value> TxnContext::Max(const Select& select,
+                                const std::string& column) {
+  TxnOpStats before = frame_->root->txn.stats();
+  auto result = select.Max(&frame_->root->txn, container(), column);
+  ChargeDelta(before);
+  return result;
+}
+
+StatusOr<int64_t> TxnContext::Exec(const class Update& update) {
+  TxnOpStats before = frame_->root->txn.stats();
+  auto result = update.Execute(&frame_->root->txn, container());
+  ChargeDelta(before);
+  return result;
+}
+
+Future TxnContext::CallOn(const std::string& reactor_name,
+                          const std::string& proc_name, Row args) {
+  return bridge_->Call(frame_, reactor_name, proc_name, std::move(args));
+}
+
+void TxnContext::Compute(double micros) { bridge_->Compute(micros); }
+
+}  // namespace reactdb

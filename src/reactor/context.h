@@ -1,0 +1,118 @@
+// TxnContext: the programming surface of a stored procedure.
+//
+// A procedure runs on exactly one reactor and sees:
+//  * declarative queries over the relations encapsulated by that reactor
+//    (and only that reactor — cross-reactor state is reachable exclusively
+//    through asynchronous calls, paper Section 2.2.2);
+//  * CallOn("reactor", "proc", args): the `proc(args) on reactor name`
+//    construct, returning a Future;
+//  * Compute(micros): explicitly modeled computational work (sim_risk-style
+//    calculations), which advances virtual time in the simulated runtime
+//    and spins in the thread runtime.
+//
+// All data access is charged to the simulated cost meter through the
+// CallBridge so that the discrete-event runtime can account processing
+// time per operation.
+
+#ifndef REACTDB_REACTOR_CONTEXT_H_
+#define REACTDB_REACTOR_CONTEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/query/query.h"
+#include "src/reactor/frame.h"
+#include "src/reactor/future.h"
+
+namespace reactdb {
+
+/// Storage operation kinds for cost accounting.
+enum class StorageOpKind : uint8_t {
+  kPointRead,
+  kScanRow,
+  kScanLeaf,
+  kWrite,
+  kInsert,
+};
+
+/// Runtime services used by TxnContext; implemented by ThreadRuntime and
+/// SimRuntime.
+class CallBridge {
+ public:
+  virtual ~CallBridge() = default;
+
+  /// Dispatches a sub-transaction call from `caller`. Handles inlining
+  /// (same reactor / same container), cross-container transport, the
+  /// active-set safety condition, and frame bookkeeping.
+  virtual Future Call(TxnFrame* caller, const std::string& reactor_name,
+                      const std::string& proc_name, Row args) = 0;
+
+  /// Models `micros` of computation on the current executor.
+  virtual void Compute(double micros) = 0;
+
+  /// Charges `n` storage operations of the given kind to the current
+  /// executor's cost meter (no-op in the thread runtime).
+  virtual void ChargeStorage(StorageOpKind kind, uint64_t n) = 0;
+};
+
+class TxnContext {
+ public:
+  TxnContext(CallBridge* bridge, TxnFrame* frame)
+      : bridge_(bridge), frame_(frame) {}
+
+  // --- Reactor identity ----------------------------------------------------
+
+  const std::string& reactor_name() const { return frame_->reactor->name(); }
+  uint64_t root_id() const { return frame_->root->id; }
+  uint32_t container() const { return frame_->reactor->container_id(); }
+  TxnFrame* frame() { return frame_; }
+
+  // --- Declarative access to this reactor's relations ----------------------
+
+  /// Resolves one of this reactor's relations by name.
+  StatusOr<Table*> table(const std::string& table_name) const;
+
+  /// Point read by primary key.
+  StatusOr<Row> Get(const std::string& table_name, const Row& key);
+  Status Insert(const std::string& table_name, const Row& row);
+  Status Update(const std::string& table_name, const Row& key, Row new_row);
+  Status Delete(const std::string& table_name, const Row& key);
+
+  /// Builds a Select over one of this reactor's relations. The returned
+  /// builder is executed with the ctx.Rows/One/Count/Sum/... wrappers.
+  StatusOr<Select> From(const std::string& table_name) const;
+
+  StatusOr<std::vector<Row>> Rows(const Select& select);
+  StatusOr<Row> One(const Select& select);
+  StatusOr<int64_t> Count(const Select& select);
+  StatusOr<double> Sum(const Select& select, const std::string& column);
+  StatusOr<Value> Min(const Select& select, const std::string& column);
+  StatusOr<Value> Max(const Select& select, const std::string& column);
+  /// Executes a searched update built with reactdb::Update.
+  StatusOr<int64_t> Exec(const class Update& update);
+
+  // --- Asynchronous cross-reactor calls ------------------------------------
+
+  /// `proc_name(args) on reactor reactor_name` (Section 2.2.2). Direct
+  /// self-calls are inlined synchronously (Section 2.2.4).
+  Future CallOn(const std::string& reactor_name, const std::string& proc_name,
+                Row args);
+
+  /// Explicitly modeled computation (e.g. sim_risk).
+  void Compute(double micros);
+
+  /// Escape hatch for harness-level code.
+  SiloTxn* raw_txn() { return &frame_->root->txn; }
+  CallBridge* bridge() { return bridge_; }
+
+ private:
+  /// Charges the difference in SiloTxn op stats since `before`.
+  void ChargeDelta(const TxnOpStats& before);
+
+  CallBridge* bridge_;
+  TxnFrame* frame_;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_REACTOR_CONTEXT_H_

@@ -1,0 +1,17 @@
+#include "src/reactor/future.h"
+
+namespace reactdb {
+namespace internal {
+
+namespace {
+thread_local ResumeHook* tls_resume_hook = nullptr;
+thread_local void* tls_current_frame = nullptr;
+}  // namespace
+
+ResumeHook* CurrentResumeHook() { return tls_resume_hook; }
+void SetCurrentResumeHook(ResumeHook* hook) { tls_resume_hook = hook; }
+void* CurrentFrame() { return tls_current_frame; }
+void SetCurrentFrame(void* frame) { tls_current_frame = frame; }
+
+}  // namespace internal
+}  // namespace reactdb

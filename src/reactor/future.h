@@ -1,0 +1,129 @@
+// Futures for asynchronous cross-reactor procedure calls.
+//
+// ctx.CallOn(...) returns a Future immediately; the caller may continue
+// executing (overlapping communication with computation, Section 2.2.2) and
+// later co_await the future. Awaiting a ready future resumes inline;
+// awaiting a pending one parks the coroutine, and fulfillment schedules the
+// continuation back on the awaiting frame's home transaction executor (the
+// receive-path cost Cr of the cost model).
+
+#ifndef REACTDB_REACTOR_FUTURE_H_
+#define REACTDB_REACTOR_FUTURE_H_
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/reactor/proc.h"
+
+namespace reactdb {
+
+/// Shared completion state of one asynchronous procedure call.
+class FutureState {
+ public:
+  /// Marks the future ready and runs all registered callbacks. Must be
+  /// called exactly once.
+  void Fulfill(ProcResult result) {
+    std::vector<std::function<void()>> callbacks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      result_ = std::move(result);
+      ready_ = true;
+      callbacks.swap(callbacks_);
+    }
+    for (auto& cb : callbacks) cb();
+  }
+
+  /// Registers `cb` to run on fulfillment. Returns false if the future was
+  /// already ready (cb not stored; caller proceeds inline).
+  bool AddCallback(std::function<void()> cb) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ready_) return false;
+    callbacks_.push_back(std::move(cb));
+    return true;
+  }
+
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ready_;
+  }
+
+  /// Only valid after fulfillment.
+  const ProcResult& result() const { return result_; }
+
+ private:
+  mutable std::mutex mu_;
+  bool ready_ = false;
+  ProcResult result_{Status::Internal("future not fulfilled")};
+  std::vector<std::function<void()>> callbacks_;
+};
+
+/// Hook the awaiter uses to hand a parked coroutine back to the right
+/// transaction executor. Installed thread-locally by the runtime around
+/// every coroutine resume (both the thread runtime and the simulated
+/// runtime). The opaque frame pointer identifies the parked TxnFrame so the
+/// runtime can restore execution context (and, in the simulator, charge the
+/// receive cost Cr on remote wakeups).
+struct ResumeHook {
+  std::function<void(void* frame, std::coroutine_handle<>)> schedule;
+};
+
+namespace internal {
+/// Current resume hook for the running coroutine (set by executors).
+ResumeHook* CurrentResumeHook();
+void SetCurrentResumeHook(ResumeHook* hook);
+/// Currently executing TxnFrame (opaque; set around every resume).
+void* CurrentFrame();
+void SetCurrentFrame(void* frame);
+}  // namespace internal
+
+/// Value-semantic handle to a FutureState; awaitable inside procedures.
+class Future {
+ public:
+  Future() : state_(std::make_shared<FutureState>()) {}
+  explicit Future(std::shared_ptr<FutureState> state)
+      : state_(std::move(state)) {}
+
+  /// A future that is already fulfilled (inlined synchronous calls).
+  static Future Ready(ProcResult result) {
+    Future f;
+    f.state_->Fulfill(std::move(result));
+    return f;
+  }
+
+  bool ready() const { return state_->ready(); }
+  FutureState* state() const { return state_.get(); }
+  std::shared_ptr<FutureState> shared_state() const { return state_; }
+
+  struct Awaiter {
+    std::shared_ptr<FutureState> state;
+    bool await_ready() const { return state->ready(); }
+    bool await_suspend(std::coroutine_handle<> h) const {
+      ResumeHook* hook = internal::CurrentResumeHook();
+      void* frame = internal::CurrentFrame();
+      // Without a runtime hook (unit tests driving coroutines manually)
+      // resume inline on fulfillment.
+      std::function<void(void*, std::coroutine_handle<>)> schedule =
+          hook != nullptr
+              ? hook->schedule
+              : [](void*, std::coroutine_handle<> c) { c.resume(); };
+      bool parked = state->AddCallback(
+          [schedule = std::move(schedule), frame, h]() {
+            schedule(frame, h);
+          });
+      return parked;  // false: became ready meanwhile, continue inline
+    }
+    ProcResult await_resume() const { return state->result(); }
+  };
+
+  Awaiter operator co_await() const { return Awaiter{state_}; }
+
+ private:
+  std::shared_ptr<FutureState> state_;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_REACTOR_FUTURE_H_

@@ -1,0 +1,101 @@
+// Stored procedures as C++20 coroutines.
+//
+// A reactor procedure is a coroutine returning Proc. Inside the procedure,
+// cross-reactor asynchronous function calls (ctx.CallOn) return Futures that
+// are awaited with co_await — ReactDB's realization of the paper's
+// "asynchronous function calls returning promises" (Section 2.2.2). When a
+// procedure awaits a not-yet-ready future, its transaction executor parks
+// the coroutine and processes other requests: the cooperative multitasking
+// of Section 3.2.3 without kernel thread switches.
+//
+//   Proc TransactSaving(TxnContext& ctx, const Row& args) {
+//     ...
+//     Future f = ctx.CallOn("customer_7", "transact_saving", {amount});
+//     ProcResult r = co_await f;
+//     REACTDB_CO_RETURN_IF_ERROR(r.status());
+//     co_return Value(...);
+//   }
+
+#ifndef REACTDB_REACTOR_PROC_H_
+#define REACTDB_REACTOR_PROC_H_
+
+#include <coroutine>
+#include <functional>
+#include <utility>
+
+#include "src/util/statusor.h"
+#include "src/util/value.h"
+
+namespace reactdb {
+
+/// Result of a (sub-)transaction procedure: a Value or an abort status.
+using ProcResult = StatusOr<Value>;
+
+/// Coroutine return object for stored procedures. The runtime owns the
+/// coroutine through this handle; procedures start suspended and are resumed
+/// by a transaction executor.
+class Proc {
+ public:
+  struct promise_type {
+    ProcResult result{Status::Internal("procedure did not complete")};
+    /// Invoked exactly once when the coroutine finishes (at final suspend).
+    /// Installed by the runtime before the first resume.
+    std::function<void()> on_finished;
+
+    Proc get_return_object() {
+      return Proc(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        // The frame stays alive (destroyed by Proc's destructor); notify the
+        // runtime that the procedure body is done.
+        auto& promise = h.promise();
+        if (promise.on_finished) promise.on_finished();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(ProcResult r) { result = std::move(r); }
+    void return_value(Status s) { result = ProcResult(std::move(s)); }
+    void unhandled_exception() {
+      result = ProcResult(Status::Internal("unhandled exception in procedure"));
+    }
+  };
+
+  Proc() = default;
+  explicit Proc(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  Proc(Proc&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Proc& operator=(Proc&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+  ~Proc() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+  promise_type& promise() const { return handle_.promise(); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_REACTOR_PROC_H_

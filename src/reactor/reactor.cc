@@ -1,0 +1,46 @@
+#include "src/reactor/reactor.h"
+
+namespace reactdb {
+
+std::vector<std::string> ReactorType::ProcedureNames() const {
+  std::vector<std::string> names;
+  names.reserve(procs_.size());
+  for (const auto& [name, fn] : procs_) names.push_back(name);
+  return names;
+}
+
+ReactorType& ReactorDatabaseDef::DefineType(const std::string& type_name) {
+  auto it = types_.find(type_name);
+  if (it == types_.end()) {
+    it = types_.emplace(type_name, ReactorType(type_name)).first;
+  }
+  return it->second;
+}
+
+Status ReactorDatabaseDef::DeclareReactor(const std::string& reactor_name,
+                                          const std::string& type_name) {
+  if (types_.find(type_name) == types_.end()) {
+    return Status::InvalidArgument("unknown reactor type " + type_name);
+  }
+  auto [it, inserted] = reactor_types_.emplace(reactor_name, type_name);
+  if (!inserted) {
+    return Status::AlreadyExists("reactor " + reactor_name +
+                                 " already declared");
+  }
+  return Status::OK();
+}
+
+const ReactorType* ReactorDatabaseDef::FindType(
+    const std::string& type_name) const {
+  auto it = types_.find(type_name);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ReactorDatabaseDef::ReactorNames() const {
+  std::vector<std::string> names;
+  names.reserve(reactor_types_.size());
+  for (const auto& [name, type] : reactor_types_) names.push_back(name);
+  return names;
+}
+
+}  // namespace reactdb

@@ -1,0 +1,153 @@
+// Reactor types and reactor instances.
+//
+// A reactor type (paper Section 2.2.1) declares the relation schemas a
+// reactor of that type encapsulates and the procedures that can be invoked
+// on it. A reactor database is instantiated by declaring named reactors of
+// given types (ReactorDatabaseDef); reactors are purely logical, cannot be
+// created or destroyed at runtime, and are addressed by name for the
+// lifetime of the application.
+
+#ifndef REACTDB_REACTOR_REACTOR_H_
+#define REACTDB_REACTOR_REACTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/reactor/proc.h"
+#include "src/storage/schema.h"
+#include "src/storage/table.h"
+
+namespace reactdb {
+
+class TxnContext;
+
+/// A stored procedure body: coroutine taking the transaction context and
+/// the argument row. Args are taken by value so the coroutine frame owns a
+/// copy (reference parameters would dangle across suspension points).
+using ProcFn = std::function<Proc(TxnContext&, Row)>;
+
+/// Application-defined reactor type: schemas + procedures.
+class ReactorType {
+ public:
+  explicit ReactorType(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  ReactorType& AddSchema(Schema schema) {
+    schemas_.push_back(std::move(schema));
+    return *this;
+  }
+  ReactorType& AddProcedure(const std::string& proc_name, ProcFn fn) {
+    procs_[proc_name] = std::move(fn);
+    return *this;
+  }
+
+  const std::vector<Schema>& schemas() const { return schemas_; }
+  const ProcFn* FindProcedure(const std::string& proc_name) const {
+    auto it = procs_.find(proc_name);
+    return it == procs_.end() ? nullptr : &it->second;
+  }
+  std::vector<std::string> ProcedureNames() const;
+
+ private:
+  std::string name_;
+  std::vector<Schema> schemas_;
+  std::map<std::string, ProcFn> procs_;
+};
+
+/// Dynamic intra-transaction safety (paper Section 2.2.4): at most one
+/// sub-transaction of a given root transaction may be active on a reactor
+/// at any time. TryEnter fails when a different sub-transaction of the same
+/// root is active, in which case the root must abort.
+class ActiveSet {
+ public:
+  bool TryEnter(uint64_t root_id, uint64_t subtxn_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = active_.emplace(root_id, subtxn_id);
+    return inserted;  // an existing entry is necessarily a different subtxn
+  }
+  void Leave(uint64_t root_id, uint64_t subtxn_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(root_id);
+    if (it != active_.end() && it->second == subtxn_id) active_.erase(it);
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, uint64_t> active_;  // root txn id -> active subtxn id
+};
+
+/// A named reactor instance, bound at deployment time to one container.
+class Reactor {
+ public:
+  Reactor(std::string name, const ReactorType* type, uint32_t container_id)
+      : name_(std::move(name)), type_(type), container_id_(container_id) {}
+
+  const std::string& name() const { return name_; }
+  const ReactorType& type() const { return *type_; }
+  uint32_t container_id() const { return container_id_; }
+  ActiveSet& active_set() { return active_set_; }
+
+  /// Home transaction executor under affinity routing (set at bootstrap;
+  /// the simulator charges a locality penalty for storage access from any
+  /// other executor, modeling cache/cross-core memory effects).
+  void set_home_executor(uint32_t executor) { home_executor_ = executor; }
+  uint32_t home_executor() const { return home_executor_; }
+
+  /// Tables are resolved once at bootstrap (catalog of the owning
+  /// container).
+  void BindTable(const std::string& table_name, Table* table) {
+    tables_[table_name] = table;
+  }
+  Table* FindTable(const std::string& table_name) const {
+    auto it = tables_.find(table_name);
+    return it == tables_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::string name_;
+  const ReactorType* type_;
+  uint32_t container_id_;
+  uint32_t home_executor_ = 0;
+  ActiveSet active_set_;
+  std::map<std::string, Table*> tables_;
+};
+
+/// Declaration of a reactor database: reactor types plus named instances
+/// (paper Section 2.2.1: "declare the names and types of the reactors
+/// constituting the database"). Data loading happens through ordinary
+/// transactions after bootstrap.
+class ReactorDatabaseDef {
+ public:
+  /// Registers a type; returns a reference for fluent schema/proc setup.
+  ReactorType& DefineType(const std::string& type_name);
+
+  /// Declares a reactor instance of a previously defined type.
+  Status DeclareReactor(const std::string& reactor_name,
+                        const std::string& type_name);
+
+  const ReactorType* FindType(const std::string& type_name) const;
+  const std::map<std::string, std::string>& reactors() const {
+    return reactor_types_;
+  }
+  size_t num_reactors() const { return reactor_types_.size(); }
+
+  /// Reactor names in declaration (lexicographic) order.
+  std::vector<std::string> ReactorNames() const;
+
+ private:
+  std::map<std::string, ReactorType> types_;
+  std::map<std::string, std::string> reactor_types_;  // reactor -> type name
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_REACTOR_REACTOR_H_

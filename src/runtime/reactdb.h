@@ -1,0 +1,31 @@
+// Umbrella header: the ReactDB public API.
+//
+// Typical usage:
+//
+//   ReactorDatabaseDef def;
+//   ReactorType& type = def.DefineType("Customer");
+//   type.AddSchema(...).AddProcedure("transfer", &Transfer);
+//   def.DeclareReactor("alice", "Customer");
+//
+//   ThreadRuntime db;                      // or SimRuntime for virtual time
+//   db.Bootstrap(&def, DeploymentConfig::SharedNothing(4));
+//   db.Start();
+//   ProcResult r = db.Execute("alice", "transfer", {Value("bob"), 100.0});
+//
+// Changing the database architecture (shared-nothing vs shared-everything,
+// affinity, MPL) only changes the DeploymentConfig — never application code.
+
+#ifndef REACTDB_RUNTIME_REACTDB_H_
+#define REACTDB_RUNTIME_REACTDB_H_
+
+#include "src/query/query.h"
+#include "src/reactor/context.h"
+#include "src/reactor/frame.h"
+#include "src/reactor/future.h"
+#include "src/reactor/proc.h"
+#include "src/reactor/reactor.h"
+#include "src/runtime/deployment.h"
+#include "src/runtime/sim_runtime.h"
+#include "src/runtime/thread_runtime.h"
+
+#endif  // REACTDB_RUNTIME_REACTDB_H_

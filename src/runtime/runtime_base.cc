@@ -1,0 +1,340 @@
+#include "src/runtime/runtime_base.h"
+
+#include "src/util/logging.h"
+
+namespace reactdb {
+
+Status RuntimeBase::Bootstrap(const ReactorDatabaseDef* def,
+                              const DeploymentConfig& dc) {
+  if (def_ != nullptr) return Status::Internal("already bootstrapped");
+  if (dc.num_containers < 1 || dc.executors_per_container < 1) {
+    return Status::InvalidArgument("deployment needs >= 1 container/executor");
+  }
+  def_ = def;
+  dc_ = dc;
+  for (int c = 0; c < dc_.num_containers; ++c) {
+    catalogs_.push_back(std::make_unique<Catalog>());
+  }
+  CreateExecutors();
+  REACTDB_CHECK(executors_.size() ==
+                static_cast<size_t>(dc_.total_executors()));
+  for (ExecutorInfo* info : executors_) {
+    info->epoch_slot = epochs_.RegisterSlot();
+  }
+
+  // Place reactors and create their relations.
+  std::vector<std::string> names = def->ReactorNames();
+  std::vector<uint32_t> per_container_count(
+      static_cast<size_t>(dc_.num_containers), 0);
+  for (size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const std::string& type_name = def->reactors().at(name);
+    const ReactorType* type = def->FindType(type_name);
+    REACTDB_CHECK(type != nullptr);
+    uint32_t container = dc_.PlaceReactor(name, i, names.size());
+    auto reactor = std::make_unique<Reactor>(name, type, container);
+    for (const Schema& schema : type->schemas()) {
+      REACTDB_ASSIGN_OR_RETURN(
+          Table * table, catalogs_[container]->CreateTable(name, schema));
+      reactor->BindTable(schema.table_name(), table);
+    }
+    // Affinity: reactors of a container are spread over its executors in
+    // placement order.
+    uint32_t local =
+        per_container_count[container]++ %
+        static_cast<uint32_t>(dc_.executors_per_container);
+    uint32_t home =
+        container * static_cast<uint32_t>(dc_.executors_per_container) + local;
+    home_executor_[name] = home;
+    reactor->set_home_executor(home);
+    reactors_.emplace(name, std::move(reactor));
+  }
+  return Status::OK();
+}
+
+void RuntimeBase::RegisterExecutor(ExecutorInfo* info) {
+  info->id = static_cast<uint32_t>(executors_.size());
+  info->container = info->id / static_cast<uint32_t>(dc_.executors_per_container);
+  executors_.push_back(info);
+}
+
+Reactor* RuntimeBase::FindReactor(const std::string& name) const {
+  auto it = reactors_.find(name);
+  return it == reactors_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<Table*> RuntimeBase::FindTable(const std::string& reactor_name,
+                                        const std::string& table_name) const {
+  Reactor* r = FindReactor(reactor_name);
+  if (r == nullptr) return Status::NotFound("no reactor " + reactor_name);
+  Table* t = r->FindTable(table_name);
+  if (t == nullptr) {
+    return Status::NotFound("reactor " + reactor_name + " has no relation " +
+                            table_name);
+  }
+  return t;
+}
+
+uint32_t RuntimeBase::HomeExecutorOf(const std::string& reactor_name) const {
+  auto it = home_executor_.find(reactor_name);
+  REACTDB_CHECK(it != home_executor_.end());
+  return it->second;
+}
+
+uint32_t RuntimeBase::RouteRoot(Reactor* reactor) {
+  if (dc_.routing == RootRouting::kRoundRobin) {
+    uint32_t epc = static_cast<uint32_t>(dc_.executors_per_container);
+    uint32_t local = static_cast<uint32_t>(
+        rr_counter_.fetch_add(1, std::memory_order_relaxed) % epc);
+    return reactor->container_id() * epc + local;
+  }
+  return home_executor_.at(reactor->name());
+}
+
+void RuntimeBase::PinExecutor(uint32_t executor) {
+  ExecutorInfo* info = executors_[executor];
+  if (info->open_frames.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    epochs_.EnterEpoch(info->epoch_slot);
+  }
+}
+
+void RuntimeBase::UnpinExecutor(uint32_t executor) {
+  ExecutorInfo* info = executors_[executor];
+  if (info->open_frames.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    epochs_.LeaveEpoch(info->epoch_slot);
+  }
+}
+
+Status RuntimeBase::Submit(const std::string& reactor_name,
+                           const std::string& proc_name, Row args,
+                           std::function<void(ProcResult, const RootTxn&)> done) {
+  Reactor* reactor = FindReactor(reactor_name);
+  if (reactor == nullptr) {
+    return Status::NotFound("no reactor " + reactor_name);
+  }
+  const ProcFn* fn = reactor->type().FindProcedure(proc_name);
+  if (fn == nullptr) {
+    return Status::NotFound("reactor type " + reactor->type().name() +
+                            " has no procedure " + proc_name);
+  }
+  auto* root = new RootTxn(next_root_id_.fetch_add(1), &epochs_);
+  root->reactor_name = reactor_name;
+  root->proc_name = proc_name;
+  root->on_done = std::move(done);
+  uint32_t executor = RouteRoot(reactor);
+  PostRoot(executor, [this, root, reactor, fn, executor,
+                      args = std::move(args)]() mutable {
+    StartRoot(root, reactor, fn, executor, std::move(args));
+  });
+  return Status::OK();
+}
+
+void RuntimeBase::StartRoot(RootTxn* root, Reactor* reactor, const ProcFn* fn,
+                            uint32_t executor, Row args) {
+  PinExecutor(executor);
+  auto* frame = new TxnFrame();
+  frame->root = root;
+  frame->parent = nullptr;
+  frame->reactor = reactor;
+  frame->subtxn_id = 0;
+  frame->executor = executor;
+  frame->ctx = std::make_unique<TxnContext>(this, frame);
+  root->home_executor = executor;
+  // A root is the first activity of its transaction on this reactor; entry
+  // cannot conflict with other sub-transactions of the same root.
+  REACTDB_CHECK(reactor->active_set().TryEnter(root->id, 0));
+  frame->in_active_set = true;
+  StartFrameCoroutine(frame, fn, std::move(args));
+}
+
+Future RuntimeBase::Call(TxnFrame* caller, const std::string& reactor_name,
+                         const std::string& proc_name, Row args) {
+  RootTxn* root = caller->root;
+  Reactor* target = FindReactor(reactor_name);
+  if (target == nullptr) {
+    Status s = Status::InvalidArgument("no reactor " + reactor_name);
+    root->MarkAbort(s);
+    return Future::Ready(s);
+  }
+  const ProcFn* fn = target->type().FindProcedure(proc_name);
+  if (fn == nullptr) {
+    Status s = Status::InvalidArgument("reactor type " +
+                                       target->type().name() +
+                                       " has no procedure " + proc_name);
+    root->MarkAbort(s);
+    return Future::Ready(s);
+  }
+
+  if (target == caller->reactor) {
+    // Direct self-call: executed synchronously within the caller's frame
+    // (Section 2.2.4 — inlining the sub-transaction call).
+    caller->pending.fetch_add(1, std::memory_order_acq_rel);
+    Future f;
+    auto state = f.shared_state();
+    Proc proc = (*fn)(*caller->ctx, std::move(args));
+    auto handle = proc.handle();
+    handle.promise().on_finished = [this, caller, state, handle]() {
+      ProcResult r = handle.promise().result;
+      if (!r.ok()) caller->root->MarkAbort(r.status());
+      state->Fulfill(std::move(r));
+      OnFramePartDone(caller);
+    };
+    caller->inline_selfcalls.push_back(std::move(proc));
+    RunCoroutine(caller, handle);
+    return f;
+  }
+
+  auto* frame = new TxnFrame();
+  frame->root = root;
+  frame->parent = caller;
+  frame->reactor = target;
+  frame->subtxn_id = root->next_subtxn_id.fetch_add(1);
+  frame->ctx = std::make_unique<TxnContext>(this, frame);
+  caller->pending.fetch_add(1, std::memory_order_acq_rel);
+  Future f = frame->completion;  // frame may complete (and die) immediately
+
+  if (target->container_id() == caller->reactor->container_id()) {
+    // Same container: execute synchronously within the caller's transaction
+    // executor — no migration of control (Section 3.2.1).
+    frame->executor = caller->executor;
+    if (!target->active_set().TryEnter(root->id, frame->subtxn_id)) {
+      Status s = Status::SafetyAbort(
+          "concurrent sub-transactions of txn " + std::to_string(root->id) +
+          " on reactor " + target->name());
+      root->MarkAbort(s);
+      frame->completion.state()->Fulfill(s);
+      OnFramePartDone(frame);
+      return f;
+    }
+    frame->in_active_set = true;
+    StartFrameCoroutine(frame, fn, std::move(args));
+    return f;
+  }
+
+  // Cross-container: dispatch through the transport to the target reactor's
+  // home executor. The active-set entry is made at invocation time — the
+  // paper's active set holds sub-transactions that "have been invoked, but
+  // have not completed" — so two in-flight calls of one root to the same
+  // reactor are caught even if the first finishes quickly.
+  if (!target->active_set().TryEnter(root->id, frame->subtxn_id)) {
+    Status s = Status::SafetyAbort(
+        "concurrent sub-transactions of txn " + std::to_string(root->id) +
+        " on reactor " + target->name());
+    root->MarkAbort(s);
+    frame->completion.state()->Fulfill(s);
+    OnFramePartDone(frame);
+    return f;
+  }
+  frame->in_active_set = true;
+  frame->executor = home_executor_.at(target->name());
+  frame->pinned = true;
+  root->live_remote_children.fetch_add(1, std::memory_order_acq_rel);
+  ChargeCs();
+  PostReady(frame->executor,
+            [this, frame, fn, args = std::move(args)]() mutable {
+              PinExecutor(frame->executor);
+              ArriveFrame(frame, fn, std::move(args));
+            });
+  return f;
+}
+
+void RuntimeBase::ArriveFrame(TxnFrame* frame, const ProcFn* fn, Row args) {
+  StartFrameCoroutine(frame, fn, std::move(args));
+}
+
+void RuntimeBase::StartFrameCoroutine(TxnFrame* frame, const ProcFn* fn,
+                                      Row args) {
+  Proc proc = (*fn)(*frame->ctx, std::move(args));
+  auto handle = proc.handle();
+  frame->coroutine = std::move(proc);
+  handle.promise().on_finished = [this, frame]() { OnProcBodyFinished(frame); };
+  RunCoroutine(frame, handle);
+}
+
+void RuntimeBase::RunCoroutine(TxnFrame* frame, std::coroutine_handle<> h) {
+  void* prev = internal::CurrentFrame();
+  internal::SetCurrentFrame(frame);
+  h.resume();
+  internal::SetCurrentFrame(prev);
+}
+
+void RuntimeBase::OnProcBodyFinished(TxnFrame* frame) {
+  ProcResult result =
+      frame->coroutine.handle().promise().result;
+  if (!result.ok()) frame->root->MarkAbort(result.status());
+  if (frame->parent == nullptr) frame->root->proc_result = result;
+  frame->completion.state()->Fulfill(std::move(result));
+  OnFramePartDone(frame);
+}
+
+void RuntimeBase::OnFramePartDone(TxnFrame* frame) {
+  if (frame->pending.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Frame fully complete: its own body and every nested sub-transaction.
+  if (frame->in_active_set) {
+    frame->reactor->active_set().Leave(frame->root->id, frame->subtxn_id);
+  }
+  TxnFrame* parent = frame->parent;
+  if (parent == nullptr) {
+    // Root transaction complete; finalize (commit/abort) on its executor.
+    PostReady(frame->executor, [this, frame]() { FinalizeRoot(frame); });
+    return;
+  }
+  if (frame->pinned) {
+    UnpinExecutor(frame->executor);
+    frame->root->live_remote_children.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  delete frame;
+  OnFramePartDone(parent);
+}
+
+void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
+  RootTxn* root = root_frame->root;
+  uint32_t executor = root_frame->executor;
+  ProcResult outcome{Status::Internal("unset outcome")};
+  if (root->IsAborted()) {
+    root->txn.Abort();
+    Status s = root->AbortStatus();
+    if (s.IsSafetyAbort()) {
+      stats_.aborted_safety.fetch_add(1, std::memory_order_relaxed);
+    } else if (s.IsUserAbort()) {
+      stats_.aborted_user.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.aborted_cc.fetch_add(1, std::memory_order_relaxed);
+    }
+    outcome = s;
+  } else {
+    ChargeCommitCost(root);
+    StatusOr<uint64_t> tid =
+        root->txn.Commit(&executors_[executor]->tids);
+    if (tid.ok()) {
+      root->commit_tid = *tid;
+      stats_.committed.fetch_add(1, std::memory_order_relaxed);
+      outcome = root->proc_result;
+    } else {
+      stats_.aborted_cc.fetch_add(1, std::memory_order_relaxed);
+      outcome = tid.status();
+    }
+  }
+  auto done = std::move(root->on_done);
+  delete root_frame;
+  UnpinExecutor(executor);
+  OnRootRetired(executor);
+  if (finalized_roots_.fetch_add(1, std::memory_order_relaxed) % 64 == 63) {
+    epochs_.Advance();
+  }
+  if (done) done(std::move(outcome), *root);
+  delete root;
+}
+
+Status RuntimeBase::RunDirect(const std::function<Status(SiloTxn&)>& fn) {
+  SiloTxn txn(&epochs_);
+  Status s = fn(txn);
+  if (!s.ok()) {
+    txn.Abort();
+    return s;
+  }
+  StatusOr<uint64_t> tid = txn.Commit(&direct_tids_);
+  return tid.ok() ? Status::OK() : tid.status();
+}
+
+}  // namespace reactdb

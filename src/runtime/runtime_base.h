@@ -1,0 +1,153 @@
+// RuntimeBase: shared machinery of both ReactDB runtimes.
+//
+// Implements everything that does not depend on how time passes:
+//  * bootstrap (containers, catalogs, reactor placement, table binding),
+//  * the Call semantics of the programming model — direct self-calls are
+//    inlined into the caller's frame; same-container calls run
+//    synchronously on the caller's executor; cross-container calls are
+//    dispatched through the transport to the target reactor's home
+//    executor (paper Sections 2.2.4 and 3.2),
+//  * the dynamic active-set safety condition,
+//  * frame completion propagation (a (sub-)transaction completes only when
+//    all nested sub-transactions complete) and root finalization
+//    (single-container Silo commit, or 2PC-structured multi-container
+//    commit).
+//
+// Subclasses (ThreadRuntime, SimRuntime) provide scheduling: how tasks are
+// posted to executors and how costs are charged.
+
+#ifndef REACTDB_RUNTIME_RUNTIME_BASE_H_
+#define REACTDB_RUNTIME_RUNTIME_BASE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/reactor/context.h"
+#include "src/reactor/frame.h"
+#include "src/reactor/reactor.h"
+#include "src/runtime/deployment.h"
+#include "src/storage/catalog.h"
+#include "src/txn/epoch.h"
+
+namespace reactdb {
+
+/// Cost categories for simulated-time charging and Fig. 6 style profiling.
+enum class ChargeKind : uint8_t { kProc, kCs, kCr, kCommit, kInputGen };
+
+/// Outcome counters across all finalized root transactions.
+struct RuntimeStats {
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted_cc{0};      // OCC/2PC validation failures
+  std::atomic<uint64_t> aborted_user{0};    // application-initiated aborts
+  std::atomic<uint64_t> aborted_safety{0};  // active-set safety condition
+
+  uint64_t total_aborted() const {
+    return aborted_cc.load() + aborted_user.load() + aborted_safety.load();
+  }
+};
+
+class RuntimeBase : public CallBridge {
+ public:
+  RuntimeBase() = default;
+  ~RuntimeBase() override = default;
+
+  RuntimeBase(const RuntimeBase&) = delete;
+  RuntimeBase& operator=(const RuntimeBase&) = delete;
+
+  /// Creates containers, catalogs, executors, and reactor placements.
+  /// `def` must outlive the runtime.
+  Status Bootstrap(const ReactorDatabaseDef* def, const DeploymentConfig& dc);
+
+  /// Submits a root transaction. `done` is invoked exactly once with the
+  /// procedure result (on commit) or the abort status. Non-blocking.
+  Status Submit(const std::string& reactor_name, const std::string& proc_name,
+                Row args, std::function<void(ProcResult, const RootTxn&)> done);
+
+  /// Runs `fn` as a direct single-threaded transaction against the storage
+  /// layer (bulk loading, invariant inspection in tests). Commits on OK.
+  Status RunDirect(const std::function<Status(SiloTxn&)>& fn);
+
+  Reactor* FindReactor(const std::string& name) const;
+  /// The reactor's relation inside its container's catalog.
+  StatusOr<Table*> FindTable(const std::string& reactor_name,
+                             const std::string& table_name) const;
+
+  EpochManager* epochs() { return &epochs_; }
+  const DeploymentConfig& deployment() const { return dc_; }
+  const RuntimeStats& stats() const { return stats_; }
+  size_t num_reactors() const { return reactors_.size(); }
+  uint32_t HomeExecutorOf(const std::string& reactor_name) const;
+
+  // --- CallBridge ----------------------------------------------------------
+  Future Call(TxnFrame* caller, const std::string& reactor_name,
+              const std::string& proc_name, Row args) override;
+
+ protected:
+  struct ExecutorInfo {
+    uint32_t id = 0;
+    uint32_t container = 0;
+    TidSource tids;
+    size_t epoch_slot = 0;
+    std::atomic<int> open_frames{0};
+  };
+
+  // --- Scheduling primitives (subclass-provided) ----------------------------
+
+  /// Posts to the executor's ready lane (resumes, sub-transaction arrivals,
+  /// finalization) — always processed.
+  virtual void PostReady(uint32_t executor, std::function<void()> task) = 0;
+  /// Posts to the admission lane (new root transactions) — processed only
+  /// while the executor is below its MPL.
+  virtual void PostRoot(uint32_t executor, std::function<void()> task) = 0;
+  /// MPL bookkeeping after a root retires on `executor`.
+  virtual void OnRootRetired(uint32_t executor) = 0;
+  /// Creates the concrete executors and registers their ExecutorInfo via
+  /// RegisterExecutor.
+  virtual void CreateExecutors() = 0;
+
+  // --- Cost hooks (no-ops in the thread runtime) ----------------------------
+
+  virtual void ChargeCs() {}
+  virtual void ChargeCommitCost(RootTxn* root) { (void)root; }
+
+  // --- Shared logic ---------------------------------------------------------
+
+  void RegisterExecutor(ExecutorInfo* info);
+  ExecutorInfo* executor_info(uint32_t id) { return executors_[id]; }
+  size_t num_executors() const { return executors_.size(); }
+
+  void StartRoot(RootTxn* root, Reactor* reactor, const ProcFn* fn,
+                 uint32_t executor, Row args);
+  void ArriveFrame(TxnFrame* frame, const ProcFn* fn, Row args);
+  void StartFrameCoroutine(TxnFrame* frame, const ProcFn* fn, Row args);
+  void OnProcBodyFinished(TxnFrame* frame);
+  void OnFramePartDone(TxnFrame* frame);
+  void FinalizeRoot(TxnFrame* root_frame);
+  /// Resumes `h` with the execution-context TLS pointing at `frame`.
+  void RunCoroutine(TxnFrame* frame, std::coroutine_handle<> h);
+
+  uint32_t RouteRoot(Reactor* reactor);
+  /// Pins the executor's epoch slot while it has open frames.
+  void PinExecutor(uint32_t executor);
+  void UnpinExecutor(uint32_t executor);
+
+  const ReactorDatabaseDef* def_ = nullptr;
+  DeploymentConfig dc_;
+  EpochManager epochs_;
+  std::vector<std::unique_ptr<Catalog>> catalogs_;
+  std::map<std::string, std::unique_ptr<Reactor>> reactors_;
+  std::map<std::string, uint32_t> home_executor_;  // reactor -> global exec id
+  std::vector<ExecutorInfo*> executors_;           // owned by subclass
+  std::atomic<uint64_t> next_root_id_{1};
+  std::atomic<uint64_t> rr_counter_{0};
+  std::atomic<uint64_t> finalized_roots_{0};
+  TidSource direct_tids_;  // for RunDirect (bootstrap loading)
+  RuntimeStats stats_;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_RUNTIME_RUNTIME_BASE_H_

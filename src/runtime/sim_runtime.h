@@ -1,0 +1,113 @@
+// SimRuntime: ReactDB on a discrete-event simulated multi-core machine.
+//
+// Every transaction executor is a virtual core with its own request lanes
+// and a busy-until horizon on a shared virtual clock. Application logic,
+// storage operations, and concurrency control all execute for real — the
+// simulator only accounts *time*: per-operation storage costs, explicit
+// Compute() work, commit/2PC costs, and the asymmetric communication costs
+// Cs (charged to the sender's segment) and Cr (charged when a parked
+// coroutine is resumed by a remote fulfillment), matching the cost model of
+// paper Section 2.4. Queueing delays and overload behavior emerge from the
+// busy-until mechanics.
+//
+// This substitutes for the paper's 8- and 32-hardware-thread evaluation
+// machines (see DESIGN.md Section 3); it is single-threaded and fully
+// deterministic given workload seeds.
+
+#ifndef REACTDB_RUNTIME_SIM_RUNTIME_H_
+#define REACTDB_RUNTIME_SIM_RUNTIME_H_
+
+#include <deque>
+
+#include "src/runtime/runtime_base.h"
+#include "src/sim/cost_params.h"
+#include "src/sim/event_queue.h"
+
+namespace reactdb {
+
+class SimRuntime : public RuntimeBase {
+ public:
+  static constexpr uint32_t kNoExecutor = ~0u;
+
+  explicit SimRuntime(CostParams params = CostParams());
+
+  EventQueue& events() { return events_; }
+  const CostParams& params() const { return params_; }
+
+  /// Current virtual time, segment-aware: inside an executor segment this
+  /// is segment start plus cost accumulated so far.
+  double NowUs() const;
+
+  /// Runs the simulation until no events remain.
+  void RunAll() { events_.RunAll(); }
+
+  /// Convenience for tests/examples: submits at the current virtual time,
+  /// runs the simulation to quiescence, returns the outcome.
+  ProcResult Execute(const std::string& reactor_name,
+                     const std::string& proc_name, Row args);
+
+  /// Charges `us` of a given kind to the current segment (public so the
+  /// benchmark harness can model client-side work).
+  void Charge(ChargeKind kind, double us);
+
+  // --- CallBridge ----------------------------------------------------------
+  void Compute(double micros) override { Charge(ChargeKind::kProc, micros); }
+  void ChargeStorage(StorageOpKind kind, uint64_t n) override;
+
+ protected:
+  void PostReady(uint32_t executor, std::function<void()> task) override;
+  void PostRoot(uint32_t executor, std::function<void()> task) override;
+  void OnRootRetired(uint32_t executor) override;
+  void CreateExecutors() override;
+  void ChargeCs() override { Charge(ChargeKind::kCs, params_.cs_us); }
+  void ChargeCommitCost(RootTxn* root) override;
+
+ private:
+  struct SimTask {
+    std::function<void()> fn;
+    bool charge_cr = false;
+    bool is_root = false;
+    /// Frame the Cr charge is attributed to (remote wakeups).
+    void* cr_frame = nullptr;
+  };
+
+  struct SimExecutor : ExecutorInfo {
+    std::deque<SimTask> ready;
+    std::deque<SimTask> admission;
+    int active_roots = 0;
+    bool dispatch_scheduled = false;
+    double busy_until = 0;
+    double busy_total = 0;  // for utilization reporting
+    ResumeHook hook;
+  };
+
+  /// Delivers a task to an executor lane at the current (segment-aware)
+  /// virtual time.
+  void Deliver(uint32_t executor, SimTask task);
+  bool HasEligible(const SimExecutor& exec) const;
+  void TryDispatch(uint32_t executor);
+  void Dispatch(uint32_t executor);
+  void ProcessTask(SimExecutor* exec, SimTask task);
+
+ public:
+  /// Fraction of virtual time executor `id` was busy in [from_us, now].
+  double Utilization(uint32_t id, double from_us) const;
+
+  /// Cumulative busy time of executor `id` since construction (harness
+  /// computes utilization over a window from deltas).
+  double BusyTotalUs(uint32_t id) const { return sim_execs_[id]->busy_total; }
+
+ private:
+  CostParams params_;
+  EventQueue events_;
+  std::vector<std::unique_ptr<SimExecutor>> sim_execs_;
+
+  // Segment state (single-threaded simulation).
+  uint32_t current_executor_ = kNoExecutor;
+  double segment_start_ = 0;
+  double segment_cost_ = 0;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_RUNTIME_SIM_RUNTIME_H_

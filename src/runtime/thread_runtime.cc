@@ -1,0 +1,130 @@
+#include "src/runtime/thread_runtime.h"
+
+#include <chrono>
+#include <future>
+
+namespace reactdb {
+
+ThreadRuntime::~ThreadRuntime() { Stop(); }
+
+void ThreadRuntime::CreateExecutors() {
+  int total = dc_.total_executors();
+  for (int i = 0; i < total; ++i) {
+    auto exec = std::make_unique<ThreadExecutor>();
+    RegisterExecutor(exec.get());
+    threads_.push_back(std::move(exec));
+  }
+}
+
+Status ThreadRuntime::Start() {
+  if (started_) return Status::Internal("already started");
+  if (def_ == nullptr) return Status::Internal("Bootstrap first");
+  started_ = true;
+  for (auto& exec : threads_) {
+    ThreadExecutor* e = exec.get();
+    e->hook.schedule = [this, e](void* frame, std::coroutine_handle<> h) {
+      PostReady(e->id, [this, frame, h]() {
+        RunCoroutine(static_cast<TxnFrame*>(frame), h);
+      });
+    };
+    e->thread = std::thread([this, e] { ExecutorLoop(e); });
+  }
+  epochs_.StartTicker(/*interval_ms=*/10);
+  return Status::OK();
+}
+
+void ThreadRuntime::Stop() {
+  if (!started_) return;
+  epochs_.StopTicker();
+  for (auto& exec : threads_) {
+    {
+      std::lock_guard<std::mutex> lock(exec->mu);
+      exec->stop = true;
+    }
+    exec->cv.notify_all();
+  }
+  for (auto& exec : threads_) {
+    if (exec->thread.joinable()) exec->thread.join();
+  }
+  started_ = false;
+}
+
+void ThreadRuntime::ExecutorLoop(ThreadExecutor* exec) {
+  internal::SetCurrentResumeHook(&exec->hook);
+  while (true) {
+    std::function<void()> task;
+    bool is_root = false;
+    {
+      std::unique_lock<std::mutex> lock(exec->mu);
+      exec->cv.wait(lock, [this, exec] {
+        if (exec->stop) return true;
+        if (!exec->ready.empty()) return true;
+        return !exec->admission.empty() &&
+               (dc_.mpl == 0 || exec->active_roots < dc_.mpl);
+      });
+      if (exec->stop) break;
+      if (!exec->ready.empty()) {
+        task = std::move(exec->ready.front());
+        exec->ready.pop_front();
+      } else {
+        task = std::move(exec->admission.front());
+        exec->admission.pop_front();
+        is_root = true;
+      }
+      if (is_root) exec->active_roots++;
+    }
+    task();
+  }
+  internal::SetCurrentResumeHook(nullptr);
+}
+
+void ThreadRuntime::PostReady(uint32_t executor, std::function<void()> task) {
+  ThreadExecutor* exec = threads_[executor].get();
+  {
+    std::lock_guard<std::mutex> lock(exec->mu);
+    exec->ready.push_back(std::move(task));
+  }
+  exec->cv.notify_one();
+}
+
+void ThreadRuntime::PostRoot(uint32_t executor, std::function<void()> task) {
+  ThreadExecutor* exec = threads_[executor].get();
+  {
+    std::lock_guard<std::mutex> lock(exec->mu);
+    exec->admission.push_back(std::move(task));
+  }
+  exec->cv.notify_one();
+}
+
+void ThreadRuntime::OnRootRetired(uint32_t executor) {
+  ThreadExecutor* exec = threads_[executor].get();
+  {
+    std::lock_guard<std::mutex> lock(exec->mu);
+    exec->active_roots--;
+  }
+  exec->cv.notify_one();
+}
+
+void ThreadRuntime::Compute(double micros) {
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::nanoseconds(static_cast<int64_t>(micros * 1000));
+  // Busy-wait to model CPU-bound work (sim_risk-style calculations).
+  volatile uint64_t sink = 0;
+  while (std::chrono::steady_clock::now() < until) {
+    sink = sink + 1;
+  }
+}
+
+ProcResult ThreadRuntime::Execute(const std::string& reactor_name,
+                                  const std::string& proc_name, Row args) {
+  std::promise<ProcResult> promise;
+  std::future<ProcResult> future = promise.get_future();
+  Status s = Submit(reactor_name, proc_name, std::move(args),
+                    [&promise](ProcResult r, const RootTxn&) {
+                      promise.set_value(std::move(r));
+                    });
+  if (!s.ok()) return ProcResult(s);
+  return future.get();
+}
+
+}  // namespace reactdb

@@ -1,0 +1,30 @@
+#include "src/sim/cost_params.h"
+
+namespace reactdb {
+
+CostParams CostParams::FromConfig(const Config& config) {
+  CostParams p;
+  p.cs_us = config.GetDouble("costs", "cs_us", p.cs_us);
+  p.cr_us = config.GetDouble("costs", "cr_us", p.cr_us);
+  p.point_read_us = config.GetDouble("costs", "point_read_us", p.point_read_us);
+  p.scan_row_us = config.GetDouble("costs", "scan_row_us", p.scan_row_us);
+  p.scan_leaf_us = config.GetDouble("costs", "scan_leaf_us", p.scan_leaf_us);
+  p.write_us = config.GetDouble("costs", "write_us", p.write_us);
+  p.insert_us = config.GetDouble("costs", "insert_us", p.insert_us);
+  p.non_affine_penalty =
+      config.GetDouble("costs", "non_affine_penalty", p.non_affine_penalty);
+  p.commit_base_us = config.GetDouble("costs", "commit_base_us",
+                                      p.commit_base_us);
+  p.commit_per_write_us =
+      config.GetDouble("costs", "commit_per_write_us", p.commit_per_write_us);
+  p.twopc_per_container_us = config.GetDouble("costs", "twopc_per_container_us",
+                                              p.twopc_per_container_us);
+  p.client_submit_us =
+      config.GetDouble("costs", "client_submit_us", p.client_submit_us);
+  p.client_notify_us =
+      config.GetDouble("costs", "client_notify_us", p.client_notify_us);
+  p.input_gen_us = config.GetDouble("costs", "input_gen_us", p.input_gen_us);
+  return p;
+}
+
+}  // namespace reactdb

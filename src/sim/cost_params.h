@@ -1,0 +1,56 @@
+// Calibrated cost parameters of the simulated multi-core substrate.
+//
+// Defaults are chosen to reproduce the magnitudes reported in the paper's
+// evaluation on the 4-core Xeon (Section 4.2): multi-transfer latencies in
+// the tens of microseconds, asymmetric communication costs Cs < Cr (the
+// receive path pays a thread switch, the send path an atomic enqueue,
+// Section 4.2.1), and a per-invocation containerization overhead of roughly
+// 20 microseconds (Appendix F.3).
+
+#ifndef REACTDB_SIM_COST_PARAMS_H_
+#define REACTDB_SIM_COST_PARAMS_H_
+
+#include "src/util/config.h"
+
+namespace reactdb {
+
+struct CostParams {
+  // Communication between reactors on distinct executors (cost model Cs/Cr).
+  double cs_us = 1.2;   // send a sub-transaction call (sender-side enqueue)
+  double cr_us = 4.5;   // receive a result (thread switch on receive path)
+
+  // Storage operations.
+  double point_read_us = 0.55;
+  double scan_row_us = 0.18;
+  double scan_leaf_us = 0.35;
+  double write_us = 0.65;
+  double insert_us = 1.0;
+
+  /// Fractional slowdown of storage operations executed on a transaction
+  /// executor other than the owning reactor's home executor (cache
+  /// coherence and cross-core memory traffic; drives the affinity effects
+  /// of Sections 4.3.1 and Appendix F.2).
+  double non_affine_penalty = 0.6;
+
+  // Commitment.
+  double commit_base_us = 1.8;
+  double commit_per_write_us = 0.25;
+  /// Extra cost per participating container beyond the first (2PC prepare +
+  /// decision round trips, overlapped across participants).
+  double twopc_per_container_us = 3.0;
+
+  // Client worker <-> database container boundary (containerization
+  // overhead, Appendix F.3: ~22us per invocation round trip dominated by
+  // cross-core thread switches).
+  double client_submit_us = 11.0;
+  double client_notify_us = 9.0;
+  /// Transaction input generation, charged at the worker.
+  double input_gen_us = 2.0;
+
+  /// Overrides fields from an INI [costs] section.
+  static CostParams FromConfig(const Config& config);
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_SIM_COST_PARAMS_H_

@@ -1,0 +1,36 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace reactdb {
+
+void EventQueue::Schedule(double time_us, EventFn fn) {
+  events_.push(Event{std::max(time_us, now_), next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunNext() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; the event is copied cheaply apart from the
+  // closure, which we must move — const_cast is the standard workaround.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = std::max(now_, event.time);
+  ++processed_;
+  event.fn();
+  return true;
+}
+
+void EventQueue::RunUntil(double until_us) {
+  while (!events_.empty() && events_.top().time <= until_us) {
+    RunNext();
+  }
+  now_ = std::max(now_, until_us);
+}
+
+void EventQueue::RunAll() {
+  while (RunNext()) {
+  }
+}
+
+}  // namespace reactdb

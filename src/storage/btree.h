@@ -1,0 +1,131 @@
+// In-memory B+-tree mapping encoded keys to Record pointers.
+//
+// Concurrency model:
+//  * Structural reads (point lookups, scans) take a shared latch; structural
+//    writes (inserts of new keys, splits) take an exclusive latch. Record
+//    *contents* are protected by the per-record TID protocol, not the latch.
+//  * Each leaf carries a version counter bumped on any key insertion or
+//    split affecting it. OCC transactions record (leaf, version) pairs in
+//    their node set during scans and on lookup misses; validation re-checks
+//    the versions, which yields phantom protection exactly as in Silo.
+//  * Keys are never physically removed (deletes leave absent-bit tombstone
+//    records), so leaves are stable memory for the tree's lifetime and node
+//    set pointers remain valid after the latch is dropped.
+
+#ifndef REACTDB_STORAGE_BTREE_H_
+#define REACTDB_STORAGE_BTREE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/record.h"
+
+namespace reactdb {
+
+class BTree {
+ public:
+  static constexpr size_t kLeafCapacity = 64;
+  static constexpr size_t kInnerCapacity = 64;
+
+  struct LeafNode;
+
+  /// Result of a point lookup. `record` is null when the key is not in the
+  /// tree; `leaf`/`leaf_version` identify the leaf that would hold the key
+  /// (for node-set tracking of misses).
+  struct LookupResult {
+    Record* record = nullptr;
+    LeafNode* leaf = nullptr;
+    uint64_t leaf_version = 0;
+  };
+
+  /// Result of GetOrInsert.
+  struct InsertResult {
+    Record* record = nullptr;
+    bool created = false;   // true if a fresh (absent) record was inserted
+    LeafNode* leaf = nullptr;
+    /// Leaf version before this call's own bump (valid when created).
+    uint64_t version_before = 0;
+    /// Leaf version after this call (valid when created).
+    uint64_t version_after = 0;
+  };
+
+  /// Visitor for scans: (encoded key, record). Return false to stop early.
+  using ScanCallback = std::function<bool(const std::string&, Record*)>;
+  /// Visitor for leaves touched by a scan: (leaf, version at visit time).
+  using NodeCallback = std::function<void(LeafNode*, uint64_t)>;
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Point lookup.
+  LookupResult Get(const std::string& key) const;
+
+  /// Finds the record for `key`, inserting a fresh absent record if none
+  /// exists.
+  InsertResult GetOrInsert(const std::string& key);
+
+  /// Forward scan over [lo, hi). An empty `hi` means unbounded. Visits every
+  /// leaf overlapping the range through `node_cb` (if provided), and every
+  /// present key through `cb`.
+  void Scan(const std::string& lo, const std::string& hi, const ScanCallback& cb,
+            const NodeCallback& node_cb = nullptr) const;
+
+  /// Reverse scan over [lo, hi), visiting keys in descending order.
+  void ReverseScan(const std::string& lo, const std::string& hi,
+                   const ScanCallback& cb,
+                   const NodeCallback& node_cb = nullptr) const;
+
+  /// Current version of a leaf (for node-set validation).
+  static uint64_t LeafVersion(const LeafNode* leaf);
+
+  /// Number of keys (including tombstoned records).
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  struct LeafNode {
+    std::vector<std::string> keys;
+    std::vector<Record*> records;
+    std::atomic<uint64_t> version{0};
+    LeafNode* next = nullptr;
+    LeafNode* prev = nullptr;
+  };
+
+ private:
+  struct InnerNode {
+    // children.size() == keys.size() + 1; keys[i] is the smallest key
+    // reachable under children[i + 1].
+    std::vector<std::string> keys;
+    std::vector<void*> children;  // InnerNode* or LeafNode* depending on level
+    int level = 1;                // 1 = children are leaves
+  };
+
+  // Child split produced during a recursive insert: `right` becomes the
+  // sibling of the node that split, `key` separates them.
+  struct SplitInfo {
+    bool split = false;
+    std::string key;
+    void* right = nullptr;
+  };
+
+  LeafNode* FindLeaf(const std::string& key) const;
+  SplitInfo InsertRec(void* node, int level, const std::string& key,
+                      InsertResult* result);
+  void FreeNode(void* node, int level);
+
+  mutable std::shared_mutex latch_;
+  void* root_;      // InnerNode* if height_ > 0 else LeafNode*
+  int height_;      // number of inner levels above leaves
+  LeafNode* head_;  // leftmost leaf
+  std::atomic<size_t> size_{0};
+  std::vector<LeafNode*> all_leaves_;  // owned; never freed before dtor
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_STORAGE_BTREE_H_

@@ -1,0 +1,45 @@
+#include "src/storage/catalog.h"
+
+namespace reactdb {
+
+StatusOr<Table*> Catalog::CreateTable(const std::string& reactor_name,
+                                      const Schema& schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string qualified = QualifiedName(reactor_name, schema.table_name());
+  auto [it, inserted] =
+      tables_.emplace(qualified, std::make_unique<Table>(schema));
+  if (!inserted) {
+    return Status::AlreadyExists("table " + qualified + " already exists");
+  }
+  return it->second.get();
+}
+
+StatusOr<Table*> Catalog::GetTable(const std::string& reactor_name,
+                                   const std::string& table_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(QualifiedName(reactor_name, table_name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table " +
+                            QualifiedName(reactor_name, table_name));
+  }
+  return it->second.get();
+}
+
+std::vector<Table*> Catalog::TablesOf(const std::string& reactor_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Table*> out;
+  std::string prefix = reactor_name + "/";
+  for (auto it = tables_.lower_bound(prefix);
+       it != tables_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.push_back(it->second.get());
+  }
+  return out;
+}
+
+size_t Catalog::num_tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
+}  // namespace reactdb

@@ -1,0 +1,54 @@
+// Catalog: the set of tables inside one database container.
+//
+// Each reactor's relations live in the catalog of the container the reactor
+// is mapped to, with table instances namespaced per reactor (a reactor named
+// R with relation T stores into "R/T"). This realizes the paper's name
+// mapping P(r^k[x]) = r[k ∘ x] from Definition 2.3: disjoint reactor address
+// spaces projected into one container address space.
+
+#ifndef REACTDB_STORAGE_CATALOG_H_
+#define REACTDB_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/table.h"
+
+namespace reactdb {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table under `reactor_name` with the given schema. Fails with
+  /// AlreadyExists if present.
+  StatusOr<Table*> CreateTable(const std::string& reactor_name,
+                               const Schema& schema);
+
+  /// Looks up a reactor's table; NotFound if missing.
+  StatusOr<Table*> GetTable(const std::string& reactor_name,
+                            const std::string& table_name) const;
+
+  /// All tables of one reactor.
+  std::vector<Table*> TablesOf(const std::string& reactor_name) const;
+
+  size_t num_tables() const;
+
+  static std::string QualifiedName(const std::string& reactor_name,
+                                   const std::string& table_name) {
+    return reactor_name + "/" + table_name;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_STORAGE_CATALOG_H_

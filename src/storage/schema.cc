@@ -1,0 +1,108 @@
+#include "src/storage/schema.h"
+
+#include <sstream>
+
+namespace reactdb {
+
+Schema::Schema(std::string table_name, std::vector<Column> columns,
+               std::vector<int> key_column_ids)
+    : table_name_(std::move(table_name)),
+      columns_(std::move(columns)),
+      key_column_ids_(std::move(key_column_ids)) {}
+
+int Schema::ColumnId(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Schema::AddSecondaryIndex(SecondaryIndexDef def) {
+  secondary_indexes_.push_back(std::move(def));
+}
+
+Row Schema::ExtractKey(const Row& row) const {
+  Row key;
+  key.reserve(key_column_ids_.size());
+  for (int id : key_column_ids_) key.push_back(row[id]);
+  return key;
+}
+
+Row Schema::ExtractIndexKey(const SecondaryIndexDef& def,
+                            const Row& row) const {
+  Row key;
+  key.reserve(def.column_ids.size());
+  for (int id : def.column_ids) key.push_back(row[id]);
+  return key;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()) + " for table " + table_name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    ValueType declared = columns_[i].type;
+    ValueType actual = row[i].type();
+    if (actual == declared) continue;
+    if (declared == ValueType::kDouble && actual == ValueType::kInt64) {
+      continue;  // integer literals into double columns
+    }
+    return Status::InvalidArgument(
+        "column " + columns_[i].name + " of " + table_name_ + " expects " +
+        std::string(ValueTypeName(declared)) + " got " +
+        std::string(ValueTypeName(actual)));
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << table_name_ << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name << " " << ValueTypeName(columns_[i].type);
+  }
+  os << ") key=(";
+  for (size_t i = 0; i < key_column_ids_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[key_column_ids_[i]].name;
+  }
+  os << ")";
+  return os.str();
+}
+
+StatusOr<Schema> SchemaBuilder::Build() const {
+  if (key_names_.empty()) {
+    return Status::InvalidArgument("table " + table_name_ + " has no key");
+  }
+  Schema schema(table_name_, columns_, {});
+  std::vector<int> key_ids;
+  for (const std::string& name : key_names_) {
+    int id = schema.ColumnId(name);
+    if (id < 0) {
+      return Status::InvalidArgument("unknown key column " + name + " in " +
+                                     table_name_);
+    }
+    key_ids.push_back(id);
+  }
+  Schema built(table_name_, columns_, key_ids);
+  for (const auto& [index_name, col_names] : index_defs_) {
+    SecondaryIndexDef def;
+    def.name = index_name;
+    for (const std::string& name : col_names) {
+      int id = built.ColumnId(name);
+      if (id < 0) {
+        return Status::InvalidArgument("unknown index column " + name +
+                                       " in " + table_name_);
+      }
+      def.column_ids.push_back(id);
+    }
+    built.AddSecondaryIndex(std::move(def));
+  }
+  return built;
+}
+
+}  // namespace reactdb

@@ -1,0 +1,103 @@
+// Relational schemas.
+//
+// A reactor encapsulates one or more relations (paper Section 2.2.1). Each
+// relation has a named, typed schema with a designated primary-key column
+// prefix and optional secondary indexes.
+
+#ifndef REACTDB_STORAGE_SCHEMA_H_
+#define REACTDB_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/statusor.h"
+#include "src/util/value.h"
+
+namespace reactdb {
+
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// Definition of a secondary index: a name plus the indexed column ids.
+/// Secondary indexes map the indexed columns (plus primary key for
+/// uniqueness) to the primary key.
+struct SecondaryIndexDef {
+  std::string name;
+  std::vector<int> column_ids;
+};
+
+/// Schema of one relation.
+class Schema {
+ public:
+  Schema() = default;
+  /// `key_column_ids` designate the primary key (must be non-empty).
+  Schema(std::string table_name, std::vector<Column> columns,
+         std::vector<int> key_column_ids);
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<int>& key_column_ids() const { return key_column_ids_; }
+  const std::vector<SecondaryIndexDef>& secondary_indexes() const {
+    return secondary_indexes_;
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of a column by name, or -1.
+  int ColumnId(const std::string& name) const;
+
+  void AddSecondaryIndex(SecondaryIndexDef def);
+
+  /// Extracts the primary key of a full row.
+  Row ExtractKey(const Row& row) const;
+  /// Extracts the columns of a secondary index from a full row.
+  Row ExtractIndexKey(const SecondaryIndexDef& def, const Row& row) const;
+
+  /// Checks arity and (loose) type compatibility of a row against the
+  /// schema. NULL is accepted for any column; INT64 is accepted where
+  /// DOUBLE is declared.
+  Status ValidateRow(const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string table_name_;
+  std::vector<Column> columns_;
+  std::vector<int> key_column_ids_;
+  std::vector<SecondaryIndexDef> secondary_indexes_;
+};
+
+/// Fluent helper for declaring schemas in reactor type definitions.
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string table_name)
+      : table_name_(std::move(table_name)) {}
+
+  SchemaBuilder& AddColumn(const std::string& name, ValueType type) {
+    columns_.push_back({name, type});
+    return *this;
+  }
+  SchemaBuilder& SetKey(const std::vector<std::string>& column_names) {
+    key_names_ = column_names;
+    return *this;
+  }
+  SchemaBuilder& AddIndex(const std::string& index_name,
+                          const std::vector<std::string>& column_names) {
+    index_defs_.push_back({index_name, column_names});
+    return *this;
+  }
+
+  StatusOr<Schema> Build() const;
+
+ private:
+  std::string table_name_;
+  std::vector<Column> columns_;
+  std::vector<std::string> key_names_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> index_defs_;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_STORAGE_SCHEMA_H_

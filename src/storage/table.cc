@@ -1,0 +1,34 @@
+#include "src/storage/table.h"
+
+namespace reactdb {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  for (size_t i = 0; i < schema_.secondary_indexes().size(); ++i) {
+    secondary_.push_back(std::make_unique<BTree>());
+  }
+}
+
+BTree* Table::secondary(const std::string& index_name) {
+  const auto& defs = schema_.secondary_indexes();
+  for (size_t i = 0; i < defs.size(); ++i) {
+    if (defs[i].name == index_name) return secondary_[i].get();
+  }
+  return nullptr;
+}
+
+std::string Table::EncodeSecondaryEntry(size_t index_pos,
+                                        const Row& row) const {
+  const SecondaryIndexDef& def = schema_.secondary_indexes()[index_pos];
+  Row entry = schema_.ExtractIndexKey(def, row);
+  Row pk = schema_.ExtractKey(row);
+  for (Value& v : pk) entry.push_back(std::move(v));
+  return EncodeKey(entry);
+}
+
+std::string Table::EncodeSecondaryPrefix(size_t index_pos,
+                                         const Row& index_key) const {
+  (void)index_pos;
+  return EncodeKey(index_key);
+}
+
+}  // namespace reactdb

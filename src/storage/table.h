@@ -1,0 +1,61 @@
+// Table: one relation = primary B+-tree + secondary indexes.
+//
+// This is the low-level record-manager surface used by the OCC transaction
+// layer (src/txn). Application code never touches it directly; stored
+// procedures go through TxnContext / the query layer.
+//
+// Secondary indexes are non-unique: they map
+//   (indexed columns ++ primary key) -> Record*  (the primary record)
+// so that index entries are unique and updates are tombstone-free on the
+// primary. Index maintenance is performed eagerly by the transaction layer.
+
+#ifndef REACTDB_STORAGE_TABLE_H_
+#define REACTDB_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/btree.h"
+#include "src/storage/schema.h"
+#include "src/util/keycodec.h"
+
+namespace reactdb {
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.table_name(); }
+
+  /// Primary index access.
+  BTree& primary() { return primary_; }
+  const BTree& primary() const { return primary_; }
+
+  size_t num_secondary_indexes() const { return secondary_.size(); }
+  /// Secondary index by position in schema().secondary_indexes().
+  BTree& secondary(size_t i) { return *secondary_[i]; }
+  /// Secondary index by name; null if absent.
+  BTree* secondary(const std::string& index_name);
+
+  /// Encodes a primary key row.
+  std::string EncodePrimaryKey(const Row& key) const {
+    return EncodeKey(key);
+  }
+  /// Encodes the secondary-index entry key for a full row: indexed columns
+  /// followed by the primary key.
+  std::string EncodeSecondaryEntry(size_t index_pos, const Row& row) const;
+  /// Encodes a secondary-index search prefix from just the indexed columns.
+  std::string EncodeSecondaryPrefix(size_t index_pos,
+                                    const Row& index_key) const;
+
+ private:
+  Schema schema_;
+  BTree primary_;
+  std::vector<std::unique_ptr<BTree>> secondary_;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_STORAGE_TABLE_H_

@@ -1,0 +1,89 @@
+// Silo-style transaction-id (TID) words.
+//
+// Every record carries a 64-bit TID word combining status bits with a
+// version number (paper Section 3.2.1 reuses Silo's OCC [53]):
+//
+//   bit 63        lock bit (held during commit install)
+//   bit 62        absent bit (record logically not present: uncommitted
+//                 insert or committed delete tombstone)
+//   bits 40..61   epoch number (22 bits)
+//   bits  0..39   in-epoch sequence number (40 bits)
+//
+// TID words are manipulated only through the helpers below.
+
+#ifndef REACTDB_STORAGE_TID_H_
+#define REACTDB_STORAGE_TID_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace reactdb {
+
+class TidWord {
+ public:
+  static constexpr uint64_t kLockBit = 1ULL << 63;
+  static constexpr uint64_t kAbsentBit = 1ULL << 62;
+  static constexpr uint64_t kEpochShift = 40;
+  static constexpr uint64_t kSeqMask = (1ULL << kEpochShift) - 1;
+  static constexpr uint64_t kTidMask = ~(kLockBit | kAbsentBit);
+
+  static bool IsLocked(uint64_t word) { return (word & kLockBit) != 0; }
+  static bool IsAbsent(uint64_t word) { return (word & kAbsentBit) != 0; }
+  /// Version (epoch+sequence) without status bits.
+  static uint64_t Tid(uint64_t word) { return word & kTidMask; }
+  static uint64_t Epoch(uint64_t word) {
+    return (word & kTidMask) >> kEpochShift;
+  }
+  static uint64_t Seq(uint64_t word) { return word & kSeqMask; }
+  static uint64_t Make(uint64_t epoch, uint64_t seq) {
+    return (epoch << kEpochShift) | (seq & kSeqMask);
+  }
+  static uint64_t WithLock(uint64_t word) { return word | kLockBit; }
+  static uint64_t WithoutLock(uint64_t word) { return word & ~kLockBit; }
+  static uint64_t WithAbsent(uint64_t word) { return word | kAbsentBit; }
+  static uint64_t WithoutAbsent(uint64_t word) { return word & ~kAbsentBit; }
+};
+
+/// Spin-acquires the lock bit of a TID word.
+inline void LockTid(std::atomic<uint64_t>* word) {
+  uint64_t cur = word->load(std::memory_order_relaxed);
+  while (true) {
+    if (!TidWord::IsLocked(cur)) {
+      if (word->compare_exchange_weak(cur, TidWord::WithLock(cur),
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    } else {
+      cur = word->load(std::memory_order_relaxed);
+    }
+  }
+}
+
+/// Tries once to acquire the lock bit; returns false if already locked.
+inline bool TryLockTid(std::atomic<uint64_t>* word) {
+  uint64_t cur = word->load(std::memory_order_relaxed);
+  if (TidWord::IsLocked(cur)) return false;
+  return word->compare_exchange_strong(cur, TidWord::WithLock(cur),
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed);
+}
+
+/// Releases the lock bit, leaving the rest of the word unchanged.
+inline void UnlockTid(std::atomic<uint64_t>* word) {
+  uint64_t cur = word->load(std::memory_order_relaxed);
+  word->store(TidWord::WithoutLock(cur), std::memory_order_release);
+}
+
+/// Waits until the word is unlocked and returns the (unlocked) value.
+inline uint64_t StableTid(const std::atomic<uint64_t>& word) {
+  uint64_t cur = word.load(std::memory_order_acquire);
+  while (TidWord::IsLocked(cur)) {
+    cur = word.load(std::memory_order_acquire);
+  }
+  return cur;
+}
+
+}  // namespace reactdb
+
+#endif  // REACTDB_STORAGE_TID_H_

@@ -1,0 +1,107 @@
+#include "src/txn/epoch.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace reactdb {
+
+EpochManager::EpochManager() = default;
+
+EpochManager::~EpochManager() {
+  StopTicker();
+  DrainAll();
+}
+
+void EpochManager::Advance() {
+  global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  uint64_t min_active = MinActiveEpoch();
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  CollectLocked(min_active);
+}
+
+size_t EpochManager::RegisterSlot() {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  slots_.push_back(std::make_unique<std::atomic<uint64_t>>(kQuiescent));
+  return slots_.size() - 1;
+}
+
+uint64_t EpochManager::EnterEpoch(size_t slot) {
+  uint64_t e = current();
+  slots_[slot]->store(e, std::memory_order_release);
+  return e;
+}
+
+void EpochManager::LeaveEpoch(size_t slot) {
+  slots_[slot]->store(kQuiescent, std::memory_order_release);
+}
+
+void EpochManager::Retire(const Row* row) {
+  if (row == nullptr) return;
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  retired_.emplace_back(current(), row);
+  // Amortized collection to bound memory even without epoch ticks.
+  if (retired_.size() % 4096 == 0) {
+    CollectLocked(MinActiveEpoch());
+  }
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  uint64_t min_active = current();
+  for (const auto& slot : slots_) {
+    uint64_t e = slot->load(std::memory_order_acquire);
+    min_active = std::min(min_active, e);
+  }
+  return min_active;
+}
+
+void EpochManager::CollectLocked(uint64_t min_active) {
+  // A row retired in epoch e is safe to free when every executor is past
+  // e + 1 (readers copy the epoch at transaction begin).
+  while (!retired_.empty() && retired_.front().first + 1 < min_active) {
+    delete retired_.front().second;
+    retired_.pop_front();
+  }
+}
+
+void EpochManager::StartTicker(uint64_t interval_ms) {
+  std::lock_guard<std::mutex> lock(ticker_mu_);
+  if (ticker_running_) return;
+  ticker_stop_ = false;
+  ticker_running_ = true;
+  ticker_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> lock(ticker_mu_);
+    while (!ticker_stop_) {
+      ticker_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms));
+      if (ticker_stop_) break;
+      lock.unlock();
+      Advance();
+      lock.lock();
+    }
+  });
+}
+
+void EpochManager::StopTicker() {
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    if (!ticker_running_) return;
+    ticker_stop_ = true;
+  }
+  ticker_cv_.notify_all();
+  ticker_.join();
+  std::lock_guard<std::mutex> lock(ticker_mu_);
+  ticker_running_ = false;
+}
+
+void EpochManager::DrainAll() {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  for (auto& [epoch, row] : retired_) delete row;
+  retired_.clear();
+}
+
+size_t EpochManager::retired_count() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+}  // namespace reactdb

@@ -1,0 +1,93 @@
+// Epoch management and epoch-based memory reclamation.
+//
+// Silo's OCC tags commit TIDs with a global epoch number. ReactDB uses the
+// epoch for two purposes:
+//  * commit TID generation (high bits of the TID word), and
+//  * safe reclamation of replaced row versions: a row replaced in epoch e
+//    may still be referenced by concurrent readers, and is freed only once
+//    every registered executor has moved past e + 1.
+//
+// In the real-thread runtime a ticker thread advances the epoch every few
+// milliseconds; in the simulated runtime (and in tests) the epoch is
+// advanced explicitly.
+
+#ifndef REACTDB_TXN_EPOCH_H_
+#define REACTDB_TXN_EPOCH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/util/value.h"
+
+namespace reactdb {
+
+class EpochManager {
+ public:
+  static constexpr uint64_t kQuiescent = ~0ULL;
+
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Current global epoch.
+  uint64_t current() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Advances the global epoch by one and opportunistically frees retired
+  /// rows that no executor can still reference.
+  void Advance();
+
+  /// Registers an executor; the returned slot id is passed to
+  /// EnterEpoch/LeaveEpoch. Must be called before transactions start.
+  size_t RegisterSlot();
+
+  /// Marks the slot as executing inside the current epoch (transaction
+  /// begin) and returns that epoch.
+  uint64_t EnterEpoch(size_t slot);
+  /// Marks the slot quiescent (transaction end).
+  void LeaveEpoch(size_t slot);
+
+  /// Queues a replaced row version for deferred deletion.
+  void Retire(const Row* row);
+
+  /// Starts/stops a background thread advancing the epoch periodically
+  /// (real-thread runtime only).
+  void StartTicker(uint64_t interval_ms);
+  void StopTicker();
+
+  /// Frees every retired row regardless of epochs. Only safe when no
+  /// transactions are running (shutdown / tests).
+  void DrainAll();
+
+  size_t retired_count() const;
+
+ private:
+  uint64_t MinActiveEpoch() const;
+  void CollectLocked(uint64_t min_active);
+
+  std::atomic<uint64_t> global_epoch_{1};
+
+  mutable std::mutex slots_mu_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> slots_;
+
+  mutable std::mutex retire_mu_;
+  std::deque<std::pair<uint64_t, const Row*>> retired_;
+
+  std::thread ticker_;
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;
+  bool ticker_running_ = false;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_TXN_EPOCH_H_

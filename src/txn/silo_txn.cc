@@ -1,0 +1,489 @@
+#include "src/txn/silo_txn.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/util/logging.h"
+
+namespace reactdb {
+
+uint64_t TidSource::NextCommitTid(uint64_t observed_max, uint64_t epoch) {
+  uint64_t candidate = std::max(last_tid_, observed_max) + 1;
+  if (TidWord::Epoch(candidate) < epoch) {
+    candidate = TidWord::Make(epoch, 0);
+  }
+  last_tid_ = candidate;
+  return candidate;
+}
+
+SiloTxn::SiloTxn(EpochManager* epochs) : epochs_(epochs) {}
+
+SiloTxn::~SiloTxn() {
+  if (!finished_) Abort();
+}
+
+void SiloTxn::TrackRead(Record* rec, uint64_t tid, uint32_t container) {
+  auto [it, inserted] = read_index_.emplace(rec, read_set_.size());
+  if (!inserted) return;  // keep first observation
+  read_set_.push_back({rec, tid, container});
+}
+
+void SiloTxn::TrackNode(BTree::LeafNode* leaf, uint64_t version,
+                        uint32_t container) {
+  auto [it, inserted] = node_index_.emplace(leaf, node_set_.size());
+  if (!inserted) return;
+  node_set_.push_back({leaf, version, container});
+}
+
+void SiloTxn::FixupNodeAfterOwnInsert(BTree::LeafNode* leaf, uint64_t before,
+                                      uint64_t after) {
+  auto it = node_index_.find(leaf);
+  if (it == node_index_.end()) return;
+  NodeEntry& entry = node_set_[it->second];
+  // Only absorb our own bump; a foreign change in between must still fail
+  // validation.
+  if (entry.version == before) entry.version = after;
+}
+
+size_t SiloTxn::Buffer(Record* rec, Row new_row, WriteKind kind,
+                       uint32_t container) {
+  auto it = write_index_.find(rec);
+  if (it != write_index_.end()) {
+    WriteEntry& entry = write_set_[it->second];
+    // An update over a pending insert must still install as an insert
+    // (clear the absent bit); a delete always installs as a delete.
+    if (kind == WriteKind::kUpdate && entry.kind == WriteKind::kInsert) {
+      entry.new_row = std::move(new_row);
+    } else if (kind == WriteKind::kInsert &&
+               entry.kind == WriteKind::kDelete) {
+      // delete-then-insert in one transaction = replace
+      entry.kind = WriteKind::kUpdate;
+      entry.new_row = std::move(new_row);
+    } else {
+      entry.kind = kind;
+      entry.new_row = std::move(new_row);
+    }
+    return it->second;
+  }
+  write_set_.push_back({rec, std::move(new_row), kind, container});
+  write_index_.emplace(rec, write_set_.size() - 1);
+  return write_set_.size() - 1;
+}
+
+SiloTxn::WriteEntry* SiloTxn::PendingWrite(Record* rec) {
+  auto it = write_index_.find(rec);
+  return it == write_index_.end() ? nullptr : &write_set_[it->second];
+}
+
+StatusOr<Row> SiloTxn::Get(Table* table, const Row& key, uint32_t container) {
+  containers_.insert(container);
+  stats_.point_reads++;
+  BTree::LookupResult lookup = table->primary().Get(EncodeKey(key));
+  if (lookup.record == nullptr) {
+    TrackNode(lookup.leaf, lookup.leaf_version, container);
+    return Status::NotFound("no row " + RowToString(key) + " in " +
+                            table->name());
+  }
+  if (WriteEntry* pending = PendingWrite(lookup.record)) {
+    if (pending->kind == WriteKind::kDelete) {
+      return Status::NotFound("row deleted in this txn");
+    }
+    return pending->new_row;
+  }
+  RecordSnapshot snap = ReadRecord(*lookup.record);
+  TrackRead(lookup.record, snap.tid, container);
+  if (snap.row == nullptr) {
+    return Status::NotFound("no row " + RowToString(key) + " in " +
+                            table->name());
+  }
+  return *snap.row;
+}
+
+Status SiloTxn::InsertEntry(BTree* tree, const std::string& key,
+                            Row stored_row, uint32_t container) {
+  BTree::InsertResult result = tree->GetOrInsert(key);
+  if (result.created) {
+    TrackRead(result.record,
+              result.record->tid.load(std::memory_order_acquire), container);
+    FixupNodeAfterOwnInsert(result.leaf, result.version_before,
+                            result.version_after);
+  } else {
+    if (WriteEntry* pending = PendingWrite(result.record)) {
+      if (pending->kind != WriteKind::kDelete) {
+        return Status::AlreadyExists("duplicate key in txn");
+      }
+    } else {
+      RecordSnapshot snap = ReadRecord(*result.record);
+      TrackRead(result.record, snap.tid, container);
+      if (snap.row != nullptr) {
+        return Status::AlreadyExists("duplicate key");
+      }
+    }
+  }
+  Buffer(result.record, std::move(stored_row), WriteKind::kInsert, container);
+  return Status::OK();
+}
+
+Status SiloTxn::Insert(Table* table, const Row& row, uint32_t container) {
+  containers_.insert(container);
+  REACTDB_RETURN_IF_ERROR(table->schema().ValidateRow(row));
+  Row pk = table->schema().ExtractKey(row);
+  REACTDB_RETURN_IF_ERROR(
+      InsertEntry(&table->primary(), EncodeKey(pk), row, container));
+  for (size_t i = 0; i < table->num_secondary_indexes(); ++i) {
+    REACTDB_RETURN_IF_ERROR(InsertEntry(
+        &table->secondary(i), table->EncodeSecondaryEntry(i, row), pk,
+        container));
+  }
+  stats_.writes += 1 + table->num_secondary_indexes();
+  stats_.inserts++;
+  return Status::OK();
+}
+
+Status SiloTxn::Update(Table* table, const Row& key, Row new_row,
+                       uint32_t container) {
+  containers_.insert(container);
+  REACTDB_RETURN_IF_ERROR(table->schema().ValidateRow(new_row));
+  Row new_pk = table->schema().ExtractKey(new_row);
+  if (CompareRows(new_pk, key) != 0) {
+    return Status::InvalidArgument("update may not change the primary key");
+  }
+  REACTDB_ASSIGN_OR_RETURN(Row old_row, Get(table, key, container));
+  BTree::LookupResult lookup = table->primary().Get(EncodeKey(key));
+  REACTDB_CHECK(lookup.record != nullptr);
+  Buffer(lookup.record, std::move(new_row), WriteKind::kUpdate, container);
+  // Copy: write_set_ may reallocate while buffering index-entry writes.
+  Row buffered = write_set_[write_index_[lookup.record]].new_row;
+  // Secondary maintenance: move entries whose indexed columns changed.
+  for (size_t i = 0; i < table->num_secondary_indexes(); ++i) {
+    std::string old_entry = table->EncodeSecondaryEntry(i, old_row);
+    std::string new_entry = table->EncodeSecondaryEntry(i, buffered);
+    if (old_entry == new_entry) continue;
+    BTree::LookupResult old_lookup = table->secondary(i).Get(old_entry);
+    if (old_lookup.record != nullptr) {
+      Buffer(old_lookup.record, {}, WriteKind::kDelete, container);
+    }
+    REACTDB_RETURN_IF_ERROR(InsertEntry(&table->secondary(i), new_entry,
+                                        table->schema().ExtractKey(buffered),
+                                        container));
+  }
+  stats_.writes++;
+  return Status::OK();
+}
+
+Status SiloTxn::Delete(Table* table, const Row& key, uint32_t container) {
+  containers_.insert(container);
+  REACTDB_ASSIGN_OR_RETURN(Row old_row, Get(table, key, container));
+  BTree::LookupResult lookup = table->primary().Get(EncodeKey(key));
+  REACTDB_CHECK(lookup.record != nullptr);
+  Buffer(lookup.record, {}, WriteKind::kDelete, container);
+  for (size_t i = 0; i < table->num_secondary_indexes(); ++i) {
+    std::string entry = table->EncodeSecondaryEntry(i, old_row);
+    BTree::LookupResult entry_lookup = table->secondary(i).Get(entry);
+    if (entry_lookup.record != nullptr) {
+      Buffer(entry_lookup.record, {}, WriteKind::kDelete, container);
+    }
+  }
+  stats_.writes++;
+  return Status::OK();
+}
+
+Status SiloTxn::ScanInternal(Table* table, const std::string& lo,
+                             const std::string& hi, bool reverse,
+                             int64_t limit,
+                             const std::function<bool(const Row&)>& cb,
+                             uint32_t container) {
+  containers_.insert(container);
+  // Candidates are materialized under the tree latch in chunks, and
+  // visibility + callbacks run outside the latch between chunks, so that
+  // limited scans over large relations do not materialize the whole range.
+  constexpr size_t kChunk = 1024;
+  std::string cursor_lo = lo;
+  std::string cursor_hi = hi;
+  int64_t delivered = 0;
+  bool stopped = false;
+  while (!stopped) {
+    std::vector<Record*> candidates;
+    candidates.reserve(kChunk);
+    bool more = false;
+    std::string resume_key;
+    auto collect = [&](const std::string& key, Record* rec) {
+      if (candidates.size() == kChunk) {
+        more = true;
+        resume_key = key;  // first key of the next chunk
+        return false;
+      }
+      candidates.push_back(rec);
+      return true;
+    };
+    auto nodes = [this, container](BTree::LeafNode* leaf, uint64_t version) {
+      TrackNode(leaf, version, container);
+      stats_.scanned_leaves++;
+    };
+    if (reverse) {
+      table->primary().ReverseScan(cursor_lo, cursor_hi, collect, nodes);
+    } else {
+      table->primary().Scan(cursor_lo, cursor_hi, collect, nodes);
+    }
+    for (Record* rec : candidates) {
+      if (limit >= 0 && delivered >= limit) {
+        stopped = true;
+        break;
+      }
+      const Row* row = nullptr;
+      if (WriteEntry* pending = PendingWrite(rec)) {
+        if (pending->kind == WriteKind::kDelete) continue;
+        row = &pending->new_row;
+      } else {
+        RecordSnapshot snap = ReadRecord(*rec);
+        TrackRead(rec, snap.tid, container);
+        if (snap.row == nullptr) continue;  // tombstone (tracked above)
+        row = snap.row;
+      }
+      stats_.scanned_rows++;
+      ++delivered;
+      if (!cb(*row)) {
+        stopped = true;
+        break;
+      }
+    }
+    if (!more) break;
+    if (reverse) {
+      // Resume strictly below the already-visited range: make the next
+      // upper bound include resume_key itself.
+      cursor_hi = resume_key + '\x00';
+    } else {
+      cursor_lo = resume_key;
+    }
+  }
+  return Status::OK();
+}
+
+Status SiloTxn::Scan(Table* table, const Row& lo, const Row& hi, int64_t limit,
+                     const std::function<bool(const Row&)>& cb,
+                     uint32_t container) {
+  return ScanInternal(table, EncodeKey(lo), hi.empty() ? "" : EncodeKey(hi),
+                      /*reverse=*/false, limit, cb, container);
+}
+
+Status SiloTxn::ReverseScan(Table* table, const Row& lo, const Row& hi,
+                            int64_t limit,
+                            const std::function<bool(const Row&)>& cb,
+                            uint32_t container) {
+  return ScanInternal(table, EncodeKey(lo), hi.empty() ? "" : EncodeKey(hi),
+                      /*reverse=*/true, limit, cb, container);
+}
+
+Status SiloTxn::ScanPrefix(Table* table, const Row& prefix, int64_t limit,
+                           const std::function<bool(const Row&)>& cb,
+                           uint32_t container) {
+  std::string lo = EncodeKey(prefix);
+  return ScanInternal(table, lo, PrefixSuccessor(lo), /*reverse=*/false, limit,
+                      cb, container);
+}
+
+Status SiloTxn::ReverseScanPrefix(Table* table, const Row& prefix,
+                                  int64_t limit,
+                                  const std::function<bool(const Row&)>& cb,
+                                  uint32_t container) {
+  std::string lo = EncodeKey(prefix);
+  return ScanInternal(table, lo, PrefixSuccessor(lo), /*reverse=*/true, limit,
+                      cb, container);
+}
+
+namespace {
+
+// Shared by forward/reverse secondary scans: resolves entry rows (primary
+// keys) to primary rows.
+struct SecondaryResolver {
+  SiloTxn* txn;
+  Table* table;
+  uint32_t container;
+  const std::function<bool(const Row&)>* cb;
+  Status status = Status::OK();
+
+  bool operator()(const Row& pk) {
+    StatusOr<Row> row = txn->Get(table, pk, container);
+    if (!row.ok()) {
+      // Entry without a live primary row: with transactional entry
+      // maintenance this indicates a concurrent change; OCC validation will
+      // sort it out, skip here.
+      return true;
+    }
+    return (*cb)(row.value());
+  }
+};
+
+}  // namespace
+
+Status SiloTxn::ScanSecondary(Table* table, size_t index_pos,
+                              const Row& index_key, int64_t limit,
+                              const std::function<bool(const Row&)>& cb,
+                              uint32_t container) {
+  containers_.insert(container);
+  std::vector<Record*> candidates;
+  std::string lo = table->EncodeSecondaryPrefix(index_pos, index_key);
+  std::string hi = PrefixSuccessor(lo);
+  auto collect = [&candidates](const std::string&, Record* rec) {
+    candidates.push_back(rec);
+    return true;
+  };
+  auto nodes = [this, container](BTree::LeafNode* leaf, uint64_t version) {
+    TrackNode(leaf, version, container);
+    stats_.scanned_leaves++;
+  };
+  table->secondary(index_pos).Scan(lo, hi, collect, nodes);
+  int64_t delivered = 0;
+  for (Record* rec : candidates) {
+    if (limit >= 0 && delivered >= limit) break;
+    const Row* entry_row = nullptr;
+    if (WriteEntry* pending = PendingWrite(rec)) {
+      if (pending->kind == WriteKind::kDelete) continue;
+      entry_row = &pending->new_row;
+    } else {
+      RecordSnapshot snap = ReadRecord(*rec);
+      TrackRead(rec, snap.tid, container);
+      if (snap.row == nullptr) continue;
+      entry_row = snap.row;
+    }
+    Row pk = *entry_row;  // copy: Get below may grow the write set
+    StatusOr<Row> primary_row = Get(table, pk, container);
+    if (!primary_row.ok()) continue;
+    stats_.scanned_rows++;
+    ++delivered;
+    if (!cb(primary_row.value())) break;
+  }
+  return Status::OK();
+}
+
+Status SiloTxn::ReverseScanSecondary(Table* table, size_t index_pos,
+                                     const Row& index_key, int64_t limit,
+                                     const std::function<bool(const Row&)>& cb,
+                                     uint32_t container) {
+  containers_.insert(container);
+  std::vector<Record*> candidates;
+  std::string lo = table->EncodeSecondaryPrefix(index_pos, index_key);
+  std::string hi = PrefixSuccessor(lo);
+  auto collect = [&candidates](const std::string&, Record* rec) {
+    candidates.push_back(rec);
+    return true;
+  };
+  auto nodes = [this, container](BTree::LeafNode* leaf, uint64_t version) {
+    TrackNode(leaf, version, container);
+    stats_.scanned_leaves++;
+  };
+  table->secondary(index_pos).ReverseScan(lo, hi, collect, nodes);
+  int64_t delivered = 0;
+  for (Record* rec : candidates) {
+    if (limit >= 0 && delivered >= limit) break;
+    const Row* entry_row = nullptr;
+    if (WriteEntry* pending = PendingWrite(rec)) {
+      if (pending->kind == WriteKind::kDelete) continue;
+      entry_row = &pending->new_row;
+    } else {
+      RecordSnapshot snap = ReadRecord(*rec);
+      TrackRead(rec, snap.tid, container);
+      if (snap.row == nullptr) continue;
+      entry_row = snap.row;
+    }
+    Row pk = *entry_row;
+    StatusOr<Row> primary_row = Get(table, pk, container);
+    if (!primary_row.ok()) continue;
+    stats_.scanned_rows++;
+    ++delivered;
+    if (!cb(primary_row.value())) break;
+  }
+  return Status::OK();
+}
+
+void SiloTxn::ReleaseLocks(size_t locked_prefix) {
+  // write_set_ is iterated in the same sorted order used for locking; only
+  // the first `locked_prefix` entries hold locks.
+  for (size_t i = 0; i < locked_prefix; ++i) {
+    UnlockTid(&write_set_[sorted_writes_[i]].rec->tid);
+  }
+}
+
+StatusOr<uint64_t> SiloTxn::Commit(TidSource* tids) {
+  REACTDB_CHECK(!finished_);
+  // Phase 1 (per-container prepare): lock the write set in a global
+  // (container, record pointer) order, then validate reads and node sets.
+  sorted_writes_.resize(write_set_.size());
+  for (size_t i = 0; i < write_set_.size(); ++i) sorted_writes_[i] = i;
+  std::sort(sorted_writes_.begin(), sorted_writes_.end(),
+            [this](size_t a, size_t b) {
+              const WriteEntry& wa = write_set_[a];
+              const WriteEntry& wb = write_set_[b];
+              if (wa.container != wb.container) {
+                return wa.container < wb.container;
+              }
+              return wa.rec < wb.rec;
+            });
+  for (size_t i = 0; i < sorted_writes_.size(); ++i) {
+    LockTid(&write_set_[sorted_writes_[i]].rec->tid);
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  uint64_t epoch = epochs_->current();
+
+  uint64_t observed_max = 0;
+  for (const ReadEntry& entry : read_set_) {
+    uint64_t cur = entry.rec->tid.load(std::memory_order_acquire);
+    bool own_lock = write_index_.count(entry.rec) > 0;
+    if (TidWord::IsLocked(cur) && !own_lock) {
+      ReleaseLocks(sorted_writes_.size());
+      Abort();
+      return Status::Aborted("read-set record locked by another transaction");
+    }
+    if (TidWord::Tid(cur) != TidWord::Tid(entry.tid)) {
+      ReleaseLocks(sorted_writes_.size());
+      Abort();
+      return Status::Aborted("read-set validation failed");
+    }
+    observed_max = std::max(observed_max, TidWord::Tid(cur));
+  }
+  for (const NodeEntry& entry : node_set_) {
+    if (BTree::LeafVersion(entry.leaf) != entry.version) {
+      ReleaseLocks(sorted_writes_.size());
+      Abort();
+      return Status::Aborted("node-set validation failed (phantom)");
+    }
+  }
+  for (const WriteEntry& entry : write_set_) {
+    observed_max = std::max(
+        observed_max,
+        TidWord::Tid(entry.rec->tid.load(std::memory_order_relaxed)));
+  }
+
+  // Phase 2: commit point — TID generation and write install. The final
+  // TID store both publishes the version and releases the record lock.
+  uint64_t commit_tid = tids->NextCommitTid(observed_max, epoch);
+  for (const WriteEntry& entry : write_set_) {
+    const Row* old_row = entry.rec->data.load(std::memory_order_relaxed);
+    if (entry.kind == WriteKind::kDelete) {
+      entry.rec->data.store(nullptr, std::memory_order_release);
+      entry.rec->tid.store(TidWord::WithAbsent(commit_tid),
+                           std::memory_order_release);
+    } else {
+      entry.rec->data.store(new Row(entry.new_row),
+                            std::memory_order_release);
+      entry.rec->tid.store(commit_tid, std::memory_order_release);
+    }
+    epochs_->Retire(old_row);
+  }
+  finished_ = true;
+  return commit_tid;
+}
+
+void SiloTxn::Abort() {
+  // Buffered writes were never installed; eagerly inserted index records
+  // remain absent tombstones, which is correct (they were never visible).
+  read_set_.clear();
+  write_set_.clear();
+  node_set_.clear();
+  read_index_.clear();
+  write_index_.clear();
+  node_index_.clear();
+  finished_ = true;
+}
+
+}  // namespace reactdb

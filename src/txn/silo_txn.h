@@ -1,0 +1,196 @@
+// Silo-style optimistic transaction.
+//
+// One SiloTxn instance represents a root transaction together with all of
+// its (possibly cross-container) sub-transactions: sub-transactions share
+// the root's read/write/node sets (paper Section 3.2.2 — the coordinator
+// commits across every touched container). Data operations are optimistic
+// reads / buffered writes; Commit() runs the Silo protocol, structured as a
+// two-phase commit whose prepare phase is per-container validation:
+//
+//   prepare(c): lock write set of c (global pointer order), validate read
+//               set and node set entries of c
+//   commit:     compute TID, install writes, release locks
+//   abort:      release locks, leave eager inserts as absent tombstones
+//
+// Secondary indexes are maintained transactionally: entry records are
+// ordinary records whose row holds the primary key, inserted/deleted in the
+// same transaction as the primary mutation.
+
+#ifndef REACTDB_TXN_SILO_TXN_H_
+#define REACTDB_TXN_SILO_TXN_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/table.h"
+#include "src/txn/epoch.h"
+#include "src/util/statusor.h"
+
+namespace reactdb {
+
+/// Per-executor commit-TID source (Silo: executor-local last TID).
+class TidSource {
+ public:
+  /// Returns a TID strictly greater than `observed_max` and than every TID
+  /// previously returned by this source, within epoch `epoch`.
+  uint64_t NextCommitTid(uint64_t observed_max, uint64_t epoch);
+
+ private:
+  uint64_t last_tid_ = 0;
+};
+
+/// Operation statistics (drive the simulated-time cost accounting and the
+/// cost-model calibration).
+struct TxnOpStats {
+  uint64_t point_reads = 0;
+  uint64_t scanned_rows = 0;
+  uint64_t scanned_leaves = 0;
+  uint64_t writes = 0;    // update/insert/delete buffered
+  uint64_t inserts = 0;   // subset of writes that created index entries
+};
+
+class SiloTxn {
+ public:
+  /// `epochs` must outlive the transaction. The TidSource belongs to the
+  /// committing executor.
+  explicit SiloTxn(EpochManager* epochs);
+  ~SiloTxn();
+
+  SiloTxn(const SiloTxn&) = delete;
+  SiloTxn& operator=(const SiloTxn&) = delete;
+
+  // --- Data operations -----------------------------------------------------
+
+  /// Point read by primary key. NotFound if absent (the miss is tracked for
+  /// phantom protection).
+  StatusOr<Row> Get(Table* table, const Row& key, uint32_t container);
+
+  /// Inserts a full row. AlreadyExists if a live row with the key exists.
+  Status Insert(Table* table, const Row& row, uint32_t container);
+
+  /// Replaces the row with primary key `key` (must exist).
+  Status Update(Table* table, const Row& key, Row new_row, uint32_t container);
+
+  /// Deletes the row with primary key `key` (must exist).
+  Status Delete(Table* table, const Row& key, uint32_t container);
+
+  /// Forward scan of [lo, hi) by primary key; empty `hi` = unbounded.
+  /// `limit` < 0 means no limit. The callback receives the full row.
+  Status Scan(Table* table, const Row& lo, const Row& hi, int64_t limit,
+              const std::function<bool(const Row&)>& cb, uint32_t container);
+
+  /// Reverse scan of [lo, hi) in descending key order.
+  Status ReverseScan(Table* table, const Row& lo, const Row& hi, int64_t limit,
+                     const std::function<bool(const Row&)>& cb,
+                     uint32_t container);
+
+  /// Forward scan of every key having `prefix` as a leading key-column
+  /// prefix (e.g. all orders of one district).
+  Status ScanPrefix(Table* table, const Row& prefix, int64_t limit,
+                    const std::function<bool(const Row&)>& cb,
+                    uint32_t container);
+
+  /// Reverse-order prefix scan (descending key order).
+  Status ReverseScanPrefix(Table* table, const Row& prefix, int64_t limit,
+                           const std::function<bool(const Row&)>& cb,
+                           uint32_t container);
+
+  /// Scan of a secondary index by exact match on the indexed columns.
+  /// Callback receives the full primary row.
+  Status ScanSecondary(Table* table, size_t index_pos, const Row& index_key,
+                       int64_t limit, const std::function<bool(const Row&)>& cb,
+                       uint32_t container);
+
+  /// Descending-order variant of ScanSecondary (e.g. "most recent order of
+  /// a customer" in TPC-C order-status).
+  Status ReverseScanSecondary(Table* table, size_t index_pos,
+                              const Row& index_key, int64_t limit,
+                              const std::function<bool(const Row&)>& cb,
+                              uint32_t container);
+
+  // --- Commitment ----------------------------------------------------------
+
+  /// Runs validation + install. On success returns the commit TID; on
+  /// conflict returns kAborted and the transaction is fully rolled back.
+  StatusOr<uint64_t> Commit(TidSource* tids);
+
+  /// Rolls back all buffered writes (releases nothing durable; eager
+  /// inserts remain as absent tombstones).
+  void Abort();
+
+  /// Containers touched by any operation (drives 2PC cost accounting and
+  /// the distinction single- vs multi-container commit).
+  const std::set<uint32_t>& containers_touched() const { return containers_; }
+
+  const TxnOpStats& stats() const { return stats_; }
+
+  size_t read_set_size() const { return read_set_.size(); }
+  size_t write_set_size() const { return write_set_.size(); }
+  size_t node_set_size() const { return node_set_.size(); }
+
+ private:
+  enum class WriteKind : uint8_t { kUpdate, kInsert, kDelete };
+
+  struct ReadEntry {
+    Record* rec;
+    uint64_t tid;  // stable word observed (includes absent bit)
+    uint32_t container;
+  };
+  struct WriteEntry {
+    Record* rec;
+    Row new_row;
+    WriteKind kind;
+    uint32_t container;
+  };
+  struct NodeEntry {
+    BTree::LeafNode* leaf;
+    uint64_t version;
+    uint32_t container;
+  };
+
+  /// Tracks a read; dedupes by record.
+  void TrackRead(Record* rec, uint64_t tid, uint32_t container);
+  /// Tracks a node-set entry; dedupes by leaf.
+  void TrackNode(BTree::LeafNode* leaf, uint64_t version, uint32_t container);
+  /// Adjusts the node set after an own insert bumped `leaf`.
+  void FixupNodeAfterOwnInsert(BTree::LeafNode* leaf, uint64_t before,
+                               uint64_t after);
+  /// Adds or overwrites a write-set entry; returns its index.
+  size_t Buffer(Record* rec, Row new_row, WriteKind kind, uint32_t container);
+  /// Pending write for a record, or nullptr.
+  WriteEntry* PendingWrite(Record* rec);
+
+  /// Inserts one index entry record (primary or secondary tree).
+  Status InsertEntry(BTree* tree, const std::string& key, Row stored_row,
+                     uint32_t container);
+  /// Reads through the write set, then the record. Sets *found=false for
+  /// absent. Returns the visible row (pending or committed).
+  const Row* VisibleRow(Record* rec, uint64_t* observed_tid, bool* from_self);
+
+  Status ScanInternal(Table* table, const std::string& lo,
+                      const std::string& hi, bool reverse, int64_t limit,
+                      const std::function<bool(const Row&)>& cb,
+                      uint32_t container);
+
+  void ReleaseLocks(size_t locked_prefix);
+
+  EpochManager* epochs_;
+  std::vector<ReadEntry> read_set_;
+  std::vector<WriteEntry> write_set_;
+  std::vector<NodeEntry> node_set_;
+  std::unordered_map<Record*, size_t> write_index_;
+  std::unordered_map<Record*, size_t> read_index_;
+  std::unordered_map<BTree::LeafNode*, size_t> node_index_;
+  std::set<uint32_t> containers_;
+  std::vector<size_t> sorted_writes_;  // lock order over write_set_ indices
+  TxnOpStats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_TXN_SILO_TXN_H_

@@ -1,0 +1,104 @@
+#include "src/util/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace reactdb {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+StatusOr<Config> Config::Parse(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string t = Trim(line);
+    if (t.empty() || t[0] == '#' || t[0] == ';') continue;
+    if (t.front() == '[') {
+      if (t.back() != ']') {
+        return Status::InvalidArgument("config line " + std::to_string(lineno) +
+                                       ": unterminated section");
+      }
+      section = Trim(t.substr(1, t.size() - 2));
+      continue;
+    }
+    size_t eq = t.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("config line " + std::to_string(lineno) +
+                                     ": expected key=value");
+    }
+    config.Set(section, Trim(t.substr(0, eq)), Trim(t.substr(eq + 1)));
+  }
+  return config;
+}
+
+StatusOr<Config> Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+void Config::Set(const std::string& section, const std::string& key,
+                 const std::string& value) {
+  sections_[section][key] = value;
+}
+
+bool Config::Has(const std::string& section, const std::string& key) const {
+  auto sit = sections_.find(section);
+  if (sit == sections_.end()) return false;
+  return sit->second.count(key) > 0;
+}
+
+std::string Config::GetString(const std::string& section,
+                              const std::string& key,
+                              const std::string& def) const {
+  auto sit = sections_.find(section);
+  if (sit == sections_.end()) return def;
+  auto kit = sit->second.find(key);
+  return kit == sit->second.end() ? def : kit->second;
+}
+
+int64_t Config::GetInt(const std::string& section, const std::string& key,
+                       int64_t def) const {
+  if (!Has(section, key)) return def;
+  return std::strtoll(GetString(section, key).c_str(), nullptr, 10);
+}
+
+double Config::GetDouble(const std::string& section, const std::string& key,
+                         double def) const {
+  if (!Has(section, key)) return def;
+  return std::strtod(GetString(section, key).c_str(), nullptr);
+}
+
+bool Config::GetBool(const std::string& section, const std::string& key,
+                     bool def) const {
+  if (!Has(section, key)) return def;
+  std::string v = GetString(section, key);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string Config::ToString() const {
+  std::ostringstream os;
+  for (const auto& [section, kv] : sections_) {
+    os << "[" << section << "]\n";
+    for (const auto& [k, v] : kv) os << k << " = " << v << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace reactdb

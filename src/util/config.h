@@ -1,0 +1,57 @@
+// Minimal INI-style configuration parser.
+//
+// ReactDB deployments are described by configuration (paper Section 3.3):
+// infrastructure engineers change database architecture by editing a config
+// file, never application code. The format is sectioned key=value:
+//
+//   [database]
+//   deployment = shared-nothing
+//   containers = 4
+//   [executor]
+//   mpl = 4
+//
+// Lines starting with '#' or ';' are comments.
+
+#ifndef REACTDB_UTIL_CONFIG_H_
+#define REACTDB_UTIL_CONFIG_H_
+
+#include <map>
+#include <string>
+
+#include "src/util/statusor.h"
+
+namespace reactdb {
+
+/// Parsed configuration: section -> key -> value, with typed accessors.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses INI-style text.
+  static StatusOr<Config> Parse(const std::string& text);
+  /// Reads and parses a file.
+  static StatusOr<Config> FromFile(const std::string& path);
+
+  void Set(const std::string& section, const std::string& key,
+           const std::string& value);
+
+  bool Has(const std::string& section, const std::string& key) const;
+
+  std::string GetString(const std::string& section, const std::string& key,
+                        const std::string& def = "") const;
+  int64_t GetInt(const std::string& section, const std::string& key,
+                 int64_t def = 0) const;
+  double GetDouble(const std::string& section, const std::string& key,
+                   double def = 0) const;
+  bool GetBool(const std::string& section, const std::string& key,
+               bool def = false) const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_UTIL_CONFIG_H_

@@ -1,0 +1,124 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace reactdb {
+
+Histogram::Histogram()
+    : count_(0), sum_(0), min_(0), max_(0), buckets_(kNumBuckets, 0) {}
+
+const std::vector<double>& Histogram::Bounds() {
+  static const std::vector<double>* bounds = [] {
+    auto* b = new std::vector<double>(kNumBuckets);
+    double v = 0.1;  // 0.1 us lower range
+    for (int i = 0; i < kNumBuckets; ++i) {
+      (*b)[i] = v;
+      v *= 1.12;  // ~12% geometric buckets span 0.1us .. ~6e10us
+    }
+    return b;
+  }();
+  return *bounds;
+}
+
+void Histogram::Add(double value_us) {
+  const auto& bounds = Bounds();
+  auto it = std::upper_bound(bounds.begin(), bounds.end(), value_us);
+  size_t idx = static_cast<size_t>(it - bounds.begin());
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  buckets_[idx]++;
+  if (count_ == 0 || value_us < min_) min_ = value_us;
+  if (count_ == 0 || value_us > max_) max_ = value_us;
+  count_++;
+  sum_ += value_us;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  const auto& bounds = Bounds();
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    double next = static_cast<double>(seen + buckets_[i]);
+    if (next >= target) {
+      double lo = i == 0 ? 0 : bounds[i - 1];
+      double hi = bounds[i];
+      double frac = buckets_[i] == 0
+                        ? 0
+                        : (target - static_cast<double>(seen)) /
+                              static_cast<double>(buckets_[i]);
+      double v = lo + (hi - lo) * frac;
+      return std::clamp(v, min_, max_);
+    }
+    seen += buckets_[i];
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << "us p50=" << Median()
+     << "us p99=" << Percentile(0.99) << "us max=" << max_ << "us";
+  return os.str();
+}
+
+void EpochStats::AddEpoch(uint64_t committed, uint64_t aborted,
+                          double duration_us, double latency_sum_us) {
+  total_committed_ += committed;
+  total_aborted_ += aborted;
+  if (duration_us > 0) {
+    epoch_tps_.push_back(static_cast<double>(committed) * 1e6 / duration_us);
+  }
+  if (committed > 0) {
+    epoch_lat_us_.push_back(latency_sum_us / static_cast<double>(committed));
+  }
+}
+
+double EpochStats::AbortRate() const {
+  uint64_t total = total_committed_ + total_aborted_;
+  return total == 0 ? 0
+                    : static_cast<double>(total_aborted_) /
+                          static_cast<double>(total);
+}
+
+double EpochStats::Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double EpochStats::StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0;
+  double m = Mean(v);
+  double s = 0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace reactdb

@@ -1,0 +1,83 @@
+// Latency histograms and epoch-based measurement.
+//
+// The paper's methodology (Section 4.1.2, following OLTP-Bench) measures
+// average latency/throughput across 50 epochs and reports the standard
+// deviation as error bars. EpochStats implements that aggregation;
+// Histogram provides percentile summaries for deeper analysis.
+
+#ifndef REACTDB_UTIL_HISTOGRAM_H_
+#define REACTDB_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reactdb {
+
+/// Log-bucketed latency histogram over microsecond samples.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  /// Approximate percentile (q in [0,1]) by linear interpolation within the
+  /// containing bucket.
+  double Percentile(double q) const;
+  double Median() const { return Percentile(0.5); }
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 256;
+  // Bucket i covers [bounds_[i-1], bounds_[i]).
+  static const std::vector<double>& Bounds();
+
+  uint64_t count_;
+  double sum_;
+  double min_;
+  double max_;
+  std::vector<uint64_t> buckets_;
+};
+
+/// Per-epoch aggregation of throughput and latency (mean across epochs with
+/// standard deviation, mirroring the paper's error bars).
+class EpochStats {
+ public:
+  /// Records one epoch: number of committed transactions, number of aborts,
+  /// epoch duration in microseconds, and the sum of transaction latencies in
+  /// microseconds.
+  void AddEpoch(uint64_t committed, uint64_t aborted, double duration_us,
+                double latency_sum_us);
+
+  size_t num_epochs() const { return epoch_tps_.size(); }
+
+  double MeanThroughputTps() const { return Mean(epoch_tps_); }
+  double StdDevThroughputTps() const { return StdDev(epoch_tps_); }
+  double MeanLatencyUs() const { return Mean(epoch_lat_us_); }
+  double StdDevLatencyUs() const { return StdDev(epoch_lat_us_); }
+  /// Aborts / (commits + aborts) over the whole run.
+  double AbortRate() const;
+  uint64_t total_committed() const { return total_committed_; }
+  uint64_t total_aborted() const { return total_aborted_; }
+
+ private:
+  static double Mean(const std::vector<double>& v);
+  static double StdDev(const std::vector<double>& v);
+
+  std::vector<double> epoch_tps_;
+  std::vector<double> epoch_lat_us_;
+  uint64_t total_committed_ = 0;
+  uint64_t total_aborted_ = 0;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_UTIL_HISTOGRAM_H_

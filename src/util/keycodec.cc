@@ -1,0 +1,181 @@
+#include "src/util/keycodec.h"
+
+#include <cstring>
+
+namespace reactdb {
+
+namespace {
+
+// Type tags. Numeric types share one tag so that INT64 and DOUBLE order
+// consistently with Value::Compare.
+constexpr char kTagNull = 0x01;
+constexpr char kTagBool = 0x02;
+constexpr char kTagNumeric = 0x03;
+constexpr char kTagString = 0x04;
+
+void AppendBigEndian64(uint64_t bits, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((bits >> shift) & 0xFF));
+  }
+}
+
+uint64_t ReadBigEndian64(const std::string& data, size_t pos) {
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits = (bits << 8) | static_cast<uint8_t>(data[pos + i]);
+  }
+  return bits;
+}
+
+// Maps a double to a uint64 whose unsigned order equals the double's order.
+uint64_t DoubleToOrderedBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  if (bits & (1ULL << 63)) {
+    return ~bits;  // negative: flip all bits
+  }
+  return bits | (1ULL << 63);  // positive: flip sign bit
+}
+
+double OrderedBitsToDouble(uint64_t bits) {
+  if (bits & (1ULL << 63)) {
+    bits &= ~(1ULL << 63);
+  } else {
+    bits = ~bits;
+  }
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+void EncodeValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out->push_back(kTagNull);
+      return;
+    case ValueType::kBool:
+      out->push_back(kTagBool);
+      out->push_back(v.AsBool() ? 1 : 0);
+      return;
+    case ValueType::kInt64: {
+      out->push_back(kTagNumeric);
+      // Sub-tag 'i' after ordered bits is not possible (would break order);
+      // instead encode int64 exactly via two fields: ordered double bits of
+      // its value followed by a 64-bit residual for integers beyond 2^53.
+      double approx = static_cast<double>(v.AsInt64());
+      AppendBigEndian64(DoubleToOrderedBits(approx), out);
+      // Residual: difference between the exact int and the rounded double,
+      // biased to preserve order among ints mapping to the same double.
+      int64_t residual = v.AsInt64() - static_cast<int64_t>(approx);
+      AppendBigEndian64(static_cast<uint64_t>(residual) + (1ULL << 63), out);
+      out->push_back('i');
+      return;
+    }
+    case ValueType::kDouble: {
+      out->push_back(kTagNumeric);
+      AppendBigEndian64(DoubleToOrderedBits(v.AsDouble()), out);
+      AppendBigEndian64(1ULL << 63, out);  // zero residual
+      out->push_back('d');
+      return;
+    }
+    case ValueType::kString: {
+      out->push_back(kTagString);
+      for (char c : v.AsString()) {
+        out->push_back(c);
+        if (c == '\0') out->push_back('\xFF');
+      }
+      out->push_back('\0');
+      out->push_back('\0');
+      return;
+    }
+  }
+}
+
+std::string EncodeKey(const Row& key) {
+  std::string out;
+  out.reserve(key.size() * 12);
+  for (const Value& v : key) EncodeValue(v, &out);
+  return out;
+}
+
+StatusOr<Value> DecodeValue(const std::string& data, size_t* pos) {
+  if (*pos >= data.size()) {
+    return Status::OutOfRange("key decode past end");
+  }
+  char tag = data[(*pos)++];
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagBool: {
+      if (*pos >= data.size()) return Status::OutOfRange("bool truncated");
+      bool b = data[(*pos)++] != 0;
+      return Value(b);
+    }
+    case kTagNumeric: {
+      if (*pos + 17 > data.size()) {
+        return Status::OutOfRange("numeric truncated");
+      }
+      uint64_t ordered = ReadBigEndian64(data, *pos);
+      *pos += 8;
+      uint64_t residual_bits = ReadBigEndian64(data, *pos);
+      *pos += 8;
+      char sub = data[(*pos)++];
+      double approx = OrderedBitsToDouble(ordered);
+      if (sub == 'i') {
+        int64_t residual =
+            static_cast<int64_t>(residual_bits - (1ULL << 63));
+        return Value(static_cast<int64_t>(approx) + residual);
+      }
+      return Value(approx);
+    }
+    case kTagString: {
+      std::string s;
+      while (true) {
+        if (*pos >= data.size()) {
+          return Status::OutOfRange("string truncated");
+        }
+        char c = data[(*pos)++];
+        if (c == '\0') {
+          if (*pos >= data.size()) {
+            return Status::OutOfRange("string terminator truncated");
+          }
+          char next = data[(*pos)++];
+          if (next == '\0') break;  // terminator
+          // escaped zero
+          s.push_back('\0');
+          continue;
+        }
+        s.push_back(c);
+      }
+      return Value(std::move(s));
+    }
+    default:
+      return Status::InvalidArgument("bad key tag");
+  }
+}
+
+StatusOr<Row> DecodeKey(const std::string& data) {
+  Row row;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    REACTDB_ASSIGN_OR_RETURN(Value v, DecodeValue(data, &pos));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+std::string PrefixSuccessor(const std::string& prefix) {
+  std::string out = prefix;
+  while (!out.empty()) {
+    if (static_cast<uint8_t>(out.back()) != 0xFF) {
+      out.back() = static_cast<char>(static_cast<uint8_t>(out.back()) + 1);
+      return out;
+    }
+    out.pop_back();
+  }
+  return out;  // empty: unbounded
+}
+
+}  // namespace reactdb

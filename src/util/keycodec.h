@@ -1,0 +1,44 @@
+// Order-preserving key encoding.
+//
+// The B+-tree indexes byte strings. Composite relational keys (Rows) are
+// encoded such that memcmp order on the encoding equals CompareRows order on
+// the original rows:
+//   INT64  -> big-endian with the sign bit flipped
+//   DOUBLE -> IEEE-754 bits, sign-normalized, big-endian
+//   STRING -> escaped (0x00 -> 0x00 0xFF) and terminated with 0x00 0x00
+//   BOOL   -> one byte
+//   NULL   -> type tag only
+// Each field is preceded by a one-byte type tag chosen so that cross-type
+// ordering matches Value::Compare for homogeneous schemas (numeric types
+// share a tag and are encoded into a common numeric form).
+
+#ifndef REACTDB_UTIL_KEYCODEC_H_
+#define REACTDB_UTIL_KEYCODEC_H_
+
+#include <string>
+
+#include "src/util/statusor.h"
+#include "src/util/value.h"
+
+namespace reactdb {
+
+/// Appends the order-preserving encoding of `v` to `out`.
+void EncodeValue(const Value& v, std::string* out);
+
+/// Encodes a composite key.
+std::string EncodeKey(const Row& key);
+
+/// Decodes one value from `data` starting at `*pos`, advancing `*pos`.
+StatusOr<Value> DecodeValue(const std::string& data, size_t* pos);
+
+/// Decodes a full composite key (inverse of EncodeKey).
+StatusOr<Row> DecodeKey(const std::string& data);
+
+/// Returns the smallest encoded key strictly greater than every key having
+/// `prefix` as an encoded prefix (for prefix range scans). Empty result
+/// means "no upper bound".
+std::string PrefixSuccessor(const std::string& prefix);
+
+}  // namespace reactdb
+
+#endif  // REACTDB_UTIL_KEYCODEC_H_

@@ -1,0 +1,73 @@
+// Minimal leveled logging and invariant-check macros.
+
+#ifndef REACTDB_UTIL_LOGGING_H_
+#define REACTDB_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace reactdb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class LogMessageVoidify {
+ public:
+  // Lowest-precedence operator that still binds to ostream.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define REACTDB_LOG_ENABLED(level) \
+  (::reactdb::LogLevel::level >= ::reactdb::GetLogLevel())
+
+#define REACTDB_LOG(level)                    \
+  !REACTDB_LOG_ENABLED(level)                 \
+      ? (void)0                               \
+      : ::reactdb::internal::LogMessageVoidify() & \
+            ::reactdb::internal::LogMessage(::reactdb::LogLevel::level, \
+                                            __FILE__, __LINE__)         \
+                .stream()
+
+// Fatal invariant check, active in all build modes.
+#define REACTDB_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define REACTDB_CHECK_OK(expr)                                           \
+  do {                                                                   \
+    ::reactdb::Status _st = (expr);                                      \
+    if (!_st.ok()) {                                                     \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, _st.ToString().c_str());                    \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+}  // namespace reactdb
+
+#endif  // REACTDB_UTIL_LOGGING_H_

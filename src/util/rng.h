@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All workload generators draw from Rng so that experiment runs are
+// reproducible given a seed.
+
+#ifndef REACTDB_UTIL_RNG_H_
+#define REACTDB_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace reactdb {
+
+/// xoshiro256** by Blackman & Vigna; fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).
+  uint64_t NextUint64(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's nearly-divisionless bounded generation (bias negligible for
+    // our bound sizes).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Uniform integer in [lo, hi] excluding `exclude` (TPC-C remote
+  /// warehouse selection). Requires hi > lo.
+  int64_t NextIntExcluding(int64_t lo, int64_t hi, int64_t exclude) {
+    assert(hi > lo);
+    int64_t v = NextInt(lo, hi - 1);
+    return v >= exclude ? v + 1 : v;
+  }
+
+  /// TPC-C NURand non-uniform random (clause 2.1.6).
+  int64_t NuRand(int64_t a, int64_t x, int64_t y, int64_t c) {
+    return (((NextInt(0, a) | NextInt(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Random alphanumeric string of length in [min_len, max_len].
+  std::string NextString(int min_len, int max_len) {
+    static constexpr char kChars[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    int len = static_cast<int>(NextInt(min_len, max_len));
+    std::string s(len, ' ');
+    for (int i = 0; i < len; ++i) {
+      s[i] = kChars[NextUint64(sizeof(kChars) - 1)];
+    }
+    return s;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_UTIL_RNG_H_

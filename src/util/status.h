@@ -1,0 +1,126 @@
+// Status: lightweight error model used across ReactDB.
+//
+// ReactDB follows the Status/StatusOr idiom: fallible operations return a
+// Status (or StatusOr<T>) instead of throwing. Transaction aborts are a
+// first-class status code (kAborted for concurrency-control aborts,
+// kUserAbort for application-initiated aborts, kSafetyAbort for violations
+// of the reactor active-set safety condition of Section 2.2.4 of the paper).
+
+#ifndef REACTDB_UTIL_STATUS_H_
+#define REACTDB_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace reactdb {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  // Concurrency-control abort (OCC validation failure, 2PC prepare failure).
+  kAborted = 1,
+  // Application logic executed an explicit abort (e.g. insufficient funds).
+  kUserAbort = 2,
+  // The dynamic intra-transaction safety condition rejected the execution
+  // (two concurrent sub-transactions of one root on the same reactor).
+  kSafetyAbort = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kInvalidArgument = 6,
+  kOutOfRange = 7,
+  kUnavailable = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic error holder. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status UserAbort(std::string msg = "") {
+    return Status(StatusCode::kUserAbort, std::move(msg));
+  }
+  static Status SafetyAbort(std::string msg = "") {
+    return Status(StatusCode::kSafetyAbort, std::move(msg));
+  }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True for any of the three abort flavors. An aborted (sub-)transaction
+  /// must roll back the whole root transaction (paper Section 2.2.3).
+  bool IsAbort() const {
+    return code_ == StatusCode::kAborted || code_ == StatusCode::kUserAbort ||
+           code_ == StatusCode::kSafetyAbort;
+  }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUserAbort() const { return code_ == StatusCode::kUserAbort; }
+  bool IsSafetyAbort() const { return code_ == StatusCode::kSafetyAbort; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Propagates a non-OK status to the caller.
+#define REACTDB_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::reactdb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+// Coroutine flavor: stored procedures co_return a Status-like result.
+#define REACTDB_CO_RETURN_IF_ERROR(expr)             \
+  do {                                               \
+    ::reactdb::Status _st = (expr);                  \
+    if (!_st.ok()) co_return _st;                    \
+  } while (0)
+
+}  // namespace reactdb
+
+#endif  // REACTDB_UTIL_STATUS_H_

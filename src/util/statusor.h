@@ -1,0 +1,82 @@
+// StatusOr<T>: either a value of type T or a non-OK Status.
+
+#ifndef REACTDB_UTIL_STATUSOR_H_
+#define REACTDB_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace reactdb {
+
+/// Result-or-error wrapper. Construction from a value yields an OK result;
+/// construction from a non-OK Status yields an errored result. Accessing the
+/// value of an errored StatusOr is a programming error (asserted in debug).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}            // NOLINT(runtime/explicit)
+  StatusOr(T&& value) : value_(std::move(value)) {}      // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(value_.has_value());
+    return *value_;
+  }
+  T& value() & {
+    assert(value_.has_value());
+    return *value_;
+  }
+  T&& value() && {
+    assert(value_.has_value());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Assigns the value of a StatusOr expression to `lhs`, or returns its
+// status from the enclosing function.
+#define REACTDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define REACTDB_ASSIGN_OR_RETURN(lhs, expr) \
+  REACTDB_ASSIGN_OR_RETURN_IMPL(            \
+      REACTDB_STATUS_CONCAT(_statusor_, __LINE__), lhs, expr)
+
+// Coroutine flavor for stored procedures.
+#define REACTDB_CO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) co_return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define REACTDB_CO_ASSIGN_OR_RETURN(lhs, expr) \
+  REACTDB_CO_ASSIGN_OR_RETURN_IMPL(            \
+      REACTDB_STATUS_CONCAT(_statusor_, __LINE__), lhs, expr)
+
+#define REACTDB_STATUS_CONCAT_INNER(a, b) a##b
+#define REACTDB_STATUS_CONCAT(a, b) REACTDB_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace reactdb
+
+#endif  // REACTDB_UTIL_STATUSOR_H_

@@ -1,0 +1,138 @@
+#include "src/util/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace reactdb {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+double Value::AsNumeric() const {
+  if (type() == ValueType::kInt64) return static_cast<double>(AsInt64());
+  return AsDouble();
+}
+
+namespace {
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble;
+}
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  ValueType ta = type();
+  ValueType tb = other.type();
+  if (IsNumeric(ta) && IsNumeric(tb)) {
+    if (ta == ValueType::kInt64 && tb == ValueType::kInt64) {
+      int64_t a = AsInt64();
+      int64_t b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    return Sign(AsNumeric() - other.AsNumeric());
+  }
+  if (ta != tb) {
+    return static_cast<int>(ta) < static_cast<int>(tb) ? -1 : 1;
+  }
+  switch (ta) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+    case ValueType::kString: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return std::hash<bool>()(AsBool());
+    case ValueType::kInt64:
+      return std::hash<int64_t>()(AsInt64());
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      // Hash integral doubles like the equal int64 so mixed-type keys that
+      // compare equal also hash equal.
+      if (d == std::floor(d) && std::abs(d) < 9e15) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+int CompareRows(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t RowHash::operator()(const Row& row) const {
+  size_t h = 0x243f6a8885a308d3ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace reactdb

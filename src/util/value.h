@@ -1,0 +1,98 @@
+// Value: the dynamically typed cell used by the relational layer.
+//
+// Reactor state is abstracted as relations over a small scalar type system:
+// NULL, BOOL, INT64, DOUBLE, and STRING. Values are ordered (NULL first,
+// then by type id for heterogeneous comparisons, then by content), hashable,
+// and printable. Procedure arguments and results are also Values.
+
+#ifndef REACTDB_UTIL_VALUE_H_
+#define REACTDB_UTIL_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace reactdb {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+/// Returns a stable name for a value type ("INT64", ...).
+std::string_view ValueTypeName(ValueType type);
+
+/// A single relational cell (or procedure argument/result).
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  Value(bool b) : rep_(b) {}                       // NOLINT(runtime/explicit)
+  Value(int32_t i) : rep_(int64_t{i}) {}           // NOLINT(runtime/explicit)
+  Value(int64_t i) : rep_(i) {}                    // NOLINT(runtime/explicit)
+  Value(uint32_t i) : rep_(int64_t{i}) {}          // NOLINT(runtime/explicit)
+  Value(double d) : rep_(d) {}                     // NOLINT(runtime/explicit)
+  Value(const char* s) : rep_(std::string(s)) {}   // NOLINT(runtime/explicit)
+  Value(std::string s) : rep_(std::move(s)) {}     // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(rep_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt64() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric widening accessor: INT64 or DOUBLE as double.
+  double AsNumeric() const;
+
+  /// Total order across all values: NULL < BOOL < INT64/DOUBLE < STRING,
+  /// with INT64 and DOUBLE compared numerically against each other.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+/// A tuple of cells; also used for composite keys and procedure argument
+/// lists.
+using Row = std::vector<Value>;
+
+/// Lexicographic comparison of rows.
+int CompareRows(const Row& a, const Row& b);
+
+std::string RowToString(const Row& row);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+struct RowHash {
+  size_t operator()(const Row& row) const;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_UTIL_VALUE_H_

@@ -1,0 +1,47 @@
+#include "src/util/zipf.h"
+
+#include <cmath>
+
+namespace reactdb {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  if (theta_ <= 0) {
+    alpha_ = 0;
+    zetan_ = 0;
+    eta_ = 0;
+    return;
+  }
+  zetan_ = Zeta(n_, theta_);
+  // For theta == 1 the standard alpha = 1/(1-theta) is singular; we only use
+  // alpha_/eta_ on the power-curve branch which tolerates the limit poorly,
+  // so nudge theta slightly (indistinguishable in output skew).
+  double t = theta_ == 1.0 ? 1.0 + 1e-9 : theta_;
+  alpha_ = 1.0 / (1.0 - t);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - t)) /
+         (1.0 - Zeta(2, t) / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) const {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  if (theta_ <= 0) {
+    return rng_.NextUint64(n_);
+  }
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= n_) v = n_ - 1;
+  return v;
+}
+
+}  // namespace reactdb

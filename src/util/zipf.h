@@ -1,0 +1,42 @@
+// Zipfian distribution generator (YCSB-style).
+//
+// Used by the YCSB workload (Appendix C of the paper) to select reactor keys
+// with a configurable skew ("zipfian constant"). theta values above ~1 are
+// supported (the paper sweeps skew up to 5.0, at which essentially a single
+// key is drawn).
+
+#ifndef REACTDB_UTIL_ZIPF_H_
+#define REACTDB_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace reactdb {
+
+/// Draws values in [0, n) with Zipfian skew `theta`. theta == 0 degenerates
+/// to uniform. Implementation follows Gray et al., "Quickly Generating
+/// Billion-Record Synthetic Databases" (the algorithm YCSB uses).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 7);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_UTIL_ZIPF_H_

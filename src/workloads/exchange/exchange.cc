@@ -1,0 +1,414 @@
+#include "src/workloads/exchange/exchange.h"
+
+#include <cstdio>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace reactdb {
+namespace exchange {
+
+namespace {
+
+// Large base keeps generated order timestamps above the loaded ones.
+constexpr int64_t kTsBase = 1'000'000'000;
+
+// --- Provider procedures (reactor model, Fig. 1(b)) -------------------------
+
+// calc_risk(p_exposure, nrandoms): exposure over the newest kWindow orders;
+// abort when above the per-provider limit; recompute risk via sim_risk when
+// stale (loaded so that it always is).
+Proc CalcRisk(TxnContext& ctx, Row args) {
+  double p_exposure = args[0].AsNumeric();
+  int64_t nrandoms = args[1].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Select window, ctx.From("orders"));
+  window.Where(Col("settled") == Lit("N")).Reverse().Limit(kWindow);
+  REACTDB_CO_ASSIGN_OR_RETURN(double exposure, ctx.Sum(window, "value"));
+  if (exposure > p_exposure) {
+    co_return Status::UserAbort("provider exposure above limit");
+  }
+  REACTDB_CO_ASSIGN_OR_RETURN(Row info,
+                              ctx.Get("provider_info", {Value(int64_t{0})}));
+  double risk = info[1].AsNumeric();
+  int64_t time = info[2].AsInt64();
+  int64_t window_len = info[3].AsInt64();
+  int64_t now = static_cast<int64_t>(ctx.root_id());
+  if (time < now - window_len) {
+    // sim_risk: the expensive risk-adjustment calculation.
+    ctx.Compute(static_cast<double>(nrandoms) * kUsPerRandom);
+    risk = exposure * 0.1;
+    REACTDB_CO_RETURN_IF_ERROR(
+        ctx.Update("provider_info", {Value(int64_t{0})},
+                   {Value(int64_t{0}), Value(risk), Value(now),
+                    Value(window_len)}));
+  }
+  co_return Value(risk);
+}
+
+// Partial-sum helper for the query-parallelism strategy: only the
+// parallelizable part of the join (no sim_risk).
+Proc SumExposure(TxnContext& ctx, Row args) {
+  (void)args;
+  REACTDB_CO_ASSIGN_OR_RETURN(Select window, ctx.From("orders"));
+  window.Where(Col("settled") == Lit("N")).Reverse().Limit(kWindow);
+  REACTDB_CO_ASSIGN_OR_RETURN(double exposure, ctx.Sum(window, "value"));
+  co_return Value(exposure);
+}
+
+Proc SetRisk(TxnContext& ctx, Row args) {
+  REACTDB_CO_ASSIGN_OR_RETURN(Row info,
+                              ctx.Get("provider_info", {Value(int64_t{0})}));
+  REACTDB_CO_RETURN_IF_ERROR(ctx.Update(
+      "provider_info", {Value(int64_t{0})},
+      {Value(int64_t{0}), args[0], args[1], info[3]}));
+  co_return Value(true);
+}
+
+Proc AddEntry(TxnContext& ctx, Row args) {
+  // args: wallet, value, ts
+  REACTDB_CO_RETURN_IF_ERROR(ctx.Insert(
+      "orders", {Value(kTsBase + args[2].AsInt64()), args[0], args[1],
+                 Value("N")}));
+  co_return Value(true);
+}
+
+// --- Exchange procedures ----------------------------------------------------
+
+// Procedure-parallelism auth_pay (Fig. 1(b)): overlapped calc_risk on every
+// provider, then conditional add_entry.
+Proc AuthPay(TxnContext& ctx, Row args) {
+  const std::string pprovider = args[0].AsString();
+  Value wallet = args[1];
+  double value = args[2].AsNumeric();
+  Value nrandoms = args[3];
+
+  REACTDB_CO_ASSIGN_OR_RETURN(
+      Row limits, ctx.Get("settlement_risk", {Value(int64_t{0})}));
+  double p_exposure = limits[1].AsNumeric();
+  double g_risk = limits[2].AsNumeric();
+
+  REACTDB_CO_ASSIGN_OR_RETURN(Select names, ctx.From("provider_names"));
+  REACTDB_CO_ASSIGN_OR_RETURN(std::vector<Row> providers, ctx.Rows(names));
+
+  std::vector<Future> results;
+  results.reserve(providers.size());
+  for (const Row& p : providers) {
+    results.push_back(
+        ctx.CallOn(p[0].AsString(), "calc_risk",
+                   {Value(p_exposure), nrandoms}));
+  }
+  double total_risk = 0;
+  for (Future& f : results) {
+    ProcResult r = co_await f;
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+    total_risk += r->AsNumeric();
+  }
+  if (total_risk + value >= g_risk) {
+    co_return Status::UserAbort("global risk limit exceeded");
+  }
+  Future add_call = ctx.CallOn(
+      pprovider, "add_entry",
+      {wallet, Value(value), Value(static_cast<int64_t>(ctx.root_id()))});
+  ProcResult added = co_await add_call;
+  REACTDB_CO_RETURN_IF_ERROR(added.status());
+  co_return Value(total_risk);
+}
+
+// Query-parallelism auth_pay: exposure sums parallelized across providers
+// (as a partitioned-join optimizer could), sim_risk sequential at the
+// exchange, risk write-back per provider.
+Proc AuthPayQueryParallel(TxnContext& ctx, Row args) {
+  const std::string pprovider = args[0].AsString();
+  Value wallet = args[1];
+  double value = args[2].AsNumeric();
+  int64_t nrandoms = args[3].AsInt64();
+
+  REACTDB_CO_ASSIGN_OR_RETURN(
+      Row limits, ctx.Get("settlement_risk", {Value(int64_t{0})}));
+  double p_exposure = limits[1].AsNumeric();
+  double g_risk = limits[2].AsNumeric();
+
+  REACTDB_CO_ASSIGN_OR_RETURN(Select names, ctx.From("provider_names"));
+  REACTDB_CO_ASSIGN_OR_RETURN(std::vector<Row> providers, ctx.Rows(names));
+
+  // Parallel partial sums (the join).
+  std::vector<Future> sums;
+  sums.reserve(providers.size());
+  for (const Row& p : providers) {
+    sums.push_back(ctx.CallOn(p[0].AsString(), "sum_exposure", {}));
+  }
+  // Sequential remainder at the exchange: per-provider limit check,
+  // sim_risk, and risk write-back.
+  double total_risk = 0;
+  int64_t now = static_cast<int64_t>(ctx.root_id());
+  for (size_t i = 0; i < providers.size(); ++i) {
+    ProcResult r = co_await sums[i];
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+    double exposure = r->AsNumeric();
+    if (exposure > p_exposure) {
+      co_return Status::UserAbort("provider exposure above limit");
+    }
+    ctx.Compute(static_cast<double>(nrandoms) * kUsPerRandom);  // sim_risk
+    double risk = exposure * 0.1;
+    total_risk += risk;
+    Future risk_call = ctx.CallOn(providers[i][0].AsString(), "set_risk",
+                                  {Value(risk), Value(now)});
+    ProcResult w = co_await risk_call;
+    REACTDB_CO_RETURN_IF_ERROR(w.status());
+  }
+  if (total_risk + value >= g_risk) {
+    co_return Status::UserAbort("global risk limit exceeded");
+  }
+  Future add_call =
+      ctx.CallOn(pprovider, "add_entry", {wallet, Value(value), Value(now)});
+  ProcResult added = co_await add_call;
+  REACTDB_CO_RETURN_IF_ERROR(added.status());
+  co_return Value(total_risk);
+}
+
+// --- Classic single-reactor formulation (Fig. 1(a)) -------------------------
+
+Proc AuthPayClassic(TxnContext& ctx, Row args) {
+  const std::string pprovider = args[0].AsString();
+  Value wallet = args[1];
+  double value = args[2].AsNumeric();
+  int64_t nrandoms = args[3].AsInt64();
+
+  REACTDB_CO_ASSIGN_OR_RETURN(
+      Row limits, ctx.Get("settlement_risk", {Value(int64_t{0})}));
+  double p_exposure = limits[1].AsNumeric();
+  double g_risk = limits[2].AsNumeric();
+
+  REACTDB_CO_ASSIGN_OR_RETURN(Select providers_sel, ctx.From("provider"));
+  REACTDB_CO_ASSIGN_OR_RETURN(std::vector<Row> providers,
+                              ctx.Rows(providers_sel));
+  double total_risk = 0;
+  int64_t now = static_cast<int64_t>(ctx.root_id());
+  for (const Row& p : providers) {
+    const std::string& name = p[0].AsString();
+    // Exposure: newest kWindow unsettled orders of this provider.
+    REACTDB_CO_ASSIGN_OR_RETURN(Select window, ctx.From("orders"));
+    window.KeyPrefix({Value(name)})
+        .Where(Col("settled") == Lit("N"))
+        .Reverse()
+        .Limit(kWindow);
+    REACTDB_CO_ASSIGN_OR_RETURN(double exposure, ctx.Sum(window, "value"));
+    if (exposure > p_exposure) {
+      co_return Status::UserAbort("provider exposure above limit");
+    }
+    int64_t time = p[2].AsInt64();
+    int64_t window_len = p[3].AsInt64();
+    double risk = p[1].AsNumeric();
+    if (time < now - window_len) {
+      ctx.Compute(static_cast<double>(nrandoms) * kUsPerRandom);  // sim_risk
+      risk = exposure * 0.1;
+      REACTDB_CO_RETURN_IF_ERROR(
+          ctx.Update("provider", {Value(name)},
+                     {Value(name), Value(risk), Value(now),
+                      Value(window_len)}));
+    }
+    total_risk += risk;
+  }
+  if (total_risk + value >= g_risk) {
+    co_return Status::UserAbort("global risk limit exceeded");
+  }
+  REACTDB_CO_RETURN_IF_ERROR(ctx.Insert(
+      "orders", {Value(pprovider), Value(kTsBase + now), wallet, Value(value),
+                 Value("N")}));
+  co_return Value(total_risk);
+}
+
+}  // namespace
+
+std::string ProviderName(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "p_%02d", i);
+  return buf;
+}
+
+void BuildPartitionedDef(ReactorDatabaseDef* def, int num_providers) {
+  ReactorType& ex = def->DefineType("Exchange");
+  ex.AddSchema(SchemaBuilder("settlement_risk")
+                   .AddColumn("id", ValueType::kInt64)
+                   .AddColumn("p_exposure", ValueType::kDouble)
+                   .AddColumn("g_risk", ValueType::kDouble)
+                   .SetKey({"id"})
+                   .Build()
+                   .value());
+  ex.AddSchema(SchemaBuilder("provider_names")
+                   .AddColumn("value", ValueType::kString)
+                   .SetKey({"value"})
+                   .Build()
+                   .value());
+  ex.AddProcedure("auth_pay", &AuthPay);
+  ex.AddProcedure("auth_pay_qp", &AuthPayQueryParallel);
+
+  ReactorType& provider = def->DefineType("Provider");
+  provider.AddSchema(SchemaBuilder("provider_info")
+                         .AddColumn("id", ValueType::kInt64)
+                         .AddColumn("risk", ValueType::kDouble)
+                         .AddColumn("time", ValueType::kInt64)
+                         .AddColumn("window", ValueType::kInt64)
+                         .SetKey({"id"})
+                         .Build()
+                         .value());
+  provider.AddSchema(SchemaBuilder("orders")
+                         .AddColumn("ts", ValueType::kInt64)
+                         .AddColumn("wallet", ValueType::kInt64)
+                         .AddColumn("value", ValueType::kDouble)
+                         .AddColumn("settled", ValueType::kString)
+                         .SetKey({"ts"})
+                         .Build()
+                         .value());
+  provider.AddProcedure("calc_risk", &CalcRisk);
+  provider.AddProcedure("sum_exposure", &SumExposure);
+  provider.AddProcedure("set_risk", &SetRisk);
+  provider.AddProcedure("add_entry", &AddEntry);
+
+  REACTDB_CHECK_OK(def->DeclareReactor(ExchangeName(), "Exchange"));
+  for (int i = 1; i <= num_providers; ++i) {
+    REACTDB_CHECK_OK(def->DeclareReactor(ProviderName(i), "Provider"));
+  }
+}
+
+void BuildCentralDef(ReactorDatabaseDef* def) {
+  ReactorType& central = def->DefineType("CentralExchange");
+  central.AddSchema(SchemaBuilder("settlement_risk")
+                        .AddColumn("id", ValueType::kInt64)
+                        .AddColumn("p_exposure", ValueType::kDouble)
+                        .AddColumn("g_risk", ValueType::kDouble)
+                        .SetKey({"id"})
+                        .Build()
+                        .value());
+  central.AddSchema(SchemaBuilder("provider")
+                        .AddColumn("name", ValueType::kString)
+                        .AddColumn("risk", ValueType::kDouble)
+                        .AddColumn("time", ValueType::kInt64)
+                        .AddColumn("window", ValueType::kInt64)
+                        .SetKey({"name"})
+                        .Build()
+                        .value());
+  central.AddSchema(SchemaBuilder("orders")
+                        .AddColumn("provider", ValueType::kString)
+                        .AddColumn("ts", ValueType::kInt64)
+                        .AddColumn("wallet", ValueType::kInt64)
+                        .AddColumn("value", ValueType::kDouble)
+                        .AddColumn("settled", ValueType::kString)
+                        .SetKey({"provider", "ts"})
+                        .Build()
+                        .value());
+  central.AddProcedure("auth_pay_classic", &AuthPayClassic);
+  REACTDB_CHECK_OK(def->DeclareReactor(CentralName(), "CentralExchange"));
+}
+
+namespace {
+
+// Order values are small so accumulated exposure stays below the limits and
+// sim_risk is always invoked without application aborts (Appendix G).
+constexpr double kPExposure = 1e12;
+constexpr double kGRisk = 1e12;
+
+}  // namespace
+
+Status LoadPartitioned(RuntimeBase* rt, int num_providers,
+                       int orders_per_provider, uint64_t seed) {
+  Rng rng(seed);
+  REACTDB_RETURN_IF_ERROR(rt->RunDirect([&](SiloTxn& txn) -> Status {
+    Reactor* ex = rt->FindReactor(ExchangeName());
+    REACTDB_ASSIGN_OR_RETURN(Table * risk,
+                             rt->FindTable(ExchangeName(), "settlement_risk"));
+    REACTDB_ASSIGN_OR_RETURN(Table * names,
+                             rt->FindTable(ExchangeName(), "provider_names"));
+    uint32_t c = ex->container_id();
+    REACTDB_RETURN_IF_ERROR(txn.Insert(
+        risk, {Value(int64_t{0}), Value(kPExposure), Value(kGRisk)}, c));
+    for (int i = 1; i <= num_providers; ++i) {
+      REACTDB_RETURN_IF_ERROR(txn.Insert(names, {Value(ProviderName(i))}, c));
+    }
+    return Status::OK();
+  }));
+  for (int i = 1; i <= num_providers; ++i) {
+    std::string name = ProviderName(i);
+    Reactor* p = rt->FindReactor(name);
+    if (p == nullptr) return Status::Internal("missing provider " + name);
+    uint32_t c = p->container_id();
+    REACTDB_ASSIGN_OR_RETURN(Table * info,
+                             rt->FindTable(name, "provider_info"));
+    REACTDB_RETURN_IF_ERROR(rt->RunDirect([&](SiloTxn& txn) -> Status {
+      // window 0 and ancient time: sim_risk always invoked.
+      return txn.Insert(info,
+                        {Value(int64_t{0}), Value(0.0),
+                         Value(int64_t{-1'000'000'000}), Value(int64_t{0})},
+                        c);
+    }));
+    REACTDB_ASSIGN_OR_RETURN(Table * orders, rt->FindTable(name, "orders"));
+    constexpr int kBatch = 4096;
+    for (int base = 0; base < orders_per_provider; base += kBatch) {
+      int end = std::min(base + kBatch, orders_per_provider);
+      REACTDB_RETURN_IF_ERROR(rt->RunDirect([&](SiloTxn& txn) -> Status {
+        for (int o = base; o < end; ++o) {
+          REACTDB_RETURN_IF_ERROR(
+              txn.Insert(orders,
+                         {Value(int64_t{o + 1}), Value(rng.NextInt(1, 100000)),
+                          Value(static_cast<double>(rng.NextInt(1, 1000)) / 100.0),
+                          Value("N")},
+                         c));
+        }
+        return Status::OK();
+      }));
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadCentral(RuntimeBase* rt, int num_providers, int orders_per_provider,
+                   uint64_t seed) {
+  Rng rng(seed);
+  Reactor* central = rt->FindReactor(CentralName());
+  if (central == nullptr) return Status::Internal("missing central reactor");
+  uint32_t c = central->container_id();
+  REACTDB_RETURN_IF_ERROR(rt->RunDirect([&](SiloTxn& txn) -> Status {
+    REACTDB_ASSIGN_OR_RETURN(Table * risk,
+                             rt->FindTable(CentralName(), "settlement_risk"));
+    REACTDB_ASSIGN_OR_RETURN(Table * provider,
+                             rt->FindTable(CentralName(), "provider"));
+    REACTDB_RETURN_IF_ERROR(txn.Insert(
+        risk, {Value(int64_t{0}), Value(kPExposure), Value(kGRisk)}, c));
+    for (int i = 1; i <= num_providers; ++i) {
+      REACTDB_RETURN_IF_ERROR(
+          txn.Insert(provider,
+                     {Value(ProviderName(i)), Value(0.0),
+                      Value(int64_t{-1'000'000'000}), Value(int64_t{0})},
+                     c));
+    }
+    return Status::OK();
+  }));
+  REACTDB_ASSIGN_OR_RETURN(Table * orders, rt->FindTable(CentralName(), "orders"));
+  for (int i = 1; i <= num_providers; ++i) {
+    std::string name = ProviderName(i);
+    constexpr int kBatch = 4096;
+    for (int base = 0; base < orders_per_provider; base += kBatch) {
+      int end = std::min(base + kBatch, orders_per_provider);
+      REACTDB_RETURN_IF_ERROR(rt->RunDirect([&](SiloTxn& txn) -> Status {
+        for (int o = base; o < end; ++o) {
+          REACTDB_RETURN_IF_ERROR(txn.Insert(
+              orders,
+              {Value(name), Value(int64_t{o + 1}), Value(rng.NextInt(1, 100000)),
+               Value(static_cast<double>(rng.NextInt(1, 1000)) / 100.0),
+               Value("N")},
+              c));
+        }
+        return Status::OK();
+      }));
+    }
+  }
+  return Status::OK();
+}
+
+Row AuthPayArgs(const std::string& pprovider, int64_t wallet, double value,
+                int64_t nrandoms) {
+  return {Value(pprovider), Value(wallet), Value(value), Value(nrandoms)};
+}
+
+}  // namespace exchange
+}  // namespace reactdb

@@ -1,0 +1,64 @@
+// Digital currency exchange application (paper Fig. 1 and Appendix G).
+//
+// Three program execution strategies for auth_pay:
+//  * sequential:            classic transactional model, one reactor
+//                           ("central") holding provider + orders; the whole
+//                           body runs on one executor.
+//  * query-parallelism:     data partitioned across Provider reactors; the
+//                           foreign-key join (per-provider exposure sums) is
+//                           parallelized, but sim_risk runs sequentially at
+//                           the Exchange (what a query optimizer could do).
+//  * procedure-parallelism: the reactor formulation of Fig. 1(b) — full
+//                           calc_risk (including sim_risk) overlapped across
+//                           Provider reactors.
+//
+// sim_risk's computational load is modeled as `nrandoms` random-number
+// generations at kUsPerRandom microseconds each (Appendix G varies this
+// from 10^1 to 10^6).
+
+#ifndef REACTDB_WORKLOADS_EXCHANGE_EXCHANGE_H_
+#define REACTDB_WORKLOADS_EXCHANGE_EXCHANGE_H_
+
+#include <string>
+
+#include "src/runtime/runtime_base.h"
+
+namespace reactdb {
+namespace exchange {
+
+inline constexpr int kNumProviders = 15;
+inline constexpr int kOrdersPerProvider = 30000;
+/// Reverse range-scan window over each provider's newest orders (tuned in
+/// Appendix G to 800 records).
+inline constexpr int kWindow = 800;
+/// Cost of one sim_risk random-number generation, microseconds.
+inline constexpr double kUsPerRandom = 0.005;
+
+std::string ProviderName(int i);  // 1-based
+inline const char* ExchangeName() { return "exchange"; }
+inline const char* CentralName() { return "central"; }
+
+/// Reactor-model definition: one Exchange reactor + `num_providers`
+/// Provider reactors (procedure-parallelism and query-parallelism).
+void BuildPartitionedDef(ReactorDatabaseDef* def,
+                         int num_providers = kNumProviders);
+/// Classic-model definition: a single "central" reactor holding the
+/// provider and orders relations (sequential strategy).
+void BuildCentralDef(ReactorDatabaseDef* def);
+
+Status LoadPartitioned(RuntimeBase* rt, int num_providers = kNumProviders,
+                       int orders_per_provider = kOrdersPerProvider,
+                       uint64_t seed = 17);
+Status LoadCentral(RuntimeBase* rt, int num_providers = kNumProviders,
+                   int orders_per_provider = kOrdersPerProvider,
+                   uint64_t seed = 17);
+
+/// auth_pay argument rows for the three strategies. `nrandoms` is the
+/// sim_risk load per provider.
+Row AuthPayArgs(const std::string& pprovider, int64_t wallet, double value,
+                int64_t nrandoms);
+
+}  // namespace exchange
+}  // namespace reactdb
+
+#endif  // REACTDB_WORKLOADS_EXCHANGE_EXCHANGE_H_

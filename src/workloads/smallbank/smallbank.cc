@@ -1,0 +1,309 @@
+#include "src/workloads/smallbank/smallbank.h"
+
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace reactdb {
+namespace smallbank {
+
+namespace {
+
+constexpr int64_t kCustId = 1;  // single customer per reactor
+
+// SELECT cust_id FROM account WHERE name = my_name, then read/write through
+// savings by cust_id — the benchmark's query footprint (Appendix H).
+Proc TransactSaving(TxnContext& ctx, Row args) {
+  double amount = args[0].AsNumeric();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row account,
+                              ctx.Get("account", {Value(ctx.reactor_name())}));
+  int64_t cust_id = account[1].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row savings,
+                              ctx.Get("savings", {Value(cust_id)}));
+  double balance = savings[1].AsNumeric();
+  if (balance + amount < 0) {
+    co_return Status::UserAbort("insufficient savings funds");
+  }
+  REACTDB_CO_RETURN_IF_ERROR(ctx.Update(
+      "savings", {Value(cust_id)}, {Value(cust_id), Value(balance + amount)}));
+  co_return Value(balance + amount);
+}
+
+Proc DepositChecking(TxnContext& ctx, Row args) {
+  double amount = args[0].AsNumeric();
+  if (amount < 0) co_return Status::UserAbort("negative deposit");
+  REACTDB_CO_ASSIGN_OR_RETURN(Row account,
+                              ctx.Get("account", {Value(ctx.reactor_name())}));
+  int64_t cust_id = account[1].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row checking,
+                              ctx.Get("checking", {Value(cust_id)}));
+  double balance = checking[1].AsNumeric() + amount;
+  REACTDB_CO_RETURN_IF_ERROR(ctx.Update("checking", {Value(cust_id)},
+                                        {Value(cust_id), Value(balance)}));
+  co_return Value(balance);
+}
+
+Proc Balance(TxnContext& ctx, Row args) {
+  (void)args;
+  REACTDB_CO_ASSIGN_OR_RETURN(Row account,
+                              ctx.Get("account", {Value(ctx.reactor_name())}));
+  int64_t cust_id = account[1].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row savings, ctx.Get("savings", {Value(cust_id)}));
+  REACTDB_CO_ASSIGN_OR_RETURN(Row checking,
+                              ctx.Get("checking", {Value(cust_id)}));
+  co_return Value(savings[1].AsNumeric() + checking[1].AsNumeric());
+}
+
+Proc WriteCheck(TxnContext& ctx, Row args) {
+  double amount = args[0].AsNumeric();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row account,
+                              ctx.Get("account", {Value(ctx.reactor_name())}));
+  int64_t cust_id = account[1].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row savings, ctx.Get("savings", {Value(cust_id)}));
+  REACTDB_CO_ASSIGN_OR_RETURN(Row checking,
+                              ctx.Get("checking", {Value(cust_id)}));
+  double total = savings[1].AsNumeric() + checking[1].AsNumeric();
+  double penalty = total < amount ? 1.0 : 0.0;
+  double balance = checking[1].AsNumeric() - amount - penalty;
+  REACTDB_CO_RETURN_IF_ERROR(ctx.Update("checking", {Value(cust_id)},
+                                        {Value(cust_id), Value(balance)}));
+  co_return Value(balance);
+}
+
+// Moves the entire savings+checking of this reactor into the destination's
+// checking account.
+Proc Amalgamate(TxnContext& ctx, Row args) {
+  const std::string dst = args[0].AsString();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row account,
+                              ctx.Get("account", {Value(ctx.reactor_name())}));
+  int64_t cust_id = account[1].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row savings, ctx.Get("savings", {Value(cust_id)}));
+  REACTDB_CO_ASSIGN_OR_RETURN(Row checking,
+                              ctx.Get("checking", {Value(cust_id)}));
+  double total = savings[1].AsNumeric() + checking[1].AsNumeric();
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("savings", {Value(cust_id)}, {Value(cust_id), Value(0.0)}));
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("checking", {Value(cust_id)}, {Value(cust_id), Value(0.0)}));
+  Future deposit = ctx.CallOn(dst, "deposit_checking", {Value(total)});
+  ProcResult r = co_await deposit;
+  REACTDB_CO_RETURN_IF_ERROR(r.status());
+  co_return Value(total);
+}
+
+// transfer(dst, amount, seq_flag): credit the destination's savings, debit
+// the source's savings. With seq_flag the credit is awaited before the
+// debit (fully-sync); without it the credit overlaps the debit
+// (partially-async). Mirrors Appendix H's env_seq_transfer switch.
+Proc Transfer(TxnContext& ctx, Row args) {
+  const std::string dst = args[0].AsString();
+  double amount = args[1].AsNumeric();
+  bool sequential = args[2].AsBool();
+  if (amount <= 0) co_return Status::UserAbort("non-positive amount");
+  Future credit = ctx.CallOn(dst, "transact_saving", {Value(amount)});
+  if (sequential) {
+    ProcResult r = co_await credit;
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+  }
+  Future debit_call =
+      ctx.CallOn(ctx.reactor_name(), "transact_saving", {Value(-amount)});
+  ProcResult debit = co_await debit_call;
+  REACTDB_CO_RETURN_IF_ERROR(debit.status());
+  if (!sequential) {
+    ProcResult r = co_await credit;
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+  }
+  co_return Value(amount);
+}
+
+// multi_transfer_sync(amount, seq_flag, dst...): one transfer sub-txn per
+// destination, each invoked on the source reactor (self) and awaited.
+Proc MultiTransferSync(TxnContext& ctx, Row args) {
+  double amount = args[0].AsNumeric();
+  Value seq_flag = args[1];
+  for (size_t i = 2; i < args.size(); ++i) {
+    Future transfer_call = ctx.CallOn(ctx.reactor_name(), "transfer",
+                                      {args[i], Value(amount), seq_flag});
+    ProcResult r = co_await transfer_call;
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+  }
+  co_return Value(static_cast<int64_t>(args.size() - 2));
+}
+
+// multi_transfer_fully_async(amount, dst...): all credits dispatched
+// asynchronously up-front, then one synchronous debit per destination on
+// the source (Appendix H).
+Proc MultiTransferFullyAsync(TxnContext& ctx, Row args) {
+  double amount = args[0].AsNumeric();
+  if (amount <= 0) co_return Status::UserAbort("non-positive amount");
+  std::vector<Future> credits;
+  for (size_t i = 1; i < args.size(); ++i) {
+    credits.push_back(
+        ctx.CallOn(args[i].AsString(), "transact_saving", {Value(amount)}));
+  }
+  for (size_t i = 1; i < args.size(); ++i) {
+    Future debit_call =
+        ctx.CallOn(ctx.reactor_name(), "transact_saving", {Value(-amount)});
+    ProcResult debit = co_await debit_call;
+    REACTDB_CO_RETURN_IF_ERROR(debit.status());
+  }
+  for (Future& credit : credits) {
+    ProcResult r = co_await credit;
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+  }
+  co_return Value(static_cast<int64_t>(args.size() - 1));
+}
+
+// multi_transfer_opt(amount, dst...): async credits plus a single
+// aggregated debit, halving processing depth (Appendix H).
+Proc MultiTransferOpt(TxnContext& ctx, Row args) {
+  double amount = args[0].AsNumeric();
+  if (amount <= 0) co_return Status::UserAbort("non-positive amount");
+  std::vector<Future> credits;
+  for (size_t i = 1; i < args.size(); ++i) {
+    credits.push_back(
+        ctx.CallOn(args[i].AsString(), "transact_saving", {Value(amount)}));
+  }
+  double num_dsts = static_cast<double>(args.size() - 1);
+  Future debit_call = ctx.CallOn(ctx.reactor_name(), "transact_saving",
+                                 {Value(-amount * num_dsts)});
+  ProcResult debit = co_await debit_call;
+  REACTDB_CO_RETURN_IF_ERROR(debit.status());
+  for (Future& credit : credits) {
+    ProcResult r = co_await credit;
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+  }
+  co_return Value(static_cast<int64_t>(args.size() - 1));
+}
+
+}  // namespace
+
+std::string CustomerName(int64_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "c_%07lld", static_cast<long long>(i));
+  return buf;
+}
+
+void BuildDef(ReactorDatabaseDef* def, int64_t num_customers) {
+  ReactorType& type = def->DefineType("Customer");
+  type.AddSchema(SchemaBuilder("account")
+                     .AddColumn("name", ValueType::kString)
+                     .AddColumn("cust_id", ValueType::kInt64)
+                     .SetKey({"name"})
+                     .Build()
+                     .value());
+  type.AddSchema(SchemaBuilder("savings")
+                     .AddColumn("cust_id", ValueType::kInt64)
+                     .AddColumn("balance", ValueType::kDouble)
+                     .SetKey({"cust_id"})
+                     .Build()
+                     .value());
+  type.AddSchema(SchemaBuilder("checking")
+                     .AddColumn("cust_id", ValueType::kInt64)
+                     .AddColumn("balance", ValueType::kDouble)
+                     .SetKey({"cust_id"})
+                     .Build()
+                     .value());
+  type.AddProcedure("transact_saving", &TransactSaving);
+  type.AddProcedure("deposit_checking", &DepositChecking);
+  type.AddProcedure("balance", &Balance);
+  type.AddProcedure("write_check", &WriteCheck);
+  type.AddProcedure("amalgamate", &Amalgamate);
+  type.AddProcedure("transfer", &Transfer);
+  type.AddProcedure("multi_transfer_sync", &MultiTransferSync);
+  type.AddProcedure("multi_transfer_fully_async", &MultiTransferFullyAsync);
+  type.AddProcedure("multi_transfer_opt", &MultiTransferOpt);
+  for (int64_t i = 0; i < num_customers; ++i) {
+    REACTDB_CHECK_OK(def->DeclareReactor(CustomerName(i), "Customer"));
+  }
+}
+
+Status Load(RuntimeBase* rt, int64_t num_customers, double initial_savings,
+            double initial_checking) {
+  // Load in batches to bound transaction footprint.
+  constexpr int64_t kBatch = 512;
+  for (int64_t base = 0; base < num_customers; base += kBatch) {
+    int64_t end = std::min(base + kBatch, num_customers);
+    Status s = rt->RunDirect([&](SiloTxn& txn) -> Status {
+      for (int64_t i = base; i < end; ++i) {
+        std::string name = CustomerName(i);
+        Reactor* r = rt->FindReactor(name);
+        if (r == nullptr) return Status::Internal("missing reactor " + name);
+        uint32_t c = r->container_id();
+        REACTDB_ASSIGN_OR_RETURN(Table * account, rt->FindTable(name, "account"));
+        REACTDB_ASSIGN_OR_RETURN(Table * savings, rt->FindTable(name, "savings"));
+        REACTDB_ASSIGN_OR_RETURN(Table * checking,
+                                 rt->FindTable(name, "checking"));
+        REACTDB_RETURN_IF_ERROR(
+            txn.Insert(account, {Value(name), Value(kCustId)}, c));
+        REACTDB_RETURN_IF_ERROR(txn.Insert(
+            savings, {Value(kCustId), Value(initial_savings)}, c));
+        REACTDB_RETURN_IF_ERROR(txn.Insert(
+            checking, {Value(kCustId), Value(initial_checking)}, c));
+      }
+      return Status::OK();
+    });
+    REACTDB_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+StatusOr<double> TotalBalance(RuntimeBase* rt, int64_t num_customers) {
+  double total = 0;
+  Status s = rt->RunDirect([&](SiloTxn& txn) -> Status {
+    for (int64_t i = 0; i < num_customers; ++i) {
+      std::string name = CustomerName(i);
+      Reactor* r = rt->FindReactor(name);
+      uint32_t c = r->container_id();
+      REACTDB_ASSIGN_OR_RETURN(Table * savings, rt->FindTable(name, "savings"));
+      REACTDB_ASSIGN_OR_RETURN(Table * checking,
+                               rt->FindTable(name, "checking"));
+      REACTDB_ASSIGN_OR_RETURN(Row srow, txn.Get(savings, {Value(kCustId)}, c));
+      REACTDB_ASSIGN_OR_RETURN(Row crow, txn.Get(checking, {Value(kCustId)}, c));
+      total += srow[1].AsNumeric() + crow[1].AsNumeric();
+    }
+    return Status::OK();
+  });
+  REACTDB_RETURN_IF_ERROR(s);
+  return total;
+}
+
+const char* FormulationName(Formulation f) {
+  switch (f) {
+    case Formulation::kFullySync:
+      return "fully-sync";
+    case Formulation::kPartiallyAsync:
+      return "partially-async";
+    case Formulation::kFullyAsync:
+      return "fully-async";
+    case Formulation::kOpt:
+      return "opt";
+  }
+  return "?";
+}
+
+MultiTransferCall MakeMultiTransfer(Formulation f, double amount,
+                                    const std::vector<std::string>& dst_names) {
+  MultiTransferCall call;
+  switch (f) {
+    case Formulation::kFullySync:
+    case Formulation::kPartiallyAsync:
+      call.proc = "multi_transfer_sync";
+      call.args.push_back(Value(amount));
+      call.args.push_back(Value(f == Formulation::kFullySync));
+      break;
+    case Formulation::kFullyAsync:
+      call.proc = "multi_transfer_fully_async";
+      call.args.push_back(Value(amount));
+      break;
+    case Formulation::kOpt:
+      call.proc = "multi_transfer_opt";
+      call.args.push_back(Value(amount));
+      break;
+  }
+  for (const std::string& dst : dst_names) call.args.push_back(Value(dst));
+  return call;
+}
+
+}  // namespace smallbank
+}  // namespace reactdb

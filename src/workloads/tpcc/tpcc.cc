@@ -1,0 +1,456 @@
+#include "src/workloads/tpcc/tpcc.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/logging.h"
+#include "src/workloads/tpcc/tpcc_procs.h"
+
+namespace reactdb {
+namespace tpcc {
+
+std::string WarehouseName(int64_t w) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "w_%04lld", static_cast<long long>(w));
+  return buf;
+}
+
+std::string LastName(int64_t num) {
+  static const char* kSyllables[] = {"BAR",   "OUGHT", "ABLE", "PRI",
+                                     "PRES",  "ESE",   "ANTI", "CALLY",
+                                     "ATION", "EING"};
+  std::string name;
+  name += kSyllables[(num / 100) % 10];
+  name += kSyllables[(num / 10) % 10];
+  name += kSyllables[num % 10];
+  return name;
+}
+
+void BuildDef(ReactorDatabaseDef* def, int64_t num_warehouses) {
+  ReactorType& type = def->DefineType("Warehouse");
+  type.AddSchema(SchemaBuilder("warehouse")
+                     .AddColumn("w_key", ValueType::kInt64)  // constant 0
+                     .AddColumn("name", ValueType::kString)
+                     .AddColumn("tax", ValueType::kDouble)
+                     .AddColumn("ytd", ValueType::kDouble)
+                     .SetKey({"w_key"})
+                     .Build()
+                     .value());
+  type.AddSchema(SchemaBuilder("district")
+                     .AddColumn("d_id", ValueType::kInt64)
+                     .AddColumn("name", ValueType::kString)
+                     .AddColumn("tax", ValueType::kDouble)
+                     .AddColumn("ytd", ValueType::kDouble)
+                     .AddColumn("next_o_id", ValueType::kInt64)
+                     .SetKey({"d_id"})
+                     .Build()
+                     .value());
+  type.AddSchema(SchemaBuilder("customer")
+                     .AddColumn("d_id", ValueType::kInt64)
+                     .AddColumn("c_id", ValueType::kInt64)
+                     .AddColumn("first", ValueType::kString)
+                     .AddColumn("middle", ValueType::kString)
+                     .AddColumn("last", ValueType::kString)
+                     .AddColumn("credit", ValueType::kString)
+                     .AddColumn("discount", ValueType::kDouble)
+                     .AddColumn("balance", ValueType::kDouble)
+                     .AddColumn("ytd_payment", ValueType::kDouble)
+                     .AddColumn("payment_cnt", ValueType::kInt64)
+                     .AddColumn("delivery_cnt", ValueType::kInt64)
+                     .AddColumn("data", ValueType::kString)
+                     .SetKey({"d_id", "c_id"})
+                     .AddIndex("by_name", {"d_id", "last"})
+                     .Build()
+                     .value());
+  type.AddSchema(SchemaBuilder("history")
+                     .AddColumn("h_id", ValueType::kInt64)
+                     .AddColumn("c_d_id", ValueType::kInt64)
+                     .AddColumn("c_id", ValueType::kInt64)
+                     .AddColumn("d_id", ValueType::kInt64)
+                     .AddColumn("amount", ValueType::kDouble)
+                     .AddColumn("c_w", ValueType::kString)
+                     .SetKey({"h_id"})
+                     .Build()
+                     .value());
+  type.AddSchema(SchemaBuilder("neworder")
+                     .AddColumn("d_id", ValueType::kInt64)
+                     .AddColumn("o_id", ValueType::kInt64)
+                     .SetKey({"d_id", "o_id"})
+                     .Build()
+                     .value());
+  type.AddSchema(SchemaBuilder("oorder")
+                     .AddColumn("d_id", ValueType::kInt64)
+                     .AddColumn("o_id", ValueType::kInt64)
+                     .AddColumn("c_id", ValueType::kInt64)
+                     .AddColumn("entry_d", ValueType::kInt64)
+                     .AddColumn("carrier_id", ValueType::kInt64)
+                     .AddColumn("ol_cnt", ValueType::kInt64)
+                     .AddColumn("all_local", ValueType::kBool)
+                     .SetKey({"d_id", "o_id"})
+                     .AddIndex("by_customer", {"d_id", "c_id"})
+                     .Build()
+                     .value());
+  type.AddSchema(SchemaBuilder("order_line")
+                     .AddColumn("d_id", ValueType::kInt64)
+                     .AddColumn("o_id", ValueType::kInt64)
+                     .AddColumn("ol_num", ValueType::kInt64)
+                     .AddColumn("i_id", ValueType::kInt64)
+                     .AddColumn("supply_w", ValueType::kString)
+                     .AddColumn("delivery_d", ValueType::kInt64)
+                     .AddColumn("qty", ValueType::kInt64)
+                     .AddColumn("amount", ValueType::kDouble)
+                     .AddColumn("dist_info", ValueType::kString)
+                     .SetKey({"d_id", "o_id", "ol_num"})
+                     .Build()
+                     .value());
+  type.AddSchema(SchemaBuilder("stock")
+                     .AddColumn("i_id", ValueType::kInt64)
+                     .AddColumn("qty", ValueType::kInt64)
+                     .AddColumn("ytd", ValueType::kInt64)
+                     .AddColumn("order_cnt", ValueType::kInt64)
+                     .AddColumn("remote_cnt", ValueType::kInt64)
+                     .AddColumn("dist_info", ValueType::kString)
+                     .SetKey({"i_id"})
+                     .Build()
+                     .value());
+  type.AddSchema(SchemaBuilder("item")
+                     .AddColumn("i_id", ValueType::kInt64)
+                     .AddColumn("name", ValueType::kString)
+                     .AddColumn("price", ValueType::kDouble)
+                     .AddColumn("data", ValueType::kString)
+                     .SetKey({"i_id"})
+                     .Build()
+                     .value());
+
+  type.AddProcedure("new_order", &NewOrder);
+  type.AddProcedure("stock_update_batch", &StockUpdateBatch);
+  type.AddProcedure("payment", &Payment);
+  type.AddProcedure("payment_customer", &PaymentCustomer);
+  type.AddProcedure("order_status", &OrderStatus);
+  type.AddProcedure("delivery", &Delivery);
+  type.AddProcedure("stock_level", &StockLevel);
+
+  for (int64_t w = 1; w <= num_warehouses; ++w) {
+    REACTDB_CHECK_OK(def->DeclareReactor(WarehouseName(w), "Warehouse"));
+  }
+}
+
+namespace {
+
+Status LoadWarehouse(RuntimeBase* rt, int64_t w, Rng* rng) {
+  std::string name = WarehouseName(w);
+  Reactor* reactor = rt->FindReactor(name);
+  if (reactor == nullptr) return Status::Internal("missing reactor " + name);
+  uint32_t c = reactor->container_id();
+  Table* warehouse = reactor->FindTable("warehouse");
+  Table* district = reactor->FindTable("district");
+  Table* customer = reactor->FindTable("customer");
+  Table* oorder = reactor->FindTable("oorder");
+  Table* neworder = reactor->FindTable("neworder");
+  Table* order_line = reactor->FindTable("order_line");
+  Table* stock = reactor->FindTable("stock");
+  Table* item = reactor->FindTable("item");
+
+  // Warehouse + districts + items + stock in one bulk transaction.
+  REACTDB_RETURN_IF_ERROR(rt->RunDirect([&](SiloTxn& txn) -> Status {
+    REACTDB_RETURN_IF_ERROR(txn.Insert(
+        warehouse,
+        {Value(int64_t{0}), Value(name), Value(rng->NextInt(0, 20) / 100.0),
+         Value(300000.0)},
+        c));
+    for (int64_t d = 1; d <= kNumDistricts; ++d) {
+      REACTDB_RETURN_IF_ERROR(txn.Insert(
+          district,
+          {Value(d), Value("district" + std::to_string(d)),
+           Value(rng->NextInt(0, 20) / 100.0), Value(30000.0),
+           Value(int64_t{kInitialOrdersPerDistrict + 1})},
+          c));
+    }
+    for (int64_t i = 1; i <= kNumItems; ++i) {
+      REACTDB_RETURN_IF_ERROR(txn.Insert(
+          item,
+          {Value(i), Value("item" + std::to_string(i)),
+           Value(static_cast<double>(rng->NextInt(100, 10000)) / 100.0),
+           Value(rng->NextString(8, 16))},
+          c));
+      REACTDB_RETURN_IF_ERROR(txn.Insert(
+          stock,
+          {Value(i), Value(rng->NextInt(10, 100)), Value(int64_t{0}),
+           Value(int64_t{0}), Value(int64_t{0}), Value(rng->NextString(24, 24))},
+          c));
+    }
+    return Status::OK();
+  }));
+
+  // Customers, per district.
+  for (int64_t d = 1; d <= kNumDistricts; ++d) {
+    REACTDB_RETURN_IF_ERROR(rt->RunDirect([&](SiloTxn& txn) -> Status {
+      for (int64_t i = 1; i <= kCustomersPerDistrict; ++i) {
+        bool bad_credit = rng->NextBool(0.10);
+        REACTDB_RETURN_IF_ERROR(txn.Insert(
+            customer,
+            {Value(d), Value(i), Value(rng->NextString(8, 12)), Value("OE"),
+             Value(LastName((i - 1) % 1000)), Value(bad_credit ? "BC" : "GC"),
+             Value(rng->NextInt(0, 50) / 100.0), Value(-10.0), Value(10.0),
+             Value(int64_t{1}), Value(int64_t{0}), Value(rng->NextString(12, 24))},
+            c));
+      }
+      return Status::OK();
+    }));
+  }
+
+  // Initial orders: the last third are undelivered (neworder rows).
+  for (int64_t d = 1; d <= kNumDistricts; ++d) {
+    // Customer permutation for o_c_id.
+    std::vector<int64_t> cids(kCustomersPerDistrict);
+    for (int64_t i = 0; i < kCustomersPerDistrict; ++i) cids[i] = i + 1;
+    for (int64_t i = kCustomersPerDistrict - 1; i > 0; --i) {
+      std::swap(cids[i], cids[rng->NextInt(0, i)]);
+    }
+    REACTDB_RETURN_IF_ERROR(rt->RunDirect([&](SiloTxn& txn) -> Status {
+      for (int64_t o = 1; o <= kInitialOrdersPerDistrict; ++o) {
+        bool undelivered = o > kInitialOrdersPerDistrict * 2 / 3;
+        int64_t ol_cnt = rng->NextInt(5, 15);
+        REACTDB_RETURN_IF_ERROR(txn.Insert(
+            oorder,
+            {Value(d), Value(o), Value(cids[o % kCustomersPerDistrict]),
+             Value(o), Value(undelivered ? int64_t{-1} : rng->NextInt(1, 10)),
+             Value(ol_cnt), Value(true)},
+            c));
+        if (undelivered) {
+          REACTDB_RETURN_IF_ERROR(
+              txn.Insert(neworder, {Value(d), Value(o)}, c));
+        }
+        for (int64_t l = 1; l <= ol_cnt; ++l) {
+          REACTDB_RETURN_IF_ERROR(txn.Insert(
+              order_line,
+              {Value(d), Value(o), Value(l), Value(rng->NextInt(1, kNumItems)),
+               Value(name), Value(undelivered ? int64_t{-1} : o),
+               Value(int64_t{5}),
+               Value(undelivered
+                         ? static_cast<double>(rng->NextInt(1, 999999)) / 100.0
+                         : 0.0),
+               Value(rng->NextString(24, 24))},
+              c));
+        }
+      }
+      return Status::OK();
+    }));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Load(RuntimeBase* rt, int64_t num_warehouses, uint64_t seed) {
+  Rng rng(seed);
+  for (int64_t w = 1; w <= num_warehouses; ++w) {
+    REACTDB_RETURN_IF_ERROR(LoadWarehouse(rt, w, &rng));
+  }
+  return Status::OK();
+}
+
+Status CheckConsistency(RuntimeBase* rt, int64_t num_warehouses) {
+  for (int64_t w = 1; w <= num_warehouses; ++w) {
+    std::string name = WarehouseName(w);
+    Reactor* reactor = rt->FindReactor(name);
+    if (reactor == nullptr) return Status::Internal("missing " + name);
+    uint32_t c = reactor->container_id();
+    Table* warehouse = reactor->FindTable("warehouse");
+    Table* district = reactor->FindTable("district");
+    Table* oorder = reactor->FindTable("oorder");
+    Table* neworder = reactor->FindTable("neworder");
+    Table* order_line = reactor->FindTable("order_line");
+    Status s = rt->RunDirect([&](SiloTxn& txn) -> Status {
+      // A1: W_YTD == sum(D_YTD).
+      REACTDB_ASSIGN_OR_RETURN(Row wrow, txn.Get(warehouse, {Value(int64_t{0})}, c));
+      double d_ytd_sum = 0;
+      std::vector<int64_t> next_o_ids;
+      REACTDB_RETURN_IF_ERROR(txn.Scan(
+          district, {}, {}, -1,
+          [&](const Row& row) {
+            d_ytd_sum += row[3].AsNumeric();
+            next_o_ids.push_back(row[4].AsInt64());
+            return true;
+          },
+          c));
+      if (std::abs(wrow[3].AsNumeric() - d_ytd_sum) > 1e-3) {
+        return Status::Internal("A1 violated: w_ytd != sum(d_ytd) at " + name);
+      }
+      // A2/A3: D_NEXT_O_ID - 1 == max(O_ID) >= max(NO_O_ID); and per-order
+      // ol_cnt == #order lines.
+      for (int64_t d = 1; d <= kNumDistricts; ++d) {
+        int64_t max_o = 0;
+        int64_t ol_mismatch = 0;
+        REACTDB_RETURN_IF_ERROR(txn.ScanPrefix(
+            oorder, {Value(d)}, -1,
+            [&](const Row& row) {
+              max_o = std::max(max_o, row[1].AsInt64());
+              return true;
+            },
+            c));
+        if (max_o != next_o_ids[static_cast<size_t>(d - 1)] - 1) {
+          return Status::Internal("A2 violated at " + name + " district " +
+                                  std::to_string(d));
+        }
+        int64_t max_no = 0;
+        REACTDB_RETURN_IF_ERROR(txn.ScanPrefix(
+            neworder, {Value(d)}, -1,
+            [&](const Row& row) {
+              max_no = std::max(max_no, row[1].AsInt64());
+              return true;
+            },
+            c));
+        if (max_no > max_o) {
+          return Status::Internal("A3 violated at " + name);
+        }
+        // Sample the newest order's line count.
+        if (max_o > 0) {
+          REACTDB_ASSIGN_OR_RETURN(Row order,
+                                   txn.Get(oorder, {Value(d), Value(max_o)}, c));
+          int64_t lines = 0;
+          REACTDB_RETURN_IF_ERROR(txn.ScanPrefix(
+              order_line, {Value(d), Value(max_o)}, -1,
+              [&lines](const Row&) {
+                ++lines;
+                return true;
+              },
+              c));
+          if (lines != order[5].AsInt64()) ++ol_mismatch;
+        }
+        if (ol_mismatch != 0) {
+          return Status::Internal("A4 violated at " + name);
+        }
+      }
+      return Status::OK();
+    });
+    REACTDB_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Generator::Generator(GeneratorOptions options, uint64_t seed)
+    : options_(options), rng_(seed) {}
+
+TxnRequest Generator::Next(int64_t home_warehouse) {
+  int total = options_.mix_new_order + options_.mix_payment +
+              options_.mix_order_status + options_.mix_delivery +
+              options_.mix_stock_level;
+  int64_t pick = rng_.NextInt(1, total);
+  if (pick <= options_.mix_new_order) return MakeNewOrder(home_warehouse);
+  pick -= options_.mix_new_order;
+  if (pick <= options_.mix_payment) return MakePayment(home_warehouse);
+  pick -= options_.mix_payment;
+  if (pick <= options_.mix_order_status) return MakeOrderStatus(home_warehouse);
+  pick -= options_.mix_order_status;
+  if (pick <= options_.mix_delivery) return MakeDelivery(home_warehouse);
+  return MakeStockLevel(home_warehouse);
+}
+
+TxnRequest Generator::MakeNewOrder(int64_t w) {
+  TxnRequest req;
+  req.reactor = WarehouseName(w);
+  req.proc = "new_order";
+  int64_t d_id = rng_.NextInt(1, kNumDistricts);
+  int64_t c_id = rng_.NuRand(1023, 1, kCustomersPerDistrict, 259) %
+                     kCustomersPerDistrict +
+                 1;
+  int64_t num_items = rng_.NextInt(5, 15);
+  req.args = {Value(d_id),
+              Value(c_id),
+              Value(options_.delay_min_us),
+              Value(options_.delay_max_us),
+              Value(options_.sync_subtxns),
+              Value(num_items)};
+  // The Appendix E sweep makes exactly one item remote with probability p;
+  // the default mode draws remoteness per item (spec behavior).
+  int64_t forced_remote_slot = -1;
+  if (options_.single_remote_item_prob >= 0 && options_.num_warehouses > 1 &&
+      rng_.NextBool(options_.single_remote_item_prob)) {
+    forced_remote_slot = rng_.NextInt(0, num_items - 1);
+  }
+  for (int64_t i = 0; i < num_items; ++i) {
+    int64_t i_id = rng_.NuRand(8191, 1, kNumItems, 7911) % kNumItems + 1;
+    // 1% of transactions use an unused item number and roll back (spec
+    // clause 2.4.1.4): flag on the last item.
+    if (i == num_items - 1 && rng_.NextBool(0.01)) i_id = -1;
+    bool remote = false;
+    if (options_.single_remote_item_prob >= 0) {
+      remote = i == forced_remote_slot;
+    } else {
+      remote = options_.num_warehouses > 1 &&
+               rng_.NextBool(options_.remote_item_prob);
+    }
+    std::string supply;
+    if (remote) {
+      supply = WarehouseName(
+          rng_.NextIntExcluding(1, options_.num_warehouses, w));
+    }
+    req.args.push_back(Value(i_id));
+    req.args.push_back(Value(std::move(supply)));
+    req.args.push_back(Value(rng_.NextInt(1, 10)));
+  }
+  return req;
+}
+
+TxnRequest Generator::MakePayment(int64_t w) {
+  TxnRequest req;
+  req.reactor = WarehouseName(w);
+  req.proc = "payment";
+  int64_t d_id = rng_.NextInt(1, kNumDistricts);
+  double amount = static_cast<double>(rng_.NextInt(100, 500000)) / 100.0;
+  bool by_name = rng_.NextBool(0.40);  // 60% by id, 40% by last name
+  Value c_key;
+  if (by_name) {
+    c_key = Value(LastName(rng_.NuRand(255, 0, 999, 223)));
+  } else {
+    c_key = Value(rng_.NuRand(1023, 1, kCustomersPerDistrict, 259) %
+                      kCustomersPerDistrict +
+                  1);
+  }
+  std::string c_reactor;  // empty = local customer
+  int64_t c_d_id = d_id;
+  if (options_.num_warehouses > 1 &&
+      rng_.NextBool(options_.remote_payment_prob)) {
+    c_reactor =
+        WarehouseName(rng_.NextIntExcluding(1, options_.num_warehouses, w));
+    c_d_id = rng_.NextInt(1, kNumDistricts);
+  }
+  req.args = {Value(d_id),      Value(amount), Value(by_name),
+              std::move(c_key), Value(c_reactor), Value(c_d_id)};
+  return req;
+}
+
+TxnRequest Generator::MakeOrderStatus(int64_t w) {
+  TxnRequest req;
+  req.reactor = WarehouseName(w);
+  req.proc = "order_status";
+  int64_t d_id = rng_.NextInt(1, kNumDistricts);
+  bool by_name = rng_.NextBool(0.60);
+  Value c_key = by_name
+                    ? Value(LastName(rng_.NuRand(255, 0, 999, 223)))
+                    : Value(rng_.NuRand(1023, 1, kCustomersPerDistrict, 259) %
+                                kCustomersPerDistrict +
+                            1);
+  req.args = {Value(d_id), Value(by_name), std::move(c_key)};
+  return req;
+}
+
+TxnRequest Generator::MakeDelivery(int64_t w) {
+  TxnRequest req;
+  req.reactor = WarehouseName(w);
+  req.proc = "delivery";
+  req.args = {Value(rng_.NextInt(1, 10))};
+  return req;
+}
+
+TxnRequest Generator::MakeStockLevel(int64_t w) {
+  TxnRequest req;
+  req.reactor = WarehouseName(w);
+  req.proc = "stock_level";
+  req.args = {Value(rng_.NextInt(1, kNumDistricts)), Value(rng_.NextInt(10, 20))};
+  return req;
+}
+
+}  // namespace tpcc
+}  // namespace reactdb

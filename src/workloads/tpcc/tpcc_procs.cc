@@ -1,0 +1,430 @@
+#include "src/workloads/tpcc/tpcc_procs.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/workloads/tpcc/tpcc.h"
+
+namespace reactdb {
+namespace tpcc {
+
+namespace {
+
+// Column ids (fixed by the schemas in tpcc.cc).
+// district: d_id, name, tax, ytd, next_o_id
+constexpr int kDistTax = 2;
+constexpr int kDistYtd = 3;
+constexpr int kDistNextOid = 4;
+// customer: d_id, c_id, first, middle, last, credit, discount, balance,
+//           ytd_payment, payment_cnt, delivery_cnt, data
+constexpr int kCustCid = 1;
+constexpr int kCustFirst = 2;
+constexpr int kCustLast = 4;
+constexpr int kCustCredit = 5;
+constexpr int kCustDiscount = 6;
+constexpr int kCustBalance = 7;
+constexpr int kCustYtdPayment = 8;
+constexpr int kCustPaymentCnt = 9;
+constexpr int kCustDeliveryCnt = 10;
+constexpr int kCustData = 11;
+// stock: i_id, qty, ytd, order_cnt, remote_cnt, dist_info
+constexpr int kStockQty = 1;
+constexpr int kStockYtd = 2;
+constexpr int kStockOrderCnt = 3;
+constexpr int kStockRemoteCnt = 4;
+constexpr int kStockDist = 5;
+// oorder: d_id, o_id, c_id, entry_d, carrier_id, ol_cnt, all_local
+constexpr int kOrderCid = 2;
+constexpr int kOrderCarrier = 4;
+constexpr int kOrderOlCnt = 5;
+// order_line: d_id, o_id, ol_num, i_id, supply_w, delivery_d, qty, amount,
+//             dist_info
+constexpr int kOlIid = 3;
+constexpr int kOlDeliveryD = 5;
+constexpr int kOlQty = 6;
+constexpr int kOlAmount = 7;
+
+// Performs one stock update (the storage footprint of the spec's stock
+// maintenance in new-order). `remote` marks supply from another warehouse.
+// Returns the stock's dist_info for the order line.
+StatusOr<std::string> DoStockUpdate(TxnContext& ctx, int64_t i_id,
+                                    int64_t qty, bool remote,
+                                    double delay_min_us, double delay_max_us) {
+  REACTDB_ASSIGN_OR_RETURN(Row stock, ctx.Get("stock", {Value(i_id)}));
+  int64_t s_qty = stock[kStockQty].AsInt64();
+  if (s_qty - qty >= 10) {
+    s_qty -= qty;
+  } else {
+    s_qty = s_qty - qty + 91;
+  }
+  stock[kStockQty] = Value(s_qty);
+  stock[kStockYtd] = Value(stock[kStockYtd].AsInt64() + qty);
+  stock[kStockOrderCnt] = Value(stock[kStockOrderCnt].AsInt64() + 1);
+  if (remote) {
+    stock[kStockRemoteCnt] = Value(stock[kStockRemoteCnt].AsInt64() + 1);
+  }
+  if (delay_max_us > 0) {
+    // Stock replenishment calculation (new-order-delay, Section 4.3.2).
+    double span = delay_max_us - delay_min_us;
+    double frac =
+        static_cast<double>((i_id * 2654435761u) % 1000) / 1000.0;
+    ctx.Compute(delay_min_us + span * frac);
+  }
+  std::string dist_info = stock[kStockDist].AsString();
+  REACTDB_RETURN_IF_ERROR(ctx.Update("stock", {Value(i_id)}, std::move(stock)));
+  return dist_info;
+}
+
+// Reads a customer row by id, or by last name picking the middle row
+// ordered by first name (spec clause 2.5.2.2).
+StatusOr<Row> LookupCustomer(TxnContext& ctx, int64_t d_id, bool by_name,
+                             const Value& key) {
+  if (!by_name) {
+    return ctx.Get("customer", {Value(d_id), key});
+  }
+  REACTDB_ASSIGN_OR_RETURN(Select sel, ctx.From("customer"));
+  sel.Index("by_name", {Value(d_id), key});
+  REACTDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.Rows(sel));
+  if (rows.empty()) {
+    return Status::NotFound("no customer with last name " + key.ToString());
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a[kCustFirst].AsString() < b[kCustFirst].AsString();
+  });
+  return rows[rows.size() / 2];
+}
+
+}  // namespace
+
+Proc NewOrder(TxnContext& ctx, Row args) {
+  int64_t d_id = args[0].AsInt64();
+  int64_t c_id = args[1].AsInt64();
+  double delay_min = args[2].AsNumeric();
+  double delay_max = args[3].AsNumeric();
+  bool sync_subtxns = args[4].AsBool();
+  int64_t num_items = args[5].AsInt64();
+
+  REACTDB_CO_ASSIGN_OR_RETURN(Row warehouse,
+                              ctx.Get("warehouse", {Value(int64_t{0})}));
+  double w_tax = warehouse[2].AsNumeric();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row district, ctx.Get("district", {Value(d_id)}));
+  double d_tax = district[kDistTax].AsNumeric();
+  int64_t o_id = district[kDistNextOid].AsInt64();
+  district[kDistNextOid] = Value(o_id + 1);
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("district", {Value(d_id)}, std::move(district)));
+  REACTDB_CO_ASSIGN_OR_RETURN(Row customer,
+                              ctx.Get("customer", {Value(d_id), Value(c_id)}));
+  double c_discount = customer[kCustDiscount].AsNumeric();
+
+  // Group items by supply warehouse; one asynchronous batched
+  // sub-transaction per distinct remote warehouse (safety condition).
+  struct ItemReq {
+    int64_t i_id;
+    int64_t qty;
+    size_t position;  // original order-line slot
+  };
+  std::vector<ItemReq> local_items;
+  std::map<std::string, std::vector<ItemReq>> remote_groups;
+  bool all_local = true;
+  for (int64_t i = 0; i < num_items; ++i) {
+    int64_t i_id = args[6 + i * 3].AsInt64();
+    std::string supply = args[6 + i * 3 + 1].AsString();
+    int64_t qty = args[6 + i * 3 + 2].AsInt64();
+    if (i_id < 0) {
+      // Unused item number: the spec's 1% rollback path.
+      co_return Status::UserAbort("invalid item number");
+    }
+    ItemReq req{i_id, qty, static_cast<size_t>(i)};
+    if (supply.empty() || supply == ctx.reactor_name()) {
+      local_items.push_back(req);
+    } else {
+      all_local = false;
+      remote_groups[supply].push_back(req);
+    }
+  }
+
+  // Dispatch remote stock updates. Asynchronously by default (overlapped
+  // with all the local work below); the shared-nothing-sync program variant
+  // instead awaits each call immediately after dispatch.
+  std::vector<std::string> dist_infos_pending;
+  std::vector<std::pair<const std::vector<ItemReq>*, Future>> remote_futures;
+  std::vector<std::pair<const std::vector<ItemReq>*, std::string>> sync_results;
+  for (const auto& [supply, reqs] : remote_groups) {
+    Row call_args = {Value(d_id), Value(delay_min), Value(delay_max),
+                     Value(static_cast<int64_t>(reqs.size()))};
+    for (const ItemReq& req : reqs) {
+      call_args.push_back(Value(req.i_id));
+      call_args.push_back(Value(req.qty));
+    }
+    Future f = ctx.CallOn(supply, "stock_update_batch", std::move(call_args));
+    if (sync_subtxns) {
+      ProcResult r = co_await f;
+      REACTDB_CO_RETURN_IF_ERROR(r.status());
+      sync_results.emplace_back(&reqs, r->AsString());
+    } else {
+      remote_futures.emplace_back(&reqs, std::move(f));
+    }
+  }
+
+  // Local processing overlapped with the remote calls.
+  int64_t entry_d = static_cast<int64_t>(ctx.root_id());
+  REACTDB_CO_RETURN_IF_ERROR(ctx.Insert(
+      "oorder", {Value(d_id), Value(o_id), Value(c_id), Value(entry_d),
+                 Value(int64_t{-1}), Value(num_items), Value(all_local)}));
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Insert("neworder", {Value(d_id), Value(o_id)}));
+
+  std::vector<double> amounts(static_cast<size_t>(num_items), 0);
+  std::vector<std::string> dist_infos(static_cast<size_t>(num_items));
+  std::vector<int64_t> item_ids(static_cast<size_t>(num_items), 0);
+  std::vector<int64_t> quantities(static_cast<size_t>(num_items), 0);
+  std::vector<std::string> supplies(static_cast<size_t>(num_items));
+  double total = 0;
+  for (int64_t i = 0; i < num_items; ++i) {
+    int64_t i_id = args[6 + i * 3].AsInt64();
+    item_ids[static_cast<size_t>(i)] = i_id;
+    quantities[static_cast<size_t>(i)] = args[6 + i * 3 + 2].AsInt64();
+    supplies[static_cast<size_t>(i)] = args[6 + i * 3 + 1].AsString();
+    REACTDB_CO_ASSIGN_OR_RETURN(Row item, ctx.Get("item", {Value(i_id)}));
+    double price = item[2].AsNumeric();
+    double amount = price * static_cast<double>(quantities[i]) *
+                    (1 + w_tax + d_tax) * (1 - c_discount);
+    amounts[static_cast<size_t>(i)] = amount;
+    total += amount;
+  }
+  for (const ItemReq& req : local_items) {
+    REACTDB_CO_ASSIGN_OR_RETURN(
+        std::string dist_info,
+        DoStockUpdate(ctx, req.i_id, req.qty, /*remote=*/false, delay_min,
+                      delay_max));
+    dist_infos[req.position] = std::move(dist_info);
+  }
+
+  // Collect remote results.
+  for (auto& [reqs, joined] : sync_results) {
+    std::istringstream in(joined);
+    for (const ItemReq& req : *reqs) {
+      std::string dist_info;
+      std::getline(in, dist_info, '|');
+      dist_infos[req.position] = std::move(dist_info);
+    }
+  }
+  for (auto& [reqs, future] : remote_futures) {
+    ProcResult r = co_await future;
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+    // dist_info strings come back '|'-joined in request order.
+    std::istringstream in(r->AsString());
+    for (const ItemReq& req : *reqs) {
+      std::string dist_info;
+      std::getline(in, dist_info, '|');
+      dist_infos[req.position] = std::move(dist_info);
+    }
+  }
+
+  for (int64_t i = 0; i < num_items; ++i) {
+    size_t pos = static_cast<size_t>(i);
+    REACTDB_CO_RETURN_IF_ERROR(ctx.Insert(
+        "order_line",
+        {Value(d_id), Value(o_id), Value(i + 1), Value(item_ids[pos]),
+         Value(supplies[pos].empty() ? ctx.reactor_name() : supplies[pos]),
+         Value(int64_t{-1}), Value(quantities[pos]), Value(amounts[pos]),
+         Value(dist_infos[pos])}));
+  }
+  co_return Value(total);
+}
+
+Proc StockUpdateBatch(TxnContext& ctx, Row args) {
+  double delay_min = args[1].AsNumeric();
+  double delay_max = args[2].AsNumeric();
+  int64_t n = args[3].AsInt64();
+  std::string joined;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t i_id = args[4 + i * 2].AsInt64();
+    int64_t qty = args[4 + i * 2 + 1].AsInt64();
+    REACTDB_CO_ASSIGN_OR_RETURN(
+        std::string dist_info,
+        DoStockUpdate(ctx, i_id, qty, /*remote=*/true, delay_min, delay_max));
+    if (i > 0) joined += '|';
+    joined += dist_info;
+  }
+  co_return Value(std::move(joined));
+}
+
+Proc Payment(TxnContext& ctx, Row args) {
+  int64_t d_id = args[0].AsInt64();
+  double h_amount = args[1].AsNumeric();
+  bool by_name = args[2].AsBool();
+  Value c_key = args[3];
+  std::string c_reactor = args[4].AsString();
+  int64_t c_d_id = args[5].AsInt64();
+
+  REACTDB_CO_ASSIGN_OR_RETURN(Row warehouse,
+                              ctx.Get("warehouse", {Value(int64_t{0})}));
+  warehouse[3] = Value(warehouse[3].AsNumeric() + h_amount);
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("warehouse", {Value(int64_t{0})}, std::move(warehouse)));
+  REACTDB_CO_ASSIGN_OR_RETURN(Row district, ctx.Get("district", {Value(d_id)}));
+  district[kDistYtd] = Value(district[kDistYtd].AsNumeric() + h_amount);
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("district", {Value(d_id)}, std::move(district)));
+
+  int64_t c_id;
+  if (c_reactor.empty() || c_reactor == ctx.reactor_name()) {
+    // Local customer: run the customer update inline (direct self-call).
+    Future call = ctx.CallOn(
+        ctx.reactor_name(), "payment_customer",
+        {Value(c_d_id), Value(by_name), c_key, Value(h_amount),
+         Value(ctx.reactor_name()), Value(d_id)});
+    ProcResult r = co_await call;
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+    c_id = r->AsInt64();
+  } else {
+    // Remote customer (15% in the spec): asynchronous cross-reactor call,
+    // awaited before the history insert that references the customer.
+    Future call = ctx.CallOn(
+        c_reactor, "payment_customer",
+        {Value(c_d_id), Value(by_name), c_key, Value(h_amount),
+         Value(ctx.reactor_name()), Value(d_id)});
+    ProcResult r = co_await call;
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+    c_id = r->AsInt64();
+  }
+
+  int64_t h_id = static_cast<int64_t>(ctx.root_id());
+  REACTDB_CO_RETURN_IF_ERROR(ctx.Insert(
+      "history", {Value(h_id), Value(c_d_id), Value(c_id), Value(d_id),
+                  Value(h_amount), Value(c_reactor.empty()
+                                             ? ctx.reactor_name()
+                                             : c_reactor)}));
+  co_return Value(c_id);
+}
+
+Proc PaymentCustomer(TxnContext& ctx, Row args) {
+  int64_t c_d_id = args[0].AsInt64();
+  bool by_name = args[1].AsBool();
+  Value c_key = args[2];
+  double h_amount = args[3].AsNumeric();
+  const std::string& w_from = args[4].AsString();
+  int64_t d_from = args[5].AsInt64();
+
+  REACTDB_CO_ASSIGN_OR_RETURN(Row customer,
+                              LookupCustomer(ctx, c_d_id, by_name, c_key));
+  int64_t c_id = customer[kCustCid].AsInt64();
+  customer[kCustBalance] = Value(customer[kCustBalance].AsNumeric() - h_amount);
+  customer[kCustYtdPayment] =
+      Value(customer[kCustYtdPayment].AsNumeric() + h_amount);
+  customer[kCustPaymentCnt] =
+      Value(customer[kCustPaymentCnt].AsInt64() + 1);
+  if (customer[kCustCredit].AsString() == "BC") {
+    // Bad-credit customers accumulate payment history in c_data (clause
+    // 2.5.2.2), truncated to keep rows bounded.
+    std::string data = std::to_string(c_id) + "," + std::to_string(c_d_id) +
+                       "," + w_from + "," + std::to_string(d_from) + "," +
+                       std::to_string(h_amount) + ";" +
+                       customer[kCustData].AsString();
+    if (data.size() > 120) data.resize(120);
+    customer[kCustData] = Value(std::move(data));
+  }
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("customer", {Value(c_d_id), Value(c_id)}, std::move(customer)));
+  co_return Value(c_id);
+}
+
+Proc OrderStatus(TxnContext& ctx, Row args) {
+  int64_t d_id = args[0].AsInt64();
+  bool by_name = args[1].AsBool();
+  Value c_key = args[2];
+
+  REACTDB_CO_ASSIGN_OR_RETURN(Row customer,
+                              LookupCustomer(ctx, d_id, by_name, c_key));
+  int64_t c_id = customer[kCustCid].AsInt64();
+  // Most recent order of the customer: descending scan of the by_customer
+  // index.
+  REACTDB_CO_ASSIGN_OR_RETURN(Select sel, ctx.From("oorder"));
+  sel.Index("by_customer", {Value(d_id), Value(c_id)}).Reverse().Limit(1);
+  StatusOr<Row> last_order = ctx.One(sel);
+  if (!last_order.ok()) {
+    co_return Value(int64_t{0});  // customer without orders
+  }
+  int64_t o_id = (*last_order)[1].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Select lines, ctx.From("order_line"));
+  lines.KeyPrefix({Value(d_id), Value(o_id)});
+  REACTDB_CO_ASSIGN_OR_RETURN(int64_t count, ctx.Count(lines));
+  co_return Value(count);
+}
+
+Proc Delivery(TxnContext& ctx, Row args) {
+  int64_t carrier_id = args[0].AsInt64();
+  int64_t delivered = 0;
+  for (int64_t d_id = 1; d_id <= kNumDistricts; ++d_id) {
+    // Oldest undelivered order of the district.
+    REACTDB_CO_ASSIGN_OR_RETURN(Select oldest, ctx.From("neworder"));
+    oldest.KeyPrefix({Value(d_id)}).Limit(1);
+    StatusOr<Row> no_row = ctx.One(oldest);
+    if (!no_row.ok()) continue;  // skip empty district (spec allows)
+    int64_t o_id = (*no_row)[1].AsInt64();
+    REACTDB_CO_RETURN_IF_ERROR(
+        ctx.Delete("neworder", {Value(d_id), Value(o_id)}));
+
+    REACTDB_CO_ASSIGN_OR_RETURN(Row order,
+                                ctx.Get("oorder", {Value(d_id), Value(o_id)}));
+    int64_t c_id = order[kOrderCid].AsInt64();
+    order[kOrderCarrier] = Value(carrier_id);
+    REACTDB_CO_RETURN_IF_ERROR(
+        ctx.Update("oorder", {Value(d_id), Value(o_id)}, std::move(order)));
+
+    // Sum the order's lines and stamp the delivery date.
+    REACTDB_CO_ASSIGN_OR_RETURN(Select lines, ctx.From("order_line"));
+    lines.KeyPrefix({Value(d_id), Value(o_id)});
+    REACTDB_CO_ASSIGN_OR_RETURN(std::vector<Row> ol_rows, ctx.Rows(lines));
+    double amount_sum = 0;
+    int64_t delivery_d = static_cast<int64_t>(ctx.root_id());
+    for (Row& line : ol_rows) {
+      amount_sum += line[kOlAmount].AsNumeric();
+      Row key = {line[0], line[1], line[2]};
+      line[kOlDeliveryD] = Value(delivery_d);
+      REACTDB_CO_RETURN_IF_ERROR(
+          ctx.Update("order_line", key, std::move(line)));
+    }
+
+    REACTDB_CO_ASSIGN_OR_RETURN(
+        Row customer, ctx.Get("customer", {Value(d_id), Value(c_id)}));
+    customer[kCustBalance] =
+        Value(customer[kCustBalance].AsNumeric() + amount_sum);
+    customer[kCustDeliveryCnt] =
+        Value(customer[kCustDeliveryCnt].AsInt64() + 1);
+    REACTDB_CO_RETURN_IF_ERROR(
+        ctx.Update("customer", {Value(d_id), Value(c_id)}, std::move(customer)));
+    ++delivered;
+  }
+  co_return Value(delivered);
+}
+
+Proc StockLevel(TxnContext& ctx, Row args) {
+  int64_t d_id = args[0].AsInt64();
+  int64_t threshold = args[1].AsInt64();
+
+  REACTDB_CO_ASSIGN_OR_RETURN(Row district, ctx.Get("district", {Value(d_id)}));
+  int64_t next_o_id = district[kDistNextOid].AsInt64();
+  // Distinct items of the last 20 orders.
+  std::set<int64_t> item_ids;
+  int64_t lo = std::max<int64_t>(1, next_o_id - 20);
+  for (int64_t o_id = lo; o_id < next_o_id; ++o_id) {
+    REACTDB_CO_ASSIGN_OR_RETURN(Select lines, ctx.From("order_line"));
+    lines.KeyPrefix({Value(d_id), Value(o_id)});
+    REACTDB_CO_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.Rows(lines));
+    for (const Row& line : rows) item_ids.insert(line[kOlIid].AsInt64());
+  }
+  int64_t low_stock = 0;
+  for (int64_t i_id : item_ids) {
+    REACTDB_CO_ASSIGN_OR_RETURN(Row stock, ctx.Get("stock", {Value(i_id)}));
+    if (stock[kStockQty].AsInt64() < threshold) ++low_stock;
+  }
+  co_return Value(low_stock);
+}
+
+}  // namespace tpcc
+}  // namespace reactdb

@@ -1,0 +1,40 @@
+// TPC-C stored procedures on the Warehouse reactor type.
+//
+// Argument conventions (all procedures are invoked on a warehouse reactor):
+//   new_order:     [d_id, c_id, delay_min_us, delay_max_us, sync_flag, k,
+//                   (i_id, supply_reactor, qty) * k]
+//                  sync_flag true awaits each remote stock update right
+//                  after dispatch (the shared-nothing-sync program variant
+//                  of Section 3.3).
+//                  supply_reactor == "" or own name means local supply;
+//                  i_id < 0 simulates the spec's 1% invalid-item rollback.
+//   stock_update_batch: [d_id, delay_min_us, delay_max_us, n,
+//                   (i_id, qty) * n] -> '|' joined dist_info strings
+//   payment:       [d_id, h_amount, by_name, c_key, c_reactor, c_d_id]
+//                  c_reactor == "" means the customer is local.
+//   payment_customer: [c_d_id, by_name, c_key, h_amount, w_from, d_from]
+//   order_status:  [d_id, by_name, c_key]
+//   delivery:      [carrier_id]
+//   stock_level:   [d_id, threshold]
+
+#ifndef REACTDB_WORKLOADS_TPCC_TPCC_PROCS_H_
+#define REACTDB_WORKLOADS_TPCC_TPCC_PROCS_H_
+
+#include "src/reactor/context.h"
+#include "src/reactor/proc.h"
+
+namespace reactdb {
+namespace tpcc {
+
+Proc NewOrder(TxnContext& ctx, Row args);
+Proc StockUpdateBatch(TxnContext& ctx, Row args);
+Proc Payment(TxnContext& ctx, Row args);
+Proc PaymentCustomer(TxnContext& ctx, Row args);
+Proc OrderStatus(TxnContext& ctx, Row args);
+Proc Delivery(TxnContext& ctx, Row args);
+Proc StockLevel(TxnContext& ctx, Row args);
+
+}  // namespace tpcc
+}  // namespace reactdb
+
+#endif  // REACTDB_WORKLOADS_TPCC_TPCC_PROCS_H_

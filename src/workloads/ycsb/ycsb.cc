@@ -1,0 +1,123 @@
+#include "src/workloads/ycsb/ycsb.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace reactdb {
+namespace ycsb {
+
+namespace {
+
+constexpr int64_t kRowKey = 0;
+
+// update([count]): `count` read-modify-writes of this reactor's single row,
+// rotating the payload by one character each time. Zipfian draws may repeat
+// a key within one multi_update; repeats collapse into the count so that
+// each reactor receives at most one sub-transaction per root (the dynamic
+// safety condition of Section 2.2.4 forbids two concurrent
+// sub-transactions of one root on the same reactor).
+Proc UpdateSelf(TxnContext& ctx, Row args) {
+  int64_t count = args.empty() ? 1 : args[0].AsInt64();
+  for (int64_t i = 0; i < count; ++i) {
+    REACTDB_CO_ASSIGN_OR_RETURN(Row row,
+                                ctx.Get("usertable", {Value(kRowKey)}));
+    std::string payload = row[1].AsString();
+    if (!payload.empty()) {
+      std::rotate(payload.begin(), payload.begin() + 1, payload.end());
+    }
+    REACTDB_CO_RETURN_IF_ERROR(
+        ctx.Update("usertable", {Value(kRowKey)},
+                   {Value(kRowKey), Value(std::move(payload))}));
+  }
+  co_return Value(count);
+}
+
+// multi_update([key1, count1, key2, count2, ...]): async RMW batch on every
+// listed reactor; a key equal to the invoking reactor is inlined (direct
+// self-call). Callers order remote keys before local ones so the
+// transaction stays fork-join (Appendix C).
+Proc MultiUpdate(TxnContext& ctx, Row args) {
+  std::vector<Future> futures;
+  futures.reserve(args.size() / 2);
+  for (size_t i = 0; i + 1 < args.size(); i += 2) {
+    futures.push_back(
+        ctx.CallOn(args[i].AsString(), "update", {args[i + 1]}));
+  }
+  int64_t updated = 0;
+  for (Future& f : futures) {
+    ProcResult r = co_await f;
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+    updated += r->AsInt64();
+  }
+  co_return Value(updated);
+}
+
+}  // namespace
+
+std::string KeyName(int64_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "y_%08lld", static_cast<long long>(i));
+  return buf;
+}
+
+void BuildDef(ReactorDatabaseDef* def, int64_t num_keys) {
+  ReactorType& type = def->DefineType("Key");
+  type.AddSchema(SchemaBuilder("usertable")
+                     .AddColumn("id", ValueType::kInt64)
+                     .AddColumn("field", ValueType::kString)
+                     .SetKey({"id"})
+                     .Build()
+                     .value());
+  type.AddProcedure("update", &UpdateSelf);
+  type.AddProcedure("multi_update", &MultiUpdate);
+  for (int64_t i = 0; i < num_keys; ++i) {
+    REACTDB_CHECK_OK(def->DeclareReactor(KeyName(i), "Key"));
+  }
+}
+
+Status Load(RuntimeBase* rt, int64_t num_keys, size_t payload_size) {
+  constexpr int64_t kBatch = 1024;
+  // Cycling alphabet so read-modify-write rotations are observable.
+  std::string payload(payload_size, 'x');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + i % 26);
+  }
+  for (int64_t base = 0; base < num_keys; base += kBatch) {
+    int64_t end = std::min(base + kBatch, num_keys);
+    Status s = rt->RunDirect([&](SiloTxn& txn) -> Status {
+      for (int64_t i = base; i < end; ++i) {
+        std::string name = KeyName(i);
+        Reactor* r = rt->FindReactor(name);
+        if (r == nullptr) return Status::Internal("missing reactor " + name);
+        REACTDB_ASSIGN_OR_RETURN(Table * table,
+                                 rt->FindTable(name, "usertable"));
+        REACTDB_RETURN_IF_ERROR(txn.Insert(
+            table, {Value(kRowKey), Value(payload)}, r->container_id()));
+      }
+      return Status::OK();
+    });
+    REACTDB_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadPayload(RuntimeBase* rt, int64_t key) {
+  std::string out;
+  Status s = rt->RunDirect([&](SiloTxn& txn) -> Status {
+    std::string name = KeyName(key);
+    Reactor* r = rt->FindReactor(name);
+    if (r == nullptr) return Status::NotFound("no key " + name);
+    REACTDB_ASSIGN_OR_RETURN(Table * table, rt->FindTable(name, "usertable"));
+    REACTDB_ASSIGN_OR_RETURN(Row row,
+                             txn.Get(table, {Value(kRowKey)}, r->container_id()));
+    out = row[1].AsString();
+    return Status::OK();
+  });
+  REACTDB_RETURN_IF_ERROR(s);
+  return out;
+}
+
+}  // namespace ycsb
+}  // namespace reactdb

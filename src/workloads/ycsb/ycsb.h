@@ -1,0 +1,40 @@
+// YCSB with the multi_update transaction (paper Appendix C).
+//
+// Each key is modeled as a reactor encapsulating a single-row usertable
+// (key, field) with a 100-byte payload. multi_update updates 10 keys with a
+// read-modify-write per key, invoked on the reactor of one of the keys;
+// updates for keys on remote transaction executors are dispatched
+// asynchronously, updates for local keys (including the invoking reactor)
+// run inline. Callers sort keys remote-first so the transaction remains
+// fork-join (Appendix C).
+//
+// Argument convention for multi_update: [key_reactor_1, count_1, ...]
+// (repeated zipfian draws of one key collapse into its count; the invoking
+// reactor updates itself inline if its name appears).
+
+#ifndef REACTDB_WORKLOADS_YCSB_YCSB_H_
+#define REACTDB_WORKLOADS_YCSB_YCSB_H_
+
+#include <string>
+
+#include "src/runtime/runtime_base.h"
+
+namespace reactdb {
+namespace ycsb {
+
+/// Reactor name of key `i` (zero-padded for range placement).
+std::string KeyName(int64_t i);
+
+/// Defines the Key reactor type and declares `num_keys` reactors.
+void BuildDef(ReactorDatabaseDef* def, int64_t num_keys);
+
+/// Loads each key with a `payload_size`-byte initial value.
+Status Load(RuntimeBase* rt, int64_t num_keys, size_t payload_size = 100);
+
+/// Reads a key's current payload (direct, for verification).
+StatusOr<std::string> ReadPayload(RuntimeBase* rt, int64_t key);
+
+}  // namespace ycsb
+}  // namespace reactdb
+
+#endif  // REACTDB_WORKLOADS_YCSB_YCSB_H_

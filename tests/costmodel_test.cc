@@ -1,0 +1,162 @@
+// Cost model tests: the Fig. 3 fork-join latency equation on hand-computed
+// structures.
+#include <gtest/gtest.h>
+
+#include "src/costmodel/cost_model.h"
+
+namespace reactdb {
+namespace {
+
+constexpr double kCs = 2.0;
+constexpr double kCr = 5.0;
+
+CommCosts Comm() {
+  CommCosts c;
+  c.cs_us = kCs;
+  c.cr_us = kCr;
+  return c;
+}
+
+TEST(CostModel, PureSequentialProcessing) {
+  ForkJoinTxn txn;
+  txn.dest = 0;
+  txn.pseq_us = 12.5;
+  EXPECT_DOUBLE_EQ(12.5, ForkJoinLatencyUs(txn, Comm()));
+}
+
+TEST(CostModel, SynchronousChildrenSumWithCommunication) {
+  ForkJoinTxn txn;
+  txn.dest = 0;
+  txn.pseq_us = 10;
+  for (int dest : {1, 2}) {
+    ForkJoinTxn child;
+    child.dest = dest;
+    child.pseq_us = 7;
+    txn.sync_seq.push_back(child);
+  }
+  // 10 + 2*(7 + Cs + Cr)
+  EXPECT_DOUBLE_EQ(10 + 2 * (7 + kCs + kCr), ForkJoinLatencyUs(txn, Comm()));
+}
+
+TEST(CostModel, CoLocatedChildIsFreeToReach) {
+  ForkJoinTxn txn;
+  txn.dest = 3;
+  ForkJoinTxn child;
+  child.dest = 3;  // same executor
+  child.pseq_us = 7;
+  txn.sync_seq.push_back(child);
+  EXPECT_DOUBLE_EQ(7, ForkJoinLatencyUs(txn, Comm()));
+}
+
+TEST(CostModel, AsyncChildrenTakeMaxWithSerializedSends) {
+  ForkJoinTxn txn;
+  txn.dest = 0;
+  for (int dest : {1, 2, 3}) {
+    ForkJoinTxn child;
+    child.dest = dest;
+    child.pseq_us = 10;
+    txn.async_children.push_back(child);
+  }
+  // Child i pays prefix sends i*Cs; the last dominates:
+  // 3*Cs + 10 + Cr = 6 + 10 + 5 = 21.
+  EXPECT_DOUBLE_EQ(3 * kCs + 10 + kCr, ForkJoinLatencyUs(txn, Comm()));
+}
+
+TEST(CostModel, OverlappedProcessingCanDominate) {
+  ForkJoinTxn txn;
+  txn.dest = 0;
+  txn.povp_us = 100;  // long local work overlapping the async child
+  ForkJoinTxn child;
+  child.dest = 1;
+  child.pseq_us = 10;
+  txn.async_children.push_back(child);
+  // max(Cs + 10 + Cr = 17, 100) = 100
+  EXPECT_DOUBLE_EQ(100, ForkJoinLatencyUs(txn, Comm()));
+}
+
+TEST(CostModel, OverlappedSyncChildrenAddToPovpBranch) {
+  ForkJoinTxn txn;
+  txn.dest = 0;
+  txn.povp_us = 5;
+  ForkJoinTxn sync_child;
+  sync_child.dest = 1;
+  sync_child.pseq_us = 10;
+  txn.sync_ovp.push_back(sync_child);
+  ForkJoinTxn async_child;
+  async_child.dest = 2;
+  async_child.pseq_us = 1;
+  txn.async_children.push_back(async_child);
+  // overlapped branch: 5 + (10 + Cs + Cr) = 22 > async branch Cs+1+Cr = 8
+  EXPECT_DOUBLE_EQ(22, ForkJoinLatencyUs(txn, Comm()));
+}
+
+TEST(CostModel, RecursionThroughNestedChildren) {
+  // parent -> sync child -> async grandchild
+  ForkJoinTxn grandchild;
+  grandchild.dest = 2;
+  grandchild.pseq_us = 4;
+
+  ForkJoinTxn child;
+  child.dest = 1;
+  child.pseq_us = 3;
+  child.async_children.push_back(grandchild);
+
+  ForkJoinTxn root;
+  root.dest = 0;
+  root.pseq_us = 1;
+  root.sync_seq.push_back(child);
+  // L(child) = 3 + (Cs + 4 + Cr) = 14; L(root) = 1 + 14 + Cs + Cr = 22
+  EXPECT_DOUBLE_EQ(22, ForkJoinLatencyUs(root, Comm()));
+}
+
+TEST(CostModel, BreakdownComponentsSumToTotal) {
+  ForkJoinTxn txn;
+  txn.dest = 0;
+  txn.pseq_us = 9;
+  ForkJoinTxn sync_child;
+  sync_child.dest = 1;
+  sync_child.pseq_us = 2;
+  txn.sync_seq.push_back(sync_child);
+  ForkJoinTxn async_child;
+  async_child.dest = 2;
+  async_child.pseq_us = 6;
+  txn.async_children.push_back(async_child);
+  CostBreakdown b = ForkJoinBreakdown(txn, Comm());
+  EXPECT_DOUBLE_EQ(9 + 2, b.sync_exec_us);
+  EXPECT_DOUBLE_EQ(kCs, b.cs_us);
+  EXPECT_DOUBLE_EQ(kCr, b.cr_us);
+  EXPECT_DOUBLE_EQ(kCs + 6 + kCr, b.async_exec_us);
+  EXPECT_DOUBLE_EQ(b.sync_exec_us + b.cs_us + b.cr_us + b.async_exec_us,
+                   b.total_us);
+  EXPECT_FALSE(b.ToString().empty());
+}
+
+// Qualitative property from the paper: opt-style formulations dominate
+// fully-sync-style ones, and the gap grows with size.
+TEST(CostModel, AsyncFormulationDominatesSyncFormulation) {
+  double prev_gap = 0;
+  for (int size = 1; size <= 8; ++size) {
+    ForkJoinTxn sync_form;
+    sync_form.dest = 0;
+    ForkJoinTxn async_form;
+    async_form.dest = 0;
+    for (int i = 1; i <= size; ++i) {
+      ForkJoinTxn child;
+      child.dest = i;
+      child.pseq_us = 2;
+      sync_form.sync_seq.push_back(child);
+      async_form.async_children.push_back(child);
+      sync_form.pseq_us += 2;   // per-destination debit
+      async_form.povp_us += 2;  // overlapped debits
+    }
+    double sync_lat = ForkJoinLatencyUs(sync_form, Comm());
+    double async_lat = ForkJoinLatencyUs(async_form, Comm());
+    EXPECT_LE(async_lat, sync_lat);
+    double gap = sync_lat - async_lat;
+    EXPECT_GE(gap, prev_gap);
+    prev_gap = gap;
+  }
+}
+
+}  // namespace
+}  // namespace reactdb

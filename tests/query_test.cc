@@ -1,0 +1,220 @@
+// Query layer tests: expression evaluation and the Select/Update builders.
+#include <gtest/gtest.h>
+
+#include "src/query/query.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace reactdb {
+namespace {
+
+Schema OrdersSchema() {
+  return SchemaBuilder("orders")
+      .AddColumn("id", ValueType::kInt64)
+      .AddColumn("provider", ValueType::kString)
+      .AddColumn("value", ValueType::kDouble)
+      .AddColumn("settled", ValueType::kString)
+      .SetKey({"id"})
+      .AddIndex("by_provider", {"provider"})
+      .Build()
+      .value();
+}
+
+// --- Expr ------------------------------------------------------------
+
+TEST(Expr, LiteralAndColumn) {
+  Schema s = OrdersSchema();
+  Row row = {Value(int64_t{1}), Value("visa"), Value(10.5), Value("N")};
+  EXPECT_EQ(Value(int64_t{5}), Lit(int64_t{5}).Eval(row, s).value());
+  EXPECT_EQ(Value("visa"), Col("provider").Eval(row, s).value());
+  EXPECT_FALSE(Col("nope").Eval(row, s).ok());
+}
+
+TEST(Expr, ComparisonsAndBoolean) {
+  Schema s = OrdersSchema();
+  Row row = {Value(int64_t{1}), Value("visa"), Value(10.5), Value("N")};
+  EXPECT_TRUE((Col("value") > Lit(10.0)).Test(row, s));
+  EXPECT_FALSE((Col("value") > Lit(11.0)).Test(row, s));
+  EXPECT_TRUE((Col("settled") == Lit("N") && Col("value") >= Lit(10.5))
+                  .Test(row, s));
+  EXPECT_TRUE((Col("settled") == Lit("Y") || Col("provider") == Lit("visa"))
+                  .Test(row, s));
+  EXPECT_TRUE((!(Col("settled") == Lit("Y"))).Test(row, s));
+  EXPECT_TRUE((Col("id") != Lit(int64_t{2})).Test(row, s));
+  EXPECT_TRUE((Col("value") <= Lit(10.5)).Test(row, s));
+  EXPECT_TRUE((Col("id") < Lit(int64_t{2})).Test(row, s));
+}
+
+TEST(Expr, Arithmetic) {
+  Schema s = OrdersSchema();
+  Row row = {Value(int64_t{4}), Value("m"), Value(2.5), Value("N")};
+  EXPECT_DOUBLE_EQ(6.5, (Col("id") + Col("value")).Eval(row, s)->AsNumeric());
+  EXPECT_DOUBLE_EQ(1.5, (Col("id") - Lit(2.5)).Eval(row, s)->AsNumeric());
+  EXPECT_EQ(8, (Col("id") * Lit(int64_t{2})).Eval(row, s)->AsInt64());
+  EXPECT_EQ(2, (Col("id") / Lit(int64_t{2})).Eval(row, s)->AsInt64());
+  EXPECT_FALSE((Col("id") / Lit(int64_t{0})).Eval(row, s).ok());
+  EXPECT_EQ("mN", (Col("provider") + Col("settled")).Eval(row, s)->AsString());
+}
+
+TEST(Expr, NullPropagation) {
+  Schema s = OrdersSchema();
+  Row row = {Value(int64_t{1}), Value::Null(), Value::Null(), Value("N")};
+  EXPECT_TRUE((Col("provider") == Lit("x")).Eval(row, s)->is_null());
+  EXPECT_FALSE((Col("provider") == Lit("x")).Test(row, s));  // null -> false
+  EXPECT_TRUE((Col("value") + Lit(1.0)).Eval(row, s)->is_null());
+  // Short-circuit keeps decided results non-null.
+  EXPECT_TRUE((Lit(true) || Col("provider") == Lit("x")).Test(row, s));
+  EXPECT_FALSE((Lit(false) && Col("provider") == Lit("x")).Test(row, s));
+}
+
+TEST(Expr, ToStringReadable) {
+  Expr e = Col("value") > Lit(10.0) && Col("settled") == Lit("N");
+  EXPECT_EQ("((value > 10) AND (settled = N))", e.ToString());
+}
+
+// --- Select / Update ---------------------------------------------------------
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : table_(OrdersSchema()) {
+    SiloTxn loader(&epochs_);
+    Rng rng(5);
+    const char* providers[] = {"amex", "mc", "visa"};
+    for (int64_t i = 1; i <= 60; ++i) {
+      REACTDB_CHECK_OK(loader.Insert(
+          &table_,
+          {Value(i), Value(providers[i % 3]), Value(static_cast<double>(i)),
+           Value(i % 2 == 0 ? "Y" : "N")},
+          0));
+    }
+    REACTDB_CHECK_OK(loader.Commit(&tids_).status());
+  }
+
+  EpochManager epochs_;
+  TidSource tids_;
+  Table table_;
+};
+
+TEST_F(QueryTest, FullScanWithPredicate) {
+  SiloTxn txn(&epochs_);
+  Select sel(&table_);
+  sel.Where(Col("settled") == Lit("N") && Col("value") > Lit(50.0));
+  auto rows = sel.Rows(&txn, 0);
+  ASSERT_TRUE(rows.ok());
+  // odd ids 51..59 -> 51,53,55,57,59
+  EXPECT_EQ(5u, rows->size());
+  txn.Abort();
+}
+
+TEST_F(QueryTest, KeyLookupAndRange) {
+  SiloTxn txn(&epochs_);
+  Select by_key(&table_);
+  by_key.Key({Value(int64_t{7})});
+  StatusOr<Row> one = by_key.One(&txn, 0);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(7, (*one)[0].AsInt64());
+
+  Select range(&table_);
+  range.KeyRange({Value(int64_t{10})}, {Value(int64_t{15})});
+  EXPECT_EQ(5, range.Count(&txn, 0).value());
+  txn.Abort();
+}
+
+TEST_F(QueryTest, LimitAndReverse) {
+  SiloTxn txn(&epochs_);
+  Select sel(&table_);
+  sel.Where(Col("settled") == Lit("N")).Reverse().Limit(3);
+  auto rows = sel.Rows(&txn, 0);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(3u, rows->size());
+  EXPECT_EQ(59, (*rows)[0][0].AsInt64());
+  EXPECT_EQ(57, (*rows)[1][0].AsInt64());
+  EXPECT_EQ(55, (*rows)[2][0].AsInt64());
+  txn.Abort();
+}
+
+TEST_F(QueryTest, Aggregates) {
+  SiloTxn txn(&epochs_);
+  Select all(&table_);
+  EXPECT_EQ(60, all.Count(&txn, 0).value());
+  EXPECT_DOUBLE_EQ(60 * 61 / 2.0, Select(&table_).Sum(&txn, 0, "value").value());
+  EXPECT_EQ(Value(1.0), Select(&table_).Min(&txn, 0, "value").value());
+  EXPECT_EQ(Value(60.0), Select(&table_).Max(&txn, 0, "value").value());
+  Select none(&table_);
+  none.Where(Col("value") > Lit(1e9));
+  EXPECT_DOUBLE_EQ(0.0, none.Sum(&txn, 0, "value").value());
+  EXPECT_TRUE(none.Min(&txn, 0, "value")->is_null());
+  EXPECT_FALSE(Select(&table_).Sum(&txn, 0, "nope").ok());
+  txn.Abort();
+}
+
+TEST_F(QueryTest, SecondaryIndexAccessPath) {
+  SiloTxn txn(&epochs_);
+  Select sel(&table_);
+  sel.Index("by_provider", {Value("visa")});
+  auto rows = sel.Rows(&txn, 0);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(20u, rows->size());
+  for (const Row& row : *rows) EXPECT_EQ("visa", row[1].AsString());
+  Select bad(&table_);
+  bad.Index("no_such_index", {Value("x")});
+  EXPECT_FALSE(bad.Rows(&txn, 0).ok());
+  txn.Abort();
+}
+
+TEST_F(QueryTest, OneOnEmptyIsNotFound) {
+  SiloTxn txn(&epochs_);
+  Select sel(&table_);
+  sel.Where(Col("value") > Lit(1e9));
+  EXPECT_TRUE(sel.One(&txn, 0).status().IsNotFound());
+  Select missing_key(&table_);
+  missing_key.Key({Value(int64_t{999})});
+  EXPECT_TRUE(missing_key.One(&txn, 0).status().IsNotFound());
+  txn.Abort();
+}
+
+TEST_F(QueryTest, SearchedUpdate) {
+  {
+    SiloTxn txn(&epochs_);
+    Update upd(&table_);
+    upd.Where(Col("settled") == Lit("N"))
+        .Set("value", Col("value") * Lit(2.0))
+        .Set("settled", Lit("Y"));
+    StatusOr<int64_t> n = upd.Execute(&txn, 0);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(30, *n);
+    ASSERT_TRUE(txn.Commit(&tids_).ok());
+  }
+  SiloTxn check(&epochs_);
+  Select unsettled(&table_);
+  unsettled.Where(Col("settled") == Lit("N"));
+  EXPECT_EQ(0, unsettled.Count(&check, 0).value());
+  // Odd rows were doubled.
+  StatusOr<Row> row = check.Get(&table_, {Value(int64_t{5})}, 0);
+  EXPECT_DOUBLE_EQ(10.0, (*row)[2].AsNumeric());
+  check.Abort();
+}
+
+TEST_F(QueryTest, UpdateByKey) {
+  SiloTxn txn(&epochs_);
+  Update upd(&table_);
+  upd.Key({Value(int64_t{3})}).Set("value", Lit(999.0));
+  EXPECT_EQ(1, upd.Execute(&txn, 0).value());
+  ASSERT_TRUE(txn.Commit(&tids_).ok());
+  SiloTxn check(&epochs_);
+  EXPECT_DOUBLE_EQ(999.0,
+                   (*check.Get(&table_, {Value(int64_t{3})}, 0))[2].AsNumeric());
+  check.Abort();
+}
+
+TEST_F(QueryTest, WhereComposesConjunctively) {
+  SiloTxn txn(&epochs_);
+  Select sel(&table_);
+  sel.Where(Col("settled") == Lit("N")).Where(Col("value") < Lit(10.0));
+  // odd ids below 10: 1,3,5,7,9
+  EXPECT_EQ(5, sel.Count(&txn, 0).value());
+  txn.Abort();
+}
+
+}  // namespace
+}  // namespace reactdb

@@ -1,0 +1,240 @@
+// Simulator tests: event queue semantics and virtual-time behavior of the
+// simulated runtime (latency composition, queueing, utilization, Cs/Cr
+// accounting, determinism).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/runtime/reactdb.h"
+#include "src/sim/event_queue.h"
+#include "src/util/logging.h"
+
+namespace reactdb {
+namespace {
+
+// --- EventQueue ---------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&order] { order.push_back(3); });
+  q.Schedule(10, [&order] { order.push_back(1); });
+  q.Schedule(20, [&order] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ((std::vector<int>{1, 2, 3}), order);
+  EXPECT_DOUBLE_EQ(30, q.now());
+}
+
+TEST(EventQueue, FifoTieBreakAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(7, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ((std::vector<int>{0, 1, 2, 3, 4}), order);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) q.ScheduleAfter(10, chain);
+  };
+  q.Schedule(0, chain);
+  q.RunAll();
+  EXPECT_EQ(5, fired);
+  EXPECT_DOUBLE_EQ(40, q.now());
+}
+
+TEST(EventQueue, PastSchedulesClampToNow) {
+  EventQueue q;
+  q.Schedule(100, [] {});
+  q.RunAll();
+  double fired_at = -1;
+  q.Schedule(5, [&q, &fired_at] { fired_at = q.now(); });  // in the past
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(100, fired_at);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(10, [&fired] { ++fired; });
+  q.Schedule(50, [&fired] { ++fired; });
+  q.RunUntil(30);
+  EXPECT_EQ(1, fired);
+  EXPECT_DOUBLE_EQ(30, q.now());
+  q.RunAll();
+  EXPECT_EQ(2, fired);
+}
+
+// --- SimRuntime timing ---------------------------------------------------
+
+Proc ComputeProc(TxnContext& ctx, Row args) {
+  ctx.Compute(args[0].AsNumeric());
+  co_return Value(int64_t{0});
+}
+
+Proc CallRemote(TxnContext& ctx, Row args) {
+  Future f = ctx.CallOn(args[0].AsString(), "compute", {args[1]});
+  ProcResult r = co_await f;
+  REACTDB_CO_RETURN_IF_ERROR(r.status());
+  co_return Value(int64_t{0});
+}
+
+std::unique_ptr<ReactorDatabaseDef> TimingDef() {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  ReactorType& t = def->DefineType("T");
+  t.AddSchema(SchemaBuilder("s")
+                  .AddColumn("k", ValueType::kInt64)
+                  .SetKey({"k"})
+                  .Build()
+                  .value());
+  t.AddProcedure("compute", &ComputeProc);
+  t.AddProcedure("call_remote", &CallRemote);
+  REACTDB_CHECK_OK(def->DeclareReactor("a", "T"));
+  REACTDB_CHECK_OK(def->DeclareReactor("b", "T"));
+  return def;
+}
+
+// Completion time of one transaction, measured the way the harness does:
+// NowUs() inside the completion callback (segment-aware, includes commit).
+double RunAndTime(SimRuntime* rt, const std::string& reactor,
+                  const std::string& proc, Row args) {
+  double done_at = -1;
+  REACTDB_CHECK_OK(rt->Submit(reactor, proc, std::move(args),
+                              [rt, &done_at](ProcResult r, const RootTxn&) {
+                                REACTDB_CHECK(r.ok());
+                                done_at = rt->NowUs();
+                              }));
+  rt->RunAll();
+  return done_at;
+}
+
+TEST(SimTiming, LocalComputeAdvancesVirtualTimeExactly) {
+  auto def = TimingDef();
+  CostParams p;
+  SimRuntime rt(p);
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(2)).ok());
+  double t0 = rt.events().now();
+  double done = RunAndTime(&rt, "a", "compute", {Value(100.0)});
+  // compute(100) + commit_base (empty write set, single container).
+  EXPECT_NEAR(100.0 + p.commit_base_us, done - t0, 1e-9);
+}
+
+TEST(SimTiming, RemoteCallAddsCsAndCrAnd2PC) {
+  auto def = TimingDef();
+  CostParams p;
+  SimRuntime rt(p);
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(2)).ok());
+  double t0 = rt.events().now();
+  double done = RunAndTime(&rt, "a", "call_remote", {Value("b"), Value(50.0)});
+  // The root touches no data itself, so the commit covers one container:
+  // Cs + compute + Cr + commit_base.
+  EXPECT_NEAR(p.cs_us + 50.0 + p.cr_us + p.commit_base_us, done - t0, 1e-9);
+}
+
+TEST(SimTiming, SameContainerCallHasNoCommunicationCost) {
+  auto def = TimingDef();
+  CostParams p;
+  SimRuntime rt(p);
+  // Both reactors in one container: the call is inlined.
+  ASSERT_TRUE(rt.Bootstrap(def.get(),
+                           DeploymentConfig::SharedEverythingWithAffinity(1))
+                  .ok());
+  double t0 = rt.events().now();
+  double done = RunAndTime(&rt, "a", "call_remote", {Value("b"), Value(50.0)});
+  EXPECT_NEAR(50.0 + p.commit_base_us, done - t0, 1e-9);
+}
+
+TEST(SimTiming, QueueingDelaysEmergeUnderLoad) {
+  auto def = TimingDef();
+  SimRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(2)).ok());
+  // Two 1000us computations on the same executor must serialize.
+  int done = 0;
+  double finish_last = 0;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(rt.Submit("a", "compute", {Value(1000.0)},
+                          [&](ProcResult r, const RootTxn&) {
+                            EXPECT_TRUE(r.ok());
+                            ++done;
+                            finish_last = rt.events().now();
+                          })
+                    .ok());
+  }
+  rt.RunAll();
+  EXPECT_EQ(2, done);
+  EXPECT_GE(finish_last, 2000.0);  // serialized, not parallel
+}
+
+TEST(SimTiming, ParallelExecutorsOverlap) {
+  auto def = TimingDef();
+  SimRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(2)).ok());
+  int done = 0;
+  ASSERT_TRUE(rt.Submit("a", "compute", {Value(1000.0)},
+                        [&](ProcResult, const RootTxn&) { ++done; })
+                  .ok());
+  ASSERT_TRUE(rt.Submit("b", "compute", {Value(1000.0)},
+                        [&](ProcResult, const RootTxn&) { ++done; })
+                  .ok());
+  rt.RunAll();
+  EXPECT_EQ(2, done);
+  // Overlapped on two virtual cores: well under the serialized 2000us.
+  EXPECT_LT(rt.events().now(), 1500.0);
+  EXPECT_GT(rt.BusyTotalUs(0), 999.0);
+  EXPECT_GT(rt.BusyTotalUs(1), 999.0);
+}
+
+TEST(SimTiming, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto def = TimingDef();
+    SimRuntime rt;
+    REACTDB_CHECK_OK(
+        rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(2)));
+    for (int i = 0; i < 10; ++i) {
+      (void)rt.Execute("a", "call_remote", {Value("b"), Value(10.0 + i)});
+    }
+    return rt.events().now();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(SimTiming, ProfileAttributesComponents) {
+  auto def = TimingDef();
+  CostParams p;
+  SimRuntime rt(p);
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(2)).ok());
+  RootTxn::Profile profile;
+  ASSERT_TRUE(rt.Submit("a", "call_remote", {Value("b"), Value(40.0)},
+                        [&profile](ProcResult r, const RootTxn& root) {
+                          EXPECT_TRUE(r.ok());
+                          profile = root.profile;
+                        })
+                  .ok());
+  rt.RunAll();
+  EXPECT_NEAR(p.cs_us, profile.cs_us, 1e-9);
+  EXPECT_NEAR(p.cr_us, profile.cr_us, 1e-9);
+  // The remote compute is the only outstanding child: critical-path sync.
+  EXPECT_NEAR(40.0, profile.sync_exec_us, 1e-9);
+  EXPECT_NEAR(p.commit_base_us, profile.commit_us, 1e-9);
+}
+
+TEST(CostParamsTest, FromConfigOverrides) {
+  Config config = Config::Parse(
+                      "[costs]\n"
+                      "cs_us = 9.5\n"
+                      "cr_us = 11.5\n"
+                      "non_affine_penalty = 0.25\n")
+                      .value();
+  CostParams p = CostParams::FromConfig(config);
+  EXPECT_DOUBLE_EQ(9.5, p.cs_us);
+  EXPECT_DOUBLE_EQ(11.5, p.cr_us);
+  EXPECT_DOUBLE_EQ(0.25, p.non_affine_penalty);
+  EXPECT_DOUBLE_EQ(CostParams().point_read_us, p.point_read_us);  // default
+}
+
+}  // namespace
+}  // namespace reactdb

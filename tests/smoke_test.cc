@@ -1,0 +1,79 @@
+// Smoke test exercising the full stack on both runtimes.
+#include <gtest/gtest.h>
+
+#include "src/runtime/reactdb.h"
+
+namespace reactdb {
+namespace {
+
+Proc Deposit(TxnContext& ctx, Row args) {
+  // args: amount
+  REACTDB_CO_ASSIGN_OR_RETURN(Row row, ctx.Get("account", {Value(int64_t{1})}));
+  double balance = row[1].AsNumeric() + args[0].AsNumeric();
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("account", {Value(int64_t{1})}, {Value(int64_t{1}), Value(balance)}));
+  co_return Value(balance);
+}
+
+Proc PayTo(TxnContext& ctx, Row args) {
+  // args: target reactor, amount
+  Future f = ctx.CallOn(args[0].AsString(), "deposit", {args[1]});
+  ProcResult r = co_await f;
+  REACTDB_CO_RETURN_IF_ERROR(r.status());
+  co_return r.value();
+}
+
+ReactorDatabaseDef* MakeDef() {
+  auto* def = new ReactorDatabaseDef();
+  ReactorType& t = def->DefineType("Account");
+  auto schema = SchemaBuilder("account")
+                    .AddColumn("id", ValueType::kInt64)
+                    .AddColumn("balance", ValueType::kDouble)
+                    .SetKey({"id"})
+                    .Build();
+  t.AddSchema(schema.value());
+  t.AddProcedure("deposit", &Deposit);
+  t.AddProcedure("pay_to", &PayTo);
+  EXPECT_TRUE(def->DeclareReactor("acct_a", "Account").ok());
+  EXPECT_TRUE(def->DeclareReactor("acct_b", "Account").ok());
+  return def;
+}
+
+Status Load(RuntimeBase* rt) {
+  return rt->RunDirect([rt](SiloTxn& txn) -> Status {
+    for (const char* name : {"acct_a", "acct_b"}) {
+      auto table = rt->FindTable(name, "account");
+      REACTDB_RETURN_IF_ERROR(table.status());
+      Reactor* r = rt->FindReactor(name);
+      REACTDB_RETURN_IF_ERROR(txn.Insert(
+          *table, {Value(int64_t{1}), Value(100.0)}, r->container_id()));
+    }
+    return Status::OK();
+  });
+}
+
+TEST(Smoke, ThreadRuntimeCrossContainer) {
+  auto def = std::unique_ptr<ReactorDatabaseDef>(MakeDef());
+  ThreadRuntime db;
+  ASSERT_TRUE(db.Bootstrap(def.get(), DeploymentConfig::SharedNothing(2)).ok());
+  ASSERT_TRUE(Load(&db).ok());
+  ASSERT_TRUE(db.Start().ok());
+  ProcResult r = db.Execute("acct_a", "pay_to", {Value("acct_b"), Value(42.0)});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(142.0, r->AsNumeric());
+  db.Stop();
+}
+
+TEST(Smoke, SimRuntimeCrossContainer) {
+  auto def = std::unique_ptr<ReactorDatabaseDef>(MakeDef());
+  SimRuntime db;
+  ASSERT_TRUE(db.Bootstrap(def.get(), DeploymentConfig::SharedNothing(2)).ok());
+  ASSERT_TRUE(Load(&db).ok());
+  ProcResult r = db.Execute("acct_a", "pay_to", {Value("acct_b"), Value(42.0)});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(142.0, r->AsNumeric());
+  EXPECT_GT(db.events().now(), 0.0);
+}
+
+}  // namespace
+}  // namespace reactdb

@@ -1,0 +1,221 @@
+// SQL front-end tests: tokenizer, expression parsing, and statement
+// execution against the transactional query layer.
+#include <gtest/gtest.h>
+
+#include "src/query/sql.h"
+#include "src/util/logging.h"
+
+namespace reactdb {
+namespace {
+
+using sql_internal::ParseExpression;
+using sql_internal::Token;
+using sql_internal::Tokenize;
+
+// --- Tokenizer ------------------------------------------------------------
+
+TEST(SqlTokenizer, BasicKinds) {
+  auto tokens = Tokenize("SELECT * FROM t WHERE a >= 2.5 AND b = 'x''y'");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::pair<Token::Kind, std::string>> expect = {
+      {Token::Kind::kIdent, "SELECT"}, {Token::Kind::kSymbol, "*"},
+      {Token::Kind::kIdent, "FROM"},   {Token::Kind::kIdent, "t"},
+      {Token::Kind::kIdent, "WHERE"},  {Token::Kind::kIdent, "a"},
+      {Token::Kind::kSymbol, ">="},    {Token::Kind::kNumber, "2.5"},
+      {Token::Kind::kIdent, "AND"},    {Token::Kind::kIdent, "b"},
+      {Token::Kind::kSymbol, "="},     {Token::Kind::kString, "x'y"},
+      {Token::Kind::kEnd, ""},
+  };
+  ASSERT_EQ(expect.size(), tokens->size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(expect[i].first, (*tokens)[i].kind) << i;
+    EXPECT_EQ(expect[i].second, (*tokens)[i].text) << i;
+  }
+}
+
+TEST(SqlTokenizer, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+// --- Expression parser -------------------------------------------------------
+
+TEST(SqlExpr, PrecedenceAndParens) {
+  Schema schema = SchemaBuilder("t")
+                      .AddColumn("a", ValueType::kInt64)
+                      .AddColumn("b", ValueType::kInt64)
+                      .SetKey({"a"})
+                      .Build()
+                      .value();
+  Row row = {Value(int64_t{6}), Value(int64_t{2})};
+  // * binds tighter than +: 6 + 2*3 = 12
+  auto e1 = ParseExpression("a + b * 3");
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(12, e1->Eval(row, schema)->AsInt64());
+  // parens override
+  auto e2 = ParseExpression("(a + b) * 3");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(24, e2->Eval(row, schema)->AsInt64());
+  // comparison + boolean: AND binds tighter than OR
+  auto e3 = ParseExpression("a = 1 OR a = 6 AND b = 2");
+  ASSERT_TRUE(e3.ok());
+  EXPECT_TRUE(e3->Test(row, schema));
+  // NOT
+  auto e4 = ParseExpression("NOT a < b");
+  ASSERT_TRUE(e4.ok());
+  EXPECT_TRUE(e4->Test(row, schema));
+  // unary minus
+  auto e5 = ParseExpression("a + -2");
+  ASSERT_TRUE(e5.ok());
+  EXPECT_EQ(4, e5->Eval(row, schema)->AsInt64());
+  EXPECT_FALSE(ParseExpression("a +").ok());
+  EXPECT_FALSE(ParseExpression("a = 1 extra").ok());
+}
+
+// --- Statement execution ------------------------------------------------------
+
+class SqlExecTest : public ::testing::Test {
+ protected:
+  SqlExecTest()
+      : table_(SchemaBuilder("orders")
+                   .AddColumn("ts", ValueType::kInt64)
+                   .AddColumn("wallet", ValueType::kInt64)
+                   .AddColumn("value", ValueType::kDouble)
+                   .AddColumn("settled", ValueType::kString)
+                   .SetKey({"ts"})
+                   .Build()
+                   .value()) {
+    SiloTxn loader(&epochs_);
+    for (int64_t i = 1; i <= 20; ++i) {
+      REACTDB_CHECK_OK(loader.Insert(
+          &table_,
+          {Value(i), Value(i * 10), Value(i * 1.5),
+           Value(i % 4 == 0 ? "Y" : "N")},
+          0));
+    }
+    REACTDB_CHECK_OK(loader.Commit(&tids_).status());
+    resolver_ = [this](const std::string& name) -> StatusOr<Table*> {
+      if (name == "orders") return &table_;
+      return Status::NotFound("no relation " + name);
+    };
+  }
+
+  StatusOr<SqlResult> Sql(SiloTxn* txn, const std::string& sql) {
+    return ExecuteSql(txn, resolver_, 0, sql);
+  }
+
+  EpochManager epochs_;
+  TidSource tids_;
+  Table table_;
+  TableResolver resolver_;
+};
+
+TEST_F(SqlExecTest, SelectStarWithWhere) {
+  SiloTxn txn(&epochs_);
+  auto r = Sql(&txn, "SELECT * FROM orders WHERE settled = 'Y'");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(5u, r->rows.size());  // ts 4, 8, 12, 16, 20
+  txn.Abort();
+}
+
+TEST_F(SqlExecTest, SelectOrderByKeyDescLimit) {
+  SiloTxn txn(&epochs_);
+  auto r = Sql(&txn,
+               "SELECT * FROM orders WHERE settled = 'N' "
+               "ORDER BY KEY DESC LIMIT 3");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(3u, r->rows.size());
+  EXPECT_EQ(19, r->rows[0][0].AsInt64());
+  EXPECT_EQ(18, r->rows[1][0].AsInt64());
+  EXPECT_EQ(17, r->rows[2][0].AsInt64());
+  txn.Abort();
+}
+
+TEST_F(SqlExecTest, Aggregates) {
+  SiloTxn txn(&epochs_);
+  auto sum = Sql(&txn, "SELECT SUM(value) FROM orders WHERE settled = 'N'");
+  ASSERT_TRUE(sum.ok()) << sum.status();
+  ASSERT_TRUE(sum->has_scalar);
+  // All but 4,8,12,16,20: sum(i*1.5) over the rest.
+  double expected = 0;
+  for (int i = 1; i <= 20; ++i) {
+    if (i % 4 != 0) expected += i * 1.5;
+  }
+  EXPECT_DOUBLE_EQ(expected, sum->scalar.AsNumeric());
+
+  auto count = Sql(&txn, "SELECT COUNT(*) FROM orders");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(20, count->scalar.AsInt64());
+
+  auto min = Sql(&txn, "SELECT MIN(value) FROM orders");
+  EXPECT_DOUBLE_EQ(1.5, min->scalar.AsNumeric());
+  auto max = Sql(&txn, "SELECT MAX(wallet) FROM orders");
+  EXPECT_EQ(200, max->scalar.AsInt64());
+  txn.Abort();
+}
+
+TEST_F(SqlExecTest, UpdateWithExpressions) {
+  {
+    SiloTxn txn(&epochs_);
+    auto r = Sql(&txn,
+                 "UPDATE orders SET value = value * 2, settled = 'Y' "
+                 "WHERE ts <= 2");
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(2, r->affected);
+    ASSERT_TRUE(txn.Commit(&tids_).ok());
+  }
+  SiloTxn check(&epochs_);
+  auto r = Sql(&check, "SELECT * FROM orders WHERE ts = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(3.0, r->rows[0][2].AsNumeric());
+  EXPECT_EQ("Y", r->rows[0][3].AsString());
+  check.Abort();
+}
+
+TEST_F(SqlExecTest, InsertAndDelete) {
+  {
+    SiloTxn txn(&epochs_);
+    auto ins = Sql(&txn,
+                   "INSERT INTO orders VALUES (100, 7, 9.5, 'N'), "
+                   "(101, 8, 1.25, 'N')");
+    ASSERT_TRUE(ins.ok()) << ins.status();
+    EXPECT_EQ(2, ins->affected);
+    ASSERT_TRUE(txn.Commit(&tids_).ok());
+  }
+  {
+    SiloTxn txn(&epochs_);
+    auto del = Sql(&txn, "DELETE FROM orders WHERE wallet >= 100");
+    ASSERT_TRUE(del.ok()) << del.status();
+    EXPECT_EQ(11, del->affected);  // ts 10..20 (the inserts have wallet < 100)
+    ASSERT_TRUE(txn.Commit(&tids_).ok());
+  }
+  SiloTxn check(&epochs_);
+  auto count = Sql(&check, "SELECT COUNT(*) FROM orders");
+  EXPECT_EQ(11, count->scalar.AsInt64());  // 9 originals + 2 inserts
+  check.Abort();
+}
+
+TEST_F(SqlExecTest, TransactionalityOfSqlStatements) {
+  {
+    SiloTxn txn(&epochs_);
+    ASSERT_TRUE(Sql(&txn, "UPDATE orders SET value = 0 WHERE ts = 5").ok());
+    txn.Abort();  // rolled back
+  }
+  SiloTxn check(&epochs_);
+  auto r = Sql(&check, "SELECT * FROM orders WHERE ts = 5");
+  EXPECT_DOUBLE_EQ(7.5, r->rows[0][2].AsNumeric());
+  check.Abort();
+}
+
+TEST_F(SqlExecTest, Errors) {
+  SiloTxn txn(&epochs_);
+  EXPECT_FALSE(Sql(&txn, "DROP TABLE orders").ok());
+  EXPECT_FALSE(Sql(&txn, "SELECT * FROM missing_table").ok());
+  EXPECT_FALSE(Sql(&txn, "SELECT AVG(value) FROM orders").ok());
+  EXPECT_FALSE(Sql(&txn, "SELECT * FROM orders garbage").ok());
+  EXPECT_FALSE(Sql(&txn, "INSERT INTO orders VALUES (1)").ok());  // arity
+  txn.Abort();
+}
+
+}  // namespace
+}  // namespace reactdb

@@ -1,0 +1,249 @@
+// ThreadRuntime-focused tests: concurrent clients across all deployment
+// strategies, MPL-1 serialization, fire-and-forget completion semantics,
+// and harness-level invariants under the real-thread scheduler.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "src/runtime/reactdb.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace reactdb {
+namespace {
+
+Proc GetCounter(TxnContext& ctx, Row) {
+  REACTDB_CO_ASSIGN_OR_RETURN(Row row, ctx.Get("counter", {Value(int64_t{0})}));
+  co_return row[1];
+}
+
+Proc Bump(TxnContext& ctx, Row args) {
+  int64_t by = args.empty() ? 1 : args[0].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row row, ctx.Get("counter", {Value(int64_t{0})}));
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("counter", {Value(int64_t{0})},
+                 {Value(int64_t{0}), Value(row[1].AsInt64() + by)}));
+  co_return Value(row[1].AsInt64() + by);
+}
+
+// bump_pair: bump a remote counter then the local one, awaiting both.
+Proc BumpPair(TxnContext& ctx, Row args) {
+  Future remote = ctx.CallOn(args[0].AsString(), "bump", {Value(int64_t{1})});
+  Future local =
+      ctx.CallOn(ctx.reactor_name(), "bump", {Value(int64_t{1})});
+  ProcResult l = co_await local;
+  REACTDB_CO_RETURN_IF_ERROR(l.status());
+  ProcResult r = co_await remote;
+  REACTDB_CO_RETURN_IF_ERROR(r.status());
+  co_return Value(int64_t{2});
+}
+
+// fire_and_forget: bumps a remote counter without awaiting the future; the
+// runtime must still synchronize completion before commit (Section 2.2.3).
+Proc FireAndForget(TxnContext& ctx, Row args) {
+  ctx.CallOn(args[0].AsString(), "bump", {Value(int64_t{1})});
+  co_return Value(int64_t{1});
+}
+
+std::unique_ptr<ReactorDatabaseDef> CounterDef(int n) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  ReactorType& t = def->DefineType("Counter");
+  t.AddSchema(SchemaBuilder("counter")
+                  .AddColumn("k", ValueType::kInt64)
+                  .AddColumn("v", ValueType::kInt64)
+                  .SetKey({"k"})
+                  .Build()
+                  .value());
+  t.AddProcedure("get", &GetCounter);
+  t.AddProcedure("bump", &Bump);
+  t.AddProcedure("bump_pair", &BumpPair);
+  t.AddProcedure("fire_and_forget", &FireAndForget);
+  for (int i = 0; i < n; ++i) {
+    REACTDB_CHECK_OK(def->DeclareReactor("c" + std::to_string(i), "Counter"));
+  }
+  return def;
+}
+
+Status LoadCounters(RuntimeBase* rt, int n) {
+  return rt->RunDirect([rt, n](SiloTxn& txn) -> Status {
+    for (int i = 0; i < n; ++i) {
+      std::string name = "c" + std::to_string(i);
+      REACTDB_ASSIGN_OR_RETURN(Table * t, rt->FindTable(name, "counter"));
+      REACTDB_RETURN_IF_ERROR(
+          txn.Insert(t, {Value(int64_t{0}), Value(int64_t{0})},
+                     rt->FindReactor(name)->container_id()));
+    }
+    return Status::OK();
+  });
+}
+
+int64_t CounterValue(ThreadRuntime* rt, int i) {
+  ProcResult v = rt->Execute("c" + std::to_string(i), "get", {});
+  REACTDB_CHECK(v.ok());
+  return v->AsInt64();
+}
+
+class ThreadDeploymentTest : public ::testing::TestWithParam<int> {
+ protected:
+  DeploymentConfig Deployment() const {
+    switch (GetParam()) {
+      case 0:
+        return DeploymentConfig::SharedNothing(2);
+      case 1:
+        return DeploymentConfig::SharedEverythingWithAffinity(2);
+      default:
+        return DeploymentConfig::SharedEverythingWithoutAffinity(2);
+    }
+  }
+};
+
+TEST_P(ThreadDeploymentTest, ConcurrentBumpsNeverLoseUpdates) {
+  auto def = CounterDef(4);
+  ThreadRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(), Deployment()).ok());
+  ASSERT_TRUE(LoadCounters(&rt, 4).ok());
+  ASSERT_TRUE(rt.Start().ok());
+  constexpr int kClients = 4;
+  constexpr int kTxnsEach = 40;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&rt, t, &committed] {
+      Rng rng(500 + t);
+      for (int i = 0; i < kTxnsEach; ++i) {
+        int target = static_cast<int>(rng.NextInt(0, 3));
+        ProcResult r = rt.Execute("c" + std::to_string(target), "bump",
+                                  {Value(int64_t{1})});
+        if (r.ok()) {
+          committed++;
+        } else {
+          EXPECT_TRUE(r.status().IsAborted()) << r.status();
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  int64_t total = 0;
+  for (int i = 0; i < 4; ++i) total += CounterValue(&rt, i);
+  EXPECT_EQ(committed.load(), total);
+  rt.Stop();
+}
+
+TEST_P(ThreadDeploymentTest, CrossReactorPairsStayAtomic) {
+  auto def = CounterDef(4);
+  ThreadRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(), Deployment()).ok());
+  ASSERT_TRUE(LoadCounters(&rt, 4).ok());
+  ASSERT_TRUE(rt.Start().ok());
+  std::atomic<int> committed{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&rt, t, &committed] {
+      Rng rng(700 + t);
+      for (int i = 0; i < 30; ++i) {
+        int a = static_cast<int>(rng.NextInt(0, 3));
+        int b = static_cast<int>(rng.NextIntExcluding(0, 3, a));
+        ProcResult r = rt.Execute("c" + std::to_string(a), "bump_pair",
+                                  {Value("c" + std::to_string(b))});
+        if (r.ok()) committed++;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  int64_t total = 0;
+  for (int i = 0; i < 4; ++i) total += CounterValue(&rt, i);
+  // Each committed pair bumps exactly two counters by one.
+  EXPECT_EQ(2 * committed.load(), total);
+  rt.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Deployments, ThreadDeploymentTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(ThreadRuntimeSemantics, FireAndForgetCompletesBeforeCommit) {
+  auto def = CounterDef(2);
+  ThreadRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(2)).ok());
+  ASSERT_TRUE(LoadCounters(&rt, 2).ok());
+  ASSERT_TRUE(rt.Start().ok());
+  for (int i = 0; i < 10; ++i) {
+    ProcResult r = rt.Execute("c0", "fire_and_forget", {Value("c1")});
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+  // Every un-awaited remote bump must be durable at commit time.
+  EXPECT_EQ(10, CounterValue(&rt, 1));
+  rt.Stop();
+}
+
+TEST(ThreadRuntimeSemantics, MplOneSerializesPerExecutor) {
+  auto def = CounterDef(1);
+  ThreadRuntime rt;
+  DeploymentConfig dc = DeploymentConfig::SharedEverythingWithAffinity(1);
+  ASSERT_TRUE(rt.Bootstrap(def.get(), dc).ok());
+  ASSERT_TRUE(LoadCounters(&rt, 1).ok());
+  ASSERT_TRUE(rt.Start().ok());
+  // With one executor at MPL 1 and purely local transactions, concurrent
+  // clients are admitted one at a time: zero OCC aborts, zero lost updates.
+  constexpr int kClients = 4;
+  constexpr int kTxnsEach = 25;
+  std::atomic<int> failed{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&rt, &failed] {
+      for (int i = 0; i < kTxnsEach; ++i) {
+        if (!rt.Execute("c0", "bump", {Value(int64_t{1})}).ok()) failed++;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(0, failed.load());
+  EXPECT_EQ(kClients * kTxnsEach, CounterValue(&rt, 0));
+  rt.Stop();
+}
+
+TEST(ThreadRuntimeSemantics, SubmitIsNonBlocking) {
+  auto def = CounterDef(1);
+  ThreadRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(1)).ok());
+  ASSERT_TRUE(LoadCounters(&rt, 1).ok());
+  ASSERT_TRUE(rt.Start().ok());
+  std::promise<void> all_done;
+  std::atomic<int> remaining{20};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(rt.Submit("c0", "bump", {Value(int64_t{1})},
+                          [&](ProcResult r, const RootTxn&) {
+                            EXPECT_TRUE(r.ok());
+                            if (remaining.fetch_sub(1) == 1) {
+                              all_done.set_value();
+                            }
+                          })
+                    .ok());
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(20, CounterValue(&rt, 0));
+  rt.Stop();
+}
+
+TEST(ThreadRuntimeSemantics, EpochTickerReclaimsRetiredRows) {
+  auto def = CounterDef(1);
+  ThreadRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(1)).ok());
+  ASSERT_TRUE(LoadCounters(&rt, 1).ok());
+  ASSERT_TRUE(rt.Start().ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(rt.Execute("c0", "bump", {Value(int64_t{1})}).ok());
+  }
+  // Updates retired 300 row versions; the ticker (10ms) plus quiescent
+  // executors must reclaim them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  rt.epochs()->Advance();
+  rt.epochs()->Advance();
+  EXPECT_LT(rt.epochs()->retired_count(), 10u);
+  rt.Stop();
+}
+
+}  // namespace
+}  // namespace reactdb

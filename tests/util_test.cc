@@ -1,0 +1,323 @@
+// Unit tests for the util substrate: Status/StatusOr, Value, key codec
+// (with order-preservation property sweeps), RNG, Zipfian, histogram,
+// config parsing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/util/config.h"
+#include "src/util/histogram.h"
+#include "src/util/keycodec.h"
+#include "src/util/rng.h"
+#include "src/util/statusor.h"
+#include "src/util/value.h"
+#include "src/util/zipf.h"
+
+namespace reactdb {
+namespace {
+
+// --- Status ------------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(StatusCode::kOk, s.code());
+  EXPECT_EQ("OK", s.ToString());
+}
+
+TEST(Status, AbortFamilies) {
+  EXPECT_TRUE(Status::Aborted("x").IsAbort());
+  EXPECT_TRUE(Status::UserAbort("x").IsAbort());
+  EXPECT_TRUE(Status::SafetyAbort("x").IsAbort());
+  EXPECT_FALSE(Status::NotFound("x").IsAbort());
+  EXPECT_TRUE(Status::UserAbort().IsUserAbort());
+  EXPECT_FALSE(Status::UserAbort().IsAborted());
+}
+
+TEST(Status, MessageInToString) {
+  EXPECT_EQ("NotFound: no such row", Status::NotFound("no such row").ToString());
+}
+
+TEST(StatusOr, ValueAndError) {
+  StatusOr<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(42, *ok);
+  StatusOr<int> err(Status::NotFound("nope"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsNotFound());
+  EXPECT_EQ(7, err.value_or(7));
+}
+
+Status ReturnIfErrorHelper(bool fail) {
+  REACTDB_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusOr, ReturnIfErrorMacro) {
+  EXPECT_TRUE(ReturnIfErrorHelper(false).ok());
+  EXPECT_EQ(StatusCode::kInternal, ReturnIfErrorHelper(true).code());
+}
+
+// --- Value ---------------------------------------------------------------
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(ValueType::kBool, Value(true).type());
+  EXPECT_EQ(ValueType::kInt64, Value(int64_t{5}).type());
+  EXPECT_EQ(ValueType::kInt64, Value(5).type());  // int32 promotes
+  EXPECT_EQ(ValueType::kDouble, Value(2.5).type());
+  EXPECT_EQ(ValueType::kString, Value("hi").type());
+  EXPECT_EQ(5, Value(int64_t{5}).AsInt64());
+  EXPECT_DOUBLE_EQ(2.5, Value(2.5).AsDouble());
+  EXPECT_EQ("hi", Value("hi").AsString());
+}
+
+TEST(Value, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_LT(Value(int64_t{3}), Value(3.5));
+  EXPECT_GT(Value(4.5), Value(int64_t{4}));
+}
+
+TEST(Value, OrderingAcrossTypes) {
+  // NULL < BOOL < numeric < STRING
+  EXPECT_LT(Value::Null(), Value(false));
+  EXPECT_LT(Value(true), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{99}), Value("a"));
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value(std::string("abc")).Hash());
+}
+
+TEST(Value, RowCompareLexicographic) {
+  Row a = {Value(int64_t{1}), Value("b")};
+  Row b = {Value(int64_t{1}), Value("c")};
+  Row c = {Value(int64_t{1})};
+  EXPECT_LT(CompareRows(a, b), 0);
+  EXPECT_GT(CompareRows(b, a), 0);
+  EXPECT_EQ(0, CompareRows(a, a));
+  EXPECT_LT(CompareRows(c, a), 0);  // prefix sorts first
+}
+
+// --- Key codec -----------------------------------------------------------
+
+TEST(KeyCodec, RoundTripScalars) {
+  for (const Value& v :
+       {Value::Null(), Value(true), Value(false), Value(int64_t{0}),
+        Value(int64_t{-1}), Value(int64_t{1} << 60), Value(-3.25), Value(0.0),
+        Value(1e300), Value(""), Value("hello"),
+        Value(std::string("nul\0byte", 8))}) {
+    std::string encoded = EncodeKey({v});
+    StatusOr<Row> decoded = DecodeKey(encoded);
+    ASSERT_TRUE(decoded.ok()) << v;
+    ASSERT_EQ(1u, decoded->size());
+    EXPECT_EQ(v, (*decoded)[0]) << v;
+  }
+}
+
+TEST(KeyCodec, RoundTripComposite) {
+  Row key = {Value(int64_t{42}), Value("w_0001"), Value(-2.5), Value(true)};
+  StatusOr<Row> decoded = DecodeKey(EncodeKey(key));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(0, CompareRows(key, *decoded));
+}
+
+// Property: encoded order == row order, across a randomized sweep.
+class KeyCodecOrderTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KeyCodecOrderTest, OrderPreserved) {
+  Rng rng(GetParam());
+  auto random_value = [&rng]() -> Value {
+    switch (rng.NextInt(0, 3)) {
+      case 0:
+        return Value(rng.NextInt(-1000000, 1000000));
+      case 1:
+        return Value(rng.NextDouble() * 2000 - 1000);
+      case 2:
+        return Value(rng.NextString(0, 12));
+      default:
+        return Value(rng.NextBool(0.5));
+    }
+  };
+  for (int trial = 0; trial < 250; ++trial) {
+    Row a, b;
+    int len = static_cast<int>(rng.NextInt(1, 3));
+    for (int i = 0; i < len; ++i) {
+      a.push_back(random_value());
+      b.push_back(random_value());
+    }
+    int row_order = CompareRows(a, b);
+    int enc_order = EncodeKey(a).compare(EncodeKey(b));
+    if (row_order < 0) {
+      EXPECT_LT(enc_order, 0) << RowToString(a) << " vs " << RowToString(b);
+    } else if (row_order > 0) {
+      EXPECT_GT(enc_order, 0) << RowToString(a) << " vs " << RowToString(b);
+    } else {
+      EXPECT_EQ(0, enc_order) << RowToString(a) << " vs " << RowToString(b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyCodecOrderTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(KeyCodec, Int64OrderDense) {
+  std::string prev;
+  for (int64_t i = -300; i <= 300; ++i) {
+    std::string cur = EncodeKey({Value(i)});
+    if (!prev.empty()) EXPECT_LT(prev, cur) << i;
+    prev = cur;
+  }
+}
+
+TEST(KeyCodec, StringWithEmbeddedZeroOrders) {
+  std::string a = EncodeKey({Value(std::string("a\0a", 3))});
+  std::string b = EncodeKey({Value(std::string("a\0b", 3))});
+  std::string c = EncodeKey({Value("a")});
+  EXPECT_LT(a, b);
+  EXPECT_LT(c, a);  // "a" is a strict prefix
+}
+
+TEST(KeyCodec, PrefixSuccessorBounds) {
+  std::string p = EncodeKey({Value("abc")});
+  std::string succ = PrefixSuccessor(p);
+  EXPECT_LT(p, succ);
+  // A key extending the prefix is below the successor.
+  EXPECT_LT(EncodeKey({Value("abc"), Value(int64_t{99})}), succ);
+  EXPECT_TRUE(PrefixSuccessor("").empty());
+  EXPECT_TRUE(PrefixSuccessor("\xff").empty());
+}
+
+TEST(KeyCodec, DecodeErrors) {
+  EXPECT_FALSE(DecodeKey("\x03trunc").ok());
+  EXPECT_FALSE(DecodeKey("\x7f").ok());
+}
+
+// --- Rng / Zipfian ---------------------------------------------------------
+
+TEST(Rng, DeterministicWithSeed) {
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    int64_t e = rng.NextIntExcluding(1, 4, 2);
+    EXPECT_NE(2, e);
+    EXPECT_GE(e, 1);
+    EXPECT_LE(e, 4);
+  }
+}
+
+TEST(Rng, NuRandInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NuRand(1023, 1, 3000, 259);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+TEST(Zipfian, UniformWhenThetaZero) {
+  ZipfianGenerator zipf(100, 0.0, 1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Next()]++;
+  int min = *std::min_element(counts.begin(), counts.end());
+  int max = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(min, 100);  // roughly uniform: expected 200 each
+  EXPECT_LT(max, 320);
+}
+
+class ZipfianSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfianSkewTest, HeadProbabilityGrowsWithTheta) {
+  double theta = GetParam();
+  ZipfianGenerator zipf(10000, theta, 2);
+  int head = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next() < 10) ++head;
+  }
+  double frac = static_cast<double>(head) / kDraws;
+  if (theta >= 0.99) {
+    EXPECT_GT(frac, 0.25) << "theta=" << theta;
+  }
+  if (theta >= 5.0) {
+    EXPECT_GT(frac, 0.99) << "theta=" << theta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfianSkewTest,
+                         ::testing::Values(0.5, 0.99, 2.0, 5.0));
+
+// --- Histogram / EpochStats -------------------------------------------------
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(100u, h.count());
+  EXPECT_DOUBLE_EQ(50.5, h.Mean());
+  EXPECT_NEAR(50, h.Median(), 6);
+  EXPECT_NEAR(99, h.Percentile(0.99), 12);
+  EXPECT_EQ(1, h.min());
+  EXPECT_EQ(100, h.max());
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(30);
+  a.Merge(b);
+  EXPECT_EQ(2u, a.count());
+  EXPECT_DOUBLE_EQ(20, a.Mean());
+  EXPECT_EQ(30, a.max());
+}
+
+TEST(EpochStats, MeanAndDeviation) {
+  EpochStats stats;
+  stats.AddEpoch(100, 0, 1e6, 100 * 50.0);   // 100 tps, 50us
+  stats.AddEpoch(200, 10, 1e6, 200 * 70.0);  // 200 tps, 70us
+  EXPECT_DOUBLE_EQ(150, stats.MeanThroughputTps());
+  EXPECT_DOUBLE_EQ(60, stats.MeanLatencyUs());
+  EXPECT_GT(stats.StdDevThroughputTps(), 0);
+  EXPECT_NEAR(10.0 / 310.0, stats.AbortRate(), 1e-9);
+}
+
+// --- Config ----------------------------------------------------------------
+
+TEST(Config, ParseSectionsAndTypes) {
+  auto config = Config::Parse(
+      "# comment\n"
+      "[database]\n"
+      "deployment = shared-nothing\n"
+      "containers = 4\n"
+      "scale = 2.5\n"
+      "verbose = true\n"
+      "\n"
+      "[executor]\n"
+      "mpl = 8\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ("shared-nothing", config->GetString("database", "deployment"));
+  EXPECT_EQ(4, config->GetInt("database", "containers"));
+  EXPECT_DOUBLE_EQ(2.5, config->GetDouble("database", "scale"));
+  EXPECT_TRUE(config->GetBool("database", "verbose"));
+  EXPECT_EQ(8, config->GetInt("executor", "mpl"));
+  EXPECT_EQ(99, config->GetInt("executor", "missing", 99));
+  EXPECT_FALSE(config->Has("nothing", "here"));
+}
+
+TEST(Config, ParseErrors) {
+  EXPECT_FALSE(Config::Parse("[unterminated\n").ok());
+  EXPECT_FALSE(Config::Parse("keywithoutvalue\n").ok());
+}
+
+}  // namespace
+}  // namespace reactdb

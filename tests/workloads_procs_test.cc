@@ -1,0 +1,219 @@
+// Per-procedure workload tests: the remaining Smallbank procedures
+// (balance, write_check, amalgamate, deposit_checking), TPC-C generator
+// properties, and cross-runtime agreement of procedure results.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/runtime/reactdb.h"
+#include "src/util/logging.h"
+#include "src/workloads/smallbank/smallbank.h"
+#include "src/workloads/tpcc/tpcc.h"
+
+namespace reactdb {
+namespace {
+
+using smallbank::CustomerName;
+
+class SmallbankProcsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    def_ = std::make_unique<ReactorDatabaseDef>();
+    smallbank::BuildDef(def_.get(), 8);
+    rt_ = std::make_unique<SimRuntime>();
+    ASSERT_TRUE(
+        rt_->Bootstrap(def_.get(), DeploymentConfig::SharedNothing(4)).ok());
+    ASSERT_TRUE(smallbank::Load(rt_.get(), 8, /*initial_savings=*/100.0,
+                                /*initial_checking=*/50.0)
+                    .ok());
+  }
+
+  ProcResult Run(int64_t customer, const std::string& proc, Row args = {}) {
+    return rt_->Execute(CustomerName(customer), proc, std::move(args));
+  }
+
+  std::unique_ptr<ReactorDatabaseDef> def_;
+  std::unique_ptr<SimRuntime> rt_;
+};
+
+TEST_F(SmallbankProcsTest, BalanceSumsSavingsAndChecking) {
+  ProcResult r = Run(0, "balance");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(150.0, r->AsNumeric());
+}
+
+TEST_F(SmallbankProcsTest, DepositChecking) {
+  ASSERT_TRUE(Run(1, "deposit_checking", {Value(25.0)}).ok());
+  EXPECT_DOUBLE_EQ(175.0, Run(1, "balance")->AsNumeric());
+  // Negative deposit is a user abort per the benchmark.
+  ProcResult bad = Run(1, "deposit_checking", {Value(-5.0)});
+  EXPECT_TRUE(bad.status().IsUserAbort());
+  EXPECT_DOUBLE_EQ(175.0, Run(1, "balance")->AsNumeric());
+}
+
+TEST_F(SmallbankProcsTest, TransactSavingRejectsOverdraft) {
+  EXPECT_TRUE(Run(2, "transact_saving", {Value(-60.0)}).ok());
+  ProcResult overdraft = Run(2, "transact_saving", {Value(-60.0)});
+  EXPECT_TRUE(overdraft.status().IsUserAbort());
+  EXPECT_DOUBLE_EQ(90.0, Run(2, "balance")->AsNumeric());
+}
+
+TEST_F(SmallbankProcsTest, WriteCheckAppliesOverdraftPenalty) {
+  // Total 150; check within limits: no penalty.
+  ASSERT_TRUE(Run(3, "write_check", {Value(40.0)}).ok());
+  EXPECT_DOUBLE_EQ(110.0, Run(3, "balance")->AsNumeric());
+  // Check above total: 1.0 penalty (balance goes negative on checking).
+  ASSERT_TRUE(Run(3, "write_check", {Value(200.0)}).ok());
+  EXPECT_DOUBLE_EQ(110.0 - 200.0 - 1.0, Run(3, "balance")->AsNumeric());
+}
+
+TEST_F(SmallbankProcsTest, AmalgamateMovesEverything) {
+  // Customer 4 (container 2) amalgamates into customer 1 (container 0):
+  // a cross-container transaction.
+  ASSERT_TRUE(Run(4, "amalgamate", {Value(CustomerName(1))}).ok());
+  EXPECT_DOUBLE_EQ(0.0, Run(4, "balance")->AsNumeric());
+  EXPECT_DOUBLE_EQ(300.0, Run(1, "balance")->AsNumeric());
+}
+
+TEST_F(SmallbankProcsTest, ResultsAgreeWithThreadRuntime) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  smallbank::BuildDef(def.get(), 8);
+  ThreadRuntime trt;
+  ASSERT_TRUE(trt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(4)).ok());
+  ASSERT_TRUE(smallbank::Load(&trt, 8, 100.0, 50.0).ok());
+  ASSERT_TRUE(trt.Start().ok());
+  // Same sequence of operations on both runtimes.
+  for (RuntimeBase* rt : {static_cast<RuntimeBase*>(rt_.get()),
+                          static_cast<RuntimeBase*>(&trt)}) {
+    (void)rt;
+  }
+  auto run_sequence = [](auto&& exec) {
+    EXPECT_TRUE(exec(CustomerName(5), "transact_saving",
+                     Row{Value(30.0)})
+                    .ok());
+    EXPECT_TRUE(exec(CustomerName(5), "transfer",
+                     Row{Value(CustomerName(6)), Value(20.0), Value(false)})
+                    .ok());
+    return exec(CustomerName(5), "balance", Row{});
+  };
+  ProcResult sim = run_sequence([this](const std::string& r,
+                                       const std::string& p, Row a) {
+    return rt_->Execute(r, p, std::move(a));
+  });
+  ProcResult thread = run_sequence([&trt](const std::string& r,
+                                          const std::string& p, Row a) {
+    return trt.Execute(r, p, std::move(a));
+  });
+  ASSERT_TRUE(sim.ok());
+  ASSERT_TRUE(thread.ok());
+  EXPECT_DOUBLE_EQ(sim->AsNumeric(), thread->AsNumeric());
+  trt.Stop();
+}
+
+// --- TPC-C generator properties ----------------------------------------------
+
+TEST(TpccGeneratorTest, LastNameSyllables) {
+  EXPECT_EQ("BARBARBAR", tpcc::LastName(0));
+  EXPECT_EQ("OUGHTOUGHTOUGHT", tpcc::LastName(111));
+  EXPECT_EQ("BARPRESEING", tpcc::LastName(49));
+  EXPECT_EQ("EINGEINGEING", tpcc::LastName(999));
+}
+
+TEST(TpccGeneratorTest, MixRespectsWeights) {
+  tpcc::GeneratorOptions options;
+  options.num_warehouses = 2;
+  tpcc::Generator gen(options, 42);
+  std::map<std::string, int> counts;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) counts[gen.Next(1).proc]++;
+  EXPECT_NEAR(0.45, counts["new_order"] / double(kN), 0.02);
+  EXPECT_NEAR(0.43, counts["payment"] / double(kN), 0.02);
+  EXPECT_NEAR(0.04, counts["order_status"] / double(kN), 0.01);
+  EXPECT_NEAR(0.04, counts["delivery"] / double(kN), 0.01);
+  EXPECT_NEAR(0.04, counts["stock_level"] / double(kN), 0.01);
+}
+
+TEST(TpccGeneratorTest, NewOrderShape) {
+  tpcc::GeneratorOptions options;
+  options.num_warehouses = 4;
+  options.remote_item_prob = 0.5;
+  tpcc::Generator gen(options, 43);
+  int remote_items = 0;
+  int total_items = 0;
+  for (int i = 0; i < 2000; ++i) {
+    tpcc::TxnRequest req = gen.MakeNewOrder(2);
+    EXPECT_EQ("new_order", req.proc);
+    EXPECT_EQ(tpcc::WarehouseName(2), req.reactor);
+    int64_t n = req.args[5].AsInt64();
+    EXPECT_GE(n, 5);
+    EXPECT_LE(n, 15);
+    ASSERT_EQ(6u + 3 * n, req.args.size());
+    for (int64_t j = 0; j < n; ++j) {
+      const std::string& supply = req.args[6 + j * 3 + 1].AsString();
+      ++total_items;
+      if (!supply.empty()) {
+        ++remote_items;
+        EXPECT_NE(tpcc::WarehouseName(2), supply);  // never "remote to self"
+      }
+      int64_t qty = req.args[6 + j * 3 + 2].AsInt64();
+      EXPECT_GE(qty, 1);
+      EXPECT_LE(qty, 10);
+    }
+  }
+  EXPECT_NEAR(0.5, remote_items / double(total_items), 0.05);
+}
+
+TEST(TpccGeneratorTest, SingleRemoteItemMode) {
+  tpcc::GeneratorOptions options;
+  options.num_warehouses = 4;
+  options.single_remote_item_prob = 0.3;
+  tpcc::Generator gen(options, 44);
+  int cross_txns = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    tpcc::TxnRequest req = gen.MakeNewOrder(1);
+    int64_t n = req.args[5].AsInt64();
+    int remote = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (!req.args[6 + j * 3 + 1].AsString().empty()) ++remote;
+    }
+    EXPECT_LE(remote, 1);  // at most one remote item in this mode
+    if (remote > 0) ++cross_txns;
+  }
+  EXPECT_NEAR(0.3, cross_txns / double(kN), 0.03);
+}
+
+TEST(TpccGeneratorTest, PaymentRemoteProbability) {
+  tpcc::GeneratorOptions options;
+  options.num_warehouses = 4;
+  options.remote_payment_prob = 0.15;
+  tpcc::Generator gen(options, 45);
+  int remote = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    tpcc::TxnRequest req = gen.MakePayment(1);
+    if (!req.args[4].AsString().empty()) ++remote;
+  }
+  EXPECT_NEAR(0.15, remote / double(kN), 0.02);
+}
+
+TEST(TpccGeneratorTest, SingleWarehouseNeverRemote) {
+  tpcc::GeneratorOptions options;
+  options.num_warehouses = 1;
+  options.remote_item_prob = 1.0;
+  options.remote_payment_prob = 1.0;
+  tpcc::Generator gen(options, 46);
+  for (int i = 0; i < 200; ++i) {
+    tpcc::TxnRequest no = gen.MakeNewOrder(1);
+    int64_t n = no.args[5].AsInt64();
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_TRUE(no.args[6 + j * 3 + 1].AsString().empty());
+    }
+    tpcc::TxnRequest pay = gen.MakePayment(1);
+    EXPECT_TRUE(pay.args[4].AsString().empty());
+  }
+}
+
+}  // namespace
+}  // namespace reactdb

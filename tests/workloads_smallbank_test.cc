@@ -1,0 +1,167 @@
+// Smallbank integration tests: money conservation under every
+// multi-transfer formulation, user aborts, and cross-runtime agreement.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/harness/sim_driver.h"
+#include "src/runtime/reactdb.h"
+#include "src/util/rng.h"
+#include "src/workloads/smallbank/smallbank.h"
+
+namespace reactdb {
+namespace {
+
+using smallbank::CustomerName;
+using smallbank::Formulation;
+using smallbank::MakeMultiTransfer;
+
+constexpr int64_t kCustomers = 64;
+
+class SmallbankSimTest
+    : public ::testing::TestWithParam<Formulation> {
+ protected:
+  void SetUp() override {
+    def_ = std::make_unique<ReactorDatabaseDef>();
+    smallbank::BuildDef(def_.get(), kCustomers);
+    rt_ = std::make_unique<SimRuntime>();
+    ASSERT_TRUE(
+        rt_->Bootstrap(def_.get(), DeploymentConfig::SharedNothing(8)).ok());
+    ASSERT_TRUE(smallbank::Load(rt_.get(), kCustomers).ok());
+  }
+
+  std::unique_ptr<ReactorDatabaseDef> def_;
+  std::unique_ptr<SimRuntime> rt_;
+};
+
+TEST_P(SmallbankSimTest, MultiTransferConservesMoney) {
+  double before = smallbank::TotalBalance(rt_.get(), kCustomers).value();
+  // Destinations on distinct containers (64 reactors / 8 containers).
+  std::vector<std::string> dsts;
+  for (int i = 1; i <= 7; ++i) dsts.push_back(CustomerName(i * 8));
+  auto call = MakeMultiTransfer(GetParam(), 25.0, dsts);
+  ProcResult r = rt_->Execute(CustomerName(0), call.proc, call.args);
+  ASSERT_TRUE(r.ok()) << r.status();
+  double after = smallbank::TotalBalance(rt_.get(), kCustomers).value();
+  EXPECT_NEAR(before, after, 1e-6);
+  // Destination accounts each gained 25.
+  ProcResult bal = rt_->Execute(CustomerName(8), "balance", {});
+  ASSERT_TRUE(bal.ok());
+  EXPECT_NEAR(20025.0, bal->AsNumeric(), 1e-6);
+  // Source lost 7 * 25.
+  ProcResult src = rt_->Execute(CustomerName(0), "balance", {});
+  ASSERT_TRUE(src.ok());
+  EXPECT_NEAR(20000.0 - 175.0, src->AsNumeric(), 1e-6);
+}
+
+TEST_P(SmallbankSimTest, InsufficientFundsAbortsWholeTransaction) {
+  std::vector<std::string> dsts = {CustomerName(8), CustomerName(16)};
+  // Source savings is 10000; two transfers of 6000 exceed it for every
+  // formulation (opt debits 12000 at once).
+  auto call = MakeMultiTransfer(GetParam(), 6000.0, dsts);
+  ProcResult r = rt_->Execute(CustomerName(0), call.proc, call.args);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUserAbort()) << r.status();
+  // No partial effects.
+  double after = smallbank::TotalBalance(rt_.get(), kCustomers).value();
+  EXPECT_NEAR(20000.0 * kCustomers, after, 1e-6);
+  ProcResult dst = rt_->Execute(CustomerName(8), "balance", {});
+  EXPECT_NEAR(20000.0, dst->AsNumeric(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormulations, SmallbankSimTest,
+    ::testing::Values(Formulation::kFullySync, Formulation::kPartiallyAsync,
+                      Formulation::kFullyAsync, Formulation::kOpt),
+    [](const ::testing::TestParamInfo<Formulation>& info) {
+      std::string name = smallbank::FormulationName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(SmallbankThreadRuntime, TransferAndBalance) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  smallbank::BuildDef(def.get(), 16);
+  ThreadRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(4)).ok());
+  ASSERT_TRUE(smallbank::Load(&rt, 16).ok());
+  ASSERT_TRUE(rt.Start().ok());
+  for (int i = 0; i < 20; ++i) {
+    ProcResult r =
+        rt.Execute(CustomerName(i % 16), "transfer",
+                   {Value(CustomerName((i + 5) % 16)), Value(10.0),
+                    Value(false)});
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+  double total = smallbank::TotalBalance(&rt, 16).value();
+  EXPECT_NEAR(20000.0 * 16, total, 1e-6);
+  rt.Stop();
+}
+
+TEST(SmallbankThreadRuntime, ConcurrentClientsConserveMoney) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  smallbank::BuildDef(def.get(), 16);
+  ThreadRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(),
+                           DeploymentConfig::SharedEverythingWithAffinity(4))
+                  .ok());
+  ASSERT_TRUE(smallbank::Load(&rt, 16).ok());
+  ASSERT_TRUE(rt.Start().ok());
+  constexpr int kThreads = 4;
+  constexpr int kTxnsEach = 50;
+  std::vector<std::thread> clients;
+  std::atomic<int> committed{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&rt, t, &committed] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kTxnsEach; ++i) {
+        int64_t src = rng.NextInt(0, 15);
+        int64_t dst = rng.NextIntExcluding(0, 15, src);
+        ProcResult r = rt.Execute(CustomerName(src), "transfer",
+                                  {Value(CustomerName(dst)), Value(1.0),
+                                   Value(false)});
+        if (r.ok()) committed++;
+        // OCC aborts acceptable under contention; money must still balance.
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_GT(committed.load(), 0);
+  double total = smallbank::TotalBalance(&rt, 16).value();
+  EXPECT_NEAR(20000.0 * 16, total, 1e-6);
+  rt.Stop();
+}
+
+TEST(SmallbankDriver, ClosedLoopRun) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  smallbank::BuildDef(def.get(), 32);
+  SimRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(4)).ok());
+  ASSERT_TRUE(smallbank::Load(&rt, 32).ok());
+  harness::DriverOptions options;
+  options.num_workers = 2;
+  options.num_epochs = 5;
+  options.epoch_us = 5000;
+  options.warmup_us = 2000;
+  Rng rng(3);
+  auto gen = [&rng](int worker) {
+    harness::Request req;
+    int64_t src = worker * 16 + rng.NextInt(0, 15);
+    int64_t dst = (src + 1 + rng.NextInt(0, 29)) % 32;
+    req.reactor = CustomerName(src);
+    req.proc = "transfer";
+    req.args = {Value(CustomerName(dst)), Value(1.0), Value(false)};
+    return req;
+  };
+  harness::DriverResult result = harness::RunClosedLoop(&rt, options, gen);
+  EXPECT_GT(result.committed, 0u);
+  EXPECT_GT(result.ThroughputTps(), 0.0);
+  EXPECT_GT(result.mean_latency_us, 0.0);
+  double total = smallbank::TotalBalance(&rt, 32).value();
+  EXPECT_NEAR(20000.0 * 32, total, 1e-6);
+}
+
+}  // namespace
+}  // namespace reactdb

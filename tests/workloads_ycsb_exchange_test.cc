@@ -1,0 +1,189 @@
+// YCSB and exchange workload integration tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/runtime/reactdb.h"
+#include "src/util/logging.h"
+#include "src/workloads/exchange/exchange.h"
+#include "src/workloads/ycsb/ycsb.h"
+
+namespace reactdb {
+namespace {
+
+// --- YCSB ------------------------------------------------------------
+
+class YcsbTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kKeys = 40;
+
+  void SetUp() override {
+    def_ = std::make_unique<ReactorDatabaseDef>();
+    ycsb::BuildDef(def_.get(), kKeys);
+    rt_ = std::make_unique<SimRuntime>();
+    ASSERT_TRUE(rt_->Bootstrap(def_.get(), DeploymentConfig::SharedNothing(4))
+                    .ok());
+    ASSERT_TRUE(ycsb::Load(rt_.get(), kKeys, /*payload_size=*/8).ok());
+  }
+
+  std::unique_ptr<ReactorDatabaseDef> def_;
+  std::unique_ptr<SimRuntime> rt_;
+};
+
+TEST_F(YcsbTest, SingleUpdateRotatesPayload) {
+  std::string before = ycsb::ReadPayload(rt_.get(), 3).value();
+  ProcResult r = rt_->Execute(ycsb::KeyName(3), "update", {Value(int64_t{1})});
+  ASSERT_TRUE(r.ok()) << r.status();
+  std::string after = ycsb::ReadPayload(rt_.get(), 3).value();
+  EXPECT_EQ(before.size(), after.size());
+  // One left-rotation.
+  std::string expected = before.substr(1) + before[0];
+  EXPECT_EQ(expected, after);
+}
+
+TEST_F(YcsbTest, MultiUpdateAppliesCounts) {
+  // Keys 0 (remote from 30's container) and 30 (self), with repeat counts.
+  ProcResult r = rt_->Execute(
+      ycsb::KeyName(30), "multi_update",
+      {Value(ycsb::KeyName(0)), Value(int64_t{3}), Value(ycsb::KeyName(30)),
+       Value(int64_t{2})});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(5, r->AsInt64());
+}
+
+TEST_F(YcsbTest, MultiUpdateAtomicAcrossContainers) {
+  std::string k0 = ycsb::ReadPayload(rt_.get(), 0).value();
+  std::string k39 = ycsb::ReadPayload(rt_.get(), 39).value();
+  ProcResult r = rt_->Execute(
+      ycsb::KeyName(20), "multi_update",
+      {Value(ycsb::KeyName(0)), Value(int64_t{1}), Value(ycsb::KeyName(39)),
+       Value(int64_t{1}), Value(ycsb::KeyName(20)), Value(int64_t{1})});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(k0, ycsb::ReadPayload(rt_.get(), 0).value());
+  EXPECT_NE(k39, ycsb::ReadPayload(rt_.get(), 39).value());
+}
+
+// --- Exchange ----------------------------------------------------------------
+
+TEST(ExchangeTest, StrategiesAgreeOnRiskResult) {
+  constexpr int kProviders = 3;
+  constexpr int kOrders = 200;
+  // Partitioned database (procedure- and query-parallel strategies).
+  auto pdef = std::make_unique<ReactorDatabaseDef>();
+  exchange::BuildPartitionedDef(pdef.get(), kProviders);
+  SimRuntime prt;
+  ASSERT_TRUE(
+      prt.Bootstrap(pdef.get(), DeploymentConfig::SharedNothing(kProviders + 1))
+          .ok());
+  ASSERT_TRUE(exchange::LoadPartitioned(&prt, kProviders, kOrders).ok());
+  // Central database (classic formulation).
+  auto cdef = std::make_unique<ReactorDatabaseDef>();
+  exchange::BuildCentralDef(cdef.get());
+  SimRuntime crt;
+  ASSERT_TRUE(crt.Bootstrap(cdef.get(), DeploymentConfig::SharedNothing(1)).ok());
+  ASSERT_TRUE(exchange::LoadCentral(&crt, kProviders, kOrders).ok());
+
+  Row args = exchange::AuthPayArgs(exchange::ProviderName(1), 7, 10.0, 100);
+  ProcResult pp = prt.Execute(exchange::ExchangeName(), "auth_pay", args);
+  ProcResult classic =
+      crt.Execute(exchange::CentralName(), "auth_pay_classic", args);
+  ASSERT_TRUE(pp.ok()) << pp.status();
+  ASSERT_TRUE(classic.ok()) << classic.status();
+  // Same data, same risk function: identical total risk.
+  EXPECT_NEAR(classic->AsNumeric(), pp->AsNumeric(), 1e-6);
+
+  // Query-parallel agrees too (fresh state matters: rebuild).
+  auto qdef = std::make_unique<ReactorDatabaseDef>();
+  exchange::BuildPartitionedDef(qdef.get(), kProviders);
+  SimRuntime qrt;
+  ASSERT_TRUE(
+      qrt.Bootstrap(qdef.get(), DeploymentConfig::SharedNothing(kProviders + 1))
+          .ok());
+  ASSERT_TRUE(exchange::LoadPartitioned(&qrt, kProviders, kOrders).ok());
+  ProcResult qp = qrt.Execute(exchange::ExchangeName(), "auth_pay_qp", args);
+  ASSERT_TRUE(qp.ok()) << qp.status();
+  EXPECT_NEAR(classic->AsNumeric(), qp->AsNumeric(), 1e-6);
+}
+
+TEST(ExchangeTest, AuthPayInsertsOrderAtTargetProvider) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  exchange::BuildPartitionedDef(def.get(), 3);
+  SimRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(4)).ok());
+  ASSERT_TRUE(exchange::LoadPartitioned(&rt, 3, 50).ok());
+  ASSERT_TRUE(rt.Execute(exchange::ExchangeName(), "auth_pay",
+                         exchange::AuthPayArgs(exchange::ProviderName(2), 9,
+                                               42.0, 10))
+                  .ok());
+  Status s = rt.RunDirect([&rt](SiloTxn& txn) -> Status {
+    REACTDB_ASSIGN_OR_RETURN(
+        Table * orders, rt.FindTable(exchange::ProviderName(2), "orders"));
+    int64_t count = 0;
+    REACTDB_RETURN_IF_ERROR(txn.Scan(
+        orders, {}, {}, -1,
+        [&count](const Row&) {
+          ++count;
+          return true;
+        },
+        rt.FindReactor(exchange::ProviderName(2))->container_id()));
+    if (count != 51) return Status::Internal("expected 51 orders");
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s;
+}
+
+TEST(ExchangeTest, ProcedureParallelismBeatsSequentialUnderLoad) {
+  // Latency comparison with a heavy sim_risk on the virtual cores.
+  constexpr int64_t kNRandoms = 50000;
+  auto pdef = std::make_unique<ReactorDatabaseDef>();
+  exchange::BuildPartitionedDef(pdef.get());
+  SimRuntime prt;
+  ASSERT_TRUE(prt.Bootstrap(pdef.get(), DeploymentConfig::SharedNothing(16))
+                  .ok());
+  ASSERT_TRUE(exchange::LoadPartitioned(&prt, exchange::kNumProviders, 100).ok());
+  double t0 = prt.events().now();
+  ASSERT_TRUE(prt.Execute(exchange::ExchangeName(), "auth_pay",
+                          exchange::AuthPayArgs(exchange::ProviderName(1), 1,
+                                                1.0, kNRandoms))
+                  .ok());
+  double pp_latency = prt.events().now() - t0;
+
+  auto cdef = std::make_unique<ReactorDatabaseDef>();
+  exchange::BuildCentralDef(cdef.get());
+  SimRuntime crt;
+  ASSERT_TRUE(crt.Bootstrap(cdef.get(), DeploymentConfig::SharedNothing(1)).ok());
+  ASSERT_TRUE(exchange::LoadCentral(&crt, exchange::kNumProviders, 100).ok());
+  t0 = crt.events().now();
+  ASSERT_TRUE(crt.Execute(exchange::CentralName(), "auth_pay_classic",
+                          exchange::AuthPayArgs(exchange::ProviderName(1), 1,
+                                                1.0, kNRandoms))
+                  .ok());
+  double seq_latency = crt.events().now() - t0;
+  // 15 providers' sim_risk overlapped vs serialized: at least 5x.
+  EXPECT_GT(seq_latency, 5 * pp_latency);
+}
+
+TEST(ExchangeTest, ExposureLimitAborts) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  exchange::BuildPartitionedDef(def.get(), 2);
+  SimRuntime rt;
+  ASSERT_TRUE(rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(3)).ok());
+  ASSERT_TRUE(exchange::LoadPartitioned(&rt, 2, 100).ok());
+  // Shrink the per-provider exposure limit below the loaded exposure.
+  Status s = rt.RunDirect([&rt](SiloTxn& txn) -> Status {
+    REACTDB_ASSIGN_OR_RETURN(
+        Table * risk, rt.FindTable(exchange::ExchangeName(), "settlement_risk"));
+    uint32_t c = rt.FindReactor(exchange::ExchangeName())->container_id();
+    return txn.Update(risk, {Value(int64_t{0})},
+                      {Value(int64_t{0}), Value(1.0), Value(1e12)}, c);
+  });
+  ASSERT_TRUE(s.ok());
+  ProcResult r = rt.Execute(
+      exchange::ExchangeName(), "auth_pay",
+      exchange::AuthPayArgs(exchange::ProviderName(1), 1, 1.0, 10));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUserAbort()) << r.status();
+}
+
+}  // namespace
+}  // namespace reactdb

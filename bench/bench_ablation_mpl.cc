@@ -36,9 +36,10 @@ void Run() {
     // a transaction is parked on remote stock updates, so admission beyond
     // MPL 1 is what keeps it utilized.
     auto gen = std::make_shared<tpcc::Generator>(gen_options, 900 + mpl);
-    auto request_gen = [gen](int) {
-      tpcc::TxnRequest req = gen->Next(1);
-      return harness::Request{req.reactor, req.proc, std::move(req.args)};
+    auto handles = std::make_shared<tpcc::Handles>(rig.handles);
+    gen->BindHandles(handles.get());
+    auto request_gen = [gen, handles](int) {
+      return ToRequest(gen->Next(1));
     };
     harness::DriverOptions options;
     options.num_workers = 8;

@@ -68,6 +68,8 @@ struct SmallbankRig {
 
   std::unique_ptr<ReactorDatabaseDef> def;
   std::unique_ptr<SimRuntime> rt;
+  /// Client handles, resolved once at load time; requests submit by handle.
+  smallbank::Handles handles;
 
   static SmallbankRig Create(CostParams params = XeonParams()) {
     SmallbankRig rig;
@@ -78,16 +80,28 @@ struct SmallbankRig {
     Status s = rig.rt->Bootstrap(rig.def.get(), dc);
     REACTDB_CHECK(s.ok());
     REACTDB_CHECK_OK(smallbank::Load(rig.rt.get(), kCustomers));
+    rig.handles = smallbank::ResolveHandles(rig.rt.get(), kCustomers);
     return rig;
   }
 
   /// The fixed source account (container 0).
   std::string Source() const { return smallbank::CustomerName(0); }
+  ReactorId SourceId() const { return handles.customers[0]; }
 
   /// A fresh (per-call distinct) customer on `container`.
   std::string CustomerOn(int container, int64_t slot) const {
     return smallbank::CustomerName(container * kPerContainer +
                                    1 + (slot % (kPerContainer - 1)));
+  }
+
+  /// A handle-resolved request invoking `call` on the source account (the
+  /// name strings stay empty — the driver submits by handle).
+  harness::Request SourceRequest(smallbank::MultiTransferCall call) const {
+    harness::Request req;
+    req.args = std::move(call.args);
+    req.reactor_id = SourceId();
+    req.proc_id = call.proc_id;
+    return req;
   }
 };
 
@@ -109,6 +123,8 @@ inline harness::DriverResult MeasureLatency(SimRuntime* rt,
 struct TpccRig {
   std::unique_ptr<ReactorDatabaseDef> def;
   std::unique_ptr<SimRuntime> rt;
+  /// Warehouse handles, resolved once at load time.
+  tpcc::Handles handles;
 
   static TpccRig Create(int64_t warehouses, const DeploymentConfig& dc,
                         CostParams params = OpteronParams()) {
@@ -118,9 +134,22 @@ struct TpccRig {
     rig.rt = std::make_unique<SimRuntime>(params);
     REACTDB_CHECK_OK(rig.rt->Bootstrap(rig.def.get(), dc));
     REACTDB_CHECK_OK(tpcc::Load(rig.rt.get(), warehouses));
+    rig.handles = tpcc::ResolveHandles(rig.rt.get(), warehouses);
     return rig;
   }
 };
+
+/// Maps a generated TPC-C request (already handle-stamped by a generator
+/// with bound Handles) onto a driver request.
+inline harness::Request ToRequest(tpcc::TxnRequest req) {
+  harness::Request out;
+  out.reactor = std::move(req.reactor);
+  out.proc = std::move(req.proc);
+  out.args = std::move(req.args);
+  out.reactor_id = req.reactor_id;
+  out.proc_id = req.proc_id;
+  return out;
+}
 
 /// Runs a TPC-C closed loop: `workers` clients, each with affinity to
 /// warehouse (worker % warehouses) + 1 (paper Section 4.1.3).
@@ -128,17 +157,24 @@ inline harness::DriverResult RunTpcc(SimRuntime* rt,
                                      const tpcc::GeneratorOptions& gen_options,
                                      int workers, uint64_t seed,
                                      int num_epochs = 15,
-                                     double epoch_us = 20000) {
+                                     double epoch_us = 20000,
+                                     const tpcc::Handles* handles = nullptr) {
   auto gen = std::make_shared<tpcc::Generator>(gen_options, seed);
+  // Pre-resolve warehouse handles once; every generated request then
+  // submits by handle (no string lookup per transaction).
+  auto owned = std::make_shared<tpcc::Handles>(
+      handles != nullptr
+          ? *handles
+          : tpcc::ResolveHandles(rt, gen_options.num_warehouses));
+  gen->BindHandles(owned.get());
   int64_t num_warehouses = gen_options.num_warehouses;
   harness::DriverOptions options;
   options.num_workers = workers;
   options.num_epochs = num_epochs;
   options.epoch_us = epoch_us;
   options.warmup_us = epoch_us;
-  auto request_gen = [gen, num_warehouses](int worker) {
-    tpcc::TxnRequest req = gen->Next(worker % num_warehouses + 1);
-    return harness::Request{req.reactor, req.proc, std::move(req.args)};
+  auto request_gen = [gen, owned, num_warehouses](int worker) {
+    return ToRequest(gen->Next(worker % num_warehouses + 1));
   };
   return harness::RunClosedLoop(rt, options, request_gen);
 }

@@ -17,7 +17,7 @@ double Measure(smallbank::Formulation form, int size, bool local) {
       dsts.push_back(rig.CustomerOn(container, slot++));
     }
     auto call = smallbank::MakeMultiTransfer(form, 1.0, dsts);
-    return harness::Request{rig.Source(), call.proc, std::move(call.args)};
+    return rig.SourceRequest(std::move(call));
   };
   return MeasureLatency(rig.rt.get(), gen).mean_latency_us;
 }

@@ -44,7 +44,7 @@ double Measure(Variant variant, int spanned, uint64_t seed) {
     }
     auto call = smallbank::MakeMultiTransfer(
         smallbank::Formulation::kFullySync, 1.0, dsts);
-    return harness::Request{rig.Source(), call.proc, std::move(call.args)};
+    return rig.SourceRequest(std::move(call));
   };
   return MeasureLatency(rig.rt.get(), gen).mean_latency_us;
 }

@@ -76,14 +76,17 @@ Obs Measure(double theta, int workers, uint64_t seed,
   REACTDB_CHECK_OK(
       rt.Bootstrap(def.get(), DeploymentConfig::SharedNothing(kContainers)));
   REACTDB_CHECK_OK(ycsb::Load(&rt, kKeys));
+  // Pre-resolve every key reactor once; requests then submit by handle.
+  auto handles =
+      std::make_shared<ycsb::Handles>(ycsb::ResolveHandles(&rt, kKeys));
   auto zipf = std::make_shared<ZipfianGenerator>(kKeys, theta, seed);
   auto rng = std::make_shared<Rng>(seed * 13 + 7);
-  auto gen = [zipf, rng, trace](int) {
+  auto gen = [zipf, rng, trace, handles](int) {
     Sample s = Draw(zipf.get(), rng.get());
     if (trace != nullptr && trace->size() < 4096) trace->push_back(s);
     harness::Request req;
-    req.reactor = ycsb::KeyName(s.home_key);
-    req.proc = "multi_update";
+    req.reactor_id = handles->keys[static_cast<size_t>(s.home_key)];
+    req.proc_id = ycsb::kMultiUpdateProc;
     for (const auto& [key, count] : s.keys) {
       req.args.push_back(Value(ycsb::KeyName(key)));
       req.args.push_back(Value(count));

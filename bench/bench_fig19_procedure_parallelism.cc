@@ -13,6 +13,9 @@ struct ExchangeRig {
   std::unique_ptr<SimRuntime> rt;
   std::string reactor;
   std::string proc;
+  // Pre-resolved handles of the target reactor/procedure (load time).
+  ReactorId reactor_id;
+  ProcId proc_id;
 };
 
 ExchangeRig MakeRig(const std::string& strategy) {
@@ -26,6 +29,8 @@ ExchangeRig MakeRig(const std::string& strategy) {
     REACTDB_CHECK_OK(exchange::LoadCentral(rig.rt.get()));
     rig.reactor = exchange::CentralName();
     rig.proc = "auth_pay_classic";
+    rig.reactor_id = exchange::ResolveHandles(rig.rt.get()).central;
+    rig.proc_id = exchange::kAuthPayClassicProc;
   } else {
     exchange::BuildPartitionedDef(rig.def.get());
     // 16 containers: the exchange plus one per provider.
@@ -34,7 +39,10 @@ ExchangeRig MakeRig(const std::string& strategy) {
         DeploymentConfig::SharedNothing(1 + exchange::kNumProviders)));
     REACTDB_CHECK_OK(exchange::LoadPartitioned(rig.rt.get()));
     rig.reactor = exchange::ExchangeName();
-    rig.proc = strategy == "query-parallelism" ? "auth_pay_qp" : "auth_pay";
+    bool qp = strategy == "query-parallelism";
+    rig.proc = qp ? "auth_pay_qp" : "auth_pay";
+    rig.reactor_id = exchange::ResolveHandles(rig.rt.get()).exchange;
+    rig.proc_id = qp ? exchange::kAuthPayQpProc : exchange::kAuthPayProc;
   }
   return rig;
 }
@@ -43,10 +51,14 @@ double MeasureOn(ExchangeRig* rig, int64_t nrandoms, uint64_t seed) {
   auto rng = std::make_shared<Rng>(seed);
   std::string reactor = rig->reactor;
   std::string proc = rig->proc;
-  auto gen = [rng, reactor, proc, nrandoms](int) {
+  ReactorId reactor_id = rig->reactor_id;
+  ProcId proc_id = rig->proc_id;
+  auto gen = [rng, reactor, proc, reactor_id, proc_id, nrandoms](int) {
     harness::Request req;
     req.reactor = reactor;
     req.proc = proc;
+    req.reactor_id = reactor_id;
+    req.proc_id = proc_id;
     std::string provider =
         exchange::ProviderName(static_cast<int>(rng->NextInt(1, 15)));
     req.args = exchange::AuthPayArgs(provider, rng->NextInt(1, 100000),

@@ -32,7 +32,7 @@ void Run() {
           dsts.push_back(rig.CustomerOn(j % SmallbankRig::kContainers, slot++));
         }
         auto call = smallbank::MakeMultiTransfer(form, 1.0, dsts);
-        return harness::Request{rig.Source(), call.proc, std::move(call.args)};
+        return rig.SourceRequest(std::move(call));
       };
       harness::DriverResult result = MeasureLatency(rig.rt.get(), gen);
       lat[f] = result.mean_latency_us;

@@ -23,7 +23,7 @@ Observed Measure(smallbank::Formulation form, int size) {
       dsts.push_back(rig.CustomerOn(j % SmallbankRig::kContainers, slot++));
     }
     auto call = smallbank::MakeMultiTransfer(form, 1.0, dsts);
-    return harness::Request{rig.Source(), call.proc, std::move(call.args)};
+    return rig.SourceRequest(std::move(call));
   };
   harness::DriverResult r = MeasureLatency(rig.rt.get(), gen);
   Observed o;

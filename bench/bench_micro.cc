@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/query/query.h"
+#include "src/runtime/reactdb.h"
 #include "src/sim/event_queue.h"
 #include "src/storage/btree.h"
 #include "src/txn/silo_txn.h"
@@ -209,6 +210,105 @@ void BM_Zipfian(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Zipfian);
+
+// --- Dispatch path: string-resolved vs. handle-resolved ---------------------
+//
+// Quantifies the interned-handle layer. A database of kDispatchReactors
+// trivial reactors; the *_Resolve benchmarks isolate target resolution
+// (reactor + procedure), the *_Execute benchmarks run the full
+// submit-execute-commit path through the simulated runtime both ways.
+
+constexpr int64_t kDispatchReactors = 1024;
+
+std::string DispatchReactorName(int64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "dispatch_%05lld",
+                static_cast<long long>(i));
+  return buf;
+}
+
+Proc DispatchNoop(TxnContext& ctx, Row args) {
+  (void)ctx;
+  (void)args;
+  co_return Value(int64_t{1});
+}
+
+struct DispatchRig {
+  ReactorDatabaseDef def;
+  SimRuntime rt;
+  std::vector<std::string> names;
+  std::vector<ReactorId> ids;
+  ProcId noop;
+
+  DispatchRig() {
+    ReactorType& type = def.DefineType("Dispatch");
+    type.AddProcedure("noop", &DispatchNoop);
+    for (int64_t i = 0; i < kDispatchReactors; ++i) {
+      (void)def.DeclareReactor(DispatchReactorName(i), "Dispatch");
+    }
+    (void)rt.Bootstrap(&def, DeploymentConfig::SharedNothing(4));
+    for (int64_t i = 0; i < kDispatchReactors; ++i) {
+      names.push_back(DispatchReactorName(i));
+      ids.push_back(rt.ResolveReactor(names.back()));
+    }
+    noop = rt.ResolveProc(ids[0], "noop");
+  }
+};
+
+DispatchRig* GetDispatchRig() {
+  static DispatchRig* rig = new DispatchRig();
+  return rig;
+}
+
+void BM_DispatchResolveString(benchmark::State& state) {
+  DispatchRig* rig = GetDispatchRig();
+  Rng rng(11);
+  for (auto _ : state) {
+    const std::string& name =
+        rig->names[static_cast<size_t>(rng.NextInt(0, kDispatchReactors - 1))];
+    Reactor* r = rig->rt.FindReactor(name);
+    benchmark::DoNotOptimize(r->type().FindProcedure("noop"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchResolveString);
+
+void BM_DispatchResolveHandle(benchmark::State& state) {
+  DispatchRig* rig = GetDispatchRig();
+  Rng rng(11);
+  for (auto _ : state) {
+    ReactorId id =
+        rig->ids[static_cast<size_t>(rng.NextInt(0, kDispatchReactors - 1))];
+    Reactor* r = rig->rt.FindReactor(id);
+    benchmark::DoNotOptimize(r->type().FindProcedure(rig->noop));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchResolveHandle);
+
+void BM_DispatchExecuteString(benchmark::State& state) {
+  DispatchRig* rig = GetDispatchRig();
+  Rng rng(12);
+  for (auto _ : state) {
+    const std::string& name =
+        rig->names[static_cast<size_t>(rng.NextInt(0, kDispatchReactors - 1))];
+    benchmark::DoNotOptimize(rig->rt.Execute(name, "noop", {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchExecuteString);
+
+void BM_DispatchExecuteHandle(benchmark::State& state) {
+  DispatchRig* rig = GetDispatchRig();
+  Rng rng(12);
+  for (auto _ : state) {
+    ReactorId id =
+        rig->ids[static_cast<size_t>(rng.NextInt(0, kDispatchReactors - 1))];
+    benchmark::DoNotOptimize(rig->rt.Execute(id, rig->noop, {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchExecuteHandle);
 
 }  // namespace
 }  // namespace reactdb

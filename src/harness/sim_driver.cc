@@ -56,8 +56,7 @@ void NextTxn(std::shared_ptr<DriverState> st, int worker);
 
 void SubmitOne(std::shared_ptr<DriverState> st, int worker, double t0) {
   Request req = st->gen(worker);
-  Status s = st->rt->Submit(
-      req.reactor, req.proc, std::move(req.args),
+  auto done =
       [st, worker, t0](ProcResult outcome, const RootTxn& root) {
         // Runs inside the finalizing executor's segment; completion reaches
         // the client after the notify boundary cost.
@@ -72,7 +71,14 @@ void SubmitOne(std::shared_ptr<DriverState> st, int worker, double t0) {
               st->RecordOutcome(t0, completion, outcome, profile);
               NextTxn(st, worker);
             });
-      });
+      };
+  // Handle-resolved submission is the hot path; the string path remains
+  // for generators that have not pre-resolved their targets.
+  Status s = req.reactor_id.valid() && req.proc_id.valid()
+                 ? st->rt->Submit(req.reactor_id, req.proc_id,
+                                  std::move(req.args), std::move(done))
+                 : st->rt->Submit(req.reactor, req.proc, std::move(req.args),
+                                  std::move(done));
   if (!s.ok()) {
     // Generation bug; stop this worker rather than spin.
     return;

@@ -22,11 +22,17 @@
 namespace reactdb {
 namespace harness {
 
-/// One generated client request.
+/// One generated client request. Generators are expected to pre-resolve
+/// reactor/procedure handles once at load time and fill `reactor_id` /
+/// `proc_id`; the driver then submits by handle (no string lookup per
+/// transaction). The string fields remain as a fallback for generators
+/// that have not been migrated.
 struct Request {
   std::string reactor;
   std::string proc;
   Row args;
+  ReactorId reactor_id;
+  ProcId proc_id;
 };
 
 /// Generator invoked per worker per iteration.

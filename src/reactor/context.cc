@@ -2,6 +2,16 @@
 
 namespace reactdb {
 
+StatusOr<Table*> TxnContext::table(TableSlot slot) const {
+  Table* t = frame_->reactor->FindTable(slot);
+  if (t == nullptr) {
+    return Status::NotFound("reactor " + reactor_name() +
+                            " has no relation slot #" +
+                            std::to_string(slot.value));
+  }
+  return t;
+}
+
 StatusOr<Table*> TxnContext::table(const std::string& table_name) const {
   Table* t = frame_->reactor->FindTable(table_name);
   if (t == nullptr) {
@@ -35,6 +45,14 @@ void TxnContext::ChargeDelta(const TxnOpStats& before) {
   }
 }
 
+StatusOr<Row> TxnContext::Get(TableSlot slot, const Row& key) {
+  REACTDB_ASSIGN_OR_RETURN(Table * t, table(slot));
+  TxnOpStats before = frame_->root->txn.stats();
+  auto result = frame_->root->txn.Get(t, key, container());
+  ChargeDelta(before);
+  return result;
+}
+
 StatusOr<Row> TxnContext::Get(const std::string& table_name, const Row& key) {
   REACTDB_ASSIGN_OR_RETURN(Table * t, table(table_name));
   TxnOpStats before = frame_->root->txn.stats();
@@ -43,10 +61,26 @@ StatusOr<Row> TxnContext::Get(const std::string& table_name, const Row& key) {
   return result;
 }
 
+Status TxnContext::Insert(TableSlot slot, const Row& row) {
+  REACTDB_ASSIGN_OR_RETURN(Table * t, table(slot));
+  TxnOpStats before = frame_->root->txn.stats();
+  Status s = frame_->root->txn.Insert(t, row, container());
+  ChargeDelta(before);
+  return s;
+}
+
 Status TxnContext::Insert(const std::string& table_name, const Row& row) {
   REACTDB_ASSIGN_OR_RETURN(Table * t, table(table_name));
   TxnOpStats before = frame_->root->txn.stats();
   Status s = frame_->root->txn.Insert(t, row, container());
+  ChargeDelta(before);
+  return s;
+}
+
+Status TxnContext::Update(TableSlot slot, const Row& key, Row new_row) {
+  REACTDB_ASSIGN_OR_RETURN(Table * t, table(slot));
+  TxnOpStats before = frame_->root->txn.stats();
+  Status s = frame_->root->txn.Update(t, key, std::move(new_row), container());
   ChargeDelta(before);
   return s;
 }
@@ -60,12 +94,25 @@ Status TxnContext::Update(const std::string& table_name, const Row& key,
   return s;
 }
 
+Status TxnContext::Delete(TableSlot slot, const Row& key) {
+  REACTDB_ASSIGN_OR_RETURN(Table * t, table(slot));
+  TxnOpStats before = frame_->root->txn.stats();
+  Status s = frame_->root->txn.Delete(t, key, container());
+  ChargeDelta(before);
+  return s;
+}
+
 Status TxnContext::Delete(const std::string& table_name, const Row& key) {
   REACTDB_ASSIGN_OR_RETURN(Table * t, table(table_name));
   TxnOpStats before = frame_->root->txn.stats();
   Status s = frame_->root->txn.Delete(t, key, container());
   ChargeDelta(before);
   return s;
+}
+
+StatusOr<Select> TxnContext::From(TableSlot slot) const {
+  REACTDB_ASSIGN_OR_RETURN(Table * t, table(slot));
+  return Select(t);
 }
 
 StatusOr<Select> TxnContext::From(const std::string& table_name) const {
@@ -123,6 +170,15 @@ StatusOr<int64_t> TxnContext::Exec(const class Update& update) {
   auto result = update.Execute(&frame_->root->txn, container());
   ChargeDelta(before);
   return result;
+}
+
+Future TxnContext::CallOn(ReactorId reactor, ProcId proc, Row args) {
+  return bridge_->Call(frame_, reactor, proc, std::move(args));
+}
+
+Future TxnContext::CallOn(const std::string& reactor_name, ProcId proc,
+                          Row args) {
+  return bridge_->Call(frame_, reactor_name, proc, std::move(args));
 }
 
 Future TxnContext::CallOn(const std::string& reactor_name,

@@ -43,9 +43,17 @@ class CallBridge {
 
   /// Dispatches a sub-transaction call from `caller`. Handles inlining
   /// (same reactor / same container), cross-container transport, the
-  /// active-set safety condition, and frame bookkeeping.
+  /// active-set safety condition, and frame bookkeeping. The handle
+  /// overload is the hot path; the name overloads resolve once through the
+  /// bootstrap interner and delegate.
+  virtual Future Call(TxnFrame* caller, ReactorId reactor, ProcId proc,
+                      Row args) = 0;
   virtual Future Call(TxnFrame* caller, const std::string& reactor_name,
                       const std::string& proc_name, Row args) = 0;
+  /// Mixed form for the common pattern of a dynamic target reactor (e.g.
+  /// from procedure arguments) with a statically known procedure.
+  virtual Future Call(TxnFrame* caller, const std::string& reactor_name,
+                      ProcId proc, Row args) = 0;
 
   /// Models `micros` of computation on the current executor.
   virtual void Compute(double micros) = 0;
@@ -63,23 +71,33 @@ class TxnContext {
   // --- Reactor identity ----------------------------------------------------
 
   const std::string& reactor_name() const { return frame_->reactor->name(); }
+  ReactorId reactor_id() const { return frame_->reactor->id(); }
   uint64_t root_id() const { return frame_->root->id; }
   uint32_t container() const { return frame_->reactor->container_id(); }
   TxnFrame* frame() { return frame_; }
 
   // --- Declarative access to this reactor's relations ----------------------
+  //
+  // The TableSlot overloads are the hot path (vector-indexed); the name
+  // overloads resolve the slot through the type's interner per call.
 
-  /// Resolves one of this reactor's relations by name.
+  /// Resolves one of this reactor's relations by slot / by name.
+  StatusOr<Table*> table(TableSlot slot) const;
   StatusOr<Table*> table(const std::string& table_name) const;
 
   /// Point read by primary key.
+  StatusOr<Row> Get(TableSlot slot, const Row& key);
   StatusOr<Row> Get(const std::string& table_name, const Row& key);
+  Status Insert(TableSlot slot, const Row& row);
   Status Insert(const std::string& table_name, const Row& row);
+  Status Update(TableSlot slot, const Row& key, Row new_row);
   Status Update(const std::string& table_name, const Row& key, Row new_row);
+  Status Delete(TableSlot slot, const Row& key);
   Status Delete(const std::string& table_name, const Row& key);
 
   /// Builds a Select over one of this reactor's relations. The returned
   /// builder is executed with the ctx.Rows/One/Count/Sum/... wrappers.
+  StatusOr<Select> From(TableSlot slot) const;
   StatusOr<Select> From(const std::string& table_name) const;
 
   StatusOr<std::vector<Row>> Rows(const Select& select);
@@ -94,7 +112,11 @@ class TxnContext {
   // --- Asynchronous cross-reactor calls ------------------------------------
 
   /// `proc_name(args) on reactor reactor_name` (Section 2.2.2). Direct
-  /// self-calls are inlined synchronously (Section 2.2.4).
+  /// self-calls are inlined synchronously (Section 2.2.4). The handle
+  /// overload dispatches without any string lookup; the mixed overload
+  /// resolves only the (dynamic) reactor name.
+  Future CallOn(ReactorId reactor, ProcId proc, Row args);
+  Future CallOn(const std::string& reactor_name, ProcId proc, Row args);
   Future CallOn(const std::string& reactor_name, const std::string& proc_name,
                 Row args);
 

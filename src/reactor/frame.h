@@ -37,8 +37,10 @@ struct RootTxn {
   RootTxn(uint64_t id_in, EpochManager* epochs) : id(id_in), txn(epochs) {}
 
   uint64_t id;
-  std::string reactor_name;
-  std::string proc_name;
+  /// Pre-resolved handles of the root invocation (receipt data; the
+  /// reactor's name is recoverable through the ReactorDatabaseDef).
+  ReactorId reactor_id;
+  ProcId proc_id;
   Row args;
 
   SiloTxn txn;

@@ -1,11 +1,16 @@
 #include "src/reactor/reactor.h"
 
+#include <algorithm>
+
 namespace reactdb {
 
 std::vector<std::string> ReactorType::ProcedureNames() const {
   std::vector<std::string> names;
   names.reserve(procs_.size());
-  for (const auto& [name, fn] : procs_) names.push_back(name);
+  for (uint32_t id = 0; id < procs_.size(); ++id) {
+    names.push_back(proc_symbols_.NameOf(id));
+  }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -19,14 +24,16 @@ ReactorType& ReactorDatabaseDef::DefineType(const std::string& type_name) {
 
 Status ReactorDatabaseDef::DeclareReactor(const std::string& reactor_name,
                                           const std::string& type_name) {
-  if (types_.find(type_name) == types_.end()) {
+  const ReactorType* type = FindType(type_name);
+  if (type == nullptr) {
     return Status::InvalidArgument("unknown reactor type " + type_name);
   }
-  auto [it, inserted] = reactor_types_.emplace(reactor_name, type_name);
-  if (!inserted) {
+  uint32_t id = reactor_symbols_.Intern(reactor_name);
+  if (id < reactor_type_of_.size()) {
     return Status::AlreadyExists("reactor " + reactor_name +
                                  " already declared");
   }
+  reactor_type_of_.push_back(type);
   return Status::OK();
 }
 
@@ -38,8 +45,11 @@ const ReactorType* ReactorDatabaseDef::FindType(
 
 std::vector<std::string> ReactorDatabaseDef::ReactorNames() const {
   std::vector<std::string> names;
-  names.reserve(reactor_types_.size());
-  for (const auto& [name, type] : reactor_types_) names.push_back(name);
+  names.reserve(reactor_symbols_.size());
+  for (uint32_t id = 0; id < reactor_symbols_.size(); ++id) {
+    names.push_back(reactor_symbols_.NameOf(id));
+  }
+  std::sort(names.begin(), names.end());
   return names;
 }
 

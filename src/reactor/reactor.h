@@ -6,6 +6,12 @@
 // given types (ReactorDatabaseDef); reactors are purely logical, cannot be
 // created or destroyed at runtime, and are addressed by name for the
 // lifetime of the application.
+//
+// Names are interned into dense handles (see symbol.h): procedures and
+// relations get per-type ProcId/TableSlot indices at registration time,
+// reactor instances get ReactorIds at declaration time. All per-dispatch
+// lookups are vector-indexed; the string entry points resolve once through
+// the interner and delegate.
 
 #ifndef REACTDB_REACTOR_REACTOR_H_
 #define REACTDB_REACTOR_REACTOR_H_
@@ -15,9 +21,11 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/reactor/proc.h"
+#include "src/reactor/symbol.h"
 #include "src/storage/schema.h"
 #include "src/storage/table.h"
 
@@ -37,38 +45,82 @@ class ReactorType {
 
   const std::string& name() const { return name_; }
 
+  /// Registers a relation; its TableSlot is the registration index.
   ReactorType& AddSchema(Schema schema) {
+    table_symbols_.Intern(schema.table_name());
     schemas_.push_back(std::move(schema));
     return *this;
   }
+  /// Registers a procedure; its ProcId is the registration index.
+  /// Re-registering a name replaces the body under the same id.
   ReactorType& AddProcedure(const std::string& proc_name, ProcFn fn) {
-    procs_[proc_name] = std::move(fn);
+    uint32_t id = proc_symbols_.Intern(proc_name);
+    if (id >= procs_.size()) procs_.resize(id + 1);
+    procs_[id] = std::move(fn);
     return *this;
   }
 
   const std::vector<Schema>& schemas() const { return schemas_; }
-  const ProcFn* FindProcedure(const std::string& proc_name) const {
-    auto it = procs_.find(proc_name);
-    return it == procs_.end() ? nullptr : &it->second;
+  size_t num_procedures() const { return procs_.size(); }
+  size_t num_tables() const { return schemas_.size(); }
+
+  // --- Handle-indexed dispatch (hot path) ----------------------------------
+
+  const ProcFn* FindProcedure(ProcId id) const {
+    return id.value < procs_.size() ? &procs_[id.value] : nullptr;
   }
+
+  // --- One-time name resolution --------------------------------------------
+
+  ProcId FindProcId(const std::string& proc_name) const {
+    return ProcId{proc_symbols_.Find(proc_name)};
+  }
+  TableSlot FindTableSlot(const std::string& table_name) const {
+    return TableSlot{table_symbols_.Find(table_name)};
+  }
+  const ProcFn* FindProcedure(const std::string& proc_name) const {
+    return FindProcedure(FindProcId(proc_name));
+  }
+  const std::string& ProcName(ProcId id) const {
+    return proc_symbols_.NameOf(id.value);
+  }
+  const std::string& TableName(TableSlot slot) const {
+    return table_symbols_.NameOf(slot.value);
+  }
+  /// Procedure names in lexicographic order.
   std::vector<std::string> ProcedureNames() const;
 
  private:
   std::string name_;
   std::vector<Schema> schemas_;
-  std::map<std::string, ProcFn> procs_;
+  std::vector<ProcFn> procs_;  // indexed by ProcId
+  SymbolTable proc_symbols_;
+  SymbolTable table_symbols_;
 };
 
 /// Dynamic intra-transaction safety (paper Section 2.2.4): at most one
 /// sub-transaction of a given root transaction may be active on a reactor
 /// at any time. TryEnter fails when a different sub-transaction of the same
 /// root is active, in which case the root must abort.
+///
+/// Contention characteristics: one ActiveSet per reactor, guarded by a
+/// single mutex, keyed by root id in an unordered_map (O(1) expected, no
+/// ordered traversal is ever needed). The map holds one entry per root
+/// transaction with an in-flight sub-transaction on this reactor, so it
+/// stays small (bounded by the MPL times the fan-in onto the reactor); the
+/// mutex is only contended when several executors dispatch to the same
+/// reactor simultaneously — exactly the skewed-access pattern the paper's
+/// safety condition is designed to arbitrate. Entries are strictly
+/// TryEnter/Leave paired, so the map cannot grow across transactions.
 class ActiveSet {
  public:
   bool TryEnter(uint64_t root_id, uint64_t subtxn_id) {
     std::lock_guard<std::mutex> lock(mu_);
     auto [it, inserted] = active_.emplace(root_id, subtxn_id);
-    return inserted;  // an existing entry is necessarily a different subtxn
+    // An existing entry means some sub-transaction of this root is already
+    // active here — including re-entry of the same subtxn id, which is
+    // conservatively rejected (a sub-transaction never enters twice).
+    return inserted;
   }
   void Leave(uint64_t root_id, uint64_t subtxn_id) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -82,15 +134,21 @@ class ActiveSet {
 
  private:
   mutable std::mutex mu_;
-  std::map<uint64_t, uint64_t> active_;  // root txn id -> active subtxn id
+  // root txn id -> active subtxn id
+  std::unordered_map<uint64_t, uint64_t> active_;
 };
 
 /// A named reactor instance, bound at deployment time to one container.
 class Reactor {
  public:
-  Reactor(std::string name, const ReactorType* type, uint32_t container_id)
-      : name_(std::move(name)), type_(type), container_id_(container_id) {}
+  Reactor(ReactorId id, std::string name, const ReactorType* type,
+          uint32_t container_id)
+      : id_(id),
+        name_(std::move(name)),
+        type_(type),
+        container_id_(container_id) {}
 
+  ReactorId id() const { return id_; }
   const std::string& name() const { return name_; }
   const ReactorType& type() const { return *type_; }
   uint32_t container_id() const { return container_id_; }
@@ -103,28 +161,37 @@ class Reactor {
   uint32_t home_executor() const { return home_executor_; }
 
   /// Tables are resolved once at bootstrap (catalog of the owning
-  /// container).
-  void BindTable(const std::string& table_name, Table* table) {
-    tables_[table_name] = table;
+  /// container) and bound into a slot-indexed vector.
+  void BindTable(TableSlot slot, Table* table) {
+    if (slot.value >= tables_.size()) tables_.resize(slot.value + 1, nullptr);
+    tables_[slot.value] = table;
   }
+  Table* FindTable(TableSlot slot) const {
+    return slot.value < tables_.size() ? tables_[slot.value] : nullptr;
+  }
+  /// String shim: resolves the slot through the type's interner.
   Table* FindTable(const std::string& table_name) const {
-    auto it = tables_.find(table_name);
-    return it == tables_.end() ? nullptr : it->second;
+    return FindTable(type_->FindTableSlot(table_name));
   }
 
  private:
+  ReactorId id_;
   std::string name_;
   const ReactorType* type_;
   uint32_t container_id_;
   uint32_t home_executor_ = 0;
   ActiveSet active_set_;
-  std::map<std::string, Table*> tables_;
+  std::vector<Table*> tables_;  // indexed by TableSlot
 };
 
 /// Declaration of a reactor database: reactor types plus named instances
 /// (paper Section 2.2.1: "declare the names and types of the reactors
 /// constituting the database"). Data loading happens through ordinary
 /// transactions after bootstrap.
+///
+/// DeclareReactor interns the reactor name into a dense ReactorId
+/// (declaration order), so a fixed declaration sequence deterministically
+/// yields the same handles on every run.
 class ReactorDatabaseDef {
  public:
   /// Registers a type; returns a reference for fluent schema/proc setup.
@@ -135,17 +202,28 @@ class ReactorDatabaseDef {
                         const std::string& type_name);
 
   const ReactorType* FindType(const std::string& type_name) const;
-  const std::map<std::string, std::string>& reactors() const {
-    return reactor_types_;
-  }
-  size_t num_reactors() const { return reactor_types_.size(); }
 
-  /// Reactor names in declaration (lexicographic) order.
+  /// One-time name resolution; invalid handle when not declared.
+  ReactorId FindReactorId(const std::string& reactor_name) const {
+    return ReactorId{reactor_symbols_.Find(reactor_name)};
+  }
+  const std::string& ReactorNameOf(ReactorId id) const {
+    return reactor_symbols_.NameOf(id.value);
+  }
+  const ReactorType* TypeOf(ReactorId id) const {
+    return id.value < reactor_type_of_.size() ? reactor_type_of_[id.value]
+                                              : nullptr;
+  }
+
+  size_t num_reactors() const { return reactor_symbols_.size(); }
+
+  /// Reactor names in lexicographic order (range placement relies on it).
   std::vector<std::string> ReactorNames() const;
 
  private:
-  std::map<std::string, ReactorType> types_;
-  std::map<std::string, std::string> reactor_types_;  // reactor -> type name
+  std::map<std::string, ReactorType> types_;  // stable addresses
+  SymbolTable reactor_symbols_;               // name -> ReactorId
+  std::vector<const ReactorType*> reactor_type_of_;  // indexed by ReactorId
 };
 
 }  // namespace reactdb

@@ -1,0 +1,116 @@
+// Interned symbol handles for the hot dispatch path.
+//
+// Reactor, procedure, and relation names are strings in the programming
+// model (the paper addresses reactors by name for the lifetime of the
+// application), but resolving them through string-keyed maps on every root
+// submission, sub-transaction call, and table access puts string hashing
+// and comparison on the hottest path in the system. Instead, names are
+// interned once — at ReactorDatabaseDef build / Bootstrap time — into dense
+// integer handles:
+//
+//   ReactorId   index into the runtime's reactor registry
+//               (declaration order in the ReactorDatabaseDef)
+//   ProcId      index into a ReactorType's procedure vector
+//               (AddProcedure registration order)
+//   TableSlot   index into a reactor's bound-table vector
+//               (AddSchema registration order)
+//
+// Handle-indexed lookups are plain std::vector indexing. The string-keyed
+// entry points remain available as thin shims that resolve once through a
+// SymbolTable (an unordered_map probe) and then take the handle path, so
+// application code and the paper's programming model are unchanged. Client
+// drivers are expected to pre-resolve handles at load time and submit by
+// handle.
+
+#ifndef REACTDB_REACTOR_SYMBOL_H_
+#define REACTDB_REACTOR_SYMBOL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace reactdb {
+
+/// Sentinel for "name not interned"; shared by all handle types.
+inline constexpr uint32_t kInvalidHandle = 0xffffffffu;
+
+/// Dense handle of a declared reactor instance.
+struct ReactorId {
+  uint32_t value = kInvalidHandle;
+  constexpr bool valid() const { return value != kInvalidHandle; }
+  friend constexpr bool operator==(ReactorId a, ReactorId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(ReactorId a, ReactorId b) {
+    return a.value != b.value;
+  }
+};
+
+/// Dense handle of a procedure within one ReactorType.
+///
+/// Like a vtable slot, a ProcId is only meaningful for the type it was
+/// resolved against: dispatching it on a reactor of a *different* type
+/// selects whatever procedure occupies that index there (or NotFound when
+/// out of range). Callers that receive dynamic reactor targets of unknown
+/// type (e.g. from client arguments) must use the string-name call forms,
+/// which resolve against the target's own type.
+struct ProcId {
+  uint32_t value = kInvalidHandle;
+  constexpr bool valid() const { return value != kInvalidHandle; }
+  friend constexpr bool operator==(ProcId a, ProcId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(ProcId a, ProcId b) {
+    return a.value != b.value;
+  }
+};
+
+/// Dense handle of a relation within one ReactorType / Reactor.
+struct TableSlot {
+  uint32_t value = kInvalidHandle;
+  constexpr bool valid() const { return value != kInvalidHandle; }
+  friend constexpr bool operator==(TableSlot a, TableSlot b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(TableSlot a, TableSlot b) {
+    return a.value != b.value;
+  }
+};
+
+/// Name -> dense id interner. Intern() assigns ids in first-seen order, so
+/// a fixed declaration sequence always yields the same handles. Find() is
+/// an unordered_map probe: meant for one-time resolution (bootstrap, client
+/// load, string-shim entry points), never for per-operation dispatch.
+class SymbolTable {
+ public:
+  /// Returns the existing id of `name`, or assigns the next dense id.
+  uint32_t Intern(const std::string& name) {
+    auto [it, inserted] = index_.emplace(name, names_.size());
+    if (inserted) names_.push_back(name);
+    return static_cast<uint32_t>(it->second);
+  }
+
+  /// Returns kInvalidHandle when `name` was never interned.
+  uint32_t Find(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? kInvalidHandle
+                              : static_cast<uint32_t>(it->second);
+  }
+
+  /// Safe for invalid/out-of-range ids (returns a sentinel name), so
+  /// reverse lookups on unresolved handles cannot read out of bounds.
+  const std::string& NameOf(uint32_t id) const {
+    static const std::string kInvalid = "<invalid>";
+    return id < names_.size() ? names_[id] : kInvalid;
+  }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::string> names_;  // id -> name
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_REACTOR_SYMBOL_H_

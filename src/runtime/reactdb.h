@@ -10,7 +10,17 @@
 //   ThreadRuntime db;                      // or SimRuntime for virtual time
 //   db.Bootstrap(&def, DeploymentConfig::SharedNothing(4));
 //   db.Start();
-//   ProcResult r = db.Execute("alice", "transfer", {Value("bob"), 100.0});
+//
+//   // One-time handle pre-resolution (load time): names are interned into
+//   // dense ReactorId/ProcId handles so the per-transaction dispatch path
+//   // never touches a string.
+//   ReactorId alice = db.ResolveReactor("alice");
+//   ProcId transfer = db.ResolveProc(alice, "transfer");
+//   ProcResult r = db.Execute(alice, transfer, {Value("bob"), 100.0});
+//
+//   // The string forms remain as one-time-resolution shims, so quick
+//   // experiments and the paper's by-name programming model still work:
+//   r = db.Execute("alice", "transfer", {Value("bob"), 100.0});
 //
 // Changing the database architecture (shared-nothing vs shared-everything,
 // affinity, MPL) only changes the DeploymentConfig — never application code.

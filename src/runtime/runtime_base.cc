@@ -22,21 +22,26 @@ Status RuntimeBase::Bootstrap(const ReactorDatabaseDef* def,
     info->epoch_slot = epochs_.RegisterSlot();
   }
 
-  // Place reactors and create their relations.
+  // Place reactors and create their relations. Placement iterates names in
+  // lexicographic order (range placement relies on it); the registry is
+  // indexed by the dense ReactorId interned at declaration time.
   std::vector<std::string> names = def->ReactorNames();
+  reactors_.resize(def->num_reactors());
   std::vector<uint32_t> per_container_count(
       static_cast<size_t>(dc_.num_containers), 0);
   for (size_t i = 0; i < names.size(); ++i) {
     const std::string& name = names[i];
-    const std::string& type_name = def->reactors().at(name);
-    const ReactorType* type = def->FindType(type_name);
+    ReactorId id = def->FindReactorId(name);
+    REACTDB_CHECK(id.valid());
+    const ReactorType* type = def->TypeOf(id);
     REACTDB_CHECK(type != nullptr);
     uint32_t container = dc_.PlaceReactor(name, i, names.size());
-    auto reactor = std::make_unique<Reactor>(name, type, container);
-    for (const Schema& schema : type->schemas()) {
+    auto reactor = std::make_unique<Reactor>(id, name, type, container);
+    const std::vector<Schema>& schemas = type->schemas();
+    for (size_t slot = 0; slot < schemas.size(); ++slot) {
       REACTDB_ASSIGN_OR_RETURN(
-          Table * table, catalogs_[container]->CreateTable(name, schema));
-      reactor->BindTable(schema.table_name(), table);
+          Table * table, catalogs_[container]->CreateTable(name, schemas[slot]));
+      reactor->BindTable(TableSlot{static_cast<uint32_t>(slot)}, table);
     }
     // Affinity: reactors of a container are spread over its executors in
     // placement order.
@@ -45,9 +50,8 @@ Status RuntimeBase::Bootstrap(const ReactorDatabaseDef* def,
         static_cast<uint32_t>(dc_.executors_per_container);
     uint32_t home =
         container * static_cast<uint32_t>(dc_.executors_per_container) + local;
-    home_executor_[name] = home;
     reactor->set_home_executor(home);
-    reactors_.emplace(name, std::move(reactor));
+    reactors_[id.value] = std::move(reactor);
   }
   return Status::OK();
 }
@@ -58,9 +62,39 @@ void RuntimeBase::RegisterExecutor(ExecutorInfo* info) {
   executors_.push_back(info);
 }
 
+ReactorId RuntimeBase::ResolveReactor(const std::string& reactor_name) const {
+  return def_ == nullptr ? ReactorId{} : def_->FindReactorId(reactor_name);
+}
+
+ProcId RuntimeBase::ResolveProc(ReactorId reactor,
+                                const std::string& proc_name) const {
+  Reactor* r = FindReactor(reactor);
+  return r == nullptr ? ProcId{} : r->type().FindProcId(proc_name);
+}
+
+TableSlot RuntimeBase::ResolveTable(ReactorId reactor,
+                                    const std::string& table_name) const {
+  Reactor* r = FindReactor(reactor);
+  return r == nullptr ? TableSlot{} : r->type().FindTableSlot(table_name);
+}
+
 Reactor* RuntimeBase::FindReactor(const std::string& name) const {
-  auto it = reactors_.find(name);
-  return it == reactors_.end() ? nullptr : it->second.get();
+  return FindReactor(ResolveReactor(name));
+}
+
+StatusOr<Table*> RuntimeBase::FindTable(ReactorId reactor,
+                                        TableSlot slot) const {
+  Reactor* r = FindReactor(reactor);
+  if (r == nullptr) {
+    return Status::NotFound("no reactor handle #" +
+                            std::to_string(reactor.value));
+  }
+  Table* t = r->FindTable(slot);
+  if (t == nullptr) {
+    return Status::NotFound("reactor " + r->name() + " has no relation slot #" +
+                            std::to_string(slot.value));
+  }
+  return t;
 }
 
 StatusOr<Table*> RuntimeBase::FindTable(const std::string& reactor_name,
@@ -75,10 +109,14 @@ StatusOr<Table*> RuntimeBase::FindTable(const std::string& reactor_name,
   return t;
 }
 
+uint32_t RuntimeBase::HomeExecutorOf(ReactorId reactor) const {
+  Reactor* r = FindReactor(reactor);
+  REACTDB_CHECK(r != nullptr);
+  return r->home_executor();
+}
+
 uint32_t RuntimeBase::HomeExecutorOf(const std::string& reactor_name) const {
-  auto it = home_executor_.find(reactor_name);
-  REACTDB_CHECK(it != home_executor_.end());
-  return it->second;
+  return HomeExecutorOf(ResolveReactor(reactor_name));
 }
 
 uint32_t RuntimeBase::RouteRoot(Reactor* reactor) {
@@ -88,7 +126,7 @@ uint32_t RuntimeBase::RouteRoot(Reactor* reactor) {
         rr_counter_.fetch_add(1, std::memory_order_relaxed) % epc);
     return reactor->container_id() * epc + local;
   }
-  return home_executor_.at(reactor->name());
+  return reactor->home_executor();
 }
 
 void RuntimeBase::PinExecutor(uint32_t executor) {
@@ -105,21 +143,22 @@ void RuntimeBase::UnpinExecutor(uint32_t executor) {
   }
 }
 
-Status RuntimeBase::Submit(const std::string& reactor_name,
-                           const std::string& proc_name, Row args,
+Status RuntimeBase::Submit(ReactorId reactor_id, ProcId proc_id, Row args,
                            std::function<void(ProcResult, const RootTxn&)> done) {
-  Reactor* reactor = FindReactor(reactor_name);
+  Reactor* reactor = FindReactor(reactor_id);
   if (reactor == nullptr) {
-    return Status::NotFound("no reactor " + reactor_name);
+    return Status::NotFound("no reactor handle #" +
+                            std::to_string(reactor_id.value));
   }
-  const ProcFn* fn = reactor->type().FindProcedure(proc_name);
+  const ProcFn* fn = reactor->type().FindProcedure(proc_id);
   if (fn == nullptr) {
     return Status::NotFound("reactor type " + reactor->type().name() +
-                            " has no procedure " + proc_name);
+                            " has no procedure handle #" +
+                            std::to_string(proc_id.value));
   }
   auto* root = new RootTxn(next_root_id_.fetch_add(1), &epochs_);
-  root->reactor_name = reactor_name;
-  root->proc_name = proc_name;
+  root->reactor_id = reactor_id;
+  root->proc_id = proc_id;
   root->on_done = std::move(done);
   uint32_t executor = RouteRoot(reactor);
   PostRoot(executor, [this, root, reactor, fn, executor,
@@ -127,6 +166,23 @@ Status RuntimeBase::Submit(const std::string& reactor_name,
     StartRoot(root, reactor, fn, executor, std::move(args));
   });
   return Status::OK();
+}
+
+Status RuntimeBase::Submit(const std::string& reactor_name,
+                           const std::string& proc_name, Row args,
+                           std::function<void(ProcResult, const RootTxn&)> done) {
+  // One-time name resolution, then the handle path.
+  ReactorId reactor_id = ResolveReactor(reactor_name);
+  Reactor* reactor = FindReactor(reactor_id);
+  if (reactor == nullptr) {
+    return Status::NotFound("no reactor " + reactor_name);
+  }
+  ProcId proc_id = reactor->type().FindProcId(proc_name);
+  if (!proc_id.valid()) {
+    return Status::NotFound("reactor type " + reactor->type().name() +
+                            " has no procedure " + proc_name);
+  }
+  return Submit(reactor_id, proc_id, std::move(args), std::move(done));
 }
 
 void RuntimeBase::StartRoot(RootTxn* root, Reactor* reactor, const ProcFn* fn,
@@ -147,23 +203,60 @@ void RuntimeBase::StartRoot(RootTxn* root, Reactor* reactor, const ProcFn* fn,
   StartFrameCoroutine(frame, fn, std::move(args));
 }
 
+Future RuntimeBase::AbortCall(TxnFrame* caller, const std::string& message) {
+  Status s = Status::InvalidArgument(message);
+  caller->root->MarkAbort(s);
+  return Future::Ready(s);
+}
+
+Future RuntimeBase::Call(TxnFrame* caller, ReactorId reactor, ProcId proc,
+                         Row args) {
+  Reactor* target = FindReactor(reactor);
+  if (target == nullptr) {
+    return AbortCall(caller, "no reactor handle #" +
+                                 std::to_string(reactor.value));
+  }
+  const ProcFn* fn = target->type().FindProcedure(proc);
+  if (fn == nullptr) {
+    return AbortCall(caller, "reactor type " + target->type().name() +
+                                 " has no procedure handle #" +
+                                 std::to_string(proc.value));
+  }
+  return DispatchCall(caller, target, fn, std::move(args));
+}
+
 Future RuntimeBase::Call(TxnFrame* caller, const std::string& reactor_name,
                          const std::string& proc_name, Row args) {
-  RootTxn* root = caller->root;
   Reactor* target = FindReactor(reactor_name);
   if (target == nullptr) {
-    Status s = Status::InvalidArgument("no reactor " + reactor_name);
-    root->MarkAbort(s);
-    return Future::Ready(s);
+    return AbortCall(caller, "no reactor " + reactor_name);
   }
   const ProcFn* fn = target->type().FindProcedure(proc_name);
   if (fn == nullptr) {
-    Status s = Status::InvalidArgument("reactor type " +
-                                       target->type().name() +
-                                       " has no procedure " + proc_name);
-    root->MarkAbort(s);
-    return Future::Ready(s);
+    return AbortCall(caller, "reactor type " + target->type().name() +
+                                 " has no procedure " + proc_name);
   }
+  return DispatchCall(caller, target, fn, std::move(args));
+}
+
+Future RuntimeBase::Call(TxnFrame* caller, const std::string& reactor_name,
+                         ProcId proc, Row args) {
+  Reactor* target = FindReactor(reactor_name);
+  if (target == nullptr) {
+    return AbortCall(caller, "no reactor " + reactor_name);
+  }
+  const ProcFn* fn = target->type().FindProcedure(proc);
+  if (fn == nullptr) {
+    return AbortCall(caller, "reactor type " + target->type().name() +
+                                 " has no procedure handle #" +
+                                 std::to_string(proc.value));
+  }
+  return DispatchCall(caller, target, fn, std::move(args));
+}
+
+Future RuntimeBase::DispatchCall(TxnFrame* caller, Reactor* target,
+                                 const ProcFn* fn, Row args) {
+  RootTxn* root = caller->root;
 
   if (target == caller->reactor) {
     // Direct self-call: executed synchronously within the caller's frame
@@ -226,7 +319,7 @@ Future RuntimeBase::Call(TxnFrame* caller, const std::string& reactor_name,
     return f;
   }
   frame->in_active_set = true;
-  frame->executor = home_executor_.at(target->name());
+  frame->executor = target->home_executor();
   frame->pinned = true;
   root->live_remote_children.fetch_add(1, std::memory_order_acq_rel);
   ChargeCs();

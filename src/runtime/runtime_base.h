@@ -20,7 +20,6 @@
 #define REACTDB_RUNTIME_RUNTIME_BASE_H_
 
 #include <atomic>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +62,10 @@ class RuntimeBase : public CallBridge {
 
   /// Submits a root transaction. `done` is invoked exactly once with the
   /// procedure result (on commit) or the abort status. Non-blocking.
+  /// The handle overload is the hot path; the name overload resolves once
+  /// and delegates.
+  Status Submit(ReactorId reactor, ProcId proc, Row args,
+                std::function<void(ProcResult, const RootTxn&)> done);
   Status Submit(const std::string& reactor_name, const std::string& proc_name,
                 Row args, std::function<void(ProcResult, const RootTxn&)> done);
 
@@ -70,8 +73,23 @@ class RuntimeBase : public CallBridge {
   /// layer (bulk loading, invariant inspection in tests). Commits on OK.
   Status RunDirect(const std::function<Status(SiloTxn&)>& fn);
 
+  // --- One-time handle resolution (client load time) ------------------------
+
+  /// Interned handle of a declared reactor; invalid when unknown.
+  ReactorId ResolveReactor(const std::string& reactor_name) const;
+  /// Interned handle of a procedure of `reactor`'s type; invalid when
+  /// unknown (or when the reactor handle itself is invalid).
+  ProcId ResolveProc(ReactorId reactor, const std::string& proc_name) const;
+  /// Interned slot of a relation of `reactor`'s type; invalid when unknown.
+  TableSlot ResolveTable(ReactorId reactor,
+                         const std::string& table_name) const;
+
+  Reactor* FindReactor(ReactorId id) const {
+    return id.value < reactors_.size() ? reactors_[id.value].get() : nullptr;
+  }
   Reactor* FindReactor(const std::string& name) const;
   /// The reactor's relation inside its container's catalog.
+  StatusOr<Table*> FindTable(ReactorId reactor, TableSlot slot) const;
   StatusOr<Table*> FindTable(const std::string& reactor_name,
                              const std::string& table_name) const;
 
@@ -79,11 +97,16 @@ class RuntimeBase : public CallBridge {
   const DeploymentConfig& deployment() const { return dc_; }
   const RuntimeStats& stats() const { return stats_; }
   size_t num_reactors() const { return reactors_.size(); }
+  uint32_t HomeExecutorOf(ReactorId reactor) const;
   uint32_t HomeExecutorOf(const std::string& reactor_name) const;
 
   // --- CallBridge ----------------------------------------------------------
+  Future Call(TxnFrame* caller, ReactorId reactor, ProcId proc,
+              Row args) override;
   Future Call(TxnFrame* caller, const std::string& reactor_name,
               const std::string& proc_name, Row args) override;
+  Future Call(TxnFrame* caller, const std::string& reactor_name, ProcId proc,
+              Row args) override;
 
  protected:
   struct ExecutorInfo {
@@ -121,6 +144,12 @@ class RuntimeBase : public CallBridge {
 
   void StartRoot(RootTxn* root, Reactor* reactor, const ProcFn* fn,
                  uint32_t executor, Row args);
+  /// Shared guts of the Call overloads, after target/procedure resolution.
+  Future DispatchCall(TxnFrame* caller, Reactor* target, const ProcFn* fn,
+                      Row args);
+  /// Marks the caller's root aborted with InvalidArgument(`message`) and
+  /// returns a ready errored future (unknown reactor/procedure in a call).
+  Future AbortCall(TxnFrame* caller, const std::string& message);
   void ArriveFrame(TxnFrame* frame, const ProcFn* fn, Row args);
   void StartFrameCoroutine(TxnFrame* frame, const ProcFn* fn, Row args);
   void OnProcBodyFinished(TxnFrame* frame);
@@ -138,9 +167,10 @@ class RuntimeBase : public CallBridge {
   DeploymentConfig dc_;
   EpochManager epochs_;
   std::vector<std::unique_ptr<Catalog>> catalogs_;
-  std::map<std::string, std::unique_ptr<Reactor>> reactors_;
-  std::map<std::string, uint32_t> home_executor_;  // reactor -> global exec id
-  std::vector<ExecutorInfo*> executors_;           // owned by subclass
+  /// Reactor registry, indexed by ReactorId (home executor routing lives on
+  /// the Reactor itself) — no string-keyed lookups on the dispatch path.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::vector<ExecutorInfo*> executors_;  // owned by subclass
   std::atomic<uint64_t> next_root_id_{1};
   std::atomic<uint64_t> rr_counter_{0};
   std::atomic<uint64_t> finalized_roots_{0};

@@ -229,16 +229,27 @@ double SimRuntime::Utilization(uint32_t id, double from_us) const {
   return std::min(1.0, exec->busy_total / window);
 }
 
-ProcResult SimRuntime::Execute(const std::string& reactor_name,
-                               const std::string& proc_name, Row args) {
+ProcResult SimRuntime::ExecuteVia(const SubmitFn& submit) {
   ProcResult outcome{Status::Internal("simulation did not finish")};
-  Status s = Submit(reactor_name, proc_name, std::move(args),
-                    [&outcome](ProcResult r, const RootTxn&) {
-                      outcome = std::move(r);
-                    });
+  Status s = submit([&outcome](ProcResult r, const RootTxn&) {
+    outcome = std::move(r);
+  });
   if (!s.ok()) return ProcResult(s);
   events_.RunAll();
   return outcome;
+}
+
+ProcResult SimRuntime::Execute(ReactorId reactor, ProcId proc, Row args) {
+  return ExecuteVia([&](auto done) {
+    return Submit(reactor, proc, std::move(args), std::move(done));
+  });
+}
+
+ProcResult SimRuntime::Execute(const std::string& reactor_name,
+                               const std::string& proc_name, Row args) {
+  return ExecuteVia([&](auto done) {
+    return Submit(reactor_name, proc_name, std::move(args), std::move(done));
+  });
 }
 
 }  // namespace reactdb

@@ -42,7 +42,9 @@ class SimRuntime : public RuntimeBase {
   void RunAll() { events_.RunAll(); }
 
   /// Convenience for tests/examples: submits at the current virtual time,
-  /// runs the simulation to quiescence, returns the outcome.
+  /// runs the simulation to quiescence, returns the outcome. The handle
+  /// overload dispatches without any string lookup.
+  ProcResult Execute(ReactorId reactor, ProcId proc, Row args);
   ProcResult Execute(const std::string& reactor_name,
                      const std::string& proc_name, Row args);
 
@@ -63,6 +65,12 @@ class SimRuntime : public RuntimeBase {
   void ChargeCommitCost(RootTxn* root) override;
 
  private:
+  /// Shared scaffold of the Execute overloads: `submit` receives the
+  /// completion callback and forwards to the matching Submit overload.
+  using SubmitFn = std::function<Status(
+      std::function<void(ProcResult, const RootTxn&)>)>;
+  ProcResult ExecuteVia(const SubmitFn& submit);
+
   struct SimTask {
     std::function<void()> fn;
     bool charge_cr = false;

@@ -115,16 +115,27 @@ void ThreadRuntime::Compute(double micros) {
   }
 }
 
-ProcResult ThreadRuntime::Execute(const std::string& reactor_name,
-                                  const std::string& proc_name, Row args) {
+ProcResult ThreadRuntime::ExecuteVia(const SubmitFn& submit) {
   std::promise<ProcResult> promise;
   std::future<ProcResult> future = promise.get_future();
-  Status s = Submit(reactor_name, proc_name, std::move(args),
-                    [&promise](ProcResult r, const RootTxn&) {
-                      promise.set_value(std::move(r));
-                    });
+  Status s = submit([&promise](ProcResult r, const RootTxn&) {
+    promise.set_value(std::move(r));
+  });
   if (!s.ok()) return ProcResult(s);
   return future.get();
+}
+
+ProcResult ThreadRuntime::Execute(ReactorId reactor, ProcId proc, Row args) {
+  return ExecuteVia([&](auto done) {
+    return Submit(reactor, proc, std::move(args), std::move(done));
+  });
+}
+
+ProcResult ThreadRuntime::Execute(const std::string& reactor_name,
+                                  const std::string& proc_name, Row args) {
+  return ExecuteVia([&](auto done) {
+    return Submit(reactor_name, proc_name, std::move(args), std::move(done));
+  });
 }
 
 }  // namespace reactdb

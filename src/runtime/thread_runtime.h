@@ -35,7 +35,9 @@ class ThreadRuntime : public RuntimeBase {
   void Stop();
 
   /// Blocking convenience: submits and waits for the outcome. Must not be
-  /// called from an executor thread.
+  /// called from an executor thread. The handle overload dispatches
+  /// without any string lookup (pre-resolve via ResolveReactor/ResolveProc).
+  ProcResult Execute(ReactorId reactor, ProcId proc, Row args);
   ProcResult Execute(const std::string& reactor_name,
                      const std::string& proc_name, Row args);
 
@@ -53,6 +55,12 @@ class ThreadRuntime : public RuntimeBase {
   void CreateExecutors() override;
 
  private:
+  /// Shared blocking scaffold of the Execute overloads: `submit` receives
+  /// the completion callback and forwards to the matching Submit overload.
+  using SubmitFn = std::function<Status(
+      std::function<void(ProcResult, const RootTxn&)>)>;
+  ProcResult ExecuteVia(const SubmitFn& submit);
+
   struct ThreadExecutor : ExecutorInfo {
     std::mutex mu;
     std::condition_variable cv;

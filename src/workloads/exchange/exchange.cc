@@ -21,14 +21,14 @@ constexpr int64_t kTsBase = 1'000'000'000;
 Proc CalcRisk(TxnContext& ctx, Row args) {
   double p_exposure = args[0].AsNumeric();
   int64_t nrandoms = args[1].AsInt64();
-  REACTDB_CO_ASSIGN_OR_RETURN(Select window, ctx.From("orders"));
+  REACTDB_CO_ASSIGN_OR_RETURN(Select window, ctx.From(kProviderOrdersSlot));
   window.Where(Col("settled") == Lit("N")).Reverse().Limit(kWindow);
   REACTDB_CO_ASSIGN_OR_RETURN(double exposure, ctx.Sum(window, "value"));
   if (exposure > p_exposure) {
     co_return Status::UserAbort("provider exposure above limit");
   }
   REACTDB_CO_ASSIGN_OR_RETURN(Row info,
-                              ctx.Get("provider_info", {Value(int64_t{0})}));
+                              ctx.Get(kProviderInfoSlot, {Value(int64_t{0})}));
   double risk = info[1].AsNumeric();
   int64_t time = info[2].AsInt64();
   int64_t window_len = info[3].AsInt64();
@@ -38,7 +38,7 @@ Proc CalcRisk(TxnContext& ctx, Row args) {
     ctx.Compute(static_cast<double>(nrandoms) * kUsPerRandom);
     risk = exposure * 0.1;
     REACTDB_CO_RETURN_IF_ERROR(
-        ctx.Update("provider_info", {Value(int64_t{0})},
+        ctx.Update(kProviderInfoSlot, {Value(int64_t{0})},
                    {Value(int64_t{0}), Value(risk), Value(now),
                     Value(window_len)}));
   }
@@ -49,7 +49,7 @@ Proc CalcRisk(TxnContext& ctx, Row args) {
 // parallelizable part of the join (no sim_risk).
 Proc SumExposure(TxnContext& ctx, Row args) {
   (void)args;
-  REACTDB_CO_ASSIGN_OR_RETURN(Select window, ctx.From("orders"));
+  REACTDB_CO_ASSIGN_OR_RETURN(Select window, ctx.From(kProviderOrdersSlot));
   window.Where(Col("settled") == Lit("N")).Reverse().Limit(kWindow);
   REACTDB_CO_ASSIGN_OR_RETURN(double exposure, ctx.Sum(window, "value"));
   co_return Value(exposure);
@@ -57,9 +57,9 @@ Proc SumExposure(TxnContext& ctx, Row args) {
 
 Proc SetRisk(TxnContext& ctx, Row args) {
   REACTDB_CO_ASSIGN_OR_RETURN(Row info,
-                              ctx.Get("provider_info", {Value(int64_t{0})}));
+                              ctx.Get(kProviderInfoSlot, {Value(int64_t{0})}));
   REACTDB_CO_RETURN_IF_ERROR(ctx.Update(
-      "provider_info", {Value(int64_t{0})},
+      kProviderInfoSlot, {Value(int64_t{0})},
       {Value(int64_t{0}), args[0], args[1], info[3]}));
   co_return Value(true);
 }
@@ -67,7 +67,7 @@ Proc SetRisk(TxnContext& ctx, Row args) {
 Proc AddEntry(TxnContext& ctx, Row args) {
   // args: wallet, value, ts
   REACTDB_CO_RETURN_IF_ERROR(ctx.Insert(
-      "orders", {Value(kTsBase + args[2].AsInt64()), args[0], args[1],
+      kProviderOrdersSlot, {Value(kTsBase + args[2].AsInt64()), args[0], args[1],
                  Value("N")}));
   co_return Value(true);
 }
@@ -83,18 +83,18 @@ Proc AuthPay(TxnContext& ctx, Row args) {
   Value nrandoms = args[3];
 
   REACTDB_CO_ASSIGN_OR_RETURN(
-      Row limits, ctx.Get("settlement_risk", {Value(int64_t{0})}));
+      Row limits, ctx.Get(kExSettlementRiskSlot, {Value(int64_t{0})}));
   double p_exposure = limits[1].AsNumeric();
   double g_risk = limits[2].AsNumeric();
 
-  REACTDB_CO_ASSIGN_OR_RETURN(Select names, ctx.From("provider_names"));
+  REACTDB_CO_ASSIGN_OR_RETURN(Select names, ctx.From(kExProviderNamesSlot));
   REACTDB_CO_ASSIGN_OR_RETURN(std::vector<Row> providers, ctx.Rows(names));
 
   std::vector<Future> results;
   results.reserve(providers.size());
   for (const Row& p : providers) {
     results.push_back(
-        ctx.CallOn(p[0].AsString(), "calc_risk",
+        ctx.CallOn(p[0].AsString(), kCalcRiskProc,
                    {Value(p_exposure), nrandoms}));
   }
   double total_risk = 0;
@@ -107,7 +107,7 @@ Proc AuthPay(TxnContext& ctx, Row args) {
     co_return Status::UserAbort("global risk limit exceeded");
   }
   Future add_call = ctx.CallOn(
-      pprovider, "add_entry",
+      pprovider, kAddEntryProc,
       {wallet, Value(value), Value(static_cast<int64_t>(ctx.root_id()))});
   ProcResult added = co_await add_call;
   REACTDB_CO_RETURN_IF_ERROR(added.status());
@@ -124,18 +124,18 @@ Proc AuthPayQueryParallel(TxnContext& ctx, Row args) {
   int64_t nrandoms = args[3].AsInt64();
 
   REACTDB_CO_ASSIGN_OR_RETURN(
-      Row limits, ctx.Get("settlement_risk", {Value(int64_t{0})}));
+      Row limits, ctx.Get(kExSettlementRiskSlot, {Value(int64_t{0})}));
   double p_exposure = limits[1].AsNumeric();
   double g_risk = limits[2].AsNumeric();
 
-  REACTDB_CO_ASSIGN_OR_RETURN(Select names, ctx.From("provider_names"));
+  REACTDB_CO_ASSIGN_OR_RETURN(Select names, ctx.From(kExProviderNamesSlot));
   REACTDB_CO_ASSIGN_OR_RETURN(std::vector<Row> providers, ctx.Rows(names));
 
   // Parallel partial sums (the join).
   std::vector<Future> sums;
   sums.reserve(providers.size());
   for (const Row& p : providers) {
-    sums.push_back(ctx.CallOn(p[0].AsString(), "sum_exposure", {}));
+    sums.push_back(ctx.CallOn(p[0].AsString(), kSumExposureProc, {}));
   }
   // Sequential remainder at the exchange: per-provider limit check,
   // sim_risk, and risk write-back.
@@ -151,7 +151,7 @@ Proc AuthPayQueryParallel(TxnContext& ctx, Row args) {
     ctx.Compute(static_cast<double>(nrandoms) * kUsPerRandom);  // sim_risk
     double risk = exposure * 0.1;
     total_risk += risk;
-    Future risk_call = ctx.CallOn(providers[i][0].AsString(), "set_risk",
+    Future risk_call = ctx.CallOn(providers[i][0].AsString(), kSetRiskProc,
                                   {Value(risk), Value(now)});
     ProcResult w = co_await risk_call;
     REACTDB_CO_RETURN_IF_ERROR(w.status());
@@ -160,7 +160,7 @@ Proc AuthPayQueryParallel(TxnContext& ctx, Row args) {
     co_return Status::UserAbort("global risk limit exceeded");
   }
   Future add_call =
-      ctx.CallOn(pprovider, "add_entry", {wallet, Value(value), Value(now)});
+      ctx.CallOn(pprovider, kAddEntryProc, {wallet, Value(value), Value(now)});
   ProcResult added = co_await add_call;
   REACTDB_CO_RETURN_IF_ERROR(added.status());
   co_return Value(total_risk);
@@ -175,11 +175,11 @@ Proc AuthPayClassic(TxnContext& ctx, Row args) {
   int64_t nrandoms = args[3].AsInt64();
 
   REACTDB_CO_ASSIGN_OR_RETURN(
-      Row limits, ctx.Get("settlement_risk", {Value(int64_t{0})}));
+      Row limits, ctx.Get(kCentralSettlementRiskSlot, {Value(int64_t{0})}));
   double p_exposure = limits[1].AsNumeric();
   double g_risk = limits[2].AsNumeric();
 
-  REACTDB_CO_ASSIGN_OR_RETURN(Select providers_sel, ctx.From("provider"));
+  REACTDB_CO_ASSIGN_OR_RETURN(Select providers_sel, ctx.From(kCentralProviderSlot));
   REACTDB_CO_ASSIGN_OR_RETURN(std::vector<Row> providers,
                               ctx.Rows(providers_sel));
   double total_risk = 0;
@@ -187,7 +187,7 @@ Proc AuthPayClassic(TxnContext& ctx, Row args) {
   for (const Row& p : providers) {
     const std::string& name = p[0].AsString();
     // Exposure: newest kWindow unsettled orders of this provider.
-    REACTDB_CO_ASSIGN_OR_RETURN(Select window, ctx.From("orders"));
+    REACTDB_CO_ASSIGN_OR_RETURN(Select window, ctx.From(kCentralOrdersSlot));
     window.KeyPrefix({Value(name)})
         .Where(Col("settled") == Lit("N"))
         .Reverse()
@@ -203,7 +203,7 @@ Proc AuthPayClassic(TxnContext& ctx, Row args) {
       ctx.Compute(static_cast<double>(nrandoms) * kUsPerRandom);  // sim_risk
       risk = exposure * 0.1;
       REACTDB_CO_RETURN_IF_ERROR(
-          ctx.Update("provider", {Value(name)},
+          ctx.Update(kCentralProviderSlot, {Value(name)},
                      {Value(name), Value(risk), Value(now),
                       Value(window_len)}));
     }
@@ -213,7 +213,7 @@ Proc AuthPayClassic(TxnContext& ctx, Row args) {
     co_return Status::UserAbort("global risk limit exceeded");
   }
   REACTDB_CO_RETURN_IF_ERROR(ctx.Insert(
-      "orders", {Value(pprovider), Value(kTsBase + now), wallet, Value(value),
+      kCentralOrdersSlot, {Value(pprovider), Value(kTsBase + now), wallet, Value(value),
                  Value("N")}));
   co_return Value(total_risk);
 }
@@ -242,6 +242,10 @@ void BuildPartitionedDef(ReactorDatabaseDef* def, int num_providers) {
                    .value());
   ex.AddProcedure("auth_pay", &AuthPay);
   ex.AddProcedure("auth_pay_qp", &AuthPayQueryParallel);
+  REACTDB_CHECK(ex.FindTableSlot("settlement_risk") == kExSettlementRiskSlot);
+  REACTDB_CHECK(ex.FindTableSlot("provider_names") == kExProviderNamesSlot);
+  REACTDB_CHECK(ex.FindProcId("auth_pay") == kAuthPayProc);
+  REACTDB_CHECK(ex.FindProcId("auth_pay_qp") == kAuthPayQpProc);
 
   ReactorType& provider = def->DefineType("Provider");
   provider.AddSchema(SchemaBuilder("provider_info")
@@ -264,6 +268,12 @@ void BuildPartitionedDef(ReactorDatabaseDef* def, int num_providers) {
   provider.AddProcedure("sum_exposure", &SumExposure);
   provider.AddProcedure("set_risk", &SetRisk);
   provider.AddProcedure("add_entry", &AddEntry);
+  REACTDB_CHECK(provider.FindTableSlot("provider_info") == kProviderInfoSlot);
+  REACTDB_CHECK(provider.FindTableSlot("orders") == kProviderOrdersSlot);
+  REACTDB_CHECK(provider.FindProcId("calc_risk") == kCalcRiskProc);
+  REACTDB_CHECK(provider.FindProcId("sum_exposure") == kSumExposureProc);
+  REACTDB_CHECK(provider.FindProcId("set_risk") == kSetRiskProc);
+  REACTDB_CHECK(provider.FindProcId("add_entry") == kAddEntryProc);
 
   REACTDB_CHECK_OK(def->DeclareReactor(ExchangeName(), "Exchange"));
   for (int i = 1; i <= num_providers; ++i) {
@@ -298,6 +308,11 @@ void BuildCentralDef(ReactorDatabaseDef* def) {
                         .Build()
                         .value());
   central.AddProcedure("auth_pay_classic", &AuthPayClassic);
+  REACTDB_CHECK(central.FindTableSlot("settlement_risk") ==
+                kCentralSettlementRiskSlot);
+  REACTDB_CHECK(central.FindTableSlot("provider") == kCentralProviderSlot);
+  REACTDB_CHECK(central.FindTableSlot("orders") == kCentralOrdersSlot);
+  REACTDB_CHECK(central.FindProcId("auth_pay_classic") == kAuthPayClassicProc);
   REACTDB_CHECK_OK(def->DeclareReactor(CentralName(), "CentralExchange"));
 }
 
@@ -408,6 +423,18 @@ Status LoadCentral(RuntimeBase* rt, int num_providers, int orders_per_provider,
 Row AuthPayArgs(const std::string& pprovider, int64_t wallet, double value,
                 int64_t nrandoms) {
   return {Value(pprovider), Value(wallet), Value(value), Value(nrandoms)};
+}
+
+Handles ResolveHandles(const RuntimeBase* rt, int num_providers) {
+  Handles h;
+  h.exchange = rt->ResolveReactor(ExchangeName());
+  h.central = rt->ResolveReactor(CentralName());
+  for (int i = 1; i <= num_providers; ++i) {
+    ReactorId id = rt->ResolveReactor(ProviderName(i));
+    if (!id.valid()) break;  // central deployment has no providers
+    h.providers.push_back(id);
+  }
+  return h;
 }
 
 }  // namespace exchange

@@ -20,11 +20,30 @@
 #define REACTDB_WORKLOADS_EXCHANGE_EXCHANGE_H_
 
 #include <string>
+#include <vector>
 
 #include "src/runtime/runtime_base.h"
 
 namespace reactdb {
 namespace exchange {
+
+/// Interned handles, fixed by registration order in BuildPartitionedDef /
+/// BuildCentralDef (verified there with checks). Per-type namespaces:
+/// Exchange, Provider, and CentralExchange slots are distinct.
+inline constexpr TableSlot kExSettlementRiskSlot{0};
+inline constexpr TableSlot kExProviderNamesSlot{1};
+inline constexpr ProcId kAuthPayProc{0};
+inline constexpr ProcId kAuthPayQpProc{1};
+inline constexpr TableSlot kProviderInfoSlot{0};
+inline constexpr TableSlot kProviderOrdersSlot{1};
+inline constexpr ProcId kCalcRiskProc{0};
+inline constexpr ProcId kSumExposureProc{1};
+inline constexpr ProcId kSetRiskProc{2};
+inline constexpr ProcId kAddEntryProc{3};
+inline constexpr TableSlot kCentralSettlementRiskSlot{0};
+inline constexpr TableSlot kCentralProviderSlot{1};
+inline constexpr TableSlot kCentralOrdersSlot{2};
+inline constexpr ProcId kAuthPayClassicProc{0};
 
 inline constexpr int kNumProviders = 15;
 inline constexpr int kOrdersPerProvider = 30000;
@@ -57,6 +76,17 @@ Status LoadCentral(RuntimeBase* rt, int num_providers = kNumProviders,
 /// sim_risk load per provider.
 Row AuthPayArgs(const std::string& pprovider, int64_t wallet, double value,
                 int64_t nrandoms);
+
+/// Client-side handles, resolved once after Bootstrap. `exchange` /
+/// `central` is invalid when the corresponding def was not used; provider
+/// `i` (1-based) is `providers[i - 1]`.
+struct Handles {
+  ReactorId exchange;
+  ReactorId central;
+  std::vector<ReactorId> providers;
+};
+Handles ResolveHandles(const RuntimeBase* rt,
+                       int num_providers = kNumProviders);
 
 }  // namespace exchange
 }  // namespace reactdb

@@ -16,16 +16,16 @@ constexpr int64_t kCustId = 1;  // single customer per reactor
 Proc TransactSaving(TxnContext& ctx, Row args) {
   double amount = args[0].AsNumeric();
   REACTDB_CO_ASSIGN_OR_RETURN(Row account,
-                              ctx.Get("account", {Value(ctx.reactor_name())}));
+                              ctx.Get(kAccountSlot, {Value(ctx.reactor_name())}));
   int64_t cust_id = account[1].AsInt64();
   REACTDB_CO_ASSIGN_OR_RETURN(Row savings,
-                              ctx.Get("savings", {Value(cust_id)}));
+                              ctx.Get(kSavingsSlot, {Value(cust_id)}));
   double balance = savings[1].AsNumeric();
   if (balance + amount < 0) {
     co_return Status::UserAbort("insufficient savings funds");
   }
   REACTDB_CO_RETURN_IF_ERROR(ctx.Update(
-      "savings", {Value(cust_id)}, {Value(cust_id), Value(balance + amount)}));
+      kSavingsSlot, {Value(cust_id)}, {Value(cust_id), Value(balance + amount)}));
   co_return Value(balance + amount);
 }
 
@@ -33,12 +33,12 @@ Proc DepositChecking(TxnContext& ctx, Row args) {
   double amount = args[0].AsNumeric();
   if (amount < 0) co_return Status::UserAbort("negative deposit");
   REACTDB_CO_ASSIGN_OR_RETURN(Row account,
-                              ctx.Get("account", {Value(ctx.reactor_name())}));
+                              ctx.Get(kAccountSlot, {Value(ctx.reactor_name())}));
   int64_t cust_id = account[1].AsInt64();
   REACTDB_CO_ASSIGN_OR_RETURN(Row checking,
-                              ctx.Get("checking", {Value(cust_id)}));
+                              ctx.Get(kCheckingSlot, {Value(cust_id)}));
   double balance = checking[1].AsNumeric() + amount;
-  REACTDB_CO_RETURN_IF_ERROR(ctx.Update("checking", {Value(cust_id)},
+  REACTDB_CO_RETURN_IF_ERROR(ctx.Update(kCheckingSlot, {Value(cust_id)},
                                         {Value(cust_id), Value(balance)}));
   co_return Value(balance);
 }
@@ -46,26 +46,26 @@ Proc DepositChecking(TxnContext& ctx, Row args) {
 Proc Balance(TxnContext& ctx, Row args) {
   (void)args;
   REACTDB_CO_ASSIGN_OR_RETURN(Row account,
-                              ctx.Get("account", {Value(ctx.reactor_name())}));
+                              ctx.Get(kAccountSlot, {Value(ctx.reactor_name())}));
   int64_t cust_id = account[1].AsInt64();
-  REACTDB_CO_ASSIGN_OR_RETURN(Row savings, ctx.Get("savings", {Value(cust_id)}));
+  REACTDB_CO_ASSIGN_OR_RETURN(Row savings, ctx.Get(kSavingsSlot, {Value(cust_id)}));
   REACTDB_CO_ASSIGN_OR_RETURN(Row checking,
-                              ctx.Get("checking", {Value(cust_id)}));
+                              ctx.Get(kCheckingSlot, {Value(cust_id)}));
   co_return Value(savings[1].AsNumeric() + checking[1].AsNumeric());
 }
 
 Proc WriteCheck(TxnContext& ctx, Row args) {
   double amount = args[0].AsNumeric();
   REACTDB_CO_ASSIGN_OR_RETURN(Row account,
-                              ctx.Get("account", {Value(ctx.reactor_name())}));
+                              ctx.Get(kAccountSlot, {Value(ctx.reactor_name())}));
   int64_t cust_id = account[1].AsInt64();
-  REACTDB_CO_ASSIGN_OR_RETURN(Row savings, ctx.Get("savings", {Value(cust_id)}));
+  REACTDB_CO_ASSIGN_OR_RETURN(Row savings, ctx.Get(kSavingsSlot, {Value(cust_id)}));
   REACTDB_CO_ASSIGN_OR_RETURN(Row checking,
-                              ctx.Get("checking", {Value(cust_id)}));
+                              ctx.Get(kCheckingSlot, {Value(cust_id)}));
   double total = savings[1].AsNumeric() + checking[1].AsNumeric();
   double penalty = total < amount ? 1.0 : 0.0;
   double balance = checking[1].AsNumeric() - amount - penalty;
-  REACTDB_CO_RETURN_IF_ERROR(ctx.Update("checking", {Value(cust_id)},
+  REACTDB_CO_RETURN_IF_ERROR(ctx.Update(kCheckingSlot, {Value(cust_id)},
                                         {Value(cust_id), Value(balance)}));
   co_return Value(balance);
 }
@@ -75,17 +75,17 @@ Proc WriteCheck(TxnContext& ctx, Row args) {
 Proc Amalgamate(TxnContext& ctx, Row args) {
   const std::string dst = args[0].AsString();
   REACTDB_CO_ASSIGN_OR_RETURN(Row account,
-                              ctx.Get("account", {Value(ctx.reactor_name())}));
+                              ctx.Get(kAccountSlot, {Value(ctx.reactor_name())}));
   int64_t cust_id = account[1].AsInt64();
-  REACTDB_CO_ASSIGN_OR_RETURN(Row savings, ctx.Get("savings", {Value(cust_id)}));
+  REACTDB_CO_ASSIGN_OR_RETURN(Row savings, ctx.Get(kSavingsSlot, {Value(cust_id)}));
   REACTDB_CO_ASSIGN_OR_RETURN(Row checking,
-                              ctx.Get("checking", {Value(cust_id)}));
+                              ctx.Get(kCheckingSlot, {Value(cust_id)}));
   double total = savings[1].AsNumeric() + checking[1].AsNumeric();
   REACTDB_CO_RETURN_IF_ERROR(
-      ctx.Update("savings", {Value(cust_id)}, {Value(cust_id), Value(0.0)}));
+      ctx.Update(kSavingsSlot, {Value(cust_id)}, {Value(cust_id), Value(0.0)}));
   REACTDB_CO_RETURN_IF_ERROR(
-      ctx.Update("checking", {Value(cust_id)}, {Value(cust_id), Value(0.0)}));
-  Future deposit = ctx.CallOn(dst, "deposit_checking", {Value(total)});
+      ctx.Update(kCheckingSlot, {Value(cust_id)}, {Value(cust_id), Value(0.0)}));
+  Future deposit = ctx.CallOn(dst, kDepositCheckingProc, {Value(total)});
   ProcResult r = co_await deposit;
   REACTDB_CO_RETURN_IF_ERROR(r.status());
   co_return Value(total);
@@ -100,13 +100,13 @@ Proc Transfer(TxnContext& ctx, Row args) {
   double amount = args[1].AsNumeric();
   bool sequential = args[2].AsBool();
   if (amount <= 0) co_return Status::UserAbort("non-positive amount");
-  Future credit = ctx.CallOn(dst, "transact_saving", {Value(amount)});
+  Future credit = ctx.CallOn(dst, kTransactSavingProc, {Value(amount)});
   if (sequential) {
     ProcResult r = co_await credit;
     REACTDB_CO_RETURN_IF_ERROR(r.status());
   }
   Future debit_call =
-      ctx.CallOn(ctx.reactor_name(), "transact_saving", {Value(-amount)});
+      ctx.CallOn(ctx.reactor_id(), kTransactSavingProc, {Value(-amount)});
   ProcResult debit = co_await debit_call;
   REACTDB_CO_RETURN_IF_ERROR(debit.status());
   if (!sequential) {
@@ -122,7 +122,7 @@ Proc MultiTransferSync(TxnContext& ctx, Row args) {
   double amount = args[0].AsNumeric();
   Value seq_flag = args[1];
   for (size_t i = 2; i < args.size(); ++i) {
-    Future transfer_call = ctx.CallOn(ctx.reactor_name(), "transfer",
+    Future transfer_call = ctx.CallOn(ctx.reactor_id(), kTransferProc,
                                       {args[i], Value(amount), seq_flag});
     ProcResult r = co_await transfer_call;
     REACTDB_CO_RETURN_IF_ERROR(r.status());
@@ -139,11 +139,11 @@ Proc MultiTransferFullyAsync(TxnContext& ctx, Row args) {
   std::vector<Future> credits;
   for (size_t i = 1; i < args.size(); ++i) {
     credits.push_back(
-        ctx.CallOn(args[i].AsString(), "transact_saving", {Value(amount)}));
+        ctx.CallOn(args[i].AsString(), kTransactSavingProc, {Value(amount)}));
   }
   for (size_t i = 1; i < args.size(); ++i) {
     Future debit_call =
-        ctx.CallOn(ctx.reactor_name(), "transact_saving", {Value(-amount)});
+        ctx.CallOn(ctx.reactor_id(), kTransactSavingProc, {Value(-amount)});
     ProcResult debit = co_await debit_call;
     REACTDB_CO_RETURN_IF_ERROR(debit.status());
   }
@@ -162,10 +162,10 @@ Proc MultiTransferOpt(TxnContext& ctx, Row args) {
   std::vector<Future> credits;
   for (size_t i = 1; i < args.size(); ++i) {
     credits.push_back(
-        ctx.CallOn(args[i].AsString(), "transact_saving", {Value(amount)}));
+        ctx.CallOn(args[i].AsString(), kTransactSavingProc, {Value(amount)}));
   }
   double num_dsts = static_cast<double>(args.size() - 1);
-  Future debit_call = ctx.CallOn(ctx.reactor_name(), "transact_saving",
+  Future debit_call = ctx.CallOn(ctx.reactor_id(), kTransactSavingProc,
                                  {Value(-amount * num_dsts)});
   ProcResult debit = co_await debit_call;
   REACTDB_CO_RETURN_IF_ERROR(debit.status());
@@ -213,6 +213,22 @@ void BuildDef(ReactorDatabaseDef* def, int64_t num_customers) {
   type.AddProcedure("multi_transfer_sync", &MultiTransferSync);
   type.AddProcedure("multi_transfer_fully_async", &MultiTransferFullyAsync);
   type.AddProcedure("multi_transfer_opt", &MultiTransferOpt);
+  // The procedures above index tables and procedures through the constants
+  // in smallbank.h; registration order must match them.
+  REACTDB_CHECK(type.FindTableSlot("account") == kAccountSlot);
+  REACTDB_CHECK(type.FindTableSlot("savings") == kSavingsSlot);
+  REACTDB_CHECK(type.FindTableSlot("checking") == kCheckingSlot);
+  REACTDB_CHECK(type.FindProcId("transact_saving") == kTransactSavingProc);
+  REACTDB_CHECK(type.FindProcId("deposit_checking") == kDepositCheckingProc);
+  REACTDB_CHECK(type.FindProcId("balance") == kBalanceProc);
+  REACTDB_CHECK(type.FindProcId("write_check") == kWriteCheckProc);
+  REACTDB_CHECK(type.FindProcId("amalgamate") == kAmalgamateProc);
+  REACTDB_CHECK(type.FindProcId("transfer") == kTransferProc);
+  REACTDB_CHECK(type.FindProcId("multi_transfer_sync") ==
+                kMultiTransferSyncProc);
+  REACTDB_CHECK(type.FindProcId("multi_transfer_fully_async") ==
+                kMultiTransferFullyAsyncProc);
+  REACTDB_CHECK(type.FindProcId("multi_transfer_opt") == kMultiTransferOptProc);
   for (int64_t i = 0; i < num_customers; ++i) {
     REACTDB_CHECK_OK(def->DeclareReactor(CustomerName(i), "Customer"));
   }
@@ -230,10 +246,12 @@ Status Load(RuntimeBase* rt, int64_t num_customers, double initial_savings,
         Reactor* r = rt->FindReactor(name);
         if (r == nullptr) return Status::Internal("missing reactor " + name);
         uint32_t c = r->container_id();
-        REACTDB_ASSIGN_OR_RETURN(Table * account, rt->FindTable(name, "account"));
-        REACTDB_ASSIGN_OR_RETURN(Table * savings, rt->FindTable(name, "savings"));
-        REACTDB_ASSIGN_OR_RETURN(Table * checking,
-                                 rt->FindTable(name, "checking"));
+        Table* account = r->FindTable(kAccountSlot);
+        Table* savings = r->FindTable(kSavingsSlot);
+        Table* checking = r->FindTable(kCheckingSlot);
+        if (account == nullptr || savings == nullptr || checking == nullptr) {
+          return Status::Internal("unbound relation on " + name);
+        }
         REACTDB_RETURN_IF_ERROR(
             txn.Insert(account, {Value(name), Value(kCustId)}, c));
         REACTDB_RETURN_IF_ERROR(txn.Insert(
@@ -255,9 +273,11 @@ StatusOr<double> TotalBalance(RuntimeBase* rt, int64_t num_customers) {
       std::string name = CustomerName(i);
       Reactor* r = rt->FindReactor(name);
       uint32_t c = r->container_id();
-      REACTDB_ASSIGN_OR_RETURN(Table * savings, rt->FindTable(name, "savings"));
-      REACTDB_ASSIGN_OR_RETURN(Table * checking,
-                               rt->FindTable(name, "checking"));
+      Table* savings = r->FindTable(kSavingsSlot);
+      Table* checking = r->FindTable(kCheckingSlot);
+      if (savings == nullptr || checking == nullptr) {
+        return Status::Internal("unbound relation on " + name);
+      }
       REACTDB_ASSIGN_OR_RETURN(Row srow, txn.Get(savings, {Value(kCustId)}, c));
       REACTDB_ASSIGN_OR_RETURN(Row crow, txn.Get(checking, {Value(kCustId)}, c));
       total += srow[1].AsNumeric() + crow[1].AsNumeric();
@@ -282,9 +302,23 @@ const char* FormulationName(Formulation f) {
   return "?";
 }
 
+ProcId FormulationProc(Formulation f) {
+  switch (f) {
+    case Formulation::kFullySync:
+    case Formulation::kPartiallyAsync:
+      return kMultiTransferSyncProc;
+    case Formulation::kFullyAsync:
+      return kMultiTransferFullyAsyncProc;
+    case Formulation::kOpt:
+      return kMultiTransferOptProc;
+  }
+  return ProcId{};
+}
+
 MultiTransferCall MakeMultiTransfer(Formulation f, double amount,
                                     const std::vector<std::string>& dst_names) {
   MultiTransferCall call;
+  call.proc_id = FormulationProc(f);
   switch (f) {
     case Formulation::kFullySync:
     case Formulation::kPartiallyAsync:
@@ -303,6 +337,17 @@ MultiTransferCall MakeMultiTransfer(Formulation f, double amount,
   }
   for (const std::string& dst : dst_names) call.args.push_back(Value(dst));
   return call;
+}
+
+Handles ResolveHandles(const RuntimeBase* rt, int64_t num_customers) {
+  Handles h;
+  h.customers.reserve(static_cast<size_t>(num_customers));
+  for (int64_t i = 0; i < num_customers; ++i) {
+    ReactorId id = rt->ResolveReactor(CustomerName(i));
+    REACTDB_CHECK(id.valid());
+    h.customers.push_back(id);
+  }
+  return h;
 }
 
 }  // namespace smallbank

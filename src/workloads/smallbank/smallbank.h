@@ -32,11 +32,28 @@
 #define REACTDB_WORKLOADS_SMALLBANK_SMALLBANK_H_
 
 #include <string>
+#include <vector>
 
 #include "src/runtime/runtime_base.h"
 
 namespace reactdb {
 namespace smallbank {
+
+/// Interned handles of the Customer type, fixed by the registration order
+/// in BuildDef (verified there with checks). Procedures use the slots
+/// directly; clients use the ProcIds to submit without string lookups.
+inline constexpr TableSlot kAccountSlot{0};
+inline constexpr TableSlot kSavingsSlot{1};
+inline constexpr TableSlot kCheckingSlot{2};
+inline constexpr ProcId kTransactSavingProc{0};
+inline constexpr ProcId kDepositCheckingProc{1};
+inline constexpr ProcId kBalanceProc{2};
+inline constexpr ProcId kWriteCheckProc{3};
+inline constexpr ProcId kAmalgamateProc{4};
+inline constexpr ProcId kTransferProc{5};
+inline constexpr ProcId kMultiTransferSyncProc{6};
+inline constexpr ProcId kMultiTransferFullyAsyncProc{7};
+inline constexpr ProcId kMultiTransferOptProc{8};
 
 /// Reactor name of customer `i` (zero-padded so lexicographic order equals
 /// numeric order, which range placement relies on).
@@ -65,13 +82,26 @@ enum class Formulation {
 const char* FormulationName(Formulation f);
 
 /// Procedure name + argument row for a multi-transfer of `amount` from the
-/// source (the reactor invoked on) to `dst_names`.
+/// source (the reactor invoked on) to `dst_names`. `proc_id` is the
+/// pre-resolved handle of `proc`.
 struct MultiTransferCall {
   std::string proc;
+  ProcId proc_id;
   Row args;
 };
 MultiTransferCall MakeMultiTransfer(Formulation f, double amount,
                                     const std::vector<std::string>& dst_names);
+
+/// The formulation's procedure handle.
+ProcId FormulationProc(Formulation f);
+
+/// Client-side handles, resolved once after Bootstrap (paper model: clients
+/// address reactors by name; the driver interns the names at load time and
+/// submits by handle thereafter).
+struct Handles {
+  std::vector<ReactorId> customers;  // by customer index
+};
+Handles ResolveHandles(const RuntimeBase* rt, int64_t num_customers);
 
 }  // namespace smallbank
 }  // namespace reactdb

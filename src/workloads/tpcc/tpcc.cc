@@ -130,6 +130,25 @@ void BuildDef(ReactorDatabaseDef* def, int64_t num_warehouses) {
   type.AddProcedure("delivery", &Delivery);
   type.AddProcedure("stock_level", &StockLevel);
 
+  // Procedures and loaders index through the handle constants in tpcc.h;
+  // registration order must match them.
+  REACTDB_CHECK(type.FindTableSlot("warehouse") == kWarehouseSlot);
+  REACTDB_CHECK(type.FindTableSlot("district") == kDistrictSlot);
+  REACTDB_CHECK(type.FindTableSlot("customer") == kCustomerSlot);
+  REACTDB_CHECK(type.FindTableSlot("history") == kHistorySlot);
+  REACTDB_CHECK(type.FindTableSlot("neworder") == kNewOrderSlot);
+  REACTDB_CHECK(type.FindTableSlot("oorder") == kOorderSlot);
+  REACTDB_CHECK(type.FindTableSlot("order_line") == kOrderLineSlot);
+  REACTDB_CHECK(type.FindTableSlot("stock") == kStockSlot);
+  REACTDB_CHECK(type.FindTableSlot("item") == kItemSlot);
+  REACTDB_CHECK(type.FindProcId("new_order") == kNewOrderProc);
+  REACTDB_CHECK(type.FindProcId("stock_update_batch") == kStockUpdateBatchProc);
+  REACTDB_CHECK(type.FindProcId("payment") == kPaymentProc);
+  REACTDB_CHECK(type.FindProcId("payment_customer") == kPaymentCustomerProc);
+  REACTDB_CHECK(type.FindProcId("order_status") == kOrderStatusProc);
+  REACTDB_CHECK(type.FindProcId("delivery") == kDeliveryProc);
+  REACTDB_CHECK(type.FindProcId("stock_level") == kStockLevelProc);
+
   for (int64_t w = 1; w <= num_warehouses; ++w) {
     REACTDB_CHECK_OK(def->DeclareReactor(WarehouseName(w), "Warehouse"));
   }
@@ -142,14 +161,14 @@ Status LoadWarehouse(RuntimeBase* rt, int64_t w, Rng* rng) {
   Reactor* reactor = rt->FindReactor(name);
   if (reactor == nullptr) return Status::Internal("missing reactor " + name);
   uint32_t c = reactor->container_id();
-  Table* warehouse = reactor->FindTable("warehouse");
-  Table* district = reactor->FindTable("district");
-  Table* customer = reactor->FindTable("customer");
-  Table* oorder = reactor->FindTable("oorder");
-  Table* neworder = reactor->FindTable("neworder");
-  Table* order_line = reactor->FindTable("order_line");
-  Table* stock = reactor->FindTable("stock");
-  Table* item = reactor->FindTable("item");
+  Table* warehouse = reactor->FindTable(kWarehouseSlot);
+  Table* district = reactor->FindTable(kDistrictSlot);
+  Table* customer = reactor->FindTable(kCustomerSlot);
+  Table* oorder = reactor->FindTable(kOorderSlot);
+  Table* neworder = reactor->FindTable(kNewOrderSlot);
+  Table* order_line = reactor->FindTable(kOrderLineSlot);
+  Table* stock = reactor->FindTable(kStockSlot);
+  Table* item = reactor->FindTable(kItemSlot);
 
   // Warehouse + districts + items + stock in one bulk transaction.
   REACTDB_RETURN_IF_ERROR(rt->RunDirect([&](SiloTxn& txn) -> Status {
@@ -256,11 +275,11 @@ Status CheckConsistency(RuntimeBase* rt, int64_t num_warehouses) {
     Reactor* reactor = rt->FindReactor(name);
     if (reactor == nullptr) return Status::Internal("missing " + name);
     uint32_t c = reactor->container_id();
-    Table* warehouse = reactor->FindTable("warehouse");
-    Table* district = reactor->FindTable("district");
-    Table* oorder = reactor->FindTable("oorder");
-    Table* neworder = reactor->FindTable("neworder");
-    Table* order_line = reactor->FindTable("order_line");
+    Table* warehouse = reactor->FindTable(kWarehouseSlot);
+    Table* district = reactor->FindTable(kDistrictSlot);
+    Table* oorder = reactor->FindTable(kOorderSlot);
+    Table* neworder = reactor->FindTable(kNewOrderSlot);
+    Table* order_line = reactor->FindTable(kOrderLineSlot);
     Status s = rt->RunDirect([&](SiloTxn& txn) -> Status {
       // A1: W_YTD == sum(D_YTD).
       REACTDB_ASSIGN_OR_RETURN(Row wrow, txn.Get(warehouse, {Value(int64_t{0})}, c));
@@ -332,6 +351,21 @@ Status CheckConsistency(RuntimeBase* rt, int64_t num_warehouses) {
 Generator::Generator(GeneratorOptions options, uint64_t seed)
     : options_(options), rng_(seed) {}
 
+TxnRequest& Generator::Stamp(TxnRequest& req, int64_t w, ProcId proc,
+                             const char* proc_name) {
+  req.proc_id = proc;
+  if (handles_ != nullptr) {
+    // Handle-resolved submission: skip generating the name strings the
+    // driver would discard (this is the per-request cost the handle layer
+    // removes).
+    req.reactor_id = handles_->warehouses[static_cast<size_t>(w - 1)];
+  } else {
+    req.reactor = WarehouseName(w);
+    req.proc = proc_name;
+  }
+  return req;
+}
+
 TxnRequest Generator::Next(int64_t home_warehouse) {
   int total = options_.mix_new_order + options_.mix_payment +
               options_.mix_order_status + options_.mix_delivery +
@@ -349,8 +383,7 @@ TxnRequest Generator::Next(int64_t home_warehouse) {
 
 TxnRequest Generator::MakeNewOrder(int64_t w) {
   TxnRequest req;
-  req.reactor = WarehouseName(w);
-  req.proc = "new_order";
+  Stamp(req, w, kNewOrderProc, "new_order");
   int64_t d_id = rng_.NextInt(1, kNumDistricts);
   int64_t c_id = rng_.NuRand(1023, 1, kCustomersPerDistrict, 259) %
                      kCustomersPerDistrict +
@@ -395,8 +428,7 @@ TxnRequest Generator::MakeNewOrder(int64_t w) {
 
 TxnRequest Generator::MakePayment(int64_t w) {
   TxnRequest req;
-  req.reactor = WarehouseName(w);
-  req.proc = "payment";
+  Stamp(req, w, kPaymentProc, "payment");
   int64_t d_id = rng_.NextInt(1, kNumDistricts);
   double amount = static_cast<double>(rng_.NextInt(100, 500000)) / 100.0;
   bool by_name = rng_.NextBool(0.40);  // 60% by id, 40% by last name
@@ -423,8 +455,7 @@ TxnRequest Generator::MakePayment(int64_t w) {
 
 TxnRequest Generator::MakeOrderStatus(int64_t w) {
   TxnRequest req;
-  req.reactor = WarehouseName(w);
-  req.proc = "order_status";
+  Stamp(req, w, kOrderStatusProc, "order_status");
   int64_t d_id = rng_.NextInt(1, kNumDistricts);
   bool by_name = rng_.NextBool(0.60);
   Value c_key = by_name
@@ -438,18 +469,27 @@ TxnRequest Generator::MakeOrderStatus(int64_t w) {
 
 TxnRequest Generator::MakeDelivery(int64_t w) {
   TxnRequest req;
-  req.reactor = WarehouseName(w);
-  req.proc = "delivery";
+  Stamp(req, w, kDeliveryProc, "delivery");
   req.args = {Value(rng_.NextInt(1, 10))};
   return req;
 }
 
 TxnRequest Generator::MakeStockLevel(int64_t w) {
   TxnRequest req;
-  req.reactor = WarehouseName(w);
-  req.proc = "stock_level";
+  Stamp(req, w, kStockLevelProc, "stock_level");
   req.args = {Value(rng_.NextInt(1, kNumDistricts)), Value(rng_.NextInt(10, 20))};
   return req;
+}
+
+Handles ResolveHandles(const RuntimeBase* rt, int64_t num_warehouses) {
+  Handles h;
+  h.warehouses.reserve(static_cast<size_t>(num_warehouses));
+  for (int64_t w = 1; w <= num_warehouses; ++w) {
+    ReactorId id = rt->ResolveReactor(WarehouseName(w));
+    REACTDB_CHECK(id.valid());
+    h.warehouses.push_back(id);
+  }
+  return h;
 }
 
 }  // namespace tpcc

@@ -33,6 +33,26 @@ inline constexpr int kCustomersPerDistrict = 1000;
 inline constexpr int kNumItems = 10000;
 inline constexpr int kInitialOrdersPerDistrict = 300;
 
+/// Interned handles of the Warehouse type, fixed by the registration order
+/// in BuildDef (verified there with checks). Procedures and loaders index
+/// tables by slot; clients submit by ProcId.
+inline constexpr TableSlot kWarehouseSlot{0};
+inline constexpr TableSlot kDistrictSlot{1};
+inline constexpr TableSlot kCustomerSlot{2};
+inline constexpr TableSlot kHistorySlot{3};
+inline constexpr TableSlot kNewOrderSlot{4};
+inline constexpr TableSlot kOorderSlot{5};
+inline constexpr TableSlot kOrderLineSlot{6};
+inline constexpr TableSlot kStockSlot{7};
+inline constexpr TableSlot kItemSlot{8};
+inline constexpr ProcId kNewOrderProc{0};
+inline constexpr ProcId kStockUpdateBatchProc{1};
+inline constexpr ProcId kPaymentProc{2};
+inline constexpr ProcId kPaymentCustomerProc{3};
+inline constexpr ProcId kOrderStatusProc{4};
+inline constexpr ProcId kDeliveryProc{5};
+inline constexpr ProcId kStockLevelProc{6};
+
 /// Reactor name of warehouse `w` (1-based, zero-padded).
 std::string WarehouseName(int64_t w);
 
@@ -49,12 +69,22 @@ Status Load(RuntimeBase* rt, int64_t num_warehouses, uint64_t seed = 42);
 ///  * order ol_cnt == number of order lines per order
 Status CheckConsistency(RuntimeBase* rt, int64_t num_warehouses);
 
-/// One generated client request.
+/// One generated client request. When the generator holds pre-resolved
+/// Handles, `reactor_id`/`proc_id` are filled and drivers submit by handle.
 struct TxnRequest {
   std::string reactor;  // home warehouse
   std::string proc;
   Row args;
+  ReactorId reactor_id;
+  ProcId proc_id;
 };
+
+/// Client-side handles, resolved once after Bootstrap: warehouse w (1-based)
+/// is `warehouses[w - 1]`.
+struct Handles {
+  std::vector<ReactorId> warehouses;
+};
+Handles ResolveHandles(const RuntimeBase* rt, int64_t num_warehouses);
 
 /// Workload generator options covering all the paper's TPC-C variants.
 struct GeneratorOptions {
@@ -90,6 +120,10 @@ class Generator {
  public:
   Generator(GeneratorOptions options, uint64_t seed);
 
+  /// Attaches pre-resolved handles (must outlive the generator); generated
+  /// requests then carry reactor/proc handles for string-free submission.
+  void BindHandles(const Handles* handles) { handles_ = handles; }
+
   /// Generates one request for a client with affinity to `home_warehouse`
   /// (1-based).
   TxnRequest Next(int64_t home_warehouse);
@@ -103,8 +137,14 @@ class Generator {
   Rng& rng() { return rng_; }
 
  private:
+  /// Stamps the home warehouse + procedure identity onto `req`: handles
+  /// when bound, name strings otherwise.
+  TxnRequest& Stamp(TxnRequest& req, int64_t w, ProcId proc,
+                    const char* proc_name);
+
   GeneratorOptions options_;
   Rng rng_;
+  const Handles* handles_ = nullptr;
 };
 
 /// Last-name generation per the spec's syllable table.

@@ -1,7 +1,6 @@
 #include "src/workloads/tpcc/tpcc_procs.h"
 
 #include <algorithm>
-#include <map>
 #include <set>
 #include <sstream>
 
@@ -52,7 +51,7 @@ constexpr int kOlAmount = 7;
 StatusOr<std::string> DoStockUpdate(TxnContext& ctx, int64_t i_id,
                                     int64_t qty, bool remote,
                                     double delay_min_us, double delay_max_us) {
-  REACTDB_ASSIGN_OR_RETURN(Row stock, ctx.Get("stock", {Value(i_id)}));
+  REACTDB_ASSIGN_OR_RETURN(Row stock, ctx.Get(kStockSlot, {Value(i_id)}));
   int64_t s_qty = stock[kStockQty].AsInt64();
   if (s_qty - qty >= 10) {
     s_qty -= qty;
@@ -73,7 +72,7 @@ StatusOr<std::string> DoStockUpdate(TxnContext& ctx, int64_t i_id,
     ctx.Compute(delay_min_us + span * frac);
   }
   std::string dist_info = stock[kStockDist].AsString();
-  REACTDB_RETURN_IF_ERROR(ctx.Update("stock", {Value(i_id)}, std::move(stock)));
+  REACTDB_RETURN_IF_ERROR(ctx.Update(kStockSlot, {Value(i_id)}, std::move(stock)));
   return dist_info;
 }
 
@@ -82,9 +81,9 @@ StatusOr<std::string> DoStockUpdate(TxnContext& ctx, int64_t i_id,
 StatusOr<Row> LookupCustomer(TxnContext& ctx, int64_t d_id, bool by_name,
                              const Value& key) {
   if (!by_name) {
-    return ctx.Get("customer", {Value(d_id), key});
+    return ctx.Get(kCustomerSlot, {Value(d_id), key});
   }
-  REACTDB_ASSIGN_OR_RETURN(Select sel, ctx.From("customer"));
+  REACTDB_ASSIGN_OR_RETURN(Select sel, ctx.From(kCustomerSlot));
   sel.Index("by_name", {Value(d_id), key});
   REACTDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.Rows(sel));
   if (rows.empty()) {
@@ -107,16 +106,16 @@ Proc NewOrder(TxnContext& ctx, Row args) {
   int64_t num_items = args[5].AsInt64();
 
   REACTDB_CO_ASSIGN_OR_RETURN(Row warehouse,
-                              ctx.Get("warehouse", {Value(int64_t{0})}));
+                              ctx.Get(kWarehouseSlot, {Value(int64_t{0})}));
   double w_tax = warehouse[2].AsNumeric();
-  REACTDB_CO_ASSIGN_OR_RETURN(Row district, ctx.Get("district", {Value(d_id)}));
+  REACTDB_CO_ASSIGN_OR_RETURN(Row district, ctx.Get(kDistrictSlot, {Value(d_id)}));
   double d_tax = district[kDistTax].AsNumeric();
   int64_t o_id = district[kDistNextOid].AsInt64();
   district[kDistNextOid] = Value(o_id + 1);
   REACTDB_CO_RETURN_IF_ERROR(
-      ctx.Update("district", {Value(d_id)}, std::move(district)));
+      ctx.Update(kDistrictSlot, {Value(d_id)}, std::move(district)));
   REACTDB_CO_ASSIGN_OR_RETURN(Row customer,
-                              ctx.Get("customer", {Value(d_id), Value(c_id)}));
+                              ctx.Get(kCustomerSlot, {Value(d_id), Value(c_id)}));
   double c_discount = customer[kCustDiscount].AsNumeric();
 
   // Group items by supply warehouse; one asynchronous batched
@@ -127,7 +126,9 @@ Proc NewOrder(TxnContext& ctx, Row args) {
     size_t position;  // original order-line slot
   };
   std::vector<ItemReq> local_items;
-  std::map<std::string, std::vector<ItemReq>> remote_groups;
+  // Grouped by supply warehouse; at most a handful of entries per
+  // transaction, so a sorted flat vector beats a string-keyed map.
+  std::vector<std::pair<std::string, std::vector<ItemReq>>> remote_groups;
   bool all_local = true;
   for (int64_t i = 0; i < num_items; ++i) {
     int64_t i_id = args[6 + i * 3].AsInt64();
@@ -142,9 +143,20 @@ Proc NewOrder(TxnContext& ctx, Row args) {
       local_items.push_back(req);
     } else {
       all_local = false;
-      remote_groups[supply].push_back(req);
+      auto it = std::find_if(
+          remote_groups.begin(), remote_groups.end(),
+          [&supply](const auto& group) { return group.first == supply; });
+      if (it == remote_groups.end()) {
+        remote_groups.emplace_back(supply, std::vector<ItemReq>{});
+        it = std::prev(remote_groups.end());
+      }
+      it->second.push_back(req);
     }
   }
+  // Dispatch in warehouse-name order (the old map iteration order), keeping
+  // simulated schedules deterministic.
+  std::sort(remote_groups.begin(), remote_groups.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
 
   // Dispatch remote stock updates. Asynchronously by default (overlapped
   // with all the local work below); the shared-nothing-sync program variant
@@ -159,7 +171,7 @@ Proc NewOrder(TxnContext& ctx, Row args) {
       call_args.push_back(Value(req.i_id));
       call_args.push_back(Value(req.qty));
     }
-    Future f = ctx.CallOn(supply, "stock_update_batch", std::move(call_args));
+    Future f = ctx.CallOn(supply, kStockUpdateBatchProc, std::move(call_args));
     if (sync_subtxns) {
       ProcResult r = co_await f;
       REACTDB_CO_RETURN_IF_ERROR(r.status());
@@ -172,10 +184,10 @@ Proc NewOrder(TxnContext& ctx, Row args) {
   // Local processing overlapped with the remote calls.
   int64_t entry_d = static_cast<int64_t>(ctx.root_id());
   REACTDB_CO_RETURN_IF_ERROR(ctx.Insert(
-      "oorder", {Value(d_id), Value(o_id), Value(c_id), Value(entry_d),
+      kOorderSlot, {Value(d_id), Value(o_id), Value(c_id), Value(entry_d),
                  Value(int64_t{-1}), Value(num_items), Value(all_local)}));
   REACTDB_CO_RETURN_IF_ERROR(
-      ctx.Insert("neworder", {Value(d_id), Value(o_id)}));
+      ctx.Insert(kNewOrderSlot, {Value(d_id), Value(o_id)}));
 
   std::vector<double> amounts(static_cast<size_t>(num_items), 0);
   std::vector<std::string> dist_infos(static_cast<size_t>(num_items));
@@ -188,7 +200,7 @@ Proc NewOrder(TxnContext& ctx, Row args) {
     item_ids[static_cast<size_t>(i)] = i_id;
     quantities[static_cast<size_t>(i)] = args[6 + i * 3 + 2].AsInt64();
     supplies[static_cast<size_t>(i)] = args[6 + i * 3 + 1].AsString();
-    REACTDB_CO_ASSIGN_OR_RETURN(Row item, ctx.Get("item", {Value(i_id)}));
+    REACTDB_CO_ASSIGN_OR_RETURN(Row item, ctx.Get(kItemSlot, {Value(i_id)}));
     double price = item[2].AsNumeric();
     double amount = price * static_cast<double>(quantities[i]) *
                     (1 + w_tax + d_tax) * (1 - c_discount);
@@ -227,7 +239,7 @@ Proc NewOrder(TxnContext& ctx, Row args) {
   for (int64_t i = 0; i < num_items; ++i) {
     size_t pos = static_cast<size_t>(i);
     REACTDB_CO_RETURN_IF_ERROR(ctx.Insert(
-        "order_line",
+        kOrderLineSlot,
         {Value(d_id), Value(o_id), Value(i + 1), Value(item_ids[pos]),
          Value(supplies[pos].empty() ? ctx.reactor_name() : supplies[pos]),
          Value(int64_t{-1}), Value(quantities[pos]), Value(amounts[pos]),
@@ -262,20 +274,20 @@ Proc Payment(TxnContext& ctx, Row args) {
   int64_t c_d_id = args[5].AsInt64();
 
   REACTDB_CO_ASSIGN_OR_RETURN(Row warehouse,
-                              ctx.Get("warehouse", {Value(int64_t{0})}));
+                              ctx.Get(kWarehouseSlot, {Value(int64_t{0})}));
   warehouse[3] = Value(warehouse[3].AsNumeric() + h_amount);
   REACTDB_CO_RETURN_IF_ERROR(
-      ctx.Update("warehouse", {Value(int64_t{0})}, std::move(warehouse)));
-  REACTDB_CO_ASSIGN_OR_RETURN(Row district, ctx.Get("district", {Value(d_id)}));
+      ctx.Update(kWarehouseSlot, {Value(int64_t{0})}, std::move(warehouse)));
+  REACTDB_CO_ASSIGN_OR_RETURN(Row district, ctx.Get(kDistrictSlot, {Value(d_id)}));
   district[kDistYtd] = Value(district[kDistYtd].AsNumeric() + h_amount);
   REACTDB_CO_RETURN_IF_ERROR(
-      ctx.Update("district", {Value(d_id)}, std::move(district)));
+      ctx.Update(kDistrictSlot, {Value(d_id)}, std::move(district)));
 
   int64_t c_id;
   if (c_reactor.empty() || c_reactor == ctx.reactor_name()) {
     // Local customer: run the customer update inline (direct self-call).
     Future call = ctx.CallOn(
-        ctx.reactor_name(), "payment_customer",
+        ctx.reactor_id(), kPaymentCustomerProc,
         {Value(c_d_id), Value(by_name), c_key, Value(h_amount),
          Value(ctx.reactor_name()), Value(d_id)});
     ProcResult r = co_await call;
@@ -285,7 +297,7 @@ Proc Payment(TxnContext& ctx, Row args) {
     // Remote customer (15% in the spec): asynchronous cross-reactor call,
     // awaited before the history insert that references the customer.
     Future call = ctx.CallOn(
-        c_reactor, "payment_customer",
+        c_reactor, kPaymentCustomerProc,
         {Value(c_d_id), Value(by_name), c_key, Value(h_amount),
          Value(ctx.reactor_name()), Value(d_id)});
     ProcResult r = co_await call;
@@ -295,7 +307,7 @@ Proc Payment(TxnContext& ctx, Row args) {
 
   int64_t h_id = static_cast<int64_t>(ctx.root_id());
   REACTDB_CO_RETURN_IF_ERROR(ctx.Insert(
-      "history", {Value(h_id), Value(c_d_id), Value(c_id), Value(d_id),
+      kHistorySlot, {Value(h_id), Value(c_d_id), Value(c_id), Value(d_id),
                   Value(h_amount), Value(c_reactor.empty()
                                              ? ctx.reactor_name()
                                              : c_reactor)}));
@@ -329,7 +341,7 @@ Proc PaymentCustomer(TxnContext& ctx, Row args) {
     customer[kCustData] = Value(std::move(data));
   }
   REACTDB_CO_RETURN_IF_ERROR(
-      ctx.Update("customer", {Value(c_d_id), Value(c_id)}, std::move(customer)));
+      ctx.Update(kCustomerSlot, {Value(c_d_id), Value(c_id)}, std::move(customer)));
   co_return Value(c_id);
 }
 
@@ -343,14 +355,14 @@ Proc OrderStatus(TxnContext& ctx, Row args) {
   int64_t c_id = customer[kCustCid].AsInt64();
   // Most recent order of the customer: descending scan of the by_customer
   // index.
-  REACTDB_CO_ASSIGN_OR_RETURN(Select sel, ctx.From("oorder"));
+  REACTDB_CO_ASSIGN_OR_RETURN(Select sel, ctx.From(kOorderSlot));
   sel.Index("by_customer", {Value(d_id), Value(c_id)}).Reverse().Limit(1);
   StatusOr<Row> last_order = ctx.One(sel);
   if (!last_order.ok()) {
     co_return Value(int64_t{0});  // customer without orders
   }
   int64_t o_id = (*last_order)[1].AsInt64();
-  REACTDB_CO_ASSIGN_OR_RETURN(Select lines, ctx.From("order_line"));
+  REACTDB_CO_ASSIGN_OR_RETURN(Select lines, ctx.From(kOrderLineSlot));
   lines.KeyPrefix({Value(d_id), Value(o_id)});
   REACTDB_CO_ASSIGN_OR_RETURN(int64_t count, ctx.Count(lines));
   co_return Value(count);
@@ -361,23 +373,23 @@ Proc Delivery(TxnContext& ctx, Row args) {
   int64_t delivered = 0;
   for (int64_t d_id = 1; d_id <= kNumDistricts; ++d_id) {
     // Oldest undelivered order of the district.
-    REACTDB_CO_ASSIGN_OR_RETURN(Select oldest, ctx.From("neworder"));
+    REACTDB_CO_ASSIGN_OR_RETURN(Select oldest, ctx.From(kNewOrderSlot));
     oldest.KeyPrefix({Value(d_id)}).Limit(1);
     StatusOr<Row> no_row = ctx.One(oldest);
     if (!no_row.ok()) continue;  // skip empty district (spec allows)
     int64_t o_id = (*no_row)[1].AsInt64();
     REACTDB_CO_RETURN_IF_ERROR(
-        ctx.Delete("neworder", {Value(d_id), Value(o_id)}));
+        ctx.Delete(kNewOrderSlot, {Value(d_id), Value(o_id)}));
 
     REACTDB_CO_ASSIGN_OR_RETURN(Row order,
-                                ctx.Get("oorder", {Value(d_id), Value(o_id)}));
+                                ctx.Get(kOorderSlot, {Value(d_id), Value(o_id)}));
     int64_t c_id = order[kOrderCid].AsInt64();
     order[kOrderCarrier] = Value(carrier_id);
     REACTDB_CO_RETURN_IF_ERROR(
-        ctx.Update("oorder", {Value(d_id), Value(o_id)}, std::move(order)));
+        ctx.Update(kOorderSlot, {Value(d_id), Value(o_id)}, std::move(order)));
 
     // Sum the order's lines and stamp the delivery date.
-    REACTDB_CO_ASSIGN_OR_RETURN(Select lines, ctx.From("order_line"));
+    REACTDB_CO_ASSIGN_OR_RETURN(Select lines, ctx.From(kOrderLineSlot));
     lines.KeyPrefix({Value(d_id), Value(o_id)});
     REACTDB_CO_ASSIGN_OR_RETURN(std::vector<Row> ol_rows, ctx.Rows(lines));
     double amount_sum = 0;
@@ -387,17 +399,17 @@ Proc Delivery(TxnContext& ctx, Row args) {
       Row key = {line[0], line[1], line[2]};
       line[kOlDeliveryD] = Value(delivery_d);
       REACTDB_CO_RETURN_IF_ERROR(
-          ctx.Update("order_line", key, std::move(line)));
+          ctx.Update(kOrderLineSlot, key, std::move(line)));
     }
 
     REACTDB_CO_ASSIGN_OR_RETURN(
-        Row customer, ctx.Get("customer", {Value(d_id), Value(c_id)}));
+        Row customer, ctx.Get(kCustomerSlot, {Value(d_id), Value(c_id)}));
     customer[kCustBalance] =
         Value(customer[kCustBalance].AsNumeric() + amount_sum);
     customer[kCustDeliveryCnt] =
         Value(customer[kCustDeliveryCnt].AsInt64() + 1);
     REACTDB_CO_RETURN_IF_ERROR(
-        ctx.Update("customer", {Value(d_id), Value(c_id)}, std::move(customer)));
+        ctx.Update(kCustomerSlot, {Value(d_id), Value(c_id)}, std::move(customer)));
     ++delivered;
   }
   co_return Value(delivered);
@@ -407,20 +419,20 @@ Proc StockLevel(TxnContext& ctx, Row args) {
   int64_t d_id = args[0].AsInt64();
   int64_t threshold = args[1].AsInt64();
 
-  REACTDB_CO_ASSIGN_OR_RETURN(Row district, ctx.Get("district", {Value(d_id)}));
+  REACTDB_CO_ASSIGN_OR_RETURN(Row district, ctx.Get(kDistrictSlot, {Value(d_id)}));
   int64_t next_o_id = district[kDistNextOid].AsInt64();
   // Distinct items of the last 20 orders.
   std::set<int64_t> item_ids;
   int64_t lo = std::max<int64_t>(1, next_o_id - 20);
   for (int64_t o_id = lo; o_id < next_o_id; ++o_id) {
-    REACTDB_CO_ASSIGN_OR_RETURN(Select lines, ctx.From("order_line"));
+    REACTDB_CO_ASSIGN_OR_RETURN(Select lines, ctx.From(kOrderLineSlot));
     lines.KeyPrefix({Value(d_id), Value(o_id)});
     REACTDB_CO_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.Rows(lines));
     for (const Row& line : rows) item_ids.insert(line[kOlIid].AsInt64());
   }
   int64_t low_stock = 0;
   for (int64_t i_id : item_ids) {
-    REACTDB_CO_ASSIGN_OR_RETURN(Row stock, ctx.Get("stock", {Value(i_id)}));
+    REACTDB_CO_ASSIGN_OR_RETURN(Row stock, ctx.Get(kStockSlot, {Value(i_id)}));
     if (stock[kStockQty].AsInt64() < threshold) ++low_stock;
   }
   co_return Value(low_stock);

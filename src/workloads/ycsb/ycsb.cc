@@ -22,13 +22,13 @@ Proc UpdateSelf(TxnContext& ctx, Row args) {
   int64_t count = args.empty() ? 1 : args[0].AsInt64();
   for (int64_t i = 0; i < count; ++i) {
     REACTDB_CO_ASSIGN_OR_RETURN(Row row,
-                                ctx.Get("usertable", {Value(kRowKey)}));
+                                ctx.Get(kUsertableSlot, {Value(kRowKey)}));
     std::string payload = row[1].AsString();
     if (!payload.empty()) {
       std::rotate(payload.begin(), payload.begin() + 1, payload.end());
     }
     REACTDB_CO_RETURN_IF_ERROR(
-        ctx.Update("usertable", {Value(kRowKey)},
+        ctx.Update(kUsertableSlot, {Value(kRowKey)},
                    {Value(kRowKey), Value(std::move(payload))}));
   }
   co_return Value(count);
@@ -43,7 +43,7 @@ Proc MultiUpdate(TxnContext& ctx, Row args) {
   futures.reserve(args.size() / 2);
   for (size_t i = 0; i + 1 < args.size(); i += 2) {
     futures.push_back(
-        ctx.CallOn(args[i].AsString(), "update", {args[i + 1]}));
+        ctx.CallOn(args[i].AsString(), kUpdateProc, {args[i + 1]}));
   }
   int64_t updated = 0;
   for (Future& f : futures) {
@@ -72,6 +72,11 @@ void BuildDef(ReactorDatabaseDef* def, int64_t num_keys) {
                      .value());
   type.AddProcedure("update", &UpdateSelf);
   type.AddProcedure("multi_update", &MultiUpdate);
+  // Procedures index through the handle constants in ycsb.h; registration
+  // order must match them.
+  REACTDB_CHECK(type.FindTableSlot("usertable") == kUsertableSlot);
+  REACTDB_CHECK(type.FindProcId("update") == kUpdateProc);
+  REACTDB_CHECK(type.FindProcId("multi_update") == kMultiUpdateProc);
   for (int64_t i = 0; i < num_keys; ++i) {
     REACTDB_CHECK_OK(def->DeclareReactor(KeyName(i), "Key"));
   }
@@ -91,8 +96,8 @@ Status Load(RuntimeBase* rt, int64_t num_keys, size_t payload_size) {
         std::string name = KeyName(i);
         Reactor* r = rt->FindReactor(name);
         if (r == nullptr) return Status::Internal("missing reactor " + name);
-        REACTDB_ASSIGN_OR_RETURN(Table * table,
-                                 rt->FindTable(name, "usertable"));
+        Table* table = r->FindTable(kUsertableSlot);
+        if (table == nullptr) return Status::Internal("unbound usertable");
         REACTDB_RETURN_IF_ERROR(txn.Insert(
             table, {Value(kRowKey), Value(payload)}, r->container_id()));
       }
@@ -109,7 +114,8 @@ StatusOr<std::string> ReadPayload(RuntimeBase* rt, int64_t key) {
     std::string name = KeyName(key);
     Reactor* r = rt->FindReactor(name);
     if (r == nullptr) return Status::NotFound("no key " + name);
-    REACTDB_ASSIGN_OR_RETURN(Table * table, rt->FindTable(name, "usertable"));
+    Table* table = r->FindTable(kUsertableSlot);
+    if (table == nullptr) return Status::Internal("unbound usertable");
     REACTDB_ASSIGN_OR_RETURN(Row row,
                              txn.Get(table, {Value(kRowKey)}, r->container_id()));
     out = row[1].AsString();
@@ -117,6 +123,17 @@ StatusOr<std::string> ReadPayload(RuntimeBase* rt, int64_t key) {
   });
   REACTDB_RETURN_IF_ERROR(s);
   return out;
+}
+
+Handles ResolveHandles(const RuntimeBase* rt, int64_t num_keys) {
+  Handles h;
+  h.keys.reserve(static_cast<size_t>(num_keys));
+  for (int64_t i = 0; i < num_keys; ++i) {
+    ReactorId id = rt->ResolveReactor(KeyName(i));
+    REACTDB_CHECK(id.valid());
+    h.keys.push_back(id);
+  }
+  return h;
 }
 
 }  // namespace ycsb

@@ -16,11 +16,18 @@
 #define REACTDB_WORKLOADS_YCSB_YCSB_H_
 
 #include <string>
+#include <vector>
 
 #include "src/runtime/runtime_base.h"
 
 namespace reactdb {
 namespace ycsb {
+
+/// Interned handles of the Key type, fixed by the registration order in
+/// BuildDef (verified there with checks).
+inline constexpr TableSlot kUsertableSlot{0};
+inline constexpr ProcId kUpdateProc{0};
+inline constexpr ProcId kMultiUpdateProc{1};
 
 /// Reactor name of key `i` (zero-padded for range placement).
 std::string KeyName(int64_t i);
@@ -33,6 +40,12 @@ Status Load(RuntimeBase* rt, int64_t num_keys, size_t payload_size = 100);
 
 /// Reads a key's current payload (direct, for verification).
 StatusOr<std::string> ReadPayload(RuntimeBase* rt, int64_t key);
+
+/// Client-side handles, resolved once after Bootstrap.
+struct Handles {
+  std::vector<ReactorId> keys;  // by key index
+};
+Handles ResolveHandles(const RuntimeBase* rt, int64_t num_keys);
 
 }  // namespace ycsb
 }  // namespace reactdb

@@ -1,0 +1,232 @@
+// Symbol/handle layer tests: interning determinism, string-shim
+// equivalence (Execute(name, ...) == Execute(handle, ...)), error paths for
+// unknown reactor/procedure/table names and handles, and the ActiveSet
+// re-entry regression.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/reactor/symbol.h"
+#include "src/runtime/reactdb.h"
+#include "src/util/logging.h"
+
+namespace reactdb {
+namespace {
+
+// --- SymbolTable ---------------------------------------------------------
+
+TEST(SymbolTableTest, InternsDenselyInFirstSeenOrder) {
+  SymbolTable table;
+  EXPECT_EQ(0u, table.Intern("alpha"));
+  EXPECT_EQ(1u, table.Intern("beta"));
+  EXPECT_EQ(0u, table.Intern("alpha"));  // idempotent
+  EXPECT_EQ(2u, table.Intern("gamma"));
+  EXPECT_EQ(3u, table.size());
+  EXPECT_EQ("beta", table.NameOf(1));
+  EXPECT_EQ(1u, table.Find("beta"));
+  EXPECT_EQ(kInvalidHandle, table.Find("delta"));
+}
+
+TEST(SymbolTest, HandleValidity) {
+  EXPECT_FALSE(ReactorId{}.valid());
+  EXPECT_FALSE(ProcId{}.valid());
+  EXPECT_FALSE(TableSlot{}.valid());
+  EXPECT_TRUE(ReactorId{0}.valid());
+  EXPECT_TRUE((ReactorId{3} == ReactorId{3}));
+  EXPECT_TRUE((ProcId{1} != ProcId{2}));
+}
+
+// --- Fixture: a small counter database -----------------------------------
+
+Proc GetCounter(TxnContext& ctx, Row) {
+  REACTDB_CO_ASSIGN_OR_RETURN(Row row,
+                              ctx.Get(TableSlot{0}, {Value(int64_t{0})}));
+  co_return row[1];
+}
+
+Proc Bump(TxnContext& ctx, Row args) {
+  int64_t by = args.empty() ? 1 : args[0].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row row,
+                              ctx.Get(TableSlot{0}, {Value(int64_t{0})}));
+  int64_t next = row[1].AsInt64() + by;
+  REACTDB_CO_RETURN_IF_ERROR(ctx.Update(TableSlot{0}, {Value(int64_t{0})},
+                                        {Value(int64_t{0}), Value(next)}));
+  co_return Value(next);
+}
+
+void BuildCounterDef(ReactorDatabaseDef* def, int n) {
+  ReactorType& type = def->DefineType("Counter");
+  type.AddSchema(SchemaBuilder("counter")
+                     .AddColumn("id", ValueType::kInt64)
+                     .AddColumn("value", ValueType::kInt64)
+                     .SetKey({"id"})
+                     .Build()
+                     .value());
+  type.AddProcedure("get", &GetCounter);
+  type.AddProcedure("bump", &Bump);
+  for (int i = 0; i < n; ++i) {
+    REACTDB_CHECK_OK(def->DeclareReactor("c" + std::to_string(i), "Counter"));
+  }
+}
+
+Status LoadCounters(RuntimeBase* rt, int n) {
+  return rt->RunDirect([&](SiloTxn& txn) -> Status {
+    for (int i = 0; i < n; ++i) {
+      Reactor* r = rt->FindReactor("c" + std::to_string(i));
+      REACTDB_RETURN_IF_ERROR(txn.Insert(r->FindTable(TableSlot{0}),
+                                         {Value(int64_t{0}), Value(int64_t{0})},
+                                         r->container_id()));
+    }
+    return Status::OK();
+  });
+}
+
+// --- Interning determinism -----------------------------------------------
+
+TEST(SymbolTest, InterningIsDeterministicAcrossIdenticalDefs) {
+  ReactorDatabaseDef a;
+  ReactorDatabaseDef b;
+  BuildCounterDef(&a, 16);
+  BuildCounterDef(&b, 16);
+  for (int i = 0; i < 16; ++i) {
+    std::string name = "c" + std::to_string(i);
+    ReactorId ia = a.FindReactorId(name);
+    ReactorId ib = b.FindReactorId(name);
+    ASSERT_TRUE(ia.valid());
+    EXPECT_EQ(ia, ib) << name;
+    EXPECT_EQ(name, a.ReactorNameOf(ia));
+  }
+  const ReactorType* type = a.FindType("Counter");
+  ASSERT_NE(nullptr, type);
+  EXPECT_EQ(type->FindProcId("get"), b.FindType("Counter")->FindProcId("get"));
+  EXPECT_EQ(type->FindProcId("bump"),
+            b.FindType("Counter")->FindProcId("bump"));
+  EXPECT_EQ(TableSlot{0}, type->FindTableSlot("counter"));
+}
+
+TEST(SymbolTest, DeclarationOrderGivesDenseIds) {
+  ReactorDatabaseDef def;
+  def.DefineType("T");
+  REACTDB_CHECK_OK(def.DeclareReactor("zeta", "T"));
+  REACTDB_CHECK_OK(def.DeclareReactor("alpha", "T"));
+  // Ids follow declaration order, not lexicographic order.
+  EXPECT_EQ(0u, def.FindReactorId("zeta").value);
+  EXPECT_EQ(1u, def.FindReactorId("alpha").value);
+  EXPECT_TRUE(def.DeclareReactor("zeta", "T").IsAlreadyExists());
+  EXPECT_EQ(2u, def.num_reactors());
+}
+
+// --- String-shim equivalence ---------------------------------------------
+
+TEST(SymbolTest, ExecuteByNameEqualsExecuteByHandle) {
+  ReactorDatabaseDef def;
+  BuildCounterDef(&def, 4);
+  SimRuntime rt;
+  REACTDB_CHECK_OK(rt.Bootstrap(&def, DeploymentConfig::SharedNothing(2)));
+  REACTDB_CHECK_OK(LoadCounters(&rt, 4));
+
+  ReactorId c1 = rt.ResolveReactor("c1");
+  ProcId bump = rt.ResolveProc(c1, "bump");
+  ProcId get = rt.ResolveProc(c1, "get");
+  ASSERT_TRUE(c1.valid());
+  ASSERT_TRUE(bump.valid());
+
+  ProcResult by_name = rt.Execute("c1", "bump", {Value(int64_t{5})});
+  ProcResult by_handle = rt.Execute(c1, bump, {Value(int64_t{5})});
+  ASSERT_TRUE(by_name.ok());
+  ASSERT_TRUE(by_handle.ok());
+  EXPECT_EQ(5, by_name->AsInt64());
+  EXPECT_EQ(10, by_handle->AsInt64());  // same counter, same procedure
+
+  ProcResult read = rt.Execute(c1, get, {});
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(10, read->AsInt64());
+
+  // Resolution agrees with the runtime's registry.
+  EXPECT_EQ(rt.FindReactor("c1"), rt.FindReactor(c1));
+  EXPECT_EQ(rt.HomeExecutorOf("c1"), rt.HomeExecutorOf(c1));
+  TableSlot slot = rt.ResolveTable(c1, "counter");
+  ASSERT_TRUE(slot.valid());
+  EXPECT_EQ(rt.FindTable("c1", "counter").value(),
+            rt.FindTable(c1, slot).value());
+}
+
+TEST(SymbolTest, ThreadRuntimeHandleExecution) {
+  ReactorDatabaseDef def;
+  BuildCounterDef(&def, 2);
+  ThreadRuntime rt;
+  REACTDB_CHECK_OK(rt.Bootstrap(&def, DeploymentConfig::SharedNothing(2)));
+  REACTDB_CHECK_OK(LoadCounters(&rt, 2));
+  REACTDB_CHECK_OK(rt.Start());
+  ReactorId c0 = rt.ResolveReactor("c0");
+  ProcId bump = rt.ResolveProc(c0, "bump");
+  ProcResult r = rt.Execute(c0, bump, {Value(int64_t{3})});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(3, r->AsInt64());
+  rt.Stop();
+}
+
+// --- Error paths ---------------------------------------------------------
+
+TEST(SymbolTest, UnknownNamesAndHandles) {
+  ReactorDatabaseDef def;
+  BuildCounterDef(&def, 2);
+  SimRuntime rt;
+  REACTDB_CHECK_OK(rt.Bootstrap(&def, DeploymentConfig::SharedNothing(2)));
+
+  // Unknown names resolve to invalid handles.
+  EXPECT_FALSE(rt.ResolveReactor("ghost").valid());
+  EXPECT_FALSE(rt.ResolveProc(rt.ResolveReactor("c0"), "ghost_proc").valid());
+  EXPECT_FALSE(rt.ResolveProc(ReactorId{}, "bump").valid());
+  EXPECT_FALSE(rt.ResolveTable(rt.ResolveReactor("c0"), "ghost_table").valid());
+
+  // String submissions fail with NotFound, as before the handle layer.
+  EXPECT_TRUE(rt.Submit("ghost", "bump", {}, nullptr).IsNotFound());
+  EXPECT_TRUE(rt.Submit("c0", "ghost_proc", {}, nullptr).IsNotFound());
+
+  // Handle submissions fail the same way for invalid/out-of-range handles.
+  EXPECT_TRUE(rt.Submit(ReactorId{}, ProcId{0}, {}, nullptr).IsNotFound());
+  EXPECT_TRUE(rt.Submit(ReactorId{999}, ProcId{0}, {}, nullptr).IsNotFound());
+  EXPECT_TRUE(rt.Submit(rt.ResolveReactor("c0"), ProcId{999}, {}, nullptr)
+                  .IsNotFound());
+
+  // Table lookups.
+  EXPECT_TRUE(rt.FindTable("ghost", "counter").status().IsNotFound());
+  EXPECT_TRUE(rt.FindTable("c0", "ghost_table").status().IsNotFound());
+  EXPECT_TRUE(
+      rt.FindTable(rt.ResolveReactor("c0"), TableSlot{7}).status().IsNotFound());
+  EXPECT_TRUE(rt.FindTable(ReactorId{}, TableSlot{0}).status().IsNotFound());
+}
+
+// --- ActiveSet -----------------------------------------------------------
+
+TEST(ActiveSetTest, RejectsConcurrentSubtxnsOfOneRoot) {
+  ActiveSet set;
+  EXPECT_TRUE(set.TryEnter(1, 10));
+  EXPECT_FALSE(set.TryEnter(1, 11));  // different subtxn, same root
+  EXPECT_TRUE(set.TryEnter(2, 20));   // other roots unaffected
+  set.Leave(1, 10);
+  EXPECT_TRUE(set.TryEnter(1, 11));
+  EXPECT_EQ(2u, set.size());
+}
+
+// Regression: re-entry of the *same* sub-transaction id must be rejected
+// while it is active (an entry in the set means "invoked and not yet
+// completed"; a second TryEnter with the same id would otherwise allow two
+// live activations to share one Leave).
+TEST(ActiveSetTest, ReentryOfSameSubtxnIsRejectedWhileActive) {
+  ActiveSet set;
+  EXPECT_TRUE(set.TryEnter(7, 3));
+  EXPECT_FALSE(set.TryEnter(7, 3));  // same (root, subtxn) re-entry
+  // A Leave for a non-matching subtxn id must not evict the active entry.
+  set.Leave(7, 999);
+  EXPECT_FALSE(set.TryEnter(7, 4));
+  // The matching Leave clears it; re-entry then succeeds.
+  set.Leave(7, 3);
+  EXPECT_TRUE(set.TryEnter(7, 3));
+  set.Leave(7, 3);
+  EXPECT_EQ(0u, set.size());
+}
+
+}  // namespace
+}  // namespace reactdb

@@ -11,7 +11,9 @@
 #include "src/storage/btree.h"
 #include "src/txn/silo_txn.h"
 #include "src/util/keycodec.h"
+#include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/util/wire.h"
 #include "src/util/zipf.h"
 
 namespace reactdb {
@@ -309,6 +311,172 @@ void BM_DispatchExecuteHandle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DispatchExecuteHandle);
+
+// --- Transport: wire codec, ping-pong, and batched fan-out -------------------
+//
+// Quantifies the inter-container message transport. The ping-pong pair
+// measures a single cross-container call round trip on real threads with
+// the transport on (mailbox + loopback link + serialization) vs off
+// (legacy direct executor-queue dispatch); the fan-out pair shows send-side
+// batching amortizing the per-message transfer cost. The sim benchmark
+// reports *virtual* local/remote latencies under a cost-injecting link
+// (Fig. 11's local-vs-remote gap through the real serialization path) —
+// wall time is meaningless there, read the virtual_us counters.
+
+void BM_WireEncodeRow(benchmark::State& state) {
+  Row row = {Value(int64_t{123456}), Value("customer_0042"), Value(3.25),
+             Value(true), Value::Null()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::EncodeRowToString(row));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireEncodeRow);
+
+void BM_WireDecodeRow(benchmark::State& state) {
+  std::string encoded = wire::EncodeRowToString(
+      {Value(int64_t{123456}), Value("customer_0042"), Value(3.25),
+       Value(true), Value::Null()});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::DecodeRowFromString(encoded));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireDecodeRow);
+
+Proc TransportBump(TxnContext& ctx, Row) {
+  REACTDB_CO_ASSIGN_OR_RETURN(Row row,
+                              ctx.Get(TableSlot{0}, {Value(int64_t{0})}));
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update(TableSlot{0}, {Value(int64_t{0})},
+                 {Value(int64_t{0}), Value(row[1].AsInt64() + 1)}));
+  co_return Value(row[1].AsInt64() + 1);
+}
+
+Proc TransportFanOut(TxnContext& ctx, Row args) {
+  std::vector<Future> futures;
+  futures.reserve(args.size());
+  for (const Value& dst : args) {
+    futures.push_back(ctx.CallOn(dst.AsString(), ProcId{0}, {}));
+  }
+  for (Future& f : futures) {
+    ProcResult r = co_await f;
+    REACTDB_CO_RETURN_IF_ERROR(r.status());
+  }
+  co_return Value(static_cast<int64_t>(args.size()));
+}
+
+void BuildTransportDef(ReactorDatabaseDef* def, int num_reactors) {
+  ReactorType& type = def->DefineType("Counter");
+  type.AddSchema(SchemaBuilder("counter")
+                     .AddColumn("k", ValueType::kInt64)
+                     .AddColumn("v", ValueType::kInt64)
+                     .SetKey({"k"})
+                     .Build()
+                     .value());
+  type.AddProcedure("bump", &TransportBump);      // ProcId 0
+  type.AddProcedure("fan_out", &TransportFanOut);  // ProcId 1
+  for (int i = 0; i < num_reactors; ++i) {
+    (void)def->DeclareReactor("t" + std::to_string(i), "Counter");
+  }
+}
+
+Status LoadTransportCounters(RuntimeBase* rt, int num_reactors) {
+  return rt->RunDirect([rt, num_reactors](SiloTxn& txn) -> Status {
+    for (int i = 0; i < num_reactors; ++i) {
+      std::string name = "t" + std::to_string(i);
+      REACTDB_ASSIGN_OR_RETURN(Table * t, rt->FindTable(name, "counter"));
+      REACTDB_RETURN_IF_ERROR(
+          txn.Insert(t, {Value(int64_t{0}), Value(int64_t{0})},
+                     rt->FindReactor(name)->container_id()));
+    }
+    return Status::OK();
+  });
+}
+
+constexpr int kTransportReactors = 10;  // t0 in container 0, rest in 1
+
+struct TransportRig {
+  ReactorDatabaseDef def;
+  ThreadRuntime rt;
+  ReactorId source;
+  ProcId fan_out;
+
+  explicit TransportRig(bool use_transport) {
+    BuildTransportDef(&def, kTransportReactors);
+    DeploymentConfig dc = DeploymentConfig::SharedNothing(2);
+    dc.placement = [](const std::string& name, size_t, size_t,
+                      uint32_t) -> uint32_t { return name == "t0" ? 0 : 1; };
+    dc.use_transport = use_transport;
+    REACTDB_CHECK_OK(rt.Bootstrap(&def, dc));
+    REACTDB_CHECK_OK(LoadTransportCounters(&rt, kTransportReactors));
+    REACTDB_CHECK_OK(rt.Start());
+    source = rt.ResolveReactor("t0");
+    fan_out = rt.ResolveProc(source, "fan_out");
+  }
+};
+
+TransportRig* GetTransportRig(bool use_transport) {
+  static TransportRig* with = new TransportRig(true);
+  static TransportRig* without = new TransportRig(false);
+  return use_transport ? with : without;
+}
+
+/// One cross-container call + response per iteration. range(0): 1 = through
+/// Mailbox/LoopbackLink, 0 = legacy direct dispatch.
+void BM_TransportPingPong(benchmark::State& state) {
+  TransportRig* rig = GetTransportRig(state.range(0) != 0);
+  for (auto _ : state) {
+    ProcResult r = rig->rt.Execute(rig->source, rig->fan_out, {Value("t1")});
+    REACTDB_CHECK(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransportPingPong)->Arg(0)->Arg(1)->UseRealTime();
+
+/// Eight cross-container calls per iteration, all to one destination
+/// container — a single batched link transfer with the transport on.
+void BM_TransportBatchedFanOut(benchmark::State& state) {
+  TransportRig* rig = GetTransportRig(state.range(0) != 0);
+  Row dsts;
+  for (int i = 1; i <= 8; ++i) dsts.push_back(Value("t" + std::to_string(i)));
+  for (auto _ : state) {
+    ProcResult r = rig->rt.Execute(rig->source, rig->fan_out, dsts);
+    REACTDB_CHECK(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_TransportBatchedFanOut)->Arg(0)->Arg(1)->UseRealTime();
+
+/// Virtual-time local vs remote call latency on the simulated runtime with
+/// a cost-injecting SimLink (range(0) = one-way link latency in us).
+/// Read the counters: local_virtual_us / remote_virtual_us.
+void BM_SimLinkLocalVsRemote(benchmark::State& state) {
+  double link_us = static_cast<double>(state.range(0));
+  double local_us = 0;
+  double remote_us = 0;
+  for (auto _ : state) {
+    ReactorDatabaseDef def;
+    BuildTransportDef(&def, 4);  // t0,t1 -> container 0; t2,t3 -> container 1
+    CostParams params;
+    params.link_latency_us = link_us;
+    SimRuntime rt(params);
+    REACTDB_CHECK_OK(rt.Bootstrap(&def, DeploymentConfig::SharedNothing(2)));
+    REACTDB_CHECK_OK(LoadTransportCounters(&rt, 4));
+    ReactorId source = rt.ResolveReactor("t0");
+    ProcId fan_out = rt.ResolveProc(source, "fan_out");
+    double t0 = rt.events().now();
+    REACTDB_CHECK(rt.Execute(source, fan_out, {Value("t1")}).ok());
+    double t1 = rt.events().now();
+    REACTDB_CHECK(rt.Execute(source, fan_out, {Value("t2")}).ok());
+    double t2 = rt.events().now();
+    local_us = t1 - t0;
+    remote_us = t2 - t1;
+  }
+  state.counters["local_virtual_us"] = local_us;
+  state.counters["remote_virtual_us"] = remote_us;
+}
+BENCHMARK(BM_SimLinkLocalVsRemote)->Arg(0)->Arg(20)->Iterations(3);
 
 }  // namespace
 }  // namespace reactdb

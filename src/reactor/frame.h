@@ -125,6 +125,17 @@ struct TxnFrame {
   /// Fulfilled with the procedure result when the body returns.
   Future completion;
 
+  /// Set when this frame was dispatched through the inter-container
+  /// transport (cross-container call with transport enabled): the body's
+  /// result travels back as a CallResponse message that fulfills
+  /// `reply_state` — the future the caller actually holds — on delivery at
+  /// the caller's container. `completion` is still fulfilled locally for
+  /// uniform bookkeeping, but has no listeners for transport frames.
+  bool via_transport = false;
+  uint64_t transport_call_id = 0;
+  uint32_t reply_to_container = 0;
+  std::shared_ptr<FutureState> reply_state;
+
   Proc coroutine;
   std::unique_ptr<TxnContext> ctx;
   /// Coroutines of directly-inlined self-calls (kept alive until the frame

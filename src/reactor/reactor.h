@@ -169,6 +169,8 @@ class Reactor {
   Table* FindTable(TableSlot slot) const {
     return slot.value < tables_.size() ? tables_[slot.value] : nullptr;
   }
+  /// All bound tables, indexed by TableSlot (for the catalog's slot index).
+  const std::vector<Table*>& bound_tables() const { return tables_; }
   /// String shim: resolves the slot through the type's interner.
   Table* FindTable(const std::string& table_name) const {
     return FindTable(type_->FindTableSlot(table_name));

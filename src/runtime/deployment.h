@@ -41,6 +41,19 @@ struct DeploymentConfig {
   /// (Section 3.2.3). 0 = unlimited.
   int mpl = 8;
 
+  /// Routes cross-container calls and root submissions through the typed
+  /// message transport (src/transport/): ReactorId-addressed messages,
+  /// per-container mailboxes, pluggable link. Off = legacy direct
+  /// executor-queue dispatch (kept for A/B equivalence testing).
+  bool use_transport = true;
+  /// Bound of each container's transport inbox. Senders block (thread
+  /// runtime) once a container is this far behind; sized so that only a
+  /// pathological imbalance ever hits it.
+  int mailbox_capacity = 65536;
+  /// Max envelopes per link transfer; a batch also flushes at every
+  /// executor scheduling boundary, whichever comes first.
+  int transport_max_batch = 16;
+
   /// Container of a reactor: (name, declaration index, total reactors,
   /// containers) -> container id. Default: contiguous range partition over
   /// declaration order.

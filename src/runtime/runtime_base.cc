@@ -4,6 +4,30 @@
 
 namespace reactdb {
 
+namespace {
+
+// In-process continuation state carried through Envelope::ctx (see
+// src/transport/message.h). A future TCP link replaces these with a
+// pending-call table keyed by the (root_id, call_id) already on the wire.
+
+/// ctx of a SubmitRequest: the root awaiting its StartRoot.
+struct PendingRoot {
+  RootTxn* root;
+  Reactor* reactor;
+  const ProcFn* fn;
+};
+
+/// ctx of a CallRequest: the callee frame created at the sender.
+struct PendingCall {
+  TxnFrame* frame;
+  const ProcFn* fn;
+};
+
+/// ctx of a CallResponse: the caller-side future to fulfill.
+using PendingReply = std::shared_ptr<FutureState>;
+
+}  // namespace
+
 Status RuntimeBase::Bootstrap(const ReactorDatabaseDef* def,
                               const DeploymentConfig& dc) {
   if (def_ != nullptr) return Status::Internal("already bootstrapped");
@@ -51,9 +75,139 @@ Status RuntimeBase::Bootstrap(const ReactorDatabaseDef* def,
     uint32_t home =
         container * static_cast<uint32_t>(dc_.executors_per_container) + local;
     reactor->set_home_executor(home);
+    // Slot-indexed catalog binding: transport-delivered calls resolve
+    // relations by (ReactorId, TableSlot) without touching the
+    // qualified-name map.
+    catalogs_[container]->BindReactorTables(id, reactor->bound_tables());
     reactors_[id.value] = std::move(reactor);
   }
+
+  if (dc_.use_transport) {
+    transport_ = std::make_unique<transport::Transport>(
+        static_cast<uint32_t>(dc_.num_containers),
+        static_cast<uint32_t>(dc_.total_executors()),
+        static_cast<size_t>(dc_.mailbox_capacity), dc_.transport_max_batch);
+    for (int c = 0; c < dc_.num_containers; ++c) {
+      drain_scheduled_.push_back(std::make_unique<std::atomic<bool>>(false));
+    }
+    transport_->set_on_inbox_ready(
+        [this](uint32_t container) { OnInboxReady(container); });
+    transport_->set_link(MakeLink());
+  }
   return Status::OK();
+}
+
+RuntimeBase::~RuntimeBase() { DiscardInflightTransport(); }
+
+std::unique_ptr<transport::Link> RuntimeBase::MakeLink() {
+  return std::make_unique<transport::LoopbackLink>(transport_.get());
+}
+
+void RuntimeBase::PostEnvelope(uint32_t src_lane, transport::Envelope e) {
+  if (src_lane == kClientLane) {
+    transport_->PostNow(std::move(e));
+  } else {
+    transport_->Post(src_lane, std::move(e));
+  }
+}
+
+void RuntimeBase::OnInboxReady(uint32_t container) {
+  std::atomic<bool>& scheduled = *drain_scheduled_[container];
+  if (scheduled.exchange(true, std::memory_order_acq_rel)) return;
+  // Drained by the container's executor, per the transport contract: the
+  // pump decodes and routes; arrival work still runs on each message's
+  // target executor.
+  uint32_t pump =
+      container * static_cast<uint32_t>(dc_.executors_per_container);
+  PostReady(pump, [this, container, &scheduled]() {
+    // Clear before draining so a push racing with the drain re-arms the
+    // pump instead of being stranded.
+    scheduled.store(false, std::memory_order_release);
+    DrainInbox(container);
+  });
+}
+
+void RuntimeBase::DrainInbox(uint32_t container) {
+  transport_->Drain(container, [this](transport::Envelope&& e) {
+    StatusOr<transport::Message> decoded = transport::DecodeMessage(e.wire);
+    // In-process links cannot corrupt the wire image; a decode failure is a
+    // serialization bug, not an I/O condition. (A TCP link adds real error
+    // handling at its endpoint.)
+    REACTDB_CHECK(decoded.ok());
+    switch (e.kind) {
+      case transport::MessageKind::kSubmit: {
+        auto* ctx = static_cast<PendingRoot*>(e.ctx);
+        auto msg = std::get<transport::SubmitRequest>(std::move(*decoded));
+        REACTDB_CHECK(msg.root_id == ctx->root->id);
+        uint32_t executor = e.dst_executor;
+        // The decoded argument row is authoritative — results downstream
+        // depend on the serialization round-trip being exact.
+        DeliverRoot(executor,
+                    [this, root = ctx->root, reactor = ctx->reactor,
+                     fn = ctx->fn, executor,
+                     args = std::move(msg.args)]() mutable {
+                      StartRoot(root, reactor, fn, executor, std::move(args));
+                    });
+        delete ctx;
+        break;
+      }
+      case transport::MessageKind::kCall: {
+        auto* ctx = static_cast<PendingCall*>(e.ctx);
+        auto msg = std::get<transport::CallRequest>(std::move(*decoded));
+        TxnFrame* frame = ctx->frame;
+        REACTDB_CHECK(msg.reactor == frame->reactor->id());
+        REACTDB_CHECK(msg.subtxn_id == frame->subtxn_id);
+        const ProcFn* fn = ctx->fn;
+        DeliverReady(frame->executor,
+                     [this, frame, fn, args = std::move(msg.args)]() mutable {
+                       PinExecutor(frame->executor);
+                       ArriveFrame(frame, fn, std::move(args));
+                     });
+        delete ctx;
+        break;
+      }
+      case transport::MessageKind::kResponse: {
+        auto* reply = static_cast<PendingReply*>(e.ctx);
+        auto msg = std::get<transport::CallResponse>(std::move(*decoded));
+        // Fulfillment schedules any awaiting caller coroutine back onto its
+        // executor through the resume hook captured at await time.
+        (*reply)->Fulfill(msg.ToResult());
+        delete reply;
+        break;
+      }
+      case transport::MessageKind::kCommitVote:
+        // Decision record of a multi-container commit; participants need no
+        // action under centralized OCC — counted by the transport stats.
+        break;
+    }
+  });
+}
+
+void RuntimeBase::DiscardInflightTransport() {
+  if (transport_ == nullptr) return;
+  for (uint32_t c = 0; c < transport_->num_containers(); ++c) {
+    transport_->Drain(c, [](transport::Envelope&& e) {
+      switch (e.kind) {
+        case transport::MessageKind::kSubmit: {
+          auto* ctx = static_cast<PendingRoot*>(e.ctx);
+          delete ctx->root;
+          delete ctx;
+          break;
+        }
+        case transport::MessageKind::kCall: {
+          auto* ctx = static_cast<PendingCall*>(e.ctx);
+          delete ctx->frame;
+          delete ctx;
+          break;
+        }
+        case transport::MessageKind::kResponse:
+          delete static_cast<PendingReply*>(e.ctx);
+          break;
+        case transport::MessageKind::kCommitVote:
+          break;
+      }
+    });
+  }
 }
 
 void RuntimeBase::RegisterExecutor(ExecutorInfo* info) {
@@ -89,7 +243,10 @@ StatusOr<Table*> RuntimeBase::FindTable(ReactorId reactor,
     return Status::NotFound("no reactor handle #" +
                             std::to_string(reactor.value));
   }
-  Table* t = r->FindTable(slot);
+  // Container-catalog slot index: the handle-addressed client/loading
+  // surface (per-operation dispatch inside procedures uses the
+  // reactor-local vector directly, see TxnContext::table).
+  Table* t = catalogs_[r->container_id()]->FindBound(reactor, slot);
   if (t == nullptr) {
     return Status::NotFound("reactor " + r->name() + " has no relation slot #" +
                             std::to_string(slot.value));
@@ -161,6 +318,23 @@ Status RuntimeBase::Submit(ReactorId reactor_id, ProcId proc_id, Row args,
   root->proc_id = proc_id;
   root->on_done = std::move(done);
   uint32_t executor = RouteRoot(reactor);
+  if (transport_ != nullptr) {
+    // Client -> container boundary: the invocation crosses as a
+    // SubmitRequest through the target container's inbox.
+    transport::SubmitRequest msg;
+    msg.root_id = root->id;
+    msg.reactor = reactor_id;
+    msg.proc = proc_id;
+    msg.args = std::move(args);
+    transport::Envelope e;
+    e.kind = transport::MessageKind::kSubmit;
+    e.dst_container = reactor->container_id();
+    e.dst_executor = executor;
+    e.wire = transport::EncodeMessage(msg);
+    e.ctx = new PendingRoot{root, reactor, fn};
+    PostEnvelope(kClientLane, std::move(e));
+    return Status::OK();
+  }
   PostRoot(executor, [this, root, reactor, fn, executor,
                       args = std::move(args)]() mutable {
     StartRoot(root, reactor, fn, executor, std::move(args));
@@ -222,7 +396,7 @@ Future RuntimeBase::Call(TxnFrame* caller, ReactorId reactor, ProcId proc,
                                  " has no procedure handle #" +
                                  std::to_string(proc.value));
   }
-  return DispatchCall(caller, target, fn, std::move(args));
+  return DispatchCall(caller, target, proc, fn, std::move(args));
 }
 
 Future RuntimeBase::Call(TxnFrame* caller, const std::string& reactor_name,
@@ -231,12 +405,13 @@ Future RuntimeBase::Call(TxnFrame* caller, const std::string& reactor_name,
   if (target == nullptr) {
     return AbortCall(caller, "no reactor " + reactor_name);
   }
-  const ProcFn* fn = target->type().FindProcedure(proc_name);
+  ProcId proc = target->type().FindProcId(proc_name);
+  const ProcFn* fn = target->type().FindProcedure(proc);
   if (fn == nullptr) {
     return AbortCall(caller, "reactor type " + target->type().name() +
                                  " has no procedure " + proc_name);
   }
-  return DispatchCall(caller, target, fn, std::move(args));
+  return DispatchCall(caller, target, proc, fn, std::move(args));
 }
 
 Future RuntimeBase::Call(TxnFrame* caller, const std::string& reactor_name,
@@ -251,11 +426,11 @@ Future RuntimeBase::Call(TxnFrame* caller, const std::string& reactor_name,
                                  " has no procedure handle #" +
                                  std::to_string(proc.value));
   }
-  return DispatchCall(caller, target, fn, std::move(args));
+  return DispatchCall(caller, target, proc, fn, std::move(args));
 }
 
 Future RuntimeBase::DispatchCall(TxnFrame* caller, Reactor* target,
-                                 const ProcFn* fn, Row args) {
+                                 ProcId proc, const ProcFn* fn, Row args) {
   RootTxn* root = caller->root;
 
   if (target == caller->reactor) {
@@ -323,6 +498,33 @@ Future RuntimeBase::DispatchCall(TxnFrame* caller, Reactor* target,
   frame->pinned = true;
   root->live_remote_children.fetch_add(1, std::memory_order_acq_rel);
   ChargeCs();
+  if (transport_ != nullptr) {
+    // The call crosses containers as a CallRequest; the result returns as a
+    // CallResponse that fulfills `reply` on delivery at this container. The
+    // callee frame travels through the envelope's in-process ctx — its
+    // arguments travel as bytes.
+    uint64_t call_id = next_call_id_.fetch_add(1, std::memory_order_relaxed);
+    Future reply;
+    frame->via_transport = true;
+    frame->transport_call_id = call_id;
+    frame->reply_to_container = caller->reactor->container_id();
+    frame->reply_state = reply.shared_state();
+    transport::CallRequest msg;
+    msg.root_id = root->id;
+    msg.call_id = call_id;
+    msg.subtxn_id = frame->subtxn_id;
+    msg.reactor = target->id();
+    msg.proc = proc;
+    msg.args = std::move(args);
+    transport::Envelope e;
+    e.kind = transport::MessageKind::kCall;
+    e.dst_container = target->container_id();
+    e.dst_executor = frame->executor;
+    e.wire = transport::EncodeMessage(msg);
+    e.ctx = new PendingCall{frame, fn};
+    PostEnvelope(caller->executor, std::move(e));
+    return reply;
+  }
   PostReady(frame->executor,
             [this, frame, fn, args = std::move(args)]() mutable {
               PinExecutor(frame->executor);
@@ -356,6 +558,20 @@ void RuntimeBase::OnProcBodyFinished(TxnFrame* frame) {
       frame->coroutine.handle().promise().result;
   if (!result.ok()) frame->root->MarkAbort(result.status());
   if (frame->parent == nullptr) frame->root->proc_result = result;
+  if (frame->via_transport) {
+    // The caller holds the reply future, not `completion`: ship the result
+    // home as a CallResponse. Sent from this executor's lane, so it batches
+    // with any other messages this task produced.
+    transport::CallResponse msg = transport::CallResponse::FromResult(
+        frame->root->id, frame->transport_call_id, result);
+    transport::Envelope e;
+    e.kind = transport::MessageKind::kResponse;
+    e.dst_container = frame->reply_to_container;
+    e.wire = transport::EncodeMessage(msg);
+    e.ctx = new PendingReply(std::move(frame->reply_state));
+    e.deliver_inline = true;
+    PostEnvelope(frame->executor, std::move(e));
+  }
   frame->completion.state()->Fulfill(std::move(result));
   OnFramePartDone(frame);
 }
@@ -384,6 +600,7 @@ void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
   RootTxn* root = root_frame->root;
   uint32_t executor = root_frame->executor;
   ProcResult outcome{Status::Internal("unset outcome")};
+  bool committed = false;
   if (root->IsAborted()) {
     root->txn.Abort();
     Status s = root->AbortStatus();
@@ -403,9 +620,32 @@ void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
       root->commit_tid = *tid;
       stats_.committed.fetch_add(1, std::memory_order_relaxed);
       outcome = root->proc_result;
+      committed = true;
     } else {
       stats_.aborted_cc.fetch_add(1, std::memory_order_relaxed);
       outcome = tid.status();
+    }
+  }
+  if (transport_ != nullptr && EmitCommitVotes()) {
+    // Multi-container transaction: broadcast the decision record each
+    // participant would receive from distributed 2PC (commit is still the
+    // centralized Silo validation — participants take no action yet).
+    const std::set<uint32_t>& touched = root->txn.containers_touched();
+    uint32_t home_container = executors_[executor]->container;
+    if (touched.size() > 1) {
+      for (uint32_t participant : touched) {
+        if (participant == home_container) continue;
+        transport::CommitVote vote;
+        vote.root_id = root->id;
+        vote.container = participant;
+        vote.commit = committed;
+        transport::Envelope e;
+        e.kind = transport::MessageKind::kCommitVote;
+        e.dst_container = participant;
+        e.wire = transport::EncodeMessage(vote);
+        e.deliver_inline = true;
+        PostEnvelope(executor, std::move(e));
+      }
     }
   }
   auto done = std::move(root->on_done);

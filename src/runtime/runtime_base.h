@@ -29,6 +29,7 @@
 #include "src/reactor/reactor.h"
 #include "src/runtime/deployment.h"
 #include "src/storage/catalog.h"
+#include "src/transport/transport.h"
 #include "src/txn/epoch.h"
 
 namespace reactdb {
@@ -51,7 +52,7 @@ struct RuntimeStats {
 class RuntimeBase : public CallBridge {
  public:
   RuntimeBase() = default;
-  ~RuntimeBase() override = default;
+  ~RuntimeBase() override;
 
   RuntimeBase(const RuntimeBase&) = delete;
   RuntimeBase& operator=(const RuntimeBase&) = delete;
@@ -96,6 +97,8 @@ class RuntimeBase : public CallBridge {
   EpochManager* epochs() { return &epochs_; }
   const DeploymentConfig& deployment() const { return dc_; }
   const RuntimeStats& stats() const { return stats_; }
+  /// Null when the deployment disabled the transport.
+  const transport::Transport* transport() const { return transport_.get(); }
   size_t num_reactors() const { return reactors_.size(); }
   uint32_t HomeExecutorOf(ReactorId reactor) const;
   uint32_t HomeExecutorOf(const std::string& reactor_name) const;
@@ -136,6 +139,45 @@ class RuntimeBase : public CallBridge {
   virtual void ChargeCs() {}
   virtual void ChargeCommitCost(RootTxn* root) { (void)root; }
 
+  // --- Transport hooks ------------------------------------------------------
+
+  /// Sender lane id of client threads (no batch buffer; sends flush
+  /// immediately).
+  static constexpr uint32_t kClientLane = 0xffffffffu;
+
+  /// Creates the link the transport sends through. Default: in-process
+  /// loopback. SimRuntime substitutes the latency-modeling SimLink.
+  virtual std::unique_ptr<transport::Link> MakeLink();
+  /// Hands an outgoing envelope to the transport. Default: batch on the
+  /// sending executor's lane (flushed at its next scheduling boundary),
+  /// immediate for client-lane sends. SimRuntime sends eagerly and tags
+  /// envelopes for the SimLink's synchronous-delivery rule.
+  virtual void PostEnvelope(uint32_t src_lane, transport::Envelope e);
+  /// Signaled when a container's inbox became non-empty. Default: schedule
+  /// a drain pump on the container's first executor (at most one in
+  /// flight). SimRuntime drains inline — link events already run at the
+  /// right virtual time.
+  virtual void OnInboxReady(uint32_t container);
+  /// Dispatches a decoded sub-transaction arrival / root start to an
+  /// executor. Defaults post through the normal lanes; SimRuntime enqueues
+  /// directly to avoid double-scheduling (the link event is the delivery).
+  virtual void DeliverReady(uint32_t executor, std::function<void()> task) {
+    PostReady(executor, std::move(task));
+  }
+  virtual void DeliverRoot(uint32_t executor, std::function<void()> task) {
+    PostRoot(executor, std::move(task));
+  }
+  /// Whether FinalizeRoot broadcasts CommitVote messages to the other
+  /// participant containers of a multi-container transaction (the decision
+  /// record distributed 2PC would ship; delivered as telemetry today).
+  virtual bool EmitCommitVotes() const { return false; }
+
+  /// Decodes and dispatches every queued envelope of `container`. Must run
+  /// on the container's drain context (single consumer per mailbox).
+  void DrainInbox(uint32_t container);
+  /// Frees the in-process state of undelivered envelopes (teardown).
+  void DiscardInflightTransport();
+
   // --- Shared logic ---------------------------------------------------------
 
   void RegisterExecutor(ExecutorInfo* info);
@@ -145,8 +187,10 @@ class RuntimeBase : public CallBridge {
   void StartRoot(RootTxn* root, Reactor* reactor, const ProcFn* fn,
                  uint32_t executor, Row args);
   /// Shared guts of the Call overloads, after target/procedure resolution.
-  Future DispatchCall(TxnFrame* caller, Reactor* target, const ProcFn* fn,
-                      Row args);
+  /// `proc` is the wire identity of `fn` (needed to address the call in a
+  /// transport message).
+  Future DispatchCall(TxnFrame* caller, Reactor* target, ProcId proc,
+                      const ProcFn* fn, Row args);
   /// Marks the caller's root aborted with InvalidArgument(`message`) and
   /// returns a ready errored future (unknown reactor/procedure in a call).
   Future AbortCall(TxnFrame* caller, const std::string& message);
@@ -171,6 +215,13 @@ class RuntimeBase : public CallBridge {
   /// the Reactor itself) — no string-keyed lookups on the dispatch path.
   std::vector<std::unique_ptr<Reactor>> reactors_;
   std::vector<ExecutorInfo*> executors_;  // owned by subclass
+  /// Inter-container message transport (null when dc_.use_transport is
+  /// off). Created at Bootstrap with MakeLink().
+  std::unique_ptr<transport::Transport> transport_;
+  /// Per-container "drain pump scheduled" flags for the default
+  /// OnInboxReady (coalesces wakeups to one pending pump per container).
+  std::vector<std::unique_ptr<std::atomic<bool>>> drain_scheduled_;
+  std::atomic<uint64_t> next_call_id_{1};
   std::atomic<uint64_t> next_root_id_{1};
   std::atomic<uint64_t> rr_counter_{0};
   std::atomic<uint64_t> finalized_roots_{0};

@@ -202,6 +202,47 @@ void SimRuntime::ProcessTask(SimExecutor* exec, SimTask task) {
   segment_cost_ = 0;
 }
 
+std::unique_ptr<transport::Link> SimRuntime::MakeLink() {
+  transport::SimLinkParams p;
+  p.latency_us = params_.link_latency_us;
+  p.per_message_us = params_.link_per_message_us;
+  p.per_byte_us = params_.link_per_byte_us;
+  return std::make_unique<transport::SimLink>(
+      transport_.get(), p, /*now=*/[this] { return NowUs(); },
+      /*schedule=*/
+      [this](double when_us, std::function<void()> fn) {
+        events_.Schedule(when_us, std::move(fn));
+      });
+}
+
+void SimRuntime::PostEnvelope(uint32_t src_lane, transport::Envelope e) {
+  (void)src_lane;
+  // Responses (and votes) are safe to deliver inside the sending segment:
+  // fulfillment re-enters the event queue through the segment-aware resume
+  // path. Requests and submits must arrive as link events so the target
+  // cannot dispatch earlier than the send point.
+  e.deliver_inline = e.kind == transport::MessageKind::kResponse ||
+                     e.kind == transport::MessageKind::kCommitVote;
+  transport_->PostNow(std::move(e));
+}
+
+void SimRuntime::DeliverReady(uint32_t executor, std::function<void()> task) {
+  // Already inside the link's delivery event: enqueue directly (a PostReady
+  // here would schedule a second event at the same virtual time).
+  SimTask t;
+  t.fn = std::move(task);
+  sim_execs_[executor]->ready.push_back(std::move(t));
+  TryDispatch(executor);
+}
+
+void SimRuntime::DeliverRoot(uint32_t executor, std::function<void()> task) {
+  SimTask t;
+  t.fn = std::move(task);
+  t.is_root = true;
+  sim_execs_[executor]->admission.push_back(std::move(t));
+  TryDispatch(executor);
+}
+
 void SimRuntime::PostReady(uint32_t executor, std::function<void()> task) {
   SimTask t;
   t.fn = std::move(task);

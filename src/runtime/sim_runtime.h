@@ -64,6 +64,25 @@ class SimRuntime : public RuntimeBase {
   void ChargeCs() override { Charge(ChargeKind::kCs, params_.cs_us); }
   void ChargeCommitCost(RootTxn* root) override;
 
+  // --- Transport (virtual-time integration) --------------------------------
+  //
+  // The simulator routes cross-container traffic through the same
+  // mailbox/serialization path as the thread runtime, but each message is
+  // sent eagerly (per-message costs are the SimLink's job, not a batching
+  // boundary's) and deliveries are woven into the event queue so that with
+  // zero link costs the event trace is identical to direct dispatch:
+  //  * requests/submits are delivered by a link event at the segment-aware
+  //    send time — exactly when the old direct PostReady/PostRoot event
+  //    fired — and drained straight into the executor lanes;
+  //  * responses are marked deliver_inline: fulfilled at the send point
+  //    inside the callee's segment, so the caller's resume is scheduled at
+  //    the same virtual time (and pays Cr) exactly as before.
+  std::unique_ptr<transport::Link> MakeLink() override;
+  void PostEnvelope(uint32_t src_lane, transport::Envelope e) override;
+  void OnInboxReady(uint32_t container) override { DrainInbox(container); }
+  void DeliverReady(uint32_t executor, std::function<void()> task) override;
+  void DeliverRoot(uint32_t executor, std::function<void()> task) override;
+
  private:
   /// Shared scaffold of the Execute overloads: `submit` receives the
   /// completion callback and forwards to the matching Submit overload.

@@ -74,6 +74,9 @@ void ThreadRuntime::ExecutorLoop(ThreadExecutor* exec) {
       if (is_root) exec->active_roots++;
     }
     task();
+    // Scheduling boundary: everything the task produced for one
+    // destination container leaves as one batched link transfer.
+    if (transport_ != nullptr) transport_->Flush(exec->id);
   }
   internal::SetCurrentResumeHook(nullptr);
 }

@@ -53,6 +53,9 @@ class ThreadRuntime : public RuntimeBase {
   void PostRoot(uint32_t executor, std::function<void()> task) override;
   void OnRootRetired(uint32_t executor) override;
   void CreateExecutors() override;
+  /// Real threads pay real cross-container traffic: broadcast the commit
+  /// decision records of multi-container transactions.
+  bool EmitCommitVotes() const override { return true; }
 
  private:
   /// Shared blocking scaffold of the Execute overloads: `submit` receives

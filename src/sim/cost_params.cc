@@ -19,6 +19,12 @@ CostParams CostParams::FromConfig(const Config& config) {
       config.GetDouble("costs", "commit_per_write_us", p.commit_per_write_us);
   p.twopc_per_container_us = config.GetDouble("costs", "twopc_per_container_us",
                                               p.twopc_per_container_us);
+  p.link_latency_us =
+      config.GetDouble("costs", "link_latency_us", p.link_latency_us);
+  p.link_per_message_us =
+      config.GetDouble("costs", "link_per_message_us", p.link_per_message_us);
+  p.link_per_byte_us =
+      config.GetDouble("costs", "link_per_byte_us", p.link_per_byte_us);
   p.client_submit_us =
       config.GetDouble("costs", "client_submit_us", p.client_submit_us);
   p.client_notify_us =

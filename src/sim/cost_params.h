@@ -39,6 +39,17 @@ struct CostParams {
   /// decision round trips, overlapped across participants).
   double twopc_per_container_us = 3.0;
 
+  // Inter-container link (transport SimLink). Zero by default: the base
+  // cost model already accounts communication via Cs/Cr, and zero-cost
+  // links preserve the calibrated virtual-time behavior exactly. Set these
+  // to model a slower interconnect (e.g. a network hop between containers
+  // on different machines): each batch pays
+  //   link_latency_us + link_per_message_us * n + link_per_byte_us * bytes
+  // of virtual time between send and inbox delivery.
+  double link_latency_us = 0;
+  double link_per_message_us = 0;
+  double link_per_byte_us = 0;
+
   // Client worker <-> database container boundary (containerization
   // overhead, Appendix F.3: ~22us per invocation round trip dominated by
   // cross-core thread switches).

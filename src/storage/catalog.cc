@@ -37,6 +37,24 @@ std::vector<Table*> Catalog::TablesOf(const std::string& reactor_name) const {
   return out;
 }
 
+void Catalog::BindReactorTables(ReactorId reactor,
+                                const std::vector<Table*>& tables) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (reactor.value >= slot_index_.size()) {
+    slot_index_.resize(reactor.value + 1);
+  }
+  slot_index_[reactor.value] = tables;
+}
+
+size_t Catalog::num_bound_reactors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& tables : slot_index_) {
+    if (!tables.empty()) ++n;
+  }
+  return n;
+}
+
 size_t Catalog::num_tables() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tables_.size();

@@ -5,6 +5,13 @@
 // R with relation T stores into "R/T"). This realizes the paper's name
 // mapping P(r^k[x]) = r[k ∘ x] from Definition 2.3: disjoint reactor address
 // spaces projected into one container address space.
+//
+// Two lookup surfaces:
+//  * qualified-name map — bootstrap/loading/introspection only;
+//  * slot index — (ReactorId, TableSlot) -> Table*, registered once at
+//    bootstrap via BindReactorTables. This is the dispatch-path surface:
+//    transport-delivered calls resolve relations by the handles on the
+//    wire and never touch the name map.
 
 #ifndef REACTDB_STORAGE_CATALOG_H_
 #define REACTDB_STORAGE_CATALOG_H_
@@ -15,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/reactor/symbol.h"
 #include "src/storage/table.h"
 
 namespace reactdb {
@@ -37,6 +45,27 @@ class Catalog {
   /// All tables of one reactor.
   std::vector<Table*> TablesOf(const std::string& reactor_name) const;
 
+  // --- Slot index (dispatch path) ------------------------------------------
+
+  /// Registers `tables` (indexed by TableSlot) as the relations of
+  /// `reactor` in this container. Bootstrap-time only; re-binding a reactor
+  /// replaces its entry.
+  void BindReactorTables(ReactorId reactor, const std::vector<Table*>& tables);
+
+  /// O(1) handle-indexed lookup; nullptr when the reactor was never bound
+  /// here or the slot is out of range. Safe without synchronization after
+  /// bootstrap (the index is immutable once bound).
+  Table* FindBound(ReactorId reactor, TableSlot slot) const {
+    if (!reactor.valid() || reactor.value >= slot_index_.size()) {
+      return nullptr;
+    }
+    const std::vector<Table*>& tables = slot_index_[reactor.value];
+    return slot.value < tables.size() ? tables[slot.value] : nullptr;
+  }
+
+  /// Number of reactors with a slot-index binding.
+  size_t num_bound_reactors() const;
+
   size_t num_tables() const;
 
   static std::string QualifiedName(const std::string& reactor_name,
@@ -47,6 +76,10 @@ class Catalog {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  /// ReactorId -> TableSlot -> Table*. Sparse over the global ReactorId
+  /// space (only this container's reactors are non-empty); the per-reactor
+  /// vectors alias `tables_` entries.
+  std::vector<std::vector<Table*>> slot_index_;
 };
 
 }  // namespace reactdb

@@ -1,0 +1,105 @@
+// Link: the pluggable transfer layer between containers.
+//
+// A link moves batches of envelopes from a sender to the destination
+// container's mailbox. Two implementations exist today:
+//
+//   LoopbackLink  in-process: pushes straight into the destination inbox
+//                 (blocking on a full inbox = backpressure to the sending
+//                 executor) and signals the drain pump. The payload still
+//                 crosses as encoded bytes — the receiving side decodes the
+//                 wire image, so serialization is exercised end to end.
+//
+//   SimLink       discrete-event: charges a configurable latency
+//                 (base + per-message + per-byte over the batch) on the
+//                 virtual clock before delivery, reproducing the paper's
+//                 local-vs-remote latency gap (Fig. 11) through the real
+//                 serialization path. With all costs zero it degenerates to
+//                 delivery "now", preserving the calibrated cost model of
+//                 the simulated runtime exactly.
+//
+// A future TcpLink slots in here: same Send contract, with the envelope's
+// in-process ctx pointer replaced by a pending-call table at the endpoints
+// (see message.h). Links must preserve per-(sender, destination) FIFO
+// order; the mailbox preserves arrival order on the receiving side.
+
+#ifndef REACTDB_TRANSPORT_LINK_H_
+#define REACTDB_TRANSPORT_LINK_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/transport/message.h"
+
+namespace reactdb {
+namespace transport {
+
+class Transport;
+
+class Link {
+ public:
+  virtual ~Link() = default;
+
+  /// Transfers `batch` (all destined to `dst_container`) into the
+  /// destination inbox. Called with non-empty batches only.
+  virtual void Send(uint32_t dst_container, std::vector<Envelope> batch) = 0;
+};
+
+class LoopbackLink : public Link {
+ public:
+  explicit LoopbackLink(Transport* transport) : transport_(transport) {}
+  void Send(uint32_t dst_container, std::vector<Envelope> batch) override;
+
+ private:
+  Transport* transport_;
+};
+
+struct SimLinkParams {
+  /// Fixed one-way latency per batch, virtual microseconds.
+  double latency_us = 0;
+  /// Marginal cost per message in the batch.
+  double per_message_us = 0;
+  /// Marginal cost per encoded payload byte (serialization/NIC time).
+  double per_byte_us = 0;
+
+  double BatchDelayUs(size_t messages, size_t bytes) const {
+    return latency_us + per_message_us * static_cast<double>(messages) +
+           per_byte_us * static_cast<double>(bytes);
+  }
+};
+
+/// Discrete-event link. The runtime injects its (segment-aware) clock and
+/// event scheduler so the transport layer stays independent of the
+/// simulator internals.
+class SimLink : public Link {
+ public:
+  using ScheduleAt = std::function<void(double when_us, std::function<void()>)>;
+  using NowUs = std::function<double()>;
+
+  SimLink(Transport* transport, SimLinkParams params, NowUs now,
+          ScheduleAt schedule)
+      : transport_(transport),
+        params_(params),
+        now_(std::move(now)),
+        schedule_(std::move(schedule)) {}
+
+  void Send(uint32_t dst_container, std::vector<Envelope> batch) override;
+
+  const SimLinkParams& params() const { return params_; }
+
+ private:
+  Transport* transport_;
+  SimLinkParams params_;
+  NowUs now_;
+  ScheduleAt schedule_;
+  /// Latest scheduled arrival per destination: a FIFO pipe cannot let a
+  /// small later transfer overtake a large earlier one, so each arrival is
+  /// clamped to be no earlier than the previous arrival at that
+  /// destination. (With all costs zero every delivery lands "now" and the
+  /// event queue's FIFO tie-breaking provides the ordering.)
+  std::vector<double> arrival_horizon_;
+};
+
+}  // namespace transport
+}  // namespace reactdb
+
+#endif  // REACTDB_TRANSPORT_LINK_H_

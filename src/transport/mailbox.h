@@ -1,0 +1,117 @@
+// Mailbox: the bounded per-container inbox of the transport.
+//
+// Multi-producer (any executor or client thread may send), single-consumer
+// (each container's executor pump drains its own inbox — concurrent
+// consumers would reorder deliveries and break the per-sender FIFO
+// guarantee links provide). Capacity is the transport's backpressure knob:
+// TryPush rejects when full (senders that must not block, e.g. the
+// single-threaded simulator), Push blocks until the consumer drains
+// (clients submitting into an overloaded container), and ForcePush
+// overrides the bound for contexts where blocking would deadlock and
+// rejection would lose a message that in-flight state already depends on.
+
+#ifndef REACTDB_TRANSPORT_MAILBOX_H_
+#define REACTDB_TRANSPORT_MAILBOX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "src/transport/message.h"
+
+namespace reactdb {
+namespace transport {
+
+class Mailbox {
+ public:
+  explicit Mailbox(size_t capacity) : capacity_(capacity) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues unless full; returns false (and counts the rejection) when
+  /// the inbox is at capacity.
+  bool TryPush(Envelope e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.size() >= capacity_) {
+        ++rejected_;
+        return false;
+      }
+      queue_.push_back(std::move(e));
+      ++pushed_;
+    }
+    return true;
+  }
+
+  /// Blocks while the inbox is full (backpressure on the sender), then
+  /// enqueues. Only safe from threads that do not also drain this mailbox.
+  void Push(Envelope e) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(e));
+    ++pushed_;
+  }
+
+  /// Enqueues regardless of capacity (counts the overflow). For senders
+  /// that can neither block nor drop — the simulator's link delivery.
+  void ForcePush(Envelope e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= capacity_) ++overflowed_;
+    queue_.push_back(std::move(e));
+    ++pushed_;
+  }
+
+  /// Dequeues the oldest envelope; false when empty. FIFO.
+  bool TryPop(Envelope* out) {
+    bool freed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) return false;
+      freed = queue_.size() >= capacity_;
+      *out = std::move(queue_.front());
+      queue_.pop_front();
+      ++popped_;
+    }
+    if (freed) not_full_.notify_all();
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+  uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+  }
+  uint64_t popped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return popped_;
+  }
+  uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+  uint64_t overflowed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return overflowed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::deque<Envelope> queue_;
+  uint64_t pushed_ = 0;
+  uint64_t popped_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t overflowed_ = 0;
+};
+
+}  // namespace transport
+}  // namespace reactdb
+
+#endif  // REACTDB_TRANSPORT_MAILBOX_H_

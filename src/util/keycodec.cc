@@ -1,5 +1,6 @@
 #include "src/util/keycodec.h"
 
+#include <cstdint>
 #include <cstring>
 
 namespace reactdb {
@@ -48,6 +49,18 @@ double OrderedBitsToDouble(uint64_t bits) {
   return d;
 }
 
+// Saturating double -> int64 conversion. A plain static_cast is undefined
+// behavior when the double is outside int64 range, which happens for keys
+// near the extremes: int64 values above 2^63 - 1024 round UP to 2^63 when
+// converted to double. Encode and decode use the same conversion, so the
+// residual arithmetic stays consistent and extreme keys round-trip exactly.
+int64_t SaturatingToInt64(double d) {
+  constexpr double kMax = 9223372036854775808.0;  // 2^63, first unrepresentable
+  if (d >= kMax) return INT64_MAX;
+  if (d < -kMax) return INT64_MIN;
+  return static_cast<int64_t>(d);
+}
+
 }  // namespace
 
 void EncodeValue(const Value& v, std::string* out) {
@@ -68,7 +81,7 @@ void EncodeValue(const Value& v, std::string* out) {
       AppendBigEndian64(DoubleToOrderedBits(approx), out);
       // Residual: difference between the exact int and the rounded double,
       // biased to preserve order among ints mapping to the same double.
-      int64_t residual = v.AsInt64() - static_cast<int64_t>(approx);
+      int64_t residual = v.AsInt64() - SaturatingToInt64(approx);
       AppendBigEndian64(static_cast<uint64_t>(residual) + (1ULL << 63), out);
       out->push_back('i');
       return;
@@ -126,7 +139,7 @@ StatusOr<Value> DecodeValue(const std::string& data, size_t* pos) {
       if (sub == 'i') {
         int64_t residual =
             static_cast<int64_t>(residual_bits - (1ULL << 63));
-        return Value(static_cast<int64_t>(approx) + residual);
+        return Value(SaturatingToInt64(approx) + residual);
       }
       return Value(approx);
     }

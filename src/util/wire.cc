@@ -1,0 +1,150 @@
+#include "src/util/wire.h"
+
+#include <cstring>
+
+namespace reactdb {
+namespace wire {
+
+namespace {
+
+// Double <-> u64 via byte copy of the IEEE-754 representation. The bit
+// pattern is then serialized little-endian explicitly, so the encoding does
+// not depend on host integer order. (std::bit_cast would also work; memcpy
+// keeps the toolchain floor at C++17-era library support.)
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+void Writer::PutDouble(double d) { PutU64(DoubleBits(d)); }
+
+StatusOr<uint8_t> Reader::ReadU8() {
+  if (pos_ + 1 > data_.size()) return Status::OutOfRange("wire: u8 truncated");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+StatusOr<uint32_t> Reader::ReadU32() {
+  if (pos_ + 4 > data_.size()) return Status::OutOfRange("wire: u32 truncated");
+  uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << shift;
+  }
+  return v;
+}
+
+StatusOr<uint64_t> Reader::ReadU64() {
+  if (pos_ + 8 > data_.size()) return Status::OutOfRange("wire: u64 truncated");
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << shift;
+  }
+  return v;
+}
+
+StatusOr<double> Reader::ReadDouble() {
+  REACTDB_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  return BitsToDouble(bits);
+}
+
+StatusOr<std::string> Reader::ReadBytes() {
+  REACTDB_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  if (pos_ + len > data_.size()) {
+    return Status::OutOfRange("wire: bytes truncated");
+  }
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+void EncodeValue(const Value& v, Writer* w) {
+  w->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      return;
+    case ValueType::kBool:
+      w->PutU8(v.AsBool() ? 1 : 0);
+      return;
+    case ValueType::kInt64:
+      w->PutI64(v.AsInt64());
+      return;
+    case ValueType::kDouble:
+      w->PutDouble(v.AsDouble());
+      return;
+    case ValueType::kString:
+      w->PutBytes(v.AsString());
+      return;
+  }
+}
+
+StatusOr<Value> DecodeValue(Reader* r) {
+  REACTDB_ASSIGN_OR_RETURN(uint8_t tag, r->ReadU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      REACTDB_ASSIGN_OR_RETURN(uint8_t b, r->ReadU8());
+      return Value(b != 0);
+    }
+    case ValueType::kInt64: {
+      REACTDB_ASSIGN_OR_RETURN(int64_t i, r->ReadI64());
+      return Value(i);
+    }
+    case ValueType::kDouble: {
+      REACTDB_ASSIGN_OR_RETURN(double d, r->ReadDouble());
+      return Value(d);
+    }
+    case ValueType::kString: {
+      REACTDB_ASSIGN_OR_RETURN(std::string s, r->ReadBytes());
+      return Value(std::move(s));
+    }
+  }
+  return Status::InvalidArgument("wire: unknown value tag " +
+                                 std::to_string(tag));
+}
+
+void EncodeRow(const Row& row, Writer* w) {
+  w->PutU32(static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) EncodeValue(v, w);
+}
+
+StatusOr<Row> DecodeRow(Reader* r) {
+  REACTDB_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  // A cell costs at least one tag byte; reject counts the buffer cannot
+  // hold instead of reserving attacker-controlled amounts.
+  if (n > r->remaining()) return Status::OutOfRange("wire: row truncated");
+  Row row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    REACTDB_ASSIGN_OR_RETURN(Value v, DecodeValue(r));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+std::string EncodeRowToString(const Row& row) {
+  std::string out;
+  Writer w(&out);
+  EncodeRow(row, &w);
+  return out;
+}
+
+StatusOr<Row> DecodeRowFromString(std::string_view data) {
+  Reader r(data);
+  REACTDB_ASSIGN_OR_RETURN(Row row, DecodeRow(&r));
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("wire: trailing bytes after row");
+  }
+  return row;
+}
+
+}  // namespace wire
+}  // namespace reactdb

@@ -1,0 +1,101 @@
+// Wire serialization for transport messages.
+//
+// The inter-container transport (src/transport/) ships procedure argument
+// rows and results as bytes, so Values need an exact, platform-independent
+// binary encoding. This codec is deliberately distinct from the key codec
+// (src/util/keycodec.h): keys are encoded to make *byte order* match value
+// order (lossy tricks like the numeric residual scheme), while the wire
+// format optimizes for exact round-trips — every Value decodes to a Value
+// that compares equal AND has the same type, including NaN doubles (bit
+// pattern preserved) and strings with embedded NULs.
+//
+// Layout rules:
+//  * all fixed-width integers are little-endian, assembled with explicit
+//    byte shifts (no memcpy of host-order integers, so the format is
+//    identical on big-endian hosts);
+//  * doubles travel as the IEEE-754 bit pattern in a little-endian u64;
+//  * strings and rows are length-prefixed (u32), never terminated.
+
+#ifndef REACTDB_UTIL_WIRE_H_
+#define REACTDB_UTIL_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/statusor.h"
+#include "src/util/value.h"
+
+namespace reactdb {
+namespace wire {
+
+/// Appends fixed-width little-endian primitives to a byte buffer.
+class Writer {
+ public:
+  explicit Writer(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      out_->push_back(static_cast<char>((v >> shift) & 0xFF));
+    }
+  }
+  void PutU64(uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      out_->push_back(static_cast<char>((v >> shift) & 0xFF));
+    }
+  }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double d);
+  void PutBytes(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+  std::string* buffer() { return out_; }
+
+ private:
+  std::string* out_;
+};
+
+/// Consumes primitives from a byte buffer; every read checks bounds and
+/// fails with OutOfRange instead of reading past the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  StatusOr<uint8_t> ReadU8();
+  StatusOr<uint32_t> ReadU32();
+  StatusOr<uint64_t> ReadU64();
+  StatusOr<int64_t> ReadI64() {
+    REACTDB_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    return static_cast<int64_t>(bits);
+  }
+  StatusOr<double> ReadDouble();
+  StatusOr<std::string> ReadBytes();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Exact binary encoding of one Value: 1 type byte + typed payload.
+void EncodeValue(const Value& v, Writer* w);
+StatusOr<Value> DecodeValue(Reader* r);
+
+/// A row is a u32 cell count followed by the cells.
+void EncodeRow(const Row& row, Writer* w);
+StatusOr<Row> DecodeRow(Reader* r);
+
+/// Convenience: encodes `row` into a fresh buffer.
+std::string EncodeRowToString(const Row& row);
+/// Convenience: decodes a buffer that holds exactly one row.
+StatusOr<Row> DecodeRowFromString(std::string_view data);
+
+}  // namespace wire
+}  // namespace reactdb
+
+#endif  // REACTDB_UTIL_WIRE_H_

@@ -275,5 +275,26 @@ TEST(Catalog, PerReactorNamespaces) {
             catalog.GetTable("w_2", "customer").value());
 }
 
+TEST(Catalog, SlotIndexResolvesWithoutNameMap) {
+  Catalog catalog;
+  Schema schema = MakeCustomerSchema();
+  Table* t1 = catalog.CreateTable("w_1", schema).value();
+  Table* t2 = catalog.CreateTable("w_2", schema).value();
+  // Bootstrap registers each reactor's slot-ordered tables once; ReactorIds
+  // are global, so a container's index is sparse over them.
+  catalog.BindReactorTables(ReactorId{3}, {t1});
+  catalog.BindReactorTables(ReactorId{7}, {t2});
+  EXPECT_EQ(2u, catalog.num_bound_reactors());
+  EXPECT_EQ(t1, catalog.FindBound(ReactorId{3}, TableSlot{0}));
+  EXPECT_EQ(t2, catalog.FindBound(ReactorId{7}, TableSlot{0}));
+  // Misses are nullptr, never out-of-bounds: unknown reactor, unbound
+  // reactor in range, slot past the reactor's relations, invalid handles.
+  EXPECT_EQ(nullptr, catalog.FindBound(ReactorId{5}, TableSlot{0}));
+  EXPECT_EQ(nullptr, catalog.FindBound(ReactorId{100}, TableSlot{0}));
+  EXPECT_EQ(nullptr, catalog.FindBound(ReactorId{3}, TableSlot{1}));
+  EXPECT_EQ(nullptr, catalog.FindBound(ReactorId{}, TableSlot{0}));
+  EXPECT_EQ(nullptr, catalog.FindBound(ReactorId{3}, TableSlot{}));
+}
+
 }  // namespace
 }  // namespace reactdb

@@ -93,6 +93,12 @@ struct SmallbankRig {
     return smallbank::CustomerName(container * kPerContainer +
                                    1 + (slot % (kPerContainer - 1)));
   }
+  /// Same customer as a pre-resolved handle (destination cells built from
+  /// these dispatch without any per-call string hash).
+  ReactorId CustomerIdOn(int container, int64_t slot) const {
+    return handles.customers[static_cast<size_t>(
+        container * kPerContainer + 1 + (slot % (kPerContainer - 1)))];
+  }
 
   /// A handle-resolved request invoking `call` on the source account (the
   /// name strings stay empty — the driver submits by handle).

@@ -11,10 +11,10 @@ double Measure(smallbank::Formulation form, int size, bool local) {
   SmallbankRig rig = SmallbankRig::Create();
   int64_t slot = 0;
   auto gen = [&rig, &slot, size, local, form](int) {
-    std::vector<std::string> dsts;
+    std::vector<ReactorId> dsts;
     for (int j = 0; j < size; ++j) {
       int container = local ? 0 : j % SmallbankRig::kContainers;
-      dsts.push_back(rig.CustomerOn(container, slot++));
+      dsts.push_back(rig.CustomerIdOn(container, slot++));
     }
     auto call = smallbank::MakeMultiTransfer(form, 1.0, dsts);
     return rig.SourceRequest(std::move(call));

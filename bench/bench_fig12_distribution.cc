@@ -16,27 +16,27 @@ double Measure(Variant variant, int spanned, uint64_t seed) {
   int64_t slot = 0;
   auto rng = std::make_shared<Rng>(seed);
   auto gen = [&rig, &slot, variant, spanned, rng](int) {
-    std::vector<std::string> dsts;
+    std::vector<ReactorId> dsts;
     switch (variant) {
       case Variant::kRoundRobinRemote:
         // 7-k+1 local destinations, then one on each of containers
         // 1..k-1.
         for (int j = 0; j < kSize - spanned + 1; ++j) {
-          dsts.push_back(rig.CustomerOn(0, slot++));
+          dsts.push_back(rig.CustomerIdOn(0, slot++));
         }
         for (int c = 1; c < spanned; ++c) {
-          dsts.push_back(rig.CustomerOn(c, slot++));
+          dsts.push_back(rig.CustomerIdOn(c, slot++));
         }
         break;
       case Variant::kRoundRobinAll:
         // Destinations dealt round-robin over the k spanned containers.
         for (int j = 0; j < kSize; ++j) {
-          dsts.push_back(rig.CustomerOn(j % spanned, slot++));
+          dsts.push_back(rig.CustomerIdOn(j % spanned, slot++));
         }
         break;
       case Variant::kRandom:
         for (int j = 0; j < kSize; ++j) {
-          dsts.push_back(rig.CustomerOn(
+          dsts.push_back(rig.CustomerIdOn(
               static_cast<int>(rng->NextInt(0, SmallbankRig::kContainers - 1)),
               slot++));
         }

@@ -16,6 +16,9 @@ struct ExchangeRig {
   // Pre-resolved handles of the target reactor/procedure (load time).
   ReactorId reactor_id;
   ProcId proc_id;
+  // Pre-resolved provider handles (partitioned strategies only; the classic
+  // formulation keys relation data by provider name and takes the string).
+  std::vector<ReactorId> providers;
 };
 
 ExchangeRig MakeRig(const std::string& strategy) {
@@ -41,8 +44,10 @@ ExchangeRig MakeRig(const std::string& strategy) {
     rig.reactor = exchange::ExchangeName();
     bool qp = strategy == "query-parallelism";
     rig.proc = qp ? "auth_pay_qp" : "auth_pay";
-    rig.reactor_id = exchange::ResolveHandles(rig.rt.get()).exchange;
+    exchange::Handles handles = exchange::ResolveHandles(rig.rt.get());
+    rig.reactor_id = handles.exchange;
     rig.proc_id = qp ? exchange::kAuthPayQpProc : exchange::kAuthPayProc;
+    rig.providers = handles.providers;
   }
   return rig;
 }
@@ -53,17 +58,26 @@ double MeasureOn(ExchangeRig* rig, int64_t nrandoms, uint64_t seed) {
   std::string proc = rig->proc;
   ReactorId reactor_id = rig->reactor_id;
   ProcId proc_id = rig->proc_id;
-  auto gen = [rng, reactor, proc, reactor_id, proc_id, nrandoms](int) {
+  std::vector<ReactorId> providers = rig->providers;
+  auto gen = [rng, reactor, proc, reactor_id, proc_id, providers,
+              nrandoms](int) {
     harness::Request req;
     req.reactor = reactor;
     req.proc = proc;
     req.reactor_id = reactor_id;
     req.proc_id = proc_id;
-    std::string provider =
-        exchange::ProviderName(static_cast<int>(rng->NextInt(1, 15)));
-    req.args = exchange::AuthPayArgs(provider, rng->NextInt(1, 100000),
-                                     static_cast<double>(rng->NextInt(1, 450)),
-                                     nrandoms);
+    int pick = static_cast<int>(rng->NextInt(1, 15));
+    if (providers.empty()) {
+      // Classic formulation: the provider cell keys relation data by name.
+      req.args = exchange::AuthPayArgs(
+          exchange::ProviderName(pick), rng->NextInt(1, 100000),
+          static_cast<double>(rng->NextInt(1, 450)), nrandoms);
+    } else {
+      // Pre-resolved destination handle (no per-call string hash).
+      req.args = exchange::AuthPayArgs(
+          providers[static_cast<size_t>(pick - 1)], rng->NextInt(1, 100000),
+          static_cast<double>(rng->NextInt(1, 450)), nrandoms);
+    }
     return req;
   };
   // Long virtual epochs: at 10^6 randoms a sequential auth_pay runs for

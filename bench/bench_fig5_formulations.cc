@@ -27,9 +27,10 @@ void Run() {
       Formulation form = kForms[f];
       auto gen = [&rig, &slot, size, form](int) {
         // Destination j on container j (container 0 == source's).
-        std::vector<std::string> dsts;
+        std::vector<ReactorId> dsts;
         for (int j = 0; j < size; ++j) {
-          dsts.push_back(rig.CustomerOn(j % SmallbankRig::kContainers, slot++));
+          dsts.push_back(
+              rig.CustomerIdOn(j % SmallbankRig::kContainers, slot++));
         }
         auto call = smallbank::MakeMultiTransfer(form, 1.0, dsts);
         return rig.SourceRequest(std::move(call));

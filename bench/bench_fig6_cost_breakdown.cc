@@ -18,9 +18,9 @@ Observed Measure(smallbank::Formulation form, int size) {
   SmallbankRig rig = SmallbankRig::Create();
   int64_t slot = 0;
   auto gen = [&rig, &slot, size, form](int) {
-    std::vector<std::string> dsts;
+    std::vector<ReactorId> dsts;
     for (int j = 0; j < size; ++j) {
-      dsts.push_back(rig.CustomerOn(j % SmallbankRig::kContainers, slot++));
+      dsts.push_back(rig.CustomerIdOn(j % SmallbankRig::kContainers, slot++));
     }
     auto call = smallbank::MakeMultiTransfer(form, 1.0, dsts);
     return rig.SourceRequest(std::move(call));

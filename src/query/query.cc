@@ -90,24 +90,16 @@ Status Select::ForEach(SiloTxn* txn, uint32_t container,
                       : txn->Scan(table_, key_lo_, key_hi_, -1, filtered,
                                   container);
     case AccessPath::kIndex: {
-      size_t pos = 0;
-      bool found = false;
-      const auto& defs = schema.secondary_indexes();
-      for (size_t i = 0; i < defs.size(); ++i) {
-        if (defs[i].name == index_name_) {
-          pos = i;
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
+      int pos = table_->secondary_pos(index_name_);
+      if (pos < 0) {
         return Status::InvalidArgument("no index " + index_name_ + " on " +
                                        table_->name());
       }
-      return reverse_ ? txn->ReverseScanSecondary(table_, pos, key_lo_, -1,
-                                                  filtered, container)
-                      : txn->ScanSecondary(table_, pos, key_lo_, -1, filtered,
-                                           container);
+      size_t index_pos = static_cast<size_t>(pos);
+      return reverse_ ? txn->ReverseScanSecondary(table_, index_pos, key_lo_,
+                                                  -1, filtered, container)
+                      : txn->ScanSecondary(table_, index_pos, key_lo_, -1,
+                                           filtered, container);
     }
     case AccessPath::kFullScan:
       return reverse_

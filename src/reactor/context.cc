@@ -77,19 +77,20 @@ Status TxnContext::Insert(const std::string& table_name, const Row& row) {
   return s;
 }
 
-Status TxnContext::Update(TableSlot slot, const Row& key, Row new_row) {
+Status TxnContext::Update(TableSlot slot, const Row& key,
+                          const Row& new_row) {
   REACTDB_ASSIGN_OR_RETURN(Table * t, table(slot));
   TxnOpStats before = frame_->root->txn.stats();
-  Status s = frame_->root->txn.Update(t, key, std::move(new_row), container());
+  Status s = frame_->root->txn.Update(t, key, new_row, container());
   ChargeDelta(before);
   return s;
 }
 
 Status TxnContext::Update(const std::string& table_name, const Row& key,
-                          Row new_row) {
+                          const Row& new_row) {
   REACTDB_ASSIGN_OR_RETURN(Table * t, table(table_name));
   TxnOpStats before = frame_->root->txn.stats();
-  Status s = frame_->root->txn.Update(t, key, std::move(new_row), container());
+  Status s = frame_->root->txn.Update(t, key, new_row, container());
   ChargeDelta(before);
   return s;
 }
@@ -184,6 +185,15 @@ Future TxnContext::CallOn(const std::string& reactor_name, ProcId proc,
 Future TxnContext::CallOn(const std::string& reactor_name,
                           const std::string& proc_name, Row args) {
   return bridge_->Call(frame_, reactor_name, proc_name, std::move(args));
+}
+
+Future TxnContext::CallOn(const Value& target, ProcId proc, Row args) {
+  if (target.type() == ValueType::kInt64) {
+    return bridge_->Call(
+        frame_, ReactorId{static_cast<uint32_t>(target.AsInt64())}, proc,
+        std::move(args));
+  }
+  return bridge_->Call(frame_, target.AsString(), proc, std::move(args));
 }
 
 void TxnContext::Compute(double micros) { bridge_->Compute(micros); }

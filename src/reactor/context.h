@@ -90,8 +90,9 @@ class TxnContext {
   StatusOr<Row> Get(const std::string& table_name, const Row& key);
   Status Insert(TableSlot slot, const Row& row);
   Status Insert(const std::string& table_name, const Row& row);
-  Status Update(TableSlot slot, const Row& key, Row new_row);
-  Status Update(const std::string& table_name, const Row& key, Row new_row);
+  Status Update(TableSlot slot, const Row& key, const Row& new_row);
+  Status Update(const std::string& table_name, const Row& key,
+                const Row& new_row);
   Status Delete(TableSlot slot, const Row& key);
   Status Delete(const std::string& table_name, const Row& key);
 
@@ -119,6 +120,11 @@ class TxnContext {
   Future CallOn(const std::string& reactor_name, ProcId proc, Row args);
   Future CallOn(const std::string& reactor_name, const std::string& proc_name,
                 Row args);
+  /// Dynamic target taken from a procedure-argument cell: an INT64 cell is
+  /// a pre-resolved ReactorId handle (clients resolve destination names at
+  /// submit time — no per-call string hash), a STRING cell is a reactor
+  /// name resolved per call (legacy argument convention).
+  Future CallOn(const Value& target, ProcId proc, Row args);
 
   /// Explicitly modeled computation (e.g. sim_risk).
   void Compute(double micros);

@@ -45,6 +45,12 @@ struct RootTxn {
 
   SiloTxn txn;
 
+  /// Arena backing `txn`'s sets and buffers, acquired from the home
+  /// executor's pool at StartRoot and released (reset) at finalization,
+  /// after this RootTxn is destroyed. Null until the root starts executing
+  /// (and for roots discarded before starting).
+  Arena* arena = nullptr;
+
   /// Sub-transaction id source (0 is the root frame itself).
   std::atomic<uint64_t> next_subtxn_id{1};
 

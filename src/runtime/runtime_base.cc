@@ -362,6 +362,10 @@ Status RuntimeBase::Submit(const std::string& reactor_name,
 void RuntimeBase::StartRoot(RootTxn* root, Reactor* reactor, const ProcFn* fn,
                             uint32_t executor, Row args) {
   PinExecutor(executor);
+  // Bind a per-executor transaction arena for the root's whole lifetime;
+  // FinalizeRoot releases (resets) it on this same executor.
+  root->arena = executors_[executor]->arenas.Acquire();
+  root->txn.BindArena(root->arena);
   auto* frame = new TxnFrame();
   frame->root = root;
   frame->parent = nullptr;
@@ -630,7 +634,7 @@ void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
     // Multi-container transaction: broadcast the decision record each
     // participant would receive from distributed 2PC (commit is still the
     // centralized Silo validation — participants take no action yet).
-    const std::set<uint32_t>& touched = root->txn.containers_touched();
+    const ContainerSet& touched = root->txn.containers_touched();
     uint32_t home_container = executors_[executor]->container;
     if (touched.size() > 1) {
       for (uint32_t participant : touched) {
@@ -656,7 +660,12 @@ void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
     epochs_.Advance();
   }
   if (done) done(std::move(outcome), *root);
+  Arena* arena = root->arena;
   delete root;
+  // Reset only after the RootTxn (and with it every pointer into the arena)
+  // is gone. FinalizeRoot runs on the root's executor, so the pool access
+  // is single-threaded.
+  if (arena != nullptr) executors_[executor]->arenas.Release(arena);
 }
 
 Status RuntimeBase::RunDirect(const std::function<Status(SiloTxn&)>& fn) {

@@ -118,6 +118,11 @@ class RuntimeBase : public CallBridge {
     TidSource tids;
     size_t epoch_slot = 0;
     std::atomic<int> open_frames{0};
+    /// Transaction arenas owned by this executor: one is bound to each root
+    /// it starts and reclaimed when that root finalizes (both on this
+    /// executor, so the pool needs no locking). See ROADMAP "Allocation
+    /// discipline".
+    ArenaPool arenas;
   };
 
   // --- Scheduling primitives (subclass-provided) ----------------------------

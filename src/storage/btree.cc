@@ -32,7 +32,7 @@ uint64_t BTree::LeafVersion(const LeafNode* leaf) {
   return leaf->version.load(std::memory_order_acquire);
 }
 
-BTree::LeafNode* BTree::FindLeaf(const std::string& key) const {
+BTree::LeafNode* BTree::FindLeaf(std::string_view key) const {
   void* node = root_;
   for (int level = height_; level > 0; --level) {
     auto* inner = static_cast<InnerNode*>(node);
@@ -45,7 +45,7 @@ BTree::LeafNode* BTree::FindLeaf(const std::string& key) const {
   return static_cast<LeafNode*>(node);
 }
 
-BTree::LookupResult BTree::Get(const std::string& key) const {
+BTree::LookupResult BTree::Get(std::string_view key) const {
   std::shared_lock<std::shared_mutex> lock(latch_);
   LeafNode* leaf = FindLeaf(key);
   LookupResult result;
@@ -58,7 +58,7 @@ BTree::LookupResult BTree::Get(const std::string& key) const {
   return result;
 }
 
-BTree::InsertResult BTree::GetOrInsert(const std::string& key) {
+BTree::InsertResult BTree::GetOrInsert(std::string_view key) {
   std::unique_lock<std::shared_mutex> lock(latch_);
   InsertResult result;
   SplitInfo split = InsertRec(root_, height_, key, &result);
@@ -74,7 +74,8 @@ BTree::InsertResult BTree::GetOrInsert(const std::string& key) {
   return result;
 }
 
-BTree::SplitInfo BTree::InsertRec(void* node, int level, const std::string& key,
+BTree::SplitInfo BTree::InsertRec(void* node, int level,
+                                  std::string_view key,
                                   InsertResult* result) {
   if (level == 0) {
     auto* leaf = static_cast<LeafNode*>(node);
@@ -90,7 +91,8 @@ BTree::SplitInfo BTree::InsertRec(void* node, int level, const std::string& key,
     }
     auto* rec = new Record();
     result->version_before = LeafVersion(leaf);
-    leaf->keys.insert(leaf->keys.begin() + static_cast<long>(pos), key);
+    leaf->keys.insert(leaf->keys.begin() + static_cast<long>(pos),
+                      std::string(key));
     leaf->records.insert(leaf->records.begin() + static_cast<long>(pos), rec);
     leaf->version.fetch_add(1, std::memory_order_acq_rel);
     size_.fetch_add(1, std::memory_order_relaxed);
@@ -159,7 +161,7 @@ BTree::SplitInfo BTree::InsertRec(void* node, int level, const std::string& key,
   return info;
 }
 
-void BTree::Scan(const std::string& lo, const std::string& hi,
+void BTree::Scan(std::string_view lo, std::string_view hi,
                  const ScanCallback& cb, const NodeCallback& node_cb) const {
   std::shared_lock<std::shared_mutex> lock(latch_);
   LeafNode* leaf = FindLeaf(lo);
@@ -175,7 +177,7 @@ void BTree::Scan(const std::string& lo, const std::string& hi,
   }
 }
 
-void BTree::ReverseScan(const std::string& lo, const std::string& hi,
+void BTree::ReverseScan(std::string_view lo, std::string_view hi,
                         const ScanCallback& cb,
                         const NodeCallback& node_cb) const {
   std::shared_lock<std::shared_mutex> lock(latch_);

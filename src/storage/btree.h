@@ -20,6 +20,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/storage/record.h"
@@ -64,21 +65,21 @@ class BTree {
   BTree(const BTree&) = delete;
   BTree& operator=(const BTree&) = delete;
 
-  /// Point lookup.
-  LookupResult Get(const std::string& key) const;
+  /// Point lookup. The key bytes need only live for the call.
+  LookupResult Get(std::string_view key) const;
 
   /// Finds the record for `key`, inserting a fresh absent record if none
   /// exists.
-  InsertResult GetOrInsert(const std::string& key);
+  InsertResult GetOrInsert(std::string_view key);
 
   /// Forward scan over [lo, hi). An empty `hi` means unbounded. Visits every
   /// leaf overlapping the range through `node_cb` (if provided), and every
   /// present key through `cb`.
-  void Scan(const std::string& lo, const std::string& hi, const ScanCallback& cb,
+  void Scan(std::string_view lo, std::string_view hi, const ScanCallback& cb,
             const NodeCallback& node_cb = nullptr) const;
 
   /// Reverse scan over [lo, hi), visiting keys in descending order.
-  void ReverseScan(const std::string& lo, const std::string& hi,
+  void ReverseScan(std::string_view lo, std::string_view hi,
                    const ScanCallback& cb,
                    const NodeCallback& node_cb = nullptr) const;
 
@@ -113,8 +114,8 @@ class BTree {
     void* right = nullptr;
   };
 
-  LeafNode* FindLeaf(const std::string& key) const;
-  SplitInfo InsertRec(void* node, int level, const std::string& key,
+  LeafNode* FindLeaf(std::string_view key) const;
+  SplitInfo InsertRec(void* node, int level, std::string_view key,
                       InsertResult* result);
   void FreeNode(void* node, int level);
 

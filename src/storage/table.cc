@@ -3,26 +3,54 @@
 namespace reactdb {
 
 Table::Table(Schema schema) : schema_(std::move(schema)) {
-  for (size_t i = 0; i < schema_.secondary_indexes().size(); ++i) {
+  const auto& defs = schema_.secondary_indexes();
+  for (size_t i = 0; i < defs.size(); ++i) {
     secondary_.push_back(std::make_unique<BTree>());
+    secondary_pos_.emplace(defs[i].name, i);
   }
 }
 
 BTree* Table::secondary(const std::string& index_name) {
-  const auto& defs = schema_.secondary_indexes();
-  for (size_t i = 0; i < defs.size(); ++i) {
-    if (defs[i].name == index_name) return secondary_[i].get();
+  auto it = secondary_pos_.find(index_name);
+  return it == secondary_pos_.end() ? nullptr : secondary_[it->second].get();
+}
+
+int Table::secondary_pos(const std::string& index_name) const {
+  auto it = secondary_pos_.find(index_name);
+  return it == secondary_pos_.end() ? -1 : static_cast<int>(it->second);
+}
+
+void Table::EncodeRowKeyTo(const Row& row, KeyBuf* out) const {
+  out->clear();
+  for (int id : schema_.key_column_ids()) {
+    EncodeValue(row[static_cast<size_t>(id)], out);
   }
-  return nullptr;
+}
+
+void Table::EncodeSecondaryEntryTo(size_t index_pos, const Row& row,
+                                   KeyBuf* out) const {
+  EncodeSecondaryEntryTo(index_pos, row.data(), out);
+}
+
+void Table::EncodeSecondaryEntryTo(size_t index_pos, const Value* cells,
+                                   KeyBuf* out) const {
+  const SecondaryIndexDef& def = schema_.secondary_indexes()[index_pos];
+  out->clear();
+  for (int id : def.column_ids) EncodeValue(cells[id], out);
+  for (int id : schema_.key_column_ids()) EncodeValue(cells[id], out);
 }
 
 std::string Table::EncodeSecondaryEntry(size_t index_pos,
                                         const Row& row) const {
-  const SecondaryIndexDef& def = schema_.secondary_indexes()[index_pos];
-  Row entry = schema_.ExtractIndexKey(def, row);
-  Row pk = schema_.ExtractKey(row);
-  for (Value& v : pk) entry.push_back(std::move(v));
-  return EncodeKey(entry);
+  KeyBuf buf;
+  EncodeSecondaryEntryTo(index_pos, row, &buf);
+  return buf.ToString();
+}
+
+void Table::EncodeSecondaryPrefixTo(size_t index_pos, const Row& index_key,
+                                    KeyBuf* out) const {
+  (void)index_pos;
+  EncodeKeyTo(index_key, out);
 }
 
 std::string Table::EncodeSecondaryPrefix(size_t index_pos,

@@ -8,16 +8,22 @@
 //   (indexed columns ++ primary key) -> Record*  (the primary record)
 // so that index entries are unique and updates are tombstone-free on the
 // primary. Index maintenance is performed eagerly by the transaction layer.
+//
+// The *To encoders write into a caller-provided KeyBuf and gather key
+// columns straight out of the source row — no intermediate Row or
+// std::string materialization on the transaction hot path.
 
 #ifndef REACTDB_STORAGE_TABLE_H_
 #define REACTDB_STORAGE_TABLE_H_
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/storage/btree.h"
 #include "src/storage/schema.h"
+#include "src/util/arena.h"
 #include "src/util/keycodec.h"
 
 namespace reactdb {
@@ -36,24 +42,44 @@ class Table {
   size_t num_secondary_indexes() const { return secondary_.size(); }
   /// Secondary index by position in schema().secondary_indexes().
   BTree& secondary(size_t i) { return *secondary_[i]; }
-  /// Secondary index by name; null if absent.
+  /// Secondary index by name; null if absent. O(1) via a name -> position
+  /// map built at construction.
   BTree* secondary(const std::string& index_name);
+  /// Position of a secondary index by name, or -1.
+  int secondary_pos(const std::string& index_name) const;
 
   /// Encodes a primary key row.
   std::string EncodePrimaryKey(const Row& key) const {
     return EncodeKey(key);
   }
+  /// Replaces `out` with the encoding of a primary key row.
+  void EncodePrimaryKeyTo(const Row& key, KeyBuf* out) const {
+    EncodeKeyTo(key, out);
+  }
+  /// Replaces `out` with the encoding of the primary key *columns of a full
+  /// row* (gathered through schema().key_column_ids()).
+  void EncodeRowKeyTo(const Row& row, KeyBuf* out) const;
+
   /// Encodes the secondary-index entry key for a full row: indexed columns
   /// followed by the primary key.
   std::string EncodeSecondaryEntry(size_t index_pos, const Row& row) const;
+  void EncodeSecondaryEntryTo(size_t index_pos, const Row& row,
+                              KeyBuf* out) const;
+  /// Same, gathering from a bare cell array (a buffered write row).
+  void EncodeSecondaryEntryTo(size_t index_pos, const Value* cells,
+                              KeyBuf* out) const;
+
   /// Encodes a secondary-index search prefix from just the indexed columns.
   std::string EncodeSecondaryPrefix(size_t index_pos,
                                     const Row& index_key) const;
+  void EncodeSecondaryPrefixTo(size_t index_pos, const Row& index_key,
+                               KeyBuf* out) const;
 
  private:
   Schema schema_;
   BTree primary_;
   std::vector<std::unique_ptr<BTree>> secondary_;
+  std::unordered_map<std::string, size_t> secondary_pos_;
 };
 
 }  // namespace reactdb

@@ -5,7 +5,7 @@
 
 namespace reactdb {
 
-EpochManager::EpochManager() = default;
+EpochManager::EpochManager() { row_pool_.reserve(kRowPoolCap); }
 
 EpochManager::~EpochManager() {
   StopTicker();
@@ -38,7 +38,7 @@ void EpochManager::LeaveEpoch(size_t slot) {
 void EpochManager::Retire(const Row* row) {
   if (row == nullptr) return;
   std::lock_guard<std::mutex> lock(retire_mu_);
-  retired_.emplace_back(current(), row);
+  retired_.push_back(current(), row);
   // Amortized collection to bound memory even without epoch ticks.
   if (retired_.size() % 4096 == 0) {
     CollectLocked(MinActiveEpoch());
@@ -56,12 +56,43 @@ uint64_t EpochManager::MinActiveEpoch() const {
 }
 
 void EpochManager::CollectLocked(uint64_t min_active) {
-  // A row retired in epoch e is safe to free when every executor is past
-  // e + 1 (readers copy the epoch at transaction begin).
+  // A row retired in epoch e is safe to reuse when every executor is past
+  // e + 1 (readers copy the epoch at transaction begin). Safe rows are
+  // recycled into the install pool (keeping their element capacity warm)
+  // rather than freed; the pool bound keeps a burst from pinning memory.
   while (!retired_.empty() && retired_.front().first + 1 < min_active) {
-    delete retired_.front().second;
+    const Row* row = retired_.front().second;
+    if (row_pool_.size() < kRowPoolCap) {
+      row_pool_.push_back(const_cast<Row*>(row));
+    } else {
+      delete row;
+    }
     retired_.pop_front();
   }
+}
+
+Row* EpochManager::ExchangeRow(const Row* replaced) {
+  Row* fresh = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    if (replaced != nullptr) {
+      retired_.push_back(current(), replaced);
+      // Amortized collection to bound memory even without epoch ticks.
+      if (retired_.size() % 4096 == 0) {
+        CollectLocked(MinActiveEpoch());
+      }
+    }
+    if (!row_pool_.empty()) {
+      fresh = row_pool_.back();
+      row_pool_.pop_back();
+    }
+  }
+  return fresh != nullptr ? fresh : new Row();
+}
+
+size_t EpochManager::row_pool_size() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return row_pool_.size();
 }
 
 void EpochManager::StartTicker(uint64_t interval_ms) {
@@ -95,8 +126,12 @@ void EpochManager::StopTicker() {
 
 void EpochManager::DrainAll() {
   std::lock_guard<std::mutex> lock(retire_mu_);
-  for (auto& [epoch, row] : retired_) delete row;
-  retired_.clear();
+  while (!retired_.empty()) {
+    delete retired_.front().second;
+    retired_.pop_front();
+  }
+  for (Row* row : row_pool_) delete row;
+  row_pool_.clear();
 }
 
 size_t EpochManager::retired_count() const {

@@ -17,9 +17,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/util/value.h"
@@ -58,6 +58,16 @@ class EpochManager {
   /// Queues a replaced row version for deferred deletion.
   void Retire(const Row* row);
 
+  /// Commit-install row exchange: retires `replaced` (null for inserts over
+  /// tombstones) and takes a recycled Row in a single lock acquisition —
+  /// the install loop runs while the committer holds its write-set locks,
+  /// so lock traffic here is on the critical section. Reclaimed rows are
+  /// recycled (warm capacity) instead of freed, so a steady-state install
+  /// performs no heap allocation.
+  Row* ExchangeRow(const Row* replaced);
+
+  size_t row_pool_size() const;
+
   /// Starts/stops a background thread advancing the epoch periodically
   /// (real-thread runtime only).
   void StartTicker(uint64_t interval_ms);
@@ -78,8 +88,47 @@ class EpochManager {
   mutable std::mutex slots_mu_;
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> slots_;
 
+  /// FIFO of (retire epoch, row), oldest first. A ring over a vector rather
+  /// than a deque: steady-state push/pop cycles touch no allocator (deque
+  /// chunk churn would otherwise break the zero-allocation hot path).
+  class RetiredRing {
+   public:
+    void push_back(uint64_t epoch, const Row* row) {
+      if (count_ == buf_.size()) Grow();
+      buf_[(head_ + count_) & (buf_.size() - 1)] = {epoch, row};
+      ++count_;
+    }
+    const std::pair<uint64_t, const Row*>& front() const {
+      return buf_[head_];
+    }
+    void pop_front() {
+      head_ = (head_ + 1) & (buf_.size() - 1);
+      --count_;
+    }
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
+
+   private:
+    void Grow() {
+      size_t new_cap = buf_.empty() ? 1024 : buf_.size() * 2;
+      std::vector<std::pair<uint64_t, const Row*>> fresh(new_cap);
+      for (size_t i = 0; i < count_; ++i) {
+        fresh[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+      }
+      buf_ = std::move(fresh);
+      head_ = 0;
+    }
+
+    std::vector<std::pair<uint64_t, const Row*>> buf_;  // size is a power of 2
+    size_t head_ = 0;
+    size_t count_ = 0;
+  };
+
   mutable std::mutex retire_mu_;
-  std::deque<std::pair<uint64_t, const Row*>> retired_;
+  RetiredRing retired_;
+  /// Recycled rows awaiting reuse by ExchangeRow. Bounded; overflow frees.
+  static constexpr size_t kRowPoolCap = 4096;
+  std::vector<Row*> row_pool_;
 
   std::thread ticker_;
   std::mutex ticker_mu_;

@@ -16,69 +16,108 @@ uint64_t TidSource::NextCommitTid(uint64_t observed_max, uint64_t epoch) {
   return candidate;
 }
 
-SiloTxn::SiloTxn(EpochManager* epochs) : epochs_(epochs) {}
+SiloTxn::SiloTxn(EpochManager* epochs, Arena* arena)
+    : epochs_(epochs), arena_(arena) {}
 
 SiloTxn::~SiloTxn() {
-  if (!finished_) Abort();
+  if (!finished_) {
+    Abort();
+  } else {
+    DestroyWriteCells();
+  }
+}
+
+void SiloTxn::BindArena(Arena* arena) {
+  REACTDB_CHECK(read_set_.empty() && write_set_.empty() && node_set_.empty());
+  arena_ = arena;
 }
 
 void SiloTxn::TrackRead(Record* rec, uint64_t tid, uint32_t container) {
-  auto [it, inserted] = read_index_.emplace(rec, read_set_.size());
+  auto [idx, inserted] = read_index_.Emplace(
+      arena(), rec, static_cast<uint32_t>(read_set_.size()));
   if (!inserted) return;  // keep first observation
-  read_set_.push_back({rec, tid, container});
+  read_set_.push_back(arena_, {rec, tid, container});
 }
 
 void SiloTxn::TrackNode(BTree::LeafNode* leaf, uint64_t version,
                         uint32_t container) {
-  auto [it, inserted] = node_index_.emplace(leaf, node_set_.size());
+  auto [idx, inserted] = node_index_.Emplace(
+      arena(), leaf, static_cast<uint32_t>(node_set_.size()));
   if (!inserted) return;
-  node_set_.push_back({leaf, version, container});
+  node_set_.push_back(arena_, {leaf, version, container});
 }
 
 void SiloTxn::FixupNodeAfterOwnInsert(BTree::LeafNode* leaf, uint64_t before,
                                       uint64_t after) {
-  auto it = node_index_.find(leaf);
-  if (it == node_index_.end()) return;
-  NodeEntry& entry = node_set_[it->second];
+  uint32_t idx = node_index_.Find(leaf);
+  if (idx == PtrIndex::kNpos) return;
+  NodeEntry& entry = node_set_[idx];
   // Only absorb our own bump; a foreign change in between must still fail
   // validation.
   if (entry.version == before) entry.version = after;
 }
 
-size_t SiloTxn::Buffer(Record* rec, Row new_row, WriteKind kind,
-                       uint32_t container) {
-  auto it = write_index_.find(rec);
-  if (it != write_index_.end()) {
-    WriteEntry& entry = write_set_[it->second];
+Value* SiloTxn::CopyCells(const Row& src, const int* ids, uint32_t n) {
+  Value* cells = arena()->AllocateArrayUninitialized<Value>(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const Value& v = ids == nullptr ? src[i] : src[static_cast<size_t>(ids[i])];
+    new (&cells[i]) Value(v);
+  }
+  return cells;
+}
+
+void SiloTxn::Buffer(Record* rec, Value* cells, uint32_t num_cells,
+                     WriteKind kind, uint32_t container) {
+  uint32_t idx = write_index_.Find(rec);
+  if (idx != PtrIndex::kNpos) {
+    WriteEntry& entry = write_set_[idx];
+    if (entry.cells != nullptr) {
+      for (uint32_t i = 0; i < entry.num_cells; ++i) entry.cells[i].~Value();
+    }
     // An update over a pending insert must still install as an insert
     // (clear the absent bit); a delete always installs as a delete.
     if (kind == WriteKind::kUpdate && entry.kind == WriteKind::kInsert) {
-      entry.new_row = std::move(new_row);
+      // keep kInsert
     } else if (kind == WriteKind::kInsert &&
                entry.kind == WriteKind::kDelete) {
       // delete-then-insert in one transaction = replace
       entry.kind = WriteKind::kUpdate;
-      entry.new_row = std::move(new_row);
     } else {
       entry.kind = kind;
-      entry.new_row = std::move(new_row);
     }
-    return it->second;
+    entry.cells = cells;
+    entry.num_cells = num_cells;
+    return;
   }
-  write_set_.push_back({rec, std::move(new_row), kind, container});
-  write_index_.emplace(rec, write_set_.size() - 1);
-  return write_set_.size() - 1;
+  write_set_.push_back(arena(),
+                       {rec, cells, num_cells, kind, container});
+  write_index_.Emplace(arena_, rec,
+                       static_cast<uint32_t>(write_set_.size() - 1));
 }
+
+namespace {
+
+// Derives the exclusive upper bound of a prefix range: hi = successor(lo).
+void MakePrefixUpperBound(const KeyBuf& lo, KeyBuf* hi) {
+  hi->clear();
+  hi->append(lo.data(), lo.size());
+  PrefixSuccessorInPlace(hi);
+}
+
+}  // namespace
 
 SiloTxn::WriteEntry* SiloTxn::PendingWrite(Record* rec) {
-  auto it = write_index_.find(rec);
-  return it == write_index_.end() ? nullptr : &write_set_[it->second];
+  uint32_t idx = write_index_.Find(rec);
+  return idx == PtrIndex::kNpos ? nullptr : &write_set_[idx];
 }
 
-StatusOr<Row> SiloTxn::Get(Table* table, const Row& key, uint32_t container) {
-  containers_.insert(container);
+Status SiloTxn::LocateVisible(Table* table, const Row& key,
+                              uint32_t container, Record** rec,
+                              const Value** cells, uint32_t* num_cells) {
   stats_.point_reads++;
-  BTree::LookupResult lookup = table->primary().Get(EncodeKey(key));
+  KeyBuf keybuf(arena_);
+  table->EncodePrimaryKeyTo(key, &keybuf);
+  BTree::LookupResult lookup = table->primary().Get(keybuf.view());
   if (lookup.record == nullptr) {
     TrackNode(lookup.leaf, lookup.leaf_version, container);
     return Status::NotFound("no row " + RowToString(key) + " in " +
@@ -88,7 +127,10 @@ StatusOr<Row> SiloTxn::Get(Table* table, const Row& key, uint32_t container) {
     if (pending->kind == WriteKind::kDelete) {
       return Status::NotFound("row deleted in this txn");
     }
-    return pending->new_row;
+    *rec = lookup.record;
+    *cells = pending->cells;
+    *num_cells = pending->num_cells;
+    return Status::OK();
   }
   RecordSnapshot snap = ReadRecord(*lookup.record);
   TrackRead(lookup.record, snap.tid, container);
@@ -96,11 +138,33 @@ StatusOr<Row> SiloTxn::Get(Table* table, const Row& key, uint32_t container) {
     return Status::NotFound("no row " + RowToString(key) + " in " +
                             table->name());
   }
-  return *snap.row;
+  *rec = lookup.record;
+  *cells = snap.row->data();
+  *num_cells = static_cast<uint32_t>(snap.row->size());
+  return Status::OK();
 }
 
-Status SiloTxn::InsertEntry(BTree* tree, const std::string& key,
-                            Row stored_row, uint32_t container) {
+Status SiloTxn::GetInto(Table* table, const Row& key, Row* out,
+                        uint32_t container) {
+  containers_.insert(arena(), container);
+  Record* rec = nullptr;
+  const Value* cells = nullptr;
+  uint32_t num_cells = 0;
+  REACTDB_RETURN_IF_ERROR(
+      LocateVisible(table, key, container, &rec, &cells, &num_cells));
+  out->assign(cells, cells + num_cells);
+  return Status::OK();
+}
+
+StatusOr<Row> SiloTxn::Get(Table* table, const Row& key, uint32_t container) {
+  Row out;
+  REACTDB_RETURN_IF_ERROR(GetInto(table, key, &out, container));
+  return out;
+}
+
+Status SiloTxn::InsertEntry(BTree* tree, std::string_view key, const Row& src,
+                            const int* ids, uint32_t num_cells,
+                            uint32_t container) {
   BTree::InsertResult result = tree->GetOrInsert(key);
   if (result.created) {
     TrackRead(result.record,
@@ -120,88 +184,112 @@ Status SiloTxn::InsertEntry(BTree* tree, const std::string& key,
       }
     }
   }
-  Buffer(result.record, std::move(stored_row), WriteKind::kInsert, container);
+  // All checks passed: gather the stored row into the arena and buffer it.
+  Buffer(result.record, CopyCells(src, ids, num_cells), num_cells,
+         WriteKind::kInsert, container);
   return Status::OK();
 }
 
 Status SiloTxn::Insert(Table* table, const Row& row, uint32_t container) {
-  containers_.insert(container);
+  containers_.insert(arena(), container);
   REACTDB_RETURN_IF_ERROR(table->schema().ValidateRow(row));
-  Row pk = table->schema().ExtractKey(row);
-  REACTDB_RETURN_IF_ERROR(
-      InsertEntry(&table->primary(), EncodeKey(pk), row, container));
+  const std::vector<int>& kids = table->schema().key_column_ids();
+  KeyBuf keybuf(arena_);
+  table->EncodeRowKeyTo(row, &keybuf);
+  REACTDB_RETURN_IF_ERROR(InsertEntry(&table->primary(), keybuf.view(), row,
+                                      /*ids=*/nullptr,
+                                      static_cast<uint32_t>(row.size()),
+                                      container));
   for (size_t i = 0; i < table->num_secondary_indexes(); ++i) {
+    KeyBuf entrybuf(arena_);
+    table->EncodeSecondaryEntryTo(i, row, &entrybuf);
     REACTDB_RETURN_IF_ERROR(InsertEntry(
-        &table->secondary(i), table->EncodeSecondaryEntry(i, row), pk,
-        container));
+        &table->secondary(i), entrybuf.view(), row, kids.data(),
+        static_cast<uint32_t>(kids.size()), container));
   }
   stats_.writes += 1 + table->num_secondary_indexes();
   stats_.inserts++;
   return Status::OK();
 }
 
-Status SiloTxn::Update(Table* table, const Row& key, Row new_row,
+Status SiloTxn::Update(Table* table, const Row& key, const Row& new_row,
                        uint32_t container) {
-  containers_.insert(container);
+  containers_.insert(arena(), container);
   REACTDB_RETURN_IF_ERROR(table->schema().ValidateRow(new_row));
-  Row new_pk = table->schema().ExtractKey(new_row);
-  if (CompareRows(new_pk, key) != 0) {
+  const std::vector<int>& kids = table->schema().key_column_ids();
+  bool pk_unchanged = key.size() == kids.size();
+  for (size_t i = 0; pk_unchanged && i < kids.size(); ++i) {
+    pk_unchanged = new_row[static_cast<size_t>(kids[i])].Compare(key[i]) == 0;
+  }
+  if (!pk_unchanged) {
     return Status::InvalidArgument("update may not change the primary key");
   }
-  REACTDB_ASSIGN_OR_RETURN(Row old_row, Get(table, key, container));
-  BTree::LookupResult lookup = table->primary().Get(EncodeKey(key));
-  REACTDB_CHECK(lookup.record != nullptr);
-  Buffer(lookup.record, std::move(new_row), WriteKind::kUpdate, container);
-  // Copy: write_set_ may reallocate while buffering index-entry writes.
-  Row buffered = write_set_[write_index_[lookup.record]].new_row;
-  // Secondary maintenance: move entries whose indexed columns changed.
+  // Visible old version (tracked exactly like a point read).
+  Record* primary_rec = nullptr;
+  const Value* old_cells = nullptr;
+  uint32_t old_num_cells = 0;
+  REACTDB_RETURN_IF_ERROR(LocateVisible(table, key, container, &primary_rec,
+                                        &old_cells, &old_num_cells));
+  // Secondary maintenance first (it only touches entry records): move
+  // entries whose indexed columns changed. Buffering the primary last keeps
+  // `old_cells` valid throughout — Buffer destroys the cells it replaces.
   for (size_t i = 0; i < table->num_secondary_indexes(); ++i) {
-    std::string old_entry = table->EncodeSecondaryEntry(i, old_row);
-    std::string new_entry = table->EncodeSecondaryEntry(i, buffered);
-    if (old_entry == new_entry) continue;
-    BTree::LookupResult old_lookup = table->secondary(i).Get(old_entry);
+    KeyBuf old_entry(arena_);
+    table->EncodeSecondaryEntryTo(i, old_cells, &old_entry);
+    KeyBuf new_entry(arena_);
+    table->EncodeSecondaryEntryTo(i, new_row, &new_entry);
+    if (old_entry.view() == new_entry.view()) continue;
+    BTree::LookupResult old_lookup = table->secondary(i).Get(old_entry.view());
     if (old_lookup.record != nullptr) {
-      Buffer(old_lookup.record, {}, WriteKind::kDelete, container);
+      Buffer(old_lookup.record, nullptr, 0, WriteKind::kDelete, container);
     }
-    REACTDB_RETURN_IF_ERROR(InsertEntry(&table->secondary(i), new_entry,
-                                        table->schema().ExtractKey(buffered),
-                                        container));
+    REACTDB_RETURN_IF_ERROR(InsertEntry(
+        &table->secondary(i), new_entry.view(), new_row, kids.data(),
+        static_cast<uint32_t>(kids.size()), container));
   }
+  Buffer(primary_rec,
+         CopyCells(new_row, nullptr, static_cast<uint32_t>(new_row.size())),
+         static_cast<uint32_t>(new_row.size()), WriteKind::kUpdate, container);
   stats_.writes++;
   return Status::OK();
 }
 
 Status SiloTxn::Delete(Table* table, const Row& key, uint32_t container) {
-  containers_.insert(container);
-  REACTDB_ASSIGN_OR_RETURN(Row old_row, Get(table, key, container));
-  BTree::LookupResult lookup = table->primary().Get(EncodeKey(key));
-  REACTDB_CHECK(lookup.record != nullptr);
-  Buffer(lookup.record, {}, WriteKind::kDelete, container);
+  containers_.insert(arena(), container);
+  // Visible old version (tracked exactly like a point read).
+  Record* primary_rec = nullptr;
+  const Value* old_cells = nullptr;
+  uint32_t old_num_cells = 0;
+  REACTDB_RETURN_IF_ERROR(LocateVisible(table, key, container, &primary_rec,
+                                        &old_cells, &old_num_cells));
+  // Entry deletions first so `old_cells` stays valid (see Update).
   for (size_t i = 0; i < table->num_secondary_indexes(); ++i) {
-    std::string entry = table->EncodeSecondaryEntry(i, old_row);
-    BTree::LookupResult entry_lookup = table->secondary(i).Get(entry);
+    KeyBuf entrybuf(arena_);
+    table->EncodeSecondaryEntryTo(i, old_cells, &entrybuf);
+    BTree::LookupResult entry_lookup = table->secondary(i).Get(entrybuf.view());
     if (entry_lookup.record != nullptr) {
-      Buffer(entry_lookup.record, {}, WriteKind::kDelete, container);
+      Buffer(entry_lookup.record, nullptr, 0, WriteKind::kDelete, container);
     }
   }
+  Buffer(primary_rec, nullptr, 0, WriteKind::kDelete, container);
   stats_.writes++;
   return Status::OK();
 }
 
-Status SiloTxn::ScanInternal(Table* table, const std::string& lo,
-                             const std::string& hi, bool reverse,
-                             int64_t limit,
+Status SiloTxn::ScanInternal(Table* table, std::string_view lo,
+                             std::string_view hi, bool reverse, int64_t limit,
                              const std::function<bool(const Row&)>& cb,
                              uint32_t container) {
-  containers_.insert(container);
+  containers_.insert(arena(), container);
   // Candidates are materialized under the tree latch in chunks, and
   // visibility + callbacks run outside the latch between chunks, so that
   // limited scans over large relations do not materialize the whole range.
   constexpr size_t kChunk = 1024;
-  std::string cursor_lo = lo;
-  std::string cursor_hi = hi;
+  std::string cursor_lo(lo);
+  std::string cursor_hi(hi);
   int64_t delivered = 0;
   bool stopped = false;
+  Row pending_scratch;  // materialized view of own buffered rows
   while (!stopped) {
     std::vector<Record*> candidates;
     candidates.reserve(kChunk);
@@ -233,7 +321,9 @@ Status SiloTxn::ScanInternal(Table* table, const std::string& lo,
       const Row* row = nullptr;
       if (WriteEntry* pending = PendingWrite(rec)) {
         if (pending->kind == WriteKind::kDelete) continue;
-        row = &pending->new_row;
+        pending_scratch.assign(pending->cells,
+                               pending->cells + pending->num_cells);
+        row = &pending_scratch;
       } else {
         RecordSnapshot snap = ReadRecord(*rec);
         TrackRead(rec, snap.tid, container);
@@ -262,68 +352,60 @@ Status SiloTxn::ScanInternal(Table* table, const std::string& lo,
 Status SiloTxn::Scan(Table* table, const Row& lo, const Row& hi, int64_t limit,
                      const std::function<bool(const Row&)>& cb,
                      uint32_t container) {
-  return ScanInternal(table, EncodeKey(lo), hi.empty() ? "" : EncodeKey(hi),
-                      /*reverse=*/false, limit, cb, container);
+  KeyBuf lobuf(arena());
+  EncodeKeyTo(lo, &lobuf);
+  KeyBuf hibuf(arena_);
+  if (!hi.empty()) EncodeKeyTo(hi, &hibuf);
+  return ScanInternal(table, lobuf.view(), hibuf.view(), /*reverse=*/false,
+                      limit, cb, container);
 }
 
 Status SiloTxn::ReverseScan(Table* table, const Row& lo, const Row& hi,
                             int64_t limit,
                             const std::function<bool(const Row&)>& cb,
                             uint32_t container) {
-  return ScanInternal(table, EncodeKey(lo), hi.empty() ? "" : EncodeKey(hi),
-                      /*reverse=*/true, limit, cb, container);
+  KeyBuf lobuf(arena());
+  EncodeKeyTo(lo, &lobuf);
+  KeyBuf hibuf(arena_);
+  if (!hi.empty()) EncodeKeyTo(hi, &hibuf);
+  return ScanInternal(table, lobuf.view(), hibuf.view(), /*reverse=*/true,
+                      limit, cb, container);
 }
 
 Status SiloTxn::ScanPrefix(Table* table, const Row& prefix, int64_t limit,
                            const std::function<bool(const Row&)>& cb,
                            uint32_t container) {
-  std::string lo = EncodeKey(prefix);
-  return ScanInternal(table, lo, PrefixSuccessor(lo), /*reverse=*/false, limit,
-                      cb, container);
+  KeyBuf lobuf(arena());
+  EncodeKeyTo(prefix, &lobuf);
+  KeyBuf hibuf(arena_);
+  MakePrefixUpperBound(lobuf, &hibuf);
+  return ScanInternal(table, lobuf.view(), hibuf.view(), /*reverse=*/false,
+                      limit, cb, container);
 }
 
 Status SiloTxn::ReverseScanPrefix(Table* table, const Row& prefix,
                                   int64_t limit,
                                   const std::function<bool(const Row&)>& cb,
                                   uint32_t container) {
-  std::string lo = EncodeKey(prefix);
-  return ScanInternal(table, lo, PrefixSuccessor(lo), /*reverse=*/true, limit,
-                      cb, container);
+  KeyBuf lobuf(arena());
+  EncodeKeyTo(prefix, &lobuf);
+  KeyBuf hibuf(arena_);
+  MakePrefixUpperBound(lobuf, &hibuf);
+  return ScanInternal(table, lobuf.view(), hibuf.view(), /*reverse=*/true,
+                      limit, cb, container);
 }
 
-namespace {
-
-// Shared by forward/reverse secondary scans: resolves entry rows (primary
-// keys) to primary rows.
-struct SecondaryResolver {
-  SiloTxn* txn;
-  Table* table;
-  uint32_t container;
-  const std::function<bool(const Row&)>* cb;
-  Status status = Status::OK();
-
-  bool operator()(const Row& pk) {
-    StatusOr<Row> row = txn->Get(table, pk, container);
-    if (!row.ok()) {
-      // Entry without a live primary row: with transactional entry
-      // maintenance this indicates a concurrent change; OCC validation will
-      // sort it out, skip here.
-      return true;
-    }
-    return (*cb)(row.value());
-  }
-};
-
-}  // namespace
-
-Status SiloTxn::ScanSecondary(Table* table, size_t index_pos,
-                              const Row& index_key, int64_t limit,
-                              const std::function<bool(const Row&)>& cb,
-                              uint32_t container) {
-  containers_.insert(container);
+template <bool kReverse>
+Status SiloTxn::ScanSecondaryImpl(Table* table, size_t index_pos,
+                                  const Row& index_key, int64_t limit,
+                                  const std::function<bool(const Row&)>& cb,
+                                  uint32_t container) {
+  containers_.insert(arena(), container);
   std::vector<Record*> candidates;
-  std::string lo = table->EncodeSecondaryPrefix(index_pos, index_key);
-  std::string hi = PrefixSuccessor(lo);
+  KeyBuf lo(arena_);
+  table->EncodeSecondaryPrefixTo(index_pos, index_key, &lo);
+  KeyBuf hi(arena_);
+  MakePrefixUpperBound(lo, &hi);
   auto collect = [&candidates](const std::string&, Record* rec) {
     candidates.push_back(rec);
     return true;
@@ -332,68 +414,53 @@ Status SiloTxn::ScanSecondary(Table* table, size_t index_pos,
     TrackNode(leaf, version, container);
     stats_.scanned_leaves++;
   };
-  table->secondary(index_pos).Scan(lo, hi, collect, nodes);
+  if constexpr (kReverse) {
+    table->secondary(index_pos).ReverseScan(lo.view(), hi.view(), collect,
+                                            nodes);
+  } else {
+    table->secondary(index_pos).Scan(lo.view(), hi.view(), collect, nodes);
+  }
   int64_t delivered = 0;
+  Row pk;  // copy: Get below may grow the write set
   for (Record* rec : candidates) {
     if (limit >= 0 && delivered >= limit) break;
-    const Row* entry_row = nullptr;
     if (WriteEntry* pending = PendingWrite(rec)) {
       if (pending->kind == WriteKind::kDelete) continue;
-      entry_row = &pending->new_row;
+      pk.assign(pending->cells, pending->cells + pending->num_cells);
     } else {
       RecordSnapshot snap = ReadRecord(*rec);
       TrackRead(rec, snap.tid, container);
       if (snap.row == nullptr) continue;
-      entry_row = snap.row;
+      pk = *snap.row;
     }
-    Row pk = *entry_row;  // copy: Get below may grow the write set
     StatusOr<Row> primary_row = Get(table, pk, container);
-    if (!primary_row.ok()) continue;
+    if (!primary_row.ok()) {
+      // Entry without a live primary row: with transactional entry
+      // maintenance this indicates a concurrent change; OCC validation will
+      // sort it out, skip here.
+      continue;
+    }
     stats_.scanned_rows++;
     ++delivered;
     if (!cb(primary_row.value())) break;
   }
   return Status::OK();
+}
+
+Status SiloTxn::ScanSecondary(Table* table, size_t index_pos,
+                              const Row& index_key, int64_t limit,
+                              const std::function<bool(const Row&)>& cb,
+                              uint32_t container) {
+  return ScanSecondaryImpl<false>(table, index_pos, index_key, limit, cb,
+                                  container);
 }
 
 Status SiloTxn::ReverseScanSecondary(Table* table, size_t index_pos,
                                      const Row& index_key, int64_t limit,
                                      const std::function<bool(const Row&)>& cb,
                                      uint32_t container) {
-  containers_.insert(container);
-  std::vector<Record*> candidates;
-  std::string lo = table->EncodeSecondaryPrefix(index_pos, index_key);
-  std::string hi = PrefixSuccessor(lo);
-  auto collect = [&candidates](const std::string&, Record* rec) {
-    candidates.push_back(rec);
-    return true;
-  };
-  auto nodes = [this, container](BTree::LeafNode* leaf, uint64_t version) {
-    TrackNode(leaf, version, container);
-    stats_.scanned_leaves++;
-  };
-  table->secondary(index_pos).ReverseScan(lo, hi, collect, nodes);
-  int64_t delivered = 0;
-  for (Record* rec : candidates) {
-    if (limit >= 0 && delivered >= limit) break;
-    const Row* entry_row = nullptr;
-    if (WriteEntry* pending = PendingWrite(rec)) {
-      if (pending->kind == WriteKind::kDelete) continue;
-      entry_row = &pending->new_row;
-    } else {
-      RecordSnapshot snap = ReadRecord(*rec);
-      TrackRead(rec, snap.tid, container);
-      if (snap.row == nullptr) continue;
-      entry_row = snap.row;
-    }
-    Row pk = *entry_row;
-    StatusOr<Row> primary_row = Get(table, pk, container);
-    if (!primary_row.ok()) continue;
-    stats_.scanned_rows++;
-    ++delivered;
-    if (!cb(primary_row.value())) break;
-  }
-  return Status::OK();
+  return ScanSecondaryImpl<true>(table, index_pos, index_key, limit, cb,
+                                 container);
 }
 
 void SiloTxn::ReleaseLocks(size_t locked_prefix) {
@@ -404,21 +471,34 @@ void SiloTxn::ReleaseLocks(size_t locked_prefix) {
   }
 }
 
+void SiloTxn::DestroyWriteCells() {
+  for (WriteEntry& entry : write_set_) {
+    if (entry.cells == nullptr) continue;
+    for (uint32_t i = 0; i < entry.num_cells; ++i) entry.cells[i].~Value();
+    entry.cells = nullptr;
+  }
+}
+
 StatusOr<uint64_t> SiloTxn::Commit(TidSource* tids) {
   REACTDB_CHECK(!finished_);
   // Phase 1 (per-container prepare): lock the write set in a global
-  // (container, record pointer) order, then validate reads and node sets.
-  sorted_writes_.resize(write_set_.size());
-  for (size_t i = 0; i < write_set_.size(); ++i) sorted_writes_[i] = i;
-  std::sort(sorted_writes_.begin(), sorted_writes_.end(),
-            [this](size_t a, size_t b) {
-              const WriteEntry& wa = write_set_[a];
-              const WriteEntry& wb = write_set_[b];
-              if (wa.container != wb.container) {
-                return wa.container < wb.container;
-              }
-              return wa.rec < wb.rec;
-            });
+  // (container, record pointer) order — sorted once, here — then validate
+  // reads and node sets.
+  if (!write_set_.empty()) {
+    sorted_writes_.ResizeUninitialized(arena(), write_set_.size());
+    for (uint32_t i = 0; i < write_set_.size(); ++i) sorted_writes_[i] = i;
+    std::sort(sorted_writes_.begin(), sorted_writes_.end(),
+              [this](uint32_t a, uint32_t b) {
+                const WriteEntry& wa = write_set_[a];
+                const WriteEntry& wb = write_set_[b];
+                if (wa.container != wb.container) {
+                  return wa.container < wb.container;
+                }
+                return wa.rec < wb.rec;
+              });
+  } else {
+    sorted_writes_.clear();
+  }
   for (size_t i = 0; i < sorted_writes_.size(); ++i) {
     LockTid(&write_set_[sorted_writes_[i]].rec->tid);
   }
@@ -428,7 +508,7 @@ StatusOr<uint64_t> SiloTxn::Commit(TidSource* tids) {
   uint64_t observed_max = 0;
   for (const ReadEntry& entry : read_set_) {
     uint64_t cur = entry.rec->tid.load(std::memory_order_acquire);
-    bool own_lock = write_index_.count(entry.rec) > 0;
+    bool own_lock = write_index_.Find(entry.rec) != PtrIndex::kNpos;
     if (TidWord::IsLocked(cur) && !own_lock) {
       ReleaseLocks(sorted_writes_.size());
       Abort();
@@ -456,20 +536,27 @@ StatusOr<uint64_t> SiloTxn::Commit(TidSource* tids) {
 
   // Phase 2: commit point — TID generation and write install. The final
   // TID store both publishes the version and releases the record lock.
+  // Installed rows are recycled through the epoch manager's pool, so a
+  // warmed install allocates nothing.
   uint64_t commit_tid = tids->NextCommitTid(observed_max, epoch);
-  for (const WriteEntry& entry : write_set_) {
+  for (WriteEntry& entry : write_set_) {
     const Row* old_row = entry.rec->data.load(std::memory_order_relaxed);
     if (entry.kind == WriteKind::kDelete) {
       entry.rec->data.store(nullptr, std::memory_order_release);
       entry.rec->tid.store(TidWord::WithAbsent(commit_tid),
                            std::memory_order_release);
+      epochs_->Retire(old_row);
     } else {
-      entry.rec->data.store(new Row(entry.new_row),
-                            std::memory_order_release);
+      // One lock acquisition retires the old version and hands back a
+      // recycled install row. The retired version stays readable until
+      // epoch reclamation, exactly as before.
+      Row* fresh = epochs_->ExchangeRow(old_row);
+      fresh->assign(entry.cells, entry.cells + entry.num_cells);
+      entry.rec->data.store(fresh, std::memory_order_release);
       entry.rec->tid.store(commit_tid, std::memory_order_release);
     }
-    epochs_->Retire(old_row);
   }
+  DestroyWriteCells();
   finished_ = true;
   return commit_tid;
 }
@@ -477,6 +564,7 @@ StatusOr<uint64_t> SiloTxn::Commit(TidSource* tids) {
 void SiloTxn::Abort() {
   // Buffered writes were never installed; eagerly inserted index records
   // remain absent tombstones, which is correct (they were never visible).
+  DestroyWriteCells();
   read_set_.clear();
   write_set_.clear();
   node_set_.clear();

@@ -15,19 +15,28 @@
 // Secondary indexes are maintained transactionally: entry records are
 // ordinary records whose row holds the primary key, inserted/deleted in the
 // same transaction as the primary mutation.
+//
+// Allocation discipline: the read/write/node sets are flat, open-addressed,
+// arena-backed tables (src/util/flat.h); buffered write rows are Value cell
+// arrays in the same arena; keys encode into inline KeyBufs; commit installs
+// into rows recycled through the epoch manager. A warmed point
+// read/update transaction performs zero heap allocations end to end
+// (tests/alloc_test.cc enforces this). The arena is bound by the owning
+// runtime (per-executor pool) or created lazily for standalone use.
 
 #ifndef REACTDB_TXN_SILO_TXN_H_
 #define REACTDB_TXN_SILO_TXN_H_
 
 #include <cstdint>
 #include <functional>
-#include <set>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/storage/table.h"
 #include "src/txn/epoch.h"
+#include "src/util/arena.h"
+#include "src/util/flat.h"
 #include "src/util/statusor.h"
 
 namespace reactdb {
@@ -55,13 +64,18 @@ struct TxnOpStats {
 
 class SiloTxn {
  public:
-  /// `epochs` must outlive the transaction. The TidSource belongs to the
-  /// committing executor.
-  explicit SiloTxn(EpochManager* epochs);
+  /// `epochs` must outlive the transaction. `arena`, when given, backs the
+  /// transaction's sets and buffers and must outlive it; the caller resets
+  /// the arena after the SiloTxn is destroyed. Without one, a private arena
+  /// is created lazily on first use (standalone/bulk-load transactions).
+  explicit SiloTxn(EpochManager* epochs, Arena* arena = nullptr);
   ~SiloTxn();
 
   SiloTxn(const SiloTxn&) = delete;
   SiloTxn& operator=(const SiloTxn&) = delete;
+
+  /// Binds the backing arena. Must happen before the first data operation.
+  void BindArena(Arena* arena);
 
   // --- Data operations -----------------------------------------------------
 
@@ -69,11 +83,16 @@ class SiloTxn {
   /// phantom protection).
   StatusOr<Row> Get(Table* table, const Row& key, uint32_t container);
 
+  /// Point read into a caller-provided row (reuses its capacity: the warmed
+  /// hot path). `*out` is unspecified on error.
+  Status GetInto(Table* table, const Row& key, Row* out, uint32_t container);
+
   /// Inserts a full row. AlreadyExists if a live row with the key exists.
   Status Insert(Table* table, const Row& row, uint32_t container);
 
   /// Replaces the row with primary key `key` (must exist).
-  Status Update(Table* table, const Row& key, Row new_row, uint32_t container);
+  Status Update(Table* table, const Row& key, const Row& new_row,
+                uint32_t container);
 
   /// Deletes the row with primary key `key` (must exist).
   Status Delete(Table* table, const Row& key, uint32_t container);
@@ -123,8 +142,8 @@ class SiloTxn {
   void Abort();
 
   /// Containers touched by any operation (drives 2PC cost accounting and
-  /// the distinction single- vs multi-container commit).
-  const std::set<uint32_t>& containers_touched() const { return containers_; }
+  /// the distinction single- vs multi-container commit). Ascending order.
+  const ContainerSet& containers_touched() const { return containers_; }
 
   const TxnOpStats& stats() const { return stats_; }
 
@@ -142,7 +161,10 @@ class SiloTxn {
   };
   struct WriteEntry {
     Record* rec;
-    Row new_row;
+    /// Buffered new row as arena-resident cells; null for deletes and after
+    /// the cells were consumed (install) or destroyed (rollback).
+    Value* cells;
+    uint32_t num_cells;
     WriteKind kind;
     uint32_t container;
   };
@@ -152,6 +174,15 @@ class SiloTxn {
     uint32_t container;
   };
 
+  /// The backing arena, created on demand for unbound transactions.
+  Arena* arena() {
+    if (arena_ == nullptr) {
+      own_arena_ = std::make_unique<Arena>();
+      arena_ = own_arena_.get();
+    }
+    return arena_;
+  }
+
   /// Tracks a read; dedupes by record.
   void TrackRead(Record* rec, uint64_t tid, uint32_t container);
   /// Tracks a node-set entry; dedupes by leaf.
@@ -159,34 +190,57 @@ class SiloTxn {
   /// Adjusts the node set after an own insert bumped `leaf`.
   void FixupNodeAfterOwnInsert(BTree::LeafNode* leaf, uint64_t before,
                                uint64_t after);
-  /// Adds or overwrites a write-set entry; returns its index.
-  size_t Buffer(Record* rec, Row new_row, WriteKind kind, uint32_t container);
-  /// Pending write for a record, or nullptr.
+
+  /// Copies `n` cells gathered from `src` into the arena. `ids` selects
+  /// columns (null = the first n cells in order).
+  Value* CopyCells(const Row& src, const int* ids, uint32_t n);
+  /// Adds or overwrites a write-set entry, adopting `cells` (arena-owned).
+  void Buffer(Record* rec, Value* cells, uint32_t num_cells, WriteKind kind,
+              uint32_t container);
+  /// Pending write for a record, or nullptr. The pointer is invalidated by
+  /// the next Buffer call.
   WriteEntry* PendingWrite(Record* rec);
 
-  /// Inserts one index entry record (primary or secondary tree).
-  Status InsertEntry(BTree* tree, const std::string& key, Row stored_row,
-                     uint32_t container);
-  /// Reads through the write set, then the record. Sets *found=false for
-  /// absent. Returns the visible row (pending or committed).
-  const Row* VisibleRow(Record* rec, uint64_t* observed_tid, bool* from_self);
+  /// Locates the record for primary key `key` and the transaction-visible
+  /// old row cells (pending write or committed snapshot), tracking the
+  /// read / the miss exactly like a point read. Shared by
+  /// GetInto/Update/Delete so visibility semantics cannot diverge.
+  Status LocateVisible(Table* table, const Row& key, uint32_t container,
+                       Record** rec, const Value** cells, uint32_t* num_cells);
 
-  Status ScanInternal(Table* table, const std::string& lo,
-                      const std::string& hi, bool reverse, int64_t limit,
+  /// Inserts one index entry record. The buffered row is gathered from
+  /// `src` through `ids` (see CopyCells) only after all duplicate checks
+  /// pass.
+  Status InsertEntry(BTree* tree, std::string_view key, const Row& src,
+                     const int* ids, uint32_t num_cells, uint32_t container);
+
+  Status ScanInternal(Table* table, std::string_view lo, std::string_view hi,
+                      bool reverse, int64_t limit,
                       const std::function<bool(const Row&)>& cb,
                       uint32_t container);
 
+  template <bool kReverse>
+  Status ScanSecondaryImpl(Table* table, size_t index_pos, const Row& index_key,
+                           int64_t limit,
+                           const std::function<bool(const Row&)>& cb,
+                           uint32_t container);
+
   void ReleaseLocks(size_t locked_prefix);
+  /// Destroys buffered cells (arena memory itself is reclaimed by the
+  /// arena's owner). Idempotent.
+  void DestroyWriteCells();
 
   EpochManager* epochs_;
-  std::vector<ReadEntry> read_set_;
-  std::vector<WriteEntry> write_set_;
-  std::vector<NodeEntry> node_set_;
-  std::unordered_map<Record*, size_t> write_index_;
-  std::unordered_map<Record*, size_t> read_index_;
-  std::unordered_map<BTree::LeafNode*, size_t> node_index_;
-  std::set<uint32_t> containers_;
-  std::vector<size_t> sorted_writes_;  // lock order over write_set_ indices
+  Arena* arena_ = nullptr;
+  std::unique_ptr<Arena> own_arena_;
+  FlatVec<ReadEntry> read_set_;
+  FlatVec<WriteEntry> write_set_;
+  FlatVec<NodeEntry> node_set_;
+  PtrIndex read_index_;
+  PtrIndex write_index_;
+  PtrIndex node_index_;
+  ContainerSet containers_;
+  FlatVec<uint32_t> sorted_writes_;  // lock order over write_set_ indices
   TxnOpStats stats_;
   bool finished_ = false;
 };

@@ -1,0 +1,236 @@
+// Per-executor bump allocation for the transaction hot path.
+//
+// Every root transaction binds one Arena for its whole lifetime: the flat
+// read/write/node sets of its SiloTxn, buffered write rows, and spilled key
+// buffers all come from it, and the owning executor resets it in one step
+// when the root finalizes. In the steady state (blocks warmed to the
+// workload's footprint) a point transaction therefore performs zero heap
+// allocations between submit and commit.
+//
+// Ownership rules (see ROADMAP "Allocation discipline"):
+//  * An Arena is single-threaded: it may only be touched by the executor
+//    currently running a (sub-)transaction of the owning root — the same
+//    exclusion the shared Silo read/write sets already require.
+//  * Reset() happens on the root's home executor at finalization, after the
+//    RootTxn (and with it every pointer into the arena) is destroyed.
+//  * Memory allocated from an arena is never freed individually; objects
+//    with non-trivial destructors placed in it (e.g. buffered row cells)
+//    must be destroyed explicitly before Reset.
+
+#ifndef REACTDB_UTIL_ARENA_H_
+#define REACTDB_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace reactdb {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `align` (which must
+  /// be a power of two). Never fails (grows by appending blocks).
+  void* Allocate(size_t bytes, size_t align) {
+    uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+    uintptr_t aligned = (p + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    if (aligned + bytes > reinterpret_cast<uintptr_t>(end_)) {
+      return AllocateSlow(bytes, align);
+    }
+    ptr_ = reinterpret_cast<char*>(aligned + bytes);
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Uninitialized storage for `n` objects of T (callers placement-new).
+  template <typename T>
+  T* AllocateArrayUninitialized(size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Constructs a T in the arena. The object is never destroyed by the
+  /// arena; trivially destructible types only, unless the caller destroys
+  /// it explicitly before Reset().
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    return new (Allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Rewinds to empty, keeping every block for reuse (steady-state resets
+  /// are allocation-free).
+  void Reset() {
+    current_ = 0;
+    if (!blocks_.empty()) {
+      ptr_ = blocks_[0].data.get();
+      end_ = ptr_ + blocks_[0].size;
+    } else {
+      ptr_ = end_ = nullptr;
+    }
+    bytes_used_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset (excludes alignment padding).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total block capacity owned (high-water mark of the arena).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  void* AllocateSlow(size_t bytes, size_t align) {
+    // Move to the next retained block that fits, else append a new one.
+    // Oversized requests get a dedicated block of exactly their size so a
+    // single huge key cannot inflate the steady-state footprint.
+    while (current_ + 1 < blocks_.size()) {
+      ++current_;
+      ptr_ = blocks_[current_].data.get();
+      end_ = ptr_ + blocks_[current_].size;
+      uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+      uintptr_t aligned =
+          (p + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+      if (aligned + bytes <= reinterpret_cast<uintptr_t>(end_)) {
+        ptr_ = reinterpret_cast<char*>(aligned + bytes);
+        bytes_used_ += bytes;
+        return reinterpret_cast<void*>(aligned);
+      }
+    }
+    size_t block_size = bytes + align > block_bytes_ ? bytes + align
+                                                     : block_bytes_;
+    blocks_.push_back(Block{std::make_unique<char[]>(block_size), block_size});
+    bytes_reserved_ += block_size;
+    current_ = blocks_.size() - 1;
+    ptr_ = blocks_[current_].data.get();
+    end_ = ptr_ + block_size;
+    uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+    uintptr_t aligned = (p + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    ptr_ = reinterpret_cast<char*>(aligned + bytes);
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;
+  char* ptr_ = nullptr;
+  char* end_ = nullptr;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+/// Per-executor free list of arenas. Acquire/Release are called from the
+/// owning executor only (root start / root finalization both run there), so
+/// no synchronization is needed.
+class ArenaPool {
+ public:
+  Arena* Acquire() {
+    if (free_.empty()) {
+      owned_.push_back(std::make_unique<Arena>());
+      return owned_.back().get();
+    }
+    Arena* a = free_.back();
+    free_.pop_back();
+    return a;
+  }
+
+  /// Resets and returns the arena to the pool. Every pointer into it must be
+  /// dead.
+  void Release(Arena* a) {
+    a->Reset();
+    free_.push_back(a);
+  }
+
+  size_t num_arenas() const { return owned_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Arena>> owned_;
+  std::vector<Arena*> free_;
+};
+
+/// Inline key buffer: fixed stack storage with spill, the target of the
+/// allocation-free key encoders (EncodeKeyTo / Table::Encode*To). Typical
+/// composite keys (a few numeric fields, short strings) fit inline; longer
+/// keys spill to the bound arena when one is given, else to the heap.
+class KeyBuf {
+ public:
+  static constexpr size_t kInlineBytes = 112;
+
+  KeyBuf() = default;
+  explicit KeyBuf(Arena* arena) : arena_(arena) {}
+
+  KeyBuf(const KeyBuf&) = delete;
+  KeyBuf& operator=(const KeyBuf&) = delete;
+
+  void clear() { size_ = 0; }
+
+  void push_back(char c) {
+    if (size_ == cap_) Grow(size_ + 1);
+    data_[size_++] = c;
+  }
+
+  void append(const char* p, size_t n) {
+    if (size_ + n > cap_) Grow(size_ + n);
+    std::memcpy(data_ + size_, p, n);
+    size_ += n;
+  }
+
+  void pop_back() { --size_; }
+  char& back() { return data_[size_ - 1]; }
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::string_view view() const { return std::string_view(data_, size_); }
+  operator std::string_view() const { return view(); }  // NOLINT
+
+  std::string ToString() const { return std::string(data_, size_); }
+
+  bool spilled() const { return data_ != inline_; }
+
+ private:
+  void Grow(size_t need) {
+    size_t new_cap = cap_ * 2;
+    while (new_cap < need) new_cap *= 2;
+    if (arena_ != nullptr) {
+      char* fresh = static_cast<char*>(arena_->Allocate(new_cap, 1));
+      std::memcpy(fresh, data_, size_);
+      data_ = fresh;
+    } else {
+      // Copy before replacing heap_: on a second spill, data_ points into
+      // the buffer heap_ owns.
+      auto fresh = std::make_unique<char[]>(new_cap);
+      std::memcpy(fresh.get(), data_, size_);
+      heap_ = std::move(fresh);
+      data_ = heap_.get();
+    }
+    cap_ = new_cap;
+  }
+
+  Arena* arena_ = nullptr;
+  size_t size_ = 0;
+  size_t cap_ = kInlineBytes;
+  std::unique_ptr<char[]> heap_;
+  char* data_ = inline_;
+  char inline_[kInlineBytes];
+};
+
+}  // namespace reactdb
+
+#endif  // REACTDB_UTIL_ARENA_H_

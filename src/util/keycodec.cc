@@ -14,13 +14,16 @@ constexpr char kTagBool = 0x02;
 constexpr char kTagNumeric = 0x03;
 constexpr char kTagString = 0x04;
 
-void AppendBigEndian64(uint64_t bits, std::string* out) {
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    out->push_back(static_cast<char>((bits >> shift) & 0xFF));
+template <typename Buf>
+void AppendBigEndian64(uint64_t bits, Buf* out) {
+  char raw[8];
+  for (int i = 0; i < 8; ++i) {
+    raw[i] = static_cast<char>((bits >> (56 - 8 * i)) & 0xFF);
   }
+  out->append(raw, 8);
 }
 
-uint64_t ReadBigEndian64(const std::string& data, size_t pos) {
+uint64_t ReadBigEndian64(std::string_view data, size_t pos) {
   uint64_t bits = 0;
   for (int i = 0; i < 8; ++i) {
     bits = (bits << 8) | static_cast<uint8_t>(data[pos + i]);
@@ -61,9 +64,10 @@ int64_t SaturatingToInt64(double d) {
   return static_cast<int64_t>(d);
 }
 
-}  // namespace
-
-void EncodeValue(const Value& v, std::string* out) {
+// Shared by the std::string and KeyBuf output forms; both provide
+// push_back(char) and append(const char*, size_t).
+template <typename Buf>
+void EncodeValueImpl(const Value& v, Buf* out) {
   switch (v.type()) {
     case ValueType::kNull:
       out->push_back(kTagNull);
@@ -106,6 +110,12 @@ void EncodeValue(const Value& v, std::string* out) {
   }
 }
 
+}  // namespace
+
+void EncodeValue(const Value& v, std::string* out) { EncodeValueImpl(v, out); }
+
+void EncodeValue(const Value& v, KeyBuf* out) { EncodeValueImpl(v, out); }
+
 std::string EncodeKey(const Row& key) {
   std::string out;
   out.reserve(key.size() * 12);
@@ -113,7 +123,12 @@ std::string EncodeKey(const Row& key) {
   return out;
 }
 
-StatusOr<Value> DecodeValue(const std::string& data, size_t* pos) {
+void EncodeKeyTo(const Row& key, KeyBuf* out) {
+  out->clear();
+  for (const Value& v : key) EncodeValue(v, out);
+}
+
+StatusOr<Value> DecodeValue(std::string_view data, size_t* pos) {
   if (*pos >= data.size()) {
     return Status::OutOfRange("key decode past end");
   }
@@ -169,7 +184,7 @@ StatusOr<Value> DecodeValue(const std::string& data, size_t* pos) {
   }
 }
 
-StatusOr<Row> DecodeKey(const std::string& data) {
+StatusOr<Row> DecodeKey(std::string_view data) {
   Row row;
   size_t pos = 0;
   while (pos < data.size()) {
@@ -179,8 +194,8 @@ StatusOr<Row> DecodeKey(const std::string& data) {
   return row;
 }
 
-std::string PrefixSuccessor(const std::string& prefix) {
-  std::string out = prefix;
+std::string PrefixSuccessor(std::string_view prefix) {
+  std::string out(prefix);
   while (!out.empty()) {
     if (static_cast<uint8_t>(out.back()) != 0xFF) {
       out.back() = static_cast<char>(static_cast<uint8_t>(out.back()) + 1);
@@ -189,6 +204,16 @@ std::string PrefixSuccessor(const std::string& prefix) {
     out.pop_back();
   }
   return out;  // empty: unbounded
+}
+
+void PrefixSuccessorInPlace(KeyBuf* buf) {
+  while (!buf->empty()) {
+    if (static_cast<uint8_t>(buf->back()) != 0xFF) {
+      buf->back() = static_cast<char>(static_cast<uint8_t>(buf->back()) + 1);
+      return;
+    }
+    buf->pop_back();
+  }
 }
 
 }  // namespace reactdb

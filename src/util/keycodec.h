@@ -11,12 +11,19 @@
 // Each field is preceded by a one-byte type tag chosen so that cross-type
 // ordering matches Value::Compare for homogeneous schemas (numeric types
 // share a tag and are encoded into a common numeric form).
+//
+// The hot path encodes into a caller-provided KeyBuf (inline stack storage,
+// arena spill) and hands the tree a std::string_view — no per-operation
+// std::string materialization. The string-returning forms remain for
+// bootstrap and tests.
 
 #ifndef REACTDB_UTIL_KEYCODEC_H_
 #define REACTDB_UTIL_KEYCODEC_H_
 
 #include <string>
+#include <string_view>
 
+#include "src/util/arena.h"
 #include "src/util/statusor.h"
 #include "src/util/value.h"
 
@@ -24,20 +31,28 @@ namespace reactdb {
 
 /// Appends the order-preserving encoding of `v` to `out`.
 void EncodeValue(const Value& v, std::string* out);
+void EncodeValue(const Value& v, KeyBuf* out);
 
 /// Encodes a composite key.
 std::string EncodeKey(const Row& key);
+/// Replaces `out` with the encoding of `key` (allocation-free: inline
+/// KeyBuf storage, arena spill for oversized keys).
+void EncodeKeyTo(const Row& key, KeyBuf* out);
 
 /// Decodes one value from `data` starting at `*pos`, advancing `*pos`.
-StatusOr<Value> DecodeValue(const std::string& data, size_t* pos);
+StatusOr<Value> DecodeValue(std::string_view data, size_t* pos);
 
 /// Decodes a full composite key (inverse of EncodeKey).
-StatusOr<Row> DecodeKey(const std::string& data);
+StatusOr<Row> DecodeKey(std::string_view data);
 
 /// Returns the smallest encoded key strictly greater than every key having
 /// `prefix` as an encoded prefix (for prefix range scans). Empty result
 /// means "no upper bound".
-std::string PrefixSuccessor(const std::string& prefix);
+std::string PrefixSuccessor(std::string_view prefix);
+
+/// In-place PrefixSuccessor over a KeyBuf (for the allocation-free scan
+/// setup path).
+void PrefixSuccessorInPlace(KeyBuf* buf);
 
 }  // namespace reactdb
 

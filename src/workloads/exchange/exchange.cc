@@ -77,7 +77,6 @@ Proc AddEntry(TxnContext& ctx, Row args) {
 // Procedure-parallelism auth_pay (Fig. 1(b)): overlapped calc_risk on every
 // provider, then conditional add_entry.
 Proc AuthPay(TxnContext& ctx, Row args) {
-  const std::string pprovider = args[0].AsString();
   Value wallet = args[1];
   double value = args[2].AsNumeric();
   Value nrandoms = args[3];
@@ -107,7 +106,7 @@ Proc AuthPay(TxnContext& ctx, Row args) {
     co_return Status::UserAbort("global risk limit exceeded");
   }
   Future add_call = ctx.CallOn(
-      pprovider, kAddEntryProc,
+      args[0], kAddEntryProc,
       {wallet, Value(value), Value(static_cast<int64_t>(ctx.root_id()))});
   ProcResult added = co_await add_call;
   REACTDB_CO_RETURN_IF_ERROR(added.status());
@@ -118,7 +117,6 @@ Proc AuthPay(TxnContext& ctx, Row args) {
 // (as a partitioned-join optimizer could), sim_risk sequential at the
 // exchange, risk write-back per provider.
 Proc AuthPayQueryParallel(TxnContext& ctx, Row args) {
-  const std::string pprovider = args[0].AsString();
   Value wallet = args[1];
   double value = args[2].AsNumeric();
   int64_t nrandoms = args[3].AsInt64();
@@ -160,7 +158,7 @@ Proc AuthPayQueryParallel(TxnContext& ctx, Row args) {
     co_return Status::UserAbort("global risk limit exceeded");
   }
   Future add_call =
-      ctx.CallOn(pprovider, kAddEntryProc, {wallet, Value(value), Value(now)});
+      ctx.CallOn(args[0], kAddEntryProc, {wallet, Value(value), Value(now)});
   ProcResult added = co_await add_call;
   REACTDB_CO_RETURN_IF_ERROR(added.status());
   co_return Value(total_risk);
@@ -423,6 +421,16 @@ Status LoadCentral(RuntimeBase* rt, int num_providers, int orders_per_provider,
 Row AuthPayArgs(const std::string& pprovider, int64_t wallet, double value,
                 int64_t nrandoms) {
   return {Value(pprovider), Value(wallet), Value(value), Value(nrandoms)};
+}
+
+Row AuthPayArgs(ReactorId pprovider, int64_t wallet, double value,
+                int64_t nrandoms) {
+  // Pre-resolved payment-provider handle: dispatched without a per-call
+  // string hash (auth_pay / auth_pay_qp only; the classic single-reactor
+  // formulation keys relation data by provider name and takes the string
+  // form).
+  return {Value(static_cast<int64_t>(pprovider.value)), Value(wallet),
+          Value(value), Value(nrandoms)};
 }
 
 Handles ResolveHandles(const RuntimeBase* rt, int num_providers) {

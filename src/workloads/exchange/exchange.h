@@ -73,8 +73,12 @@ Status LoadCentral(RuntimeBase* rt, int num_providers = kNumProviders,
                    uint64_t seed = 17);
 
 /// auth_pay argument rows for the three strategies. `nrandoms` is the
-/// sim_risk load per provider.
+/// sim_risk load per provider. The handle form pre-resolves the payment
+/// provider at argument-build time (INT64 cell, no per-call string hash);
+/// valid for auth_pay / auth_pay_qp, whose dst cell is only a call target.
 Row AuthPayArgs(const std::string& pprovider, int64_t wallet, double value,
+                int64_t nrandoms);
+Row AuthPayArgs(ReactorId pprovider, int64_t wallet, double value,
                 int64_t nrandoms);
 
 /// Client-side handles, resolved once after Bootstrap. `exchange` /

@@ -73,7 +73,6 @@ Proc WriteCheck(TxnContext& ctx, Row args) {
 // Moves the entire savings+checking of this reactor into the destination's
 // checking account.
 Proc Amalgamate(TxnContext& ctx, Row args) {
-  const std::string dst = args[0].AsString();
   REACTDB_CO_ASSIGN_OR_RETURN(Row account,
                               ctx.Get(kAccountSlot, {Value(ctx.reactor_name())}));
   int64_t cust_id = account[1].AsInt64();
@@ -85,7 +84,7 @@ Proc Amalgamate(TxnContext& ctx, Row args) {
       ctx.Update(kSavingsSlot, {Value(cust_id)}, {Value(cust_id), Value(0.0)}));
   REACTDB_CO_RETURN_IF_ERROR(
       ctx.Update(kCheckingSlot, {Value(cust_id)}, {Value(cust_id), Value(0.0)}));
-  Future deposit = ctx.CallOn(dst, kDepositCheckingProc, {Value(total)});
+  Future deposit = ctx.CallOn(args[0], kDepositCheckingProc, {Value(total)});
   ProcResult r = co_await deposit;
   REACTDB_CO_RETURN_IF_ERROR(r.status());
   co_return Value(total);
@@ -96,11 +95,10 @@ Proc Amalgamate(TxnContext& ctx, Row args) {
 // debit (fully-sync); without it the credit overlaps the debit
 // (partially-async). Mirrors Appendix H's env_seq_transfer switch.
 Proc Transfer(TxnContext& ctx, Row args) {
-  const std::string dst = args[0].AsString();
   double amount = args[1].AsNumeric();
   bool sequential = args[2].AsBool();
   if (amount <= 0) co_return Status::UserAbort("non-positive amount");
-  Future credit = ctx.CallOn(dst, kTransactSavingProc, {Value(amount)});
+  Future credit = ctx.CallOn(args[0], kTransactSavingProc, {Value(amount)});
   if (sequential) {
     ProcResult r = co_await credit;
     REACTDB_CO_RETURN_IF_ERROR(r.status());
@@ -139,7 +137,7 @@ Proc MultiTransferFullyAsync(TxnContext& ctx, Row args) {
   std::vector<Future> credits;
   for (size_t i = 1; i < args.size(); ++i) {
     credits.push_back(
-        ctx.CallOn(args[i].AsString(), kTransactSavingProc, {Value(amount)}));
+        ctx.CallOn(args[i], kTransactSavingProc, {Value(amount)}));
   }
   for (size_t i = 1; i < args.size(); ++i) {
     Future debit_call =
@@ -162,7 +160,7 @@ Proc MultiTransferOpt(TxnContext& ctx, Row args) {
   std::vector<Future> credits;
   for (size_t i = 1; i < args.size(); ++i) {
     credits.push_back(
-        ctx.CallOn(args[i].AsString(), kTransactSavingProc, {Value(amount)}));
+        ctx.CallOn(args[i], kTransactSavingProc, {Value(amount)}));
   }
   double num_dsts = static_cast<double>(args.size() - 1);
   Future debit_call = ctx.CallOn(ctx.reactor_id(), kTransactSavingProc,
@@ -336,6 +334,19 @@ MultiTransferCall MakeMultiTransfer(Formulation f, double amount,
       break;
   }
   for (const std::string& dst : dst_names) call.args.push_back(Value(dst));
+  return call;
+}
+
+MultiTransferCall MakeMultiTransfer(Formulation f, double amount,
+                                    const std::vector<ReactorId>& dsts) {
+  // Pre-resolved destination handles travel as INT64 argument cells; the
+  // procedures dispatch them through the handle path (no per-call string
+  // hash in the interner).
+  MultiTransferCall call =
+      MakeMultiTransfer(f, amount, std::vector<std::string>());
+  for (ReactorId dst : dsts) {
+    call.args.push_back(Value(static_cast<int64_t>(dst.value)));
+  }
   return call;
 }
 

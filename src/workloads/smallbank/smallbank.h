@@ -27,6 +27,9 @@
 //   multi_transfer_sync:      [amount, seq_flag, dst...]
 //   multi_transfer_fully_async: [amount, dst...]
 //   multi_transfer_opt:       [amount, dst...]
+// A dst cell is either a STRING reactor name (resolved in the interner once
+// per call) or an INT64 pre-resolved ReactorId handle (clients resolve the
+// destination at argument-build time; no per-call string hash).
 
 #ifndef REACTDB_WORKLOADS_SMALLBANK_SMALLBANK_H_
 #define REACTDB_WORKLOADS_SMALLBANK_SMALLBANK_H_
@@ -91,6 +94,12 @@ struct MultiTransferCall {
 };
 MultiTransferCall MakeMultiTransfer(Formulation f, double amount,
                                     const std::vector<std::string>& dst_names);
+/// Handle form: destinations resolved to ReactorIds at argument-build time
+/// travel as INT64 cells and dispatch without any per-call string hash
+/// (destination cells accept either form; see the argument conventions
+/// above).
+MultiTransferCall MakeMultiTransfer(Formulation f, double amount,
+                                    const std::vector<ReactorId>& dsts);
 
 /// The formulation's procedure handle.
 ProcId FormulationProc(Formulation f);

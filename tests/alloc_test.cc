@@ -1,0 +1,166 @@
+// Allocation-count regression tests for the zero-allocation transaction hot
+// path: global operator new/delete are replaced with counting versions, and
+// a warmed smallbank-style point read/update transaction must perform zero
+// heap allocations through submit-execute-validate-commit at the
+// storage/txn layer (arena-backed sets, inline key buffers, recycled
+// install rows).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "src/storage/table.h"
+#include "src/txn/epoch.h"
+#include "src/txn/silo_txn.h"
+#include "src/util/arena.h"
+#include "src/util/keycodec.h"
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<bool> g_counting{false};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace reactdb {
+namespace {
+
+Schema SavingsSchema() {
+  return SchemaBuilder("savings")
+      .AddColumn("cust_id", ValueType::kInt64)
+      .AddColumn("balance", ValueType::kDouble)
+      .SetKey({"cust_id"})
+      .Build()
+      .value();
+}
+
+// The smallbank transact_saving footprint at the transaction layer: point
+// read of savings by cust_id, balance update, Silo commit. One iteration ==
+// one root transaction; the arena resets at the transaction boundary
+// exactly as the executor loop does, and the epoch advances so replaced
+// rows recycle into the install pool.
+class WarmedSmallbankTxn {
+ public:
+  WarmedSmallbankTxn() : savings_(SavingsSchema()), key_({Value(int64_t{1})}) {
+    SiloTxn loader(&epochs_, &arena_);
+    loaded_ =
+        loader.Insert(&savings_, {Value(int64_t{1}), Value(10000.0)}, 0).ok() &&
+        loader.Commit(&tids_).ok();
+    arena_.Reset();
+  }
+
+  bool RunOne() {
+    bool ok = true;
+    {
+      SiloTxn txn(&epochs_, &arena_);
+      ok &= txn.GetInto(&savings_, key_, &row_, 0).ok();
+      updated_ = row_;
+      updated_[1] = Value(updated_[1].AsDouble() + 1.0);
+      ok &= txn.Update(&savings_, key_, updated_, 0).ok();
+      ok &= txn.Commit(&tids_).ok();
+    }
+    arena_.Reset();
+    // Periodic epoch ticks (as FinalizeRoot does every 64 roots) move
+    // retired row versions past the grace period so they recycle into the
+    // install pool. Ticking once per txn would burn through the TID word's
+    // 22-bit epoch field in long runs.
+    if (++txns_ % 32 == 0) {
+      epochs_.Advance();
+      epochs_.Advance();
+    }
+    return ok;
+  }
+
+  EpochManager epochs_;
+  Arena arena_;
+  TidSource tids_;
+  Table savings_;
+  Row key_;
+  Row row_;
+  Row updated_;
+  bool loaded_ = false;
+  uint64_t txns_ = 0;
+};
+
+TEST(AllocationRegression, WarmedSmallbankPointTxnIsAllocationFree) {
+  WarmedSmallbankTxn rig;
+  ASSERT_TRUE(rig.loaded_);
+  for (int i = 0; i < 256; ++i) ASSERT_TRUE(rig.RunOne()) << "warmup " << i;
+  ASSERT_GT(rig.epochs_.row_pool_size(), 0u) << "rows must recycle";
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  bool ok = true;
+  for (int i = 0; i < 256; ++i) ok &= rig.RunOne();
+  g_counting.store(false);
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(0u, g_allocs.load())
+      << "warmed point read/update transactions must not touch the heap";
+}
+
+TEST(AllocationRegression, WarmedKeyEncodeIsAllocationFree) {
+  Row key = {Value(int64_t{123456}), Value(3.25)};
+  KeyBuf buf;
+  EncodeKeyTo(key, &buf);  // warm (inline storage only, but be uniform)
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 1000; ++i) EncodeKeyTo(key, &buf);
+  g_counting.store(false);
+
+  EXPECT_EQ(0u, g_allocs.load());
+  EXPECT_EQ(EncodeKey(key), buf.ToString());
+}
+
+TEST(AllocationRegression, ReadOnlyTxnIsAllocationFree) {
+  WarmedSmallbankTxn rig;
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(rig.RunOne());
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  bool ok = true;
+  for (int i = 0; i < 256; ++i) {
+    SiloTxn txn(&rig.epochs_, &rig.arena_);
+    ok &= txn.GetInto(&rig.savings_, rig.key_, &rig.row_, 0).ok();
+    ok &= txn.Commit(&rig.tids_).ok();
+    rig.arena_.Reset();
+  }
+  g_counting.store(false);
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(0u, g_allocs.load());
+}
+
+}  // namespace
+}  // namespace reactdb

@@ -1,0 +1,202 @@
+// Arena / KeyBuf / flat-container unit tests: alignment, reset-reuse,
+// oversize spill, and the open-addressed structures backing the Silo sets.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/arena.h"
+#include "src/util/flat.h"
+#include "src/util/keycodec.h"
+
+namespace reactdb {
+namespace {
+
+TEST(Arena, AlignmentHonored) {
+  Arena arena;
+  for (size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    for (int i = 0; i < 10; ++i) {
+      void* p = arena.Allocate(3, align);  // odd size forces misaligned bump
+      EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(p) % align)
+          << "align=" << align;
+    }
+  }
+  // Mixed types through the typed helpers.
+  double* d = arena.AllocateArrayUninitialized<double>(3);
+  EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(d) % alignof(double));
+  char* c = static_cast<char*>(arena.Allocate(1, 1));
+  uint64_t* u = arena.AllocateArrayUninitialized<uint64_t>(1);
+  (void)c;
+  EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(u) % alignof(uint64_t));
+}
+
+TEST(Arena, ResetReusesBlocks) {
+  Arena arena(1024);
+  void* first = arena.Allocate(100, 8);
+  arena.Allocate(100, 8);
+  size_t blocks = arena.num_blocks();
+  size_t reserved = arena.bytes_reserved();
+  arena.Reset();
+  EXPECT_EQ(0u, arena.bytes_used());
+  // Same storage comes back, no new blocks appear.
+  void* again = arena.Allocate(100, 8);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(blocks, arena.num_blocks());
+  EXPECT_EQ(reserved, arena.bytes_reserved());
+}
+
+TEST(Arena, ResetWalksRetainedBlocksBeforeGrowing) {
+  Arena arena(256);
+  // Force several blocks.
+  for (int i = 0; i < 8; ++i) arena.Allocate(200, 8);
+  size_t blocks = arena.num_blocks();
+  ASSERT_GT(blocks, 1u);
+  arena.Reset();
+  // The same footprint must fit in the retained blocks.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) arena.Allocate(200, 8);
+    EXPECT_EQ(blocks, arena.num_blocks()) << "round " << round;
+    arena.Reset();
+  }
+}
+
+TEST(Arena, OversizeSpillGetsDedicatedBlock) {
+  Arena arena(512);
+  char* big = static_cast<char*>(arena.Allocate(10000, 8));
+  std::memset(big, 0xAB, 10000);  // must be fully usable
+  EXPECT_GE(arena.bytes_reserved(), 10000u);
+  // Small allocations still work after a spill.
+  void* small = arena.Allocate(16, 8);
+  EXPECT_NE(nullptr, small);
+}
+
+TEST(ArenaPool, AcquireReleaseRoundTrip) {
+  ArenaPool pool;
+  Arena* a = pool.Acquire();
+  a->Allocate(64, 8);
+  EXPECT_GT(a->bytes_used(), 0u);
+  pool.Release(a);
+  // Released arena comes back reset.
+  Arena* b = pool.Acquire();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(0u, b->bytes_used());
+  Arena* c = pool.Acquire();  // pool empty -> new arena
+  EXPECT_NE(b, c);
+  EXPECT_EQ(2u, pool.num_arenas());
+}
+
+TEST(KeyBuf, InlineThenSpill) {
+  KeyBuf buf;
+  EXPECT_FALSE(buf.spilled());
+  std::string expect;
+  for (size_t i = 0; i < KeyBuf::kInlineBytes; ++i) {
+    buf.push_back(static_cast<char>('a' + (i % 26)));
+    expect.push_back(static_cast<char>('a' + (i % 26)));
+  }
+  EXPECT_FALSE(buf.spilled());
+  for (int i = 0; i < 100; ++i) {
+    buf.push_back('z');
+    expect.push_back('z');
+  }
+  EXPECT_TRUE(buf.spilled());
+  EXPECT_EQ(expect, buf.ToString());
+}
+
+TEST(KeyBuf, DoubleHeapSpillPreservesContents) {
+  // Regression: the second heap spill must copy out of the first spill
+  // buffer before freeing it.
+  KeyBuf buf;
+  std::string expect;
+  for (int round = 0; round < 6; ++round) {
+    std::string chunk(KeyBuf::kInlineBytes, static_cast<char>('a' + round));
+    buf.append(chunk.data(), chunk.size());
+    expect += chunk;
+  }
+  EXPECT_TRUE(buf.spilled());
+  EXPECT_EQ(expect, buf.ToString());
+}
+
+TEST(KeyBuf, ArenaSpillUsesArena) {
+  Arena arena;
+  KeyBuf buf(&arena);
+  std::string big(KeyBuf::kInlineBytes * 3, 'x');
+  buf.append(big.data(), big.size());
+  EXPECT_TRUE(buf.spilled());
+  EXPECT_GT(arena.bytes_used(), 0u);
+  EXPECT_EQ(big, buf.ToString());
+}
+
+TEST(KeyBuf, EncodeMatchesStringCodec) {
+  Row keys[] = {
+      {Value(int64_t{42})},
+      {Value(int64_t{-7}), Value(3.25)},
+      {Value("warehouse_17"), Value(int64_t{3})},
+      {Value(std::string("a\0b", 3))},
+      {Value(true), Value::Null()},
+  };
+  for (const Row& key : keys) {
+    KeyBuf buf;
+    EncodeKeyTo(key, &buf);
+    EXPECT_EQ(EncodeKey(key), buf.ToString());
+  }
+}
+
+TEST(KeyBuf, PrefixSuccessorInPlaceMatchesString) {
+  for (std::string s : {std::string("abc"), std::string("ab\xff"),
+                        std::string("\xff\xff"), std::string()}) {
+    KeyBuf buf;
+    buf.append(s.data(), s.size());
+    PrefixSuccessorInPlace(&buf);
+    EXPECT_EQ(PrefixSuccessor(s), buf.ToString()) << "input " << s;
+  }
+}
+
+TEST(FlatVec, GrowthPreservesContents) {
+  Arena arena;
+  FlatVec<uint64_t> v;
+  for (uint64_t i = 0; i < 1000; ++i) v.push_back(&arena, i * 3);
+  ASSERT_EQ(1000u, v.size());
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(i * 3, v[i]);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(PtrIndex, EmplaceFindDedup) {
+  Arena arena;
+  PtrIndex index;
+  std::vector<int> objects(500);
+  for (int i = 0; i < 500; ++i) {
+    auto [val, inserted] =
+        index.Emplace(&arena, &objects[i], static_cast<uint32_t>(i));
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(static_cast<uint32_t>(i), val);
+  }
+  // Duplicates return the first value.
+  for (int i = 0; i < 500; ++i) {
+    auto [val, inserted] = index.Emplace(&arena, &objects[i], 9999);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(static_cast<uint32_t>(i), val);
+    EXPECT_EQ(static_cast<uint32_t>(i), index.Find(&objects[i]));
+  }
+  int outside;
+  EXPECT_EQ(PtrIndex::kNpos, index.Find(&outside));
+  index.clear();
+  EXPECT_EQ(PtrIndex::kNpos, index.Find(&objects[0]));
+  EXPECT_EQ(0u, index.size());
+}
+
+TEST(ContainerSet, SortedDedupedIteration) {
+  Arena arena;
+  ContainerSet set;
+  for (uint32_t c : {5u, 1u, 3u, 5u, 1u, 0u, 7u}) set.insert(&arena, c);
+  std::vector<uint32_t> seen(set.begin(), set.end());
+  EXPECT_EQ((std::vector<uint32_t>{0, 1, 3, 5, 7}), seen);
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(2));
+  EXPECT_EQ(5u, set.size());
+}
+
+}  // namespace
+}  // namespace reactdb

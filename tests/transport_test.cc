@@ -341,14 +341,16 @@ TEST(ThreadTransport, FanOutBatchesPerDestinationContainer) {
 }
 
 // Equivalence: the loopback transport path and the legacy direct-call path
-// produce identical results on the banking workload. The simulated runtime
-// makes the comparison deterministic and exact.
+// produce identical results on the banking workload, with destination
+// arguments in both conventions (per-call-resolved name strings and
+// submit-time pre-resolved ReactorId handles). The simulated runtime makes
+// the comparison deterministic and exact.
 TEST(TransportEquivalence, SmallbankMatchesDirectPathExactly) {
   constexpr int64_t kCustomers = 24;
   constexpr int kContainers = 4;
   constexpr int kTxnsPerForm = 12;
 
-  auto run = [&](bool use_transport) {
+  auto run = [&](bool use_transport, bool handle_args) {
     auto def = std::make_unique<ReactorDatabaseDef>();
     smallbank::BuildDef(def.get(), kCustomers);
     SimRuntime rt;
@@ -365,13 +367,18 @@ TEST(TransportEquivalence, SmallbankMatchesDirectPathExactly) {
           smallbank::Formulation::kPartiallyAsync,
           smallbank::Formulation::kFullyAsync, smallbank::Formulation::kOpt}) {
       for (int i = 0; i < kTxnsPerForm; ++i) {
-        std::vector<std::string> dsts;
+        std::vector<std::string> dst_names;
+        std::vector<ReactorId> dst_ids;
         for (int j = 0; j < 5; ++j) {
           int64_t c = 1 + (slot++ % (kCustomers - 1));
-          dsts.push_back(smallbank::CustomerName(c));
+          dst_names.push_back(smallbank::CustomerName(c));
+          dst_ids.push_back(handles.customers[static_cast<size_t>(c)]);
         }
-        smallbank::MultiTransferCall call = smallbank::MakeMultiTransfer(
-            form, 1.0 + 0.25 * static_cast<double>(i), dsts);
+        double amount = 1.0 + 0.25 * static_cast<double>(i);
+        smallbank::MultiTransferCall call =
+            handle_args ? smallbank::MakeMultiTransfer(form, amount, dst_ids)
+                        : smallbank::MakeMultiTransfer(form, amount,
+                                                       dst_names);
         ProcResult r =
             rt.Execute(handles.customers[0], call.proc_id, call.args);
         trace.push_back(r.ok() ? "ok:" + r.value().ToString()
@@ -399,11 +406,20 @@ TEST(TransportEquivalence, SmallbankMatchesDirectPathExactly) {
     return trace;
   };
 
-  std::vector<std::string> with_transport = run(true);
-  std::vector<std::string> direct = run(false);
-  ASSERT_EQ(direct.size(), with_transport.size());
-  for (size_t i = 0; i < direct.size(); ++i) {
-    EXPECT_EQ(direct[i], with_transport[i]) << "trace entry " << i;
+  std::vector<std::string> baseline = run(false, false);
+  const char* kNames[] = {"transport+names", "direct+handles",
+                          "transport+handles"};
+  int variant = 0;
+  for (auto [use_transport, handle_args] :
+       {std::pair{true, false}, std::pair{false, true},
+        std::pair{true, true}}) {
+    std::vector<std::string> trace = run(use_transport, handle_args);
+    ASSERT_EQ(baseline.size(), trace.size()) << kNames[variant];
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(baseline[i], trace[i])
+          << kNames[variant] << " trace entry " << i;
+    }
+    ++variant;
   }
 }
 

@@ -289,7 +289,12 @@ TEST_F(SiloTxnTest, ContainersTracked) {
           .ok());
   ASSERT_TRUE(
       txn.Insert(&other, {Value(int64_t{1}), Value("b"), Value(0.0)}, 3).ok());
-  EXPECT_EQ((std::set<uint32_t>{0, 3}), txn.containers_touched());
+  const ContainerSet& touched = txn.containers_touched();
+  EXPECT_EQ((std::set<uint32_t>{0, 3}),
+            std::set<uint32_t>(touched.begin(), touched.end()));
+  EXPECT_TRUE(touched.contains(0));
+  EXPECT_TRUE(touched.contains(3));
+  EXPECT_FALSE(touched.contains(1));
   ASSERT_TRUE(txn.Commit(&tids_).ok());
 }
 
@@ -459,6 +464,147 @@ TEST(SiloTxnConcurrency, TransfersSerializeByCommitTid) {
   }
   EXPECT_DOUBLE_EQ(kAccounts * 1000.0, total);
   check.Abort();
+}
+
+// --- Multi-container commit interleavings against the flat-set SiloTxn ------
+//
+// These re-prove the validation semantics the arena/flat-set rewrite must
+// preserve: the write-set lock order is global across containers (sorted
+// once at commit by (container, record)), read-set validation catches a
+// foreign commit between read and validate, and node-set version checks
+// catch cross-container phantoms.
+
+Schema BalanceSchema(const std::string& name) {
+  return SchemaBuilder(name)
+      .AddColumn("id", ValueType::kInt64)
+      .AddColumn("balance", ValueType::kDouble)
+      .SetKey({"id"})
+      .Build()
+      .value();
+}
+
+class MultiContainerTest : public ::testing::Test {
+ protected:
+  MultiContainerTest()
+      : table0_(BalanceSchema("c0_balances")),
+        table1_(BalanceSchema("c1_balances")) {
+    SiloTxn loader(&epochs_);
+    EXPECT_TRUE(
+        loader.Insert(&table0_, {Value(int64_t{1}), Value(1000.0)}, 0).ok());
+    EXPECT_TRUE(
+        loader.Insert(&table1_, {Value(int64_t{1}), Value(1000.0)}, 1).ok());
+    EXPECT_TRUE(loader.Commit(&loader_tids_).ok());
+  }
+
+  double BalanceOf(Table* t, uint32_t container) {
+    SiloTxn txn(&epochs_);
+    StatusOr<Row> row = txn.Get(t, {Value(int64_t{1})}, container);
+    EXPECT_TRUE(row.ok());
+    (void)txn.Commit(&loader_tids_);
+    return row.ok() ? (*row)[1].AsNumeric() : 0.0;
+  }
+
+  EpochManager epochs_;
+  TidSource loader_tids_;
+  Table table0_;
+  Table table1_;
+};
+
+// Two threads move money between the containers in OPPOSITE access order
+// (t0->t1 vs t1->t0). The global (container, record-pointer) lock order
+// makes the locking phase deadlock-free regardless of buffering order, and
+// OCC validation serializes the interleavings: the cross-container total is
+// conserved exactly.
+TEST_F(MultiContainerTest, OppositeOrderTransfersConserveTotal) {
+  constexpr int kTransfersPerThread = 300;
+  auto worker = [this](bool forward, TidSource* tids, int* committed) {
+    Row key = {Value(int64_t{1})};
+    for (int i = 0; i < kTransfersPerThread;) {
+      SiloTxn txn(&epochs_);
+      Table* first = forward ? &table0_ : &table1_;
+      Table* second = forward ? &table1_ : &table0_;
+      uint32_t c_first = forward ? 0 : 1;
+      uint32_t c_second = forward ? 1 : 0;
+      StatusOr<Row> a = txn.Get(first, key, c_first);
+      StatusOr<Row> b = txn.Get(second, key, c_second);
+      if (!a.ok() || !b.ok()) {
+        txn.Abort();
+        continue;
+      }
+      Row na = *a;
+      na[1] = Value(na[1].AsNumeric() - 1.0);
+      Row nb = *b;
+      nb[1] = Value(nb[1].AsNumeric() + 1.0);
+      if (!txn.Update(first, key, na, c_first).ok() ||
+          !txn.Update(second, key, nb, c_second).ok()) {
+        txn.Abort();
+        continue;
+      }
+      EXPECT_EQ(2u, txn.containers_touched().size());
+      if (txn.Commit(tids).ok()) {
+        ++i;
+        ++*committed;
+      }
+    }
+  };
+  TidSource tids_a, tids_b;
+  int committed_a = 0, committed_b = 0;
+  std::thread ta(worker, true, &tids_a, &committed_a);
+  std::thread tb(worker, false, &tids_b, &committed_b);
+  ta.join();
+  tb.join();
+  EXPECT_EQ(kTransfersPerThread, committed_a);
+  EXPECT_EQ(kTransfersPerThread, committed_b);
+  // Each thread moved kTransfersPerThread units in opposite directions.
+  EXPECT_DOUBLE_EQ(2000.0, BalanceOf(&table0_, 0) + BalanceOf(&table1_, 1));
+}
+
+// A commits between B's read and B's validation: B's read-set entry for the
+// container-1 record is stale and the commit must abort, exactly as with
+// the node-allocating sets.
+TEST_F(MultiContainerTest, StaleCrossContainerReadFailsValidation) {
+  TidSource tids;
+  Row key = {Value(int64_t{1})};
+  SiloTxn reader(&epochs_);
+  ASSERT_TRUE(reader.Get(&table0_, key, 0).ok());
+  ASSERT_TRUE(reader.Get(&table1_, key, 1).ok());
+  Row bump = {Value(int64_t{1}), Value(1.0)};
+  ASSERT_TRUE(reader.Update(&table0_, key, bump, 0).ok());
+
+  SiloTxn writer(&epochs_);
+  ASSERT_TRUE(writer.Update(&table1_, key, bump, 1).ok());
+  ASSERT_TRUE(writer.Commit(&tids).ok());
+
+  StatusOr<uint64_t> outcome = reader.Commit(&tids);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsAbort());
+  // The failed commit must have released every lock: a fresh transaction
+  // can write both records.
+  SiloTxn retry(&epochs_);
+  ASSERT_TRUE(retry.Update(&table0_, key, bump, 0).ok());
+  ASSERT_TRUE(retry.Update(&table1_, key, bump, 1).ok());
+  EXPECT_TRUE(retry.Commit(&tids).ok());
+}
+
+// A's miss on container 1 goes into the node set; a foreign insert of that
+// key before A validates is a cross-container phantom and must abort A.
+TEST_F(MultiContainerTest, CrossContainerPhantomFailsNodeValidation) {
+  TidSource tids;
+  SiloTxn scanner(&epochs_);
+  EXPECT_TRUE(
+      scanner.Get(&table1_, {Value(int64_t{7})}, 1).status().IsNotFound());
+  ASSERT_GT(scanner.node_set_size(), 0u);
+  Row bump = {Value(int64_t{1}), Value(5.0)};
+  ASSERT_TRUE(scanner.Update(&table0_, {Value(int64_t{1})}, bump, 0).ok());
+
+  SiloTxn inserter(&epochs_);
+  ASSERT_TRUE(
+      inserter.Insert(&table1_, {Value(int64_t{7}), Value(1.0)}, 1).ok());
+  ASSERT_TRUE(inserter.Commit(&tids).ok());
+
+  StatusOr<uint64_t> outcome = scanner.Commit(&tids);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsAbort());
 }
 
 TEST(TidSourceTest, MonotoneAndEpochAware) {

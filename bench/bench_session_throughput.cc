@@ -1,0 +1,167 @@
+// Session throughput microbench: pipelined vs blocking submission.
+//
+// A smallbank point-transaction stream (transact_saving on a distinct
+// customer per request, spread over 8 shared-nothing containers) is driven
+// through one client::Session in two modes:
+//   blocking   — window 1, Submit + Wait per transaction (the old
+//                Execute-loop shape every bench used to hand-roll)
+//   pipelined  — window W, submissions ride the window and results are
+//                consumed via FIFO futures
+//
+// Both modes run twice:
+//  * on the calibrated simulator (virtual time) — deterministic on any
+//    host: a blocking client uses one executor at a time, a pipelined
+//    window spreads over the containers (window 8 measures 4.2x here).
+//    This is the CI gate (speedup at window 8 must be >= 2x).
+//  * on the thread runtime (real time) — reported for trend inspection;
+//    the ratio depends on the host's core count, so it is not gated.
+//
+// Usage: bench_session_throughput [out.json [num_txns]]
+// Writes a JSON summary (BENCH_pr4.json in CI).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/reactdb.h"
+#include "src/util/logging.h"
+#include "src/workloads/smallbank/smallbank.h"
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+constexpr int kContainers = 8;
+constexpr int64_t kCustomers = 8000;
+
+struct ModeResult {
+  double blocking_tps = 0;
+  std::vector<std::pair<int, double>> pipelined;  // (window, tps)
+  double speedup_at_8 = 0;
+};
+
+/// Runs `n` transact_saving transactions through `session`, spreading
+/// customers over all containers, consuming every future in FIFO order.
+/// Returns elapsed seconds on the session clock (virtual seconds under the
+/// simulator, real seconds under threads).
+double RunStream(client::Database& db, client::Session& session,
+                 const smallbank::Handles& handles, int n) {
+  double t0 = db.NowUs();
+  // Consume-as-you-go: keep at most `window` futures alive and wait for
+  // the oldest once the window is full — the natural pipelined client loop.
+  std::vector<client::SessionFuture> inflight;
+  size_t window = session.options().max_outstanding;
+  size_t head = 0;
+  for (int i = 0; i < n; ++i) {
+    if (inflight.size() - head >= window) {
+      REACTDB_CHECK(inflight[head].Wait().ok());
+      ++head;
+    }
+    // Rotate containers request-to-request (placement is a range partition
+    // of kCustomers / kContainers per container), so a pipelined window
+    // spreads over all executors while consecutive requests never reuse a
+    // customer.
+    int64_t per = kCustomers / kContainers;
+    int64_t idx = (i % kContainers) * per + 1 + (i / kContainers) % (per - 1);
+    ReactorId customer = handles.customers[static_cast<size_t>(idx)];
+    inflight.push_back(session.Submit(
+        customer, smallbank::kTransactSavingProc, {Value(1.0)}));
+  }
+  while (head < inflight.size()) {
+    REACTDB_CHECK(inflight[head].Wait().ok());
+    ++head;
+  }
+  return (db.NowUs() - t0) * 1e-6;
+}
+
+ModeResult RunMode(const client::Database::Options& options, int num_txns,
+                   const char* label) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  smallbank::BuildDef(def.get(), kCustomers);
+  client::Database db;
+  REACTDB_CHECK_OK(
+      db.Open(def.get(), DeploymentConfig::SharedNothing(kContainers),
+              options));
+  REACTDB_CHECK_OK(smallbank::Load(db.runtime(), kCustomers));
+  smallbank::Handles handles =
+      smallbank::ResolveHandles(db.runtime(), kCustomers);
+
+  ModeResult result;
+  {
+    auto session = db.CreateSession({.max_outstanding = 1});
+    RunStream(db, *session, handles, num_txns / 10 + 1);  // warm
+    double secs = RunStream(db, *session, handles, num_txns);
+    result.blocking_tps = num_txns / secs;
+    std::printf("%-10s %-12s %-12d %-12.0f\n", label, "blocking", 1,
+                result.blocking_tps);
+  }
+  for (int window : {2, 4, 8, 16, 32}) {
+    auto session = db.CreateSession(
+        {.max_outstanding = static_cast<size_t>(window)});
+    RunStream(db, *session, handles, num_txns / 10 + 1);  // warm
+    double secs = RunStream(db, *session, handles, num_txns);
+    double tps = num_txns / secs;
+    result.pipelined.push_back({window, tps});
+    std::printf("%-10s %-12s %-12d %-12.0f\n", label, "pipelined", window,
+                tps);
+  }
+  for (auto& [w, tps] : result.pipelined) {
+    if (w == 8) result.speedup_at_8 = tps / result.blocking_tps;
+  }
+  std::printf("%-10s speedup at window 8: %.2fx\n\n", label,
+              result.speedup_at_8);
+  db.Shutdown();
+  return result;
+}
+
+void PrintModeJson(std::FILE* f, const char* key, const ModeResult& r) {
+  std::fprintf(f, "  \"%s\": {\n", key);
+  std::fprintf(f, "    \"blocking_tps\": %.1f,\n", r.blocking_tps);
+  std::fprintf(f, "    \"pipelined_tps\": {");
+  for (size_t i = 0; i < r.pipelined.size(); ++i) {
+    std::fprintf(f, "%s\"%d\": %.1f", i == 0 ? "" : ", ",
+                 r.pipelined[i].first, r.pipelined[i].second);
+  }
+  std::fprintf(f, "},\n");
+  std::fprintf(f, "    \"speedup_at_window_8\": %.3f\n  }", r.speedup_at_8);
+}
+
+void Run(const std::string& out_path, int num_txns) {
+  std::printf(
+      "session throughput, smallbank transact_saving, %d containers, "
+      "%d txns per mode\n\n",
+      kContainers, num_txns);
+  std::printf("%-10s %-12s %-12s %-12s\n", "runtime", "mode", "window",
+              "tps");
+
+  ModeResult sim =
+      RunMode(client::Database::Sim(), num_txns, "sim");
+  ModeResult threads =
+      RunMode(client::Database::Threads(), num_txns, "threads");
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    REACTDB_CHECK(f != nullptr);
+    std::fprintf(f, "{\n  \"bench\": \"session_throughput_smallbank\",\n");
+    std::fprintf(f, "  \"num_txns\": %d,\n", num_txns);
+    PrintModeJson(f, "sim", sim);
+    std::fprintf(f, ",\n");
+    PrintModeJson(f, "threads", threads);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main(int argc, char** argv) {
+  std::string out = argc > 1 ? argv[1] : "";
+  int num_txns = argc > 2 ? std::atoi(argv[2]) : 20000;
+  reactdb::bench::Run(out, num_txns);
+  return 0;
+}

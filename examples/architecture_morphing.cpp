@@ -42,9 +42,9 @@ int main() {
 
     ReactorDatabaseDef def;
     tpcc::BuildDef(&def, kWarehouses);
-    SimRuntime db;
-    REACTDB_CHECK_OK(db.Bootstrap(&def, dc));
-    REACTDB_CHECK_OK(tpcc::Load(&db, kWarehouses));
+    client::Database db;
+    REACTDB_CHECK_OK(db.Open(&def, dc, client::Database::Sim()));
+    REACTDB_CHECK_OK(tpcc::Load(db.runtime(), kWarehouses));
 
     tpcc::GeneratorOptions gen_options;
     gen_options.num_warehouses = kWarehouses;
@@ -58,12 +58,13 @@ int main() {
     options.num_epochs = 10;
     options.epoch_us = 20000;
     options.warmup_us = 10000;
-    harness::DriverResult r = harness::RunClosedLoop(&db, options, request_gen);
+    harness::DriverResult r =
+        harness::RunClosedLoop(db.sim(), options, request_gen);
 
     std::printf("%s  -> %0.f txn/s, %.1f us avg latency, %.2f%% aborts\n\n",
                 config.GetString("database", "deployment").c_str(),
                 r.ThroughputTps(), r.mean_latency_us, 100 * r.abort_rate);
-    REACTDB_CHECK_OK(tpcc::CheckConsistency(&db, kWarehouses));
+    REACTDB_CHECK_OK(tpcc::CheckConsistency(db.runtime(), kWarehouses));
   }
   std::printf("application code untouched across all three deployments.\n");
   return 0;

@@ -28,10 +28,11 @@ int main() {
         Formulation::kFullyAsync, Formulation::kOpt}) {
     ReactorDatabaseDef def;
     smallbank::BuildDef(&def, kCustomers);
-    SimRuntime db;
-    REACTDB_CHECK_OK(
-        db.Bootstrap(&def, DeploymentConfig::SharedNothing(kContainers)));
-    REACTDB_CHECK_OK(smallbank::Load(&db, kCustomers));
+    client::Database db;
+    REACTDB_CHECK_OK(db.Open(&def,
+                             DeploymentConfig::SharedNothing(kContainers),
+                             client::Database::Sim()));
+    REACTDB_CHECK_OK(smallbank::Load(db.runtime(), kCustomers));
 
     int64_t slot = 0;
     auto gen = [&slot, form](int) {
@@ -50,13 +51,15 @@ int main() {
     options.num_epochs = 10;
     options.epoch_us = 20000;
     options.warmup_us = 10000;
-    harness::DriverResult result = harness::RunClosedLoop(&db, options, gen);
+    // The driver submits through per-worker client Sessions.
+    harness::DriverResult result =
+        harness::RunClosedLoop(db.sim(), options, gen);
     std::printf("%-18s avg latency %7.2f us   (p99 %7.2f us)\n",
                 smallbank::FormulationName(form), result.mean_latency_us,
                 result.latency_hist.Percentile(0.99));
 
     // The money is conserved under every formulation.
-    double total = smallbank::TotalBalance(&db, kCustomers).value();
+    double total = smallbank::TotalBalance(db.runtime(), kCustomers).value();
     REACTDB_CHECK(total == 20000.0 * kCustomers);
   }
   std::printf(

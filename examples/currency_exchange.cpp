@@ -14,25 +14,32 @@ using namespace reactdb;  // NOLINT: example brevity
 int main() {
   ReactorDatabaseDef def;
   exchange::BuildPartitionedDef(&def, /*num_providers=*/4);
-  SimRuntime db;
-  // One container for the exchange + one per provider.
-  REACTDB_CHECK_OK(db.Bootstrap(&def, DeploymentConfig::SharedNothing(5)));
-  REACTDB_CHECK_OK(exchange::LoadPartitioned(&db, /*num_providers=*/4,
+  // One container for the exchange + one per provider, on the simulated
+  // machine — the Database facade makes that an Options choice, not a
+  // different program.
+  client::Database db;
+  REACTDB_CHECK_OK(db.Open(&def, DeploymentConfig::SharedNothing(5),
+                           client::Database::Sim()));
+  REACTDB_CHECK_OK(exchange::LoadPartitioned(db.runtime(), /*num_providers=*/4,
                                              /*orders_per_provider=*/2000));
 
-  // Authorize a payment: calc_risk runs overlapped on all four Provider
-  // reactors; add_entry lands on the paying provider. ACID throughout.
-  ProcResult r = db.Execute(
-      exchange::ExchangeName(), "auth_pay",
+  // Authorize a payment through a session: calc_risk runs overlapped on all
+  // four Provider reactors; add_entry lands on the paying provider. ACID
+  // throughout.
+  auto session = db.CreateSession();
+  client::TxnOutcome out = session->Execute(
+      db.ResolveReactor(exchange::ExchangeName()),
+      db.ResolveProc(db.ResolveReactor(exchange::ExchangeName()), "auth_pay"),
       exchange::AuthPayArgs(exchange::ProviderName(2), /*wallet=*/4242,
                             /*value=*/125.50, /*nrandoms=*/10000));
-  if (r.ok()) {
+  if (out.ok()) {
     std::printf("auth_pay committed, total risk-adjusted exposure %.2f\n",
-                r->AsNumeric());
+                out.result->AsNumeric());
   } else {
-    std::printf("auth_pay aborted: %s\n", r.status().ToString().c_str());
+    std::printf("auth_pay aborted: %s\n", out.status().ToString().c_str());
   }
-  std::printf("virtual time elapsed: %.1f us\n", db.events().now());
+  std::printf("virtual time elapsed: %.1f us (txn latency %.1f us)\n",
+              db.NowUs(), out.latency_us());
 
   // The order is visible afterwards on the provider reactor.
   Status check = db.RunDirect([&db](SiloTxn& txn) -> Status {

@@ -2,8 +2,9 @@
 //
 //   1. define a reactor type (schema + procedures as C++20 coroutines)
 //   2. declare named reactors
-//   3. bootstrap a deployment (here: shared-nothing, 2 containers)
-//   4. run transactions, including an asynchronous cross-reactor transfer
+//   3. open a Database (here: OS threads, shared-nothing, 2 containers)
+//   4. run transactions — blocking Execute and a pipelined Session with an
+//      asynchronous cross-reactor transfer
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -73,9 +74,11 @@ int main() {
     REACTDB_CHECK_OK(def.DeclareReactor(name, "Account"));
   }
 
-  // 3: deployment — change this line (not the app!) to morph architecture.
-  ThreadRuntime db;
-  REACTDB_CHECK_OK(db.Bootstrap(&def, DeploymentConfig::SharedNothing(2)));
+  // 3: deployment — change this line (not the app!) to morph architecture;
+  // change the Options to run the same program on the simulator instead of
+  // OS threads.
+  client::Database db;
+  REACTDB_CHECK_OK(db.Open(&def, DeploymentConfig::SharedNothing(2)));
   REACTDB_CHECK_OK(db.RunDirect([&db](SiloTxn& txn) -> Status {
     for (const char* name : {"alice", "bob", "carol"}) {
       REACTDB_ASSIGN_OR_RETURN(Table * t, db.FindTable(name, "account"));
@@ -85,9 +88,8 @@ int main() {
     }
     return Status::OK();
   }));
-  REACTDB_CHECK_OK(db.Start());
 
-  // 4: transactions.
+  // 4a: blocking transactions (a single-slot session under the hood).
   ProcResult r = db.Execute("alice", "transfer", {Value("bob"), Value(30.0)});
   std::printf("alice -> bob 30: %s\n",
               r.ok() ? "committed" : r.status().ToString().c_str());
@@ -96,10 +98,34 @@ int main() {
   std::printf("carol withdraw 1000: %s (expected user abort)\n",
               r.ok() ? "committed?!" : r.status().ToString().c_str());
 
+  // 4b: pipelined asynchronous invocation through a Session — handles are
+  // resolved once, then four deposits ride the window together and the
+  // results come back in submission order.
+  {
+    ReactorId alice = db.ResolveReactor("alice");
+    ProcId deposit = db.ResolveProc(alice, "deposit");
+    auto session = db.CreateSession({.max_outstanding = 4});
+    std::vector<client::SessionFuture> futures;
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(session->Submit(alice, deposit, {Value(5.0)}));
+    }
+    for (client::SessionFuture& f : futures) {
+      client::TxnOutcome out = f.Wait();
+      REACTDB_CHECK(out.ok());
+      std::printf("pipelined deposit -> alice balance %.2f\n",
+                  out.result->AsNumeric());
+    }
+    client::SessionStats stats = session->stats();
+    std::printf("session: %llu committed, %llu aborted, p50 latency %.0f us\n",
+                static_cast<unsigned long long>(stats.committed),
+                static_cast<unsigned long long>(stats.total_aborted()),
+                stats.latency_us.Median());
+  }
+
   for (const char* name : {"alice", "bob", "carol"}) {
     ProcResult balance = db.Execute(name, "deposit", {Value(0.0)});
     std::printf("%s balance: %.2f\n", name, balance->AsNumeric());
   }
-  db.Stop();
+  db.Shutdown();
   return 0;
 }

@@ -1,0 +1,40 @@
+#include "src/client/database.h"
+
+namespace reactdb {
+namespace client {
+
+Status Database::Open(const ReactorDatabaseDef* def,
+                      const DeploymentConfig& dc, Options options) {
+  if (rt_ != nullptr) return Status::Internal("database already open");
+  closed_ = false;
+  if (options.mode == Mode::kSim) {
+    auto sim = std::make_unique<SimRuntime>(options.sim_params);
+    REACTDB_RETURN_IF_ERROR(sim->Bootstrap(def, dc));
+    sim_ = sim.get();
+    rt_ = std::move(sim);
+    return Status::OK();
+  }
+  auto threads = std::make_unique<ThreadRuntime>();
+  REACTDB_RETURN_IF_ERROR(threads->Bootstrap(def, dc));
+  REACTDB_RETURN_IF_ERROR(threads->Start(options.epoch_tick_ms));
+  threads_ = threads.get();
+  rt_ = std::move(threads);
+  return Status::OK();
+}
+
+void Database::Shutdown() {
+  if (rt_ == nullptr || closed_) return;
+  closed_ = true;
+  if (threads_ != nullptr) {
+    threads_->Stop();  // drains outstanding roots, then joins executors
+  } else if (sim_ != nullptr) {
+    sim_->RunAll();        // quiesce: every submitted root finalizes
+    sim_->StopAccepting();  // post-shutdown submissions fail fast
+  }
+  // The runtime object intentionally survives until ~Database: sessions
+  // created from it may still be drained and their retained results
+  // consumed; new submissions fail fast with Unavailable.
+}
+
+}  // namespace client
+}  // namespace reactdb

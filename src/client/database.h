@@ -1,0 +1,137 @@
+// Database: the runtime-agnostic client facade.
+//
+// Erases the ThreadRuntime/SimRuntime split behind one handle so examples,
+// tests, and benches are written once and run on OS threads or on the
+// discrete-event simulator by flipping an Options field:
+//
+//   client::Database db;
+//   REACTDB_CHECK_OK(db.Open(&def, DeploymentConfig::SharedNothing(4)));
+//   auto session = db.CreateSession({.max_outstanding = 8});
+//   auto f = session->Submit(reactor, proc, args);
+//   ...
+//   db.Shutdown();   // drains outstanding work deterministically
+//
+// Open() bootstraps (and, for the thread runtime, starts executors and the
+// epoch ticker); Shutdown() drains every outstanding root before stopping —
+// no session future is left pending, no completion callback leaks.
+
+#ifndef REACTDB_CLIENT_DATABASE_H_
+#define REACTDB_CLIENT_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/client/session.h"
+#include "src/runtime/sim_runtime.h"
+#include "src/runtime/thread_runtime.h"
+
+namespace reactdb {
+namespace client {
+
+class Database {
+ public:
+  enum class Mode {
+    kThreads,  // ThreadRuntime: one OS thread per transaction executor
+    kSim,      // SimRuntime: deterministic discrete-event virtual time
+  };
+
+  struct Options {
+    Mode mode = Mode::kThreads;
+    /// Cost calibration, kSim only.
+    CostParams sim_params;
+    /// Epoch ticker cadence, kThreads only.
+    uint64_t epoch_tick_ms = 10;
+  };
+
+  static Options Threads() { return Options{}; }
+  static Options Sim(CostParams params = CostParams()) {
+    Options o;
+    o.mode = Mode::kSim;
+    o.sim_params = params;
+    return o;
+  }
+
+  Database() = default;
+  ~Database() { Shutdown(); }
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates the runtime, bootstraps the deployment, and (thread mode)
+  /// starts the executors. `def` must outlive the database.
+  Status Open(const ReactorDatabaseDef* def, const DeploymentConfig& dc,
+              Options options);
+  Status Open(const ReactorDatabaseDef* def, const DeploymentConfig& dc) {
+    return Open(def, dc, Options());
+  }
+
+  /// Deterministic teardown: drains every outstanding root (thread mode
+  /// stops executors afterwards; sim mode runs the event queue to
+  /// quiescence). The runtime object stays alive — sessions created from
+  /// this database remain safe to drain/consume after Shutdown, and new
+  /// submissions fail fast with Unavailable instead of hanging. Idempotent.
+  void Shutdown();
+
+  bool is_open() const { return rt_ != nullptr && !closed_; }
+
+  /// Opens a pipelined client session. The session must not outlive the
+  /// database (Shutdown drains it first — destroy sessions before calling
+  /// Shutdown, or let ~Database handle both in order).
+  std::unique_ptr<Session> CreateSession(
+      SessionOptions options = SessionOptions()) {
+    return std::make_unique<Session>(rt_.get(), options);
+  }
+
+  // --- Blocking conveniences (single-slot session) --------------------------
+  ProcResult Execute(ReactorId reactor, ProcId proc, Row args) {
+    return rt_->Execute(reactor, proc, std::move(args));
+  }
+  ProcResult Execute(const std::string& reactor_name,
+                     const std::string& proc_name, Row args) {
+    return rt_->Execute(reactor_name, proc_name, std::move(args));
+  }
+
+  // --- Pass-throughs --------------------------------------------------------
+  Status RunDirect(const std::function<Status(SiloTxn&)>& fn) {
+    return rt_->RunDirect(fn);
+  }
+  ReactorId ResolveReactor(const std::string& name) const {
+    return rt_->ResolveReactor(name);
+  }
+  ProcId ResolveProc(ReactorId reactor, const std::string& proc) const {
+    return rt_->ResolveProc(reactor, proc);
+  }
+  TableSlot ResolveTable(ReactorId reactor, const std::string& table) const {
+    return rt_->ResolveTable(reactor, table);
+  }
+  Reactor* FindReactor(const std::string& name) const {
+    return rt_->FindReactor(name);
+  }
+  StatusOr<Table*> FindTable(const std::string& reactor_name,
+                             const std::string& table_name) const {
+    return rt_->FindTable(reactor_name, table_name);
+  }
+  const RuntimeStats& stats() const { return rt_->stats(); }
+  const DeploymentConfig& deployment() const { return rt_->deployment(); }
+  /// Session clock: virtual microseconds in sim mode, steady real time in
+  /// thread mode.
+  double NowUs() const { return rt_->SessionNowUs(); }
+
+  /// The underlying runtime (never null while open). sim()/threads() are
+  /// null when the database runs in the other mode — mode-specific code
+  /// (event-queue access, cost params) should gate on them.
+  RuntimeBase* runtime() const { return rt_.get(); }
+  SimRuntime* sim() const { return sim_; }
+  ThreadRuntime* threads() const { return threads_; }
+
+ private:
+  std::unique_ptr<RuntimeBase> rt_;
+  SimRuntime* sim_ = nullptr;
+  ThreadRuntime* threads_ = nullptr;
+  bool closed_ = false;
+};
+
+}  // namespace client
+}  // namespace reactdb
+
+#endif  // REACTDB_CLIENT_DATABASE_H_

@@ -1,0 +1,355 @@
+#include "src/client/session.h"
+
+#include "src/util/logging.h"
+
+namespace reactdb {
+namespace client {
+
+// Locking protocol: mu_ guards all slot/retained/stats state and is never
+// held across a call into the runtime (Submit, ClientWait,
+// NotifyClientProgress) or a user callback — ThreadRuntime's client
+// condition variable evaluates wait predicates that take mu_, so holding it
+// while notifying would invert the lock order.
+
+Session::Session(RuntimeBase* rt, SessionOptions options)
+    : rt_(rt), options_(options) {
+  REACTDB_CHECK(rt_ != nullptr);
+  if (options_.max_outstanding == 0) options_.max_outstanding = 1;
+  if (options_.retry.max_attempts < 1) options_.retry.max_attempts = 1;
+  slots_.resize(options_.max_outstanding);
+  retained_.reserve(options_.max_outstanding);
+}
+
+Session::~Session() { Drain(); }
+
+size_t Session::TryClaimLocked() {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (s.state != Slot::State::kFree) continue;
+    s.state = Slot::State::kInFlight;
+    s.has_then = false;
+    s.waited = false;
+    s.ticket = next_ticket_++;
+    s.attempts = 0;
+    s.then = nullptr;
+    return i;
+  }
+  return kNpos;
+}
+
+size_t Session::SlotOfTicketLocked(uint64_t ticket) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].state != Slot::State::kFree && slots_[i].ticket == ticket) {
+      return i;
+    }
+  }
+  return kNpos;
+}
+
+size_t Session::InFlightLocked() const {
+  size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.state == Slot::State::kInFlight ||
+        s.state == Slot::State::kCompleted) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+SessionFuture Session::Submit(ReactorId reactor, ProcId proc, Row args) {
+  size_t idx = kNpos;
+  // Backpressure: park until a window slot frees (virtual time advances
+  // under SimRuntime). The claim happens inside the predicate so two client
+  // threads cannot race for the same slot.
+  rt_->ClientWait([this, &idx] {
+    std::lock_guard<std::mutex> lock(mu_);
+    idx = TryClaimLocked();
+    return idx != kNpos;
+  });
+  return SubmitClaimed(idx, reactor, proc, std::move(args));
+}
+
+SessionFuture Session::Submit(const std::string& reactor_name,
+                              const std::string& proc_name, Row args) {
+  // One-time resolution shim; invalid names resolve to invalid handles and
+  // the future then carries the runtime's NotFound.
+  ReactorId reactor = rt_->ResolveReactor(reactor_name);
+  ProcId proc = rt_->ResolveProc(reactor, proc_name);
+  return Submit(reactor, proc, std::move(args));
+}
+
+StatusOr<SessionFuture> Session::TrySubmit(ReactorId reactor, ProcId proc,
+                                           Row args) {
+  size_t idx;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idx = TryClaimLocked();
+    if (idx == kNpos) {
+      ++stats_.overloaded;
+      return Status::Overloaded("session window full (" +
+                                std::to_string(slots_.size()) +
+                                " outstanding)");
+    }
+  }
+  return SubmitClaimed(idx, reactor, proc, std::move(args));
+}
+
+SessionFuture Session::SubmitClaimed(size_t idx, ReactorId reactor,
+                                     ProcId proc, Row args) {
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& s = slots_[idx];
+    ticket = s.ticket;
+    s.reactor = reactor;
+    s.proc = proc;
+    s.outcome = TxnOutcome{};
+    s.outcome.submit_us = rt_->SessionNowUs();
+    if (options_.retry.max_attempts > 1) s.retry_args = args;
+    ++stats_.submitted;
+  }
+  // The completion callback captures only {this, idx}: it fits the
+  // std::function inline buffer, so steady-state submission does not
+  // allocate in the session layer.
+  Status st = rt_->Submit(reactor, proc, std::move(args),
+                          [this, idx](ProcResult r, const RootTxn& root) {
+                            OnRootDone(idx, std::move(r), root);
+                          });
+  if (!st.ok()) {
+    // Never reached the runtime (unknown target, stopped runtime):
+    // synthesize the completion so the future resolves deterministically.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++slots_[idx].attempts;
+    }
+    Complete(idx, ProcResult(std::move(st)), RootTxn::Profile{}, 0,
+             /*rejected=*/true);
+  }
+  return SessionFuture(this, ticket);
+}
+
+void Session::OnRootDone(size_t idx, ProcResult result, const RootTxn& root) {
+  bool retry = false;
+  ReactorId reactor;
+  ProcId proc;
+  Row args;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& s = slots_[idx];
+    ++s.attempts;
+    if (!result.ok() && s.attempts < options_.retry.max_attempts &&
+        rt_->AcceptingSubmits()) {
+      const Status& st = result.status();
+      if (st.IsAborted() ||
+          (st.IsSafetyAbort() && options_.retry.retry_safety_aborts)) {
+        retry = true;
+        reactor = s.reactor;
+        proc = s.proc;
+        args = s.retry_args;  // copy — later attempts may need it again
+        ++stats_.retried;
+      }
+    }
+  }
+  if (retry) {
+    Status st = rt_->Submit(reactor, proc, std::move(args),
+                            [this, idx](ProcResult r, const RootTxn& root2) {
+                              OnRootDone(idx, std::move(r), root2);
+                            });
+    if (st.ok()) return;
+    Complete(idx, ProcResult(std::move(st)), RootTxn::Profile{}, 0,
+             /*rejected=*/true);
+    return;
+  }
+  Complete(idx, std::move(result), root.profile, root.commit_tid);
+}
+
+void Session::Complete(size_t idx, ProcResult result,
+                       const RootTxn::Profile& profile, uint64_t commit_tid,
+                       bool rejected) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& s = slots_[idx];
+    REACTDB_CHECK(s.state == Slot::State::kInFlight);
+    s.outcome.result = std::move(result);
+    s.outcome.profile = profile;
+    s.outcome.commit_tid = commit_tid;
+    s.outcome.attempts = s.attempts;
+    s.outcome.rejected = rejected;
+    s.outcome.complete_us = rt_->SessionNowUs();
+    if (s.outcome.result.ok()) {
+      ++stats_.committed;
+      stats_.latency_us.Add(s.outcome.latency_us());
+    } else {
+      const Status& st = s.outcome.result.status();
+      if (st.IsAborted()) {
+        ++stats_.aborted_cc;
+      } else if (st.IsUserAbort()) {
+        ++stats_.aborted_user;
+      } else if (st.IsSafetyAbort()) {
+        ++stats_.aborted_safety;
+      } else {
+        ++stats_.failed;
+      }
+    }
+    s.state = Slot::State::kCompleted;
+  }
+  RunDeliveries();
+}
+
+void Session::RunDeliveries() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (delivering_) return;  // the active deliverer picks this up
+    delivering_ = true;
+  }
+  while (true) {
+    std::function<void(TxnOutcome)> then;
+    TxnOutcome outcome;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      size_t idx = SlotOfTicketLocked(next_deliver_);
+      if (idx == kNpos || slots_[idx].state != Slot::State::kCompleted) {
+        delivering_ = false;
+        break;
+      }
+      Slot& s = slots_[idx];
+      ++next_deliver_;
+      if (s.has_then) {
+        then = std::move(s.then);
+        s.then = nullptr;
+        outcome = std::move(s.outcome);
+        s.state = Slot::State::kFree;
+      } else if (s.waited) {
+        // Park the outcome for the blocked waiter; the slot frees when the
+        // waiter consumes it.
+        s.state = Slot::State::kDelivered;
+        continue;
+      } else {
+        retained_.push_back({s.ticket, std::move(s.outcome)});
+        s.state = Slot::State::kFree;
+      }
+    }
+    if (then) then(std::move(outcome));
+  }
+  // Slots freed / cursor advanced: blocked Submit / Wait / Drain callers
+  // re-evaluate.
+  rt_->NotifyClientProgress();
+}
+
+TxnOutcome Session::WaitTicket(uint64_t ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t idx = SlotOfTicketLocked(ticket);
+    if (idx != kNpos) slots_[idx].waited = true;
+  }
+  rt_->ClientWait([this, ticket] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ticket < next_deliver_;
+  });
+  TxnOutcome out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = ConsumeLocked(ticket);
+  }
+  rt_->NotifyClientProgress();  // consuming may have freed a window slot
+  return out;
+}
+
+bool Session::ReadyTicket(uint64_t ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticket != 0 && ticket < next_deliver_;
+}
+
+void Session::ThenTicket(uint64_t ticket, std::function<void(TxnOutcome)> fn) {
+  TxnOutcome out;
+  bool run_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t idx = SlotOfTicketLocked(ticket);
+    if (idx != kNpos && (slots_[idx].state == Slot::State::kInFlight ||
+                         slots_[idx].state == Slot::State::kCompleted)) {
+      slots_[idx].then = std::move(fn);
+      slots_[idx].has_then = true;
+    } else {
+      // Already delivered (parked or retained) — consume and run inline.
+      out = ConsumeLocked(ticket);
+      run_now = true;
+    }
+  }
+  if (run_now) {
+    rt_->NotifyClientProgress();
+    fn(std::move(out));
+  } else {
+    // Defensive: if the ticket became deliverable between completion and
+    // the attach, make sure a deliverer runs.
+    RunDeliveries();
+  }
+}
+
+TxnOutcome Session::ConsumeLocked(uint64_t ticket) {
+  size_t idx = SlotOfTicketLocked(ticket);
+  if (idx != kNpos && slots_[idx].state == Slot::State::kDelivered) {
+    TxnOutcome out = std::move(slots_[idx].outcome);
+    slots_[idx].state = Slot::State::kFree;
+    return out;
+  }
+  for (size_t i = 0; i < retained_.size(); ++i) {
+    if (retained_[i].ticket == ticket) {
+      TxnOutcome out = std::move(retained_[i].outcome);
+      retained_[i] = std::move(retained_.back());
+      retained_.pop_back();
+      return out;
+    }
+  }
+  TxnOutcome out;
+  out.result = ProcResult(Status::Internal("session result already consumed"));
+  return out;
+}
+
+TxnOutcome Session::Execute(ReactorId reactor, ProcId proc, Row args) {
+  return Submit(reactor, proc, std::move(args)).Wait();
+}
+
+TxnOutcome Session::Execute(const std::string& reactor_name,
+                            const std::string& proc_name, Row args) {
+  return Submit(reactor_name, proc_name, std::move(args)).Wait();
+}
+
+void Session::Drain() {
+  rt_->ClientWait([this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return InFlightLocked() == 0;
+  });
+}
+
+size_t Session::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InFlightLocked();
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool SessionFuture::Ready() const {
+  return session_ != nullptr && session_->ReadyTicket(ticket_);
+}
+
+TxnOutcome SessionFuture::Wait() {
+  if (session_ == nullptr) {
+    TxnOutcome out;
+    out.result = ProcResult(Status::Internal("invalid session future"));
+    return out;
+  }
+  return session_->WaitTicket(ticket_);
+}
+
+void SessionFuture::Then(std::function<void(TxnOutcome)> fn) {
+  if (session_ == nullptr) return;
+  session_->ThenTicket(ticket_, std::move(fn));
+}
+
+}  // namespace client
+}  // namespace reactdb

@@ -3,6 +3,8 @@
 #include <memory>
 #include <sstream>
 
+#include "src/util/logging.h"
+
 namespace reactdb {
 namespace harness {
 
@@ -12,6 +14,10 @@ struct DriverState {
   SimRuntime* rt;
   DriverOptions options;
   RequestGen gen;
+
+  /// One pipelined client session per worker; every submission in the
+  /// driver goes through the session layer (the path applications use).
+  std::vector<std::unique_ptr<client::Session>> sessions;
 
   bool stopped = false;
   bool measuring = false;
@@ -56,33 +62,46 @@ void NextTxn(std::shared_ptr<DriverState> st, int worker);
 
 void SubmitOne(std::shared_ptr<DriverState> st, int worker, double t0) {
   Request req = st->gen(worker);
-  auto done =
-      [st, worker, t0](ProcResult outcome, const RootTxn& root) {
-        // Runs inside the finalizing executor's segment; completion reaches
-        // the client after the notify boundary cost.
-        double completion =
-            st->rt->NowUs() + st->rt->params().client_notify_us;
-        RootTxn::Profile profile = root.profile;
-        profile.input_gen_us += st->rt->params().input_gen_us;
-        st->rt->events().Schedule(
-            completion,
-            [st, worker, t0, completion, outcome = std::move(outcome),
-             profile]() {
-              st->RecordOutcome(t0, completion, outcome, profile);
-              NextTxn(st, worker);
-            });
-      };
-  // Handle-resolved submission is the hot path; the string path remains
-  // for generators that have not pre-resolved their targets.
-  Status s = req.reactor_id.valid() && req.proc_id.valid()
-                 ? st->rt->Submit(req.reactor_id, req.proc_id,
-                                  std::move(req.args), std::move(done))
-                 : st->rt->Submit(req.reactor, req.proc, std::move(req.args),
-                                  std::move(done));
-  if (!s.ok()) {
-    // Generation bug; stop this worker rather than spin.
-    return;
-  }
+  client::Session* session = st->sessions[worker].get();
+  // The closed loop never overruns its own window (each chain resubmits
+  // only after its previous result was delivered), so TrySubmit always
+  // finds a slot.
+  StatusOr<client::SessionFuture> f =
+      req.reactor_id.valid() && req.proc_id.valid()
+          ? session->TrySubmit(req.reactor_id, req.proc_id,
+                               std::move(req.args))
+          : [&] {
+              // String fallback for generators that have not pre-resolved
+              // their targets: resolve once here, then the handle path.
+              ReactorId reactor = st->rt->ResolveReactor(req.reactor);
+              ProcId proc = st->rt->ResolveProc(reactor, req.proc);
+              return session->TrySubmit(reactor, proc, std::move(req.args));
+            }();
+  REACTDB_CHECK(f.ok());
+  f->Then([st, worker, t0](client::TxnOutcome out) {
+    if (out.rejected) {
+      // Submission-level failure (generation bug naming an unknown target,
+      // or a stopped runtime): stop this chain rather than spin — the old
+      // driver's stop-on-Submit-error behavior. Procedure outcomes of any
+      // status (including a legitimate NotFound from e.g. TPC-C
+      // order-status by a childless last name) fall through to
+      // RecordOutcome, which counts non-user failures as aborts, exactly
+      // as before the session migration.
+      return;
+    }
+    // Runs at FIFO delivery inside the finalizing segment; completion
+    // reaches the client after the notify boundary cost.
+    double completion = st->rt->NowUs() + st->rt->params().client_notify_us;
+    RootTxn::Profile profile = out.profile;
+    profile.input_gen_us += st->rt->params().input_gen_us;
+    st->rt->events().Schedule(
+        completion,
+        [st, worker, t0, completion, result = std::move(out.result),
+         profile]() {
+          st->RecordOutcome(t0, completion, result, profile);
+          NextTxn(st, worker);
+        });
+  });
 }
 
 void NextTxn(std::shared_ptr<DriverState> st, int worker) {
@@ -103,12 +122,23 @@ DriverResult RunClosedLoop(SimRuntime* rt, const DriverOptions& options,
   st->options = options;
   st->gen = gen;
 
+  int pipeline = options.pipeline < 1 ? 1 : options.pipeline;
+  client::SessionOptions session_options;
+  session_options.max_outstanding = static_cast<size_t>(pipeline);
+  for (int w = 0; w < options.num_workers; ++w) {
+    st->sessions.push_back(
+        std::make_unique<client::Session>(rt, session_options));
+  }
+
   double base = rt->events().now();
 
-  // Start workers, slightly staggered.
+  // Start workers, slightly staggered; a pipelining worker launches one
+  // closed-loop chain per window slot.
   for (int w = 0; w < options.num_workers; ++w) {
-    rt->events().Schedule(base + 0.7 * w,
-                          [st, w]() { NextTxn(st, w); });
+    for (int k = 0; k < pipeline; ++k) {
+      rt->events().Schedule(base + 0.7 * w + 0.13 * k,
+                            [st, w]() { NextTxn(st, w); });
+    }
   }
 
   size_t num_execs = rt->deployment().total_executors() > 0

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/client/session.h"
 #include "src/runtime/sim_runtime.h"
 #include "src/util/histogram.h"
 
@@ -46,6 +47,10 @@ struct DriverOptions {
   double epoch_us = 20000;
   /// Warmup before measurement starts, microseconds.
   double warmup_us = 20000;
+  /// Transactions each worker's session keeps in flight. 1 is the paper's
+  /// closed loop (submit, await completion, regenerate); > 1 pipelines
+  /// through the session window.
+  int pipeline = 1;
 };
 
 struct DriverResult {
@@ -68,9 +73,12 @@ struct DriverResult {
 };
 
 /// Runs the closed loop to completion and returns aggregated results.
-/// User-aborts (application rollbacks like TPC-C's 1% invalid item) are
-/// counted separately and excluded from the concurrency abort rate,
-/// matching the paper's reporting.
+/// Each worker drives its own client::Session (window =
+/// options.pipeline); submissions go through the session layer — the same
+/// path applications use — and completions arrive through FIFO future
+/// delivery. User-aborts (application rollbacks like TPC-C's 1% invalid
+/// item) are counted separately and excluded from the concurrency abort
+/// rate, matching the paper's reporting.
 DriverResult RunClosedLoop(SimRuntime* rt, const DriverOptions& options,
                            const RequestGen& gen);
 

@@ -1,33 +1,53 @@
 // Umbrella header: the ReactDB public API.
 //
-// Typical usage:
+// Typical usage — define the reactor database, open it through the
+// runtime-agnostic Database facade, and talk to it through Sessions:
 //
 //   ReactorDatabaseDef def;
 //   ReactorType& type = def.DefineType("Customer");
 //   type.AddSchema(...).AddProcedure("transfer", &Transfer);
 //   def.DeclareReactor("alice", "Customer");
 //
-//   ThreadRuntime db;                      // or SimRuntime for virtual time
-//   db.Bootstrap(&def, DeploymentConfig::SharedNothing(4));
-//   db.Start();
+//   client::Database db;       // OS threads by default;
+//                              // Database::Sim(params) for virtual time
+//   db.Open(&def, DeploymentConfig::SharedNothing(4));
 //
 //   // One-time handle pre-resolution (load time): names are interned into
 //   // dense ReactorId/ProcId handles so the per-transaction dispatch path
 //   // never touches a string.
 //   ReactorId alice = db.ResolveReactor("alice");
 //   ProcId transfer = db.ResolveProc(alice, "transfer");
-//   ProcResult r = db.Execute(alice, transfer, {Value("bob"), 100.0});
 //
-//   // The string forms remain as one-time-resolution shims, so quick
-//   // experiments and the paper's by-name programming model still work:
+//   // Asynchronous pipelined invocation: a Session keeps up to
+//   // max_outstanding transactions in flight, delivers results in
+//   // submission order, rejects (TrySubmit) or blocks (Submit) above the
+//   // window, and can auto-retry concurrency aborts.
+//   auto session = db.CreateSession({.max_outstanding = 8,
+//                                    .retry = {.max_attempts = 3}});
+//   client::SessionFuture f =
+//       session->Submit(alice, transfer, {Value("bob"), Value(100.0)});
+//   ...                                   // keep submitting
+//   client::TxnOutcome out = f.Wait();    // or f.Then(callback)
+//   session->stats();                     // committed/aborted/retried,
+//                                         // latency histogram
+//
+//   // Blocking one-at-a-time convenience (a single-slot session), and the
+//   // by-name shims for quick experiments:
+//   ProcResult r = db.Execute(alice, transfer, {Value("bob"), 100.0});
 //   r = db.Execute("alice", "transfer", {Value("bob"), 100.0});
 //
+//   db.Shutdown();   // drains outstanding work; no future left pending
+//
 // Changing the database architecture (shared-nothing vs shared-everything,
-// affinity, MPL) only changes the DeploymentConfig — never application code.
+// affinity, MPL) only changes the DeploymentConfig — never application
+// code. Changing between real threads and the calibrated discrete-event
+// simulator only changes Database::Options — never client code.
 
 #ifndef REACTDB_RUNTIME_REACTDB_H_
 #define REACTDB_RUNTIME_REACTDB_H_
 
+#include "src/client/database.h"
+#include "src/client/session.h"
 #include "src/query/query.h"
 #include "src/reactor/context.h"
 #include "src/reactor/frame.h"

@@ -1,5 +1,6 @@
 #include "src/runtime/runtime_base.h"
 
+#include "src/client/session.h"
 #include "src/util/logging.h"
 
 namespace reactdb {
@@ -312,6 +313,17 @@ Status RuntimeBase::Submit(ReactorId reactor_id, ProcId proc_id, Row args,
     return Status::NotFound("reactor type " + reactor->type().name() +
                             " has no procedure handle #" +
                             std::to_string(proc_id.value));
+  }
+  // Counter-then-flag, mirrored by StopAccepting-then-drain in Stop (both
+  // seq_cst): either this submission is visible to Stop's outstanding-roots
+  // drain (so the executors stay up until it finalizes), or it observes the
+  // closed flag and fails fast — a root can never be posted to a joined
+  // executor.
+  submitted_roots_.fetch_add(1, std::memory_order_seq_cst);
+  if (!AcceptingSubmits()) {
+    submitted_roots_.fetch_sub(1, std::memory_order_seq_cst);
+    NotifyClientProgress();
+    return Status::Unavailable("runtime stopped");
   }
   auto* root = new RootTxn(next_root_id_.fetch_add(1), &epochs_);
   root->reactor_id = reactor_id;
@@ -666,6 +678,9 @@ void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
   // is gone. FinalizeRoot runs on the root's executor, so the pool access
   // is single-threaded.
   if (arena != nullptr) executors_[executor]->arenas.Release(arena);
+  // After `done` ran: a blocked client (session Submit/Wait, Stop's drain)
+  // re-evaluates its predicate against the delivered completion.
+  NotifyClientProgress();
 }
 
 Status RuntimeBase::RunDirect(const std::function<Status(SiloTxn&)>& fn) {
@@ -677,6 +692,38 @@ Status RuntimeBase::RunDirect(const std::function<Status(SiloTxn&)>& fn) {
   }
   StatusOr<uint64_t> tid = txn.Commit(&direct_tids_);
   return tid.ok() ? Status::OK() : tid.status();
+}
+
+// The blocking Execute convenience both runtimes used to duplicate
+// (promise/future in ThreadRuntime, RunAll capture in SimRuntime) is one
+// single-slot session; ClientSettle lets SimRuntime drain the quiesced
+// simulation so the virtual-time trace matches the old behavior exactly.
+ProcResult RuntimeBase::Execute(ReactorId reactor, ProcId proc, Row args) {
+  ProcResult result{Status::Internal("unset outcome")};
+  {
+    client::Session session(this);
+    result = std::move(
+        session.Execute(reactor, proc, std::move(args)).result);
+  }
+  ClientSettle();
+  return result;
+}
+
+ProcResult RuntimeBase::Execute(const std::string& reactor_name,
+                                const std::string& proc_name, Row args) {
+  // One-time name resolution, then the handle path.
+  ReactorId reactor_id = ResolveReactor(reactor_name);
+  Reactor* reactor = FindReactor(reactor_id);
+  if (reactor == nullptr) {
+    return ProcResult(Status::NotFound("no reactor " + reactor_name));
+  }
+  ProcId proc_id = reactor->type().FindProcId(proc_name);
+  if (!proc_id.valid()) {
+    return ProcResult(Status::NotFound("reactor type " +
+                                       reactor->type().name() +
+                                       " has no procedure " + proc_name));
+  }
+  return Execute(reactor_id, proc_id, std::move(args));
 }
 
 }  // namespace reactdb

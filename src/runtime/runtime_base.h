@@ -74,6 +74,55 @@ class RuntimeBase : public CallBridge {
   /// layer (bulk loading, invariant inspection in tests). Commits on OK.
   Status RunDirect(const std::function<Status(SiloTxn&)>& fn);
 
+  /// Blocking convenience: submits and waits for the outcome — a
+  /// single-slot client::Session (src/client/session.h), which is where the
+  /// shared implementation lives. Must not be called from an executor
+  /// thread. The handle overload dispatches without any string lookup; the
+  /// name overload resolves once and delegates.
+  ProcResult Execute(ReactorId reactor, ProcId proc, Row args);
+  ProcResult Execute(const std::string& reactor_name,
+                     const std::string& proc_name, Row args);
+
+  // --- Client blocking support (sessions, Execute) --------------------------
+
+  /// Blocks the calling client thread until `ready()` returns true.
+  /// `ready` may take locks but must not block; it is re-evaluated after
+  /// every completion. ThreadRuntime parks the caller on a client condition
+  /// variable kicked by NotifyClientProgress; SimRuntime pumps the event
+  /// queue (single-threaded virtual time — "blocking" means advancing the
+  /// simulation).
+  virtual void ClientWait(const std::function<bool()>& ready) = 0;
+  /// Wakes blocked ClientWait callers. Invoked after every root
+  /// finalization and by sessions after delivering completions. No-op where
+  /// ClientWait is a pump (SimRuntime).
+  virtual void NotifyClientProgress() {}
+  /// Called by Execute after its outcome arrived: lets SimRuntime drain the
+  /// remaining events of the quiesced simulation so back-to-back Execute
+  /// calls observe the same virtual-time trace as the pre-session
+  /// `ExecuteVia(RunAll)` implementation did.
+  virtual void ClientSettle() {}
+  /// Session clock in microseconds: virtual time under SimRuntime, steady
+  /// real time under ThreadRuntime. Used for session latency telemetry.
+  virtual double SessionNowUs() const = 0;
+  /// False once the runtime stopped accepting work (after
+  /// ThreadRuntime::Stop / Database::Shutdown): Submit fails fast with
+  /// Unavailable instead of queueing work nobody will run, so session
+  /// futures resolve deterministically.
+  bool AcceptingSubmits() const {
+    return accepting_.load(std::memory_order_seq_cst);
+  }
+  /// Refuses new submissions (teardown; re-armed by ThreadRuntime::Start).
+  /// seq_cst pairs with Submit's counter-then-flag sequence so Stop's
+  /// drain cannot miss a submission that passed the accepting check.
+  void StopAccepting() { accepting_.store(false, std::memory_order_seq_cst); }
+
+  /// Roots submitted and not yet finalized (drained by ThreadRuntime::Stop
+  /// for deterministic teardown).
+  uint64_t outstanding_roots() const {
+    return submitted_roots_.load(std::memory_order_seq_cst) -
+           finalized_roots_.load(std::memory_order_seq_cst);
+  }
+
   // --- One-time handle resolution (client load time) ------------------------
 
   /// Interned handle of a declared reactor; invalid when unknown.
@@ -229,7 +278,9 @@ class RuntimeBase : public CallBridge {
   std::atomic<uint64_t> next_call_id_{1};
   std::atomic<uint64_t> next_root_id_{1};
   std::atomic<uint64_t> rr_counter_{0};
+  std::atomic<uint64_t> submitted_roots_{0};
   std::atomic<uint64_t> finalized_roots_{0};
+  std::atomic<bool> accepting_{true};
   TidSource direct_tids_;  // for RunDirect (bootstrap loading)
   RuntimeStats stats_;
 };

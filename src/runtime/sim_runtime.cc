@@ -270,27 +270,16 @@ double SimRuntime::Utilization(uint32_t id, double from_us) const {
   return std::min(1.0, exec->busy_total / window);
 }
 
-ProcResult SimRuntime::ExecuteVia(const SubmitFn& submit) {
-  ProcResult outcome{Status::Internal("simulation did not finish")};
-  Status s = submit([&outcome](ProcResult r, const RootTxn&) {
-    outcome = std::move(r);
-  });
-  if (!s.ok()) return ProcResult(s);
-  events_.RunAll();
-  return outcome;
-}
-
-ProcResult SimRuntime::Execute(ReactorId reactor, ProcId proc, Row args) {
-  return ExecuteVia([&](auto done) {
-    return Submit(reactor, proc, std::move(args), std::move(done));
-  });
-}
-
-ProcResult SimRuntime::Execute(const std::string& reactor_name,
-                               const std::string& proc_name, Row args) {
-  return ExecuteVia([&](auto done) {
-    return Submit(reactor_name, proc_name, std::move(args), std::move(done));
-  });
+void SimRuntime::ClientWait(const std::function<bool()>& ready) {
+  // Must not run inside a simulated segment (an event pumping events would
+  // reenter the queue mid-segment).
+  REACTDB_CHECK(current_executor_ == kNoExecutor);
+  while (!ready()) {
+    // A quiesced simulation with the predicate still false means a session
+    // future / window slot that can never resolve — crash loudly rather
+    // than spin.
+    REACTDB_CHECK(events_.RunNext());
+  }
 }
 
 }  // namespace reactdb

@@ -41,16 +41,23 @@ class SimRuntime : public RuntimeBase {
   /// Runs the simulation until no events remain.
   void RunAll() { events_.RunAll(); }
 
-  /// Convenience for tests/examples: submits at the current virtual time,
-  /// runs the simulation to quiescence, returns the outcome. The handle
-  /// overload dispatches without any string lookup.
-  ProcResult Execute(ReactorId reactor, ProcId proc, Row args);
-  ProcResult Execute(const std::string& reactor_name,
-                     const std::string& proc_name, Row args);
+  // Blocking Execute lives on RuntimeBase (a single-slot client::Session):
+  // it submits at the current virtual time, pumps the event queue until the
+  // outcome arrives, and ClientSettle() drains the rest — the same trace as
+  // the old submit-then-RunAll convenience.
 
   /// Charges `us` of a given kind to the current segment (public so the
   /// benchmark harness can model client-side work).
   void Charge(ChargeKind kind, double us);
+
+  // --- Client blocking support ---------------------------------------------
+  //
+  // The simulator is single-threaded: a "blocked" client advances virtual
+  // time by pumping the event queue until its predicate holds. Must only be
+  // called from top-level client code, never from inside an event.
+  void ClientWait(const std::function<bool()>& ready) override;
+  void ClientSettle() override { events_.RunAll(); }
+  double SessionNowUs() const override { return NowUs(); }
 
   // --- CallBridge ----------------------------------------------------------
   void Compute(double micros) override { Charge(ChargeKind::kProc, micros); }
@@ -84,12 +91,6 @@ class SimRuntime : public RuntimeBase {
   void DeliverRoot(uint32_t executor, std::function<void()> task) override;
 
  private:
-  /// Shared scaffold of the Execute overloads: `submit` receives the
-  /// completion callback and forwards to the matching Submit overload.
-  using SubmitFn = std::function<Status(
-      std::function<void(ProcResult, const RootTxn&)>)>;
-  ProcResult ExecuteVia(const SubmitFn& submit);
-
   struct SimTask {
     std::function<void()> fn;
     bool charge_cr = false;

@@ -1,7 +1,6 @@
 #include "src/runtime/thread_runtime.h"
 
 #include <chrono>
-#include <future>
 
 namespace reactdb {
 
@@ -16,12 +15,18 @@ void ThreadRuntime::CreateExecutors() {
   }
 }
 
-Status ThreadRuntime::Start() {
+Status ThreadRuntime::Start(uint64_t epoch_tick_ms) {
   if (started_) return Status::Internal("already started");
   if (def_ == nullptr) return Status::Internal("Bootstrap first");
   started_ = true;
+  accepting_.store(true, std::memory_order_seq_cst);  // reopened after Stop
   for (auto& exec : threads_) {
     ThreadExecutor* e = exec.get();
+    {
+      // Restart support: a previous Stop left the flag set.
+      std::lock_guard<std::mutex> lock(e->mu);
+      e->stop = false;
+    }
     e->hook.schedule = [this, e](void* frame, std::coroutine_handle<> h) {
       PostReady(e->id, [this, frame, h]() {
         RunCoroutine(static_cast<TxnFrame*>(frame), h);
@@ -29,12 +34,17 @@ Status ThreadRuntime::Start() {
     };
     e->thread = std::thread([this, e] { ExecutorLoop(e); });
   }
-  epochs_.StartTicker(/*interval_ms=*/10);
+  epochs_.StartTicker(epoch_tick_ms);
   return Status::OK();
 }
 
 void ThreadRuntime::Stop() {
   if (!started_) return;
+  // Deterministic teardown: no new work, then drain — every root already
+  // submitted finalizes (its completion callback runs, so session futures
+  // resolve) before the executors go away. Nothing is abandoned in a lane.
+  StopAccepting();
+  ClientWait([this] { return outstanding_roots() == 0; });
   epochs_.StopTicker();
   for (auto& exec : threads_) {
     {
@@ -118,27 +128,28 @@ void ThreadRuntime::Compute(double micros) {
   }
 }
 
-ProcResult ThreadRuntime::ExecuteVia(const SubmitFn& submit) {
-  std::promise<ProcResult> promise;
-  std::future<ProcResult> future = promise.get_future();
-  Status s = submit([&promise](ProcResult r, const RootTxn&) {
-    promise.set_value(std::move(r));
-  });
-  if (!s.ok()) return ProcResult(s);
-  return future.get();
+void ThreadRuntime::ClientWait(const std::function<bool()>& ready) {
+  client_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(client_mu_);
+    client_cv_.wait(lock, ready);
+  }
+  client_waiters_.fetch_sub(1, std::memory_order_seq_cst);
 }
 
-ProcResult ThreadRuntime::Execute(ReactorId reactor, ProcId proc, Row args) {
-  return ExecuteVia([&](auto done) {
-    return Submit(reactor, proc, std::move(args), std::move(done));
-  });
+void ThreadRuntime::NotifyClientProgress() {
+  if (client_waiters_.load(std::memory_order_seq_cst) == 0) return;
+  // Empty critical section: orders this notification after a waiter that
+  // already registered but has not yet gone to sleep, closing the missed
+  // wakeup window (its predicate state changed before we got here).
+  { std::lock_guard<std::mutex> lock(client_mu_); }
+  client_cv_.notify_all();
 }
 
-ProcResult ThreadRuntime::Execute(const std::string& reactor_name,
-                                  const std::string& proc_name, Row args) {
-  return ExecuteVia([&](auto done) {
-    return Submit(reactor_name, proc_name, std::move(args), std::move(done));
-  });
+double ThreadRuntime::SessionNowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace reactdb

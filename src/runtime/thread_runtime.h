@@ -14,6 +14,7 @@
 #ifndef REACTDB_RUNTIME_THREAD_RUNTIME_H_
 #define REACTDB_RUNTIME_THREAD_RUNTIME_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -29,17 +30,19 @@ class ThreadRuntime : public RuntimeBase {
   ~ThreadRuntime() override;
 
   /// Starts executor threads and the epoch ticker. Call after Bootstrap.
-  Status Start();
-  /// Stops executor threads. All submitted transactions should have
-  /// completed (pending queue entries are abandoned).
+  Status Start(uint64_t epoch_tick_ms = 10);
+  /// Deterministic teardown: refuses new submissions, drains every
+  /// already-submitted root (so every session future resolves), then joins
+  /// the executor threads. Must not be called from an executor thread.
   void Stop();
 
-  /// Blocking convenience: submits and waits for the outcome. Must not be
-  /// called from an executor thread. The handle overload dispatches
-  /// without any string lookup (pre-resolve via ResolveReactor/ResolveProc).
-  ProcResult Execute(ReactorId reactor, ProcId proc, Row args);
-  ProcResult Execute(const std::string& reactor_name,
-                     const std::string& proc_name, Row args);
+  // Blocking Execute lives on RuntimeBase (a single-slot client::Session);
+  // ThreadRuntime only provides the client blocking primitives below.
+
+  // --- Client blocking support ---------------------------------------------
+  void ClientWait(const std::function<bool()>& ready) override;
+  void NotifyClientProgress() override;
+  double SessionNowUs() const override;
 
   // --- CallBridge ----------------------------------------------------------
   void Compute(double micros) override;
@@ -58,12 +61,6 @@ class ThreadRuntime : public RuntimeBase {
   bool EmitCommitVotes() const override { return true; }
 
  private:
-  /// Shared blocking scaffold of the Execute overloads: `submit` receives
-  /// the completion callback and forwards to the matching Submit overload.
-  using SubmitFn = std::function<Status(
-      std::function<void(ProcResult, const RootTxn&)>)>;
-  ProcResult ExecuteVia(const SubmitFn& submit);
-
   struct ThreadExecutor : ExecutorInfo {
     std::mutex mu;
     std::condition_variable cv;
@@ -79,6 +76,14 @@ class ThreadRuntime : public RuntimeBase {
 
   std::vector<std::unique_ptr<ThreadExecutor>> threads_;
   bool started_ = false;
+
+  /// Client-side blocking (sessions, Execute, Stop's drain): callers park
+  /// on one condition variable, kicked after every root finalization and
+  /// session delivery. The waiter count gates the notification so the
+  /// submit hot path pays one relaxed atomic load when nobody waits.
+  std::mutex client_mu_;
+  std::condition_variable client_cv_;
+  std::atomic<int> client_waiters_{0};
 };
 
 }  // namespace reactdb

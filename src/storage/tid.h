@@ -6,10 +6,20 @@
 //   bit 63        lock bit (held during commit install)
 //   bit 62        absent bit (record logically not present: uncommitted
 //                 insert or committed delete tombstone)
-//   bits 40..61   epoch number (22 bits)
-//   bits  0..39   in-epoch sequence number (40 bits)
+//   bits 30..61   epoch number (32 bits)
+//   bits  0..29   in-epoch sequence number (30 bits)
 //
-// TID words are manipulated only through the helpers below.
+// The split used to be 22 epoch bits / 40 sequence bits; past ~4.19M epochs
+// (about 11.6 hours at the thread runtime's 10 ms tick) Make() overflowed
+// the epoch into the absent bit and every committed record read as deleted.
+// 32 epoch bits last ~497 days of 10 ms ticks, 30 sequence bits still allow
+// 10^9 commits per executor per epoch (an epoch is tens of milliseconds or
+// 64 roots, so the sequence field cannot saturate in practice — and if it
+// ever did, the +1 TID arithmetic carries into the epoch field, which keeps
+// TIDs monotone instead of corrupting status bits). Make() additionally
+// masks the epoch so that even a wrapped epoch can never touch the
+// lock/absent bits: TID monotonicity would restart, but records stay
+// readable. TID words are manipulated only through the helpers below.
 
 #ifndef REACTDB_STORAGE_TID_H_
 #define REACTDB_STORAGE_TID_H_
@@ -23,7 +33,9 @@ class TidWord {
  public:
   static constexpr uint64_t kLockBit = 1ULL << 63;
   static constexpr uint64_t kAbsentBit = 1ULL << 62;
-  static constexpr uint64_t kEpochShift = 40;
+  static constexpr uint64_t kEpochShift = 30;
+  static constexpr uint64_t kEpochBits = 32;
+  static constexpr uint64_t kEpochMask = (1ULL << kEpochBits) - 1;
   static constexpr uint64_t kSeqMask = (1ULL << kEpochShift) - 1;
   static constexpr uint64_t kTidMask = ~(kLockBit | kAbsentBit);
 
@@ -36,7 +48,7 @@ class TidWord {
   }
   static uint64_t Seq(uint64_t word) { return word & kSeqMask; }
   static uint64_t Make(uint64_t epoch, uint64_t seq) {
-    return (epoch << kEpochShift) | (seq & kSeqMask);
+    return ((epoch & kEpochMask) << kEpochShift) | (seq & kSeqMask);
   }
   static uint64_t WithLock(uint64_t word) { return word | kLockBit; }
   static uint64_t WithoutLock(uint64_t word) { return word & ~kLockBit; }

@@ -19,6 +19,17 @@ void EpochManager::Advance() {
   CollectLocked(min_active);
 }
 
+void EpochManager::AdvanceTo(uint64_t epoch) {
+  uint64_t cur = global_epoch_.load(std::memory_order_acquire);
+  while (cur < epoch &&
+         !global_epoch_.compare_exchange_weak(cur, epoch,
+                                              std::memory_order_acq_rel)) {
+  }
+  uint64_t min_active = MinActiveEpoch();
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  CollectLocked(min_active);
+}
+
 size_t EpochManager::RegisterSlot() {
   std::lock_guard<std::mutex> lock(slots_mu_);
   slots_.push_back(std::make_unique<std::atomic<uint64_t>>(kQuiescent));

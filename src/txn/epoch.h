@@ -45,6 +45,16 @@ class EpochManager {
   /// rows that no executor can still reference.
   void Advance();
 
+  /// Jumps the global epoch forward to `epoch` (no-op when already past
+  /// it) and collects. Used to restore the epoch after recovery and by the
+  /// TID wraparound regression tests; the epoch only ever moves forward, so
+  /// commit TIDs stay monotone. The TID word's epoch field is 32 bits
+  /// (TidWord::kEpochBits); jumping past 2^32 wraps the field — records
+  /// stay readable (Make masks the epoch away from the status bits) but
+  /// TID monotonicity restarts, so a deployment must not run that long
+  /// without re-seeding TIDs.
+  void AdvanceTo(uint64_t epoch);
+
   /// Registers an executor; the returned slot id is passed to
   /// EnterEpoch/LeaveEpoch. Must be called before transactions start.
   size_t RegisterSlot();

@@ -9,7 +9,12 @@ namespace reactdb {
 
 uint64_t TidSource::NextCommitTid(uint64_t observed_max, uint64_t epoch) {
   uint64_t candidate = std::max(last_tid_, observed_max) + 1;
-  if (TidWord::Epoch(candidate) < epoch) {
+  // Compare within the 32-bit TID epoch field. Past a wrapped global epoch
+  // the masked value can be below the candidate's epoch; the plain +1 then
+  // keeps TIDs unique and monotone (the field drifts from the global epoch,
+  // which validation never compares against) instead of resetting to a
+  // constant Make(epoch, 0) that would hand every commit the same TID.
+  if (TidWord::Epoch(candidate) < (epoch & TidWord::kEpochMask)) {
     candidate = TidWord::Make(epoch, 0);
   }
   last_tid_ = candidate;

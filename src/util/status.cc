@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -32,6 +32,9 @@ enum class StatusCode : uint8_t {
   kOutOfRange = 7,
   kUnavailable = 8,
   kInternal = 9,
+  // A bounded admission window (session max-outstanding, mailbox) is full
+  // and the caller asked not to block (TrySubmit/TryPush backpressure).
+  kOverloaded = 10,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -72,6 +75,9 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Overloaded(std::string msg = "") {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -91,6 +97,7 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   std::string ToString() const;
 

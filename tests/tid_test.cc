@@ -1,0 +1,154 @@
+// TID word layout and epoch wraparound regression tests.
+//
+// The original layout gave the epoch 22 bits: past epoch 2^22,
+// TidWord::Make overflowed the epoch into the absent bit and every
+// committed record read as deleted (ROADMAP "TID epoch field wraps at
+// 2^22"). The split is now 32 epoch bits / 30 sequence bits and Make masks
+// the epoch away from the status bits; these tests cross the old boundary
+// and commit/read through it.
+#include <gtest/gtest.h>
+
+#include "src/storage/table.h"
+#include "src/storage/tid.h"
+#include "src/txn/epoch.h"
+#include "src/txn/silo_txn.h"
+
+namespace reactdb {
+namespace {
+
+constexpr uint64_t kOldBoundary = 1ULL << 22;  // pre-fix epoch capacity
+
+TEST(TidWordTest, Layout) {
+  uint64_t word = TidWord::Make(5, 77);
+  EXPECT_EQ(5u, TidWord::Epoch(word));
+  EXPECT_EQ(77u, TidWord::Seq(word));
+  EXPECT_FALSE(TidWord::IsLocked(word));
+  EXPECT_FALSE(TidWord::IsAbsent(word));
+  EXPECT_EQ(word, TidWord::Tid(word));
+}
+
+TEST(TidWordTest, EpochPastOldBoundaryDoesNotTouchStatusBits) {
+  const uint64_t epochs[] = {kOldBoundary - 1, kOldBoundary, kOldBoundary + 1,
+                             kOldBoundary * 13, (1ULL << 32) - 1};
+  for (uint64_t epoch : epochs) {
+    uint64_t word = TidWord::Make(epoch, 42);
+    EXPECT_FALSE(TidWord::IsAbsent(word)) << "epoch " << epoch;
+    EXPECT_FALSE(TidWord::IsLocked(word)) << "epoch " << epoch;
+    EXPECT_EQ(epoch, TidWord::Epoch(word)) << "epoch " << epoch;
+    EXPECT_EQ(42u, TidWord::Seq(word)) << "epoch " << epoch;
+  }
+}
+
+TEST(TidWordTest, OrderingIsMonotoneAcrossOldBoundary) {
+  uint64_t before = TidWord::Make(kOldBoundary - 1, 7);
+  uint64_t at = TidWord::Make(kOldBoundary, 0);
+  uint64_t after = TidWord::Make(kOldBoundary + 1, 0);
+  EXPECT_LT(before, at);
+  EXPECT_LT(at, after);
+}
+
+TEST(TidWordTest, MakeMasksWrappedEpochAwayFromStatusBits) {
+  // Past 2^32 epochs the field wraps (documented limit) — but the word must
+  // still never read as locked/absent.
+  uint64_t word = TidWord::Make((1ULL << 32) + 3, 1);
+  EXPECT_FALSE(TidWord::IsAbsent(word));
+  EXPECT_FALSE(TidWord::IsLocked(word));
+  EXPECT_EQ(3u, TidWord::Epoch(word));
+}
+
+TEST(TidSourceTest, CommitTidsCrossOldBoundary) {
+  TidSource tids;
+  uint64_t t1 = tids.NextCommitTid(0, kOldBoundary - 1);
+  uint64_t t2 = tids.NextCommitTid(0, kOldBoundary + 5);
+  uint64_t t3 = tids.NextCommitTid(0, kOldBoundary + 5);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+  EXPECT_EQ(kOldBoundary + 5, TidWord::Epoch(t2));
+  EXPECT_FALSE(TidWord::IsAbsent(t2));
+  EXPECT_FALSE(TidWord::IsAbsent(t3));
+}
+
+TEST(TidSourceTest, WrappedEpochStillYieldsUniqueMonotoneTids) {
+  // Past 2^32 epochs the TID epoch field wraps; commit TIDs must still be
+  // unique and monotone (the original comparison against the unmasked
+  // epoch reset every candidate to the same Make(epoch, 0)).
+  TidSource tids;
+  uint64_t wrapped = (1ULL << 32) + 7;
+  uint64_t t1 = tids.NextCommitTid(0, wrapped);
+  uint64_t t2 = tids.NextCommitTid(0, wrapped);
+  uint64_t t3 = tids.NextCommitTid(0, wrapped);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+  EXPECT_FALSE(TidWord::IsAbsent(t3));
+  EXPECT_FALSE(TidWord::IsLocked(t3));
+}
+
+TEST(TidSourceTest, SequenceOverflowCarriesIntoEpoch) {
+  TidSource tids;
+  // A TID whose sequence field is saturated: +1 must carry into the epoch,
+  // keeping TIDs monotone instead of corrupting status bits.
+  uint64_t saturated = TidWord::Make(9, TidWord::kSeqMask);
+  uint64_t next = tids.NextCommitTid(saturated, 9);
+  EXPECT_GT(next, saturated);
+  EXPECT_EQ(10u, TidWord::Epoch(next));
+  EXPECT_FALSE(TidWord::IsAbsent(next));
+}
+
+Schema SavingsSchema() {
+  return SchemaBuilder("savings")
+      .AddColumn("cust_id", ValueType::kInt64)
+      .AddColumn("balance", ValueType::kDouble)
+      .SetKey({"cust_id"})
+      .Build()
+      .value();
+}
+
+// End to end: records committed in an epoch past the old 2^22 boundary must
+// stay readable (the original bug made them read as deleted).
+TEST(TidEpochWraparound, CommitsPastOldBoundaryStayReadable) {
+  EpochManager epochs;
+  Table table(SavingsSchema());
+  TidSource tids;
+
+  {
+    SiloTxn txn(&epochs);
+    ASSERT_TRUE(txn.Insert(&table, {Value(int64_t{1}), Value(100.0)}, 0).ok());
+    ASSERT_TRUE(txn.Commit(&tids).ok());
+  }
+
+  epochs.AdvanceTo(kOldBoundary + 3);
+  ASSERT_GE(epochs.current(), kOldBoundary + 3);
+
+  // Update in the far-future epoch, then read it back.
+  {
+    SiloTxn txn(&epochs);
+    Row row;
+    ASSERT_TRUE(txn.GetInto(&table, {Value(int64_t{1})}, &row, 0).ok());
+    row[1] = Value(row[1].AsDouble() + 1.0);
+    ASSERT_TRUE(txn.Update(&table, {Value(int64_t{1})}, row, 0).ok());
+    StatusOr<uint64_t> tid = txn.Commit(&tids);
+    ASSERT_TRUE(tid.ok());
+    EXPECT_EQ(kOldBoundary + 3, TidWord::Epoch(*tid));
+    EXPECT_FALSE(TidWord::IsAbsent(*tid));
+  }
+  {
+    SiloTxn txn(&epochs);
+    Row row;
+    ASSERT_TRUE(txn.GetInto(&table, {Value(int64_t{1})}, &row, 0).ok())
+        << "record committed past the old epoch boundary must not read as "
+           "deleted";
+    EXPECT_DOUBLE_EQ(101.0, row[1].AsDouble());
+    ASSERT_TRUE(txn.Commit(&tids).ok());
+  }
+}
+
+TEST(TidEpochWraparound, AdvanceToNeverMovesBackward) {
+  EpochManager epochs;
+  epochs.AdvanceTo(100);
+  EXPECT_EQ(100u, epochs.current());
+  epochs.AdvanceTo(50);
+  EXPECT_EQ(100u, epochs.current());
+}
+
+}  // namespace
+}  // namespace reactdb

@@ -1,0 +1,210 @@
+// Group-commit logging bench: smallbank point-transaction throughput with
+// durability off / logging on / wait_durable on, plus durable-lag
+// percentiles (the group-commit latency a wait_durable client pays), on
+// both runtimes.
+//
+//   volatile      no data_dir — the PR-4 baseline
+//   logged        redo logging + per-container writers; sessions do not
+//                 wait for the watermark (throughput cost of capture+fsync)
+//   wait_durable  sessions deliver only durable results; the session's
+//                 durable_lag_us histogram is the group-commit penalty
+//
+// The simulator charges CostParams::log_* virtual time for the device
+// (made non-zero here so the lag is visible and deterministic); the thread
+// runtime pays real fsyncs.
+//
+// Usage: bench_log_throughput [out.json [num_txns]]
+// Writes a JSON summary (BENCH_pr5.json in CI).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "src/log/durability.h"
+#include "src/runtime/reactdb.h"
+#include "src/util/logging.h"
+#include "src/workloads/smallbank/smallbank.h"
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+constexpr int kContainers = 4;
+constexpr int64_t kCustomers = 4000;
+constexpr size_t kWindow = 8;
+
+struct LagSummary {
+  double p50 = 0, p95 = 0, p99 = 0, mean = 0;
+  uint64_t waits = 0;
+};
+
+struct ModeResult {
+  double volatile_tps = 0;
+  double logged_tps = 0;
+  double wait_durable_tps = 0;
+  LagSummary lag;
+  uint64_t log_bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t records = 0;
+};
+
+double RunStream(client::Database& db, client::Session& session,
+                 const smallbank::Handles& handles, int n) {
+  double t0 = db.NowUs();
+  std::vector<client::SessionFuture> inflight;
+  size_t head = 0;
+  for (int i = 0; i < n; ++i) {
+    if (inflight.size() - head >= session.options().max_outstanding) {
+      REACTDB_CHECK(inflight[head].Wait().ok());
+      ++head;
+    }
+    int64_t per = kCustomers / kContainers;
+    int64_t idx = (i % kContainers) * per + 1 + (i / kContainers) % (per - 1);
+    ReactorId customer = handles.customers[static_cast<size_t>(idx)];
+    inflight.push_back(session.Submit(
+        customer, smallbank::kTransactSavingProc, {Value(1.0)}));
+  }
+  while (head < inflight.size()) {
+    REACTDB_CHECK(inflight[head].Wait().ok());
+    ++head;
+  }
+  return (db.NowUs() - t0) * 1e-6;
+}
+
+struct DeviceCounters {
+  uint64_t bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t records = 0;
+};
+
+double OneRun(client::Database::Options options, int num_txns,
+              bool wait_durable, LagSummary* lag, DeviceCounters* device) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  smallbank::BuildDef(def.get(), kCustomers);
+  client::Database db;
+  if (!options.data_dir.empty()) {
+    std::filesystem::remove_all(options.data_dir);
+  }
+  REACTDB_CHECK_OK(db.Open(
+      def.get(), DeploymentConfig::SharedNothing(kContainers), options));
+  REACTDB_CHECK_OK(smallbank::Load(db.runtime(), kCustomers));
+  smallbank::Handles handles =
+      smallbank::ResolveHandles(db.runtime(), kCustomers);
+  double secs;
+  {
+    auto session = db.CreateSession(
+        {.max_outstanding = kWindow, .wait_durable = wait_durable});
+    RunStream(db, *session, handles, num_txns / 10 + 1);  // warm
+    secs = RunStream(db, *session, handles, num_txns);
+    if (lag != nullptr) {
+      client::SessionStats stats = session->stats();
+      lag->p50 = stats.durable_lag_us.Percentile(0.5);
+      lag->p95 = stats.durable_lag_us.Percentile(0.95);
+      lag->p99 = stats.durable_lag_us.Percentile(0.99);
+      lag->mean = stats.durable_lag_us.Mean();
+      lag->waits = stats.durable_waits;
+    }
+  }
+  db.Shutdown();
+  if (device != nullptr && db.durability() != nullptr) {
+    const log::DurabilityStats& s = db.durability()->stats();
+    device->bytes = s.bytes_written.load();
+    device->fsyncs = s.fsyncs.load();
+    device->records = s.records_logged.load();
+  }
+  if (!options.data_dir.empty()) {
+    std::filesystem::remove_all(options.data_dir);
+  }
+  return num_txns / secs;
+}
+
+ModeResult RunMode(bool sim, int num_txns, const char* label) {
+  client::Database::Options base;
+  if (sim) {
+    CostParams params;
+    // A visible simulated device: 20us per container fsync, 2ns/byte.
+    params.log_fsync_us = 20.0;
+    params.log_per_byte_us = 0.002;
+    base = client::Database::Sim(params);
+    base.log_flush_interval_us = 100;
+  } else {
+    base.log_flush_interval_us = 500;
+  }
+  std::string dir =
+      std::string("/tmp/reactdb_bench_log_") + (sim ? "sim" : "threads");
+
+  ModeResult r;
+  r.volatile_tps = OneRun(base, num_txns, false, nullptr, nullptr);
+  std::printf("%-8s %-14s %12.0f tps\n", label, "volatile", r.volatile_tps);
+
+  client::Database::Options durable = base;
+  durable.data_dir = dir;
+  DeviceCounters device;
+  r.logged_tps = OneRun(durable, num_txns, false, nullptr, &device);
+  r.log_bytes = device.bytes;
+  r.fsyncs = device.fsyncs;
+  r.records = device.records;
+  std::printf("%-8s %-14s %12.0f tps  (%llu records, %llu fsyncs, %.1f MB)\n",
+              label, "logged", r.logged_tps,
+              static_cast<unsigned long long>(r.records),
+              static_cast<unsigned long long>(r.fsyncs),
+              static_cast<double>(r.log_bytes) / 1e6);
+
+  r.wait_durable_tps = OneRun(durable, num_txns, true, &r.lag, nullptr);
+  std::printf(
+      "%-8s %-14s %12.0f tps  (lag p50 %.0f us, p95 %.0f us, p99 %.0f us)\n",
+      label, "wait_durable", r.wait_durable_tps, r.lag.p50, r.lag.p95,
+      r.lag.p99);
+  return r;
+}
+
+void PrintModeJson(std::FILE* f, const char* key, const ModeResult& r) {
+  std::fprintf(f, "  \"%s\": {\n", key);
+  std::fprintf(f, "    \"volatile_tps\": %.1f,\n", r.volatile_tps);
+  std::fprintf(f, "    \"logged_tps\": %.1f,\n", r.logged_tps);
+  std::fprintf(f, "    \"wait_durable_tps\": %.1f,\n", r.wait_durable_tps);
+  std::fprintf(f,
+               "    \"durable_lag_us\": {\"p50\": %.1f, \"p95\": %.1f, "
+               "\"p99\": %.1f, \"mean\": %.1f, \"waits\": %llu},\n",
+               r.lag.p50, r.lag.p95, r.lag.p99, r.lag.mean,
+               static_cast<unsigned long long>(r.lag.waits));
+  std::fprintf(f, "    \"log_records\": %llu,\n",
+               static_cast<unsigned long long>(r.records));
+  std::fprintf(f, "    \"log_bytes\": %llu,\n",
+               static_cast<unsigned long long>(r.log_bytes));
+  std::fprintf(f, "    \"fsyncs\": %llu\n  }",
+               static_cast<unsigned long long>(r.fsyncs));
+}
+
+void Run(const std::string& out_path, int num_txns) {
+  std::printf(
+      "group-commit log throughput, smallbank transact_saving, "
+      "%d containers, %d txns per mode\n\n",
+      kContainers, num_txns);
+  ModeResult sim = RunMode(/*sim=*/true, num_txns, "sim");
+  ModeResult threads = RunMode(/*sim=*/false, num_txns, "threads");
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    REACTDB_CHECK(f != nullptr);
+    std::fprintf(f, "{\n  \"bench\": \"log_throughput_smallbank\",\n");
+    std::fprintf(f, "  \"num_txns\": %d,\n", num_txns);
+    PrintModeJson(f, "sim", sim);
+    std::fprintf(f, ",\n");
+    PrintModeJson(f, "threads", threads);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main(int argc, char** argv) {
+  std::string out = argc > 1 ? argv[1] : "";
+  int num_txns = argc > 2 ? std::atoi(argv[2]) : 20000;
+  reactdb::bench::Run(out, num_txns);
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "src/client/database.h"
 
+#include "src/util/logging.h"
+
 namespace reactdb {
 namespace client {
 
@@ -7,19 +9,79 @@ Status Database::Open(const ReactorDatabaseDef* def,
                       const DeploymentConfig& dc, Options options) {
   if (rt_ != nullptr) return Status::Internal("database already open");
   closed_ = false;
+  recovery_ = log::RecoveryResult{};
   if (options.mode == Mode::kSim) {
     auto sim = std::make_unique<SimRuntime>(options.sim_params);
     REACTDB_RETURN_IF_ERROR(sim->Bootstrap(def, dc));
     sim_ = sim.get();
     rt_ = std::move(sim);
+    if (!options.data_dir.empty()) {
+      REACTDB_RETURN_IF_ERROR(OpenDurable(options));
+      REACTDB_RETURN_IF_ERROR(RecoveryCheckpoint());
+    }
     return Status::OK();
   }
   auto threads = std::make_unique<ThreadRuntime>();
   REACTDB_RETURN_IF_ERROR(threads->Bootstrap(def, dc));
-  REACTDB_RETURN_IF_ERROR(threads->Start(options.epoch_tick_ms));
   threads_ = threads.get();
   rt_ = std::move(threads);
+  // Durability opens (and recovers) before the executors start: recovery
+  // replays into the tables single-threaded, and the first transaction can
+  // only run against fully recovered state. The recovery checkpoint runs
+  // after Start because its durability fence needs the writer threads.
+  if (!options.data_dir.empty()) {
+    REACTDB_RETURN_IF_ERROR(OpenDurable(options));
+  }
+  REACTDB_RETURN_IF_ERROR(threads_->Start(options.epoch_tick_ms));
+  if (rt_->durability() != nullptr) {
+    rt_->durability()->StartWriters();
+    REACTDB_RETURN_IF_ERROR(RecoveryCheckpoint());
+  }
   return Status::OK();
+}
+
+Status Database::OpenDurable(const Options& options) {
+  log::DurabilityOptions dopts;
+  dopts.data_dir = options.data_dir;
+  dopts.flush_interval_us = options.log_flush_interval_us;
+  dopts.auto_flush = options.log_auto_flush;
+  REACTDB_RETURN_IF_ERROR(rt_->EnableDurability(dopts));
+  REACTDB_RETURN_IF_ERROR(
+      log::Recover(rt_.get(), rt_->durability(), &recovery_));
+  // Fresh segments only after replay, so recovered files are never
+  // appended to.
+  return rt_->durability()->StartActiveSegments();
+}
+
+Status Database::RecoveryCheckpoint() {
+  // Recovery dropped records beyond the durable epoch for atomicity, but
+  // those bytes are still sitting in the retained segments — and new seals
+  // will move past their epochs, so a *later* crash would replay them and
+  // resurrect half-transactions. A checkpoint of the recovered state
+  // supersedes (and truncates) every old segment, purging the dropped
+  // tails for good. Fresh databases skip it — there is nothing to purge.
+  if (!recovery_.recovered) return Status::OK();
+  return log::WriteCheckpoint(rt_.get(), rt_->durability(), nullptr);
+}
+
+uint64_t Database::WaitDurable(uint64_t epoch) {
+  if (rt_ == nullptr || rt_->durability() == nullptr) return 0;
+  if (epoch == 0) epoch = rt_->durability()->max_appended_epoch();
+  return rt_->WaitDurable(epoch);
+}
+
+Status Database::Checkpoint(log::CheckpointResult* result) {
+  if (rt_ == nullptr || rt_->durability() == nullptr) {
+    return Status::InvalidArgument("durability is off (no data_dir)");
+  }
+  return log::WriteCheckpoint(rt_.get(), rt_->durability(), result);
+}
+
+void Database::CrashForTest() {
+  if (rt_ != nullptr && rt_->durability() != nullptr) {
+    rt_->durability()->Abandon();
+  }
+  Shutdown();
 }
 
 void Database::Shutdown() {
@@ -30,6 +92,15 @@ void Database::Shutdown() {
   } else if (sim_ != nullptr) {
     sim_->RunAll();        // quiesce: every submitted root finalizes
     sim_->StopAccepting();  // post-shutdown submissions fail fast
+  }
+  if (rt_->durability() != nullptr && !rt_->durability()->halted()) {
+    // Clean shutdown makes everything durable: stop the writers, then
+    // drain the shards to disk so a reopen recovers the complete history.
+    rt_->durability()->StopWriters();
+    Status s = rt_->durability()->FinalFlush();
+    if (!s.ok()) {
+      REACTDB_LOG(kError) << "final log flush failed: " << s;
+    }
   }
   // The runtime object intentionally survives until ~Database: sessions
   // created from it may still be drained and their retained results

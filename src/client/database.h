@@ -22,6 +22,9 @@
 #include <string>
 
 #include "src/client/session.h"
+#include "src/log/checkpoint.h"
+#include "src/log/durability.h"
+#include "src/log/recovery.h"
 #include "src/runtime/sim_runtime.h"
 #include "src/runtime/thread_runtime.h"
 
@@ -41,6 +44,23 @@ class Database {
     CostParams sim_params;
     /// Epoch ticker cadence, kThreads only.
     uint64_t epoch_tick_ms = 10;
+    /// Durability root. Empty (default) = fully volatile, exactly the
+    /// pre-durability behavior. Non-empty enables epoch group-commit
+    /// logging to <data_dir>/log and checkpoints to <data_dir>/ckpt_*;
+    /// Open() then detects existing state and recovers it (load the latest
+    /// checkpoint, replay the log to the durable epoch, rebuild secondary
+    /// indexes, re-seed the epoch clock) before accepting transactions —
+    /// check recovered() to know whether to bulk-load initial data. Open
+    /// surfaces corrupt segments/checkpoints as StatusCode::kIOError.
+    std::string data_dir;
+    /// Group-commit cadence: writer-thread wakeup interval (real us,
+    /// kThreads) or kick-to-flush delay (virtual us, kSim). This is the
+    /// latency a wait_durable session pays.
+    double log_flush_interval_us = 2000;
+    /// Test hook (see log::DurabilityOptions::auto_flush): false = flush
+    /// only on WaitDurable/Checkpoint/Shutdown, which makes "crash before
+    /// fsync" deterministic in the recovery tests.
+    bool log_auto_flush = true;
   };
 
   static Options Threads() { return Options{}; }
@@ -73,6 +93,34 @@ class Database {
   void Shutdown();
 
   bool is_open() const { return rt_ != nullptr && !closed_; }
+
+  // --- Durability (only meaningful when Options::data_dir was set) ----------
+
+  /// True when Open() found persistent state and recovered it (the caller
+  /// must not bulk-load initial data again).
+  bool recovered() const { return recovery_.recovered; }
+  /// Details of what recovery replayed.
+  const log::RecoveryResult& recovery() const { return recovery_; }
+  /// Current durable epoch: every commit whose TID epoch is at or below
+  /// this survives a crash. 0 when durability is off.
+  uint64_t durable_epoch() const {
+    auto* d = rt_ == nullptr ? nullptr : rt_->durability();
+    return d == nullptr ? 0 : d->durable_epoch();
+  }
+  /// Blocks until the durable epoch reaches `epoch` (0 = everything
+  /// committed so far); returns the final durable epoch.
+  uint64_t WaitDurable(uint64_t epoch = 0);
+  /// Writes an epoch-consistent checkpoint of every table and truncates
+  /// the log segments it covers. Call from client context.
+  Status Checkpoint(log::CheckpointResult* result = nullptr);
+  /// Simulates a machine crash for recovery testing: unflushed log buffers
+  /// are dropped, files close as-is (possibly mid-frame), the durable
+  /// watermark freezes, and the runtime then shuts down. State on disk is
+  /// exactly what a kill at this moment would leave.
+  void CrashForTest();
+  log::DurabilityManager* durability() const {
+    return rt_ == nullptr ? nullptr : rt_->durability();
+  }
 
   /// Opens a pipelined client session. The session must not outlive the
   /// database (Shutdown drains it first — destroy sessions before calling
@@ -125,10 +173,18 @@ class Database {
   ThreadRuntime* threads() const { return threads_; }
 
  private:
+  Status OpenDurable(const Options& options);
+  /// Checkpoint taken right after recovering existing state: supersedes and
+  /// truncates every pre-crash segment, so records recovery dropped as
+  /// beyond the durable horizon can never be resurrected by a later crash
+  /// (new seals will move past their epochs).
+  Status RecoveryCheckpoint();
+
   std::unique_ptr<RuntimeBase> rt_;
   SimRuntime* sim_ = nullptr;
   ThreadRuntime* threads_ = nullptr;
   bool closed_ = false;
+  log::RecoveryResult recovery_;
 };
 
 }  // namespace client

@@ -1,5 +1,7 @@
 #include "src/client/session.h"
 
+#include "src/log/durability.h"
+#include "src/storage/tid.h"
 #include "src/util/logging.h"
 
 namespace reactdb {
@@ -16,11 +18,24 @@ Session::Session(RuntimeBase* rt, SessionOptions options)
   REACTDB_CHECK(rt_ != nullptr);
   if (options_.max_outstanding == 0) options_.max_outstanding = 1;
   if (options_.retry.max_attempts < 1) options_.retry.max_attempts = 1;
+  if (rt_->durability() == nullptr) options_.wait_durable = false;
   slots_.resize(options_.max_outstanding);
   retained_.reserve(options_.max_outstanding);
+  if (options_.wait_durable) {
+    // Gated slots deliver when the watermark catches up, not when a new
+    // completion happens to run deliveries — so the session listens.
+    durable_listener_ = rt_->durability()->AddListener(
+        [this](uint64_t) { RunDeliveries(); });
+  }
 }
 
-Session::~Session() { Drain(); }
+Session::~Session() {
+  Drain();
+  if (durable_listener_ != 0) {
+    // Blocks until any in-flight watermark callback finished.
+    rt_->durability()->RemoveListener(durable_listener_);
+  }
+}
 
 size_t Session::TryClaimLocked() {
   for (size_t i = 0; i < slots_.size(); ++i) {
@@ -29,6 +44,7 @@ size_t Session::TryClaimLocked() {
     s.state = Slot::State::kInFlight;
     s.has_then = false;
     s.waited = false;
+    s.durable_epoch_required = 0;
     s.ticket = next_ticket_++;
     s.attempts = 0;
     s.then = nullptr;
@@ -177,9 +193,17 @@ void Session::Complete(size_t idx, ProcResult result,
     s.outcome.attempts = s.attempts;
     s.outcome.rejected = rejected;
     s.outcome.complete_us = rt_->SessionNowUs();
+    s.durable_epoch_required = 0;
+    s.durable_held = false;
     if (s.outcome.result.ok()) {
       ++stats_.committed;
       stats_.latency_us.Add(s.outcome.latency_us());
+      if (options_.wait_durable && commit_tid != 0) {
+        // Group-commit gate: deliverable once the commit's epoch is
+        // durable (RunDeliveries enforces it, the watermark listener
+        // re-runs deliveries as the epoch advances).
+        s.durable_epoch_required = TidWord::Epoch(commit_tid);
+      }
     } else {
       const Status& st = s.outcome.result.status();
       if (st.IsAborted()) {
@@ -214,6 +238,26 @@ void Session::RunDeliveries() {
         break;
       }
       Slot& s = slots_[idx];
+      if (s.durable_epoch_required > 0) {
+        log::DurabilityManager* d = rt_->durability();
+        if (d != nullptr && !d->halted() &&
+            d->durable_epoch() < s.durable_epoch_required) {
+          // Not durable yet: hold this and (FIFO) everything behind it.
+          // The durable listener resumes delivery.
+          s.durable_held = true;
+          delivering_ = false;
+          break;
+        }
+        // Telemetry counts only deliveries the gate actually held back —
+        // a commit already durable on arrival is not a durable wait.
+        if (s.durable_held) {
+          ++stats_.durable_waits;
+          stats_.durable_lag_us.Add(rt_->SessionNowUs() -
+                                    s.outcome.complete_us);
+        }
+        s.durable_epoch_required = 0;
+        s.durable_held = false;
+      }
       ++next_deliver_;
       if (s.has_then) {
         then = std::move(s.then);

@@ -61,6 +61,16 @@ struct SessionOptions {
   /// Max undelivered transactions in flight; the backpressure window.
   size_t max_outstanding = 1;
   RetryPolicy retry;
+  /// Opt-in group-commit semantics: a committed transaction's future only
+  /// becomes ready (and its Then-callback only runs) once the commit's
+  /// epoch is durable on disk — the caller observes group-commit latency
+  /// but never a commit a crash could erase. FIFO delivery is preserved:
+  /// later results wait behind a not-yet-durable commit. No effect when
+  /// the database was opened without a data_dir; if the durability
+  /// subsystem halts (I/O error, simulated crash), gated results are
+  /// released so nothing hangs, and the error is on
+  /// DurabilityManager::io_status.
+  bool wait_durable = false;
 };
 
 /// Per-session outcome counters and latency telemetry.
@@ -77,6 +87,11 @@ struct SessionStats {
   /// session clock (virtual microseconds under SimRuntime, steady-clock
   /// microseconds under ThreadRuntime).
   Histogram latency_us;
+  /// wait_durable telemetry: commits whose delivery was held for the
+  /// durable epoch, and the lag from commit to durable delivery (the
+  /// group-commit penalty), on the session clock.
+  uint64_t durable_waits = 0;
+  Histogram durable_lag_us;
 
   uint64_t total_aborted() const {
     return aborted_cc + aborted_user + aborted_safety;
@@ -189,6 +204,12 @@ class Session {
     State state = State::kFree;
     bool has_then = false;
     bool waited = false;  // a Wait() is (or was) blocked on this ticket
+    /// wait_durable: completed but deliverable only once the durable epoch
+    /// reaches this (0 = not gated).
+    uint64_t durable_epoch_required = 0;
+    /// True once the durable gate actually held this slot back (telemetry:
+    /// only such deliveries count as durable waits).
+    bool durable_held = false;
     uint64_t ticket = 0;
     int attempts = 0;
     ReactorId reactor;
@@ -230,6 +251,9 @@ class Session {
 
   RuntimeBase* rt_;
   SessionOptions options_;
+  /// Durable-epoch listener id (wait_durable sessions re-run deliveries
+  /// when the watermark advances); 0 when unregistered.
+  size_t durable_listener_ = 0;
 
   mutable std::mutex mu_;
   std::vector<Slot> slots_;

@@ -1,0 +1,58 @@
+// Epoch-consistent sweeping checkpointer.
+//
+// WriteCheckpoint walks every container's tables through the epoch-
+// protected read path (the sweep pins an epoch slot, so reclaimed row
+// versions cannot be freed under it; each record is read with the TID-word
+// seqlock, so no torn rows) and writes a point-in-time snapshot of the
+// primary relations in the log-record frame format. Secondary indexes are
+// not checkpointed — recovery rebuilds them from the primary rows.
+//
+// The checkpoint is *fuzzy*: transactions committing during the sweep may
+// be captured partially. Two fences make recovery exact anyway:
+//
+//  * ckpt_epoch (the manifest's truncation bound) is min_active_epoch - 1
+//    at sweep *start*: every commit at or below it was fully installed
+//    before the sweep began, so the checkpoint supersedes all log segments
+//    whose records are <= ckpt_epoch — those may be deleted;
+//  * before committing the manifest, the checkpointer waits until the
+//    durable epoch reaches the max commit epoch it observed: every version
+//    the snapshot captured is then also in the durable log, so log replay
+//    (last-writer-wins by TID) repairs any partial capture.
+//
+// A crash mid-checkpoint leaves a directory without a MANIFEST, which
+// recovery ignores and the next successful checkpoint garbage-collects.
+
+#ifndef REACTDB_LOG_CHECKPOINT_H_
+#define REACTDB_LOG_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace reactdb {
+
+class RuntimeBase;
+
+namespace log {
+
+class DurabilityManager;
+
+struct CheckpointResult {
+  std::string dir;
+  /// Truncation bound: log segments whose records are all <= this epoch
+  /// were deleted.
+  uint64_t ckpt_epoch = 0;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+};
+
+/// Sweeps, fences, commits the manifest, then rolls and truncates the log.
+/// Must be called from client context (not from an executor or procedure).
+Status WriteCheckpoint(RuntimeBase* rt, DurabilityManager* mgr,
+                       CheckpointResult* result = nullptr);
+
+}  // namespace log
+}  // namespace reactdb
+
+#endif  // REACTDB_LOG_CHECKPOINT_H_

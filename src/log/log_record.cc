@@ -1,0 +1,188 @@
+#include "src/log/log_record.h"
+
+#include <array>
+
+#include "src/storage/tid.h"
+
+namespace reactdb {
+namespace logrec {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kTable[(c ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint64_t RedoRecord::epoch() const { return TidWord::Epoch(tid); }
+
+void AppendPut(std::string* buf, uint32_t reactor, uint32_t slot,
+               std::string_view key, uint64_t tid, const Value* cells,
+               uint32_t num_cells) {
+  wire::Writer w(buf);
+  w.PutU8(static_cast<uint8_t>(RecordKind::kPut));
+  w.PutU32(reactor);
+  w.PutU32(slot);
+  w.PutBytes(key);
+  w.PutU64(tid);
+  w.PutU32(num_cells);
+  for (uint32_t i = 0; i < num_cells; ++i) wire::EncodeValue(cells[i], &w);
+}
+
+void AppendDelete(std::string* buf, uint32_t reactor, uint32_t slot,
+                  std::string_view key, uint64_t tid) {
+  wire::Writer w(buf);
+  w.PutU8(static_cast<uint8_t>(RecordKind::kDelete));
+  w.PutU32(reactor);
+  w.PutU32(slot);
+  w.PutBytes(key);
+  w.PutU64(tid);
+}
+
+Status DecodeRecords(std::string_view payload,
+                     const std::function<Status(RedoRecord&&)>& cb) {
+  wire::Reader r(payload);
+  while (!r.exhausted()) {
+    RedoRecord rec;
+    REACTDB_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+    if (kind != static_cast<uint8_t>(RecordKind::kPut) &&
+        kind != static_cast<uint8_t>(RecordKind::kDelete)) {
+      return Status::IOError("log record with unknown kind " +
+                             std::to_string(kind));
+    }
+    rec.kind = static_cast<RecordKind>(kind);
+    REACTDB_ASSIGN_OR_RETURN(rec.reactor, r.ReadU32());
+    REACTDB_ASSIGN_OR_RETURN(rec.slot, r.ReadU32());
+    REACTDB_ASSIGN_OR_RETURN(rec.key, r.ReadBytes());
+    REACTDB_ASSIGN_OR_RETURN(rec.tid, r.ReadU64());
+    if (rec.kind == RecordKind::kPut) {
+      REACTDB_ASSIGN_OR_RETURN(uint32_t num_cells, r.ReadU32());
+      rec.row.reserve(num_cells);
+      for (uint32_t i = 0; i < num_cells; ++i) {
+        REACTDB_ASSIGN_OR_RETURN(Value v, wire::DecodeValue(&r));
+        rec.row.push_back(std::move(v));
+      }
+    }
+    REACTDB_RETURN_IF_ERROR(cb(std::move(rec)));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// The header bytes the header CRC covers (everything except the CRC
+/// field itself), in on-disk order.
+void PutCoveredHeader(std::string* buf, uint32_t payload_len,
+                      uint32_t payload_crc, uint32_t record_count,
+                      uint64_t seal_epoch, uint64_t max_epoch) {
+  wire::Writer w(buf);
+  w.PutU32(kFrameMagic);
+  w.PutU32(payload_len);
+  w.PutU32(payload_crc);
+  w.PutU32(record_count);
+  w.PutU64(seal_epoch);
+  w.PutU64(max_epoch);
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, std::string_view payload,
+                 uint32_t record_count, uint64_t seal_epoch,
+                 uint64_t max_epoch) {
+  uint32_t payload_len = static_cast<uint32_t>(payload.size());
+  uint32_t payload_crc = Crc32(payload);
+  std::string covered;
+  covered.reserve(kFrameHeaderBytes - 4);
+  PutCoveredHeader(&covered, payload_len, payload_crc, record_count,
+                   seal_epoch, max_epoch);
+  wire::Writer w(out);
+  w.PutU32(kFrameMagic);
+  w.PutU32(payload_len);
+  w.PutU32(Crc32(covered));
+  w.PutU32(payload_crc);
+  w.PutU32(record_count);
+  w.PutU64(seal_epoch);
+  w.PutU64(max_epoch);
+  out->append(payload.data(), payload.size());
+}
+
+StatusOr<ScanResult> ScanFrames(
+    std::string_view data,
+    const std::function<Status(const FrameInfo&)>& frame_cb) {
+  ScanResult result;
+  std::string covered;
+  size_t pos = 0;
+  while (data.size() - pos >= kFrameHeaderBytes) {
+    wire::Reader r(data.substr(pos, kFrameHeaderBytes));
+    // Bounds are pre-checked, so the header reads cannot fail.
+    uint32_t magic = *r.ReadU32();
+    uint32_t payload_len = *r.ReadU32();
+    uint32_t header_crc = *r.ReadU32();
+    uint32_t payload_crc = *r.ReadU32();
+    uint32_t record_count = *r.ReadU32();
+    uint64_t seal_epoch = *r.ReadU64();
+    uint64_t max_epoch = *r.ReadU64();
+    if (magic != kFrameMagic) {
+      return Status::IOError("log frame with bad magic at offset " +
+                             std::to_string(pos));
+    }
+    // A fully-present header that fails its own CRC is corruption — a torn
+    // append can only leave a *short* header (sequential writes), which the
+    // size guard above already turned into silent truncation. Checking
+    // before trusting payload_len keeps a flipped length byte from
+    // masquerading as a torn tail (and a flipped seal from shifting the
+    // recovered durable epoch).
+    covered.clear();
+    PutCoveredHeader(&covered, payload_len, payload_crc, record_count,
+                     seal_epoch, max_epoch);
+    if (Crc32(covered) != header_crc) {
+      return Status::IOError("log frame header checksum mismatch at offset " +
+                             std::to_string(pos));
+    }
+    if (data.size() - pos - kFrameHeaderBytes < payload_len) {
+      break;  // torn tail: the final append did not finish
+    }
+    std::string_view payload = data.substr(pos + kFrameHeaderBytes,
+                                           payload_len);
+    if (Crc32(payload) != payload_crc) {
+      return Status::IOError("log frame checksum mismatch at offset " +
+                             std::to_string(pos));
+    }
+    FrameInfo info;
+    info.record_count = record_count;
+    info.seal_epoch = seal_epoch;
+    info.max_epoch = max_epoch;
+    info.payload = payload;
+    if (frame_cb != nullptr) {
+      REACTDB_RETURN_IF_ERROR(frame_cb(info));
+    }
+    pos += kFrameHeaderBytes + payload_len;
+    result.valid_bytes = pos;
+    result.frames++;
+    result.records += record_count;
+    result.max_seal_epoch = std::max(result.max_seal_epoch, seal_epoch);
+    result.max_record_epoch = std::max(result.max_record_epoch, max_epoch);
+  }
+  return result;
+}
+
+}  // namespace logrec
+}  // namespace reactdb

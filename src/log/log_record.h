@@ -1,0 +1,143 @@
+// Redo log records and epoch frames (the on-disk format of src/log/).
+//
+// The durability subsystem persists two kinds of bytes, both built from the
+// same record codec so the recovery reader has a single parser:
+//
+//  * log segments  — per-container append-only files of *frames*, each
+//    frame one group-commit flush: a fixed header (magic, payload length,
+//    CRC32, record count, seal epoch, max record epoch) followed by a
+//    payload of redo records;
+//  * checkpoints   — the same frames, written by the sweeping checkpointer
+//    (seal epoch unused there; the manifest carries the checkpoint epoch).
+//
+// A redo record is the value image of one committed primary-table write:
+//
+//   u8  kind          kPut (full row) | kDelete (tombstone)
+//   u32 reactor       dense ReactorId handle (stable across restarts:
+//                     interned from the declaration order of the
+//                     ReactorDatabaseDef, which the application re-declares
+//                     identically before Database::Open)
+//   u32 slot          TableSlot within the reactor's type
+//   bytes key         encoded primary key (order-preserving key codec)
+//   u64 tid           commit TID (epoch | sequence, no status bits) —
+//                     recovery applies last-writer-wins by this
+//   row               wire-encoded cells (kPut only; exact round-trip
+//                     codec of src/util/wire.h)
+//
+// Secondary-index entries are not logged: recovery rebuilds every
+// secondary index from the recovered primary rows.
+//
+// Torn-tail vs corruption policy (recovery): appends are sequential, so a
+// crash can only leave an *incomplete* final frame — a short header or a
+// payload shorter than the header promises is silently truncated. A frame
+// whose bytes are all present but fail a checksum is not a crash artifact;
+// it surfaces as StatusCode::kIOError. Header fields carry their own CRC
+// (separate from the payload CRC) so a flipped length or seal epoch is
+// detected as corruption rather than misread as a torn tail or a wrong
+// durable watermark.
+
+#ifndef REACTDB_LOG_LOG_RECORD_H_
+#define REACTDB_LOG_LOG_RECORD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/util/statusor.h"
+#include "src/util/value.h"
+#include "src/util/wire.h"
+
+namespace reactdb {
+namespace logrec {
+
+/// CRC32 (reflected, polynomial 0xEDB88320) over a byte range.
+uint32_t Crc32(std::string_view data);
+
+enum class RecordKind : uint8_t {
+  kPut = 1,
+  kDelete = 2,
+};
+
+/// Decoded form of one redo record (owning; the append side encodes
+/// straight from the commit's write set and never materializes this).
+struct RedoRecord {
+  RecordKind kind = RecordKind::kPut;
+  uint32_t reactor = 0;
+  uint32_t slot = 0;
+  std::string key;
+  uint64_t tid = 0;
+  Row row;  // empty for kDelete
+
+  uint64_t epoch() const;
+};
+
+/// Appends one put record to `buf`. `cells` are the committed row image.
+/// Appends only — callers batch many records into one frame payload.
+void AppendPut(std::string* buf, uint32_t reactor, uint32_t slot,
+               std::string_view key, uint64_t tid, const Value* cells,
+               uint32_t num_cells);
+
+/// Appends one delete (tombstone) record to `buf`.
+void AppendDelete(std::string* buf, uint32_t reactor, uint32_t slot,
+                  std::string_view key, uint64_t tid);
+
+/// Decodes every record of a frame payload, invoking `cb` per record.
+/// Payload bytes are trusted past the frame CRC, so any decode failure here
+/// is an IOError (corrupt segment), not a torn tail.
+Status DecodeRecords(std::string_view payload,
+                     const std::function<Status(RedoRecord&&)>& cb);
+
+// --- Frames ------------------------------------------------------------------
+
+/// Fixed-size frame header preceding each payload.
+struct FrameInfo {
+  uint32_t record_count = 0;
+  /// Every record of epochs <= seal_epoch this file will ever contain is
+  /// present up to and including this frame (the group-commit watermark at
+  /// flush time). 0 in checkpoint files.
+  uint64_t seal_epoch = 0;
+  /// Max record epoch contained in this frame (0 when empty).
+  uint64_t max_epoch = 0;
+  std::string_view payload;
+};
+
+// Header layout (little-endian):
+//   0  u32 magic
+//   4  u32 payload_len
+//   8  u32 header_crc   CRC32 over the other 32 header bytes
+//   12 u32 payload_crc
+//   16 u32 record_count
+//   20 u64 seal_epoch
+//   28 u64 max_epoch
+inline constexpr uint32_t kFrameMagic = 0x52444C47;  // "RDLG"
+inline constexpr size_t kFrameHeaderBytes = 36;
+
+/// Appends a frame (header + payload) to `out`.
+void AppendFrame(std::string* out, std::string_view payload,
+                 uint32_t record_count, uint64_t seal_epoch,
+                 uint64_t max_epoch);
+
+/// Result of scanning a byte range for frames.
+struct ScanResult {
+  /// Bytes of `data` covered by complete, checksummed frames; anything
+  /// beyond is a torn tail (crash artifact) the writer may truncate.
+  size_t valid_bytes = 0;
+  uint64_t max_seal_epoch = 0;
+  uint64_t max_record_epoch = 0;
+  uint64_t frames = 0;
+  /// Sum of the frames' record counts (0 = watermark-only segment).
+  uint64_t records = 0;
+};
+
+/// Walks the frames of `data` in order, invoking `frame_cb` (may be null)
+/// per complete frame. Stops silently at a torn tail; returns kIOError on a
+/// corrupt frame (bad magic or CRC mismatch with all bytes present).
+StatusOr<ScanResult> ScanFrames(
+    std::string_view data,
+    const std::function<Status(const FrameInfo&)>& frame_cb);
+
+}  // namespace logrec
+}  // namespace reactdb
+
+#endif  // REACTDB_LOG_LOG_RECORD_H_

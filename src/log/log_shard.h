@@ -1,0 +1,108 @@
+// LogShard: the per-executor redo buffer of the durability subsystem.
+//
+// Commit install (SiloTxn::Commit) appends the redo records of each
+// committed transaction here, on the committing executor, while the
+// executor's epoch slot is still pinned — that ordering is what lets the
+// writers use EpochManager::min_active_epoch() as the group-commit seal.
+// A per-container LogWriter (src/log/durability.h) periodically swaps the
+// accumulated bytes out and appends them to the container's segment file
+// as one checksummed frame.
+//
+// Allocation discipline: the buffer is a std::string reserved to
+// `reserve_bytes` up front and *swapped*, never copied, at collection time
+// (the writer hands back an equally-warm spare), so steady-state appends
+// and collections touch the allocator only if a flush interval outgrows
+// every previous high-water mark. This keeps BM_SiloPointTxnWarmed at
+// 0 allocs/txn with logging enabled.
+//
+// Threading: appends come from one executor; Collect comes from the
+// container's writer thread (or a simulator flush event). The mutex is
+// uncontended in the steady state and guards only the swap window.
+
+#ifndef REACTDB_LOG_LOG_SHARD_H_
+#define REACTDB_LOG_LOG_SHARD_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/log/log_record.h"
+#include "src/storage/tid.h"
+
+namespace reactdb {
+namespace log {
+
+class LogShard {
+ public:
+  static constexpr size_t kDefaultReserveBytes = 256 * 1024;
+
+  explicit LogShard(size_t reserve_bytes = kDefaultReserveBytes)
+      : reserve_bytes_(reserve_bytes) {
+    buf_.reserve(reserve_bytes_);
+  }
+
+  LogShard(const LogShard&) = delete;
+  LogShard& operator=(const LogShard&) = delete;
+
+  void AppendPut(uint32_t reactor, uint32_t slot, std::string_view key,
+                 uint64_t tid, const Value* cells, uint32_t num_cells) {
+    std::lock_guard<std::mutex> lock(mu_);
+    logrec::AppendPut(&buf_, reactor, slot, key, tid, cells, num_cells);
+    Account(tid);
+  }
+
+  void AppendDelete(uint32_t reactor, uint32_t slot, std::string_view key,
+                    uint64_t tid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    logrec::AppendDelete(&buf_, reactor, slot, key, tid);
+    Account(tid);
+  }
+
+  /// Collection state of one swap.
+  struct Collected {
+    uint32_t records = 0;
+    uint64_t max_epoch = 0;  // max epoch ever appended to this shard
+  };
+
+  /// Swaps the accumulated bytes into `*out` (must be empty; its capacity
+  /// becomes the shard's next buffer, so the writer recycles one warm spare
+  /// per shard). Returns the record count swapped out and the shard's
+  /// all-time max appended epoch.
+  Collected Collect(std::string* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Collected c{pending_records_, max_epoch_};
+    buf_.swap(*out);
+    if (buf_.capacity() < reserve_bytes_) buf_.reserve(reserve_bytes_);
+    pending_records_ = 0;
+    return c;
+  }
+
+  bool HasData() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !buf_.empty();
+  }
+
+  /// Max epoch of any record ever appended (0 when none).
+  uint64_t max_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_epoch_;
+  }
+
+ private:
+  void Account(uint64_t tid) {
+    ++pending_records_;
+    uint64_t e = TidWord::Epoch(tid);
+    if (e > max_epoch_) max_epoch_ = e;
+  }
+
+  const size_t reserve_bytes_;
+  mutable std::mutex mu_;
+  std::string buf_;
+  uint32_t pending_records_ = 0;
+  uint64_t max_epoch_ = 0;
+};
+
+}  // namespace log
+}  // namespace reactdb
+
+#endif  // REACTDB_LOG_LOG_SHARD_H_

@@ -53,6 +53,15 @@ struct DeploymentConfig {
   /// Max envelopes per link transfer; a batch also flushes at every
   /// executor scheduling boundary, whichever comes first.
   int transport_max_batch = 16;
+  /// Time-based flush (micro-delay coalescing), thread runtime only: when
+  /// > 0, an executor's batch buffers are held across task boundaries for
+  /// up to this many microseconds (steady clock) so bursts from *separate*
+  /// tasks coalesce into one link transfer, trading latency for batching
+  /// under heavy cross-container load. A batch still flushes early at
+  /// transport_max_batch. 0 (default) keeps the pure task-boundary flush —
+  /// behavior and message traces are unchanged. The simulator ignores this
+  /// knob: it sends eagerly and models batching costs in the SimLink.
+  double transport_flush_us = 0;
 
   /// Container of a reactor: (name, declaration index, total reactors,
   /// containers) -> container id. Default: contiguous range partition over

@@ -38,10 +38,23 @@
 //
 //   db.Shutdown();   // drains outstanding work; no future left pending
 //
+//   // Durability (src/log/): set a data_dir and the database survives
+//   // crashes — epoch group-commit logging, checkpoints, replay recovery.
+//   client::Database::Options opts;
+//   opts.data_dir = "/var/lib/myapp";     // empty (default) = volatile
+//   db.Open(&def, dc, opts);
+//   if (!db.recovered()) { /* first run: bulk-load initial data */ }
+//   auto s = db.CreateSession({.wait_durable = true});
+//   s->Execute(alice, transfer, args);    // returns only once fsynced
+//   db.Checkpoint();                      // snapshot + log truncation
+//   db.durable_epoch();                   // group-commit watermark
+//
 // Changing the database architecture (shared-nothing vs shared-everything,
 // affinity, MPL) only changes the DeploymentConfig — never application
 // code. Changing between real threads and the calibrated discrete-event
-// simulator only changes Database::Options — never client code.
+// simulator only changes Database::Options — never client code; the
+// simulator charges CostParams::log_* virtual time for the log device
+// (zero by default, so durability does not perturb calibrated traces).
 
 #ifndef REACTDB_RUNTIME_REACTDB_H_
 #define REACTDB_RUNTIME_REACTDB_H_

@@ -1,6 +1,9 @@
 #include "src/runtime/runtime_base.h"
 
+#include <chrono>
+
 #include "src/client/session.h"
+#include "src/log/durability.h"
 #include "src/util/logging.h"
 
 namespace reactdb {
@@ -67,6 +70,10 @@ Status RuntimeBase::Bootstrap(const ReactorDatabaseDef* def,
       REACTDB_ASSIGN_OR_RETURN(
           Table * table, catalogs_[container]->CreateTable(name, schemas[slot]));
       reactor->BindTable(TableSlot{static_cast<uint32_t>(slot)}, table);
+      // Durable identity: the handle pair redo log records address the
+      // relation by (stable across restarts — interned from declaration
+      // order, which the application reproduces before reopening).
+      table->BindDurableId(id, TableSlot{static_cast<uint32_t>(slot)});
     }
     // Affinity: reactors of a container are spread over its executors in
     // placement order.
@@ -94,11 +101,43 @@ Status RuntimeBase::Bootstrap(const ReactorDatabaseDef* def,
     transport_->set_on_inbox_ready(
         [this](uint32_t container) { OnInboxReady(container); });
     transport_->set_link(MakeLink());
+    if (dc_.transport_flush_us > 0) {
+      // Micro-delay coalescing (thread runtime; the simulator sends
+      // eagerly and never touches lane batches). The session clock is the
+      // executor loop's deadline clock, so stamps and sleeps can't drift.
+      transport_->ConfigureAgedFlush(dc_.transport_flush_us,
+                                     [this] { return SessionNowUs(); });
+    }
   }
   return Status::OK();
 }
 
 RuntimeBase::~RuntimeBase() { DiscardInflightTransport(); }
+
+Status RuntimeBase::EnableDurability(const log::DurabilityOptions& options) {
+  if (def_ == nullptr) return Status::Internal("Bootstrap first");
+  if (durability_ != nullptr) {
+    return Status::Internal("durability already enabled");
+  }
+  durability_ = std::make_unique<log::DurabilityManager>(
+      &epochs_, dc_.num_containers, dc_.executors_per_container, options);
+  durability_->set_notify_progress([this] { NotifyClientProgress(); });
+  direct_epoch_slot_ = epochs_.RegisterSlot();
+  return durability_->OpenStorage();
+}
+
+void RuntimeBase::KickDurability(bool force) {
+  if (durability_ != nullptr) durability_->Kick(force);
+}
+
+uint64_t RuntimeBase::WaitDurable(uint64_t epoch) {
+  if (durability_ == nullptr) return 0;
+  KickDurability(/*force=*/true);
+  ClientWait([this, epoch] {
+    return durability_->halted() || durability_->durable_epoch() >= epoch;
+  });
+  return durability_->durable_epoch();
+}
 
 std::unique_ptr<transport::Link> RuntimeBase::MakeLink() {
   return std::make_unique<transport::LoopbackLink>(transport_.get());
@@ -378,6 +417,11 @@ void RuntimeBase::StartRoot(RootTxn* root, Reactor* reactor, const ProcFn* fn,
   // FinalizeRoot releases (resets) it on this same executor.
   root->arena = executors_[executor]->arenas.Acquire();
   root->txn.BindArena(root->arena);
+  if (durability_ != nullptr) {
+    // Commit (and with it the redo append) runs on this executor via
+    // FinalizeRoot, so the root logs into this executor's shard.
+    root->txn.BindLog(durability_->shard(executor));
+  }
   auto* frame = new TxnFrame();
   frame->root = root;
   frame->parent = nullptr;
@@ -671,6 +715,15 @@ void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
   if (finalized_roots_.fetch_add(1, std::memory_order_relaxed) % 64 == 63) {
     epochs_.Advance();
   }
+  if (durability_ != nullptr) {
+    // Commits: their redo records reached the executor's shard inside
+    // Commit, before the UnpinExecutor above — the ordering the epoch
+    // seal relies on. Aborts kick too: an aborting root may have been the
+    // last pin holding min_active back, and an earlier commit's durable
+    // wait can only make progress once a flush reseals past it (the sim
+    // flush pump re-kicks only on progress, so finalization must).
+    KickDurability();
+  }
   if (done) done(std::move(outcome), *root);
   Arena* arena = root->arena;
   delete root;
@@ -684,14 +737,35 @@ void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
 }
 
 Status RuntimeBase::RunDirect(const std::function<Status(SiloTxn&)>& fn) {
-  SiloTxn txn(&epochs_);
-  Status s = fn(txn);
-  if (!s.ok()) {
-    txn.Abort();
-    return s;
+  // With durability on, direct transactions pin a dedicated epoch slot for
+  // their whole lifetime (mirroring executor roots) and log through the
+  // manager's direct shard — so the group-commit seal covers bulk loads
+  // exactly like ordinary commits. The mutex serializes direct
+  // transactions; they are bootstrap/test traffic, not the hot path.
+  std::unique_lock<std::mutex> direct_lock;
+  if (durability_ != nullptr) {
+    direct_lock = std::unique_lock<std::mutex>(direct_mu_);
+    epochs_.EnterEpoch(direct_epoch_slot_);
   }
-  StatusOr<uint64_t> tid = txn.Commit(&direct_tids_);
-  return tid.ok() ? Status::OK() : tid.status();
+  Status result;
+  {
+    SiloTxn txn(&epochs_);
+    if (durability_ != nullptr) txn.BindLog(durability_->direct_shard());
+    Status s = fn(txn);
+    if (!s.ok()) {
+      txn.Abort();
+      result = s;
+    } else {
+      StatusOr<uint64_t> tid = txn.Commit(&direct_tids_);
+      result = tid.ok() ? Status::OK() : tid.status();
+    }
+  }
+  if (durability_ != nullptr) {
+    epochs_.LeaveEpoch(direct_epoch_slot_);
+    direct_lock.unlock();
+    if (result.ok()) KickDurability();
+  }
+  return result;
 }
 
 // The blocking Execute convenience both runtimes used to duplicate

@@ -34,6 +34,11 @@
 
 namespace reactdb {
 
+namespace log {
+class DurabilityManager;
+struct DurabilityOptions;
+}  // namespace log
+
 /// Cost categories for simulated-time charging and Fig. 6 style profiling.
 enum class ChargeKind : uint8_t { kProc, kCs, kCr, kCommit, kInputGen };
 
@@ -143,6 +148,20 @@ class RuntimeBase : public CallBridge {
   StatusOr<Table*> FindTable(const std::string& reactor_name,
                              const std::string& table_name) const;
 
+  // --- Durability (src/log/) ------------------------------------------------
+
+  /// Creates the durability subsystem (epoch group-commit logging to
+  /// DurabilityOptions::data_dir) and scans existing on-disk state. Call
+  /// after Bootstrap and before any transaction; Database::Open orchestrates
+  /// the full sequence (recovery replay, fresh segments, writers).
+  Status EnableDurability(const log::DurabilityOptions& options);
+  /// Null when durability is off (the default).
+  log::DurabilityManager* durability() const { return durability_.get(); }
+  /// Blocks until the durable epoch reaches `epoch` (group-commit wait) or
+  /// the durability subsystem halted; returns the final durable epoch.
+  /// 0 and a no-op when durability is off.
+  uint64_t WaitDurable(uint64_t epoch);
+
   EpochManager* epochs() { return &epochs_; }
   const DeploymentConfig& deployment() const { return dc_; }
   const RuntimeStats& stats() const { return stats_; }
@@ -221,6 +240,13 @@ class RuntimeBase : public CallBridge {
   virtual void DeliverRoot(uint32_t executor, std::function<void()> task) {
     PostRoot(executor, std::move(task));
   }
+  /// Nudges the durability writers after work was logged (a commit, a
+  /// direct bulk load). ThreadRuntime wakes the per-container writer
+  /// threads; SimRuntime schedules a flush event on the virtual clock.
+  /// `force` requests a flush even with auto_flush off (WaitDurable,
+  /// checkpoint fences).
+  virtual void KickDurability(bool force = false);
+
   /// Whether FinalizeRoot broadcasts CommitVote messages to the other
   /// participant containers of a multi-container transaction (the decision
   /// record distributed 2PC would ship; delivered as telemetry today).
@@ -282,6 +308,13 @@ class RuntimeBase : public CallBridge {
   std::atomic<uint64_t> finalized_roots_{0};
   std::atomic<bool> accepting_{true};
   TidSource direct_tids_;  // for RunDirect (bootstrap loading)
+  /// Epoch group-commit logging; null when durability is off.
+  std::unique_ptr<log::DurabilityManager> durability_;
+  /// RunDirect transactions log through the manager's direct shard while
+  /// holding this mutex and pinning this epoch slot (so the group-commit
+  /// seal covers them like executor commits).
+  std::mutex direct_mu_;
+  size_t direct_epoch_slot_ = 0;
   RuntimeStats stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/log/durability.h"
 #include "src/util/logging.h"
 
 namespace reactdb {
@@ -268,6 +269,46 @@ double SimRuntime::Utilization(uint32_t id, double from_us) const {
   if (window <= 0) return 0;
   // busy_total accumulates since construction; callers track deltas.
   return std::min(1.0, exec->busy_total / window);
+}
+
+void SimRuntime::KickDurability(bool force) {
+  log::DurabilityManager* mgr = durability();
+  if (mgr == nullptr || mgr->halted() || durability_flush_scheduled_) return;
+  // With auto_flush off (recovery-test crash staging) only explicit
+  // requests — WaitDurable, checkpoint fences — schedule device work.
+  if (!mgr->options().auto_flush && !force) return;
+  durability_flush_scheduled_ = true;
+  double when = NowUs() + mgr->options().flush_interval_us;
+  events_.Schedule(when, [this] { RunDurabilityFlush(); });
+}
+
+void SimRuntime::RunDurabilityFlush() {
+  durability_flush_scheduled_ = false;
+  log::DurabilityManager* mgr = durability();
+  if (mgr == nullptr || mgr->halted()) return;
+  uint64_t before = mgr->durable_epoch();
+  uint64_t pending = 0;
+  uint64_t bytes = 0;
+  uint32_t fsyncs = 0;
+  // The round performs the real file I/O now; the watermark (what
+  // wait_durable clients observe) publishes only after the modeled device
+  // time, like SimLink delays delivery after the modeled wire time.
+  if (!mgr->FlushRoundDeferred(&pending, &bytes, &fsyncs).ok()) return;
+  double cost = params_.log_fsync_us * fsyncs +
+                params_.log_per_byte_us * static_cast<double>(bytes);
+  if (cost > 0) {
+    events_.Schedule(events_.now() + cost,
+                     [mgr, pending] { mgr->PublishDurable(pending); });
+  } else {
+    mgr->PublishDurable(pending);
+  }
+  // Records still beyond the watermark: keep the group-commit pump running
+  // while it makes progress. (No progress means an in-flight root pins
+  // min_active; its own completion events will re-kick — an unconditional
+  // re-kick here would keep RunAll from ever quiescing.)
+  if (pending < mgr->max_appended_epoch() && pending > before) {
+    KickDurability(/*force=*/true);  // continue the pump it came from
+  }
 }
 
 void SimRuntime::ClientWait(const std::function<bool()>& ready) {

@@ -90,6 +90,18 @@ class SimRuntime : public RuntimeBase {
   void DeliverReady(uint32_t executor, std::function<void()> task) override;
   void DeliverRoot(uint32_t executor, std::function<void()> task) override;
 
+  // --- Durability (virtual-time integration) --------------------------------
+  //
+  // The log writer is a simulated device: a kick (commit, bulk load,
+  // WaitDurable) schedules at most one flush event
+  // DurabilityOptions::flush_interval_us of virtual time ahead — the
+  // group-commit window. The event performs the real file I/O, then the
+  // durable-epoch watermark publishes only after CostParams::log_fsync_us /
+  // log_per_byte_us of virtual device time — zero by default, so enabling
+  // durability with zero costs leaves every calibrated trace unchanged
+  // (and with durability off, no event is ever scheduled).
+  void KickDurability(bool force = false) override;
+
  private:
   struct SimTask {
     std::function<void()> fn;
@@ -126,9 +138,12 @@ class SimRuntime : public RuntimeBase {
   double BusyTotalUs(uint32_t id) const { return sim_execs_[id]->busy_total; }
 
  private:
+  void RunDurabilityFlush();
+
   CostParams params_;
   EventQueue events_;
   std::vector<std::unique_ptr<SimExecutor>> sim_execs_;
+  bool durability_flush_scheduled_ = false;
 
   // Segment state (single-threaded simulation).
   uint32_t current_executor_ = kNoExecutor;

@@ -25,6 +25,9 @@ CostParams CostParams::FromConfig(const Config& config) {
       config.GetDouble("costs", "link_per_message_us", p.link_per_message_us);
   p.link_per_byte_us =
       config.GetDouble("costs", "link_per_byte_us", p.link_per_byte_us);
+  p.log_fsync_us = config.GetDouble("costs", "log_fsync_us", p.log_fsync_us);
+  p.log_per_byte_us =
+      config.GetDouble("costs", "log_per_byte_us", p.log_per_byte_us);
   p.client_submit_us =
       config.GetDouble("costs", "client_submit_us", p.client_submit_us);
   p.client_notify_us =

@@ -50,6 +50,18 @@ struct CostParams {
   double link_per_message_us = 0;
   double link_per_byte_us = 0;
 
+  // Durability device (src/log/ group-commit writer). Zero by default: the
+  // log writer is a simulated device that runs off the critical path, and
+  // zero-cost flushes keep every calibrated virtual-time trace unchanged
+  // (durability is only active when Database::Options::data_dir is set, so
+  // the figure benches schedule no flush events at all). Set these to model
+  // a real disk: each flush round pays
+  //   log_fsync_us (per container fsync) + log_per_byte_us * bytes
+  // of virtual time before the durable-epoch watermark advances — the
+  // group-commit latency a wait_durable session observes.
+  double log_fsync_us = 0;
+  double log_per_byte_us = 0;
+
   // Client worker <-> database container boundary (containerization
   // overhead, Appendix F.3: ~22us per invocation round trip dominated by
   // cross-core thread switches).

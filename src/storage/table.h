@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/reactor/symbol.h"
 #include "src/storage/btree.h"
 #include "src/storage/schema.h"
 #include "src/util/arena.h"
@@ -31,6 +32,20 @@ namespace reactdb {
 class Table {
  public:
   explicit Table(Schema schema);
+
+  /// Durable identity: the (ReactorId, TableSlot) this table is bound as at
+  /// bootstrap. Handles are stable across restarts (interned from the
+  /// declaration order the application reproduces before reopening), so
+  /// they are the relation address in redo log records. Invalid for tables
+  /// outside a runtime (unit tests) — such tables are simply not logged
+  /// unless the test binds an identity itself.
+  void BindDurableId(ReactorId reactor, TableSlot slot) {
+    durable_reactor_ = reactor;
+    durable_slot_ = slot;
+  }
+  ReactorId durable_reactor() const { return durable_reactor_; }
+  TableSlot durable_slot() const { return durable_slot_; }
+  bool HasDurableId() const { return durable_reactor_.valid(); }
 
   const Schema& schema() const { return schema_; }
   const std::string& name() const { return schema_.table_name(); }
@@ -77,6 +92,8 @@ class Table {
 
  private:
   Schema schema_;
+  ReactorId durable_reactor_;
+  TableSlot durable_slot_;
   BTree primary_;
   std::vector<std::unique_ptr<BTree>> secondary_;
   std::unordered_map<std::string, size_t> secondary_pos_;

@@ -1,6 +1,7 @@
 #include "src/transport/transport.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/util/logging.h"
 
@@ -75,11 +76,14 @@ void Transport::Post(uint32_t lane, Envelope e) {
   REACTDB_CHECK(dst < mailboxes_.size());
   stats_.sent[static_cast<size_t>(e.kind)].fetch_add(
       1, std::memory_order_relaxed);
-  std::vector<Envelope>& batch = lanes_[lane][dst];
-  batch.push_back(std::move(e));
-  if (batch.size() >= max_batch_) {
+  Pending& pending = lanes_[lane][dst];
+  if (pending.batch.empty() && max_age_us_ > 0) {
+    pending.first_us = clock_();
+  }
+  pending.batch.push_back(std::move(e));
+  if (pending.batch.size() >= max_batch_) {
     std::vector<Envelope> out;
-    out.swap(batch);
+    out.swap(pending.batch);
     SendBatch(dst, std::move(out));
   }
 }
@@ -87,12 +91,46 @@ void Transport::Post(uint32_t lane, Envelope e) {
 void Transport::Flush(uint32_t lane) {
   REACTDB_CHECK(lane < lanes_.size());
   for (uint32_t dst = 0; dst < mailboxes_.size(); ++dst) {
-    std::vector<Envelope>& batch = lanes_[lane][dst];
-    if (batch.empty()) continue;
+    Pending& pending = lanes_[lane][dst];
+    if (pending.batch.empty()) continue;
     std::vector<Envelope> out;
-    out.swap(batch);
+    out.swap(pending.batch);
     SendBatch(dst, std::move(out));
   }
+}
+
+void Transport::ConfigureAgedFlush(double max_age_us,
+                                   std::function<double()> clock) {
+  REACTDB_CHECK(max_age_us > 0 && clock != nullptr);
+  max_age_us_ = max_age_us;
+  clock_ = std::move(clock);
+}
+
+void Transport::FlushAged(uint32_t lane) {
+  if (max_age_us_ <= 0) {
+    Flush(lane);  // unconfigured: legacy task-boundary behavior
+    return;
+  }
+  REACTDB_CHECK(lane < lanes_.size());
+  double now = clock_();
+  for (uint32_t dst = 0; dst < mailboxes_.size(); ++dst) {
+    Pending& pending = lanes_[lane][dst];
+    if (pending.batch.empty()) continue;
+    if (now - pending.first_us < max_age_us_) continue;  // still coalescing
+    std::vector<Envelope> out;
+    out.swap(pending.batch);
+    SendBatch(dst, std::move(out));
+  }
+}
+
+double Transport::NextFlushDeadlineUs(uint32_t lane) const {
+  double deadline = std::numeric_limits<double>::infinity();
+  if (max_age_us_ <= 0) return deadline;
+  for (const Pending& pending : lanes_[lane]) {
+    if (pending.batch.empty()) continue;
+    deadline = std::min(deadline, pending.first_us + max_age_us_);
+  }
+  return deadline;
 }
 
 void Transport::PostNow(Envelope e) {

@@ -65,6 +65,15 @@ class EpochManager {
   /// Marks the slot quiescent (transaction end).
   void LeaveEpoch(size_t slot);
 
+  /// Smallest epoch any registered executor may still be executing in
+  /// (= current() when every slot is quiescent). Commit records of any
+  /// smaller epoch are fully installed *and appended to their log shard*
+  /// (the append happens before the committing frame unpins its slot), so
+  /// this is the seal the durability writers use: after collecting every
+  /// shard, all records with epoch < min_active_epoch() are in hand and
+  /// epoch min_active_epoch() - 1 may become durable once fsynced.
+  uint64_t min_active_epoch() const { return MinActiveEpoch(); }
+
   /// Queues a replaced row version for deferred deletion.
   void Retire(const Row* row);
 

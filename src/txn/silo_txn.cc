@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 
 #include "src/util/logging.h"
 
@@ -35,6 +36,11 @@ SiloTxn::~SiloTxn() {
 void SiloTxn::BindArena(Arena* arena) {
   REACTDB_CHECK(read_set_.empty() && write_set_.empty() && node_set_.empty());
   arena_ = arena;
+}
+
+void SiloTxn::BindLog(log::LogShard* shard) {
+  REACTDB_CHECK(write_set_.empty());
+  log_ = shard;
 }
 
 void SiloTxn::TrackRead(Record* rec, uint64_t tid, uint32_t container) {
@@ -72,7 +78,8 @@ Value* SiloTxn::CopyCells(const Row& src, const int* ids, uint32_t n) {
 }
 
 void SiloTxn::Buffer(Record* rec, Value* cells, uint32_t num_cells,
-                     WriteKind kind, uint32_t container) {
+                     WriteKind kind, uint32_t container,
+                     const Table* log_table, const KeyBuf* log_key) {
   uint32_t idx = write_index_.Find(rec);
   if (idx != PtrIndex::kNpos) {
     WriteEntry& entry = write_set_[idx];
@@ -92,10 +99,19 @@ void SiloTxn::Buffer(Record* rec, Value* cells, uint32_t num_cells,
     }
     entry.cells = cells;
     entry.num_cells = num_cells;
-    return;
+    return;  // redo identity already captured at first buffering
   }
-  write_set_.push_back(arena(),
-                       {rec, cells, num_cells, kind, container});
+  WriteEntry entry{rec, cells, num_cells, kind, container};
+  if (log_ != nullptr && log_table != nullptr && log_key != nullptr &&
+      log_table->HasDurableId()) {
+    char* copy = static_cast<char*>(arena()->Allocate(log_key->size(), 1));
+    std::memcpy(copy, log_key->data(), log_key->size());
+    entry.log_key = copy;
+    entry.log_key_size = static_cast<uint32_t>(log_key->size());
+    entry.log_reactor = log_table->durable_reactor().value;
+    entry.log_slot = log_table->durable_slot().value;
+  }
+  write_set_.push_back(arena(), entry);
   write_index_.Emplace(arena_, rec,
                        static_cast<uint32_t>(write_set_.size() - 1));
 }
@@ -117,12 +133,12 @@ SiloTxn::WriteEntry* SiloTxn::PendingWrite(Record* rec) {
 }
 
 Status SiloTxn::LocateVisible(Table* table, const Row& key,
-                              uint32_t container, Record** rec,
-                              const Value** cells, uint32_t* num_cells) {
+                              uint32_t container, KeyBuf* keybuf,
+                              Record** rec, const Value** cells,
+                              uint32_t* num_cells) {
   stats_.point_reads++;
-  KeyBuf keybuf(arena_);
-  table->EncodePrimaryKeyTo(key, &keybuf);
-  BTree::LookupResult lookup = table->primary().Get(keybuf.view());
+  table->EncodePrimaryKeyTo(key, keybuf);
+  BTree::LookupResult lookup = table->primary().Get(keybuf->view());
   if (lookup.record == nullptr) {
     TrackNode(lookup.leaf, lookup.leaf_version, container);
     return Status::NotFound("no row " + RowToString(key) + " in " +
@@ -155,8 +171,9 @@ Status SiloTxn::GetInto(Table* table, const Row& key, Row* out,
   Record* rec = nullptr;
   const Value* cells = nullptr;
   uint32_t num_cells = 0;
+  KeyBuf keybuf(arena_);
   REACTDB_RETURN_IF_ERROR(
-      LocateVisible(table, key, container, &rec, &cells, &num_cells));
+      LocateVisible(table, key, container, &keybuf, &rec, &cells, &num_cells));
   out->assign(cells, cells + num_cells);
   return Status::OK();
 }
@@ -169,7 +186,8 @@ StatusOr<Row> SiloTxn::Get(Table* table, const Row& key, uint32_t container) {
 
 Status SiloTxn::InsertEntry(BTree* tree, std::string_view key, const Row& src,
                             const int* ids, uint32_t num_cells,
-                            uint32_t container) {
+                            uint32_t container, const Table* log_table,
+                            const KeyBuf* log_key) {
   BTree::InsertResult result = tree->GetOrInsert(key);
   if (result.created) {
     TrackRead(result.record,
@@ -191,7 +209,7 @@ Status SiloTxn::InsertEntry(BTree* tree, std::string_view key, const Row& src,
   }
   // All checks passed: gather the stored row into the arena and buffer it.
   Buffer(result.record, CopyCells(src, ids, num_cells), num_cells,
-         WriteKind::kInsert, container);
+         WriteKind::kInsert, container, log_table, log_key);
   return Status::OK();
 }
 
@@ -204,7 +222,7 @@ Status SiloTxn::Insert(Table* table, const Row& row, uint32_t container) {
   REACTDB_RETURN_IF_ERROR(InsertEntry(&table->primary(), keybuf.view(), row,
                                       /*ids=*/nullptr,
                                       static_cast<uint32_t>(row.size()),
-                                      container));
+                                      container, table, &keybuf));
   for (size_t i = 0; i < table->num_secondary_indexes(); ++i) {
     KeyBuf entrybuf(arena_);
     table->EncodeSecondaryEntryTo(i, row, &entrybuf);
@@ -233,8 +251,10 @@ Status SiloTxn::Update(Table* table, const Row& key, const Row& new_row,
   Record* primary_rec = nullptr;
   const Value* old_cells = nullptr;
   uint32_t old_num_cells = 0;
-  REACTDB_RETURN_IF_ERROR(LocateVisible(table, key, container, &primary_rec,
-                                        &old_cells, &old_num_cells));
+  KeyBuf pk_buf(arena_);
+  REACTDB_RETURN_IF_ERROR(LocateVisible(table, key, container, &pk_buf,
+                                        &primary_rec, &old_cells,
+                                        &old_num_cells));
   // Secondary maintenance first (it only touches entry records): move
   // entries whose indexed columns changed. Buffering the primary last keeps
   // `old_cells` valid throughout — Buffer destroys the cells it replaces.
@@ -254,7 +274,8 @@ Status SiloTxn::Update(Table* table, const Row& key, const Row& new_row,
   }
   Buffer(primary_rec,
          CopyCells(new_row, nullptr, static_cast<uint32_t>(new_row.size())),
-         static_cast<uint32_t>(new_row.size()), WriteKind::kUpdate, container);
+         static_cast<uint32_t>(new_row.size()), WriteKind::kUpdate, container,
+         table, &pk_buf);
   stats_.writes++;
   return Status::OK();
 }
@@ -265,8 +286,10 @@ Status SiloTxn::Delete(Table* table, const Row& key, uint32_t container) {
   Record* primary_rec = nullptr;
   const Value* old_cells = nullptr;
   uint32_t old_num_cells = 0;
-  REACTDB_RETURN_IF_ERROR(LocateVisible(table, key, container, &primary_rec,
-                                        &old_cells, &old_num_cells));
+  KeyBuf pk_buf(arena_);
+  REACTDB_RETURN_IF_ERROR(LocateVisible(table, key, container, &pk_buf,
+                                        &primary_rec, &old_cells,
+                                        &old_num_cells));
   // Entry deletions first so `old_cells` stays valid (see Update).
   for (size_t i = 0; i < table->num_secondary_indexes(); ++i) {
     KeyBuf entrybuf(arena_);
@@ -276,7 +299,8 @@ Status SiloTxn::Delete(Table* table, const Row& key, uint32_t container) {
       Buffer(entry_lookup.record, nullptr, 0, WriteKind::kDelete, container);
     }
   }
-  Buffer(primary_rec, nullptr, 0, WriteKind::kDelete, container);
+  Buffer(primary_rec, nullptr, 0, WriteKind::kDelete, container, table,
+         &pk_buf);
   stats_.writes++;
   return Status::OK();
 }
@@ -559,6 +583,24 @@ StatusOr<uint64_t> SiloTxn::Commit(TidSource* tids) {
       fresh->assign(entry.cells, entry.cells + entry.num_cells);
       entry.rec->data.store(fresh, std::memory_order_release);
       entry.rec->tid.store(commit_tid, std::memory_order_release);
+    }
+  }
+  // Redo logging: append the committed value images to the bound shard
+  // *after* the install released the record locks but *before* the caller
+  // unpins its epoch slot — the pin ordering is what lets the log writers
+  // seal epochs below EpochManager::min_active_epoch(). Cells are still
+  // alive here (DestroyWriteCells runs below); the buffered shard bytes
+  // reach disk at the next group-commit flush.
+  if (log_ != nullptr) {
+    for (const WriteEntry& entry : write_set_) {
+      if (entry.log_key == nullptr) continue;
+      std::string_view key(entry.log_key, entry.log_key_size);
+      if (entry.kind == WriteKind::kDelete) {
+        log_->AppendDelete(entry.log_reactor, entry.log_slot, key, commit_tid);
+      } else {
+        log_->AppendPut(entry.log_reactor, entry.log_slot, key, commit_tid,
+                        entry.cells, entry.num_cells);
+      }
     }
   }
   DestroyWriteCells();

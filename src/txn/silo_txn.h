@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "src/log/log_shard.h"
 #include "src/storage/table.h"
 #include "src/txn/epoch.h"
 #include "src/util/arena.h"
@@ -76,6 +77,15 @@ class SiloTxn {
 
   /// Binds the backing arena. Must happen before the first data operation.
   void BindArena(Arena* arena);
+
+  /// Binds the redo-log shard that Commit appends value records to (epoch
+  /// group-commit logging, src/log/). Must happen before the first write
+  /// operation: primary keys are captured (arena copies) as writes buffer.
+  /// Null (the default) disables capture — the hot path is unchanged.
+  /// Only writes against tables with a durable identity
+  /// (Table::BindDurableId) are logged; secondary-index entry records are
+  /// never logged (recovery rebuilds the indexes).
+  void BindLog(log::LogShard* shard);
 
   // --- Data operations -----------------------------------------------------
 
@@ -167,6 +177,13 @@ class SiloTxn {
     uint32_t num_cells;
     WriteKind kind;
     uint32_t container;
+    /// Redo-log capture (only for primary-table writes with a log bound):
+    /// arena-copied encoded primary key plus the durable relation handles.
+    /// Null log_key = not logged.
+    const char* log_key = nullptr;
+    uint32_t log_key_size = 0;
+    uint32_t log_reactor = 0;
+    uint32_t log_slot = 0;
   };
   struct NodeEntry {
     BTree::LeafNode* leaf;
@@ -195,8 +212,11 @@ class SiloTxn {
   /// columns (null = the first n cells in order).
   Value* CopyCells(const Row& src, const int* ids, uint32_t n);
   /// Adds or overwrites a write-set entry, adopting `cells` (arena-owned).
+  /// `log_table`/`log_key` carry the redo-capture identity of primary-table
+  /// writes (null for index-entry records; ignored when no log is bound).
   void Buffer(Record* rec, Value* cells, uint32_t num_cells, WriteKind kind,
-              uint32_t container);
+              uint32_t container, const Table* log_table = nullptr,
+              const KeyBuf* log_key = nullptr);
   /// Pending write for a record, or nullptr. The pointer is invalidated by
   /// the next Buffer call.
   WriteEntry* PendingWrite(Record* rec);
@@ -205,14 +225,19 @@ class SiloTxn {
   /// old row cells (pending write or committed snapshot), tracking the
   /// read / the miss exactly like a point read. Shared by
   /// GetInto/Update/Delete so visibility semantics cannot diverge.
+  /// `keybuf` is caller-provided scratch; on return it holds the encoded
+  /// primary key (Update/Delete reuse it for redo capture).
   Status LocateVisible(Table* table, const Row& key, uint32_t container,
-                       Record** rec, const Value** cells, uint32_t* num_cells);
+                       KeyBuf* keybuf, Record** rec, const Value** cells,
+                       uint32_t* num_cells);
 
   /// Inserts one index entry record. The buffered row is gathered from
   /// `src` through `ids` (see CopyCells) only after all duplicate checks
-  /// pass.
+  /// pass. `log_table`/`log_key` as in Buffer.
   Status InsertEntry(BTree* tree, std::string_view key, const Row& src,
-                     const int* ids, uint32_t num_cells, uint32_t container);
+                     const int* ids, uint32_t num_cells, uint32_t container,
+                     const Table* log_table = nullptr,
+                     const KeyBuf* log_key = nullptr);
 
   Status ScanInternal(Table* table, std::string_view lo, std::string_view hi,
                       bool reverse, int64_t limit,
@@ -231,6 +256,7 @@ class SiloTxn {
   void DestroyWriteCells();
 
   EpochManager* epochs_;
+  log::LogShard* log_ = nullptr;
   Arena* arena_ = nullptr;
   std::unique_ptr<Arena> own_arena_;
   FlatVec<ReadEntry> read_set_;

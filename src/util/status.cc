@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kIOError:
+      return "IOError";
     case StatusCode::kInternal:
       return "Internal";
   }

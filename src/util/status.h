@@ -35,6 +35,11 @@ enum class StatusCode : uint8_t {
   // A bounded admission window (session max-outstanding, mailbox) is full
   // and the caller asked not to block (TrySubmit/TryPush backpressure).
   kOverloaded = 10,
+  // A storage-device failure in the durability subsystem (src/log/): failed
+  // write/fsync, a corrupt log segment or checkpoint (checksum mismatch),
+  // or a short read of a frame the manifest promised. Surfaced by
+  // Database::Open and the log writer instead of aborting the process.
+  kIOError = 11,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -78,6 +83,9 @@ class Status {
   static Status Overloaded(std::string msg = "") {
     return Status(StatusCode::kOverloaded, std::move(msg));
   }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -98,6 +106,7 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
 
   std::string ToString() const;
 

@@ -340,6 +340,64 @@ TEST(ThreadTransport, FanOutBatchesPerDestinationContainer) {
   rt.Stop();
 }
 
+// Time-based flush (DeploymentConfig::transport_flush_us): with the batch
+// cap set far above the traffic, the *only* mechanism that can ship a
+// held batch is the micro-delay timeout — the task-boundary pass skips
+// batches younger than the delay, and the executor sleeps no longer than
+// the earliest batch deadline. The transaction completing at all proves
+// flush-on-timeout; the elapsed time proves the coalescing delay was
+// actually honored rather than flushed eagerly.
+TEST(ThreadTransport, TimeBasedFlushShipsHeldBatchesOnTimeout) {
+  auto def = CounterDef(2);
+  ThreadRuntime rt;
+  DeploymentConfig dc = DeploymentConfig::SharedNothing(2);
+  dc.transport_max_batch = 1024;  // the size trigger can never fire
+  dc.transport_flush_us = 3000;   // 3 ms micro-delay coalescing
+  ASSERT_TRUE(rt.Bootstrap(def.get(), dc).ok());
+  ASSERT_TRUE(LoadCounters(&rt, 2).ok());
+  ASSERT_TRUE(rt.Start().ok());
+
+  auto t0 = std::chrono::steady_clock::now();
+  ProcResult r = rt.Execute("c0", "fan_out", {Value("c1")});
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(1, r.value().AsInt64());
+  // The request sat in the caller's lane for the full delay (and the
+  // response in the callee's), so the round trip cannot beat one delay.
+  EXPECT_GE(elapsed_ms, 3.0);
+
+  const transport::TransportStats& stats = rt.transport()->stats();
+  EXPECT_EQ(1u, stats.sent_of(MessageKind::kCall));
+  EXPECT_EQ(1u, stats.delivered_of(MessageKind::kCall));
+  EXPECT_EQ(1u, stats.delivered_of(MessageKind::kResponse));
+
+  ProcResult v = rt.Execute("c1", "get", {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(1, v.value().AsInt64());
+  rt.Stop();
+}
+
+// The zero default must keep the legacy behavior: nothing is ever held
+// past the task boundary (FanOutBatchesPerDestinationContainer and the
+// equivalence tests above all run with the default and depend on it; this
+// pins the config wiring itself).
+TEST(ThreadTransport, ZeroFlushUsKeepsTaskBoundarySemantics) {
+  auto def = CounterDef(2);
+  ThreadRuntime rt;
+  DeploymentConfig dc = DeploymentConfig::SharedNothing(2);
+  dc.transport_max_batch = 1024;
+  ASSERT_EQ(0.0, dc.transport_flush_us);  // the default
+  ASSERT_TRUE(rt.Bootstrap(def.get(), dc).ok());
+  ASSERT_TRUE(LoadCounters(&rt, 2).ok());
+  ASSERT_TRUE(rt.Start().ok());
+  ASSERT_FALSE(rt.transport()->aged_flush_enabled());
+  ProcResult r = rt.Execute("c0", "fan_out", {Value("c1")});
+  ASSERT_TRUE(r.ok()) << r.status();
+  rt.Stop();
+}
+
 // Equivalence: the loopback transport path and the legacy direct-call path
 // produce identical results on the banking workload, with destination
 // arguments in both conventions (per-call-resolved name strings and

@@ -38,6 +38,17 @@ TEST(Status, MessageInToString) {
   EXPECT_EQ("NotFound: no such row", Status::NotFound("no such row").ToString());
 }
 
+TEST(Status, IOErrorTaxonomy) {
+  Status s = Status::IOError("fsync log/c0_000001.log: No space left");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(StatusCode::kIOError, s.code());
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_FALSE(s.IsAbort());  // device failures are not transaction aborts
+  EXPECT_FALSE(Status::Internal("x").IsIOError());
+  EXPECT_EQ("IOError", StatusCodeName(StatusCode::kIOError));
+  EXPECT_EQ("IOError: torn frame", Status::IOError("torn frame").ToString());
+}
+
 TEST(StatusOr, ValueAndError) {
   StatusOr<int> ok(42);
   ASSERT_TRUE(ok.ok());

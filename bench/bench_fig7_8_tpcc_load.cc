@@ -48,7 +48,8 @@ void Run() {
 }  // namespace bench
 }  // namespace reactdb
 
-int main() {
+int main(int argc, char** argv) {
+  reactdb::harness::ParseDriverFlags(argc, argv);
   reactdb::bench::Run();
   return 0;
 }

@@ -65,7 +65,12 @@ Proc TransferTo(TxnContext& ctx, Row args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool crash = argc > 1 && std::strcmp(argv[1], "--crash") == 0;
+  bool crash = false;
+  bool stats = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--crash") == 0) crash = true;
+    if (std::strcmp(argv[i], "--stats") == 0) stats = true;
+  }
   // 1+2: reactor database definition.
   ReactorDatabaseDef def;
   ReactorType& account = def.DefineType("Account");
@@ -133,6 +138,14 @@ int main(int argc, char** argv) {
   for (const char* name : {"alice", "bob", "carol"}) {
     ProcResult balance = db.Execute(name, "deposit", {Value(0.0)});
     std::printf("%s balance: %.2f\n", name, balance->AsNumeric());
+  }
+
+  // Observability: `quickstart --stats` dumps the metrics registry — every
+  // layer's counters/gauges/histograms as one consistent snapshot, in
+  // Prometheus exposition text (db.Stats().ToJson() for JSON).
+  if (stats) {
+    std::printf("\n--- db.Stats().ToPrometheus() ---\n%s",
+                db.Stats().ToPrometheus().c_str());
   }
   db.Shutdown();
 

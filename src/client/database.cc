@@ -19,6 +19,10 @@ Status Database::Open(const ReactorDatabaseDef* def,
       REACTDB_RETURN_IF_ERROR(OpenDurable(options));
       REACTDB_RETURN_IF_ERROR(RecoveryCheckpoint());
     }
+    // After durability, so the durable-epoch listener can attach.
+    if (options.trace.enabled) {
+      REACTDB_RETURN_IF_ERROR(rt_->EnableTracing(options.trace));
+    }
     return Status::OK();
   }
   auto threads = std::make_unique<ThreadRuntime>();
@@ -31,6 +35,9 @@ Status Database::Open(const ReactorDatabaseDef* def,
   // after Start because its durability fence needs the writer threads.
   if (!options.data_dir.empty()) {
     REACTDB_RETURN_IF_ERROR(OpenDurable(options));
+  }
+  if (options.trace.enabled) {
+    REACTDB_RETURN_IF_ERROR(rt_->EnableTracing(options.trace));
   }
   REACTDB_RETURN_IF_ERROR(threads_->Start(options.epoch_tick_ms));
   if (rt_->durability() != nullptr) {

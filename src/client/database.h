@@ -61,6 +61,15 @@ class Database {
     /// only on WaitDurable/Checkpoint/Shutdown, which makes "crash before
     /// fsync" deterministic in the recovery tests.
     bool log_auto_flush = true;
+    /// Per-transaction tracing (src/obs/trace.h). Disabled by default:
+    /// tracing off costs one null test per root and leaves the simulator's
+    /// virtual-time traces bit-identical. Set `trace.enabled` (and a
+    /// `trace.slow_threshold_us`) to record lifecycle spans — submit,
+    /// dispatch, per-subtxn call/response, validate, install/abort,
+    /// log-append, finalize, durable — into per-executor rings; slow
+    /// transactions are promoted into a retained ring dumpable as JSON via
+    /// DumpTraces().
+    obs::TraceOptions trace;
   };
 
   static Options Threads() { return Options{}; }
@@ -160,6 +169,24 @@ class Database {
     return rt_->FindTable(reactor_name, table_name);
   }
   const RuntimeStats& stats() const { return rt_->stats(); }
+
+  // --- Observability (src/obs/) ---------------------------------------------
+
+  /// Consistent point-in-time snapshot of every metric: sharded hot-path
+  /// counters/gauges/histograms summed over their executor shards, plus
+  /// snapshot-time samples (transport mailbox depths, epoch age, durable
+  /// lag, per-procedure outcomes). Serialize with
+  /// StatsSnapshot::ToPrometheus() (exposition text) or ToJson(); query
+  /// with Find()/Value(). Cheap enough for periodic scraping — it never
+  /// blocks transaction execution.
+  obs::StatsSnapshot Stats() const { return rt_->Stats(); }
+  /// The trace store (never null while open; disabled unless
+  /// Options::trace.enabled was set).
+  obs::TraceStore* tracer() const { return rt_->tracer(); }
+  /// Retained (slow) and recent traces as JSON; "{}"-ish empty dump when
+  /// tracing is off.
+  std::string DumpTraces() const { return rt_->tracer()->DumpJson(); }
+
   const DeploymentConfig& deployment() const { return rt_->deployment(); }
   /// Session clock: virtual microseconds in sim mode, steady real time in
   /// thread mode.

@@ -103,6 +103,7 @@ StatusOr<SessionFuture> Session::TrySubmit(ReactorId reactor, ProcId proc,
     idx = TryClaimLocked();
     if (idx == kNpos) {
       ++stats_.overloaded;
+      rt_->metrics()->AddShared(rt_->metric_ids().session_overloaded);
       return Status::Overloaded("session window full (" +
                                 std::to_string(slots_.size()) +
                                 " outstanding)");
@@ -125,6 +126,9 @@ SessionFuture Session::SubmitClaimed(size_t idx, ReactorId reactor,
     if (options_.retry.max_attempts > 1) s.retry_args = args;
     ++stats_.submitted;
   }
+  // Registry mirror (shared shard: sessions live on client threads).
+  rt_->metrics()->AddShared(rt_->metric_ids().session_submitted);
+  rt_->metrics()->GaugeAddShared(rt_->metric_ids().session_inflight, 1);
   // The completion callback captures only {this, idx}: it fits the
   // std::function inline buffer, so steady-state submission does not
   // allocate in the session layer.
@@ -168,6 +172,7 @@ void Session::OnRootDone(size_t idx, ProcResult result, const RootTxn& root) {
     }
   }
   if (retry) {
+    rt_->metrics()->AddShared(rt_->metric_ids().session_retried);
     Status st = rt_->Submit(reactor, proc, std::move(args),
                             [this, idx](ProcResult r, const RootTxn& root2) {
                               OnRootDone(idx, std::move(r), root2);
@@ -218,6 +223,7 @@ void Session::Complete(size_t idx, ProcResult result,
     }
     s.state = Slot::State::kCompleted;
   }
+  rt_->metrics()->GaugeAddShared(rt_->metric_ids().session_inflight, -1);
   RunDeliveries();
 }
 
@@ -254,6 +260,7 @@ void Session::RunDeliveries() {
           ++stats_.durable_waits;
           stats_.durable_lag_us.Add(rt_->SessionNowUs() -
                                     s.outcome.complete_us);
+          rt_->metrics()->AddShared(rt_->metric_ids().session_durable_waits);
         }
         s.durable_epoch_required = 0;
         s.durable_held = false;

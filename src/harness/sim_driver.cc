@@ -1,5 +1,7 @@
 #include "src/harness/sim_driver.h"
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <sstream>
 
@@ -202,7 +204,27 @@ DriverResult RunClosedLoop(SimRuntime* rt, const DriverOptions& options,
     result.mean_profile.input_gen_us = st->profile_sum.input_gen_us / n;
   }
   result.measured_window_us = options.epoch_us * options.num_epochs;
+  if (DumpStatsEnabled()) DumpStats(rt);
   return result;
+}
+
+namespace {
+bool g_dump_stats = false;
+}  // namespace
+
+void ParseDriverFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) g_dump_stats = true;
+  }
+}
+
+void SetDumpStats(bool enabled) { g_dump_stats = enabled; }
+
+bool DumpStatsEnabled() { return g_dump_stats; }
+
+void DumpStats(RuntimeBase* rt) {
+  std::printf("\n--- stats snapshot (Prometheus exposition) ---\n%s---\n",
+              rt->Stats().ToPrometheus().c_str());
 }
 
 std::string DriverResult::Summary() const {

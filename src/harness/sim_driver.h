@@ -82,6 +82,21 @@ struct DriverResult {
 DriverResult RunClosedLoop(SimRuntime* rt, const DriverOptions& options,
                            const RequestGen& gen);
 
+// --- Introspection (`--stats`) ---------------------------------------------
+// Every figure bench forwards its argv here; with `--stats` on the command
+// line, RunClosedLoop dumps the runtime's metrics snapshot (Prometheus
+// exposition text, src/obs/) to stdout after each measurement.
+
+/// Scans argv for driver flags (currently `--stats`). Unknown arguments are
+/// ignored — benches keep their own parsing.
+void ParseDriverFlags(int argc, char** argv);
+/// Programmatic switch behind `--stats`.
+void SetDumpStats(bool enabled);
+bool DumpStatsEnabled();
+/// Prints the snapshot (used by RunClosedLoop; callable directly by benches
+/// that measure outside the driver).
+void DumpStats(RuntimeBase* rt);
+
 }  // namespace harness
 }  // namespace reactdb
 

@@ -1,5 +1,6 @@
 #include "src/log/checkpoint.h"
 
+#include <chrono>
 #include <filesystem>
 #include <system_error>
 
@@ -7,6 +8,7 @@
 #include "src/log/log_record.h"
 #include "src/runtime/runtime_base.h"
 #include "src/storage/record.h"
+#include "src/util/logging.h"
 
 namespace reactdb {
 namespace log {
@@ -17,6 +19,7 @@ Status WriteCheckpoint(RuntimeBase* rt, DurabilityManager* mgr,
     Status s = mgr->io_status();
     return s.ok() ? Status::Unavailable("durability abandoned") : s;
   }
+  const auto t0 = std::chrono::steady_clock::now();
   EpochManager* epochs = rt->epochs();
   const size_t slot = mgr->sweep_slot();
 
@@ -113,6 +116,13 @@ Status WriteCheckpoint(RuntimeBase* rt, DurabilityManager* mgr,
   REACTDB_RETURN_IF_ERROR(FsyncDir(mgr->options().data_dir));
 
   REACTDB_RETURN_IF_ERROR(mgr->OnCheckpointCommitted(ckpt_epoch, dir));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  REACTDB_LOG(kInfo) << "checkpoint " << dir << ": " << rows << " rows, "
+                     << data.size() << " bytes, epoch " << ckpt_epoch
+                     << ", took " << elapsed_ms << " ms";
   if (result != nullptr) {
     result->dir = dir;
     result->ckpt_epoch = ckpt_epoch;

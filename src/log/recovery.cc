@@ -1,11 +1,13 @@
 #include "src/log/recovery.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/log/durability.h"
 #include "src/log/log_record.h"
 #include "src/runtime/runtime_base.h"
 #include "src/storage/record.h"
+#include "src/util/logging.h"
 
 namespace reactdb {
 namespace log {
@@ -77,6 +79,7 @@ void RebuildSecondaryIndexes(RuntimeBase* rt) {
 
 Status Recover(RuntimeBase* rt, DurabilityManager* mgr,
                RecoveryResult* result) {
+  const auto t0 = std::chrono::steady_clock::now();
   RecoveryResult res;
   res.recovered = mgr->found_state();
   res.durable_epoch = mgr->recovered_durable_epoch();
@@ -134,6 +137,18 @@ Status Recover(RuntimeBase* rt, DurabilityManager* mgr,
   res.max_epoch = std::max(mgr->recovered_max_epoch(), res.durable_epoch);
   rt->epochs()->AdvanceTo(res.max_epoch + 1);
 
+  if (res.recovered) {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    REACTDB_LOG(kInfo) << "recovery: " << res.checkpoint_rows
+                       << " checkpoint rows, " << res.log_records_applied
+                       << " log records applied, " << res.log_records_skipped
+                       << " skipped beyond durable epoch "
+                       << res.durable_epoch << ", took " << elapsed_ms
+                       << " ms";
+  }
   if (result != nullptr) *result = res;
   return Status::OK();
 }

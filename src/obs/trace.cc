@@ -1,0 +1,153 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace reactdb {
+namespace obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSubmit:
+      return "submit";
+    case SpanKind::kDispatch:
+      return "dispatch";
+    case SpanKind::kCallSend:
+      return "call_send";
+    case SpanKind::kCallDone:
+      return "call_done";
+    case SpanKind::kValidate:
+      return "validate";
+    case SpanKind::kInstall:
+      return "install";
+    case SpanKind::kAbort:
+      return "abort";
+    case SpanKind::kLogAppend:
+      return "log_append";
+    case SpanKind::kFinalize:
+      return "finalize";
+    case SpanKind::kDurable:
+      return "durable";
+  }
+  return "?";
+}
+
+void TraceStore::Ring::Push(const TxnTrace& t) {
+  if (slots.empty()) return;
+  slots[next] = t;
+  next = (next + 1) % slots.size();
+  if (count < slots.size()) ++count;
+}
+
+TraceStore::TraceStore(const TraceOptions& options, size_t num_executors)
+    : options_(options) {
+  if (!options_.enabled) return;
+  pool_.reserve(options_.max_live);
+  free_.reserve(options_.max_live);
+  for (size_t i = 0; i < options_.max_live; ++i) {
+    pool_.push_back(std::make_unique<TxnTrace>());
+    free_.push_back(pool_.back().get());
+  }
+  recent_.resize(num_executors);
+  for (Ring& r : recent_) r.slots.resize(options_.recent_per_executor);
+  retained_.slots.resize(options_.max_retained);
+}
+
+TxnTrace* TraceStore::Begin(uint64_t root_id, ReactorId reactor, ProcId proc) {
+  if (!options_.enabled) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) return nullptr;
+  TxnTrace* t = free_.back();
+  free_.pop_back();
+  t->ResetFor(root_id, reactor, proc);
+  return t;
+}
+
+void TraceStore::Finish(TxnTrace* trace, uint32_t executor, bool committed,
+                        uint64_t commit_epoch, double end_us) {
+  if (trace == nullptr) return;
+  trace->committed = committed;
+  trace->commit_epoch = commit_epoch;
+  trace->end_us = end_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (executor < recent_.size()) recent_[executor].Push(*trace);
+  if (options_.slow_threshold_us >= 0 &&
+      trace->latency_us() >= options_.slow_threshold_us) {
+    retained_.Push(*trace);
+    ++promoted_;
+  }
+  free_.push_back(trace);
+}
+
+void TraceStore::OnDurableEpoch(uint64_t durable_epoch, double now_us) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < retained_.count; ++i) {
+    TxnTrace& t = retained_.slots[i];
+    if (t.committed && t.durable_us < 0 && t.commit_epoch <= durable_epoch) {
+      t.durable_us = now_us;
+      t.Record(SpanKind::kDurable, now_us);
+    }
+  }
+}
+
+size_t TraceStore::recent_count(uint32_t executor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executor < recent_.size() ? recent_[executor].count : 0;
+}
+
+uint64_t TraceStore::promoted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return promoted_;
+}
+
+size_t TraceStore::retained_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_.count;
+}
+
+void TraceStore::AppendTraceJson(std::string* out, const TxnTrace& t) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "    {\"root_id\":%" PRIu64
+                ",\"reactor\":%u,\"proc\":%u,\"committed\":%s,"
+                "\"latency_us\":%.3f,\"spans\":[",
+                t.root_id, t.reactor.value, t.proc.value,
+                t.committed ? "true" : "false", t.latency_us());
+  out->append(buf);
+  for (size_t i = 0; i < t.num_spans(); ++i) {
+    const TraceSpan& s = t.span(i);
+    if (i > 0) out->push_back(',');
+    std::snprintf(buf, sizeof buf,
+                  "{\"span\":\"%s\",\"t_us\":%.3f,\"detail\":%u}",
+                  SpanKindName(s.kind), s.t_us, s.detail);
+    out->append(buf);
+  }
+  out->append("]}");
+}
+
+std::string TraceStore::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  out.append("{\n  \"retained\": [\n");
+  for (size_t i = 0; i < retained_.count; ++i) {
+    if (i > 0) out.append(",\n");
+    AppendTraceJson(&out, retained_.slots[i]);
+  }
+  out.append("\n  ],\n  \"recent\": [\n");
+  bool first = true;
+  for (const Ring& ring : recent_) {
+    for (size_t i = 0; i < ring.count; ++i) {
+      if (!first) out.append(",\n");
+      first = false;
+      AppendTraceJson(&out, ring.slots[i]);
+    }
+  }
+  out.append("\n  ]\n}\n");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace reactdb

@@ -1,0 +1,203 @@
+// Per-transaction tracing: opt-in timestamped span capture over the
+// session clock.
+//
+// When enabled (TraceOptions::enabled, off by default), every root
+// transaction carries a TxnTrace recording one span per lifecycle step:
+//
+//   submit -> dispatch -> per-subtxn call/response -> validate ->
+//   install/abort -> log-append -> finalize [-> durable]
+//
+// Timestamps come from the runtime's session clock — VIRTUAL microseconds
+// under SimRuntime, steady-clock microseconds under ThreadRuntime — so a
+// simulated trace is deterministic and a threaded trace is wall-accurate.
+// Recording never touches the simulator's event queue or charges cost:
+// with tracing off the calibrated virtual-time traces are bit-identical
+// (sim_test asserts them to 1e-9), and with tracing on only real memory
+// writes happen between events.
+//
+// Storage: traces come from a bounded pre-allocated pool; each completed
+// trace is copied into its home executor's ring of recent traces
+// (overwritten oldest-first), and traces whose end-to-end latency is at or
+// above TraceOptions::slow_threshold_us are promoted into a bounded
+// retained ring that survives until dumped (DumpJson) or evicted by newer
+// slow traces. Durable stamps arrive late by nature (group commit): when
+// the durable epoch advances, retained traces of sealed epochs get their
+// kDurable span appended.
+
+#ifndef REACTDB_OBS_TRACE_H_
+#define REACTDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/reactor/symbol.h"
+
+namespace reactdb {
+namespace obs {
+
+enum class SpanKind : uint8_t {
+  kSubmit,        // client handed the root to the runtime
+  kDispatch,      // root frame started on its home executor
+  kCallSend,      // cross-container sub-txn call dispatched (detail: subtxn)
+  kCallDone,      // sub-txn procedure body finished (detail: subtxn)
+  kValidate,      // finalization reached commit validation
+  kInstall,       // Silo commit validated + installed (+ redo appended)
+  kAbort,         // root finalized as an abort
+  kLogAppend,     // redo records appended to the executor's log shard
+  kFinalize,      // outcome delivered, root retired
+  kDurable,       // commit epoch sealed durable (retained traces only)
+};
+
+const char* SpanKindName(SpanKind kind);
+
+struct TraceSpan {
+  SpanKind kind;
+  /// Span-specific detail: sub-transaction id for kCallSend/kCallDone, 0
+  /// otherwise.
+  uint32_t detail = 0;
+  double t_us = 0;
+};
+
+/// Span recorder of one root transaction. Spans append concurrently (a
+/// cross-container sub-transaction records from its own executor) through
+/// an atomic cursor into fixed storage; overflow beyond kMaxSpans drops
+/// spans rather than allocating.
+class TxnTrace {
+ public:
+  static constexpr size_t kMaxSpans = 32;
+
+  TxnTrace() = default;
+  // Copyable despite the atomic cursor: rings copy completed traces, when
+  // no recorder is live anymore.
+  TxnTrace(const TxnTrace& other) { *this = other; }
+  TxnTrace& operator=(const TxnTrace& other) {
+    root_id = other.root_id;
+    reactor = other.reactor;
+    proc = other.proc;
+    committed = other.committed;
+    commit_epoch = other.commit_epoch;
+    begin_us = other.begin_us;
+    end_us = other.end_us;
+    durable_us = other.durable_us;
+    size_t n = other.num_spans();
+    n_.store(n, std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) spans_[i] = other.spans_[i];
+    return *this;
+  }
+
+  void Record(SpanKind kind, double t_us, uint32_t detail = 0) {
+    size_t i = n_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= kMaxSpans) return;
+    spans_[i].kind = kind;
+    spans_[i].detail = detail;
+    spans_[i].t_us = t_us;
+  }
+
+  uint64_t root_id = 0;
+  ReactorId reactor;
+  ProcId proc;
+  bool committed = false;
+  uint64_t commit_epoch = 0;
+  double begin_us = 0;
+  double end_us = 0;
+  /// Stamped when the commit epoch seals durable; < 0 until then.
+  double durable_us = -1;
+
+  size_t num_spans() const {
+    size_t n = n_.load(std::memory_order_relaxed);
+    return n < kMaxSpans ? n : kMaxSpans;
+  }
+  const TraceSpan& span(size_t i) const { return spans_[i]; }
+  double latency_us() const { return end_us - begin_us; }
+
+ private:
+  friend class TraceStore;
+  void ResetFor(uint64_t id, ReactorId r, ProcId p) {
+    root_id = id;
+    reactor = r;
+    proc = p;
+    committed = false;
+    commit_epoch = 0;
+    begin_us = end_us = 0;
+    durable_us = -1;
+    n_.store(0, std::memory_order_relaxed);
+  }
+
+  std::atomic<size_t> n_{0};
+  TraceSpan spans_[kMaxSpans];
+};
+
+struct TraceOptions {
+  /// Master switch. Off: Begin() returns null, zero per-txn work beyond one
+  /// pointer test.
+  bool enabled = false;
+  /// Completed traces with latency >= this are promoted into the retained
+  /// ring. 0 retains everything; < 0 retains nothing.
+  double slow_threshold_us = 0;
+  /// Live traces in flight at once (pool size). Begin() returns null when
+  /// exhausted — those transactions simply go untraced.
+  size_t max_live = 1024;
+  /// Recent completed traces kept per executor (overwritten ring).
+  size_t recent_per_executor = 64;
+  /// Slow traces kept overall (overwritten ring).
+  size_t max_retained = 256;
+};
+
+/// Owner of the trace pool and the completed-trace rings. One per runtime.
+class TraceStore {
+ public:
+  TraceStore(const TraceOptions& options, size_t num_executors);
+
+  bool enabled() const { return options_.enabled; }
+  const TraceOptions& options() const { return options_; }
+
+  /// Checks out a live trace (null when disabled or the pool is empty);
+  /// the kSubmit span is the caller's to record.
+  TxnTrace* Begin(uint64_t root_id, ReactorId reactor, ProcId proc);
+  /// Completes a live trace on the root's home executor: copies it into
+  /// the executor's recent ring, promotes it into the retained ring when
+  /// at/over the slow threshold, and returns it to the pool.
+  void Finish(TxnTrace* trace, uint32_t executor, bool committed,
+              uint64_t commit_epoch, double end_us);
+  /// Durable-epoch advance: stamps kDurable on retained committed traces
+  /// whose commit epoch is now sealed.
+  void OnDurableEpoch(uint64_t durable_epoch, double now_us);
+
+  /// Completed traces currently in `executor`'s recent ring (<= capacity).
+  size_t recent_count(uint32_t executor) const;
+  /// Slow traces promoted since construction (monotonic).
+  uint64_t promoted_total() const;
+  /// Retained slow traces currently held (<= max_retained).
+  size_t retained_count() const;
+  /// Ordered spans of the retained ring (then recent rings) as JSON.
+  std::string DumpJson() const;
+
+ private:
+  struct Ring {
+    std::vector<TxnTrace> slots;
+    size_t next = 0;
+    size_t count = 0;  // <= slots.size()
+
+    void Push(const TxnTrace& t);
+  };
+
+  static void AppendTraceJson(std::string* out, const TxnTrace& t);
+
+  TraceOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TxnTrace>> pool_;
+  std::vector<TxnTrace*> free_;
+  std::vector<Ring> recent_;  // one per executor
+  Ring retained_;
+  uint64_t promoted_ = 0;
+};
+
+}  // namespace obs
+}  // namespace reactdb
+
+#endif  // REACTDB_OBS_TRACE_H_

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/reactor/future.h"
 #include "src/reactor/proc.h"
 #include "src/reactor/reactor.h"
@@ -96,8 +97,15 @@ struct RootTxn {
   /// as critical-path (synchronous) vs overlapped (asynchronous).
   std::atomic<int> live_remote_children{0};
 
-  /// Measurement bookkeeping (virtual or real microseconds).
+  /// Measurement bookkeeping (virtual or real microseconds). Stamped with
+  /// SessionNowUs() at Submit; FinalizeRoot observes end-to-end latency
+  /// against it.
   double submit_time_us = 0;
+
+  /// Per-transaction trace (null unless tracing is enabled and the trace
+  /// pool had capacity). Owned by the runtime's TraceStore; frames record
+  /// spans through it, FinalizeRoot returns it.
+  obs::TxnTrace* trace = nullptr;
 
   /// Simulated-cost profile attributed to the root's home executor,
   /// mirroring the Fig. 6 breakdown (sync-execution, Cs, Cr,

@@ -49,6 +49,24 @@
 //   db.Checkpoint();                      // snapshot + log truncation
 //   db.durable_epoch();                   // group-commit watermark
 //
+//   // Observability (src/obs/): every layer feeds a sharded metrics
+//   // registry with zero hot-path allocation; Stats() is a consistent
+//   // snapshot dumpable as Prometheus exposition text or JSON.
+//   obs::StatsSnapshot snap = db.Stats();
+//   std::cout << snap.ToPrometheus();      // or snap.ToJson()
+//   snap.Value("reactdb_txn_committed_total");
+//
+//   // Opt-in per-transaction tracing: lifecycle spans (submit, dispatch,
+//   // per-subtxn call/response, validate, install, log-append, durable)
+//   // on the session clock; slow transactions are promoted into a
+//   // retained ring.
+//   client::Database::Options topts;
+//   topts.trace.enabled = true;
+//   topts.trace.slow_threshold_us = 500;   // promote txns >= 500 us
+//   db.Open(&def, dc, topts);
+//   ...
+//   std::cout << db.DumpTraces();          // retained + recent, as JSON
+//
 // Changing the database architecture (shared-nothing vs shared-everything,
 // affinity, MPL) only changes the DeploymentConfig — never application
 // code. Changing between real threads and the calibrated discrete-event

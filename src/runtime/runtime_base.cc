@@ -1,9 +1,11 @@
 #include "src/runtime/runtime_base.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/client/session.h"
 #include "src/log/durability.h"
+#include "src/storage/tid.h"
 #include "src/util/logging.h"
 
 namespace reactdb {
@@ -109,7 +111,217 @@ Status RuntimeBase::Bootstrap(const ReactorDatabaseDef* def,
                                      [this] { return SessionNowUs(); });
     }
   }
+  RegisterMetrics();
   return Status::OK();
+}
+
+void RuntimeBase::RegisterMetrics() {
+  // Registration order is snapshot order; names follow the ROADMAP
+  // "Observability" scheme (reactdb_<subsystem>_<what>, `_total` counters,
+  // unit suffixes).
+  metric_ids_.txn_committed = metrics_.Counter(
+      "reactdb_txn_committed_total", "Root transactions committed");
+  metric_ids_.txn_aborted = metrics_.CounterFamily(
+      "reactdb_txn_aborted_total", "Root transactions aborted, by reason",
+      {{{"reason", "cc"}}, {{"reason", "user"}}, {{"reason", "safety"}}});
+  metric_ids_.txn_multi_container =
+      metrics_.Counter("reactdb_txn_multi_container_total",
+                       "Committed roots that touched multiple containers");
+  metric_ids_.txn_latency_us = metrics_.Histo(
+      "reactdb_txn_latency_us",
+      "Root end-to-end latency in session-clock microseconds");
+  metric_ids_.arena_reserved = metrics_.Gauge(
+      "reactdb_arena_reserved_bytes",
+      "High-water bytes reserved by any root's transaction arena", {},
+      obs::Aggregation::kMax);
+  metric_ids_.arena_used_hw = metrics_.Gauge(
+      "reactdb_arena_used_bytes_hw",
+      "High-water bytes used by any single root's transaction arena", {},
+      obs::Aggregation::kMax);
+  metric_ids_.session_inflight = metrics_.Gauge(
+      "reactdb_session_inflight",
+      "Session transactions submitted and not yet completed");
+  metric_ids_.session_submitted = metrics_.Counter(
+      "reactdb_session_submitted_total",
+      "Transactions submitted through client sessions");
+  metric_ids_.session_retried = metrics_.Counter(
+      "reactdb_session_retried_total",
+      "Session-level retries of concurrency-control aborts");
+  metric_ids_.session_overloaded = metrics_.Counter(
+      "reactdb_session_overloaded_total",
+      "Session submissions refused by window backpressure");
+  metric_ids_.session_durable_waits = metrics_.Counter(
+      "reactdb_session_durable_waits_total",
+      "Session completions that waited for the durable epoch");
+
+  std::vector<uint32_t> procs_per_reactor(reactors_.size(), 0);
+  for (size_t r = 0; r < reactors_.size(); ++r) {
+    if (reactors_[r] != nullptr) {
+      procs_per_reactor[r] =
+          static_cast<uint32_t>(reactors_[r]->type().num_procedures());
+    }
+  }
+  proc_outcomes_.Init(procs_per_reactor);
+
+  metrics_.AddSampleCollector(
+      [this](std::vector<obs::MetricSample>* out) {
+        CollectRuntimeSamples(out);
+      });
+
+  metrics_.Freeze(executors_.size());
+  // Disabled store: root->trace stays null everywhere until EnableTracing
+  // swaps in an enabled one.
+  tracer_ = std::make_unique<obs::TraceStore>(obs::TraceOptions{},
+                                              executors_.size());
+}
+
+Status RuntimeBase::EnableTracing(const obs::TraceOptions& options) {
+  if (def_ == nullptr) return Status::Internal("Bootstrap first");
+  if (outstanding_roots() != 0) {
+    return Status::Internal("EnableTracing with transactions in flight");
+  }
+  tracer_ = std::make_unique<obs::TraceStore>(options, executors_.size());
+  if (options.enabled && durability_ != nullptr) {
+    // Group commit seals epochs after finalize; stamp retained traces when
+    // the durable watermark advances past their commit epoch.
+    durability_->AddListener([this](uint64_t durable_epoch) {
+      tracer_->OnDurableEpoch(durable_epoch, SessionNowUs());
+    });
+  }
+  return Status::OK();
+}
+
+void RuntimeBase::CollectRuntimeSamples(
+    std::vector<obs::MetricSample>* out) const {
+  auto gauge = [out](const char* name, const char* help, double value,
+                     obs::Labels labels = {}) {
+    obs::MetricSample s;
+    s.name = name;
+    s.help = help;
+    s.type = obs::MetricType::kGauge;
+    s.labels = std::move(labels);
+    s.value = value;
+    out->push_back(std::move(s));
+  };
+  auto counter = [out](const char* name, const char* help, double value,
+                       obs::Labels labels = {}) {
+    obs::MetricSample s;
+    s.name = name;
+    s.help = help;
+    s.type = obs::MetricType::kCounter;
+    s.labels = std::move(labels);
+    s.value = value;
+    out->push_back(std::move(s));
+  };
+
+  gauge("reactdb_txn_outstanding",
+        "Roots submitted and not yet finalized",
+        static_cast<double>(outstanding_roots()));
+
+  // Epoch clock: the age is how far the slowest pinned executor trails the
+  // global epoch (0 when quiescent).
+  uint64_t current = epochs_.current();
+  uint64_t min_active = epochs_.min_active_epoch();
+  gauge("reactdb_epoch_current", "Global epoch counter",
+        static_cast<double>(current));
+  gauge("reactdb_epoch_age_epochs",
+        "Global epoch minus the oldest pinned epoch",
+        static_cast<double>(current - std::min(current, min_active)));
+
+  if (durability_ != nullptr) {
+    uint64_t durable = durability_->durable_epoch();
+    gauge("reactdb_log_durable_epoch", "Highest epoch sealed durable",
+          static_cast<double>(durable));
+    gauge("reactdb_log_durable_lag_epochs",
+          "Global epoch minus the durable epoch",
+          static_cast<double>(current - std::min(current, durable)));
+    const log::DurabilityStats& d = durability_->stats();
+    counter("reactdb_log_bytes_written_total",
+            "Bytes appended to log segments",
+            static_cast<double>(d.bytes_written.load()));
+    counter("reactdb_log_fsyncs_total", "fsync calls issued by the writers",
+            static_cast<double>(d.fsyncs.load()));
+    counter("reactdb_log_frames_total", "Epoch frames written",
+            static_cast<double>(d.frames.load()));
+    counter("reactdb_log_flush_rounds_total", "Group-commit flush rounds",
+            static_cast<double>(d.flush_rounds.load()));
+    counter("reactdb_log_records_total", "Redo records logged",
+            static_cast<double>(d.records_logged.load()));
+  }
+
+  if (transport_ != nullptr) {
+    const transport::TransportStats& t = transport_->stats();
+    for (transport::MessageKind kind :
+         {transport::MessageKind::kSubmit, transport::MessageKind::kCall,
+          transport::MessageKind::kResponse,
+          transport::MessageKind::kCommitVote}) {
+      std::string name(transport::MessageKindName(kind));
+      counter("reactdb_transport_sent_total", "Messages posted, by kind",
+              static_cast<double>(t.sent_of(kind)), {{"kind", name}});
+      counter("reactdb_transport_delivered_total",
+              "Messages delivered, by kind",
+              static_cast<double>(t.delivered_of(kind)), {{"kind", name}});
+    }
+    counter("reactdb_transport_batches_total", "Link transfers sent",
+            static_cast<double>(t.batches.load()));
+    counter("reactdb_transport_wire_bytes_total",
+            "Encoded bytes across the link",
+            static_cast<double>(t.wire_bytes.load()));
+    gauge("reactdb_transport_max_batch",
+          "Largest batch sent in one transfer",
+          static_cast<double>(t.max_batch.load()));
+    for (uint32_t c = 0; c < transport_->num_containers(); ++c) {
+      transport::Mailbox& mb =
+          const_cast<transport::Transport*>(transport_.get())->mailbox(c);
+      obs::Labels labels{{"container", std::to_string(c)}};
+      gauge("reactdb_mailbox_depth", "Envelopes queued in container inboxes",
+            static_cast<double>(mb.size()), labels);
+      counter("reactdb_mailbox_pushed_total", "Envelopes accepted by inboxes",
+              static_cast<double>(mb.pushed()), labels);
+      counter("reactdb_mailbox_rejected_total",
+              "Envelopes refused by full inboxes",
+              static_cast<double>(mb.rejected()), labels);
+      counter("reactdb_mailbox_overflowed_total",
+              "Forced pushes beyond inbox capacity",
+              static_cast<double>(mb.overflowed()), labels);
+    }
+  }
+
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    counter("reactdb_trace_promoted_total",
+            "Traces promoted into the slow-transaction ring",
+            static_cast<double>(tracer_->promoted_total()));
+    gauge("reactdb_trace_retained", "Slow traces currently retained",
+          static_cast<double>(tracer_->retained_count()));
+  }
+
+  // Per-(reactor, proc) outcomes: labels built lazily, only for pairs that
+  // actually executed (thousands of reactors would otherwise dominate).
+  if (proc_outcomes_.initialized()) {
+    for (size_t r = 0; r < proc_outcomes_.num_reactors(); ++r) {
+      const Reactor* reactor = reactors_[r].get();
+      if (reactor == nullptr) continue;
+      for (size_t p = 0; p < proc_outcomes_.num_procs(r); ++p) {
+        ReactorId rid{static_cast<uint32_t>(r)};
+        ProcId pid{static_cast<uint32_t>(p)};
+        uint64_t committed = proc_outcomes_.committed(rid, pid);
+        uint64_t aborted = proc_outcomes_.aborted(rid, pid);
+        if (committed == 0 && aborted == 0) continue;
+        obs::Labels labels{{"reactor", reactor->name()},
+                           {"proc", reactor->type().ProcName(pid)}};
+        if (committed != 0) {
+          counter("reactdb_proc_committed_total",
+                  "Commits by (reactor, procedure)",
+                  static_cast<double>(committed), labels);
+        }
+        if (aborted != 0) {
+          counter("reactdb_proc_aborted_total",
+                  "Aborts by (reactor, procedure)",
+                  static_cast<double>(aborted), std::move(labels));
+        }
+      }
+    }
+  }
 }
 
 RuntimeBase::~RuntimeBase() { DiscardInflightTransport(); }
@@ -226,10 +438,15 @@ void RuntimeBase::DrainInbox(uint32_t container) {
 void RuntimeBase::DiscardInflightTransport() {
   if (transport_ == nullptr) return;
   for (uint32_t c = 0; c < transport_->num_containers(); ++c) {
-    transport_->Drain(c, [](transport::Envelope&& e) {
+    transport_->Drain(c, [this](transport::Envelope&& e) {
       switch (e.kind) {
         case transport::MessageKind::kSubmit: {
           auto* ctx = static_cast<PendingRoot*>(e.ctx);
+          if (ctx->root->trace != nullptr) {
+            // Undelivered root at teardown: return the trace to the pool.
+            tracer_->Finish(ctx->root->trace, 0, /*committed=*/false, 0,
+                            ctx->root->submit_time_us);
+          }
           delete ctx->root;
           delete ctx;
           break;
@@ -368,6 +585,14 @@ Status RuntimeBase::Submit(ReactorId reactor_id, ProcId proc_id, Row args,
   root->reactor_id = reactor_id;
   root->proc_id = proc_id;
   root->on_done = std::move(done);
+  root->submit_time_us = SessionNowUs();
+  if (tracer_->enabled()) {
+    root->trace = tracer_->Begin(root->id, reactor_id, proc_id);
+    if (root->trace != nullptr) {
+      root->trace->begin_us = root->submit_time_us;
+      root->trace->Record(obs::SpanKind::kSubmit, root->submit_time_us);
+    }
+  }
   uint32_t executor = RouteRoot(reactor);
   if (transport_ != nullptr) {
     // Client -> container boundary: the invocation crosses as a
@@ -413,6 +638,9 @@ Status RuntimeBase::Submit(const std::string& reactor_name,
 void RuntimeBase::StartRoot(RootTxn* root, Reactor* reactor, const ProcFn* fn,
                             uint32_t executor, Row args) {
   PinExecutor(executor);
+  if (root->trace != nullptr) {
+    root->trace->Record(obs::SpanKind::kDispatch, SessionNowUs());
+  }
   // Bind a per-executor transaction arena for the root's whole lifetime;
   // FinalizeRoot releases (resets) it on this same executor.
   root->arena = executors_[executor]->arenas.Acquire();
@@ -557,6 +785,10 @@ Future RuntimeBase::DispatchCall(TxnFrame* caller, Reactor* target,
   frame->executor = target->home_executor();
   frame->pinned = true;
   root->live_remote_children.fetch_add(1, std::memory_order_acq_rel);
+  if (root->trace != nullptr) {
+    root->trace->Record(obs::SpanKind::kCallSend, SessionNowUs(),
+                        static_cast<uint32_t>(frame->subtxn_id));
+  }
   ChargeCs();
   if (transport_ != nullptr) {
     // The call crosses containers as a CallRequest; the result returns as a
@@ -617,7 +849,12 @@ void RuntimeBase::OnProcBodyFinished(TxnFrame* frame) {
   ProcResult result =
       frame->coroutine.handle().promise().result;
   if (!result.ok()) frame->root->MarkAbort(result.status());
-  if (frame->parent == nullptr) frame->root->proc_result = result;
+  if (frame->parent == nullptr) {
+    frame->root->proc_result = result;
+  } else if (frame->root->trace != nullptr) {
+    frame->root->trace->Record(obs::SpanKind::kCallDone, SessionNowUs(),
+                               static_cast<uint32_t>(frame->subtxn_id));
+  }
   if (frame->via_transport) {
     // The caller holds the reply future, not `completion`: ship the result
     // home as a CallResponse. Sent from this executor's lane, so it batches
@@ -661,30 +898,78 @@ void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
   uint32_t executor = root_frame->executor;
   ProcResult outcome{Status::Internal("unset outcome")};
   bool committed = false;
+  // Metric updates below target this executor's single-writer shard:
+  // FinalizeRoot runs on the root's home executor, the same discipline the
+  // arena pool relies on.
   if (root->IsAborted()) {
     root->txn.Abort();
     Status s = root->AbortStatus();
+    // Abort-reason family members: 0=cc, 1=user, 2=safety.
+    uint32_t reason;
     if (s.IsSafetyAbort()) {
       stats_.aborted_safety.fetch_add(1, std::memory_order_relaxed);
+      reason = 2;
     } else if (s.IsUserAbort()) {
       stats_.aborted_user.fetch_add(1, std::memory_order_relaxed);
+      reason = 1;
     } else {
       stats_.aborted_cc.fetch_add(1, std::memory_order_relaxed);
+      reason = 0;
+    }
+    metrics_.Add(executor,
+                 obs::MetricId::Offset(metric_ids_.txn_aborted, reason));
+    if (root->trace != nullptr) {
+      root->trace->Record(obs::SpanKind::kAbort, SessionNowUs());
     }
     outcome = s;
   } else {
     ChargeCommitCost(root);
+    if (root->trace != nullptr) {
+      root->trace->Record(obs::SpanKind::kValidate, SessionNowUs());
+    }
     StatusOr<uint64_t> tid =
         root->txn.Commit(&executors_[executor]->tids);
     if (tid.ok()) {
       root->commit_tid = *tid;
       stats_.committed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.Add(executor, metric_ids_.txn_committed);
+      if (root->txn.containers_touched().size() > 1) {
+        metrics_.Add(executor, metric_ids_.txn_multi_container);
+      }
+      if (root->trace != nullptr) {
+        double now = SessionNowUs();
+        root->trace->Record(obs::SpanKind::kInstall, now);
+        if (durability_ != nullptr) {
+          // The redo records reached the executor's shard inside Commit.
+          root->trace->Record(obs::SpanKind::kLogAppend, now);
+        }
+      }
       outcome = root->proc_result;
       committed = true;
     } else {
       stats_.aborted_cc.fetch_add(1, std::memory_order_relaxed);
+      metrics_.Add(executor, obs::MetricId::Offset(metric_ids_.txn_aborted, 0));
+      if (root->trace != nullptr) {
+        root->trace->Record(obs::SpanKind::kAbort, SessionNowUs());
+      }
       outcome = tid.status();
     }
+  }
+  proc_outcomes_.Bump(root->reactor_id, root->proc_id, committed);
+  double end_us = SessionNowUs();
+  metrics_.Observe(executor, metric_ids_.txn_latency_us,
+                   end_us - root->submit_time_us);
+  if (root->arena != nullptr) {
+    metrics_.GaugeMax(executor, metric_ids_.arena_used_hw,
+                      static_cast<int64_t>(root->arena->bytes_used()));
+    metrics_.GaugeMax(executor, metric_ids_.arena_reserved,
+                      static_cast<int64_t>(root->arena->bytes_reserved()));
+  }
+  if (root->trace != nullptr) {
+    root->trace->Record(obs::SpanKind::kFinalize, end_us);
+    tracer_->Finish(root->trace, executor, committed,
+                    committed ? TidWord::Epoch(root->commit_tid) : 0, end_us);
+    root->trace = nullptr;
   }
   if (transport_ != nullptr && EmitCommitVotes()) {
     // Multi-container transaction: broadcast the decision record each

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/reactor/context.h"
 #include "src/reactor/frame.h"
 #include "src/reactor/reactor.h"
@@ -52,6 +54,25 @@ struct RuntimeStats {
   uint64_t total_aborted() const {
     return aborted_cc.load() + aborted_user.load() + aborted_safety.load();
   }
+};
+
+/// Dense handles of the runtime-registered metrics (see RegisterMetrics in
+/// runtime_base.cc for the registration and the ROADMAP "Observability"
+/// section for the naming scheme). Exposed so sessions and tests update /
+/// assert against the same interned ids the hot path uses.
+struct RuntimeMetricIds {
+  obs::MetricId txn_committed;       // reactdb_txn_committed_total
+  obs::MetricId txn_aborted;         // reactdb_txn_aborted_total{reason=...}
+                                     //   members: 0=cc, 1=user, 2=safety
+  obs::MetricId txn_multi_container; // reactdb_txn_multi_container_total
+  obs::MetricId txn_latency_us;      // reactdb_txn_latency_us (histogram)
+  obs::MetricId arena_reserved;      // reactdb_arena_reserved_bytes (max)
+  obs::MetricId arena_used_hw;       // reactdb_arena_used_bytes_hw (max)
+  obs::MetricId session_inflight;    // reactdb_session_inflight (gauge)
+  obs::MetricId session_submitted;   // reactdb_session_submitted_total
+  obs::MetricId session_retried;     // reactdb_session_retried_total
+  obs::MetricId session_overloaded;  // reactdb_session_overloaded_total
+  obs::MetricId session_durable_waits;  // reactdb_session_durable_waits_total
 };
 
 class RuntimeBase : public CallBridge {
@@ -161,6 +182,26 @@ class RuntimeBase : public CallBridge {
   /// the durability subsystem halted; returns the final durable epoch.
   /// 0 and a no-op when durability is off.
   uint64_t WaitDurable(uint64_t epoch);
+
+  // --- Observability (src/obs/) ---------------------------------------------
+
+  /// The system-wide metrics registry: registered and frozen at Bootstrap,
+  /// updated from every layer (see ROADMAP "Observability" for the metric
+  /// list and naming scheme).
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  const RuntimeMetricIds& metric_ids() const { return metric_ids_; }
+  /// Consistent point-in-time snapshot: sums every sharded metric over its
+  /// executor shards and runs the snapshot-time collectors (transport
+  /// mailbox depths, epoch age, durability watermarks, per-proc outcomes).
+  /// Dump with StatsSnapshot::ToPrometheus() / ToJson().
+  obs::StatsSnapshot Stats() const { return metrics_.Collect(); }
+
+  /// Opt-in per-transaction tracing. Call after Bootstrap and before any
+  /// transaction; with tracing off (the default) the per-root cost is one
+  /// null test and the simulator's virtual-time traces are untouched.
+  Status EnableTracing(const obs::TraceOptions& options);
+  /// Never null after Bootstrap; disabled store unless EnableTracing ran.
+  obs::TraceStore* tracer() const { return tracer_.get(); }
 
   EpochManager* epochs() { return &epochs_; }
   const DeploymentConfig& deployment() const { return dc_; }
@@ -316,6 +357,24 @@ class RuntimeBase : public CallBridge {
   std::mutex direct_mu_;
   size_t direct_epoch_slot_ = 0;
   RuntimeStats stats_;
+
+  // --- Observability state --------------------------------------------------
+  /// Registers every runtime metric (RuntimeMetricIds), initializes the
+  /// per-(reactor, proc) outcome table, installs the snapshot-time sample
+  /// collectors, and freezes the registry with one shard per executor.
+  /// Runs at the end of Bootstrap.
+  void RegisterMetrics();
+  /// The snapshot-time collector: samples subsystems that keep their own
+  /// atomic stats (transport + mailboxes, epochs, durability watermarks,
+  /// per-(reactor, proc) outcomes). Runs only inside Stats().
+  void CollectRuntimeSamples(std::vector<obs::MetricSample>* out) const;
+
+  obs::MetricsRegistry metrics_;
+  RuntimeMetricIds metric_ids_;
+  obs::ProcOutcomeTable proc_outcomes_;
+  /// Constructed (disabled) at Bootstrap; EnableTracing swaps in an enabled
+  /// store. Executors only ever see it through root->trace null tests.
+  std::unique_ptr<obs::TraceStore> tracer_;
 };
 
 }  // namespace reactdb

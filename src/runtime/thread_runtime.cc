@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/log/durability.h"
+#include "src/util/logging.h"
 
 namespace reactdb {
 
@@ -47,7 +48,18 @@ void ThreadRuntime::Stop() {
   // submitted finalizes (its completion callback runs, so session futures
   // resolve) before the executors go away. Nothing is abandoned in a lane.
   StopAccepting();
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t to_drain = outstanding_roots();
   ClientWait([this] { return outstanding_roots() == 0; });
+  if (to_drain > 0) {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    REACTDB_LOG(kInfo) << "stop drain: " << to_drain
+                       << " outstanding roots finalized in " << elapsed_ms
+                       << " ms";
+  }
   epochs_.StopTicker();
   for (auto& exec : threads_) {
     {

@@ -1,33 +1,43 @@
 #include "src/util/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
 namespace reactdb {
 
-Histogram::Histogram()
-    : count_(0), sum_(0), min_(0), max_(0), buckets_(kNumBuckets, 0) {}
+size_t Histogram::BucketIndex(double value_us) {
+  if (!(value_us > 0)) return 0;
+  double scaled = value_us * kUnitsPerUs;
+  // Clamp far before uint64 overflow; everything past ~2.3e17 us shares the
+  // top bucket.
+  if (scaled >= static_cast<double>(uint64_t{1} << 62)) return kNumBuckets - 1;
+  uint64_t v = static_cast<uint64_t>(scaled);
+  constexpr uint64_t kSub = uint64_t{1} << kSubBits;
+  if (v < kSub) return static_cast<size_t>(v);
+  int exp = 63 - std::countl_zero(v);
+  size_t idx =
+      ((static_cast<size_t>(exp - kSubBits) + 1) << kSubBits) |
+      static_cast<size_t>((v >> (exp - kSubBits)) & (kSub - 1));
+  return idx < kNumBuckets ? idx : kNumBuckets - 1;
+}
 
-const std::vector<double>& Histogram::Bounds() {
-  static const std::vector<double>* bounds = [] {
-    auto* b = new std::vector<double>(kNumBuckets);
-    double v = 0.1;  // 0.1 us lower range
-    for (int i = 0; i < kNumBuckets; ++i) {
-      (*b)[i] = v;
-      v *= 1.12;  // ~12% geometric buckets span 0.1us .. ~6e10us
-    }
-    return b;
-  }();
-  return *bounds;
+double Histogram::BucketLowerBound(size_t index) {
+  constexpr size_t kSub = size_t{1} << kSubBits;
+  if (index < kSub) return static_cast<double>(index) / kUnitsPerUs;
+  int exp = static_cast<int>(index >> kSubBits) + kSubBits - 1;
+  double mant = static_cast<double>(kSub + (index & (kSub - 1)));
+  return std::ldexp(mant, exp - kSubBits) / kUnitsPerUs;
+}
+
+double Histogram::BucketUpperBound(size_t index) {
+  if (index + 1 < kNumBuckets) return BucketLowerBound(index + 1);
+  return BucketLowerBound(index) * 2;
 }
 
 void Histogram::Add(double value_us) {
-  const auto& bounds = Bounds();
-  auto it = std::upper_bound(bounds.begin(), bounds.end(), value_us);
-  size_t idx = static_cast<size_t>(it - bounds.begin());
-  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
-  buckets_[idx]++;
+  buckets_[BucketIndex(value_us)]++;
   if (count_ == 0 || value_us < min_) min_ = value_us;
   if (count_ == 0 || value_us > max_) max_ = value_us;
   count_++;
@@ -45,7 +55,17 @@ void Histogram::Merge(const Histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
-  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::AccumulateBucket(size_t index, uint64_t n) {
+  if (n == 0 || index >= kNumBuckets) return;
+  double lo = BucketLowerBound(index);
+  double hi = BucketUpperBound(index);
+  if (count_ == 0 || lo < min_) min_ = lo;
+  if (count_ == 0 || hi > max_) max_ = hi;
+  buckets_[index] += n;
+  count_ += n;
 }
 
 void Histogram::Reset() {
@@ -53,7 +73,7 @@ void Histogram::Reset() {
   sum_ = 0;
   min_ = 0;
   max_ = 0;
-  std::fill(buckets_.begin(), buckets_.end(), 0);
+  buckets_.fill(0);
 }
 
 double Histogram::Percentile(double q) const {
@@ -61,17 +81,14 @@ double Histogram::Percentile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   double target = q * static_cast<double>(count_);
   uint64_t seen = 0;
-  const auto& bounds = Bounds();
-  for (int i = 0; i < kNumBuckets; ++i) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
     if (buckets_[i] == 0) continue;
     double next = static_cast<double>(seen + buckets_[i]);
     if (next >= target) {
-      double lo = i == 0 ? 0 : bounds[i - 1];
-      double hi = bounds[i];
-      double frac = buckets_[i] == 0
-                        ? 0
-                        : (target - static_cast<double>(seen)) /
-                              static_cast<double>(buckets_[i]);
+      double lo = BucketLowerBound(i);
+      double hi = BucketUpperBound(i);
+      double frac = (target - static_cast<double>(seen)) /
+                    static_cast<double>(buckets_[i]);
       double v = lo + (hi - lo) * frac;
       return std::clamp(v, min_, max_);
     }

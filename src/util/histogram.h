@@ -4,10 +4,21 @@
 // average latency/throughput across 50 epochs and reports the standard
 // deviation as error bars. EpochStats implements that aggregation;
 // Histogram provides percentile summaries for deeper analysis.
+//
+// Histogram is the one shared binning implementation in the codebase: the
+// session latency/durable-lag telemetry, the sim driver's latency series,
+// and the obs metrics registry all bin through it. Buckets are *fixed*
+// (computed with bit arithmetic from the sample, no search, no per-instance
+// bound tables), so Add is O(1) and histograms with the same compile-time
+// layout merge bucket-by-bucket — which is what lets the registry keep one
+// plain-slot histogram per executor shard and sum them into a consistent
+// snapshot.
 
 #ifndef REACTDB_UTIL_HISTOGRAM_H_
 #define REACTDB_UTIL_HISTOGRAM_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -15,13 +26,39 @@
 namespace reactdb {
 
 /// Log-bucketed latency histogram over microsecond samples.
+///
+/// Layout: HDR-style base-2 buckets with 2^kSubBits sub-buckets per octave
+/// (12.5% relative width) over a 0.05 us granularity, covering 0 .. ~4.6e17
+/// us. BucketIndex is pure bit arithmetic — no bound table, no search — so
+/// two histograms (or a histogram and a sharded bucket-count array) always
+/// agree on binning and can be merged exactly.
 class Histogram {
  public:
-  Histogram();
+  static constexpr int kSubBits = 3;  // 8 sub-buckets per octave (~12.5%)
+  static constexpr size_t kNumBuckets = 512;
+  /// Samples are quantized to 1/kUnitsPerUs microseconds (0.05 us).
+  static constexpr double kUnitsPerUs = 20.0;
+
+  /// Bucket a sample lands in. Pure function of the value (and the
+  /// compile-time layout), shared by every consumer that bins samples.
+  static size_t BucketIndex(double value_us);
+  /// Inclusive lower / exclusive upper bound of a bucket, microseconds.
+  static double BucketLowerBound(size_t index);
+  static double BucketUpperBound(size_t index);
+
+  Histogram() { buckets_.fill(0); }
 
   void Add(double value_us);
+  /// Exact bucket-by-bucket merge (same fixed layout on both sides).
   void Merge(const Histogram& other);
   void Reset();
+
+  /// Merge support for sharded bucket counts (the obs registry keeps one
+  /// plain uint64 slot per bucket per executor): folds `n` samples known
+  /// only by bucket. min/max tighten to the bucket bounds; the exact sum —
+  /// which shards track separately — is added via AddToSum.
+  void AccumulateBucket(size_t index, uint64_t n);
+  void AddToSum(double sum_us) { sum_ += sum_us; }
 
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }
@@ -32,19 +69,16 @@ class Histogram {
   /// containing bucket.
   double Percentile(double q) const;
   double Median() const { return Percentile(0.5); }
+  uint64_t bucket_count(size_t index) const { return buckets_[index]; }
 
   std::string ToString() const;
 
  private:
-  static constexpr int kNumBuckets = 256;
-  // Bucket i covers [bounds_[i-1], bounds_[i]).
-  static const std::vector<double>& Bounds();
-
-  uint64_t count_;
-  double sum_;
-  double min_;
-  double max_;
-  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::array<uint64_t, kNumBuckets> buckets_;
 };
 
 /// Per-epoch aggregation of throughput and latency (mean across epochs with

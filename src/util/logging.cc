@@ -1,12 +1,26 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstring>
+#include <string>
 
 namespace reactdb {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Level from REACTDB_LOG_LEVEL, read once at first use (function-local
+/// static, so concurrent first logs are safe).
+int InitialLevel() {
+  LogLevel level = LogLevel::kInfo;
+  ParseLogLevel(std::getenv("REACTDB_LOG_LEVEL"), &level);
+  return static_cast<int>(level);
+}
+
+std::atomic<int>& LevelCell() {
+  static std::atomic<int> g_log_level{InitialLevel()};
+  return g_log_level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,11 +38,32 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(LevelCell().load(std::memory_order_relaxed));
 }
 
 void SetLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  LevelCell().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool ParseLogLevel(const char* value, LogLevel* out) {
+  if (value == nullptr || *value == '\0') return false;
+  std::string v;
+  for (const char* p = value; *p != '\0'; ++p) {
+    v.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (v == "debug" || v == "0") {
+    *out = LogLevel::kDebug;
+  } else if (v == "info" || v == "1") {
+    *out = LogLevel::kInfo;
+  } else if (v == "warn" || v == "warning" || v == "2") {
+    *out = LogLevel::kWarn;
+  } else if (v == "error" || v == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal {

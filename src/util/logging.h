@@ -11,9 +11,15 @@ namespace reactdb {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Process-wide minimum level; messages below it are dropped.
+/// Process-wide minimum level; messages below it are dropped. Initialized
+/// once from the REACTDB_LOG_LEVEL environment variable when set —
+/// accepted values: debug/info/warn/error (any case) or 0..3 — and kInfo
+/// otherwise. SetLogLevel overrides either way.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+/// Parses a REACTDB_LOG_LEVEL-style value; false (and no change through
+/// `out`) for unrecognized input.
+bool ParseLogLevel(const char* value, LogLevel* out);
 
 namespace internal {
 

@@ -11,6 +11,7 @@
 #include <new>
 
 #include "src/log/log_shard.h"
+#include "src/obs/metrics.h"
 #include "src/reactor/symbol.h"
 #include "src/storage/table.h"
 #include "src/txn/epoch.h"
@@ -168,6 +169,42 @@ TEST(AllocationRegression, WarmedPointTxnWithLoggingIsAllocationFree) {
   EXPECT_EQ(0u, g_allocs.load())
       << "redo logging must not add heap traffic to the warmed hot path";
   EXPECT_GT(shard.max_epoch(), 0u) << "the shard must actually see records";
+}
+
+// The observability gate: the same warmed point transaction with full
+// metrics instrumentation — outcome counter, latency histogram observation,
+// arena high-water gauge, exactly what FinalizeRoot records per root — must
+// still perform zero heap allocations. The registry's sharded slots are
+// pre-materialized at Freeze; hot-path updates are relaxed loads/stores.
+TEST(AllocationRegression, WarmedPointTxnWithMetricsIsAllocationFree) {
+  obs::MetricsRegistry reg;
+  obs::MetricId committed = reg.Counter("reactdb_txn_committed_total", "c");
+  obs::MetricId latency = reg.Histo("reactdb_txn_latency_us", "l");
+  obs::MetricId arena_hw = reg.Gauge("reactdb_arena_used_bytes_hw", "a", {},
+                                     obs::Aggregation::kMax);
+  reg.Freeze(1);
+
+  WarmedSmallbankTxn rig;
+  ASSERT_TRUE(rig.loaded_);
+  for (int i = 0; i < 256; ++i) ASSERT_TRUE(rig.RunOne()) << "warmup " << i;
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  bool ok = true;
+  for (int i = 0; i < 256; ++i) {
+    ok &= rig.RunOne();
+    reg.Add(0, committed);
+    reg.Observe(0, latency, 1.0 + 0.01 * i);
+    reg.GaugeMax(0, arena_hw,
+                 static_cast<int64_t>(rig.arena_.bytes_used()));
+  }
+  g_counting.store(false);
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(0u, g_allocs.load())
+      << "metrics instrumentation must not add heap traffic to the hot path";
+  EXPECT_DOUBLE_EQ(256,
+                   reg.Collect().Value("reactdb_txn_committed_total"));
 }
 
 TEST(AllocationRegression, WarmedKeyEncodeIsAllocationFree) {

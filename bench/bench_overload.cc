@@ -1,0 +1,296 @@
+// Overload / graceful-degradation bench (PR 8).
+//
+// Three measurements per runtime (simulator and OS threads):
+//   peak      — closed-loop goodput at the base window with admission
+//               control off: the capacity baseline.
+//   load x1/x2/x4 — the same stream offered at 1x/2x/4x of the base
+//               window against an outstanding-root shed watermark; new
+//               submissions over the watermark are shed fast with
+//               kOverloaded (retry disabled, so sheds are terminal and
+//               goodput counts only commits). Graceful degradation means
+//               goodput holds near peak while the excess is shed, instead
+//               of collapsing under queueing.
+//   shed latency — the admission fast path itself: with one long root
+//               pinning occupancy above the watermark, every Submit sheds
+//               synchronously; each call is timed in real microseconds.
+//
+// CI gates (BENCH_pr8.json): goodput at 2x >= 70% of peak and at 4x >= 50%
+// of peak on both runtimes; shed median < 10us.
+//
+// Usage: bench_overload [out.json [num_txns]]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/reactdb.h"
+#include "src/util/logging.h"
+#include "src/workloads/smallbank/smallbank.h"
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+constexpr int kContainers = 8;
+constexpr int64_t kCustomers = 8000;
+constexpr int kBaseWindow = 16;
+// Above the 1x window (no sheds at nominal load), below 2x of it.
+constexpr int kWatermark = 20;
+
+double Pct(std::vector<double>* v, double q) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(v->size() - 1));
+  return (*v)[idx];
+}
+
+/// Distinct customer per request, rotating containers so a pipelined
+/// window spreads over every executor.
+ReactorId PickCustomer(const smallbank::Handles& handles, int i) {
+  int64_t per = kCustomers / kContainers;
+  int64_t idx = (i % kContainers) * per + 1 + (i / kContainers) % (per - 1);
+  return handles.customers[static_cast<size_t>(idx)];
+}
+
+struct StreamResult {
+  double elapsed_s = 0;
+  uint64_t committed = 0;
+  uint64_t shed = 0;
+  double p99_us = 0;
+};
+
+/// Drives `n` transact_saving txns through `session` consume-as-you-go,
+/// tolerating terminal sheds; p99 is over committed transactions only.
+StreamResult RunStream(client::Database& db, client::Session& session,
+                       const smallbank::Handles& handles, int n) {
+  StreamResult r;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(n));
+  double t0 = db.NowUs();
+  std::vector<client::SessionFuture> inflight;
+  size_t window = session.options().max_outstanding;
+  size_t head = 0;
+  auto consume = [&](client::SessionFuture& f) {
+    client::TxnOutcome out = f.Wait();
+    if (out.ok()) {
+      ++r.committed;
+      latencies.push_back(out.latency_us());
+    } else {
+      REACTDB_CHECK(out.status().IsOverloaded());
+      ++r.shed;
+    }
+  };
+  for (int i = 0; i < n; ++i) {
+    if (inflight.size() - head >= window) consume(inflight[head++]);
+    inflight.push_back(session.Submit(PickCustomer(handles, i),
+                                      smallbank::kTransactSavingProc,
+                                      {Value(1.0)}));
+  }
+  while (head < inflight.size()) consume(inflight[head++]);
+  r.elapsed_s = (db.NowUs() - t0) * 1e-6;
+  r.p99_us = Pct(&latencies, 0.99);
+  return r;
+}
+
+struct LoadPoint {
+  int mult = 1;
+  double goodput_tps = 0;
+  double p99_us = 0;
+  uint64_t committed = 0;
+  uint64_t shed = 0;
+};
+
+struct RuntimeResult {
+  double peak_tps = 0;
+  std::vector<LoadPoint> points;
+  double retained_2x = 0;
+  double retained_4x = 0;
+};
+
+client::Database::Options ModeOptions(bool sim_mode) {
+  return sim_mode ? client::Database::Sim() : client::Database::Threads();
+}
+
+RuntimeResult RunRuntime(bool sim_mode, int num_txns, const char* label) {
+  RuntimeResult result;
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  smallbank::BuildDef(def.get(), kCustomers);
+
+  {  // Capacity baseline: no admission control, base window.
+    client::Database db;
+    REACTDB_CHECK_OK(db.Open(def.get(),
+                             DeploymentConfig::SharedNothing(kContainers),
+                             ModeOptions(sim_mode)));
+    REACTDB_CHECK_OK(smallbank::Load(db.runtime(), kCustomers));
+    smallbank::Handles handles =
+        smallbank::ResolveHandles(db.runtime(), kCustomers);
+    auto session = db.CreateSession({.max_outstanding = kBaseWindow});
+    RunStream(db, *session, handles, num_txns / 10 + 1);  // warm
+    StreamResult peak = RunStream(db, *session, handles, num_txns);
+    REACTDB_CHECK(peak.shed == 0);
+    result.peak_tps = static_cast<double>(peak.committed) / peak.elapsed_s;
+    std::printf("%-10s %-8s %-10d %-14.0f %-10s %-12.1f\n", label, "peak",
+                kBaseWindow, result.peak_tps, "-", peak.p99_us);
+    db.Shutdown();
+  }
+
+  for (int mult : {1, 2, 4}) {
+    client::Database db;
+    DeploymentConfig dc = DeploymentConfig::SharedNothing(kContainers);
+    dc.shed_outstanding_roots = kWatermark;
+    REACTDB_CHECK_OK(db.Open(def.get(), dc, ModeOptions(sim_mode)));
+    REACTDB_CHECK_OK(smallbank::Load(db.runtime(), kCustomers));
+    smallbank::Handles handles =
+        smallbank::ResolveHandles(db.runtime(), kCustomers);
+    client::SessionOptions sopts;
+    sopts.max_outstanding = static_cast<size_t>(kBaseWindow * mult);
+    sopts.retry.max_attempts = 1;  // terminal sheds: measure degradation raw
+    auto session = db.CreateSession(sopts);
+    RunStream(db, *session, handles, num_txns / 10 + 1);  // warm
+    StreamResult sr = RunStream(db, *session, handles, num_txns);
+    LoadPoint p;
+    p.mult = mult;
+    p.committed = sr.committed;
+    p.shed = sr.shed;
+    p.goodput_tps = static_cast<double>(sr.committed) / sr.elapsed_s;
+    p.p99_us = sr.p99_us;
+    result.points.push_back(p);
+    if (mult == 2) result.retained_2x = p.goodput_tps / result.peak_tps;
+    if (mult == 4) result.retained_4x = p.goodput_tps / result.peak_tps;
+    std::printf("%-10s %-8s %-10zu %-14.0f %-10llu %-12.1f\n", label,
+                (std::to_string(mult) + "x").c_str(), sopts.max_outstanding,
+                p.goodput_tps, static_cast<unsigned long long>(p.shed),
+                p.p99_us);
+    db.Shutdown();
+  }
+  std::printf("%-10s retained: %.0f%% at 2x, %.0f%% at 4x\n\n", label,
+              100 * result.retained_2x, 100 * result.retained_4x);
+  return result;
+}
+
+// --- Shed fast path ---------------------------------------------------------
+
+Proc Spin(TxnContext& ctx, Row args) {
+  ctx.Compute(args[0].AsNumeric());
+  co_return Value(int64_t{1});
+}
+
+struct ShedLatency {
+  double median_us = 0;
+  double p99_us = 0;
+};
+
+/// One long root holds occupancy above a watermark of 1; every subsequent
+/// Submit sheds synchronously inside the call, so timing the call times
+/// the admission fast path (counter compare + status construction +
+/// completion callback), in real microseconds on both runtimes.
+ShedLatency MeasureShed(bool sim_mode, const char* label) {
+  constexpr int kSheds = 2000;
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  ReactorType& t = def->DefineType("Spinner");
+  t.AddProcedure("spin", &Spin);
+  REACTDB_CHECK_OK(def->DeclareReactor("s0", "Spinner"));
+  client::Database db;
+  DeploymentConfig dc = DeploymentConfig::SharedNothing(1);
+  dc.shed_outstanding_roots = 1;
+  REACTDB_CHECK_OK(db.Open(def.get(), dc, ModeOptions(sim_mode)));
+  ReactorId s0 = db.ResolveReactor("s0");
+  ProcId spin = db.ResolveProc(s0, "spin");
+
+  client::SessionOptions sopts;
+  sopts.max_outstanding = kSheds + 8;
+  sopts.retry.max_attempts = 1;
+  auto session = db.CreateSession(sopts);
+  // The occupant: 50ms of compute (virtual or real) keeps outstanding
+  // roots at 1 for the whole measurement.
+  client::SessionFuture occupant =
+      session->Submit(s0, spin, {Value(50000.0)});
+
+  std::vector<double> us;
+  us.reserve(kSheds);
+  for (int i = 0; i < kSheds; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    client::SessionFuture f = session->Submit(s0, spin, {Value(1.0)});
+    auto t1 = std::chrono::steady_clock::now();
+    (void)f;  // consumed via Drain + stats; delivery is FIFO-deferred
+    us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  session->Drain();
+  client::SessionStats stats = session->stats();
+  REACTDB_CHECK(stats.shed == kSheds);
+  REACTDB_CHECK(occupant.Wait().ok());
+
+  ShedLatency r;
+  r.median_us = Pct(&us, 0.5);
+  r.p99_us = Pct(&us, 0.99);
+  std::printf("%-10s shed latency: median %.2fus  p99 %.2fus\n", label,
+              r.median_us, r.p99_us);
+  db.Shutdown();
+  return r;
+}
+
+void PrintRuntimeJson(std::FILE* f, const char* key, const RuntimeResult& r,
+                      const ShedLatency& shed) {
+  std::fprintf(f, "  \"%s\": {\n", key);
+  std::fprintf(f, "    \"peak_tps\": %.1f,\n", r.peak_tps);
+  std::fprintf(f, "    \"load\": {\n");
+  for (size_t i = 0; i < r.points.size(); ++i) {
+    const LoadPoint& p = r.points[i];
+    std::fprintf(f,
+                 "      \"%dx\": {\"goodput_tps\": %.1f, \"p99_us\": %.1f, "
+                 "\"committed\": %llu, \"shed\": %llu}%s\n",
+                 p.mult, p.goodput_tps, p.p99_us,
+                 static_cast<unsigned long long>(p.committed),
+                 static_cast<unsigned long long>(p.shed),
+                 i + 1 == r.points.size() ? "" : ",");
+  }
+  std::fprintf(f, "    },\n");
+  std::fprintf(f, "    \"retained_2x\": %.3f,\n", r.retained_2x);
+  std::fprintf(f, "    \"retained_4x\": %.3f,\n", r.retained_4x);
+  std::fprintf(f,
+               "    \"shed_median_us\": %.3f,\n    \"shed_p99_us\": %.3f\n"
+               "  }",
+               shed.median_us, shed.p99_us);
+}
+
+void Run(const std::string& out_path, int num_txns) {
+  std::printf(
+      "overload bench: smallbank transact_saving, %d containers, "
+      "watermark %d roots, %d txns per point\n\n",
+      kContainers, kWatermark, num_txns);
+  std::printf("%-10s %-8s %-10s %-14s %-10s %-12s\n", "runtime", "load",
+              "window", "goodput_tps", "shed", "p99_us");
+
+  RuntimeResult sim = RunRuntime(/*sim_mode=*/true, num_txns, "sim");
+  RuntimeResult threads = RunRuntime(/*sim_mode=*/false, num_txns, "threads");
+  ShedLatency sim_shed = MeasureShed(/*sim_mode=*/true, "sim");
+  ShedLatency threads_shed = MeasureShed(/*sim_mode=*/false, "threads");
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    REACTDB_CHECK(f != nullptr);
+    std::fprintf(f, "{\n  \"bench\": \"overload_smallbank\",\n");
+    std::fprintf(f, "  \"num_txns\": %d,\n", num_txns);
+    std::fprintf(f, "  \"watermark_roots\": %d,\n", kWatermark);
+    PrintRuntimeJson(f, "sim", sim, sim_shed);
+    std::fprintf(f, ",\n");
+    PrintRuntimeJson(f, "threads", threads, threads_shed);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main(int argc, char** argv) {
+  std::string out = argc > 1 ? argv[1] : "";
+  int num_txns = argc > 2 ? std::atoi(argv[2]) : 20000;
+  reactdb::bench::Run(out, num_txns);
+  return 0;
+}

@@ -12,9 +12,10 @@ Status Database::Open(const ReactorDatabaseDef* def,
   recovery_ = log::RecoveryResult{};
   if (options.mode == Mode::kSim) {
     auto sim = std::make_unique<SimRuntime>(options.sim_params);
-    REACTDB_RETURN_IF_ERROR(sim->Bootstrap(def, dc));
     sim_ = sim.get();
     rt_ = std::move(sim);
+    InstallFaults(options);  // before Bootstrap: the link wrap happens there
+    REACTDB_RETURN_IF_ERROR(sim_->Bootstrap(def, dc));
     if (!options.data_dir.empty()) {
       REACTDB_RETURN_IF_ERROR(OpenDurable(options));
       REACTDB_RETURN_IF_ERROR(RecoveryCheckpoint());
@@ -26,9 +27,10 @@ Status Database::Open(const ReactorDatabaseDef* def,
     return Status::OK();
   }
   auto threads = std::make_unique<ThreadRuntime>();
-  REACTDB_RETURN_IF_ERROR(threads->Bootstrap(def, dc));
   threads_ = threads.get();
   rt_ = std::move(threads);
+  InstallFaults(options);  // before Bootstrap: the link wrap happens there
+  REACTDB_RETURN_IF_ERROR(threads_->Bootstrap(def, dc));
   // Durability opens (and recovers) before the executors start: recovery
   // replays into the tables single-threaded, and the first transaction can
   // only run against fully recovered state. The recovery checkpoint runs
@@ -47,11 +49,26 @@ Status Database::Open(const ReactorDatabaseDef* def,
   return Status::OK();
 }
 
+void Database::InstallFaults(const Options& options) {
+  if (!options.fault.enabled) return;
+  fault_options_ = options.fault;
+  injector_ = std::make_unique<fault::FaultInjector>(options.fault.seed);
+  fault::ArmFromOptions(injector_.get(), fault_options_);
+  rt_->InstallFaultInjector(injector_.get(),
+                            fault_options_.any_link_fault(),
+                            fault_options_.retransmit_delay_us,
+                            fault_options_.max_delay_us);
+}
+
 Status Database::OpenDurable(const Options& options) {
   log::DurabilityOptions dopts;
   dopts.data_dir = options.data_dir;
   dopts.flush_interval_us = options.log_flush_interval_us;
   dopts.auto_flush = options.log_auto_flush;
+  if (injector_ != nullptr) {
+    dopts.file_fault_hook =
+        fault::MakeFileFaultHook(injector_.get(), fault_options_);
+  }
   REACTDB_RETURN_IF_ERROR(rt_->EnableDurability(dopts));
   REACTDB_RETURN_IF_ERROR(
       log::Recover(rt_.get(), rt_->durability(), &recovery_));

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "src/client/session.h"
+#include "src/fault/fault.h"
 #include "src/log/checkpoint.h"
 #include "src/log/durability.h"
 #include "src/log/recovery.h"
@@ -70,6 +71,14 @@ class Database {
     /// transactions are promoted into a retained ring dumpable as JSON via
     /// DumpTraces().
     obs::TraceOptions trace;
+    /// Seeded deterministic fault injection (src/fault/): link-level
+    /// perturbation (drop-as-retransmit, delay, duplicate, reorder),
+    /// file-op faults in the log writer and checkpointing (failed fsync,
+    /// short write, ENOSPC — latched exactly like a real device error),
+    /// and admission-level rejection bursts. Off by default; with
+    /// `fault.enabled` every fault draw comes from per-site RNGs seeded
+    /// from `fault.seed`, so a kSim chaos run replays byte-identically.
+    fault::FaultOptions fault;
   };
 
   static Options Threads() { return Options{}; }
@@ -198,14 +207,27 @@ class Database {
   RuntimeBase* runtime() const { return rt_.get(); }
   SimRuntime* sim() const { return sim_; }
   ThreadRuntime* threads() const { return threads_; }
+  /// The fault injector (null unless Options::fault.enabled): chaos tests
+  /// read fire counts, the fire log, and the replay digest from here.
+  fault::FaultInjector* fault_injector() const { return injector_.get(); }
 
  private:
   Status OpenDurable(const Options& options);
+  /// Creates and arms the injector, wires it into the runtime (link wrap,
+  /// admission site) before Bootstrap. No-op when faults are disabled.
+  void InstallFaults(const Options& options);
   /// Checkpoint taken right after recovering existing state: supersedes and
   /// truncates every pre-crash segment, so records recovery dropped as
   /// beyond the durable horizon can never be resurrected by a later crash
   /// (new seals will move past their epochs).
   Status RecoveryCheckpoint();
+
+  /// Owned chaos state, declared before rt_ on purpose: the runtime keeps
+  /// a raw pointer and still consults it while tearing down in-flight
+  /// transport state, so the injector must destruct after the runtime.
+  /// Null when faults are off.
+  std::unique_ptr<fault::FaultInjector> injector_;
+  fault::FaultOptions fault_options_;
 
   std::unique_ptr<RuntimeBase> rt_;
   SimRuntime* sim_ = nullptr;

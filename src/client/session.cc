@@ -18,6 +18,7 @@ Session::Session(RuntimeBase* rt, SessionOptions options)
   REACTDB_CHECK(rt_ != nullptr);
   if (options_.max_outstanding == 0) options_.max_outstanding = 1;
   if (options_.retry.max_attempts < 1) options_.retry.max_attempts = 1;
+  jitter_.Seed(options_.retry.jitter_seed);
   if (rt_->durability() == nullptr) options_.wait_durable = false;
   slots_.resize(options_.max_outstanding);
   retained_.reserve(options_.max_outstanding);
@@ -73,7 +74,8 @@ size_t Session::InFlightLocked() const {
   return n;
 }
 
-SessionFuture Session::Submit(ReactorId reactor, ProcId proc, Row args) {
+SessionFuture Session::Submit(ReactorId reactor, ProcId proc, Row args,
+                              double budget_us) {
   size_t idx = kNpos;
   // Backpressure: park until a window slot frees (virtual time advances
   // under SimRuntime). The claim happens inside the predicate so two client
@@ -83,7 +85,7 @@ SessionFuture Session::Submit(ReactorId reactor, ProcId proc, Row args) {
     idx = TryClaimLocked();
     return idx != kNpos;
   });
-  return SubmitClaimed(idx, reactor, proc, std::move(args));
+  return SubmitClaimed(idx, reactor, proc, std::move(args), budget_us);
 }
 
 SessionFuture Session::Submit(const std::string& reactor_name,
@@ -96,7 +98,7 @@ SessionFuture Session::Submit(const std::string& reactor_name,
 }
 
 StatusOr<SessionFuture> Session::TrySubmit(ReactorId reactor, ProcId proc,
-                                           Row args) {
+                                           Row args, double budget_us) {
   size_t idx;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -109,12 +111,13 @@ StatusOr<SessionFuture> Session::TrySubmit(ReactorId reactor, ProcId proc,
                                 " outstanding)");
     }
   }
-  return SubmitClaimed(idx, reactor, proc, std::move(args));
+  return SubmitClaimed(idx, reactor, proc, std::move(args), budget_us);
 }
 
 SessionFuture Session::SubmitClaimed(size_t idx, ReactorId reactor,
-                                     ProcId proc, Row args) {
+                                     ProcId proc, Row args, double budget_us) {
   uint64_t ticket;
+  double deadline;
   {
     std::lock_guard<std::mutex> lock(mu_);
     Slot& s = slots_[idx];
@@ -123,6 +126,11 @@ SessionFuture Session::SubmitClaimed(size_t idx, ReactorId reactor,
     s.proc = proc;
     s.outcome = TxnOutcome{};
     s.outcome.submit_us = rt_->SessionNowUs();
+    // The deadline is absolute from here on: retries inherit it, so the
+    // budget covers the whole attempt sequence including backoff waits.
+    double budget = budget_us > 0 ? budget_us : options_.default_budget_us;
+    s.deadline_us = budget > 0 ? s.outcome.submit_us + budget : 0;
+    deadline = s.deadline_us;
     if (options_.retry.max_attempts > 1) s.retry_args = args;
     ++stats_.submitted;
   }
@@ -132,28 +140,89 @@ SessionFuture Session::SubmitClaimed(size_t idx, ReactorId reactor,
   // The completion callback captures only {this, idx}: it fits the
   // std::function inline buffer, so steady-state submission does not
   // allocate in the session layer.
-  Status st = rt_->Submit(reactor, proc, std::move(args),
+  SubmitOptions submit_options;
+  submit_options.deadline_us = deadline;
+  Status st = rt_->Submit(reactor, proc, std::move(args), submit_options,
                           [this, idx](ProcResult r, const RootTxn& root) {
                             OnRootDone(idx, std::move(r), root);
                           });
-  if (!st.ok()) {
-    // Never reached the runtime (unknown target, stopped runtime):
-    // synthesize the completion so the future resolves deterministically.
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++slots_[idx].attempts;
-    }
-    Complete(idx, ProcResult(std::move(st)), RootTxn::Profile{}, 0,
-             /*rejected=*/true);
-  }
+  if (!st.ok()) OnSubmitFailed(idx, std::move(st));
   return SessionFuture(this, ticket);
+}
+
+double Session::BackoffDelayLocked(int completed_attempts) {
+  const RetryPolicy& p = options_.retry;
+  if (p.initial_backoff_us <= 0) return 0;
+  double d = p.initial_backoff_us;
+  for (int i = 1; i < completed_attempts && d < p.max_backoff_us; ++i) {
+    d *= p.backoff_multiplier;
+  }
+  if (d > p.max_backoff_us) d = p.max_backoff_us;
+  // Jitter to [50%, 100%] of nominal: desynchronizes sessions that shed
+  // or conflicted together without ever collapsing the wait to zero.
+  return d * (0.5 + 0.5 * jitter_.NextDouble());
+}
+
+void Session::ResubmitSlot(size_t idx) {
+  ReactorId reactor;
+  ProcId proc;
+  Row args;
+  double deadline;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& s = slots_[idx];
+    reactor = s.reactor;
+    proc = s.proc;
+    args = s.retry_args;  // copy — later attempts may need it again
+    deadline = s.deadline_us;
+  }
+  SubmitOptions submit_options;
+  submit_options.deadline_us = deadline;
+  // A retry is admitted work being finished, not new load: it skips the
+  // shed watermarks so backoff converges instead of re-shedding forever.
+  submit_options.bypass_admission = true;
+  Status st = rt_->Submit(reactor, proc, std::move(args), submit_options,
+                          [this, idx](ProcResult r, const RootTxn& root) {
+                            OnRootDone(idx, std::move(r), root);
+                          });
+  if (!st.ok()) OnSubmitFailed(idx, std::move(st));
+}
+
+void Session::OnSubmitFailed(size_t idx, Status st) {
+  // Never reached the runtime. Shed submissions (kOverloaded from
+  // admission control) are retryable under the policy — with backoff, so
+  // the storm the watermark deflected does not reform; anything else
+  // (unknown target, stopped runtime) resolves deterministically.
+  bool retry = false;
+  double delay = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& s = slots_[idx];
+    ++s.attempts;
+    if (st.IsOverloaded() && options_.retry.retry_overloaded &&
+        s.attempts < options_.retry.max_attempts && rt_->AcceptingSubmits()) {
+      retry = true;
+      delay = BackoffDelayLocked(s.attempts);
+      ++stats_.retried;
+      if (delay > 0) stats_.backoff_us.Add(delay);
+    }
+  }
+  if (retry) {
+    rt_->metrics()->AddShared(rt_->metric_ids().session_retried);
+    if (delay > 0) {
+      rt_->PostDelayed(delay, [this, idx] { ResubmitSlot(idx); });
+    } else {
+      ResubmitSlot(idx);
+    }
+    return;
+  }
+  Complete(idx, ProcResult(std::move(st)), RootTxn::Profile{}, 0,
+           /*rejected=*/true);
 }
 
 void Session::OnRootDone(size_t idx, ProcResult result, const RootTxn& root) {
   bool retry = false;
-  ReactorId reactor;
-  ProcId proc;
-  Row args;
+  double delay = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     Slot& s = slots_[idx];
@@ -161,25 +230,27 @@ void Session::OnRootDone(size_t idx, ProcResult result, const RootTxn& root) {
     if (!result.ok() && s.attempts < options_.retry.max_attempts &&
         rt_->AcceptingSubmits()) {
       const Status& st = result.status();
+      // kDeadlineExceeded is deliberately absent: the budget covered the
+      // retries too, so an expired transaction is terminally expired.
       if (st.IsAborted() ||
-          (st.IsSafetyAbort() && options_.retry.retry_safety_aborts)) {
+          (st.IsSafetyAbort() && options_.retry.retry_safety_aborts) ||
+          (st.IsOverloaded() && options_.retry.retry_overloaded)) {
         retry = true;
-        reactor = s.reactor;
-        proc = s.proc;
-        args = s.retry_args;  // copy — later attempts may need it again
+        delay = BackoffDelayLocked(s.attempts);
         ++stats_.retried;
+        if (delay > 0) stats_.backoff_us.Add(delay);
       }
     }
   }
   if (retry) {
     rt_->metrics()->AddShared(rt_->metric_ids().session_retried);
-    Status st = rt_->Submit(reactor, proc, std::move(args),
-                            [this, idx](ProcResult r, const RootTxn& root2) {
-                              OnRootDone(idx, std::move(r), root2);
-                            });
-    if (st.ok()) return;
-    Complete(idx, ProcResult(std::move(st)), RootTxn::Profile{}, 0,
-             /*rejected=*/true);
+    if (delay > 0) {
+      // The slot stays kInFlight through the wait: Drain and the window
+      // bound both see the retry as outstanding work.
+      rt_->PostDelayed(delay, [this, idx] { ResubmitSlot(idx); });
+    } else {
+      ResubmitSlot(idx);
+    }
     return;
   }
   Complete(idx, std::move(result), root.profile, root.commit_tid);
@@ -217,6 +288,10 @@ void Session::Complete(size_t idx, ProcResult result,
         ++stats_.aborted_user;
       } else if (st.IsSafetyAbort()) {
         ++stats_.aborted_safety;
+      } else if (st.IsDeadlineExceeded()) {
+        ++stats_.deadline_exceeded;
+      } else if (st.IsOverloaded()) {
+        ++stats_.shed;
       } else {
         ++stats_.failed;
       }

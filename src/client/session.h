@@ -43,6 +43,7 @@
 
 #include "src/runtime/runtime_base.h"
 #include "src/util/histogram.h"
+#include "src/util/rng.h"
 
 namespace reactdb {
 namespace client {
@@ -53,14 +54,40 @@ struct RetryPolicy {
   int max_attempts = 1;
   /// Also retry active-set safety aborts (like CC aborts they are artifacts
   /// of concurrent scheduling, not of application logic). User aborts are
-  /// never retried.
+  /// never retried, and neither are deadline expiries (the budget covers
+  /// retries, so an expired transaction is terminally expired).
   bool retry_safety_aborts = true;
+  /// Also retry kOverloaded shed by the runtime's admission control — with
+  /// backoff, this converts fast-shed rejections into delayed completion.
+  /// Session-window TrySubmit rejections are never auto-retried (the
+  /// window IS the caller).
+  bool retry_overloaded = true;
+
+  /// Exponential backoff between attempts, on the session clock (virtual
+  /// microseconds under SimRuntime — chaos runs stay deterministic; steady
+  /// clock under ThreadRuntime). Resubmission k waits
+  /// min(max_backoff_us, initial_backoff_us * multiplier^(k-1)), jittered
+  /// down to [50%, 100%] of nominal so colliding sessions desynchronize.
+  /// A backoff by default: immediate resubmission of a CC conflict tends
+  /// to hit the same conflict window again and storms the executor.
+  /// Set initial_backoff_us = 0 for the old immediate-resubmit behavior.
+  double initial_backoff_us = 100;
+  double max_backoff_us = 10000;
+  double backoff_multiplier = 2.0;
+  /// Seed of the per-session jitter RNG stream.
+  uint64_t jitter_seed = 1;
 };
 
 struct SessionOptions {
   /// Max undelivered transactions in flight; the backpressure window.
   size_t max_outstanding = 1;
   RetryPolicy retry;
+  /// Default end-to-end deadline budget, in session-clock microseconds
+  /// from submission (0 = none). The budget covers the whole transaction
+  /// including retries and backoff waits; expiry aborts with
+  /// kDeadlineExceeded and is never retried. Overridable per call via
+  /// Submit's budget_us parameter.
+  double default_budget_us = 0;
   /// Opt-in group-commit semantics: a committed transaction's future only
   /// becomes ready (and its Then-callback only runs) once the commit's
   /// epoch is durable on disk — the caller observes group-commit latency
@@ -81,6 +108,8 @@ struct SessionStats {
   uint64_t aborted_user = 0;
   uint64_t aborted_safety = 0;
   uint64_t failed = 0;          // non-abort failures (bad target, shutdown)
+  uint64_t deadline_exceeded = 0;  // final kDeadlineExceeded outcomes
+  uint64_t shed = 0;            // final kOverloaded outcomes (runtime shed)
   uint64_t retried = 0;         // resubmissions performed
   uint64_t overloaded = 0;      // TrySubmit rejections
   /// Submit-to-completion latency of committed transactions, on the
@@ -92,6 +121,9 @@ struct SessionStats {
   /// group-commit penalty), on the session clock.
   uint64_t durable_waits = 0;
   Histogram durable_lag_us;
+  /// Retry-backoff waits actually scheduled, in session-clock microseconds
+  /// (one sample per delayed resubmission).
+  Histogram backoff_us;
 
   uint64_t total_aborted() const {
     return aborted_cc + aborted_user + aborted_safety;
@@ -164,11 +196,18 @@ class Session {
 
   /// Pipelined submission; blocks while the window is full. The handle
   /// overload is the hot path; the name overload resolves once per call.
-  SessionFuture Submit(ReactorId reactor, ProcId proc, Row args);
+  /// `budget_us` is a per-transaction end-to-end deadline budget in
+  /// session-clock microseconds from now (0 = use
+  /// SessionOptions::default_budget_us); it rides in the submit envelope,
+  /// is inherited by every cross-container sub-transaction, and expiry
+  /// aborts with kDeadlineExceeded (terminal — never retried).
+  SessionFuture Submit(ReactorId reactor, ProcId proc, Row args,
+                       double budget_us = 0);
   SessionFuture Submit(const std::string& reactor_name,
                        const std::string& proc_name, Row args);
   /// Non-blocking submission: kOverloaded when the window is full.
-  StatusOr<SessionFuture> TrySubmit(ReactorId reactor, ProcId proc, Row args);
+  StatusOr<SessionFuture> TrySubmit(ReactorId reactor, ProcId proc, Row args,
+                                    double budget_us = 0);
 
   /// Blocking convenience — the single-slot session form that replaced the
   /// runtimes' bespoke Execute machinery: Submit + Wait.
@@ -212,6 +251,10 @@ class Session {
     bool durable_held = false;
     uint64_t ticket = 0;
     int attempts = 0;
+    /// Absolute session-clock deadline of this transaction (0 = none).
+    /// Fixed at first submission: retries inherit it unchanged, so the
+    /// budget spans the whole retry sequence including backoff waits.
+    double deadline_us = 0;
     ReactorId reactor;
     ProcId proc;
     Row retry_args;  // populated only when the retry policy is active
@@ -227,7 +270,18 @@ class Session {
 
   size_t TryClaimLocked();
   SessionFuture SubmitClaimed(size_t idx, ReactorId reactor, ProcId proc,
-                              Row args);
+                              Row args, double budget_us);
+  /// Backoff of the next resubmission after `completed_attempts` tries
+  /// (exponential with jitter; 0 when backoff is disabled). Caller holds
+  /// mu_ (the jitter RNG is mu_-guarded).
+  double BackoffDelayLocked(int completed_attempts);
+  /// Resubmits slot `idx` (a retry: bypasses admission control, keeps the
+  /// original deadline). Failure feeds back into OnSubmitFailed.
+  void ResubmitSlot(size_t idx);
+  /// A Submit that never reached the runtime (shed by admission control,
+  /// unknown target, stopped runtime): retries shed submissions under the
+  /// policy, finalizes everything else as rejected.
+  void OnSubmitFailed(size_t idx, Status st);
   /// Final completion of slot `idx` (after any retries). `profile` /
   /// `commit_tid` come from the finalized root; `rejected` marks a
   /// synthesized failure that never reached the runtime.
@@ -263,6 +317,8 @@ class Session {
   uint64_t next_deliver_ = 1;
   bool delivering_ = false;
   SessionStats stats_;
+  /// Backoff jitter stream (guarded by mu_; seeded for determinism).
+  Rng jitter_;
 };
 
 }  // namespace client

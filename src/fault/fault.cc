@@ -1,0 +1,140 @@
+#include "src/fault/fault.h"
+
+#include <algorithm>
+#include <string_view>
+
+namespace reactdb {
+namespace fault {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Fnv1a(std::string_view s, uint64_t h) {
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t MixU64(uint64_t v, uint64_t h) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+void FaultInjector::Arm(const std::string& site, SiteSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  s.spec = spec;
+  // Per-site stream: mixing the site name into the seed decouples the
+  // draw sequences — arming a new site never shifts another site's draws.
+  s.rng.Seed(seed_ ^ Fnv1a(site, 14695981039346656037ULL));
+  s.draws = 0;
+  s.fires = 0;
+  s.burst_left = 0;
+}
+
+bool FaultInjector::ShouldFire(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.spec.enabled()) return false;
+  Site& s = it->second;
+  uint64_t draw = s.draws++;
+  bool fire = false;
+  if (s.burst_left > 0) {
+    --s.burst_left;
+    fire = true;
+  } else if (draw >= s.spec.after_n &&
+             (s.spec.max_fires == 0 || s.fires < s.spec.max_fires) &&
+             s.rng.NextBool(s.spec.probability)) {
+    ++s.fires;
+    s.burst_left = s.spec.burst > 1 ? s.spec.burst - 1 : 0;
+    fire = true;
+  }
+  if (fire) {
+    fire_log_.emplace_back(site, draw);
+    digest_ = MixU64(draw, Fnv1a(site, digest_));
+  }
+  return fire;
+}
+
+double FaultInjector::DrawMagnitude(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return 0.5;
+  return it->second.rng.NextDouble();
+}
+
+uint64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+uint64_t FaultInjector::draws(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.draws;
+}
+
+uint64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fire_log_.size();
+}
+
+uint64_t FaultInjector::Digest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return digest_;
+}
+
+std::vector<std::string> FaultInjector::FireLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(fire_log_.size());
+  for (const auto& [site, draw] : fire_log_) {
+    out.push_back(site + "@" + std::to_string(draw));
+  }
+  return out;
+}
+
+void ArmFromOptions(FaultInjector* injector, const FaultOptions& options) {
+  auto arm = [&](const char* site, const SiteSpec& spec) {
+    if (spec.enabled()) injector->Arm(site, spec);
+  };
+  arm("link.drop", options.link_drop);
+  arm("link.delay", options.link_delay);
+  arm("link.dup", options.link_dup);
+  arm("link.reorder", options.link_reorder);
+  arm("log.write", options.file_write);
+  arm("log.fsync", options.file_fsync);
+  arm("admission.reject", options.admission_reject);
+}
+
+log::FileFaultHook MakeFileFaultHook(FaultInjector* injector,
+                                     const FaultOptions& options) {
+  if (!options.file_write.enabled() && !options.file_fsync.enabled()) {
+    return {};
+  }
+  bool short_write = options.short_write;
+  return [injector, short_write](log::FileFault* f) -> Status {
+    if (f->op == log::FileFault::Op::kWrite) {
+      if (injector->ShouldFire("log.write")) {
+        if (short_write) f->allow_bytes = f->bytes / 2;
+        return Status::IOError("injected write fault on " + f->what +
+                               ": No space left on device");
+      }
+    } else if (injector->ShouldFire("log.fsync")) {
+      return Status::IOError("injected fsync fault on " + f->what);
+    }
+    return Status::OK();
+  };
+}
+
+}  // namespace fault
+}  // namespace reactdb

@@ -1,0 +1,163 @@
+// Deterministic fault injection (the robustness harness of PR 8).
+//
+// A FaultInjector is a plan of named fault *sites* — dotted, hierarchical
+// strings like "link.drop" or "log.fsync" — each with its own seeded RNG
+// and firing schedule. Code under test asks ShouldFire(site) at the point
+// where a real failure could occur; everything else (what a fire *means*)
+// lives at the call site:
+//
+//   link.drop       FaultyLink: the batch is "lost" and retransmitted
+//                   after retransmit_delay_us (loss on a reliable link
+//                   manifests as latency + reordering, never as a wedged
+//                   continuation)
+//   link.delay      FaultyLink: the batch is held for a drawn delay
+//   link.dup        FaultyLink: an envelope is delivered twice (the
+//                   runtime's wire-id dedup drops the second copy)
+//   link.reorder    FaultyLink: a multi-envelope batch is reversed in
+//                   place; a singleton is held briefly so the traffic
+//                   behind it overtakes it
+//   log.write       durability: an injected write failure (ENOSPC); with
+//                   short_write a prefix lands on disk first (torn frame)
+//   log.fsync       durability: fsync fails; the manager latches kIOError
+//   admission.reject RuntimeBase::Submit sheds the submission with
+//                   kOverloaded (a mailbox-level rejection burst)
+//
+// Every site's RNG is seeded from mix(plan seed, FNV(site name)), so the
+// draw sequence of a site depends only on the plan seed and that site's
+// own draw count — never on which other sites are armed. Under SimRuntime
+// (single-threaded, virtual time) the global draw order is deterministic,
+// which makes a whole chaos run byte-replayable from its seed; the
+// injector keeps an ordered fire log and a running digest so tests can
+// assert exactly that. Under ThreadRuntime a mutex serializes draws
+// (deterministic per site, racy across sites — the thread schedule is).
+
+#ifndef REACTDB_FAULT_FAULT_H_
+#define REACTDB_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/log/durability.h"
+#include "src/util/rng.h"
+
+namespace reactdb {
+namespace fault {
+
+/// Firing schedule of one named fault site.
+struct SiteSpec {
+  /// Bernoulli probability per draw once armed. 0 disables the site.
+  double probability = 0;
+  /// Draws to skip before the site arms. A deterministic "fail the Nth
+  /// operation" is {probability = 1, after_n = N - 1, max_fires = 1}.
+  uint64_t after_n = 0;
+  /// Total fires before the site exhausts itself; 0 = unlimited.
+  uint64_t max_fires = 0;
+  /// Consecutive draws that keep firing once triggered (rejection
+  /// bursts). The whole burst counts as one fire against max_fires.
+  uint64_t burst = 1;
+
+  bool enabled() const { return probability > 0; }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 1) : seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs (or replaces) a site's schedule. Unarmed sites never fire
+  /// and consume no randomness.
+  void Arm(const std::string& site, SiteSpec spec);
+
+  /// One draw at `site`. Advances the site's RNG exactly once per call
+  /// (armed sites only), so replay with the same plan seed and the same
+  /// call sequence reproduces the same decisions.
+  bool ShouldFire(const std::string& site);
+
+  /// Uniform [0, 1) from the site's own RNG — fault magnitudes (delay
+  /// lengths) come from the plan, not from ambient randomness.
+  double DrawMagnitude(const std::string& site);
+
+  uint64_t fires(const std::string& site) const;
+  uint64_t draws(const std::string& site) const;
+  uint64_t total_fires() const;
+
+  /// FNV-1a over the ordered (site, draw index) fire sequence: two runs
+  /// with equal digests made identical fault decisions in identical
+  /// order.
+  uint64_t Digest() const;
+  /// Ordered "site@draw" fire log (debugging / replay diffs).
+  std::vector<std::string> FireLog() const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  struct Site {
+    SiteSpec spec;
+    Rng rng;
+    uint64_t draws = 0;
+    uint64_t fires = 0;
+    uint64_t burst_left = 0;
+  };
+
+  uint64_t seed_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;
+  std::vector<std::pair<std::string, uint64_t>> fire_log_;
+  uint64_t digest_ = 14695981039346656037ULL;  // FNV-1a offset basis
+};
+
+/// One plan: which sites are armed and the magnitudes the decorators use.
+/// Database::Options carries one of these; Open arms a FaultInjector from
+/// it and wires the decorators in.
+struct FaultOptions {
+  bool enabled = false;
+  /// Plan seed: same seed => same fault sequence (byte-identical run
+  /// under SimRuntime).
+  uint64_t seed = 1;
+
+  // --- Link faults (FaultyLink over the runtime's link) ---------------------
+  SiteSpec link_drop;
+  SiteSpec link_delay;
+  SiteSpec link_dup;
+  SiteSpec link_reorder;
+  /// Redelivery delay of a "dropped" batch, session-clock microseconds.
+  double retransmit_delay_us = 50;
+  /// Upper bound of a drawn link delay, session-clock microseconds.
+  double max_delay_us = 200;
+
+  // --- File faults (durability write/fsync hook) ----------------------------
+  SiteSpec file_write;
+  SiteSpec file_fsync;
+  /// On an injected write failure, land a prefix of the frame on disk
+  /// first (a torn tail recovery must truncate).
+  bool short_write = false;
+
+  // --- Admission faults -----------------------------------------------------
+  SiteSpec admission_reject;
+
+  bool any_link_fault() const {
+    return link_drop.enabled() || link_delay.enabled() ||
+           link_dup.enabled() || link_reorder.enabled();
+  }
+};
+
+/// Arms `injector` with every enabled site of `options`.
+void ArmFromOptions(FaultInjector* injector, const FaultOptions& options);
+
+/// Builds the durability-layer file hook: draws "log.write" before each
+/// segment/checkpoint write and "log.fsync" before each fsync, failing
+/// with a latched-style kIOError (ENOSPC text for writes) when a site
+/// fires. Returns an empty function when neither site is enabled.
+log::FileFaultHook MakeFileFaultHook(FaultInjector* injector,
+                                     const FaultOptions& options);
+
+}  // namespace fault
+}  // namespace reactdb
+
+#endif  // REACTDB_FAULT_FAULT_H_

@@ -1,0 +1,70 @@
+// FaultyLink: a Link decorator that perturbs envelope batches under the
+// control of a FaultInjector (sites link.drop / link.delay / link.dup /
+// link.reorder).
+//
+// Fault semantics are those of a *reliable* link with an unreliable wire
+// underneath: a "dropped" batch is retransmitted after a delay rather than
+// silently discarded, because today's envelopes carry in-process
+// continuation state (Envelope::ctx) whose loss would wedge the awaiting
+// coroutine forever — loss therefore manifests as latency and reordering,
+// exactly what a retransmitting transport shows its users. Duplicates are
+// real second deliveries of the same wire image (and the same ctx
+// pointer); the runtime's receiver-side wire-id dedup (enabled whenever a
+// fault injector is installed) drops whichever copy arrives second before
+// touching ctx. Reordering reverses a batch in place, deliberately
+// violating the per-(sender, destination) FIFO contract the Link interface
+// otherwise promises.
+//
+// All randomness comes from the injector's per-site RNGs, and the hold
+// timer is the runtime's own scheduler (virtual time under SimRuntime), so
+// a chaos run replays byte-identically from the plan seed.
+
+#ifndef REACTDB_FAULT_FAULTY_LINK_H_
+#define REACTDB_FAULT_FAULTY_LINK_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/fault/fault.h"
+#include "src/transport/link.h"
+
+namespace reactdb {
+namespace fault {
+
+class FaultyLink : public transport::Link {
+ public:
+  /// Runs `fn` after `delay_us` on the runtime's session clock (sim: a
+  /// scheduled event; threads: the runtime's timer thread).
+  using DelayFn = std::function<void(double delay_us, std::function<void()>)>;
+
+  struct Params {
+    /// Redelivery delay of a "dropped" batch.
+    double retransmit_delay_us = 50;
+    /// Upper bound of a drawn link.delay hold.
+    double max_delay_us = 200;
+  };
+
+  FaultyLink(std::unique_ptr<transport::Link> inner, FaultInjector* injector,
+             Params params, DelayFn delay)
+      : inner_(std::move(inner)),
+        injector_(injector),
+        params_(params),
+        delay_(std::move(delay)) {}
+
+  void Send(uint32_t dst_container, std::vector<transport::Envelope> batch)
+      override;
+
+  transport::Link* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<transport::Link> inner_;
+  FaultInjector* injector_;
+  Params params_;
+  DelayFn delay_;
+};
+
+}  // namespace fault
+}  // namespace reactdb
+
+#endif  // REACTDB_FAULT_FAULTY_LINK_H_

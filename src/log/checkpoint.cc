@@ -98,7 +98,8 @@ Status WriteCheckpoint(RuntimeBase* rt, DurabilityManager* mgr,
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::IOError("create " + dir + ": " + ec.message());
-  REACTDB_RETURN_IF_ERROR(WriteFileSync(dir + "/data.ckp", data));
+  REACTDB_RETURN_IF_ERROR(
+      WriteFileSync(dir + "/data.ckp", data, mgr->options().file_fault_hook));
 
   std::string manifest_payload;
   wire::Writer w(&manifest_payload);
@@ -108,7 +109,8 @@ Status WriteCheckpoint(RuntimeBase* rt, DurabilityManager* mgr,
   w.PutU64(data.size());
   std::string manifest;
   logrec::AppendFrame(&manifest, manifest_payload, 0, 0, 0);
-  REACTDB_RETURN_IF_ERROR(WriteFileSync(dir + "/MANIFEST", manifest));
+  REACTDB_RETURN_IF_ERROR(WriteFileSync(dir + "/MANIFEST", manifest,
+                                        mgr->options().file_fault_hook));
   // The checkpoint only exists once its directory entries do: fsync the
   // checkpoint dir (data.ckp + MANIFEST entries) and data_dir (the
   // ckpt_<seq> entry) before truncation deletes what it supersedes.

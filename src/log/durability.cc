@@ -41,7 +41,7 @@ StatusOr<std::string> ReadFile(const std::string& path) {
 
 namespace {
 
-Status WriteAll(int fd, std::string_view data, const std::string& what) {
+Status WriteAllRaw(int fd, std::string_view data, const std::string& what) {
   size_t off = 0;
   while (off < data.size()) {
     ssize_t n = ::write(fd, data.data() + off, data.size() - off);
@@ -54,7 +54,30 @@ Status WriteAll(int fd, std::string_view data, const std::string& what) {
   return Status::OK();
 }
 
-Status FsyncFd(int fd, const std::string& what) {
+// The hooked variants behave exactly like a failing device: a non-OK hook
+// result is the write/fsync error, and a short write lands its prefix on
+// disk for real (the torn frame recovery later truncates).
+Status WriteAll(int fd, std::string_view data, const std::string& what,
+                const FileFaultHook& hook) {
+  if (hook) {
+    FileFault f{FileFault::Op::kWrite, what, data.size(), 0};
+    Status s = hook(&f);
+    if (!s.ok()) {
+      if (f.allow_bytes > 0) {
+        WriteAllRaw(fd, data.substr(0, std::min(f.allow_bytes, data.size())),
+                    what);
+      }
+      return s;
+    }
+  }
+  return WriteAllRaw(fd, data, what);
+}
+
+Status FsyncFd(int fd, const std::string& what, const FileFaultHook& hook) {
+  if (hook) {
+    FileFault f{FileFault::Op::kFsync, what, 0, 0};
+    REACTDB_RETURN_IF_ERROR(hook(&f));
+  }
   if (::fsync(fd) != 0) {
     return Status::IOError("fsync " + what + ": " + std::strerror(errno));
   }
@@ -63,13 +86,14 @@ Status FsyncFd(int fd, const std::string& what) {
 
 }  // namespace
 
-Status WriteFileSync(const std::string& path, std::string_view data) {
+Status WriteFileSync(const std::string& path, std::string_view data,
+                     const FileFaultHook& hook) {
   int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
   }
-  Status s = WriteAll(fd, data, path);
-  if (s.ok()) s = FsyncFd(fd, path);
+  Status s = WriteAll(fd, data, path, hook);
+  if (s.ok()) s = FsyncFd(fd, path, hook);
   ::close(fd);
   return s;
 }
@@ -79,7 +103,7 @@ Status FsyncDir(const std::string& path) {
   if (fd < 0) {
     return Status::IOError("open dir " + path + ": " + std::strerror(errno));
   }
-  Status s = FsyncFd(fd, path);
+  Status s = FsyncFd(fd, path, {});
   ::close(fd);
   return s;
 }
@@ -269,8 +293,8 @@ Status DurabilityManager::OpenActiveSegment(int c, uint64_t seq,
   uint64_t seal_m1 = seed_seal;
   std::string frame;
   logrec::AppendFrame(&frame, "", 0, seal_m1, 0);
-  Status s = WriteAll(fd, frame, path);
-  if (s.ok()) s = FsyncFd(fd, path);
+  Status s = WriteAll(fd, frame, path, options_.file_fault_hook);
+  if (s.ok()) s = FsyncFd(fd, path, options_.file_fault_hook);
   // The new directory entry must survive power loss too — truncation may
   // delete predecessors whose seal this seed frame now carries.
   if (s.ok()) s = FsyncDir(log_dir());
@@ -417,8 +441,10 @@ Status DurabilityManager::FlushContainer(int c, uint64_t seal, uint64_t* bytes,
 
   cl->spare.clear();
   logrec::AppendFrame(&cl->spare, cl->payload, records, seal_m1, frame_max);
-  Status s = WriteAll(cl->fd, cl->spare, SegmentPath(c, cl->active_seq));
-  if (s.ok()) s = FsyncFd(cl->fd, SegmentPath(c, cl->active_seq));
+  Status s = WriteAll(cl->fd, cl->spare, SegmentPath(c, cl->active_seq),
+                      options_.file_fault_hook);
+  if (s.ok()) s = FsyncFd(cl->fd, SegmentPath(c, cl->active_seq),
+                          options_.file_fault_hook);
   if (!s.ok()) {
     LatchError(s);
     return s;

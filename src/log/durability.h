@@ -61,6 +61,26 @@
 namespace reactdb {
 namespace log {
 
+/// One fallible device operation, presented to the injectable file hook
+/// before it runs (src/fault/ builds hooks from a seeded FaultInjector).
+struct FileFault {
+  enum class Op { kWrite, kFsync };
+  Op op;
+  /// Path (or label) of the target file.
+  std::string what;
+  /// Size of the write; 0 for fsync.
+  size_t bytes = 0;
+  /// A failing write hook may set this: bytes actually written before the
+  /// "device" failed, leaving a torn frame on disk for recovery to
+  /// truncate.
+  size_t allow_bytes = 0;
+};
+
+/// Returns OK to let the real I/O proceed; a non-OK status is treated
+/// exactly like a device failure (the durability manager latches it as
+/// kIOError and halts the watermark).
+using FileFaultHook = std::function<Status(FileFault*)>;
+
 struct DurabilityOptions {
   /// Root of the persistent state; must be non-empty.
   std::string data_dir;
@@ -75,6 +95,9 @@ struct DurabilityOptions {
   /// flush_requested, WaitDurable, final flush) — lets the recovery tests
   /// place the crash point "before fsync" deterministically.
   bool auto_flush = true;
+  /// Fault-injection hook consulted before every segment/checkpoint write
+  /// and fsync; empty = no injection (zero overhead on the real path).
+  FileFaultHook file_fault_hook;
 };
 
 struct DurabilityStats {
@@ -292,8 +315,10 @@ class DurabilityManager {
 
 /// Reads a whole file; kIOError on failure.
 StatusOr<std::string> ReadFile(const std::string& path);
-/// Writes a whole file and fsyncs it; kIOError on failure.
-Status WriteFileSync(const std::string& path, std::string_view data);
+/// Writes a whole file and fsyncs it; kIOError on failure. `hook` (may be
+/// empty) is consulted before the write and the fsync, as for segment I/O.
+Status WriteFileSync(const std::string& path, std::string_view data,
+                     const FileFaultHook& hook = {});
 /// fsyncs a directory so created/renamed/unlinked entries survive power
 /// loss (file-content fsync alone does not persist the directory entry).
 Status FsyncDir(const std::string& path);

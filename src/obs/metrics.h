@@ -234,13 +234,16 @@ class MetricsRegistry {
 /// Commit/abort counters broken down by (ReactorId, ProcId).
 ///
 /// Kept outside the shard tables on purpose: the cross product of reactors
-/// and procedures can be large (thousands of reactors), so it gets two
-/// dense 64-bit cells per (reactor, proc) pair — bumped with one relaxed
+/// and procedures can be large (thousands of reactors), so it gets three
+/// dense 64-bit cells per (reactor, proc) pair — committed, aborted, and
+/// deadline-expired (a subset of aborted) — bumped with one relaxed
 /// fetch_add (roots of one reactor may finalize on different executors
 /// under round-robin routing) — and label strings are built lazily at
 /// snapshot time, only for pairs that actually executed.
 class ProcOutcomeTable {
  public:
+  static constexpr size_t kCells = 3;  // committed / aborted / deadline
+
   /// `procs_per_reactor[r]` = number of procedures of reactor r's type.
   /// Called once at bootstrap.
   void Init(const std::vector<uint32_t>& procs_per_reactor) {
@@ -248,30 +251,42 @@ class ProcOutcomeTable {
     size_t total = 0;
     for (size_t r = 0; r < procs_per_reactor.size(); ++r) {
       offsets_[r] = total;
-      total += 2 * procs_per_reactor[r];
+      total += kCells * procs_per_reactor[r];
     }
     offsets_[procs_per_reactor.size()] = total;
     cells_ = std::make_unique<std::atomic<uint64_t>[]>(total);
   }
 
   void Bump(ReactorId reactor, ProcId proc, bool committed) {
-    size_t idx = offsets_[reactor.value] + 2 * proc.value + (committed ? 0 : 1);
+    size_t idx =
+        offsets_[reactor.value] + kCells * proc.value + (committed ? 0 : 1);
+    cells_[idx].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// An abort whose cause was deadline expiry (counted in addition to the
+  /// plain aborted cell Bump fills).
+  void BumpDeadline(ReactorId reactor, ProcId proc) {
+    size_t idx = offsets_[reactor.value] + kCells * proc.value + 2;
     cells_[idx].fetch_add(1, std::memory_order_relaxed);
   }
 
   uint64_t committed(ReactorId r, ProcId p) const {
-    return cells_[offsets_[r.value] + 2 * p.value].load(
+    return cells_[offsets_[r.value] + kCells * p.value].load(
         std::memory_order_relaxed);
   }
   uint64_t aborted(ReactorId r, ProcId p) const {
-    return cells_[offsets_[r.value] + 2 * p.value + 1].load(
+    return cells_[offsets_[r.value] + kCells * p.value + 1].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t deadline_exceeded(ReactorId r, ProcId p) const {
+    return cells_[offsets_[r.value] + kCells * p.value + 2].load(
         std::memory_order_relaxed);
   }
   size_t num_reactors() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
   }
   size_t num_procs(size_t reactor) const {
-    return (offsets_[reactor + 1] - offsets_[reactor]) / 2;
+    return (offsets_[reactor + 1] - offsets_[reactor]) / kCells;
   }
   bool initialized() const { return cells_ != nullptr; }
 

@@ -102,6 +102,12 @@ struct RootTxn {
   /// against it.
   double submit_time_us = 0;
 
+  /// Absolute end-to-end deadline on the session clock (0 = none). Checked
+  /// at the dispatch, call, and validate boundaries; inherited by every
+  /// cross-container sub-transaction via CallRequest::deadline_us. Expiry
+  /// aborts the root with kDeadlineExceeded before any effects install.
+  double deadline_us = 0;
+
   /// Per-transaction trace (null unless tracing is enabled and the trace
   /// pool had capacity). Owned by the runtime's TraceStore; frames record
   /// spans through it, FinalizeRoot returns it.

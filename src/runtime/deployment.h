@@ -63,6 +63,17 @@ struct DeploymentConfig {
   /// knob: it sends eagerly and models batching costs in the SimLink.
   double transport_flush_us = 0;
 
+  /// Overload shedding high watermarks (0 = disabled). When the number of
+  /// outstanding root transactions (submitted, not yet finalized) exceeds
+  /// `shed_outstanding_roots`, or the target container's mailbox depth
+  /// reaches `shed_mailbox_depth`, *new* submissions are refused fast with
+  /// kOverloaded before any per-root work is done. In-flight roots and
+  /// session retries (SubmitOptions::bypass_admission) are never shed, so
+  /// admitted work drains at full speed while the excess queues outside
+  /// the database.
+  int shed_outstanding_roots = 0;
+  int shed_mailbox_depth = 0;
+
   /// Container of a reactor: (name, declaration index, total reactors,
   /// containers) -> container id. Default: contiguous range partition over
   /// declaration order.

@@ -67,6 +67,35 @@
 //   ...
 //   std::cout << db.DumpTraces();          // retained + recent, as JSON
 //
+//   // Robustness (src/fault/ + deadlines + overload shedding):
+//   //
+//   // End-to-end deadlines: a per-transaction budget (or a session-wide
+//   // default) fixes an absolute deadline on the session clock at first
+//   // submission; it spans retries, is inherited by cross-container
+//   // sub-transactions, and expiry aborts with kDeadlineExceeded and no
+//   // partial effects (never auto-retried).
+//   auto sd = db.CreateSession({.default_budget_us = 5000});
+//   auto fd = sd->Submit(alice, transfer, args, /*budget_us=*/500.0);
+//   fd.Wait().status().IsDeadlineExceeded();
+//
+//   // Graceful overload degradation: an outstanding-root watermark sheds
+//   // *new* submissions synchronously with kOverloaded before any
+//   // resources are committed (retries are exempt); sessions absorb the
+//   // rejection with exponential backoff + jitter on the session clock.
+//   DeploymentConfig odc = DeploymentConfig::SharedNothing(4);
+//   odc.shed_outstanding_roots = 64;       // 0 (default) = never shed
+//   auto so = db.CreateSession(
+//       {.retry = {.max_attempts = 8, .retry_overloaded = true}});
+//
+//   // Deterministic fault injection: Options::fault arms seeded fault
+//   // sites (link.drop/.delay/.dup/.reorder, log.write/.fsync,
+//   // admission.reject). Same seed => same fault sequence; under the
+//   // simulator a whole chaos run replays byte-identically.
+//   client::Database::Options fopts;
+//   fopts.fault.enabled = true;
+//   fopts.fault.seed = 42;
+//   fopts.fault.link_drop = {.probability = 0.01};
+//
 // Changing the database architecture (shared-nothing vs shared-everything,
 // affinity, MPL) only changes the DeploymentConfig — never application
 // code. Changing between real threads and the calibrated discrete-event

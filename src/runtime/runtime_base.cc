@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/client/session.h"
+#include "src/fault/faulty_link.h"
 #include "src/log/durability.h"
 #include "src/storage/tid.h"
 #include "src/util/logging.h"
@@ -32,7 +33,39 @@ struct PendingCall {
 /// ctx of a CallResponse: the caller-side future to fulfill.
 using PendingReply = std::shared_ptr<FutureState>;
 
+/// Wire identity of a dedupable message: root ids are unique across roots
+/// and call ids across calls, so (kind tag | id) is exact — no hashing
+/// ambiguity. CommitVote is not dedupable (it is idempotent telemetry).
+bool EnvelopeWireKey(transport::MessageKind kind, const transport::Message& m,
+                     uint64_t* key) {
+  switch (kind) {
+    case transport::MessageKind::kSubmit:
+      *key = (std::get<transport::SubmitRequest>(m).root_id << 2) | 0;
+      return true;
+    case transport::MessageKind::kCall:
+      *key = (std::get<transport::CallRequest>(m).call_id << 2) | 1;
+      return true;
+    case transport::MessageKind::kResponse:
+      *key = (std::get<transport::CallResponse>(m).call_id << 2) | 2;
+      return true;
+    case transport::MessageKind::kCommitVote:
+      return false;
+  }
+  return false;
+}
+
 }  // namespace
+
+void RuntimeBase::InstallFaultInjector(fault::FaultInjector* injector,
+                                       bool wrap_link,
+                                       double retransmit_delay_us,
+                                       double max_delay_us) {
+  REACTDB_CHECK(def_ == nullptr);  // before Bootstrap (link wrap point)
+  fault_injector_ = injector;
+  fault_wrap_link_ = wrap_link;
+  fault_retransmit_delay_us_ = retransmit_delay_us;
+  fault_max_delay_us_ = max_delay_us;
+}
 
 Status RuntimeBase::Bootstrap(const ReactorDatabaseDef* def,
                               const DeploymentConfig& dc) {
@@ -102,7 +135,21 @@ Status RuntimeBase::Bootstrap(const ReactorDatabaseDef* def,
     }
     transport_->set_on_inbox_ready(
         [this](uint32_t container) { OnInboxReady(container); });
-    transport_->set_link(MakeLink());
+    std::unique_ptr<transport::Link> link = MakeLink();
+    if (fault_injector_ != nullptr && fault_wrap_link_) {
+      // Chaos harness: perturb batches between the runtime's link and the
+      // mailboxes. The hold timer is PostDelayed, so held batches live on
+      // the same clock (and, under SimRuntime, the same event queue) as
+      // everything else — replayable from the plan seed.
+      link = std::make_unique<fault::FaultyLink>(
+          std::move(link), fault_injector_,
+          fault::FaultyLink::Params{fault_retransmit_delay_us_,
+                                    fault_max_delay_us_},
+          [this](double delay_us, std::function<void()> fn) {
+            PostDelayed(delay_us, std::move(fn));
+          });
+    }
+    transport_->set_link(std::move(link));
     if (dc_.transport_flush_us > 0) {
       // Micro-delay coalescing (thread runtime; the simulator sends
       // eagerly and never touches lane batches). The session clock is the
@@ -123,7 +170,13 @@ void RuntimeBase::RegisterMetrics() {
       "reactdb_txn_committed_total", "Root transactions committed");
   metric_ids_.txn_aborted = metrics_.CounterFamily(
       "reactdb_txn_aborted_total", "Root transactions aborted, by reason",
-      {{{"reason", "cc"}}, {{"reason", "user"}}, {{"reason", "safety"}}});
+      {{{"reason", "cc"}},
+       {{"reason", "user"}},
+       {{"reason", "safety"}},
+       {{"reason", "deadline"}}});
+  metric_ids_.txn_shed = metrics_.Counter(
+      "reactdb_txn_shed_total",
+      "Submissions refused fast by overload admission control");
   metric_ids_.txn_multi_container =
       metrics_.Counter("reactdb_txn_multi_container_total",
                        "Committed roots that touched multiple containers");
@@ -284,6 +337,9 @@ void RuntimeBase::CollectRuntimeSamples(
       counter("reactdb_mailbox_overflowed_total",
               "Forced pushes beyond inbox capacity",
               static_cast<double>(mb.overflowed()), labels);
+      gauge("reactdb_mailbox_depth_hw",
+            "High-water mark of envelopes queued in container inboxes",
+            static_cast<double>(mb.max_depth()), labels);
     }
   }
 
@@ -314,10 +370,16 @@ void RuntimeBase::CollectRuntimeSamples(
                   "Commits by (reactor, procedure)",
                   static_cast<double>(committed), labels);
         }
+        uint64_t deadline = proc_outcomes_.deadline_exceeded(rid, pid);
         if (aborted != 0) {
           counter("reactdb_proc_aborted_total",
                   "Aborts by (reactor, procedure)",
-                  static_cast<double>(aborted), std::move(labels));
+                  static_cast<double>(aborted), labels);
+        }
+        if (deadline != 0) {
+          counter("reactdb_proc_deadline_exceeded_total",
+                  "Deadline-expiry aborts by (reactor, procedure)",
+                  static_cast<double>(deadline), std::move(labels));
         }
       }
     }
@@ -386,11 +448,24 @@ void RuntimeBase::DrainInbox(uint32_t container) {
     // serialization bug, not an I/O condition. (A TCP link adds real error
     // handling at its endpoint.)
     REACTDB_CHECK(decoded.ok());
+    if (fault_injector_ != nullptr) {
+      // Chaos mode: a FaultyLink may deliver the same message twice (the
+      // copies share their in-process ctx). Dedup on the wire identity
+      // before ctx is ever touched, so the second copy — whose ctx the
+      // first delivery consumed — is dropped harmlessly.
+      uint64_t key = 0;
+      if (EnvelopeWireKey(e.kind, *decoded, &key)) {
+        std::lock_guard<std::mutex> lock(dedup_mu_);
+        if (!delivered_wire_keys_.insert(key).second) return;
+      }
+    }
     switch (e.kind) {
       case transport::MessageKind::kSubmit: {
         auto* ctx = static_cast<PendingRoot*>(e.ctx);
         auto msg = std::get<transport::SubmitRequest>(std::move(*decoded));
         REACTDB_CHECK(msg.root_id == ctx->root->id);
+        // The decoded deadline is authoritative, like the argument row.
+        ctx->root->deadline_us = msg.deadline_us;
         uint32_t executor = e.dst_executor;
         // The decoded argument row is authoritative — results downstream
         // depend on the serialization round-trip being exact.
@@ -437,8 +512,22 @@ void RuntimeBase::DrainInbox(uint32_t container) {
 
 void RuntimeBase::DiscardInflightTransport() {
   if (transport_ == nullptr) return;
+  // Chaos mode: duplicate envelopes share their ctx pointer, and a copy
+  // whose twin was already delivered points at consumed state — free each
+  // distinct, undelivered ctx exactly once.
+  std::unordered_set<void*> freed;
   for (uint32_t c = 0; c < transport_->num_containers(); ++c) {
-    transport_->Drain(c, [this](transport::Envelope&& e) {
+    transport_->Drain(c, [this, &freed](transport::Envelope&& e) {
+      if (fault_injector_ != nullptr && e.ctx != nullptr) {
+        StatusOr<transport::Message> decoded =
+            transport::DecodeMessage(e.wire);
+        uint64_t key = 0;
+        if (decoded.ok() && EnvelopeWireKey(e.kind, *decoded, &key)) {
+          std::lock_guard<std::mutex> lock(dedup_mu_);
+          if (delivered_wire_keys_.count(key) != 0) return;
+        }
+        if (!freed.insert(e.ctx).second) return;
+      }
       switch (e.kind) {
         case transport::MessageKind::kSubmit: {
           auto* ctx = static_cast<PendingRoot*>(e.ctx);
@@ -558,6 +647,7 @@ void RuntimeBase::UnpinExecutor(uint32_t executor) {
 }
 
 Status RuntimeBase::Submit(ReactorId reactor_id, ProcId proc_id, Row args,
+                           const SubmitOptions& options,
                            std::function<void(ProcResult, const RootTxn&)> done) {
   Reactor* reactor = FindReactor(reactor_id);
   if (reactor == nullptr) {
@@ -581,9 +671,36 @@ Status RuntimeBase::Submit(ReactorId reactor_id, ProcId proc_id, Row args,
     NotifyClientProgress();
     return Status::Unavailable("runtime stopped");
   }
+  // Graceful degradation: shed *new* work fast — a counter compare and (if
+  // configured) one mailbox-depth load, before any root state is allocated
+  // — while everything already admitted (including session retries, which
+  // set bypass_admission) keeps running.
+  if (!options.bypass_admission) {
+    bool shed = false;
+    if (dc_.shed_outstanding_roots > 0 &&
+        outstanding_roots() >
+            static_cast<uint64_t>(dc_.shed_outstanding_roots)) {
+      shed = true;
+    } else if (dc_.shed_mailbox_depth > 0 && transport_ != nullptr &&
+               transport_->mailbox(reactor->container_id()).size() >=
+                   static_cast<size_t>(dc_.shed_mailbox_depth)) {
+      shed = true;
+    } else if (fault_injector_ != nullptr &&
+               fault_injector_->ShouldFire("admission.reject")) {
+      shed = true;  // injected mailbox-level rejection burst
+    }
+    if (shed) {
+      submitted_roots_.fetch_sub(1, std::memory_order_seq_cst);
+      stats_.shed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.AddShared(metric_ids_.txn_shed);
+      NotifyClientProgress();
+      return Status::Overloaded("admission: over watermark");
+    }
+  }
   auto* root = new RootTxn(next_root_id_.fetch_add(1), &epochs_);
   root->reactor_id = reactor_id;
   root->proc_id = proc_id;
+  root->deadline_us = options.deadline_us;
   root->on_done = std::move(done);
   root->submit_time_us = SessionNowUs();
   if (tracer_->enabled()) {
@@ -601,6 +718,7 @@ Status RuntimeBase::Submit(ReactorId reactor_id, ProcId proc_id, Row args,
     msg.root_id = root->id;
     msg.reactor = reactor_id;
     msg.proc = proc_id;
+    msg.deadline_us = root->deadline_us;
     msg.args = std::move(args);
     transport::Envelope e;
     e.kind = transport::MessageKind::kSubmit;
@@ -638,6 +756,13 @@ Status RuntimeBase::Submit(const std::string& reactor_name,
 void RuntimeBase::StartRoot(RootTxn* root, Reactor* reactor, const ProcFn* fn,
                             uint32_t executor, Row args) {
   PinExecutor(executor);
+  // Dispatch boundary: a root whose budget is already gone (it sat in a
+  // mailbox, or a link fault delayed it) is marked aborted up front — it
+  // still runs the normal frame lifecycle, but validation will roll it
+  // back with no effects installed.
+  if (root->deadline_us > 0 && SessionNowUs() > root->deadline_us) {
+    root->MarkAbort(Status::DeadlineExceeded("deadline expired at dispatch"));
+  }
   if (root->trace != nullptr) {
     root->trace->Record(obs::SpanKind::kDispatch, SessionNowUs());
   }
@@ -720,6 +845,14 @@ Future RuntimeBase::Call(TxnFrame* caller, const std::string& reactor_name,
 Future RuntimeBase::DispatchCall(TxnFrame* caller, Reactor* target,
                                  ProcId proc, const ProcFn* fn, Row args) {
   RootTxn* root = caller->root;
+
+  // Call boundary: don't fan out further work on a spent budget — fail the
+  // call like AbortCall does, so the caller's coroutine unwinds normally.
+  if (root->deadline_us > 0 && SessionNowUs() > root->deadline_us) {
+    Status s = Status::DeadlineExceeded("deadline expired at call");
+    root->MarkAbort(s);
+    return Future::Ready(s);
+  }
 
   if (target == caller->reactor) {
     // Direct self-call: executed synchronously within the caller's frame
@@ -807,6 +940,7 @@ Future RuntimeBase::DispatchCall(TxnFrame* caller, Reactor* target,
     msg.subtxn_id = frame->subtxn_id;
     msg.reactor = target->id();
     msg.proc = proc;
+    msg.deadline_us = root->deadline_us;  // sub-transactions inherit it
     msg.args = std::move(args);
     transport::Envelope e;
     e.kind = transport::MessageKind::kCall;
@@ -898,13 +1032,21 @@ void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
   uint32_t executor = root_frame->executor;
   ProcResult outcome{Status::Internal("unset outcome")};
   bool committed = false;
+  // Validate boundary: the last deadline check before effects would
+  // install. A root that ran past its budget aborts here — Silo installs
+  // writes only at commit, so expiry can never leave partial effects.
+  if (!root->IsAborted() && root->deadline_us > 0 &&
+      SessionNowUs() > root->deadline_us) {
+    root->MarkAbort(
+        Status::DeadlineExceeded("deadline expired before validation"));
+  }
   // Metric updates below target this executor's single-writer shard:
   // FinalizeRoot runs on the root's home executor, the same discipline the
   // arena pool relies on.
   if (root->IsAborted()) {
     root->txn.Abort();
     Status s = root->AbortStatus();
-    // Abort-reason family members: 0=cc, 1=user, 2=safety.
+    // Abort-reason family members: 0=cc, 1=user, 2=safety, 3=deadline.
     uint32_t reason;
     if (s.IsSafetyAbort()) {
       stats_.aborted_safety.fetch_add(1, std::memory_order_relaxed);
@@ -912,6 +1054,10 @@ void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
     } else if (s.IsUserAbort()) {
       stats_.aborted_user.fetch_add(1, std::memory_order_relaxed);
       reason = 1;
+    } else if (s.IsDeadlineExceeded()) {
+      stats_.aborted_deadline.fetch_add(1, std::memory_order_relaxed);
+      proc_outcomes_.BumpDeadline(root->reactor_id, root->proc_id);
+      reason = 3;
     } else {
       stats_.aborted_cc.fetch_add(1, std::memory_order_relaxed);
       reason = 0;

@@ -21,7 +21,9 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/obs/metrics.h"
@@ -41,6 +43,10 @@ class DurabilityManager;
 struct DurabilityOptions;
 }  // namespace log
 
+namespace fault {
+class FaultInjector;
+}  // namespace fault
+
 /// Cost categories for simulated-time charging and Fig. 6 style profiling.
 enum class ChargeKind : uint8_t { kProc, kCs, kCr, kCommit, kInputGen };
 
@@ -50,10 +56,28 @@ struct RuntimeStats {
   std::atomic<uint64_t> aborted_cc{0};      // OCC/2PC validation failures
   std::atomic<uint64_t> aborted_user{0};    // application-initiated aborts
   std::atomic<uint64_t> aborted_safety{0};  // active-set safety condition
+  std::atomic<uint64_t> aborted_deadline{0};  // end-to-end deadline expiry
+  std::atomic<uint64_t> shed{0};  // submissions refused by admission control
 
   uint64_t total_aborted() const {
-    return aborted_cc.load() + aborted_user.load() + aborted_safety.load();
+    return aborted_cc.load() + aborted_user.load() + aborted_safety.load() +
+           aborted_deadline.load();
   }
+};
+
+/// Per-submission options of the handle-path Submit overload.
+struct SubmitOptions {
+  /// Absolute end-to-end deadline on the session clock (SessionNowUs:
+  /// virtual microseconds under SimRuntime, steady-clock microseconds
+  /// under ThreadRuntime); 0 = none. The budget is checked at the
+  /// dispatch, call, and validate boundaries and inherited by every
+  /// cross-container sub-transaction; expiry aborts the root with
+  /// kDeadlineExceeded (rolled back like any abort — no partial effects).
+  double deadline_us = 0;
+  /// Skips the overload-shedding watermarks: admission control sheds *new*
+  /// work only — session retries of already-admitted transactions (and
+  /// everything in flight) keep running.
+  bool bypass_admission = false;
 };
 
 /// Dense handles of the runtime-registered metrics (see RegisterMetrics in
@@ -63,7 +87,9 @@ struct RuntimeStats {
 struct RuntimeMetricIds {
   obs::MetricId txn_committed;       // reactdb_txn_committed_total
   obs::MetricId txn_aborted;         // reactdb_txn_aborted_total{reason=...}
-                                     //   members: 0=cc, 1=user, 2=safety
+                                     //   members: 0=cc, 1=user, 2=safety,
+                                     //   3=deadline
+  obs::MetricId txn_shed;            // reactdb_txn_shed_total
   obs::MetricId txn_multi_container; // reactdb_txn_multi_container_total
   obs::MetricId txn_latency_us;      // reactdb_txn_latency_us (histogram)
   obs::MetricId arena_reserved;      // reactdb_arena_reserved_bytes (max)
@@ -90,9 +116,17 @@ class RuntimeBase : public CallBridge {
   /// Submits a root transaction. `done` is invoked exactly once with the
   /// procedure result (on commit) or the abort status. Non-blocking.
   /// The handle overload is the hot path; the name overload resolves once
-  /// and delegates.
+  /// and delegates. When the deployment's shed watermarks are set (or an
+  /// "admission.reject" fault fires), an over-watermark submission is
+  /// refused fast with kOverloaded before any root state is allocated.
   Status Submit(ReactorId reactor, ProcId proc, Row args,
+                const SubmitOptions& options,
                 std::function<void(ProcResult, const RootTxn&)> done);
+  Status Submit(ReactorId reactor, ProcId proc, Row args,
+                std::function<void(ProcResult, const RootTxn&)> done) {
+    return Submit(reactor, proc, std::move(args), SubmitOptions{},
+                  std::move(done));
+  }
   Status Submit(const std::string& reactor_name, const std::string& proc_name,
                 Row args, std::function<void(ProcResult, const RootTxn&)> done);
 
@@ -128,8 +162,19 @@ class RuntimeBase : public CallBridge {
   /// `ExecuteVia(RunAll)` implementation did.
   virtual void ClientSettle() {}
   /// Session clock in microseconds: virtual time under SimRuntime, steady
-  /// real time under ThreadRuntime. Used for session latency telemetry.
+  /// real time under ThreadRuntime. Used for session latency telemetry,
+  /// transaction deadlines, and retry backoff.
   virtual double SessionNowUs() const = 0;
+  /// Runs `fn` once after `delay_us` on the session clock, off-executor.
+  /// SimRuntime schedules a virtual-time event (keeping ClientWait's pump
+  /// alive while a backoff is pending); ThreadRuntime uses its timer
+  /// thread. The base default runs `fn` inline (no delay) so runtimes
+  /// without a timer still make progress. Used by session retry backoff
+  /// and the fault-injection link decorator.
+  virtual void PostDelayed(double delay_us, std::function<void()> fn) {
+    (void)delay_us;
+    fn();
+  }
   /// False once the runtime stopped accepting work (after
   /// ThreadRuntime::Stop / Database::Shutdown): Submit fails fast with
   /// Unavailable instead of queueing work nobody will run, so session
@@ -182,6 +227,20 @@ class RuntimeBase : public CallBridge {
   /// the durability subsystem halted; returns the final durable epoch.
   /// 0 and a no-op when durability is off.
   uint64_t WaitDurable(uint64_t epoch);
+
+  // --- Fault injection (src/fault/) -----------------------------------------
+
+  /// Installs a deterministic fault plan. Call before Bootstrap; the
+  /// injector must outlive the runtime. With `wrap_link` the transport's
+  /// link is decorated with a FaultyLink (drop/delay/dup/reorder) using
+  /// the given magnitudes; installing any injector also turns on
+  /// receiver-side wire-id dedup (duplicate deliveries are dropped before
+  /// their continuation state is touched) and "admission.reject" draws in
+  /// Submit.
+  void InstallFaultInjector(fault::FaultInjector* injector, bool wrap_link,
+                            double retransmit_delay_us, double max_delay_us);
+  /// Null unless a fault plan is installed.
+  fault::FaultInjector* fault_injector() const { return fault_injector_; }
 
   // --- Observability (src/obs/) ---------------------------------------------
 
@@ -348,6 +407,15 @@ class RuntimeBase : public CallBridge {
   std::atomic<uint64_t> submitted_roots_{0};
   std::atomic<uint64_t> finalized_roots_{0};
   std::atomic<bool> accepting_{true};
+  /// Fault plan (null = no injection anywhere on the hot path).
+  fault::FaultInjector* fault_injector_ = nullptr;
+  bool fault_wrap_link_ = false;
+  double fault_retransmit_delay_us_ = 50;
+  double fault_max_delay_us_ = 200;
+  /// Receiver-side duplicate suppression, active only with a fault plan
+  /// installed: wire keys of delivered kSubmit/kCall/kResponse messages.
+  std::mutex dedup_mu_;
+  std::unordered_set<uint64_t> delivered_wire_keys_;
   TidSource direct_tids_;  // for RunDirect (bootstrap loading)
   /// Epoch group-commit logging; null when durability is off.
   std::unique_ptr<log::DurabilityManager> durability_;

@@ -59,6 +59,14 @@ class SimRuntime : public RuntimeBase {
   void ClientSettle() override { events_.RunAll(); }
   double SessionNowUs() const override { return NowUs(); }
 
+  /// Virtual-time delay: `fn` becomes an event `delay_us` ahead of the
+  /// segment-aware now, so a ClientWait pump keeps advancing while session
+  /// backoffs and FaultyLink holds are pending — and chaos runs replay
+  /// deterministically, the hold being an ordinary queue event.
+  void PostDelayed(double delay_us, std::function<void()> fn) override {
+    events_.Schedule(NowUs() + delay_us, std::move(fn));
+  }
+
   // --- CallBridge ----------------------------------------------------------
   void Compute(double micros) override { Charge(ChargeKind::kProc, micros); }
   void ChargeStorage(StorageOpKind kind, uint64_t n) override;

@@ -1,5 +1,6 @@
 #include "src/runtime/thread_runtime.h"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 
@@ -38,6 +39,11 @@ Status ThreadRuntime::Start(uint64_t epoch_tick_ms) {
     };
     e->thread = std::thread([this, e] { ExecutorLoop(e); });
   }
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timer_stop_ = false;
+  }
+  timer_thread_ = std::thread([this] { TimerLoop(); });
   epochs_.StartTicker(epoch_tick_ms);
   return Status::OK();
 }
@@ -60,6 +66,16 @@ void ThreadRuntime::Stop() {
                        << " outstanding roots finalized in " << elapsed_ms
                        << " ms";
   }
+  // Timers stay live through the drain above (a held FaultyLink batch or a
+  // backoff retry may be the only thing standing between an outstanding
+  // root and its finalization); only then is the timer thread retired —
+  // firing whatever is still pending so no callback is silently lost.
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
   epochs_.StopTicker();
   for (auto& exec : threads_) {
     {
@@ -189,6 +205,56 @@ void ThreadRuntime::NotifyClientProgress() {
   // wakeup window (its predicate state changed before we got here).
   { std::lock_guard<std::mutex> lock(client_mu_); }
   client_cv_.notify_all();
+}
+
+void ThreadRuntime::PostDelayed(double delay_us, std::function<void()> fn) {
+  auto later = [](const TimerEntry& a, const TimerEntry& b) {
+    return a.when > b.when;
+  };
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (timer_thread_.joinable() && !timer_stop_) {
+      timer_heap_.push_back(
+          {std::chrono::steady_clock::now() +
+               std::chrono::nanoseconds(static_cast<int64_t>(delay_us * 1000)),
+           std::move(fn)});
+      std::push_heap(timer_heap_.begin(), timer_heap_.end(), later);
+      timer_cv_.notify_one();
+      return;
+    }
+  }
+  fn();  // no timer thread (not started, or stopping): zero-delay fallback
+}
+
+void ThreadRuntime::TimerLoop() {
+  auto later = [](const TimerEntry& a, const TimerEntry& b) {
+    return a.when > b.when;
+  };
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  auto fire_front = [&] {
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), later);
+    std::function<void()> fn = std::move(timer_heap_.back().fn);
+    timer_heap_.pop_back();
+    lock.unlock();
+    fn();
+    lock.lock();
+  };
+  while (!timer_stop_) {
+    if (timer_heap_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    auto when = timer_heap_.front().when;
+    if (std::chrono::steady_clock::now() < when) {
+      timer_cv_.wait_until(lock, when);
+      continue;
+    }
+    fire_front();
+  }
+  // Shutdown: everything still queued fires immediately (see PostDelayed's
+  // contract) — resubmits fail fast against the closed runtime rather than
+  // leaving a session waiting on a timer that will never come.
+  while (!timer_heap_.empty()) fire_front();
 }
 
 double ThreadRuntime::SessionNowUs() const {

@@ -15,10 +15,12 @@
 #define REACTDB_RUNTIME_THREAD_RUNTIME_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "src/runtime/runtime_base.h"
 
@@ -43,6 +45,14 @@ class ThreadRuntime : public RuntimeBase {
   void ClientWait(const std::function<bool()>& ready) override;
   void NotifyClientProgress() override;
   double SessionNowUs() const override;
+
+  /// Real-time delay on a dedicated timer thread (session retry backoff,
+  /// FaultyLink holds). Runs `fn` inline when the runtime is not started —
+  /// there is no timer to hand it to, and callers tolerate zero delay. On
+  /// Stop, still-pending timers fire immediately before the thread joins:
+  /// a backoff resubmit then fails fast against the closed runtime, so
+  /// sessions never hang on a timer that would otherwise be lost.
+  void PostDelayed(double delay_us, std::function<void()> fn) override;
 
   // --- CallBridge ----------------------------------------------------------
   void Compute(double micros) override;
@@ -73,9 +83,22 @@ class ThreadRuntime : public RuntimeBase {
   };
 
   void ExecutorLoop(ThreadExecutor* exec);
+  void TimerLoop();
 
   std::vector<std::unique_ptr<ThreadExecutor>> threads_;
   bool started_ = false;
+
+  /// PostDelayed timer wheel: a min-heap of (fire time, fn) serviced by one
+  /// thread that sleeps to the earliest deadline.
+  struct TimerEntry {
+    std::chrono::steady_clock::time_point when;
+    std::function<void()> fn;
+  };
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::vector<TimerEntry> timer_heap_;
+  bool timer_stop_ = false;
+  std::thread timer_thread_;
 
   /// Client-side blocking (sessions, Execute, Stop's drain): callers park
   /// on one condition variable, kicked after every root finalization and

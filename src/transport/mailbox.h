@@ -19,6 +19,7 @@
 #include <mutex>
 
 #include "src/transport/message.h"
+#include "src/util/logging.h"
 
 namespace reactdb {
 namespace transport {
@@ -40,6 +41,7 @@ class Mailbox {
       }
       queue_.push_back(std::move(e));
       ++pushed_;
+      Record();
     }
     return true;
   }
@@ -51,15 +53,29 @@ class Mailbox {
     not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
     queue_.push_back(std::move(e));
     ++pushed_;
+    Record();
   }
 
   /// Enqueues regardless of capacity (counts the overflow). For senders
   /// that can neither block nor drop — the simulator's link delivery.
+  /// Unbounded in principle, so runaway growth is surfaced: a rate-limited
+  /// warning fires when the depth exceeds twice the nominal capacity, and
+  /// the high-water mark is exported as reactdb_mailbox_depth_hw.
   void ForcePush(Envelope e) {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.size() >= capacity_) ++overflowed_;
     queue_.push_back(std::move(e));
     ++pushed_;
+    Record();
+    if (queue_.size() > 2 * capacity_ &&
+        queue_.size() >= next_depth_warn_) {
+      REACTDB_LOG(kWarn) << "mailbox depth " << queue_.size()
+                         << " exceeds 2x capacity (" << capacity_
+                         << "): consumer is not keeping up";
+      // Re-warn only after the queue doubles again — bounded log volume
+      // even if the producer never stops.
+      next_depth_warn_ = queue_.size() * 2;
+    }
   }
 
   /// Dequeues the oldest envelope; false when empty. FIFO.
@@ -99,8 +115,18 @@ class Mailbox {
     std::lock_guard<std::mutex> lock(mu_);
     return overflowed_;
   }
+  /// High-water mark of the queue depth over the mailbox's lifetime.
+  size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_depth_;
+  }
 
  private:
+  // Called under mu_ after every enqueue.
+  void Record() {
+    if (queue_.size() > max_depth_) max_depth_ = queue_.size();
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
@@ -109,6 +135,8 @@ class Mailbox {
   uint64_t popped_ = 0;
   uint64_t rejected_ = 0;
   uint64_t overflowed_ = 0;
+  size_t max_depth_ = 0;
+  size_t next_depth_warn_ = 0;
 };
 
 }  // namespace transport

@@ -21,6 +21,7 @@ void SubmitRequest::EncodeTo(wire::Writer* w) const {
   w->PutU64(root_id);
   w->PutU32(reactor.value);
   w->PutU32(proc.value);
+  w->PutDouble(deadline_us);
   wire::EncodeRow(args, w);
 }
 
@@ -29,6 +30,7 @@ StatusOr<SubmitRequest> SubmitRequest::DecodeFrom(wire::Reader* r) {
   REACTDB_ASSIGN_OR_RETURN(m.root_id, r->ReadU64());
   REACTDB_ASSIGN_OR_RETURN(m.reactor.value, r->ReadU32());
   REACTDB_ASSIGN_OR_RETURN(m.proc.value, r->ReadU32());
+  REACTDB_ASSIGN_OR_RETURN(m.deadline_us, r->ReadDouble());
   REACTDB_ASSIGN_OR_RETURN(m.args, wire::DecodeRow(r));
   return m;
 }
@@ -39,6 +41,7 @@ void CallRequest::EncodeTo(wire::Writer* w) const {
   w->PutU64(subtxn_id);
   w->PutU32(reactor.value);
   w->PutU32(proc.value);
+  w->PutDouble(deadline_us);
   wire::EncodeRow(args, w);
 }
 
@@ -49,6 +52,7 @@ StatusOr<CallRequest> CallRequest::DecodeFrom(wire::Reader* r) {
   REACTDB_ASSIGN_OR_RETURN(m.subtxn_id, r->ReadU64());
   REACTDB_ASSIGN_OR_RETURN(m.reactor.value, r->ReadU32());
   REACTDB_ASSIGN_OR_RETURN(m.proc.value, r->ReadU32());
+  REACTDB_ASSIGN_OR_RETURN(m.deadline_us, r->ReadDouble());
   REACTDB_ASSIGN_OR_RETURN(m.args, wire::DecodeRow(r));
   return m;
 }
@@ -86,7 +90,7 @@ StatusOr<CallResponse> CallResponse::DecodeFrom(wire::Reader* r) {
   REACTDB_ASSIGN_OR_RETURN(m.root_id, r->ReadU64());
   REACTDB_ASSIGN_OR_RETURN(m.call_id, r->ReadU64());
   REACTDB_ASSIGN_OR_RETURN(uint8_t code, r->ReadU8());
-  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::InvalidArgument("wire: bad status code " +
                                    std::to_string(code));
   }

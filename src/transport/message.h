@@ -53,6 +53,10 @@ struct SubmitRequest {
   ReactorId reactor;
   ProcId proc;
   Row args;
+  /// Absolute end-to-end deadline on the session clock (virtual us under
+  /// SimRuntime, steady-clock us under ThreadRuntime); 0 = none. Carried on
+  /// the wire so a remote submission keeps its budget.
+  double deadline_us = 0;
 
   void EncodeTo(wire::Writer* w) const;
   static StatusOr<SubmitRequest> DecodeFrom(wire::Reader* r);
@@ -68,6 +72,9 @@ struct CallRequest {
   ReactorId reactor;
   ProcId proc;
   Row args;
+  /// Root's absolute deadline, inherited by every sub-transaction (0 =
+  /// none): the callee checks the remaining budget at its own dispatch.
+  double deadline_us = 0;
 
   void EncodeTo(wire::Writer* w) const;
   static StatusOr<CallRequest> DecodeFrom(wire::Reader* r);

@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Overloaded";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

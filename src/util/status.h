@@ -40,6 +40,11 @@ enum class StatusCode : uint8_t {
   // or a short read of a frame the manifest promised. Surfaced by
   // Database::Open and the log writer instead of aborting the process.
   kIOError = 11,
+  // The transaction's end-to-end deadline (session clock, absolute
+  // microseconds) expired before it could commit. The root is rolled back
+  // like any abort — no partial effects — but the code is terminal: the
+  // budget covers retries too, so sessions never resubmit it.
+  kDeadlineExceeded = 12,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -86,6 +91,9 @@ class Status {
   static Status IOError(std::string msg = "") {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -107,6 +115,9 @@ class Status {
   }
   bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   std::string ToString() const;
 

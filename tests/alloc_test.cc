@@ -207,6 +207,45 @@ TEST(AllocationRegression, WarmedPointTxnWithMetricsIsAllocationFree) {
                    reg.Collect().Value("reactdb_txn_committed_total"));
 }
 
+// The deadline gate: a warmed point transaction with a deadline *set* (but
+// not expired) must stay allocation-free. Per root the runtime adds exactly
+// what this loop adds — three boundary checks of a double against the
+// session clock (dispatch, call, validate) and the dense per-proc outcome
+// bump — none of which may touch the heap on the non-expired path.
+TEST(AllocationRegression, WarmedPointTxnWithDeadlineSetIsAllocationFree) {
+  obs::ProcOutcomeTable outcomes;
+  outcomes.Init({1});
+  WarmedSmallbankTxn rig;
+  ASSERT_TRUE(rig.loaded_);
+  for (int i = 0; i < 256; ++i) ASSERT_TRUE(rig.RunOne()) << "warmup " << i;
+
+  double now_us = 1000.0;
+  g_allocs.store(0);
+  g_counting.store(true);
+  bool ok = true;
+  bool expired = false;
+  for (int i = 0; i < 256; ++i) {
+    // Submit fixes the absolute deadline; each boundary re-reads the clock.
+    const double deadline_us = now_us + 50.0;
+    now_us += 1.0;  // dispatch boundary
+    expired |= deadline_us > 0 && now_us > deadline_us;
+    now_us += 1.0;  // call boundary
+    expired |= deadline_us > 0 && now_us > deadline_us;
+    ok &= rig.RunOne();
+    now_us += 1.0;  // validate boundary
+    expired |= deadline_us > 0 && now_us > deadline_us;
+    outcomes.Bump(ReactorId{0}, ProcId{0}, /*committed=*/!expired);
+  }
+  g_counting.store(false);
+
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(expired);
+  EXPECT_EQ(0u, g_allocs.load())
+      << "a set-but-unexpired deadline must not add heap traffic";
+  EXPECT_EQ(256u, outcomes.committed(ReactorId{0}, ProcId{0}));
+  EXPECT_EQ(0u, outcomes.deadline_exceeded(ReactorId{0}, ProcId{0}));
+}
+
 TEST(AllocationRegression, WarmedKeyEncodeIsAllocationFree) {
   Row key = {Value(int64_t{123456}), Value(3.25)};
   KeyBuf buf;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/log/durability.h"
 #include "src/runtime/reactdb.h"
 #include "src/util/logging.h"
@@ -530,6 +531,105 @@ TEST(Recovery, ThreadRuntimeWaitDurableSurvivesCrash) {
     double total = smallbank::TotalBalance(db.runtime(), kCustomers).value();
     EXPECT_NEAR(expected, total, 1e-6);
     db.Shutdown();
+  }
+}
+
+// An injected fsync failure latches kIOError exactly like a real device:
+// the manager halts, the durable watermark freezes, later commits still
+// execute (volatile), and a fault-free reopen recovers exactly the durable
+// prefix.
+TEST(Recovery, InjectedFsyncFailureLatchesAndReopenRecoversDurablePrefix) {
+  std::string dir = FreshDir("injfsync");
+  std::vector<Deposit> deposits;
+  uint64_t durable_at_halt = 0;
+  {
+    Database::Options o = SimDurable(dir);
+    o.fault.enabled = true;
+    o.fault.seed = 3;
+    // Arm the site out of range so the hook is installed but silent; the
+    // test re-arms it at the exact point it wants the device to die.
+    o.fault.file_fsync.probability = 1;
+    o.fault.file_fsync.after_n = 1'000'000'000;
+    SmallbankRig rig(o);
+    ASSERT_TRUE(rig.open_status.ok()) << rig.open_status;
+    deposits = RunDeposits(*rig.db, 16);
+    rig.db->WaitDurable();  // the first 16 reach the disk
+    EXPECT_FALSE(rig.db->durability()->halted());
+    durable_at_halt = rig.db->durable_epoch();
+
+    fault::SiteSpec die;
+    die.probability = 1;
+    die.max_fires = 1;
+    rig.db->fault_injector()->Arm("log.fsync", die);
+    std::vector<Deposit> lost = RunDeposits(*rig.db, 8, /*first=*/16);
+    deposits.insert(deposits.end(), lost.begin(), lost.end());
+    rig.db->WaitDurable();  // flush hits the injected fsync failure
+
+    EXPECT_TRUE(rig.db->durability()->halted());
+    Status io = rig.db->durability()->io_status();
+    EXPECT_TRUE(io.IsIOError()) << io;
+    EXPECT_NE(std::string::npos, io.ToString().find("injected fsync fault"))
+        << io;
+    EXPECT_EQ(1u, rig.db->fault_injector()->fires("log.fsync"));
+    // The watermark froze at the latch; the post-fault deposits committed
+    // but can never become durable.
+    EXPECT_EQ(durable_at_halt, rig.db->durable_epoch());
+    rig.db->Shutdown();
+  }
+  {
+    SmallbankRig rig(SimDurable(dir));  // no faults on reopen
+    ASSERT_TRUE(rig.open_status.ok()) << rig.open_status;
+    ASSERT_TRUE(rig.db->recovered());
+    EXPECT_LE(rig.db->recovery().durable_epoch, durable_at_halt);
+    EXPECT_EQ(ReferenceDump(deposits, rig.db->recovery().durable_epoch),
+              DumpState(*rig.db, *rig.def));
+    rig.db->Shutdown();
+  }
+}
+
+// Injected ENOSPC with a short write: half the frame lands on disk before
+// the error latches — a torn tail recovery must drop. Reopen recovers
+// exactly the durable prefix.
+TEST(Recovery, InjectedEnospcShortWriteLatchesAndReopenRecovers) {
+  std::string dir = FreshDir("injenospc");
+  std::vector<Deposit> deposits;
+  {
+    Database::Options o = SimDurable(dir);
+    o.fault.enabled = true;
+    o.fault.seed = 5;
+    o.fault.short_write = true;  // torn prefix, as a real ENOSPC leaves
+    o.fault.file_write.probability = 1;
+    o.fault.file_write.after_n = 1'000'000'000;
+    SmallbankRig rig(o);
+    ASSERT_TRUE(rig.open_status.ok()) << rig.open_status;
+    deposits = RunDeposits(*rig.db, 16);
+    rig.db->WaitDurable();
+
+    fault::SiteSpec die;
+    die.probability = 1;
+    die.max_fires = 1;
+    rig.db->fault_injector()->Arm("log.write", die);
+    std::vector<Deposit> lost = RunDeposits(*rig.db, 8, /*first=*/16);
+    deposits.insert(deposits.end(), lost.begin(), lost.end());
+    rig.db->WaitDurable();  // flush hits the injected write failure
+
+    EXPECT_TRUE(rig.db->durability()->halted());
+    Status io = rig.db->durability()->io_status();
+    EXPECT_TRUE(io.IsIOError()) << io;
+    EXPECT_NE(std::string::npos,
+              io.ToString().find("No space left on device"))
+        << io;
+    rig.db->Shutdown();
+  }
+  {
+    SmallbankRig rig(SimDurable(dir));
+    ASSERT_TRUE(rig.open_status.ok()) << rig.open_status;
+    ASSERT_TRUE(rig.db->recovered());
+    // The torn half-frame is invisible: recovery truncates it and lands on
+    // the durable prefix exactly.
+    EXPECT_EQ(ReferenceDump(deposits, rig.db->recovery().durable_epoch),
+              DumpState(*rig.db, *rig.def));
+    rig.db->Shutdown();
   }
 }
 

@@ -39,6 +39,63 @@ uint64_t RootIdOf(const Envelope& e) {
   return std::get<transport::CommitVote>(*m).root_id;
 }
 
+// --- Wire round-trips --------------------------------------------------------
+
+// Every status code a procedure can return must survive the CallResponse
+// wire encoding — kOverloaded, kIOError, and kDeadlineExceeded sit past the
+// originally-bounded range and regressed silently once.
+TEST(WireRoundTrip, CallResponseCarriesAllStatusCodes) {
+  for (StatusCode code :
+       {StatusCode::kOverloaded, StatusCode::kIOError,
+        StatusCode::kDeadlineExceeded, StatusCode::kAborted,
+        StatusCode::kUserAbort}) {
+    transport::CallResponse resp;
+    resp.root_id = 7;
+    resp.call_id = 9;
+    resp.code = code;
+    resp.status_message = "chaos";
+    Envelope e;
+    e.kind = MessageKind::kResponse;
+    e.wire = transport::EncodeMessage(resp);
+    StatusOr<transport::Message> m = transport::DecodeMessage(e.wire);
+    ASSERT_TRUE(m.ok()) << StatusCodeName(code) << ": " << m.status();
+    const auto& back = std::get<transport::CallResponse>(*m);
+    EXPECT_EQ(code, back.code) << StatusCodeName(code);
+    EXPECT_EQ("chaos", back.status_message);
+    EXPECT_EQ(code, back.ToResult().status().code());
+  }
+}
+
+// The deadline rides in submit and call envelopes bit-exactly: remote
+// dispatch and inherited sub-transactions check the same absolute budget
+// the client set.
+TEST(WireRoundTrip, DeadlineSurvivesSubmitAndCallEncoding) {
+  transport::SubmitRequest submit;
+  submit.root_id = 3;
+  submit.reactor = ReactorId{1};
+  submit.proc = ProcId{2};
+  submit.deadline_us = 12345.625;  // representable exactly in binary
+  Envelope e;
+  e.kind = MessageKind::kSubmit;
+  e.wire = transport::EncodeMessage(submit);
+  StatusOr<transport::Message> m = transport::DecodeMessage(e.wire);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(12345.625, std::get<transport::SubmitRequest>(*m).deadline_us);
+
+  transport::CallRequest call;
+  call.root_id = 3;
+  call.call_id = 4;
+  call.subtxn_id = 1;
+  call.reactor = ReactorId{1};
+  call.proc = ProcId{2};
+  call.deadline_us = 12345.625;
+  e.kind = MessageKind::kCall;
+  e.wire = transport::EncodeMessage(call);
+  m = transport::DecodeMessage(e.wire);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(12345.625, std::get<transport::CallRequest>(*m).deadline_us);
+}
+
 // --- Mailbox semantics -------------------------------------------------------
 
 TEST(Mailbox, PreservesFifoOrder) {

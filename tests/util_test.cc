@@ -49,6 +49,30 @@ TEST(Status, IOErrorTaxonomy) {
   EXPECT_EQ("IOError: torn frame", Status::IOError("torn frame").ToString());
 }
 
+TEST(Status, DeadlineExceededTaxonomy) {
+  Status s = Status::DeadlineExceeded("deadline expired at dispatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(StatusCode::kDeadlineExceeded, s.code());
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  // Expiry rolls the root back like an abort but is not in the abort
+  // family: retry policies must see it as terminal, never resubmit.
+  EXPECT_FALSE(s.IsAbort());
+  EXPECT_FALSE(s.IsAborted());
+  EXPECT_FALSE(Status::Aborted("x").IsDeadlineExceeded());
+  EXPECT_FALSE(Status::Overloaded("x").IsDeadlineExceeded());
+  EXPECT_EQ("DeadlineExceeded", StatusCodeName(StatusCode::kDeadlineExceeded));
+  EXPECT_EQ("DeadlineExceeded: too slow",
+            Status::DeadlineExceeded("too slow").ToString());
+}
+
+TEST(Status, OverloadedTaxonomy) {
+  Status s = Status::Overloaded("admission: over watermark");
+  EXPECT_TRUE(s.IsOverloaded());
+  EXPECT_FALSE(s.IsAbort());
+  EXPECT_FALSE(s.IsDeadlineExceeded());
+  EXPECT_EQ("Overloaded", StatusCodeName(StatusCode::kOverloaded));
+}
+
 TEST(StatusOr, ValueAndError) {
   StatusOr<int> ok(42);
   ASSERT_TRUE(ok.ok());

@@ -1,0 +1,294 @@
+// Audit-capture overhead bench: the marginal cost of read-set capture
+// (Database::Options::audit) on the warmed logged point-transaction path.
+//
+// Measurements:
+//   logged    — the warmed storage-layer point transaction (read + update +
+//               Silo commit) with redo logging bound, audit capture OFF.
+//               This is the PR-5 logged hot path.
+//   audit     — the identical loop with EnableAuditCapture(): every read
+//               digests (reactor, slot, key, observed TID) into the arena
+//               and the commit appends a kTxnAudit record after the redo
+//               records. A direct A/B: capture is the one delta.
+//   e2e       — warmed blocking point transactions through the real
+//               ThreadRuntime with a data_dir, Options::audit off vs on
+//               (the on-side also carries the frame tee and the trailing
+//               online auditor). Reported for context; the gate is on the
+//               storage-layer A/B, which is stable on any host.
+//
+// Gates (checked in CI from the JSON):
+//   * audit_capture_ratio = audit / logged <= 1.10 (the PR-9 budget)
+//   * allocs_per_txn == 0 for the warmed audited loop (operator new/delete
+//     replaced with counting versions)
+//
+// Usage: bench_audit_overhead [out.json [num_txns]]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <new>
+#include <string>
+
+#include "src/log/log_shard.h"
+#include "src/runtime/reactdb.h"
+#include "src/storage/table.h"
+#include "src/txn/epoch.h"
+#include "src/txn/silo_txn.h"
+#include "src/util/arena.h"
+#include "src/util/logging.h"
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<bool> g_counting{false};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- storage-layer A/B: the warmed logged point txn, capture off vs on ------
+
+/// The smallbank transact_saving footprint with redo logging bound, as in
+/// the allocation-regression rig: point read by cust_id, balance update,
+/// Silo commit, arena reset at the boundary, periodic epoch ticks and
+/// group-commit collection against a warm spare buffer.
+class WarmedLoggedTxn {
+ public:
+  explicit WarmedLoggedTxn(bool audit)
+      : audit_(audit),
+        savings_(SchemaBuilder("savings")
+                     .AddColumn("cust_id", ValueType::kInt64)
+                     .AddColumn("balance", ValueType::kDouble)
+                     .SetKey({"cust_id"})
+                     .Build()
+                     .value()),
+        key_({Value(int64_t{1})}) {
+    savings_.BindDurableId(ReactorId{0}, TableSlot{0});
+    SiloTxn loader(&epochs_, &arena_);
+    REACTDB_CHECK(
+        loader.Insert(&savings_, {Value(int64_t{1}), Value(10000.0)}, 0).ok());
+    REACTDB_CHECK(loader.Commit(&tids_).ok());
+    arena_.Reset();
+  }
+
+  void RunOne() {
+    {
+      SiloTxn txn(&epochs_, &arena_);
+      txn.BindLog(&shard_);
+      if (audit_) txn.EnableAuditCapture();
+      REACTDB_CHECK(txn.GetInto(&savings_, key_, &row_, 0).ok());
+      updated_ = row_;
+      updated_[1] = Value(updated_[1].AsDouble() + 1.0);
+      REACTDB_CHECK(txn.Update(&savings_, key_, updated_, 0).ok());
+      REACTDB_CHECK(txn.Commit(&tids_).ok());
+    }
+    arena_.Reset();
+    if (++txns_ % 32 == 0) {
+      epochs_.Advance();
+      epochs_.Advance();
+      collect_spare_.clear();
+      shard_.Collect(&collect_spare_);
+    }
+  }
+
+ private:
+  const bool audit_;
+  EpochManager epochs_;
+  Arena arena_;
+  TidSource tids_;
+  Table savings_;
+  Row key_;
+  Row row_;
+  Row updated_;
+  log::LogShard shard_;
+  std::string collect_spare_;
+  uint64_t txns_ = 0;
+};
+
+struct StorageAB {
+  double logged_ns = 0;
+  double audit_ns = 0;
+};
+
+/// ns per transaction for the A/B pair. The two rigs run in many short
+/// alternating batches and each side keeps its minimum batch time: host
+/// frequency drift and noisy neighbors hit both sides equally, and the min
+/// filters the interference out (the fastest batch is the unperturbed
+/// one). `iters` is the total per side, split into `reps * 8` batches.
+StorageAB MeasureStorageLoops(int iters, int reps) {
+  WarmedLoggedTxn off(/*audit=*/false);
+  WarmedLoggedTxn on(/*audit=*/true);
+  int batches = reps * 8;
+  int per_batch = iters / batches + 1;
+  for (int i = 0; i < per_batch * 4; ++i) off.RunOne();  // warm
+  for (int i = 0; i < per_batch * 4; ++i) on.RunOne();
+  StorageAB r;
+  for (int b = 0; b < batches; ++b) {
+    // Alternate which side runs first so a monotonic frequency drift does
+    // not systematically tax one side of the pair.
+    double off_ns;
+    double on_ns;
+    if (b % 2 == 0) {
+      double t0 = NowUs();
+      for (int i = 0; i < per_batch; ++i) off.RunOne();
+      off_ns = (NowUs() - t0) * 1e3 / per_batch;
+      t0 = NowUs();
+      for (int i = 0; i < per_batch; ++i) on.RunOne();
+      on_ns = (NowUs() - t0) * 1e3 / per_batch;
+    } else {
+      double t0 = NowUs();
+      for (int i = 0; i < per_batch; ++i) on.RunOne();
+      on_ns = (NowUs() - t0) * 1e3 / per_batch;
+      t0 = NowUs();
+      for (int i = 0; i < per_batch; ++i) off.RunOne();
+      off_ns = (NowUs() - t0) * 1e3 / per_batch;
+    }
+    if (b == 0 || off_ns < r.logged_ns) r.logged_ns = off_ns;
+    if (b == 0 || on_ns < r.audit_ns) r.audit_ns = on_ns;
+  }
+  return r;
+}
+
+/// Heap allocations per warmed audited transaction (must be exactly 0).
+double MeasureAuditedAllocs(int iters) {
+  WarmedLoggedTxn rig(/*audit=*/true);
+  for (int i = 0; i < iters; ++i) rig.RunOne();  // warm
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < iters; ++i) rig.RunOne();
+  g_counting.store(false);
+  return static_cast<double>(g_allocs.load()) / iters;
+}
+
+// --- e2e: the real runtime with a data_dir, Options::audit off vs on --------
+
+Proc BumpProc(TxnContext& ctx, Row args) {
+  int64_t by = args.empty() ? 1 : args[0].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row row, ctx.Get("counter", {Value(int64_t{0})}));
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("counter", {Value(int64_t{0})},
+                 {Value(int64_t{0}), Value(row[1].AsInt64() + by)}));
+  co_return Value(row[1].AsInt64() + by);
+}
+
+double MeasureEndToEnd(int num_txns, int reps, bool audit) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  ReactorType& t = def->DefineType("Counter");
+  t.AddSchema(SchemaBuilder("counter")
+                  .AddColumn("k", ValueType::kInt64)
+                  .AddColumn("v", ValueType::kInt64)
+                  .SetKey({"k"})
+                  .Build()
+                  .value());
+  t.AddProcedure("bump", &BumpProc);
+  REACTDB_CHECK_OK(def->DeclareReactor("c0", "Counter"));
+
+  std::string dir = std::string("/tmp/reactdb_bench_audit_") +
+                    (audit ? "on" : "off");
+  std::filesystem::remove_all(dir);
+  client::Database::Options options;
+  options.data_dir = dir;
+  options.audit = audit;
+  client::Database db;
+  REACTDB_CHECK_OK(
+      db.Open(def.get(), DeploymentConfig::SharedNothing(1), options));
+  REACTDB_CHECK_OK(db.RunDirect([&db](SiloTxn& txn) -> Status {
+    REACTDB_ASSIGN_OR_RETURN(Table * tab, db.FindTable("c0", "counter"));
+    return txn.Insert(tab, {Value(int64_t{0}), Value(int64_t{0})},
+                      db.FindReactor("c0")->container_id());
+  }));
+  ReactorId c0 = db.ResolveReactor("c0");
+  ProcId bump = db.ResolveProc(c0, "bump");
+  auto session = db.CreateSession({.max_outstanding = 1});
+
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int i = 0; i < num_txns / 4; ++i) {  // warm every batch
+      REACTDB_CHECK(session->Execute(c0, bump, {Value(int64_t{1})}).ok());
+    }
+    double t0 = db.NowUs();
+    for (int i = 0; i < num_txns; ++i) {
+      REACTDB_CHECK(session->Execute(c0, bump, {Value(int64_t{1})}).ok());
+    }
+    double ns = (db.NowUs() - t0) * 1e3 / num_txns;
+    if (rep == 0 || ns < best) best = ns;
+  }
+  if (audit) {
+    REACTDB_CHECK(!db.AuditStatus().violation);
+  }
+  db.Shutdown();
+  std::filesystem::remove_all(dir);
+  return best;
+}
+
+void Run(const std::string& out_path, int num_txns) {
+  constexpr int kReps = 9;
+  StorageAB ab = MeasureStorageLoops(num_txns, kReps);
+  double logged_ns = ab.logged_ns;
+  double audit_ns = ab.audit_ns;
+  double allocs = MeasureAuditedAllocs(num_txns / 2 + 1);
+  double e2e_off_ns = MeasureEndToEnd(num_txns / 10 + 1, kReps, false);
+  double e2e_on_ns = MeasureEndToEnd(num_txns / 10 + 1, kReps, true);
+
+  double capture_ratio = audit_ns / logged_ns;
+  double e2e_ratio = e2e_on_ns / e2e_off_ns;
+
+  std::printf("warmed logged point txn (audit off): %8.1f ns\n", logged_ns);
+  std::printf("warmed logged point txn (audit on):  %8.1f ns\n", audit_ns);
+  std::printf("e2e logged point txn (audit off):    %8.1f ns\n", e2e_off_ns);
+  std::printf("e2e logged point txn (audit on):     %8.1f ns\n", e2e_on_ns);
+  std::printf("audit_capture_ratio %.4fx, e2e_audit_ratio %.4fx, "
+              "allocs/txn %.6f\n",
+              capture_ratio, e2e_ratio, allocs);
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    REACTDB_CHECK(f != nullptr);
+    std::fprintf(f, "{\n  \"bench\": \"audit_overhead_point_txn\",\n");
+    std::fprintf(f, "  \"num_txns\": %d,\n", num_txns);
+    std::fprintf(f, "  \"logged_ns_per_txn\": %.2f,\n", logged_ns);
+    std::fprintf(f, "  \"audit_ns_per_txn\": %.2f,\n", audit_ns);
+    std::fprintf(f, "  \"e2e_off_ns_per_txn\": %.2f,\n", e2e_off_ns);
+    std::fprintf(f, "  \"e2e_on_ns_per_txn\": %.2f,\n", e2e_on_ns);
+    std::fprintf(f, "  \"audit_capture_ratio\": %.4f,\n", capture_ratio);
+    std::fprintf(f, "  \"e2e_audit_ratio\": %.4f,\n", e2e_ratio);
+    std::fprintf(f, "  \"allocs_per_txn_audit_on\": %.6f\n", allocs);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main(int argc, char** argv) {
+  std::string out = argc > 1 ? argv[1] : "";
+  int num_txns = argc > 2 ? std::atoi(argv[2]) : 200000;
+  reactdb::bench::Run(out, num_txns);
+  return 0;
+}

@@ -1,0 +1,158 @@
+#include "src/audit/online_auditor.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace reactdb {
+namespace audit {
+
+OnlineAuditor::OnlineAuditor(log::DurabilityManager* mgr,
+                             OnlineAuditorOptions options)
+    : mgr_(mgr), options_(options), checker_(options.window_epochs) {}
+
+OnlineAuditor::~OnlineAuditor() { Stop(); }
+
+void OnlineAuditor::Start() {
+  REACTDB_CHECK(!started_);
+  started_ = true;
+  // Everything already on disk predates capture in this run: versions at
+  // or below the recovered horizon are trusted rather than flagged as
+  // unknown (the offline tool re-verifies retained history instead).
+  checker_.set_trusted_before(
+      std::max(mgr_->recovered_max_epoch(), mgr_->recovered_durable_epoch()) +
+      1);
+  mgr_->set_frame_tee([this](uint32_t container, uint64_t seal_epoch,
+                             uint64_t max_epoch, std::string_view payload) {
+    OnFrame(container, seal_epoch, max_epoch, payload);
+  });
+  listener_id_ = mgr_->AddListener([this](uint64_t d) { OnDurable(d); });
+  if (options_.background_thread) {
+    thread_ = std::thread([this] { ThreadLoop(); });
+  }
+}
+
+void OnlineAuditor::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  if (thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stop_thread_ = true;
+    }
+    queue_cv_.notify_all();
+    thread_.join();
+  }
+  // Final drain after the manager's final flush: catch the tail the thread
+  // (or the inline listener) had not consumed yet.
+  Drain();
+  mgr_->RemoveListener(listener_id_);
+  mgr_->set_frame_tee(nullptr);
+}
+
+void OnlineAuditor::OnFrame(uint32_t container, uint64_t seal_epoch,
+                            uint64_t max_epoch, std::string_view payload) {
+  (void)max_epoch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back({container, seal_epoch, std::string(payload)});
+    ++frames_teed_;
+    wake_ = true;
+  }
+  if (options_.background_thread) queue_cv_.notify_one();
+  // Inline mode waits for the durable listener: records beyond the durable
+  // horizon must not finalize yet anyway.
+}
+
+void OnlineAuditor::OnDurable(uint64_t durable_epoch) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    durable_seen_ = std::max(durable_seen_, durable_epoch);
+    wake_ = true;
+  }
+  if (options_.background_thread) {
+    queue_cv_.notify_one();
+  } else {
+    // SimRuntime: deterministic inline drain on the (single-threaded)
+    // flushing context. Runs under the manager's listener lock but only
+    // takes the auditor's own locks — no path back into the manager.
+    Drain();
+  }
+}
+
+void OnlineAuditor::Drain() {
+  std::deque<TeedFrame> batch;
+  uint64_t durable = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    batch.swap(queue_);
+    durable = durable_seen_;
+  }
+  std::lock_guard<std::mutex> lock(checker_mu_);
+  for (const TeedFrame& frame : batch) {
+    Status s = logrec::DecodeRecords(
+        frame.payload,
+        [&](logrec::RedoRecord&& rec) -> Status {
+          checker_.AddRedo(frame.container, rec);
+          return Status::OK();
+        },
+        [&](logrec::AuditRecord&& rec) -> Status {
+          checker_.AddAudit(frame.container, std::move(rec));
+          return Status::OK();
+        });
+    if (!s.ok()) {
+      // The payload bytes were teed from the buffer that just hit disk, so
+      // a decode failure is a codec bug, not device corruption.
+      REACTDB_LOG(kError) << "online audit: frame decode failed: "
+                          << s.ToString();
+    }
+  }
+  const bool was_clean = checker_.clean();
+  // The durable horizon guarantees completeness of epochs <= durable: the
+  // tee runs before each container's synced watermark advances, so by the
+  // time the listener reported `durable`, every frame with records at or
+  // below it was already queued (both sides under queue_mu_).
+  checker_.FinalizeUpTo(std::max(durable, durable_audited_));
+  durable_audited_ = std::max(durable_audited_, durable);
+  if (was_clean && !checker_.clean()) {
+    REACTDB_LOG(kError) << "online audit: serializability violation: "
+                        << FormatViolation(checker_.violations().front());
+  }
+}
+
+void OnlineAuditor::ThreadLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_thread_ || wake_; });
+      if (stop_thread_) return;  // Stop() drains the tail after the join
+      wake_ = false;
+    }
+    Drain();
+  }
+}
+
+AuditorStatus OnlineAuditor::status() const {
+  AuditorStatus s;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.frames = frames_teed_;
+    s.durable_epoch = durable_seen_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(checker_mu_);
+    s.records = checker_.stats().txns;
+    s.audited_epoch = durable_audited_;
+    s.violations = checker_.violations().size();
+    s.violation = !checker_.clean();
+    if (s.violation) {
+      s.first_violation = FormatViolation(checker_.violations().front());
+    }
+  }
+  s.lag_epochs =
+      s.durable_epoch > s.audited_epoch ? s.durable_epoch - s.audited_epoch : 0;
+  return s;
+}
+
+}  // namespace audit
+}  // namespace reactdb

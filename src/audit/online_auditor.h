@@ -1,0 +1,130 @@
+// Trailing online auditor (the third layer of src/audit/).
+//
+// A per-database background consumer that re-checks serializability as the
+// durable epoch advances, without touching the transaction hot path:
+//
+//   * DurabilityManager tees every flushed frame (container, seal, max
+//     epoch, payload bytes) into the auditor's queue — from memory, on the
+//     flushing context, before the container's synced watermark advances,
+//     so the tee can never race checkpoint truncation deleting segments;
+//   * on every durable-epoch advance the auditor decodes the queued frames
+//     into the incremental Checker and finalizes it up to the new durable
+//     epoch (every record of epochs <= durable is guaranteed delivered);
+//   * violations latch: once the history fails, the status stays failed
+//     and every reactdb_audit_* metric reflects it.
+//
+// Drivers: with `background_thread` (ThreadRuntime) a dedicated auditor
+// thread drains the queue, keeping decode + graph work off the log-writer
+// threads; without it (SimRuntime — single-threaded, deterministic) the
+// durable listener drains inline.
+//
+// Guarantees and non-guarantees: the auditor checks exactly what the
+// offline reactdb_audit tool checks, restricted to (a) history from this
+// process run (pre-existing state is trusted, not re-verified) and (b) a
+// sliding window of `window_epochs` of version history — reads stale
+// beyond the window still fail (successor-direction check against the
+// retained floor version), but the minimal cycle reported may be less
+// precise than the offline tool's. It trails the durable horizon by
+// design: a violation in epoch E is reported only after E becomes durable,
+// never before the transaction's effects were acknowledged.
+
+#ifndef REACTDB_AUDIT_ONLINE_AUDITOR_H_
+#define REACTDB_AUDIT_ONLINE_AUDITOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/audit/checker.h"
+#include "src/log/durability.h"
+
+namespace reactdb {
+namespace audit {
+
+struct OnlineAuditorOptions {
+  /// Version-history window (epochs) retained by the checker; 0 keeps
+  /// everything (unbounded memory over a long run — test use only).
+  uint64_t window_epochs = 8;
+  /// Drain on a dedicated thread (ThreadRuntime) vs inline in the
+  /// durable-epoch listener (SimRuntime: single-threaded, deterministic).
+  bool background_thread = true;
+};
+
+/// Point-in-time status surfaced through Database::Stats().
+struct AuditorStatus {
+  uint64_t records = 0;        // audit records consumed
+  uint64_t frames = 0;         // frames teed
+  uint64_t audited_epoch = 0;  // checker horizon (finalized)
+  uint64_t durable_epoch = 0;  // last durable epoch observed
+  uint64_t lag_epochs = 0;     // durable_epoch - audited_epoch
+  uint64_t violations = 0;
+  bool violation = false;  // latched
+  /// First violation, formatted; empty while clean.
+  std::string first_violation;
+};
+
+class OnlineAuditor {
+ public:
+  /// `mgr` must outlive the auditor; Start() must run before the manager's
+  /// writers start (the tee must not be installed concurrently with
+  /// flushes).
+  OnlineAuditor(log::DurabilityManager* mgr, OnlineAuditorOptions options);
+  ~OnlineAuditor();
+
+  OnlineAuditor(const OnlineAuditor&) = delete;
+  OnlineAuditor& operator=(const OnlineAuditor&) = delete;
+
+  /// Installs the frame tee and durable listener and (thread mode) starts
+  /// the auditor thread. History already on disk is trusted, not
+  /// re-audited: the trust boundary is the recovered max epoch + 1.
+  void Start();
+
+  /// Drains whatever is queued, finalizes to the last observed durable
+  /// epoch, uninstalls, joins. Called after the manager's final flush.
+  /// Idempotent.
+  void Stop();
+
+  AuditorStatus status() const;
+
+ private:
+  struct TeedFrame {
+    uint32_t container;
+    uint64_t seal_epoch;
+    std::string payload;  // copied off the flush context
+  };
+
+  void OnFrame(uint32_t container, uint64_t seal_epoch, uint64_t max_epoch,
+               std::string_view payload);
+  void OnDurable(uint64_t durable_epoch);
+  /// Decodes every queued frame into the checker and finalizes to the
+  /// latest durable epoch seen. Serialized by checker_mu_.
+  void Drain();
+  void ThreadLoop();
+
+  log::DurabilityManager* mgr_;
+  const OnlineAuditorOptions options_;
+  size_t listener_id_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<TeedFrame> queue_;
+  uint64_t durable_seen_ = 0;
+  bool wake_ = false;
+  bool stop_thread_ = false;
+  std::thread thread_;
+
+  mutable std::mutex checker_mu_;
+  Checker checker_;
+  uint64_t frames_teed_ = 0;
+  uint64_t durable_audited_ = 0;
+};
+
+}  // namespace audit
+}  // namespace reactdb
+
+#endif  // REACTDB_AUDIT_ONLINE_AUDITOR_H_

@@ -5,9 +5,25 @@
 namespace reactdb {
 namespace client {
 
+namespace {
+
+audit::OnlineAuditorOptions AuditOptionsFor(const Database::Options& options,
+                                            bool background_thread) {
+  audit::OnlineAuditorOptions a;
+  a.window_epochs = options.audit_window_epochs;
+  a.background_thread = background_thread;
+  return a;
+}
+
+}  // namespace
+
 Status Database::Open(const ReactorDatabaseDef* def,
                       const DeploymentConfig& dc, Options options) {
   if (rt_ != nullptr) return Status::Internal("database already open");
+  if (options.audit && options.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "Options::audit requires a data_dir (the auditor reads the log)");
+  }
   closed_ = false;
   recovery_ = log::RecoveryResult{};
   if (options.mode == Mode::kSim) {
@@ -18,6 +34,13 @@ Status Database::Open(const ReactorDatabaseDef* def,
     REACTDB_RETURN_IF_ERROR(sim_->Bootstrap(def, dc));
     if (!options.data_dir.empty()) {
       REACTDB_RETURN_IF_ERROR(OpenDurable(options));
+      if (options.audit) {
+        // Single-threaded runtime: the auditor drains inline in the
+        // durable-epoch listener, keeping the virtual-time run
+        // deterministic.
+        REACTDB_RETURN_IF_ERROR(rt_->EnableAudit(
+            AuditOptionsFor(options, /*background_thread=*/false)));
+      }
       REACTDB_RETURN_IF_ERROR(RecoveryCheckpoint());
     }
     // After durability, so the durable-epoch listener can attach.
@@ -37,6 +60,12 @@ Status Database::Open(const ReactorDatabaseDef* def,
   // after Start because its durability fence needs the writer threads.
   if (!options.data_dir.empty()) {
     REACTDB_RETURN_IF_ERROR(OpenDurable(options));
+    if (options.audit) {
+      // Before StartWriters: the frame tee must not be installed
+      // concurrently with flushes.
+      REACTDB_RETURN_IF_ERROR(rt_->EnableAudit(
+          AuditOptionsFor(options, /*background_thread=*/true)));
+    }
   }
   if (options.trace.enabled) {
     REACTDB_RETURN_IF_ERROR(rt_->EnableTracing(options.trace));
@@ -88,6 +117,11 @@ Status Database::RecoveryCheckpoint() {
   return log::WriteCheckpoint(rt_.get(), rt_->durability(), nullptr);
 }
 
+audit::AuditorStatus Database::AuditStatus() const {
+  auto* a = rt_ == nullptr ? nullptr : rt_->auditor();
+  return a == nullptr ? audit::AuditorStatus{} : a->status();
+}
+
 uint64_t Database::WaitDurable(uint64_t epoch) {
   if (rt_ == nullptr || rt_->durability() == nullptr) return 0;
   if (epoch == 0) epoch = rt_->durability()->max_appended_epoch();
@@ -125,6 +159,11 @@ void Database::Shutdown() {
     if (!s.ok()) {
       REACTDB_LOG(kError) << "final log flush failed: " << s;
     }
+  }
+  if (rt_->auditor() != nullptr) {
+    // After the final flush: the tail frames and the last durable advance
+    // were teed, so Stop's final drain audits the complete history.
+    rt_->auditor()->Stop();
   }
   // The runtime object intentionally survives until ~Database: sessions
   // created from it may still be drained and their retained results

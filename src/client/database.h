@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "src/audit/online_auditor.h"
 #include "src/client/session.h"
 #include "src/fault/fault.h"
 #include "src/log/checkpoint.h"
@@ -71,6 +72,19 @@ class Database {
     /// transactions are promoted into a retained ring dumpable as JSON via
     /// DumpTraces().
     obs::TraceOptions trace;
+    /// Isolation-audit mode (src/audit/; requires data_dir). Every logged
+    /// transaction appends a checksummed read-set digest (kTxnAudit) next
+    /// to its redo records, and a trailing online auditor rebuilds the
+    /// direct serialization graph epoch by epoch as the durable horizon
+    /// advances, latching any serializability violation into
+    /// AuditStatus()/Stats() (reactdb_audit_* metrics). The same log is
+    /// independently checkable offline with the reactdb_audit tool. Digest
+    /// capture stays on the transaction arena — the warmed logged hot path
+    /// remains allocation-free (see bench_audit_overhead).
+    bool audit = false;
+    /// Version-history window (epochs) retained by the online auditor;
+    /// 0 = unbounded (memory grows with history — test use only).
+    uint64_t audit_window_epochs = 8;
     /// Seeded deterministic fault injection (src/fault/): link-level
     /// perturbation (drop-as-retransmit, delay, duplicate, reorder),
     /// file-op faults in the log writer and checkpointing (failed fsync,
@@ -138,6 +152,18 @@ class Database {
   void CrashForTest();
   log::DurabilityManager* durability() const {
     return rt_ == nullptr ? nullptr : rt_->durability();
+  }
+
+  // --- Isolation auditing (only with Options::audit) ------------------------
+
+  /// Point-in-time status of the trailing online auditor: records and
+  /// frames consumed, audited vs durable epoch (lag), and the latched
+  /// violation flag with the first violation formatted. Default-constructed
+  /// zeros when audit mode is off.
+  audit::AuditorStatus AuditStatus() const;
+  /// Null unless Options::audit was set.
+  audit::OnlineAuditor* auditor() const {
+    return rt_ == nullptr ? nullptr : rt_->auditor();
   }
 
   /// Opens a pipelined client session. The session must not outlive the

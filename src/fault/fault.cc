@@ -114,6 +114,7 @@ void ArmFromOptions(FaultInjector* injector, const FaultOptions& options) {
   arm("log.write", options.file_write);
   arm("log.fsync", options.file_fsync);
   arm("admission.reject", options.admission_reject);
+  arm("cc.skip_validation", options.cc_skip_validation);
 }
 
 log::FileFaultHook MakeFileFaultHook(FaultInjector* injector,

@@ -21,6 +21,9 @@
 //   log.fsync       durability: fsync fails; the manager latches kIOError
 //   admission.reject RuntimeBase::Submit sheds the submission with
 //                   kOverloaded (a mailbox-level rejection burst)
+//   cc.skip_validation FinalizeRoot: the targeted commit skips Silo
+//                   read-set validation — the isolation-audit mutation
+//                   (the audit checker must catch the resulting anomaly)
 //
 // Every site's RNG is seeded from mix(plan seed, FNV(site name)), so the
 // draw sequence of a site depends only on the plan seed and that site's
@@ -140,6 +143,13 @@ struct FaultOptions {
 
   // --- Admission faults -----------------------------------------------------
   SiteSpec admission_reject;
+
+  // --- Concurrency-control faults -------------------------------------------
+  /// Makes the targeted commit skip Silo read-set validation ("fail the
+  /// Nth commit" = {probability = 1, after_n = N - 1, max_fires = 1}).
+  /// The transaction commits on stale reads — a real serializability
+  /// violation the audit subsystem must detect and pinpoint.
+  SiteSpec cc_skip_validation;
 
   bool any_link_fault() const {
     return link_drop.enabled() || link_delay.enabled() ||

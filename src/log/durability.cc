@@ -453,6 +453,15 @@ Status DurabilityManager::FlushContainer(int c, uint64_t seal, uint64_t* bytes,
   *fsyncs += 1;
   cl->written_seal = std::max(cl->written_seal, seal_m1);
   cl->active_max_epoch = std::max(cl->active_max_epoch, frame_max);
+  // Frame tee (trailing online auditor) before the synced release-store:
+  // once ComputeDurable observes this container at seal_m1 — and a durable
+  // listener consequently fires for some epoch <= seal_m1 — every teed
+  // frame sealing up to it has been delivered. Teeing from memory rather
+  // than tailing segment files keeps the auditor immune to checkpoint
+  // truncation deleting segments underneath it.
+  if (frame_tee_ != nullptr && !cl->payload.empty()) {
+    frame_tee_(static_cast<uint32_t>(c), seal_m1, frame_max, cl->payload);
+  }
   cl->synced.store(std::max(cl->synced.load(std::memory_order_relaxed),
                             seal_m1),
                    std::memory_order_release);

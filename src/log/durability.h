@@ -190,6 +190,18 @@ class DurabilityManager {
     notify_progress_ = std::move(fn);
   }
 
+  /// In-memory frame tee (the trailing online auditor). Invoked on the
+  /// flushing context for every frame that reached disk, under the
+  /// container's log mutex, *before* the container's synced watermark
+  /// advances — so when a durable-epoch listener fires for epoch E, every
+  /// frame sealing <= E has already been teed. Must be set before
+  /// StartWriters / the first flush, and must not call back into the
+  /// manager. The payload view is only valid for the duration of the call.
+  using FrameTee = std::function<void(uint32_t container, uint64_t seal_epoch,
+                                      uint64_t max_epoch,
+                                      std::string_view payload)>;
+  void set_frame_tee(FrameTee tee) { frame_tee_ = std::move(tee); }
+
   // --- Flush drivers ---------------------------------------------------------
 
   /// Starts one writer thread per container (ThreadRuntime).
@@ -298,6 +310,7 @@ class DurabilityManager {
   std::vector<std::pair<size_t, Listener>> listeners_;
   size_t next_listener_id_ = 1;
   std::function<void()> notify_progress_;
+  FrameTee frame_tee_;
 
   // OpenStorage facts.
   bool found_state_ = false;

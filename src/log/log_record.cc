@@ -1,6 +1,7 @@
 #include "src/log/log_record.h"
 
 #include <array>
+#include <cstring>
 
 #include "src/storage/tid.h"
 
@@ -34,6 +35,8 @@ uint32_t Crc32(std::string_view data) {
 
 uint64_t RedoRecord::epoch() const { return TidWord::Epoch(tid); }
 
+uint64_t AuditRecord::epoch() const { return TidWord::Epoch(tid); }
+
 void AppendPut(std::string* buf, uint32_t reactor, uint32_t slot,
                std::string_view key, uint64_t tid, const Value* cells,
                uint32_t num_cells) {
@@ -57,12 +60,80 @@ void AppendDelete(std::string* buf, uint32_t reactor, uint32_t slot,
   w.PutU64(tid);
 }
 
+void AppendTxnAudit(std::string* buf, uint64_t tid,
+                    const AuditReadView* reads, uint32_t read_count,
+                    const AuditWriteView* writes, uint32_t write_count) {
+  size_t need = 1 + 8 + 4 + 4;
+  for (uint32_t i = 0; i < read_count; ++i) {
+    need += AuditReadEntrySize(reads[i].key_size);
+  }
+  for (uint32_t i = 0; i < write_count; ++i) {
+    need += AuditWriteEntrySize(writes[i].key_size);
+  }
+  size_t base = buf->size();
+  buf->resize(base + need);
+  char* p = buf->data() + base;
+  *p++ = static_cast<char>(RecordKind::kTxnAudit);
+  p = StoreLe64(p, tid);
+  p = StoreLe32(p, read_count);
+  for (uint32_t i = 0; i < read_count; ++i) {
+    const AuditReadView& rd = reads[i];
+    p = EncodeAuditReadEntry(p, rd.reactor, rd.slot,
+                             std::string_view(rd.key, rd.key_size),
+                             rd.observed);
+  }
+  p = StoreLe32(p, write_count);
+  for (uint32_t i = 0; i < write_count; ++i) {
+    const AuditWriteView& wr = writes[i];
+    p = EncodeAuditWriteEntry(p, wr.reactor, wr.slot,
+                              std::string_view(wr.key, wr.key_size));
+  }
+}
+
+namespace {
+
+Status DecodeAuditRecord(wire::Reader* r,
+                         const std::function<Status(AuditRecord&&)>& audit_cb) {
+  AuditRecord rec;
+  REACTDB_ASSIGN_OR_RETURN(rec.tid, r->ReadU64());
+  REACTDB_ASSIGN_OR_RETURN(uint32_t read_count, r->ReadU32());
+  if (audit_cb != nullptr) rec.reads.reserve(read_count);
+  for (uint32_t i = 0; i < read_count; ++i) {
+    AuditRecord::Read rd;
+    REACTDB_ASSIGN_OR_RETURN(rd.reactor, r->ReadU32());
+    REACTDB_ASSIGN_OR_RETURN(rd.slot, r->ReadU32());
+    REACTDB_ASSIGN_OR_RETURN(rd.key, r->ReadBytes());
+    REACTDB_ASSIGN_OR_RETURN(rd.observed, r->ReadU64());
+    if (audit_cb != nullptr) rec.reads.push_back(std::move(rd));
+  }
+  REACTDB_ASSIGN_OR_RETURN(uint32_t write_count, r->ReadU32());
+  if (audit_cb != nullptr) rec.writes.reserve(write_count);
+  for (uint32_t i = 0; i < write_count; ++i) {
+    AuditRecord::Write wr;
+    REACTDB_ASSIGN_OR_RETURN(wr.reactor, r->ReadU32());
+    REACTDB_ASSIGN_OR_RETURN(wr.slot, r->ReadU32());
+    REACTDB_ASSIGN_OR_RETURN(wr.key, r->ReadBytes());
+    if (audit_cb != nullptr) rec.writes.push_back(std::move(wr));
+  }
+  if (audit_cb != nullptr) {
+    REACTDB_RETURN_IF_ERROR(audit_cb(std::move(rec)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status DecodeRecords(std::string_view payload,
-                     const std::function<Status(RedoRecord&&)>& cb) {
+                     const std::function<Status(RedoRecord&&)>& cb,
+                     const std::function<Status(AuditRecord&&)>& audit_cb) {
   wire::Reader r(payload);
   while (!r.exhausted()) {
     RedoRecord rec;
     REACTDB_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+    if (kind == static_cast<uint8_t>(RecordKind::kTxnAudit)) {
+      REACTDB_RETURN_IF_ERROR(DecodeAuditRecord(&r, audit_cb));
+      continue;
+    }
     if (kind != static_cast<uint8_t>(RecordKind::kPut) &&
         kind != static_cast<uint8_t>(RecordKind::kDelete)) {
       return Status::IOError("log record with unknown kind " +

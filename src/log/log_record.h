@@ -27,6 +27,32 @@
 // Secondary-index entries are not logged: recovery rebuilds every
 // secondary index from the recovered primary rows.
 //
+// When the database runs in audit mode (Database::Options::audit) each
+// committed transaction additionally appends one *audit record* capturing
+// its read-set digest — the input the isolation checker (src/audit/)
+// consumes to rebuild the direct serialization graph:
+//
+//   u8  kind          kTxnAudit
+//   u64 tid           commit TID of the auditing transaction
+//   u32 read_count
+//   per read:
+//     u32 reactor     durable handle of the table read
+//     u32 slot
+//     bytes key       encoded primary key (secondary reads digest via
+//                     their primary row)
+//     u64 observed    the TID *word* observed at read time — the absent
+//                     bit is preserved so "read an existing tombstone"
+//                     is distinguishable from "read version X"
+//   u32 write_count
+//   per write:
+//     u32 reactor
+//     u32 slot
+//     bytes key
+//
+// Audit records travel in the same checksummed frames as redo records.
+// Recovery ignores them (the defaulted DecodeRecords callback), so
+// segments with and without audit records replay identically.
+//
 // Torn-tail vs corruption policy (recovery): appends are sequential, so a
 // crash can only leave an *incomplete* final frame — a short header or a
 // payload shorter than the header promises is silently truncated. A frame
@@ -40,9 +66,11 @@
 #define REACTDB_LOG_LOG_RECORD_H_
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/util/statusor.h"
 #include "src/util/value.h"
@@ -57,6 +85,7 @@ uint32_t Crc32(std::string_view data);
 enum class RecordKind : uint8_t {
   kPut = 1,
   kDelete = 2,
+  kTxnAudit = 3,
 };
 
 /// Decoded form of one redo record (owning; the append side encodes
@@ -82,11 +111,118 @@ void AppendPut(std::string* buf, uint32_t reactor, uint32_t slot,
 void AppendDelete(std::string* buf, uint32_t reactor, uint32_t slot,
                   std::string_view key, uint64_t tid);
 
-/// Decodes every record of a frame payload, invoking `cb` per record.
-/// Payload bytes are trusted past the frame CRC, so any decode failure here
-/// is an IOError (corrupt segment), not a torn tail.
-Status DecodeRecords(std::string_view payload,
-                     const std::function<Status(RedoRecord&&)>& cb);
+// --- Audit records -----------------------------------------------------------
+
+/// Non-owning view of one read observation, encoded straight from the
+/// transaction arena on the commit path (no allocation).
+struct AuditReadView {
+  uint32_t reactor = 0;
+  uint32_t slot = 0;
+  const char* key = nullptr;
+  uint32_t key_size = 0;
+  /// TID *word* observed (absent bit preserved, lock bit never set here).
+  uint64_t observed = 0;
+};
+
+/// Non-owning view of one written key (the checker pairs these with the
+/// redo records carrying the same commit TID).
+struct AuditWriteView {
+  uint32_t reactor = 0;
+  uint32_t slot = 0;
+  const char* key = nullptr;
+  uint32_t key_size = 0;
+};
+
+/// Decoded form of one audit record (owning; decode side only).
+struct AuditRecord {
+  uint64_t tid = 0;
+  struct Read {
+    uint32_t reactor = 0;
+    uint32_t slot = 0;
+    std::string key;
+    uint64_t observed = 0;
+  };
+  struct Write {
+    uint32_t reactor = 0;
+    uint32_t slot = 0;
+    std::string key;
+  };
+  std::vector<Read> reads;
+  std::vector<Write> writes;
+
+  uint64_t epoch() const;
+};
+
+/// Appends one transaction-audit record to `buf`.
+void AppendTxnAudit(std::string* buf, uint64_t tid,
+                    const AuditReadView* reads, uint32_t read_count,
+                    const AuditWriteView* writes, uint32_t write_count);
+
+// Pre-encoded audit entry staging (the transaction hot path): SiloTxn
+// encodes each digest entry into an arena blob as it happens, in exactly
+// the payload layout of the kTxnAudit record body, so commit-time emission
+// is a fixed header plus two memcpys. These helpers keep the entry layout
+// in one place; AppendTxnAudit above produces byte-identical records.
+
+inline char* StoreLe32(char* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) *p++ = static_cast<char>((v >> (8 * i)) & 0xFF);
+  return p;
+}
+
+inline char* StoreLe64(char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) *p++ = static_cast<char>((v >> (8 * i)) & 0xFF);
+  return p;
+}
+
+inline size_t AuditReadEntrySize(size_t key_size) { return 20 + key_size; }
+inline size_t AuditWriteEntrySize(size_t key_size) { return 12 + key_size; }
+
+/// Encodes one read entry at `p` (caller reserved AuditReadEntrySize).
+inline char* EncodeAuditReadEntry(char* p, uint32_t reactor, uint32_t slot,
+                                  std::string_view key, uint64_t observed) {
+  p = StoreLe32(p, reactor);
+  p = StoreLe32(p, slot);
+  p = StoreLe32(p, static_cast<uint32_t>(key.size()));
+  std::memcpy(p, key.data(), key.size());
+  return StoreLe64(p + key.size(), observed);
+}
+
+/// Encodes one write entry at `p` (caller reserved AuditWriteEntrySize).
+inline char* EncodeAuditWriteEntry(char* p, uint32_t reactor, uint32_t slot,
+                                   std::string_view key) {
+  p = StoreLe32(p, reactor);
+  p = StoreLe32(p, slot);
+  p = StoreLe32(p, static_cast<uint32_t>(key.size()));
+  std::memcpy(p, key.data(), key.size());
+  return p + key.size();
+}
+
+/// Byte count of the fixed kTxnAudit record header (kind + tid + read
+/// count) and of the zero write-count trailer that closes a record whose
+/// write section is empty.
+inline constexpr size_t kTxnAuditHeaderBytes = 1 + 8 + 4;
+inline constexpr size_t kTxnAuditTrailerBytes = 4;
+
+/// Fills the fixed header of a pre-staged kTxnAudit record at `p`. Live
+/// capture reserves kTxnAuditHeaderBytes ahead of the entries it encodes
+/// with EncodeAuditReadEntry, patches the header here at commit, closes
+/// the record with a zeroed trailer (empty write section: the checker
+/// pairs written keys from the adjacent same-TID redo records), and
+/// appends the finished record to the shard in one piece.
+inline void EncodeTxnAuditHeader(char* p, uint64_t tid, uint32_t read_count) {
+  *p++ = static_cast<char>(RecordKind::kTxnAudit);
+  p = StoreLe64(p, tid);
+  StoreLe32(p, read_count);
+}
+
+/// Decodes every record of a frame payload, invoking `cb` per redo record
+/// and `audit_cb` per audit record. A null `audit_cb` skips audit records
+/// (recovery does this — redo replay is audit-agnostic). Payload bytes are
+/// trusted past the frame CRC, so any decode failure here is an IOError
+/// (corrupt segment), not a torn tail.
+Status DecodeRecords(
+    std::string_view payload, const std::function<Status(RedoRecord&&)>& cb,
+    const std::function<Status(AuditRecord&&)>& audit_cb = nullptr);
 
 // --- Frames ------------------------------------------------------------------
 

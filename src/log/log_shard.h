@@ -58,6 +58,61 @@ class LogShard {
     Account(tid);
   }
 
+  /// Appends one transaction-audit record (audit mode only). The views
+  /// point into the committing transaction's arena and are consumed before
+  /// this returns.
+  void AppendTxnAudit(uint64_t tid, const logrec::AuditReadView* reads,
+                      uint32_t read_count, const logrec::AuditWriteView* writes,
+                      uint32_t write_count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    logrec::AppendTxnAudit(&buf_, tid, reads, read_count, writes, write_count);
+    Account(tid);
+  }
+
+  /// Single-acquisition batch append: all of one commit's records (redo
+  /// plus the optional trailing audit record) land under one lock instead
+  /// of one acquisition per record. Scoped to the commit's logging pass;
+  /// the shard is inaccessible to Collect while an Appender is live.
+  class Appender {
+   public:
+    explicit Appender(LogShard* shard) : shard_(shard), lock_(shard->mu_) {}
+
+    void Put(uint32_t reactor, uint32_t slot, std::string_view key,
+             uint64_t tid, const Value* cells, uint32_t num_cells) {
+      logrec::AppendPut(&shard_->buf_, reactor, slot, key, tid, cells,
+                        num_cells);
+      shard_->Account(tid);
+    }
+
+    void Delete(uint32_t reactor, uint32_t slot, std::string_view key,
+                uint64_t tid) {
+      logrec::AppendDelete(&shard_->buf_, reactor, slot, key, tid);
+      shard_->Account(tid);
+    }
+
+    void TxnAudit(uint64_t tid, const logrec::AuditReadView* reads,
+                  uint32_t read_count, const logrec::AuditWriteView* writes,
+                  uint32_t write_count) {
+      logrec::AppendTxnAudit(&shard_->buf_, tid, reads, read_count, writes,
+                             write_count);
+      shard_->Account(tid);
+    }
+
+    /// One fully pre-encoded kTxnAudit record (header, read entries, zero
+    /// write-count trailer — see logrec::EncodeTxnAuditHeader): a single
+    /// buffer append. The write section is empty by construction — the
+    /// checker recovers written keys from the same-TID redo records
+    /// appended under this same lock hold.
+    void TxnAuditRecord(uint64_t tid, const char* rec, size_t size) {
+      shard_->buf_.append(rec, size);
+      shard_->Account(tid);
+    }
+
+   private:
+    LogShard* shard_;
+    std::lock_guard<std::mutex> lock_;
+  };
+
   /// Collection state of one swap.
   struct Collected {
     uint32_t records = 0;

@@ -96,6 +96,19 @@
 //   fopts.fault.seed = 42;
 //   fopts.fault.link_drop = {.probability = 0.01};
 //
+//   // Isolation auditing (src/audit/, requires data_dir): committed
+//   // transactions also log their read-set digests, a trailing online
+//   // auditor re-verifies serializability from the log as epochs become
+//   // durable, and the reactdb_audit tool re-checks the same evidence
+//   // offline. The CC code never grades its own homework.
+//   client::Database::Options aopts;
+//   aopts.data_dir = "/var/lib/myapp";
+//   aopts.audit = true;
+//   db.Open(&def, dc, aopts);
+//   ...
+//   db.AuditStatus().violation;            // latched online verdict
+//   // offline: `reactdb_audit /var/lib/myapp` (exit 0 clean, 1 violation)
+//
 // Changing the database architecture (shared-nothing vs shared-everything,
 // affinity, MPL) only changes the DeploymentConfig — never application
 // code. Changing between real threads and the calibrated discrete-event

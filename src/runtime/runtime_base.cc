@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/audit/online_auditor.h"
 #include "src/client/session.h"
 #include "src/fault/faulty_link.h"
 #include "src/log/durability.h"
@@ -302,6 +303,25 @@ void RuntimeBase::CollectRuntimeSamples(
             static_cast<double>(d.records_logged.load()));
   }
 
+  if (auditor_ != nullptr) {
+    audit::AuditorStatus a = auditor_->status();
+    counter("reactdb_audit_records_total",
+            "Audit records consumed by the online auditor",
+            static_cast<double>(a.records));
+    counter("reactdb_audit_frames_total",
+            "Log frames teed to the online auditor",
+            static_cast<double>(a.frames));
+    gauge("reactdb_audit_lag_epochs",
+          "Durable epoch minus the audited epoch",
+          static_cast<double>(a.lag_epochs));
+    counter("reactdb_audit_violations_total",
+            "Serializability violations detected by the online auditor",
+            static_cast<double>(a.violations));
+    gauge("reactdb_audit_violation",
+          "1 once any serializability violation was detected (latched)",
+          a.violation ? 1.0 : 0.0);
+  }
+
   if (transport_ != nullptr) {
     const transport::TransportStats& t = transport_->stats();
     for (transport::MessageKind kind :
@@ -386,6 +406,8 @@ void RuntimeBase::CollectRuntimeSamples(
   }
 }
 
+RuntimeBase::RuntimeBase() = default;
+
 RuntimeBase::~RuntimeBase() { DiscardInflightTransport(); }
 
 Status RuntimeBase::EnableDurability(const log::DurabilityOptions& options) {
@@ -402,6 +424,19 @@ Status RuntimeBase::EnableDurability(const log::DurabilityOptions& options) {
 
 void RuntimeBase::KickDurability(bool force) {
   if (durability_ != nullptr) durability_->Kick(force);
+}
+
+Status RuntimeBase::EnableAudit(const audit::OnlineAuditorOptions& options) {
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "audit mode requires durability (set data_dir)");
+  }
+  if (auditor_ != nullptr) return Status::Internal("audit already enabled");
+  audit_capture_ = true;
+  auditor_ =
+      std::make_unique<audit::OnlineAuditor>(durability_.get(), options);
+  auditor_->Start();
+  return Status::OK();
 }
 
 uint64_t RuntimeBase::WaitDurable(uint64_t epoch) {
@@ -774,6 +809,7 @@ void RuntimeBase::StartRoot(RootTxn* root, Reactor* reactor, const ProcFn* fn,
     // Commit (and with it the redo append) runs on this executor via
     // FinalizeRoot, so the root logs into this executor's shard.
     root->txn.BindLog(durability_->shard(executor));
+    if (audit_capture_) root->txn.EnableAuditCapture();
   }
   auto* frame = new TxnFrame();
   frame->root = root;
@@ -1073,6 +1109,13 @@ void RuntimeBase::FinalizeRoot(TxnFrame* root_frame) {
     if (root->trace != nullptr) {
       root->trace->Record(obs::SpanKind::kValidate, SessionNowUs());
     }
+    if (fault_injector_ != nullptr &&
+        fault_injector_->ShouldFire("cc.skip_validation")) {
+      // The isolation-audit mutation: this one commit skips Silo read-set
+      // validation, so a concurrent overwrite it should abort on slips
+      // through — the audit checker must catch and pinpoint it.
+      root->txn.set_skip_validation(true);
+    }
     StatusOr<uint64_t> tid =
         root->txn.Commit(&executors_[executor]->tids);
     if (tid.ok()) {
@@ -1181,7 +1224,10 @@ Status RuntimeBase::RunDirect(const std::function<Status(SiloTxn&)>& fn) {
   Status result;
   {
     SiloTxn txn(&epochs_);
-    if (durability_ != nullptr) txn.BindLog(durability_->direct_shard());
+    if (durability_ != nullptr) {
+      txn.BindLog(durability_->direct_shard());
+      if (audit_capture_) txn.EnableAuditCapture();
+    }
     Status s = fn(txn);
     if (!s.ok()) {
       txn.Abort();

@@ -47,6 +47,12 @@ namespace fault {
 class FaultInjector;
 }  // namespace fault
 
+namespace audit {
+class OnlineAuditor;
+struct OnlineAuditorOptions;
+struct AuditorStatus;
+}  // namespace audit
+
 /// Cost categories for simulated-time charging and Fig. 6 style profiling.
 enum class ChargeKind : uint8_t { kProc, kCs, kCr, kCommit, kInputGen };
 
@@ -103,7 +109,9 @@ struct RuntimeMetricIds {
 
 class RuntimeBase : public CallBridge {
  public:
-  RuntimeBase() = default;
+  // Out of line: inline special members would instantiate the destructor
+  // of the forward-declared audit::OnlineAuditor member.
+  RuntimeBase();
   ~RuntimeBase() override;
 
   RuntimeBase(const RuntimeBase&) = delete;
@@ -227,6 +235,17 @@ class RuntimeBase : public CallBridge {
   /// the durability subsystem halted; returns the final durable epoch.
   /// 0 and a no-op when durability is off.
   uint64_t WaitDurable(uint64_t epoch);
+
+  // --- Isolation auditing (src/audit/) --------------------------------------
+
+  /// Turns on isolation-audit mode: every logged transaction appends a
+  /// kTxnAudit read-set digest next to its redo records, and a trailing
+  /// online auditor re-checks serializability as the durable epoch
+  /// advances (see ROADMAP "Isolation auditing"). Requires durability;
+  /// call after EnableDurability and before the writers start.
+  Status EnableAudit(const audit::OnlineAuditorOptions& options);
+  /// Null unless EnableAudit ran.
+  audit::OnlineAuditor* auditor() const { return auditor_.get(); }
 
   // --- Fault injection (src/fault/) -----------------------------------------
 
@@ -419,6 +438,13 @@ class RuntimeBase : public CallBridge {
   TidSource direct_tids_;  // for RunDirect (bootstrap loading)
   /// Epoch group-commit logging; null when durability is off.
   std::unique_ptr<log::DurabilityManager> durability_;
+  /// Trailing serializability auditor; null unless EnableAudit ran.
+  /// Declared after durability_ so it is destroyed first (it unhooks its
+  /// frame tee and durable listener from the manager).
+  std::unique_ptr<audit::OnlineAuditor> auditor_;
+  /// When set, StartRoot/RunDirect switch every logged transaction into
+  /// audit-capture mode (read-set digests appended at commit).
+  bool audit_capture_ = false;
   /// RunDirect transactions log through the manager's direct shard while
   /// holding this mutex and pinning this epoch slot (so the group-commit
   /// seal covers them like executor commits).

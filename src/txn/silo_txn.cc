@@ -43,11 +43,41 @@ void SiloTxn::BindLog(log::LogShard* shard) {
   log_ = shard;
 }
 
-void SiloTxn::TrackRead(Record* rec, uint64_t tid, uint32_t container) {
+void SiloTxn::EnableAuditCapture() {
+  REACTDB_CHECK(read_set_.empty() && write_set_.empty());
+  audit_ = true;
+  // Reserve the record header up front: the blob becomes the complete
+  // kTxnAudit record at commit (header patched in place, zero write-count
+  // trailer), emitted to the shard as a single buffer append. The initial
+  // capacity covers the header plus a few point-read digests so a typical
+  // transaction grows the blob at most once.
+  audit_read_blob_.Reserve(arena(), 96);
+  audit_read_blob_.ResizeUninitialized(arena(), logrec::kTxnAuditHeaderBytes);
+}
+
+void SiloTxn::DigestRead(const Table* table, std::string_view key, Record* rec,
+                         uint64_t observed) {
+  if (!audit_ || log_ == nullptr || table == nullptr ||
+      !table->HasDurableId()) {
+    return;
+  }
+  size_t old = audit_read_blob_.size();
+  audit_read_blob_.ResizeUninitialized(arena(),
+                                       old + logrec::AuditReadEntrySize(
+                                                 key.size()));
+  logrec::EncodeAuditReadEntry(audit_read_blob_.begin() + old,
+                               table->durable_reactor().value,
+                               table->durable_slot().value, key,
+                               TidWord::WithoutLock(observed));
+  ++audit_read_count_;
+}
+
+bool SiloTxn::TrackRead(Record* rec, uint64_t tid, uint32_t container) {
   auto [idx, inserted] = read_index_.Emplace(
       arena(), rec, static_cast<uint32_t>(read_set_.size()));
-  if (!inserted) return;  // keep first observation
+  if (!inserted) return false;  // keep first observation
   read_set_.push_back(arena_, {rec, tid, container});
+  return true;
 }
 
 void SiloTxn::TrackNode(BTree::LeafNode* leaf, uint64_t version,
@@ -154,7 +184,11 @@ Status SiloTxn::LocateVisible(Table* table, const Row& key,
     return Status::OK();
   }
   RecordSnapshot snap = ReadRecord(*lookup.record);
-  TrackRead(lookup.record, snap.tid, container);
+  // Digested before the tombstone check: observing an absent version (the
+  // word keeps the absent bit) is a read the checker must order too.
+  if (TrackRead(lookup.record, snap.tid, container)) {
+    DigestRead(table, keybuf->view(), lookup.record, snap.tid);
+  }
   if (snap.row == nullptr) {
     return Status::NotFound("no row " + RowToString(key) + " in " +
                             table->name());
@@ -190,8 +224,10 @@ Status SiloTxn::InsertEntry(BTree* tree, std::string_view key, const Row& src,
                             const KeyBuf* log_key) {
   BTree::InsertResult result = tree->GetOrInsert(key);
   if (result.created) {
-    TrackRead(result.record,
-              result.record->tid.load(std::memory_order_acquire), container);
+    uint64_t word = result.record->tid.load(std::memory_order_acquire);
+    if (TrackRead(result.record, word, container) && log_key != nullptr) {
+      DigestRead(log_table, log_key->view(), result.record, word);
+    }
     FixupNodeAfterOwnInsert(result.leaf, result.version_before,
                             result.version_after);
   } else {
@@ -201,7 +237,10 @@ Status SiloTxn::InsertEntry(BTree* tree, std::string_view key, const Row& src,
       }
     } else {
       RecordSnapshot snap = ReadRecord(*result.record);
-      TrackRead(result.record, snap.tid, container);
+      if (TrackRead(result.record, snap.tid, container) &&
+          log_key != nullptr) {
+        DigestRead(log_table, log_key->view(), result.record, snap.tid);
+      }
       if (snap.row != nullptr) {
         return Status::AlreadyExists("duplicate key");
       }
@@ -319,6 +358,9 @@ Status SiloTxn::ScanInternal(Table* table, std::string_view lo,
   int64_t delivered = 0;
   bool stopped = false;
   Row pending_scratch;  // materialized view of own buffered rows
+  KeyBuf audit_kb(arena_);  // scratch for audit row-key recovery
+  const bool digest_scan =
+      audit_ && log_ != nullptr && table->HasDurableId();
   while (!stopped) {
     std::vector<Record*> candidates;
     candidates.reserve(kChunk);
@@ -355,8 +397,16 @@ Status SiloTxn::ScanInternal(Table* table, std::string_view lo,
         row = &pending_scratch;
       } else {
         RecordSnapshot snap = ReadRecord(*rec);
-        TrackRead(rec, snap.tid, container);
+        bool first_read = TrackRead(rec, snap.tid, container);
         if (snap.row == nullptr) continue;  // tombstone (tracked above)
+        if (digest_scan && first_read) {
+          // Scans locate records by tree position; recover the primary key
+          // from the row image for the digest (tombstones carry no row, so
+          // scan-visited tombstones stay node-set-only — documented
+          // phantom-coverage limitation of the audit digest).
+          table->EncodeRowKeyTo(*snap.row, &audit_kb);
+          DigestRead(table, audit_kb.view(), rec, snap.tid);
+        }
         row = snap.row;
       }
       stats_.scanned_rows++;
@@ -538,15 +588,21 @@ StatusOr<uint64_t> SiloTxn::Commit(TidSource* tids) {
   for (const ReadEntry& entry : read_set_) {
     uint64_t cur = entry.rec->tid.load(std::memory_order_acquire);
     bool own_lock = write_index_.Find(entry.rec) != PtrIndex::kNpos;
-    if (TidWord::IsLocked(cur) && !own_lock) {
-      ReleaseLocks(sorted_writes_.size());
-      Abort();
-      return Status::Aborted("read-set record locked by another transaction");
-    }
-    if (TidWord::Tid(cur) != TidWord::Tid(entry.tid)) {
-      ReleaseLocks(sorted_writes_.size());
-      Abort();
-      return Status::Aborted("read-set validation failed");
+    // skip_validation_ is the cc.skip_validation fault: suppress only the
+    // two read-set abort checks (the injected anomaly the isolation audit
+    // must catch); TID accounting below still runs so the commit TID stays
+    // greater than every observed version.
+    if (!skip_validation_) {
+      if (TidWord::IsLocked(cur) && !own_lock) {
+        ReleaseLocks(sorted_writes_.size());
+        Abort();
+        return Status::Aborted("read-set record locked by another transaction");
+      }
+      if (TidWord::Tid(cur) != TidWord::Tid(entry.tid)) {
+        ReleaseLocks(sorted_writes_.size());
+        Abort();
+        return Status::Aborted("read-set validation failed");
+      }
     }
     observed_max = std::max(observed_max, TidWord::Tid(cur));
   }
@@ -592,15 +648,38 @@ StatusOr<uint64_t> SiloTxn::Commit(TidSource* tids) {
   // alive here (DestroyWriteCells runs below); the buffered shard bytes
   // reach disk at the next group-commit flush.
   if (log_ != nullptr) {
+    log::LogShard::Appender appender(log_);
+    bool logged_write = false;
     for (const WriteEntry& entry : write_set_) {
       if (entry.log_key == nullptr) continue;
+      logged_write = true;
       std::string_view key(entry.log_key, entry.log_key_size);
       if (entry.kind == WriteKind::kDelete) {
-        log_->AppendDelete(entry.log_reactor, entry.log_slot, key, commit_tid);
+        appender.Delete(entry.log_reactor, entry.log_slot, key, commit_tid);
       } else {
-        log_->AppendPut(entry.log_reactor, entry.log_slot, key, commit_tid,
-                        entry.cells, entry.num_cells);
+        appender.Put(entry.log_reactor, entry.log_slot, key, commit_tid,
+                     entry.cells, entry.num_cells);
       }
+    }
+    // Audit capture: one kTxnAudit record per committed transaction that
+    // touched a durable table, carrying the read observations gathered
+    // during execution. The record was wire-encoded into the arena as the
+    // reads happened; patching the header and closing the empty write
+    // section makes emission a single buffer append, zero heap
+    // allocations. Written keys ride the redo records just appended: the
+    // single lock acquisition keeps them adjacent to this record in the
+    // stream, and the checker pairs them by commit TID (an empty audit
+    // record is still emitted for blind writers so they get a graph node).
+    if (audit_ && (audit_read_count_ != 0 || logged_write)) {
+      logrec::EncodeTxnAuditHeader(audit_read_blob_.begin(), commit_tid,
+                                   audit_read_count_);
+      const size_t sz = audit_read_blob_.size();
+      audit_read_blob_.ResizeUninitialized(
+          arena(), sz + logrec::kTxnAuditTrailerBytes);
+      std::memset(audit_read_blob_.begin() + sz, 0,
+                  logrec::kTxnAuditTrailerBytes);
+      appender.TxnAuditRecord(commit_tid, audit_read_blob_.begin(),
+                              audit_read_blob_.size());
     }
   }
   DestroyWriteCells();
@@ -618,6 +697,8 @@ void SiloTxn::Abort() {
   read_index_.clear();
   write_index_.clear();
   node_index_.clear();
+  audit_read_blob_.clear();
+  audit_read_count_ = 0;
   finished_ = true;
 }
 

@@ -87,6 +87,21 @@ class SiloTxn {
   /// never logged (recovery rebuilds the indexes).
   void BindLog(log::LogShard* shard);
 
+  /// Enables audit capture (Database::Options::audit): Commit additionally
+  /// appends one kTxnAudit record digesting the read set — (reactor, slot,
+  /// key, observed TID word) per first read of each durable-table record —
+  /// plus the written keys. Requires a bound log; must happen before the
+  /// first data operation. Secondary-index entry reads are not digested
+  /// (the primary-row read they resolve to is); recordless misses are
+  /// covered by node-set validation only, not by the audit digest.
+  void EnableAuditCapture();
+
+  /// Fault-injection hook (`cc.skip_validation`): when set, Commit skips
+  /// the Silo read-set validation checks (locked-by-other and TID-changed
+  /// aborts), deliberately allowing a non-serializable commit that the
+  /// isolation checker must catch. Never set outside tests/chaos runs.
+  void set_skip_validation(bool skip) { skip_validation_ = skip; }
+
   // --- Data operations -----------------------------------------------------
 
   /// Point read by primary key. NotFound if absent (the miss is tracked for
@@ -160,6 +175,7 @@ class SiloTxn {
   size_t read_set_size() const { return read_set_.size(); }
   size_t write_set_size() const { return write_set_.size(); }
   size_t node_set_size() const { return node_set_.size(); }
+  size_t audit_read_count() const { return audit_read_count_; }
 
  private:
   enum class WriteKind : uint8_t { kUpdate, kInsert, kDelete };
@@ -200,8 +216,17 @@ class SiloTxn {
     return arena_;
   }
 
-  /// Tracks a read; dedupes by record.
-  void TrackRead(Record* rec, uint64_t tid, uint32_t container);
+  /// Tracks a read; dedupes by record. Returns true on the first
+  /// observation of `rec` (callers gate DigestRead on it, so audit capture
+  /// rides the read-set dedup instead of paying a second hash).
+  bool TrackRead(Record* rec, uint64_t tid, uint32_t container);
+  /// Audit capture of one read observation (no-op unless audit capture is
+  /// on, a log is bound, and `table` has a durable identity). Call only
+  /// when TrackRead returned true — dedup is the read set's. `key` is
+  /// arena-copied; `observed` is the stable TID word (absent bit
+  /// preserved).
+  void DigestRead(const Table* table, std::string_view key, Record* rec,
+                  uint64_t observed);
   /// Tracks a node-set entry; dedupes by leaf.
   void TrackNode(BTree::LeafNode* leaf, uint64_t version, uint32_t container);
   /// Adjusts the node set after an own insert bumped `leaf`.
@@ -267,7 +292,18 @@ class SiloTxn {
   PtrIndex node_index_;
   ContainerSet containers_;
   FlatVec<uint32_t> sorted_writes_;  // lock order over write_set_ indices
+  /// Audit capture staging: the kTxnAudit record assembled in the arena as
+  /// the transaction runs — header space reserved at capture enable, read
+  /// digest entries wire-encoded as the reads happen, header patched and
+  /// trailer closed at commit — so emission is a single buffer append.
+  /// Written keys are not captured separately: the checker recovers them
+  /// from the redo records carrying the same commit TID, which the
+  /// single-lock commit append keeps adjacent in the shard stream.
+  FlatVec<char> audit_read_blob_;
+  uint32_t audit_read_count_ = 0;
   TxnOpStats stats_;
+  bool audit_ = false;
+  bool skip_validation_ = false;
   bool finished_ = false;
 };
 

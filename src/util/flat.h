@@ -56,16 +56,25 @@ class FlatVec {
     cap_ = 0;
   }
 
-  /// Sets the size to exactly n, growing as needed (used for the commit-time
-  /// lock-order permutation). New elements are uninitialized.
+  /// Sets the size to exactly n, growing as needed in one allocation (used
+  /// for the commit-time lock-order permutation and the audit blob). New
+  /// elements are uninitialized.
   void ResizeUninitialized(Arena* arena, size_t n) {
-    while (cap_ < n) Grow(arena);
+    if (cap_ < n) GrowTo(arena, n);
     size_ = static_cast<uint32_t>(n);
   }
 
+  /// Ensures capacity for n elements without changing the size.
+  void Reserve(Arena* arena, size_t n) {
+    if (cap_ < n) GrowTo(arena, n);
+  }
+
  private:
-  void Grow(Arena* arena) {
+  void Grow(Arena* arena) { GrowTo(arena, cap_ + 1); }
+
+  void GrowTo(Arena* arena, size_t need) {
     uint32_t new_cap = cap_ == 0 ? 16 : cap_ * 2;
+    while (new_cap < need) new_cap *= 2;
     T* fresh = arena->AllocateArrayUninitialized<T>(new_cap);
     if (size_ != 0) std::memcpy(fresh, data_, size_ * sizeof(T));
     data_ = fresh;

@@ -36,14 +36,16 @@ class Writer {
 
   void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
   void PutU32(uint32_t v) {
-    for (int shift = 0; shift < 32; shift += 8) {
-      out_->push_back(static_cast<char>((v >> shift) & 0xFF));
-    }
+    // Little-endian bytes staged locally, landed with one append (one
+    // capacity check instead of four).
+    char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    out_->append(b, 4);
   }
   void PutU64(uint64_t v) {
-    for (int shift = 0; shift < 64; shift += 8) {
-      out_->push_back(static_cast<char>((v >> shift) & 0xFF));
-    }
+    char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    out_->append(b, 8);
   }
   void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
   void PutDouble(double d);

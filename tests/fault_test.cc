@@ -12,9 +12,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/audit/checker.h"
 #include "src/fault/fault.h"
 #include "src/runtime/reactdb.h"
 #include "src/storage/record.h"
@@ -177,6 +179,10 @@ struct ChaosResult {
   double total_balance = 0;
   std::string state;
   uint64_t runtime_shed = 0;
+  /// Logged runs only: online-auditor status at shutdown plus the offline
+  /// re-check of the retained segments.
+  audit::AuditorStatus online_audit;
+  std::optional<audit::DirectoryAuditResult> offline_audit;
 };
 
 /// One seeded chaos run: cross-container transfers (sources on container 1,
@@ -192,6 +198,9 @@ ChaosResult RunChaos(FaultOptions fo, const std::string& data_dir) {
   if (!data_dir.empty()) {
     options.data_dir = data_dir;
     options.log_flush_interval_us = 0;
+    // Every logged chaos run also runs under audit: link faults must never
+    // make the committed history non-serializable.
+    options.audit = true;
   }
   REACTDB_CHECK_OK(db.Open(def.get(), DeploymentConfig::SharedNothing(kContainers),
                            options));
@@ -226,6 +235,12 @@ ChaosResult RunChaos(FaultOptions fo, const std::string& data_dir) {
   r.runtime_shed = db.stats().shed.load();
   session.reset();
   db.Shutdown();
+  if (!data_dir.empty()) {
+    r.online_audit = db.AuditStatus();
+    auto offline = audit::AuditDirectory(data_dir);
+    EXPECT_TRUE(offline.ok()) << offline.status().ToString();
+    if (offline.ok()) r.offline_audit = *std::move(offline);
+  }
   return r;
 }
 
@@ -263,8 +278,39 @@ TEST(ChaosMatrix, ConservationAndExactlyOnceUnderLinkFaults) {
           << "exactly-once completion: every submission must commit";
       EXPECT_EQ(0u, r.stats.failed);
       EXPECT_EQ(0u, r.stats.deadline_exceeded);
+      if (logged) {
+        // Audit both ways: the trailing online auditor saw the whole run
+        // clean, and the offline checker re-verifies the retained segments.
+        EXPECT_FALSE(r.online_audit.violation) << r.online_audit.first_violation;
+        EXPECT_GT(r.online_audit.records, 0u) << "audit capture never ran";
+        ASSERT_TRUE(r.offline_audit.has_value());
+        EXPECT_TRUE(r.offline_audit->clean())
+            << audit::FormatViolation(r.offline_audit->violations.front());
+        EXPECT_GT(r.offline_audit->stats.txns, 0u);
+      }
     }
   }
+}
+
+// The isolation-audit mutation test, CC-broken direction: with every commit
+// skipping Silo read-set validation under contention, lost updates really
+// happen — and both the trailing online auditor and the offline checker
+// must detect them and pinpoint an offending transaction. (The CC-intact
+// direction is the matrix above: every logged chaos run audits clean.)
+TEST(ChaosMatrix, SkipValidationMutationIsDetected) {
+  FaultOptions fo = ChaosMode("mixed");
+  fo.cc_skip_validation.probability = 1;  // every commit skips validation
+  ChaosResult r = RunChaos(fo, FreshDir("mutation"));
+  EXPECT_TRUE(r.online_audit.violation)
+      << "online auditor missed the injected CC hole";
+  ASSERT_TRUE(r.offline_audit.has_value());
+  ASSERT_FALSE(r.offline_audit->clean())
+      << "offline checker missed the injected CC hole";
+  const audit::Violation& v = r.offline_audit->violations.front();
+  EXPECT_NE(0u, v.tid) << "violation must pinpoint a transaction";
+  EXPECT_FALSE(audit::FormatViolation(v).empty());
+  // The online auditor latched the same history failure.
+  EXPECT_FALSE(r.online_audit.first_violation.empty());
 }
 
 // The replay guarantee: under SimRuntime the same plan seed reproduces the

@@ -150,6 +150,177 @@ TEST(LogRecord, Crc32KnownVector) {
   EXPECT_EQ(0u, logrec::Crc32(""));
 }
 
+// --- Audit records (kTxnAudit, PR 9) ----------------------------------------
+
+using logrec::AuditReadView;
+using logrec::AuditRecord;
+using logrec::AuditWriteView;
+
+/// Mixed redo + audit stream with hostile contents: embedded-NUL keys, an
+/// absent-bit observed word, an initial-version (0) observation, an empty
+/// key, and a NaN cell in the neighboring redo row.
+std::string EncodeMixedStream() {
+  std::string buf;
+  Row row = SampleRow();  // includes the NaN cell
+  logrec::AppendPut(&buf, 3, 1, "key-a", TidWord::Make(7, 5), row.data(),
+                    static_cast<uint32_t>(row.size()));
+  static const std::string nul_key("k\0ey", 4);
+  AuditReadView reads[3];
+  reads[0].reactor = 3;
+  reads[0].slot = 1;
+  reads[0].key = nul_key.data();
+  reads[0].key_size = static_cast<uint32_t>(nul_key.size());
+  reads[0].observed = TidWord::WithAbsent(TidWord::Make(7, 5));
+  reads[1].reactor = 0;
+  reads[1].slot = 0;
+  reads[1].key = "";
+  reads[1].key_size = 0;
+  reads[1].observed = 0;  // initial version: no writer
+  reads[2].reactor = 1;
+  reads[2].slot = 2;
+  reads[2].key = "plain";
+  reads[2].key_size = 5;
+  reads[2].observed = TidWord::Make(6, 999);
+  AuditWriteView writes[1];
+  writes[0].reactor = 3;
+  writes[0].slot = 1;
+  writes[0].key = nul_key.data();
+  writes[0].key_size = static_cast<uint32_t>(nul_key.size());
+  logrec::AppendTxnAudit(&buf, TidWord::Make(7, 9), reads, 3, writes, 1);
+  logrec::AppendDelete(&buf, 2, 0, "key-b", TidWord::Make(8, 1));
+  // Read-only transaction: no writes.
+  logrec::AppendTxnAudit(&buf, TidWord::Make(8, 2), reads, 1, nullptr, 0);
+  return buf;
+}
+
+TEST(LogRecord, AuditRecordRoundTrip) {
+  std::vector<RedoRecord> redos;
+  std::vector<AuditRecord> audits;
+  Status st = logrec::DecodeRecords(
+      EncodeMixedStream(),
+      [&](RedoRecord&& r) -> Status {
+        redos.push_back(std::move(r));
+        return Status::OK();
+      },
+      [&](AuditRecord&& a) -> Status {
+        audits.push_back(std::move(a));
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st;
+  ASSERT_EQ(2u, redos.size());
+  ASSERT_EQ(2u, audits.size());
+
+  const AuditRecord& a = audits[0];
+  EXPECT_EQ(TidWord::Make(7, 9), a.tid);
+  EXPECT_EQ(7u, a.epoch());
+  ASSERT_EQ(3u, a.reads.size());
+  EXPECT_EQ(3u, a.reads[0].reactor);
+  EXPECT_EQ(1u, a.reads[0].slot);
+  EXPECT_EQ(std::string("k\0ey", 4), a.reads[0].key);
+  EXPECT_EQ(TidWord::WithAbsent(TidWord::Make(7, 5)), a.reads[0].observed);
+  EXPECT_TRUE(TidWord::IsAbsent(a.reads[0].observed))
+      << "the absent bit must survive the round trip";
+  EXPECT_TRUE(a.reads[1].key.empty());
+  EXPECT_EQ(0u, a.reads[1].observed);
+  EXPECT_EQ("plain", a.reads[2].key);
+  EXPECT_EQ(TidWord::Make(6, 999), a.reads[2].observed);
+  ASSERT_EQ(1u, a.writes.size());
+  EXPECT_EQ(std::string("k\0ey", 4), a.writes[0].key);
+
+  EXPECT_EQ(TidWord::Make(8, 2), audits[1].tid);
+  EXPECT_EQ(8u, audits[1].epoch());
+  EXPECT_TRUE(audits[1].writes.empty());
+}
+
+// The pre-audit decode path (recovery): a redo-only callback over a mixed
+// stream surfaces exactly the redo records and skips audit records without
+// erroring — old replay code recovers new segments, and segments without
+// audit records decode unchanged.
+TEST(LogRecord, MixedStreamDecodesWithRedoOnlyCallback) {
+  Status st;
+  std::vector<RedoRecord> recs = DecodeAll(EncodeMixedStream(), &st);
+  ASSERT_TRUE(st.ok()) << st;
+  ASSERT_EQ(2u, recs.size());
+  EXPECT_EQ(RecordKind::kPut, recs[0].kind);
+  EXPECT_EQ(RecordKind::kDelete, recs[1].kind);
+}
+
+TEST(LogRecord, AuditFrameCrcRejectsCorruption) {
+  std::string payload = EncodeMixedStream();
+  std::string file;
+  logrec::AppendFrame(&file, payload, 4, 8, 8);
+  std::string good = file;
+  // Flip a byte inside the audit record region: the frame CRC must refuse
+  // the whole frame (corruption, not a torn tail).
+  file[logrec::kFrameHeaderBytes + payload.size() / 2] ^= 0x01;
+  StatusOr<logrec::ScanResult> scan = logrec::ScanFrames(file, nullptr);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(StatusCode::kIOError, scan.status().code());
+  EXPECT_TRUE(logrec::ScanFrames(good, nullptr).ok());
+}
+
+// A truncated audit record *inside* a CRC-valid payload is a codec error,
+// not silently-dropped data.
+TEST(LogRecord, TruncatedAuditPayloadIsIOError) {
+  std::string payload = EncodeMixedStream();
+  for (size_t cut : {payload.size() - 1, payload.size() / 2}) {
+    Status st = logrec::DecodeRecords(
+        std::string_view(payload).substr(0, cut),
+        [](RedoRecord&&) -> Status { return Status::OK(); },
+        [](AuditRecord&&) -> Status { return Status::OK(); });
+    EXPECT_FALSE(st.ok()) << "cut at " << cut;
+  }
+}
+
+// Torn tail at EVERY cut point of a mixed-frame file: the first frame stays
+// readable, the torn second frame is dropped at the frame boundary.
+TEST(LogRecord, AuditTornTailTruncatesAtEveryCutPoint) {
+  std::string payload = EncodeMixedStream();
+  std::string file;
+  logrec::AppendFrame(&file, payload, 4, /*seal_epoch=*/8, /*max_epoch=*/8);
+  size_t first_frame = file.size();
+  logrec::AppendFrame(&file, payload, 4, /*seal_epoch=*/12, /*max_epoch=*/12);
+
+  for (size_t cut = first_frame; cut < file.size(); ++cut) {
+    std::string torn = file.substr(0, cut);
+    StatusOr<logrec::ScanResult> scan = logrec::ScanFrames(torn, nullptr);
+    ASSERT_TRUE(scan.ok()) << "cut at " << cut << ": " << scan.status();
+    EXPECT_EQ(1u, scan->frames) << "cut at " << cut;
+    EXPECT_EQ(first_frame, scan->valid_bytes) << "cut at " << cut;
+    EXPECT_EQ(8u, scan->max_seal_epoch) << "cut at " << cut;
+  }
+}
+
+TEST(LogShard, AppendTxnAuditAccountsLikeRedo) {
+  log::LogShard shard(1024);
+  Row row{Value(int64_t{1})};
+  shard.AppendPut(0, 0, "a", TidWord::Make(4, 1), row.data(), 1);
+  AuditReadView read;
+  read.reactor = 0;
+  read.slot = 0;
+  read.key = "a";
+  read.key_size = 1;
+  read.observed = TidWord::Make(3, 7);
+  shard.AppendTxnAudit(TidWord::Make(6, 2), &read, 1, nullptr, 0);
+  EXPECT_EQ(6u, shard.max_epoch()) << "audit records advance the shard epoch";
+
+  std::string out;
+  log::LogShard::Collected got = shard.Collect(&out);
+  EXPECT_EQ(2u, got.records) << "one redo + one audit record";
+  EXPECT_EQ(6u, got.max_epoch);
+
+  size_t audits = 0;
+  Status st = logrec::DecodeRecords(
+      out, [](RedoRecord&&) -> Status { return Status::OK(); },
+      [&](AuditRecord&& a) -> Status {
+        ++audits;
+        EXPECT_EQ(TidWord::Make(6, 2), a.tid);
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(1u, audits);
+}
+
 TEST(LogShard, CollectSwapsAndTracksEpochs) {
   log::LogShard shard(1024);
   EXPECT_FALSE(shard.HasData());

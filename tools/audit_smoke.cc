@@ -1,0 +1,115 @@
+// audit_smoke: produces an audited data directory for the CI audit smoke.
+//
+//   audit_smoke <data_dir> [--mutate]
+//
+// Opens a small smallbank fleet with Database::Options::audit enabled and
+// runs a burst of cross-reactor transfers, leaving behind log segments
+// with kTxnAudit records for the offline checker:
+//
+//   audit_smoke d && reactdb_audit d          # must exit 0 (CLEAN)
+//   audit_smoke d --mutate; reactdb_audit d   # must exit 1 (VIOLATION)
+//
+// --mutate injects one lost update: two transactions read the same savings
+// row, both commit an update, and the second commit suppresses read-set
+// validation (the cc.skip_validation fault site, see src/fault/). The
+// resulting history is not serializable and reactdb_audit must say so —
+// CI fails if the checker stays green on the mutated directory.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "src/log/durability.h"
+#include "src/runtime/reactdb.h"
+#include "src/util/logging.h"
+#include "src/workloads/smallbank/smallbank.h"
+
+namespace reactdb {
+namespace {
+
+constexpr int64_t kCustomers = 8;
+constexpr int64_t kCustId = 1;  // smallbank: single customer id per reactor
+
+/// Interleaves two transactions on one savings row so the second commit is
+/// only possible because it skips read-set validation (a lost update).
+void InjectLostUpdate(client::Database& db) {
+  Reactor* r = db.FindReactor(smallbank::CustomerName(0));
+  REACTDB_CHECK(r != nullptr);
+  Table* savings = r->FindTable(smallbank::kSavingsSlot);
+  const uint32_t c = r->container_id();
+  RuntimeBase* rt = db.runtime();
+  TidSource tids;
+  Row key{Value(kCustId)};
+
+  SiloTxn t1(rt->epochs());
+  t1.BindLog(db.durability()->direct_shard());
+  t1.EnableAuditCapture();
+  SiloTxn t2(rt->epochs());
+  t2.BindLog(db.durability()->direct_shard());
+  t2.EnableAuditCapture();
+
+  StatusOr<Row> b1 = t1.Get(savings, key, c);
+  REACTDB_CHECK_OK(b1.status());
+  StatusOr<Row> b2 = t2.Get(savings, key, c);
+  REACTDB_CHECK_OK(b2.status());
+
+  REACTDB_CHECK_OK(t2.Update(
+      savings, key, {Value(kCustId), Value((*b2)[1].AsNumeric() + 100)}, c));
+  REACTDB_CHECK_OK(t2.Commit(&tids).status());
+
+  REACTDB_CHECK_OK(t1.Update(
+      savings, key, {Value(kCustId), Value((*b1)[1].AsNumeric() + 1)}, c));
+  t1.set_skip_validation(true);
+  REACTDB_CHECK_OK(t1.Commit(&tids).status());
+}
+
+int Run(const std::string& dir, bool mutate) {
+  std::filesystem::remove_all(dir);
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  smallbank::BuildDef(def.get(), kCustomers);
+  client::Database::Options options;  // OS threads
+  options.data_dir = dir;
+  options.audit = true;
+  client::Database db;
+  REACTDB_CHECK_OK(
+      db.Open(def.get(), DeploymentConfig::SharedNothing(2), options));
+  REACTDB_CHECK_OK(smallbank::Load(db.runtime(), kCustomers));
+
+  {
+    client::SessionOptions sopts;
+    sopts.max_outstanding = 8;
+    sopts.retry.max_attempts = 50;
+    sopts.retry.initial_backoff_us = 10;
+    auto session = db.CreateSession(sopts);
+    smallbank::Handles handles =
+        smallbank::ResolveHandles(db.runtime(), kCustomers);
+    for (int i = 0; i < 64; ++i) {
+      session
+          ->Submit(handles.customers[static_cast<size_t>(4 + i % 4)],
+                   smallbank::kTransferProc,
+                   {Value(smallbank::CustomerName(i % 4)), Value(1.0),
+                    Value(false)})
+          .Then([](client::TxnOutcome) {});
+    }
+    session->Drain();
+  }
+  if (mutate) InjectLostUpdate(db);
+  db.WaitDurable();
+  db.Shutdown();
+  std::printf("audit_smoke: wrote %s %s\n", dir.c_str(),
+              mutate ? "(one lost update injected)" : "(clean)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace reactdb
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3 ||
+      (argc == 3 && std::strcmp(argv[2], "--mutate") != 0)) {
+    std::fprintf(stderr, "usage: %s <data_dir> [--mutate]\n", argv[0]);
+    return 2;
+  }
+  return reactdb::Run(argv[1], argc == 3);
+}

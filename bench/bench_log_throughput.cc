@@ -99,9 +99,9 @@ double OneRun(client::Database::Options options, int num_txns,
     secs = RunStream(db, *session, handles, num_txns);
     if (lag != nullptr) {
       client::SessionStats stats = session->stats();
-      lag->p50 = stats.durable_lag_us.Percentile(0.5);
-      lag->p95 = stats.durable_lag_us.Percentile(0.95);
-      lag->p99 = stats.durable_lag_us.Percentile(0.99);
+      lag->p50 = stats.durable_lag_us.Quantile(0.5);
+      lag->p95 = stats.durable_lag_us.Quantile(0.95);
+      lag->p99 = stats.durable_lag_us.Quantile(0.99);
       lag->mean = stats.durable_lag_us.Mean();
       lag->waits = stats.durable_waits;
     }

@@ -1,0 +1,357 @@
+// Monitor overhead bench: the marginal cost of the operational plane
+// (time-series sampler + flight recorder) on the warmed logged
+// point-transaction path.
+//
+// Measurements:
+//   logged    — the warmed storage-layer point transaction (read + update +
+//               Silo commit) with redo logging bound and the registry
+//               instrumentation of the observability PR (counter bump +
+//               latency Observe). This is the baseline hot path.
+//   monitored — the identical loop with the operational plane armed: a
+//               flight-recorder event at every epoch boundary and a live
+//               sampler thread concurrently folding registry snapshots into
+//               a TimeSeriesStore at a 10 ms cadence (10x the rate of the
+//               shipped 100 ms default — a conservative overstatement that
+//               still keeps the sampler visibly active during the run). A
+//               direct A/B: the sampler + flight machinery is the one
+//               delta.
+//   e2e       — warmed blocking point transactions through the real
+//               ThreadRuntime with a data_dir, Options::monitor off vs on
+//               (the on-side carries the real sampler thread, the health
+//               watchdog evaluation per sample, and flight recording).
+//               Reported for context; the gate is on the storage-layer
+//               A/B, which is stable on any host.
+//
+// Gates (checked in CI from the JSON):
+//   * monitor_on_ratio = monitored / logged <= 1.03 (the PR-10 budget)
+//   * allocs_per_txn_monitor_on == 0 for the warmed monitored loop. The
+//     counting operator new tallies THREAD-LOCALLY: the sampler thread
+//     allocates by design (snapshot strings, ring growth) and must not
+//     count against the transaction thread's zero-allocation guarantee.
+//
+// Usage: bench_monitor_overhead [out.json [num_txns]]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+
+#include "src/log/log_shard.h"
+#include "src/obs/flight.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
+#include "src/runtime/reactdb.h"
+#include "src/storage/table.h"
+#include "src/txn/epoch.h"
+#include "src/txn/silo_txn.h"
+#include "src/util/arena.h"
+#include "src/util/logging.h"
+
+namespace {
+// Thread-local, not global: the monitored rig runs a sampler thread whose
+// snapshot-time allocations are legitimate (they happen off the hot path).
+// Only the thread that flips t_counting — the transaction thread — counts.
+thread_local uint64_t t_allocs = 0;
+thread_local bool t_counting = false;
+
+void* CountedAlloc(std::size_t size) {
+  if (t_counting) ++t_allocs;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace reactdb {
+namespace bench {
+namespace {
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- storage-layer A/B: warmed logged point txn, operational plane off/on ---
+
+/// The smallbank transact_saving footprint with redo logging bound and the
+/// registry instrumentation both sides carry (counter bump + latency
+/// Observe per txn). The monitored variant additionally records a flight
+/// event at every epoch boundary and owns a live sampler thread folding
+/// Collect() snapshots into a TimeSeriesStore — exactly the machinery
+/// Options::monitor arms in the real runtime.
+class WarmedMonitoredTxn {
+ public:
+  explicit WarmedMonitoredTxn(bool monitored)
+      : monitored_(monitored),
+        savings_(SchemaBuilder("savings")
+                     .AddColumn("cust_id", ValueType::kInt64)
+                     .AddColumn("balance", ValueType::kDouble)
+                     .SetKey({"cust_id"})
+                     .Build()
+                     .value()),
+        key_({Value(int64_t{1})}) {
+    committed_ = registry_.Counter("bench_txn_committed_total", "committed");
+    latency_ = registry_.Histo("bench_txn_latency_us", "txn latency");
+    registry_.Freeze(1);
+    savings_.BindDurableId(ReactorId{0}, TableSlot{0});
+    SiloTxn loader(&epochs_, &arena_);
+    REACTDB_CHECK(
+        loader.Insert(&savings_, {Value(int64_t{1}), Value(10000.0)}, 0).ok());
+    REACTDB_CHECK(loader.Commit(&tids_).ok());
+    arena_.Reset();
+    if (monitored_) {
+      flight_ = std::make_unique<obs::FlightRecorder>(1, 256);
+      flight_->set_clock(&NowUs);
+      series_ = std::make_unique<obs::TimeSeriesStore>(64);
+      sampler_ = std::thread([this] {
+        while (!stop_.load(std::memory_order_relaxed)) {
+          series_->Sample(NowUs(), registry_.Collect());
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      });
+    }
+  }
+
+  ~WarmedMonitoredTxn() {
+    if (sampler_.joinable()) {
+      stop_.store(true, std::memory_order_relaxed);
+      sampler_.join();
+    }
+  }
+
+  void RunOne() {
+    double t0 = NowUs();
+    {
+      SiloTxn txn(&epochs_, &arena_);
+      txn.BindLog(&shard_);
+      REACTDB_CHECK(txn.GetInto(&savings_, key_, &row_, 0).ok());
+      updated_ = row_;
+      updated_[1] = Value(updated_[1].AsDouble() + 1.0);
+      REACTDB_CHECK(txn.Update(&savings_, key_, updated_, 0).ok());
+      REACTDB_CHECK(txn.Commit(&tids_).ok());
+    }
+    arena_.Reset();
+    registry_.Add(0, committed_);
+    registry_.Observe(0, latency_, NowUs() - t0);
+    if (++txns_ % 32 == 0) {
+      epochs_.Advance();
+      epochs_.Advance();
+      if (flight_ != nullptr) {
+        flight_->Record(0, obs::FlightEventKind::kEpochAdvance,
+                        epochs_.current());
+      }
+      collect_spare_.clear();
+      shard_.Collect(&collect_spare_);
+    }
+  }
+
+  uint64_t samples_taken() const {
+    return series_ == nullptr ? 0 : series_->samples_taken();
+  }
+
+ private:
+  const bool monitored_;
+  EpochManager epochs_;
+  Arena arena_;
+  TidSource tids_;
+  Table savings_;
+  Row key_;
+  Row row_;
+  Row updated_;
+  log::LogShard shard_;
+  std::string collect_spare_;
+  uint64_t txns_ = 0;
+  obs::MetricsRegistry registry_;
+  obs::MetricId committed_;
+  obs::MetricId latency_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::TimeSeriesStore> series_;
+  std::atomic<bool> stop_{false};
+  std::thread sampler_;
+};
+
+struct StorageAB {
+  double logged_ns = 0;
+  double monitored_ns = 0;
+};
+
+/// ns per transaction for the A/B pair, in many short alternating batches,
+/// each side keeping its minimum batch time (host frequency drift and noisy
+/// neighbors hit both sides equally; the min filters the interference out).
+/// The monitored rig's sampler thread stays alive across off-side batches —
+/// that is the honest steady state: a periodic sampler is the ambient cost
+/// the operational plane imposes on the whole host.
+StorageAB MeasureStorageLoops(int iters, int reps) {
+  WarmedMonitoredTxn off(/*monitored=*/false);
+  WarmedMonitoredTxn on(/*monitored=*/true);
+  int batches = reps * 8;
+  int per_batch = iters / batches + 1;
+  for (int i = 0; i < per_batch * 4; ++i) off.RunOne();  // warm
+  for (int i = 0; i < per_batch * 4; ++i) on.RunOne();
+  StorageAB r;
+  for (int b = 0; b < batches; ++b) {
+    // Alternate which side runs first so a monotonic frequency drift does
+    // not systematically tax one side of the pair.
+    double off_ns;
+    double on_ns;
+    if (b % 2 == 0) {
+      double t0 = NowUs();
+      for (int i = 0; i < per_batch; ++i) off.RunOne();
+      off_ns = (NowUs() - t0) * 1e3 / per_batch;
+      t0 = NowUs();
+      for (int i = 0; i < per_batch; ++i) on.RunOne();
+      on_ns = (NowUs() - t0) * 1e3 / per_batch;
+    } else {
+      double t0 = NowUs();
+      for (int i = 0; i < per_batch; ++i) on.RunOne();
+      on_ns = (NowUs() - t0) * 1e3 / per_batch;
+      t0 = NowUs();
+      for (int i = 0; i < per_batch; ++i) off.RunOne();
+      off_ns = (NowUs() - t0) * 1e3 / per_batch;
+    }
+    if (b == 0 || off_ns < r.logged_ns) r.logged_ns = off_ns;
+    if (b == 0 || on_ns < r.monitored_ns) r.monitored_ns = on_ns;
+  }
+  REACTDB_CHECK(on.samples_taken() > 0);  // the sampler actually ran
+  return r;
+}
+
+/// Heap allocations per warmed monitored transaction, counted only on the
+/// transaction thread (must be exactly 0 — the sampler thread's snapshot
+/// allocations are off the hot path and excluded by the thread_local tally).
+double MeasureMonitoredAllocs(int iters) {
+  WarmedMonitoredTxn rig(/*monitored=*/true);
+  for (int i = 0; i < iters; ++i) rig.RunOne();  // warm
+  t_allocs = 0;
+  t_counting = true;
+  for (int i = 0; i < iters; ++i) rig.RunOne();
+  t_counting = false;
+  return static_cast<double>(t_allocs) / iters;
+}
+
+// --- e2e: the real runtime with a data_dir, Options::monitor off vs on ------
+
+Proc BumpProc(TxnContext& ctx, Row args) {
+  int64_t by = args.empty() ? 1 : args[0].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row row, ctx.Get("counter", {Value(int64_t{0})}));
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("counter", {Value(int64_t{0})},
+                 {Value(int64_t{0}), Value(row[1].AsInt64() + by)}));
+  co_return Value(row[1].AsInt64() + by);
+}
+
+double MeasureEndToEnd(int num_txns, int reps, bool monitor) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  ReactorType& t = def->DefineType("Counter");
+  t.AddSchema(SchemaBuilder("counter")
+                  .AddColumn("k", ValueType::kInt64)
+                  .AddColumn("v", ValueType::kInt64)
+                  .SetKey({"k"})
+                  .Build()
+                  .value());
+  t.AddProcedure("bump", &BumpProc);
+  REACTDB_CHECK_OK(def->DeclareReactor("c0", "Counter"));
+
+  std::string dir = std::string("/tmp/reactdb_bench_monitor_") +
+                    (monitor ? "on" : "off");
+  std::filesystem::remove_all(dir);
+  client::Database::Options options;
+  options.data_dir = dir;
+  options.monitor.enabled = monitor;
+  options.monitor.sample_interval_us = 20000;
+  client::Database db;
+  REACTDB_CHECK_OK(
+      db.Open(def.get(), DeploymentConfig::SharedNothing(1), options));
+  REACTDB_CHECK_OK(db.RunDirect([&db](SiloTxn& txn) -> Status {
+    REACTDB_ASSIGN_OR_RETURN(Table * tab, db.FindTable("c0", "counter"));
+    return txn.Insert(tab, {Value(int64_t{0}), Value(int64_t{0})},
+                      db.FindReactor("c0")->container_id());
+  }));
+  ReactorId c0 = db.ResolveReactor("c0");
+  ProcId bump = db.ResolveProc(c0, "bump");
+  auto session = db.CreateSession({.max_outstanding = 1});
+
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int i = 0; i < num_txns / 4; ++i) {  // warm every batch
+      REACTDB_CHECK(session->Execute(c0, bump, {Value(int64_t{1})}).ok());
+    }
+    double t0 = db.NowUs();
+    for (int i = 0; i < num_txns; ++i) {
+      REACTDB_CHECK(session->Execute(c0, bump, {Value(int64_t{1})}).ok());
+    }
+    double ns = (db.NowUs() - t0) * 1e3 / num_txns;
+    if (rep == 0 || ns < best) best = ns;
+  }
+  if (monitor) {
+    // The sampler actually sampled. The health *state* is deliberately not
+    // asserted: on a starved single-core host a saturating run can
+    // transiently (and correctly) degrade — the watchdog reporting that is
+    // not a bench failure.
+    REACTDB_CHECK(db.runtime()->series()->samples_taken() > 0);
+  }
+  db.Shutdown();
+  std::filesystem::remove_all(dir);
+  return best;
+}
+
+void Run(const std::string& out_path, int num_txns) {
+  constexpr int kReps = 9;
+  StorageAB ab = MeasureStorageLoops(num_txns, kReps);
+  double allocs = MeasureMonitoredAllocs(num_txns / 2 + 1);
+  double e2e_off_ns = MeasureEndToEnd(num_txns / 10 + 1, kReps, false);
+  double e2e_on_ns = MeasureEndToEnd(num_txns / 10 + 1, kReps, true);
+
+  double monitor_ratio = ab.monitored_ns / ab.logged_ns;
+  double e2e_ratio = e2e_on_ns / e2e_off_ns;
+
+  std::printf("warmed logged point txn (monitor off): %8.1f ns\n",
+              ab.logged_ns);
+  std::printf("warmed logged point txn (monitor on):  %8.1f ns\n",
+              ab.monitored_ns);
+  std::printf("e2e logged point txn (monitor off):    %8.1f ns\n", e2e_off_ns);
+  std::printf("e2e logged point txn (monitor on):     %8.1f ns\n", e2e_on_ns);
+  std::printf("monitor_on_ratio %.4fx, e2e_monitor_ratio %.4fx, "
+              "allocs/txn %.6f\n",
+              monitor_ratio, e2e_ratio, allocs);
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    REACTDB_CHECK(f != nullptr);
+    std::fprintf(f, "{\n  \"bench\": \"monitor_overhead_point_txn\",\n");
+    std::fprintf(f, "  \"num_txns\": %d,\n", num_txns);
+    std::fprintf(f, "  \"logged_ns_per_txn\": %.2f,\n", ab.logged_ns);
+    std::fprintf(f, "  \"monitored_ns_per_txn\": %.2f,\n", ab.monitored_ns);
+    std::fprintf(f, "  \"e2e_off_ns_per_txn\": %.2f,\n", e2e_off_ns);
+    std::fprintf(f, "  \"e2e_on_ns_per_txn\": %.2f,\n", e2e_on_ns);
+    std::fprintf(f, "  \"monitor_on_ratio\": %.4f,\n", monitor_ratio);
+    std::fprintf(f, "  \"e2e_monitor_ratio\": %.4f,\n", e2e_ratio);
+    std::fprintf(f, "  \"allocs_per_txn_monitor_on\": %.6f\n", allocs);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reactdb
+
+int main(int argc, char** argv) {
+  std::string out = argc > 1 ? argv[1] : "";
+  int num_txns = argc > 2 ? std::atoi(argv[2]) : 200000;
+  reactdb::bench::Run(out, num_txns);
+  return 0;
+}

@@ -18,7 +18,6 @@
 // of peak on both runtimes; shed median < 10us.
 //
 // Usage: bench_overload [out.json [num_txns]]
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +26,7 @@
 #include <vector>
 
 #include "src/runtime/reactdb.h"
+#include "src/util/histogram.h"
 #include "src/util/logging.h"
 #include "src/workloads/smallbank/smallbank.h"
 
@@ -39,13 +39,6 @@ constexpr int64_t kCustomers = 8000;
 constexpr int kBaseWindow = 16;
 // Above the 1x window (no sheds at nominal load), below 2x of it.
 constexpr int kWatermark = 20;
-
-double Pct(std::vector<double>* v, double q) {
-  if (v->empty()) return 0;
-  std::sort(v->begin(), v->end());
-  size_t idx = static_cast<size_t>(q * static_cast<double>(v->size() - 1));
-  return (*v)[idx];
-}
 
 /// Distinct customer per request, rotating containers so a pipelined
 /// window spreads over every executor.
@@ -67,8 +60,7 @@ struct StreamResult {
 StreamResult RunStream(client::Database& db, client::Session& session,
                        const smallbank::Handles& handles, int n) {
   StreamResult r;
-  std::vector<double> latencies;
-  latencies.reserve(static_cast<size_t>(n));
+  Histogram latencies;
   double t0 = db.NowUs();
   std::vector<client::SessionFuture> inflight;
   size_t window = session.options().max_outstanding;
@@ -77,7 +69,7 @@ StreamResult RunStream(client::Database& db, client::Session& session,
     client::TxnOutcome out = f.Wait();
     if (out.ok()) {
       ++r.committed;
-      latencies.push_back(out.latency_us());
+      latencies.Add(out.latency_us());
     } else {
       REACTDB_CHECK(out.status().IsOverloaded());
       ++r.shed;
@@ -91,7 +83,7 @@ StreamResult RunStream(client::Database& db, client::Session& session,
   }
   while (head < inflight.size()) consume(inflight[head++]);
   r.elapsed_s = (db.NowUs() - t0) * 1e-6;
-  r.p99_us = Pct(&latencies, 0.99);
+  r.p99_us = latencies.Quantile(0.99);
   return r;
 }
 
@@ -209,14 +201,13 @@ ShedLatency MeasureShed(bool sim_mode, const char* label) {
   client::SessionFuture occupant =
       session->Submit(s0, spin, {Value(50000.0)});
 
-  std::vector<double> us;
-  us.reserve(kSheds);
+  Histogram us;
   for (int i = 0; i < kSheds; ++i) {
     auto t0 = std::chrono::steady_clock::now();
     client::SessionFuture f = session->Submit(s0, spin, {Value(1.0)});
     auto t1 = std::chrono::steady_clock::now();
     (void)f;  // consumed via Drain + stats; delivery is FIFO-deferred
-    us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+    us.Add(std::chrono::duration<double, std::micro>(t1 - t0).count());
   }
   session->Drain();
   client::SessionStats stats = session->stats();
@@ -224,8 +215,8 @@ ShedLatency MeasureShed(bool sim_mode, const char* label) {
   REACTDB_CHECK(occupant.Wait().ok());
 
   ShedLatency r;
-  r.median_us = Pct(&us, 0.5);
-  r.p99_us = Pct(&us, 0.99);
+  r.median_us = us.Median();
+  r.p99_us = us.Quantile(0.99);
   std::printf("%-10s shed latency: median %.2fus  p99 %.2fus\n", label,
               r.median_us, r.p99_us);
   db.Shutdown();

@@ -14,11 +14,18 @@
 //      read-set digests ride the redo log, a trailing auditor re-verifies
 //      serializability online, and `reactdb_audit <data_dir>` replays the
 //      same evidence offline.
+//   7. `quickstart --monitor`: the operational plane — a periodic sampler
+//      feeding metric time-series and a health watchdog, the always-on
+//      flight recorder, and (with REACTDB_EXPORTER_PORT set) a live HTTP
+//      endpoint serving /metrics, /healthz, /vars, /series, /traces and
+//      /flight; REACTDB_MONITOR_LINGER_MS keeps it up for scraping.
 //
 // Build & run:  ./build/quickstart && ./build/quickstart
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "src/runtime/reactdb.h"
 #include "src/util/logging.h"
@@ -72,10 +79,12 @@ int main(int argc, char** argv) {
   bool crash = false;
   bool stats = false;
   bool audit = false;
+  bool monitor = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--crash") == 0) crash = true;
     if (std::strcmp(argv[i], "--stats") == 0) stats = true;
     if (std::strcmp(argv[i], "--audit") == 0) audit = true;
+    if (std::strcmp(argv[i], "--monitor") == 0) monitor = true;
   }
   // 1+2: reactor database definition.
   ReactorDatabaseDef def;
@@ -167,6 +176,16 @@ int main(int argc, char** argv) {
   // serializability online as epochs become durable, and the same log
   // checks offline: `reactdb_audit <data_dir>`.
   options.audit = audit;
+  // `quickstart --monitor`: arm the sampler + watchdog (fast cadence so a
+  // short run still collects a few samples) and, when REACTDB_EXPORTER_PORT
+  // is set, serve the live endpoints over HTTP.
+  if (monitor) {
+    options.monitor.enabled = true;
+    options.monitor.sample_interval_us = 50000;
+    if (const char* port = std::getenv("REACTDB_EXPORTER_PORT")) {
+      options.exporter_port = static_cast<uint16_t>(std::atoi(port));
+    }
+  }
   client::Database durable;
   REACTDB_CHECK_OK(
       durable.Open(&def, DeploymentConfig::SharedNothing(2), options));
@@ -198,6 +217,22 @@ int main(int argc, char** argv) {
     std::printf("durable deposit -> alice balance %.2f (run me again: "
                 "it persists)\n",
                 out.result->AsNumeric());
+  }
+  if (monitor) {
+    if (durable.exporter() != nullptr) {
+      std::printf("exporter: http://127.0.0.1:%u/metrics (also /healthz "
+                  "/vars /series /traces /flight)\n",
+                  durable.exporter()->bound_port());
+      std::fflush(stdout);
+      if (const char* ms = std::getenv("REACTDB_MONITOR_LINGER_MS")) {
+        // Stay up so an external scraper (CI's curl, a browser) can hit
+        // the endpoints before shutdown.
+        std::this_thread::sleep_for(std::chrono::milliseconds(std::atoi(ms)));
+      }
+    }
+    // The watchdog's verdict over the samples so far, with per-rule
+    // reasons when anything is off.
+    std::printf("health: %s", durable.Health().ToJson().c_str());
   }
   if (crash) {
     // Simulated kill: no Shutdown, no destructors, no final flush. The

@@ -1,5 +1,8 @@
 #include "src/client/database.h"
 
+#include <chrono>
+#include <cstdio>
+
 #include "src/util/logging.h"
 
 namespace reactdb {
@@ -47,6 +50,22 @@ Status Database::Open(const ReactorDatabaseDef* def,
     if (options.trace.enabled) {
       REACTDB_RETURN_IF_ERROR(rt_->EnableTracing(options.trace));
     }
+    if (options.exporter_port != 0) {
+      REACTDB_LOG(kWarn) << "Options::exporter_port ignored under kSim "
+                            "(no wall clock to serve on)";
+    }
+    if (options.monitor.enabled) {
+      REACTDB_RETURN_IF_ERROR(rt_->EnableMonitoring(options.monitor));
+      InstallDumpSink(options);
+      // The sampler driver is the event queue's virtual-time ticker: ticks
+      // fire between events, never enqueue, and exist only when monitoring
+      // is on — so RunAll still terminates and the calibrated traces of
+      // unmonitored runs are untouched.
+      RuntimeBase* rt = rt_.get();
+      sim_->events().SetTicker(
+          static_cast<double>(options.monitor.sample_interval_us),
+          [rt](double) { rt->MonitorTick(); });
+    }
     return Status::OK();
   }
   auto threads = std::make_unique<ThreadRuntime>();
@@ -70,12 +89,122 @@ Status Database::Open(const ReactorDatabaseDef* def,
   if (options.trace.enabled) {
     REACTDB_RETURN_IF_ERROR(rt_->EnableTracing(options.trace));
   }
+  // Before Start: monitoring swaps observability wiring (flight ring
+  // capacity) that must not race live executors.
+  if (options.monitor.enabled) {
+    REACTDB_RETURN_IF_ERROR(rt_->EnableMonitoring(options.monitor));
+    InstallDumpSink(options);
+  }
   REACTDB_RETURN_IF_ERROR(threads_->Start(options.epoch_tick_ms));
   if (rt_->durability() != nullptr) {
     rt_->durability()->StartWriters();
     REACTDB_RETURN_IF_ERROR(RecoveryCheckpoint());
   }
+  if (options.monitor.enabled) {
+    StartSampler(options.monitor.sample_interval_us);
+  }
+  if (options.exporter_port != 0) {
+    REACTDB_RETURN_IF_ERROR(StartExporter(options.exporter_port));
+  }
   return Status::OK();
+}
+
+void Database::InstallDumpSink(const Options& options) {
+  if (options.data_dir.empty()) return;  // default sink logs the dump
+  std::string dir = options.data_dir;
+  rt_->flight()->set_dump_sink(
+      [dir](const char* reason, const std::string& json) {
+        std::string path = dir + "/flight_" + reason + ".json";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+          REACTDB_LOG(kError)
+              << "flight auto-dump (" << reason << "): cannot open " << path;
+          return;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        REACTDB_LOG(kWarn) << "flight recorder auto-dump (" << reason
+                           << ") -> " << path;
+      });
+}
+
+void Database::StartSampler(uint64_t interval_us) {
+  sampler_stop_ = false;
+  sampler_thread_ = std::thread([this, interval_us] {
+    std::unique_lock<std::mutex> lock(sampler_mu_);
+    while (!sampler_stop_) {
+      if (sampler_cv_.wait_for(lock, std::chrono::microseconds(interval_us),
+                               [this] { return sampler_stop_; })) {
+        break;
+      }
+      lock.unlock();
+      rt_->MonitorTick();
+      lock.lock();
+    }
+  });
+}
+
+void Database::StopSampler() {
+  if (!sampler_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  sampler_thread_.join();
+}
+
+Status Database::StartExporter(uint16_t port) {
+  exporter_ = std::make_unique<obs::HttpExporter>();
+  exporter_->Handle("/metrics", [this] {
+    obs::HttpExporter::Response r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = Stats().ToPrometheus();
+    return r;
+  });
+  exporter_->Handle("/healthz", [this] {
+    obs::HttpExporter::Response r;
+    obs::HealthReport h = Health();
+    r.status = h.state == obs::HealthState::kOk ? 200 : 503;
+    r.content_type = "application/json";
+    r.body = h.ToJson();
+    return r;
+  });
+  exporter_->Handle("/vars", [this] {
+    obs::HttpExporter::Response r;
+    r.content_type = "application/json";
+    r.body = Stats().ToJson();
+    return r;
+  });
+  exporter_->Handle("/series", [this] {
+    obs::HttpExporter::Response r;
+    r.content_type = "application/json";
+    r.body = Series();
+    return r;
+  });
+  exporter_->Handle("/traces", [this] {
+    obs::HttpExporter::Response r;
+    r.content_type = "application/json";
+    r.body = DumpTraces();
+    return r;
+  });
+  exporter_->Handle("/flight", [this] {
+    obs::HttpExporter::Response r;
+    r.content_type = "application/json";
+    r.body = DumpFlight();
+    return r;
+  });
+  return exporter_->Start(port);
+}
+
+std::string Database::Series() const {
+  auto* s = rt_ == nullptr ? nullptr : rt_->series();
+  return s == nullptr ? std::string("{}\n") : s->ToJson();
+}
+
+obs::HealthReport Database::Health() const {
+  auto* h = rt_ == nullptr ? nullptr : rt_->health();
+  return h == nullptr ? obs::HealthReport{} : h->last();
 }
 
 void Database::InstallFaults(const Options& options) {
@@ -132,7 +261,16 @@ Status Database::Checkpoint(log::CheckpointResult* result) {
   if (rt_ == nullptr || rt_->durability() == nullptr) {
     return Status::InvalidArgument("durability is off (no data_dir)");
   }
-  return log::WriteCheckpoint(rt_.get(), rt_->durability(), result);
+  rt_->flight()->RecordShared(obs::FlightEventKind::kCheckpointBegin,
+                              rt_->durability()->durable_epoch());
+  log::CheckpointResult local;
+  if (result == nullptr) result = &local;
+  Status s = log::WriteCheckpoint(rt_.get(), rt_->durability(), result);
+  if (s.ok()) {
+    rt_->flight()->RecordShared(obs::FlightEventKind::kCheckpointCommit,
+                                result->ckpt_epoch, result->rows);
+  }
+  return s;
 }
 
 void Database::CrashForTest() {
@@ -145,6 +283,10 @@ void Database::CrashForTest() {
 void Database::Shutdown() {
   if (rt_ == nullptr || closed_) return;
   closed_ = true;
+  // Operational plane first: no scrape or sampler tick may observe (or
+  // race) a half-torn-down runtime.
+  if (exporter_ != nullptr) exporter_->Stop();
+  StopSampler();
   if (threads_ != nullptr) {
     threads_->Stop();  // drains outstanding roots, then joins executors
   } else if (sim_ != nullptr) {

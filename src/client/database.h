@@ -18,8 +18,11 @@
 #ifndef REACTDB_CLIENT_DATABASE_H_
 #define REACTDB_CLIENT_DATABASE_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "src/audit/online_auditor.h"
 #include "src/client/session.h"
@@ -27,6 +30,7 @@
 #include "src/log/checkpoint.h"
 #include "src/log/durability.h"
 #include "src/log/recovery.h"
+#include "src/obs/exporter.h"
 #include "src/runtime/sim_runtime.h"
 #include "src/runtime/thread_runtime.h"
 
@@ -93,6 +97,24 @@ class Database {
     /// `fault.enabled` every fault draw comes from per-site RNGs seeded
     /// from `fault.seed`, so a kSim chaos run replays byte-identically.
     fault::FaultOptions fault;
+    /// Operational plane (src/obs/, ROADMAP "Operational plane"): the
+    /// periodic sampler that folds metric snapshots into bounded
+    /// time-series windows (Series()) and drives the health watchdog
+    /// (Health()). Off by default — with `monitor.enabled` false no
+    /// sampler runs, no ticker is installed, and the simulator's
+    /// calibrated virtual-time traces stay byte-identical. Under kSim the
+    /// sampler is an EventQueue ticker on virtual time (two same-seed runs
+    /// produce identical sample timelines); under kThreads it is a real
+    /// thread on the steady clock. The flight recorder is always armed
+    /// regardless (DumpFlight()).
+    MonitorOptions monitor;
+    /// Live HTTP exposition, kThreads only (the simulator has no wall
+    /// clock to serve on; non-zero under kSim warns and is ignored).
+    /// Non-zero binds 127.0.0.1:<port> and serves GET /metrics
+    /// (Prometheus text), /healthz (200 iff healthy, else 503 + reasons),
+    /// /vars, /series, /traces, /flight. 0 (the default) means off — use
+    /// HttpExporter directly for an ephemeral-port server.
+    uint16_t exporter_port = 0;
   };
 
   static Options Threads() { return Options{}; }
@@ -222,6 +244,26 @@ class Database {
   /// tracing is off.
   std::string DumpTraces() const { return rt_->tracer()->DumpJson(); }
 
+  // --- Operational plane (Options::monitor / exporter_port) -----------------
+
+  /// Metric time-series windows as JSON: per-series point rings (value +
+  /// rate) and rolling histogram windows, one point per
+  /// monitor.sample_interval_us. "{}" when monitoring is off.
+  std::string Series() const;
+  /// Latest health-watchdog verdict (state, active rule violations with
+  /// reasons, transition count). A default kOk report when monitoring is
+  /// off — the watchdog only evaluates on sampler ticks.
+  obs::HealthReport Health() const;
+  /// Flight-recorder ("black box") dump: every retained system event —
+  /// epoch advances, durable watermark moves, checkpoints, segment rolls,
+  /// sheds, fault fires, IO-error latches, trace promotions, health
+  /// transitions — merged time-ordered as JSON. Always armed while open;
+  /// also dumped automatically (once) on the first transition to
+  /// kUnhealthy, audit violation, or IO-error latch.
+  std::string DumpFlight() const { return rt_->flight()->DumpJson(); }
+  /// The live HTTP server (null unless Options::exporter_port was set).
+  obs::HttpExporter* exporter() const { return exporter_.get(); }
+
   const DeploymentConfig& deployment() const { return rt_->deployment(); }
   /// Session clock: virtual microseconds in sim mode, steady real time in
   /// thread mode.
@@ -239,6 +281,15 @@ class Database {
 
  private:
   Status OpenDurable(const Options& options);
+  /// Routes automatic flight dumps to <data_dir>/flight_<reason>.json
+  /// (durable runs only; the default sink logs instead).
+  void InstallDumpSink(const Options& options);
+  /// Thread-mode sampler driver: one background thread calling
+  /// MonitorTick every interval until Shutdown.
+  void StartSampler(uint64_t interval_us);
+  void StopSampler();
+  /// Binds the exporter and registers the endpoint handlers.
+  Status StartExporter(uint16_t port);
   /// Creates and arms the injector, wires it into the runtime (link wrap,
   /// admission site) before Bootstrap. No-op when faults are disabled.
   void InstallFaults(const Options& options);
@@ -260,6 +311,14 @@ class Database {
   ThreadRuntime* threads_ = nullptr;
   bool closed_ = false;
   log::RecoveryResult recovery_;
+
+  // Operational plane (thread mode): sampler thread + HTTP exporter, both
+  // stopped first in Shutdown so no tick or scrape races teardown.
+  std::unique_ptr<obs::HttpExporter> exporter_;
+  std::thread sampler_thread_;
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
 };
 
 }  // namespace client

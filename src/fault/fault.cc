@@ -60,6 +60,10 @@ bool FaultInjector::ShouldFire(const std::string& site) {
   if (fire) {
     fire_log_.emplace_back(site, draw);
     digest_ = MixU64(draw, Fnv1a(site, digest_));
+    if (flight_ != nullptr) {
+      flight_->RecordShared(obs::FlightEventKind::kFaultFire, s.fires, draw,
+                            site.c_str());
+    }
   }
   return fire;
 }

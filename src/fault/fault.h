@@ -99,6 +99,11 @@ class FaultInjector {
 
   uint64_t seed() const { return seed_; }
 
+  /// Flight recorder (may be null): every fire is stamped kFaultFire with
+  /// the site name, so a postmortem dump shows which injected failures led
+  /// up to a health transition. Install before traffic starts.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+
  private:
   struct Site {
     SiteSpec spec;
@@ -113,6 +118,7 @@ class FaultInjector {
   std::unordered_map<std::string, Site> sites_;
   std::vector<std::pair<std::string, uint64_t>> fire_log_;
   uint64_t digest_ = 14695981039346656037ULL;  // FNV-1a offset basis
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 /// One plan: which sites are armed and the magnitudes the decorators use.

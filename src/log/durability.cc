@@ -352,6 +352,11 @@ void DurabilityManager::LatchError(const Status& s) {
   }
   halted_.store(true, std::memory_order_release);
   REACTDB_LOG(kError) << "durability halted: " << s;
+  if (flight_ != nullptr) {
+    flight_->RecordShared(obs::FlightEventKind::kIOError, durable_epoch(), 0,
+                          s.message().c_str());
+    flight_->TriggerAutoDump("io_error");
+  }
   NotifyDurable(durable_epoch());  // release durable waiters
 }
 
@@ -393,6 +398,10 @@ void DurabilityManager::PublishDurable(uint64_t durable) {
       advanced = true;
       break;
     }
+  }
+  if (advanced && flight_ != nullptr) {
+    flight_->RecordShared(obs::FlightEventKind::kDurableAdvance,
+                          durable_epoch());
   }
   if (advanced || halted()) NotifyDurable(durable_epoch());
 }
@@ -611,6 +620,9 @@ Status DurabilityManager::OnCheckpointCommitted(uint64_t ckpt_epoch,
                                                 const std::string& new_dir) {
   // Roll every container to a fresh segment so truncation only ever deletes
   // closed files, then drop segments fully covered by the checkpoint.
+  if (flight_ != nullptr) {
+    flight_->RecordShared(obs::FlightEventKind::kSegmentRoll, ckpt_epoch);
+  }
   for (int c = 0; c < num_containers_; ++c) {
     ContainerLog* cl = logs_[static_cast<size_t>(c)].get();
     std::lock_guard<std::mutex> lock(cl->mu);

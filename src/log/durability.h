@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "src/log/log_shard.h"
+#include "src/obs/flight.h"
 #include "src/txn/epoch.h"
 #include "src/util/statusor.h"
 
@@ -189,6 +190,11 @@ class DurabilityManager {
   void set_notify_progress(std::function<void()> fn) {
     notify_progress_ = std::move(fn);
   }
+  /// Flight recorder (may be null). The manager records kDurableAdvance on
+  /// every watermark move, kSegmentRoll on checkpoint rolls, and kIOError —
+  /// with an automatic dump — when an I/O error latches. Install before
+  /// the writers start.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
 
   /// In-memory frame tee (the trailing online auditor). Invoked on the
   /// flushing context for every frame that reached disk, under the
@@ -311,6 +317,7 @@ class DurabilityManager {
   size_t next_listener_id_ = 1;
   std::function<void()> notify_progress_;
   FrameTee frame_tee_;
+  obs::FlightRecorder* flight_ = nullptr;
 
   // OpenStorage facts.
   bool found_state_ = false;

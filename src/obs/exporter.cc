@@ -1,0 +1,179 @@
+#include "src/obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace reactdb {
+namespace obs {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace
+
+void HttpExporter::Handle(std::string path, Handler fn) {
+  REACTDB_CHECK(!running());
+  handlers_.emplace_back(std::move(path), std::move(fn));
+}
+
+Status HttpExporter::Start(uint16_t port) {
+  if (running()) return Status::AlreadyExists("exporter already running");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("exporter socket: ") +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("exporter bind 127.0.0.1:" + std::to_string(port) +
+                           ": " + err);
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError(std::string("exporter getsockname: ") + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError(std::string("exporter listen: ") + err);
+  }
+  listen_fd_ = fd;
+  bound_port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  REACTDB_LOG(kInfo) << "exporter serving on 127.0.0.1:" << bound_port_;
+  return Status::OK();
+}
+
+void HttpExporter::Stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpExporter::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int r = ::poll(&pfd, 1, 200);  // 200 ms stop-check cadence
+    if (r <= 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    timeval tv{1, 0};  // bound a slow or silent client
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    ServeOne(client);
+    ::close(client);
+  }
+}
+
+void HttpExporter::ServeOne(int client_fd) {
+  // Read until the end of the request head (or a 4 KB bound — GETs only).
+  char buf[4096];
+  size_t got = 0;
+  while (got < sizeof buf - 1) {
+    ssize_t n = ::recv(client_fd, buf + got, sizeof buf - 1 - got, 0);
+    if (n <= 0) break;
+    got += static_cast<size_t>(n);
+    buf[got] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  if (got == 0) return;
+  buf[got] = '\0';
+
+  Response resp;
+  char method[8] = {0};
+  char path[1024] = {0};
+  if (std::sscanf(buf, "%7s %1023s", method, path) != 2) {
+    resp = Response{405, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (std::strcmp(method, "GET") != 0) {
+    resp = Response{405, "text/plain; charset=utf-8", "GET only\n"};
+  } else {
+    if (char* q = std::strchr(path, '?')) *q = '\0';
+    const Handler* handler = nullptr;
+    for (const auto& [p, fn] : handlers_) {
+      if (p == path) {
+        handler = &fn;
+        break;
+      }
+    }
+    if (handler == nullptr) {
+      std::string body = "not found; endpoints:";
+      for (const auto& [p, fn] : handlers_) {
+        body.push_back(' ');
+        body.append(p);
+      }
+      body.push_back('\n');
+      resp = Response{404, "text/plain; charset=utf-8", std::move(body)};
+    } else {
+      resp = (*handler)();
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string head;
+  head.reserve(160);
+  head.append("HTTP/1.0 ");
+  head.append(std::to_string(resp.status));
+  head.push_back(' ');
+  head.append(ReasonPhrase(resp.status));
+  head.append("\r\nContent-Type: ");
+  head.append(resp.content_type);
+  head.append("\r\nContent-Length: ");
+  head.append(std::to_string(resp.body.size()));
+  head.append("\r\nConnection: close\r\n\r\n");
+
+  auto send_all = [client_fd](const char* data, size_t n) {
+    size_t sent = 0;
+    while (sent < n) {
+      ssize_t w = ::send(client_fd, data + sent, n - sent, MSG_NOSIGNAL);
+      if (w <= 0) return;
+      sent += static_cast<size_t>(w);
+    }
+  };
+  send_all(head.data(), head.size());
+  send_all(resp.body.data(), resp.body.size());
+}
+
+}  // namespace obs
+}  // namespace reactdb

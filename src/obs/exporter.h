@@ -1,0 +1,74 @@
+// Live exposition: a tiny embedded HTTP/1.0 server.
+//
+// ThreadRuntime only (the simulator has no wall-clock to serve on), off by
+// default, enabled via Options::exporter_port. One accept thread serves
+// registered GET handlers sequentially — /metrics (Prometheus text),
+// /healthz (200/503 + reasons JSON), /vars, /series, /traces, /flight.
+// Plain POSIX sockets, no dependencies; this is an operational peephole
+// for curl and a Prometheus scraper, not a web server: one request per
+// connection, bounded request size, short socket timeouts.
+
+#ifndef REACTDB_OBS_EXPORTER_H_
+#define REACTDB_OBS_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace reactdb {
+namespace obs {
+
+class HttpExporter {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  using Handler = std::function<Response()>;
+
+  HttpExporter() = default;
+  ~HttpExporter() { Stop(); }
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Registers `fn` for exact-match GET `path` (query strings are
+  /// stripped). Call before Start.
+  void Handle(std::string path, Handler fn);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see bound_port())
+  /// and starts the accept thread.
+  Status Start(uint16_t port);
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The actually-bound port (differs from the request only for port 0).
+  uint16_t bound_port() const { return bound_port_; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeOne(int client_fd);
+
+  std::vector<std::pair<std::string, Handler>> handlers_;
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace reactdb
+
+#endif  // REACTDB_OBS_EXPORTER_H_

@@ -1,0 +1,174 @@
+#include "src/obs/flight.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace reactdb {
+namespace obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min(n, static_cast<int>(sizeof buf) - 1));
+}
+
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '\\' || c == '"') out->push_back('\\');
+    if (c == '\n') {
+      out->append("\\n");
+      continue;
+    }
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kEpochAdvance:
+      return "epoch_advance";
+    case FlightEventKind::kDurableAdvance:
+      return "durable_advance";
+    case FlightEventKind::kCheckpointBegin:
+      return "checkpoint_begin";
+    case FlightEventKind::kCheckpointCommit:
+      return "checkpoint_commit";
+    case FlightEventKind::kSegmentRoll:
+      return "segment_roll";
+    case FlightEventKind::kShed:
+      return "shed";
+    case FlightEventKind::kFaultFire:
+      return "fault_fire";
+    case FlightEventKind::kIOError:
+      return "io_error";
+    case FlightEventKind::kTracePromote:
+      return "trace_promote";
+    case FlightEventKind::kHealthTransition:
+      return "health_transition";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t num_executors, size_t ring_capacity) {
+  if (ring_capacity == 0) ring_capacity = 1;
+  rings_.reserve(num_executors + 1);
+  for (size_t i = 0; i < num_executors + 1; ++i) {
+    auto ring = std::make_unique<Ring>();
+    ring->buf.resize(ring_capacity);
+    rings_.push_back(std::move(ring));
+  }
+}
+
+void FlightRecorder::Record(uint32_t executor, FlightEventKind kind,
+                            uint64_t a, uint64_t b, const char* detail) {
+  size_t idx =
+      executor == kShared ? rings_.size() - 1
+                          : std::min<size_t>(executor, rings_.size() - 1);
+  Ring& ring = *rings_[idx];
+  double t = clock_ ? clock_() : 0;
+  uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ring.mu);
+  FlightEvent& e = ring.buf[ring.next];
+  e.t_us = t;
+  e.seq = seq;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  if (detail != nullptr) {
+    std::strncpy(e.detail, detail, sizeof e.detail - 1);
+    e.detail[sizeof e.detail - 1] = '\0';
+  } else {
+    e.detail[0] = '\0';
+  }
+  ring.next = (ring.next + 1) % ring.buf.size();
+  ++ring.total;
+}
+
+std::string FlightRecorder::DumpJson() const {
+  // Snapshot every ring under its own lock, then merge by (t_us, seq).
+  std::vector<std::pair<uint32_t, FlightEvent>> events;
+  for (size_t i = 0; i < rings_.size(); ++i) {
+    const Ring& ring = *rings_[i];
+    uint32_t owner =
+        i + 1 == rings_.size() ? kShared : static_cast<uint32_t>(i);
+    std::lock_guard<std::mutex> lock(ring.mu);
+    size_t held = std::min<uint64_t>(ring.total, ring.buf.size());
+    size_t start = (ring.next + ring.buf.size() - held) % ring.buf.size();
+    for (size_t k = 0; k < held; ++k) {
+      events.emplace_back(owner, ring.buf[(start + k) % ring.buf.size()]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& x, const auto& y) {
+              if (x.second.t_us != y.second.t_us) {
+                return x.second.t_us < y.second.t_us;
+              }
+              return x.second.seq < y.second.seq;
+            });
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out.append("[\n");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i].second;
+    out.append("  {\"t_us\":");
+    AppendF(&out, "%.3f", e.t_us);
+    AppendF(&out, ",\"seq\":%" PRIu64, e.seq);
+    out.append(",\"kind\":\"");
+    out.append(FlightEventKindName(e.kind));
+    out.append("\",\"executor\":");
+    if (events[i].first == kShared) {
+      out.append("\"shared\"");
+    } else {
+      AppendF(&out, "%u", events[i].first);
+    }
+    AppendF(&out, ",\"a\":%" PRIu64 ",\"b\":%" PRIu64, e.a, e.b);
+    if (e.detail[0] != '\0') {
+      out.append(",\"detail\":\"");
+      AppendJsonEscaped(&out, e.detail);
+      out.push_back('"');
+    }
+    out.push_back('}');
+    if (i + 1 < events.size()) out.push_back(',');
+    out.push_back('\n');
+  }
+  out.append("]\n");
+  return out;
+}
+
+bool FlightRecorder::TriggerAutoDump(const char* reason) {
+  bool expected = false;
+  if (!dump_fired_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+    return false;
+  }
+  std::string json = DumpJson();
+  std::function<void(const char*, const std::string&)> sink;
+  {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    sink = dump_sink_;
+  }
+  if (sink) {
+    sink(reason, json);
+  } else {
+    REACTDB_LOG(kWarn) << "flight recorder auto dump (" << reason << "): "
+                       << recorded() << " events recorded";
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace reactdb

@@ -1,0 +1,133 @@
+// Flight recorder: the postmortem black box.
+//
+// An always-on, lock-light set of bounded rings holding the most recent
+// *system events* — epoch advances, durable-watermark moves, checkpoint
+// begin/commit, segment rolls, shed decisions, fault-site fires, IO-error
+// latches, trace promotions, health transitions. Each event is stamped on
+// the session clock (virtual microseconds under SimRuntime, steady-clock
+// microseconds under ThreadRuntime) and tagged with a global sequence
+// number so a merged dump is totally ordered even across rings.
+//
+// Events here are *rare* (epoch-rate, not transaction-rate): every emitter
+// sits off the per-transaction hot path (epoch advance, durability flush,
+// shed refusal, fault fire), so a small mutex per ring costs nothing where
+// it matters and keeps the recorder trivially correct. Rings are
+// preallocated at construction — recording never allocates.
+//
+// Database::DumpFlight() serializes the merged, time-ordered JSON; the
+// dump also fires automatically (once — a global latch) on health
+// transition to kUnhealthy, on an audit violation, and from the durability
+// kIOError latch, through the installed dump sink.
+
+#ifndef REACTDB_OBS_FLIGHT_H_
+#define REACTDB_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace reactdb {
+namespace obs {
+
+/// Catalog of recorded system events (see ROADMAP "Operational plane").
+enum class FlightEventKind : uint8_t {
+  kEpochAdvance = 0,    // a = new epoch
+  kDurableAdvance,      // a = new durable epoch
+  kCheckpointBegin,     // a = epoch at begin
+  kCheckpointCommit,    // a = checkpoint epoch
+  kSegmentRoll,         // a = checkpoint epoch the roll retired up to
+  kShed,                // a = outstanding roots at refusal
+  kFaultFire,           // detail = site, a = fire count at that site
+  kIOError,             // detail = status message (truncated)
+  kTracePromote,        // a = root id, b = duration us
+  kHealthTransition,    // a = new state, b = old state (HealthState ints)
+};
+
+const char* FlightEventKindName(FlightEventKind kind);
+
+/// One recorded event. POD; `detail` is a NUL-terminated, truncated tag
+/// (fault site name, IO status, health reason).
+struct FlightEvent {
+  double t_us = 0;
+  uint64_t seq = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  FlightEventKind kind = FlightEventKind::kEpochAdvance;
+  char detail[23] = {0};
+};
+
+class FlightRecorder {
+ public:
+  /// Ring id for events with no owning executor (epoch ticker, durability
+  /// writers, client submits).
+  static constexpr uint32_t kShared = 0xffffffffu;
+
+  /// One ring per executor plus the shared ring, each holding the most
+  /// recent `ring_capacity` events (older events are overwritten).
+  explicit FlightRecorder(size_t num_executors, size_t ring_capacity = 256);
+
+  /// Session clock used to stamp events. Install at Bootstrap, before any
+  /// event can be recorded; unset, events stamp 0.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  /// Sink for automatic dumps: `sink(reason, json)`. Unset, the auto dump
+  /// is logged (truncated) instead.
+  void set_dump_sink(
+      std::function<void(const char* reason, const std::string& json)> sink) {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    dump_sink_ = std::move(sink);
+  }
+
+  /// Records into `executor`'s ring (kShared for the shared ring). Never
+  /// allocates; safe from any thread.
+  void Record(uint32_t executor, FlightEventKind kind, uint64_t a = 0,
+              uint64_t b = 0, const char* detail = nullptr);
+  void RecordShared(FlightEventKind kind, uint64_t a = 0, uint64_t b = 0,
+                    const char* detail = nullptr) {
+    Record(kShared, kind, a, b, detail);
+  }
+
+  /// Merged, time-ordered JSON array of every retained event.
+  std::string DumpJson() const;
+
+  /// Auto-dump latch: the first trigger serializes the rings and hands the
+  /// dump to the sink; every later trigger is a no-op. Returns whether this
+  /// call fired the dump.
+  bool TriggerAutoDump(const char* reason);
+  bool auto_dump_fired() const {
+    return dump_fired_.load(std::memory_order_acquire);
+  }
+
+  /// Events ever recorded (including those since overwritten).
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  size_t ring_capacity() const {
+    return rings_.empty() ? 0 : rings_[0]->buf.size();
+  }
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<FlightEvent> buf;  // preallocated to capacity
+    size_t next = 0;               // next write slot
+    uint64_t total = 0;            // events ever written
+  };
+
+  std::function<double()> clock_;
+  std::vector<std::unique_ptr<Ring>> rings_;  // [0..n) executors, [n] shared
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<bool> dump_fired_{false};
+  std::mutex dump_mu_;
+  std::function<void(const char*, const std::string&)> dump_sink_;
+};
+
+}  // namespace obs
+}  // namespace reactdb
+
+#endif  // REACTDB_OBS_FLIGHT_H_

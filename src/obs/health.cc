@@ -1,0 +1,230 @@
+#include "src/obs/health.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace reactdb {
+namespace obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min(n, static_cast<int>(sizeof buf) - 1));
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\' || c == '"') out->push_back('\\');
+    if (c == '\n') {
+      out->append("\\n");
+      continue;
+    }
+    out->push_back(c);
+  }
+}
+
+std::string Format(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return std::string(buf);
+}
+
+}  // namespace
+
+const char* HealthStateName(HealthState s) {
+  switch (s) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kUnhealthy:
+      return "unhealthy";
+  }
+  return "?";
+}
+
+std::string HealthReport::ToJson() const {
+  std::string out;
+  out.append("{\"state\":\"");
+  out.append(HealthStateName(state));
+  AppendF(&out, "\",\"t_us\":%.3f,\"samples\":%" PRIu64
+               ",\"transitions\":%" PRIu64 ",\"reasons\":[",
+          t_us, samples, transitions);
+  for (size_t i = 0; i < violations.size(); ++i) {
+    const HealthViolation& v = violations[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"rule\":\"");
+    out.append(v.rule);
+    out.append("\",\"severity\":\"");
+    out.append(HealthStateName(v.severity));
+    out.append("\",\"reason\":\"");
+    AppendJsonEscaped(&out, v.reason);
+    out.append("\"}");
+  }
+  out.append("]}\n");
+  return out;
+}
+
+HealthReport HealthMonitor::Evaluate(const HealthInputs& in) {
+  HealthReport report;
+  report.t_us = in.now_us;
+  auto violate = [&report](const char* rule, HealthState severity,
+                           std::string reason) {
+    report.violations.push_back(
+        HealthViolation{rule, severity, std::move(reason)});
+    if (severity > report.state) report.state = severity;
+  };
+
+  // --- IO-error latch: the durability subsystem halted; nothing will ever
+  // become durable again.
+  if (in.io_halted) {
+    violate("io_error", HealthState::kUnhealthy,
+            in.io_status.empty() ? "durability halted" : in.io_status);
+  }
+
+  // --- Audit latch: a serializability violation was detected.
+  if (in.audit_violation) {
+    violate("audit_violation", HealthState::kUnhealthy,
+            "isolation audit detected a serializability violation");
+  }
+
+  // --- Durable-epoch lag: magnitude thresholds, then monotone growth.
+  uint64_t lag = 0;
+  if (in.durability_enabled && in.max_appended_epoch > in.durable_epoch) {
+    lag = in.max_appended_epoch - in.durable_epoch;
+  }
+  if (in.durability_enabled) {
+    if (lag >= options_.durable_lag_unhealthy) {
+      violate("durable_lag", HealthState::kUnhealthy,
+              Format("durable epoch %" PRIu64 " lags appended %" PRIu64
+                     " by %" PRIu64 " epochs",
+                     in.durable_epoch, in.max_appended_epoch, lag));
+    } else if (lag >= options_.durable_lag_degraded) {
+      violate("durable_lag", HealthState::kDegraded,
+              Format("durable epoch %" PRIu64 " lags appended %" PRIu64
+                     " by %" PRIu64 " epochs",
+                     in.durable_epoch, in.max_appended_epoch, lag));
+    }
+    if (has_prev_ && lag > prev_lag_) {
+      ++lag_growth_streak_;
+    } else if (lag <= prev_lag_) {
+      lag_growth_streak_ = 0;
+    }
+    if (lag_growth_streak_ >= options_.lag_growth_samples &&
+        lag >= options_.durable_lag_degraded / 2 &&
+        lag < options_.durable_lag_degraded) {
+      violate("durable_lag_growth", HealthState::kDegraded,
+              Format("durable lag grew %d consecutive samples (now %" PRIu64
+                     " epochs)",
+                     lag_growth_streak_, lag));
+    }
+    prev_lag_ = lag;
+  }
+
+  // --- Stuck epoch: only meaningful while something is waiting on it.
+  if (in.epoch_age_us > options_.max_epoch_age_us &&
+      (in.outstanding_roots > 0 || lag > 0)) {
+    HealthState sev = in.epoch_age_us > 2 * options_.max_epoch_age_us
+                          ? HealthState::kUnhealthy
+                          : HealthState::kDegraded;
+    violate("epoch_stuck", sev,
+            Format("epoch %" PRIu64 " is %.0f us old with work outstanding",
+                   in.epoch_current, in.epoch_age_us));
+  }
+
+  // --- Executor liveness: heartbeat frozen with runnable work.
+  if (prev_heartbeats_.size() != in.executors.size()) {
+    prev_heartbeats_.assign(in.executors.size(), 0);
+    stall_streaks_.assign(in.executors.size(), 0);
+    has_prev_ = false;  // heartbeat baselines are fresh
+  }
+  for (size_t i = 0; i < in.executors.size(); ++i) {
+    const ExecutorHealthSample& e = in.executors[i];
+    if (has_prev_ && e.has_work && e.heartbeat == prev_heartbeats_[i]) {
+      ++stall_streaks_[i];
+    } else {
+      stall_streaks_[i] = 0;
+    }
+    if (stall_streaks_[i] >= options_.stall_samples) {
+      violate("executor_stall", HealthState::kUnhealthy,
+              Format("executor %zu heartbeat frozen for %d samples with "
+                     "work pending",
+                     i, stall_streaks_[i]));
+    }
+    prev_heartbeats_[i] = e.heartbeat;
+  }
+
+  // --- Mailbox pinned at capacity.
+  if (in.mailbox_capacity > 0 &&
+      in.mailbox_depth_max >= in.mailbox_capacity) {
+    ++mailbox_pinned_streak_;
+  } else {
+    mailbox_pinned_streak_ = 0;
+  }
+  if (mailbox_pinned_streak_ >= options_.pinned_samples) {
+    violate("mailbox_pinned", HealthState::kDegraded,
+            Format("mailbox depth %" PRIu64 " pinned at capacity %" PRIu64
+                   " for %d samples",
+                   in.mailbox_depth_max, in.mailbox_capacity,
+                   mailbox_pinned_streak_));
+  }
+
+  // --- Outstanding roots held at the admission watermark.
+  if (in.admission_watermark > 0 &&
+      in.outstanding_roots >= in.admission_watermark) {
+    ++roots_pinned_streak_;
+  } else {
+    roots_pinned_streak_ = 0;
+  }
+  if (roots_pinned_streak_ >= options_.pinned_samples) {
+    violate("roots_watermark", HealthState::kDegraded,
+            Format("outstanding roots %" PRIu64 " held at watermark %" PRIu64
+                   " for %d samples",
+                   in.outstanding_roots, in.admission_watermark,
+                   roots_pinned_streak_));
+  }
+
+  // --- Shed / deadline rate spikes.
+  if (has_prev_ && in.now_us > prev_t_us_) {
+    double dt_s = (in.now_us - prev_t_us_) / 1e6;
+    double shed_rate =
+        static_cast<double>(in.shed_total - prev_shed_) / dt_s;
+    double deadline_rate =
+        static_cast<double>(in.deadline_total - prev_deadline_) / dt_s;
+    if (shed_rate > options_.shed_rate_degraded) {
+      violate("shed_rate", HealthState::kDegraded,
+              Format("shedding %.0f submissions/s", shed_rate));
+    }
+    if (deadline_rate > options_.deadline_rate_degraded) {
+      violate("deadline_rate", HealthState::kDegraded,
+              Format("%.0f deadline expiries/s", deadline_rate));
+    }
+  }
+  prev_shed_ = in.shed_total;
+  prev_deadline_ = in.deadline_total;
+  prev_t_us_ = in.now_us;
+  has_prev_ = true;
+
+  ++samples_;
+  report.samples = samples_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (report.state != last_.state) ++transitions_;
+    report.transitions = transitions_;
+    last_ = report;
+  }
+  return report;
+}
+
+}  // namespace obs
+}  // namespace reactdb

@@ -1,0 +1,143 @@
+// Health watchdog: declarative liveness rules over sampled signals.
+//
+// Evaluated once per monitor sample (see ROADMAP "Operational plane" for
+// the rule table). Each rule inspects the HealthInputs the runtime fills
+// from its own atomics — epoch age, durable-epoch lag, mailbox depths,
+// outstanding roots, executor heartbeats, the audit latch, shed/deadline
+// counters — and contributes a violation at kDegraded or kUnhealthy
+// severity; the report's state is the worst contributing severity.
+// Several rules are *streak* rules (condition held for N consecutive
+// samples) so transient blips under load do not flap the state.
+//
+// The monitor is deterministic under SimRuntime: inputs derive from the
+// virtual clock and the deterministic workload, so two same-seed runs
+// produce the same state timeline and transition count.
+
+#ifndef REACTDB_OBS_HEALTH_H_
+#define REACTDB_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace reactdb {
+namespace obs {
+
+enum class HealthState : int { kOk = 0, kDegraded = 1, kUnhealthy = 2 };
+
+const char* HealthStateName(HealthState s);
+
+/// Rule thresholds. Defaults are lenient on purpose: a clean run — even a
+/// chaos run whose transient faults are absorbed by retries — must stay
+/// kOk; only *persistent* conditions (latched IO error, monotone durability
+/// lag, a stalled executor with work pending) trip the watchdog.
+struct HealthOptions {
+  /// Stuck epoch: age above the bound while work is outstanding or
+  /// durability is behind → kDegraded; twice the bound → kUnhealthy.
+  double max_epoch_age_us = 5e6;
+  /// Durable-epoch lag (epochs appended but not yet fsynced) magnitude
+  /// thresholds.
+  uint64_t durable_lag_degraded = 8;
+  uint64_t durable_lag_unhealthy = 16;
+  /// Monotone-growth rule: lag strictly increased for this many consecutive
+  /// samples (and is at least durable_lag_degraded / 2) → kDegraded.
+  int lag_growth_samples = 3;
+  /// Executor liveness: heartbeat unchanged with work pending for this many
+  /// consecutive samples → kUnhealthy.
+  int stall_samples = 2;
+  /// Mailbox depth pinned at capacity / outstanding roots pinned at the
+  /// admission watermark for this many consecutive samples → kDegraded.
+  int pinned_samples = 2;
+  /// Shed / deadline-expiry rate spikes (per second) → kDegraded.
+  double shed_rate_degraded = 500.0;
+  double deadline_rate_degraded = 500.0;
+};
+
+/// One executor's liveness sample: its heartbeat counter (bumped by every
+/// pump iteration) and whether it had runnable work at sample time.
+struct ExecutorHealthSample {
+  uint64_t heartbeat = 0;
+  bool has_work = false;
+};
+
+/// Signals the runtime hands to Evaluate, all sampled at the same instant.
+struct HealthInputs {
+  double now_us = 0;
+  uint64_t epoch_current = 0;
+  double epoch_age_us = 0;
+  bool durability_enabled = false;
+  uint64_t durable_epoch = 0;
+  uint64_t max_appended_epoch = 0;
+  bool io_halted = false;
+  std::string io_status;  // empty unless halted
+  bool audit_violation = false;
+  uint64_t mailbox_depth_max = 0;
+  uint64_t mailbox_capacity = 0;  // 0 = unbounded
+  uint64_t outstanding_roots = 0;
+  uint64_t admission_watermark = 0;  // 0 = shedding disabled
+  uint64_t shed_total = 0;           // cumulative
+  uint64_t deadline_total = 0;       // cumulative
+  std::vector<ExecutorHealthSample> executors;
+};
+
+struct HealthViolation {
+  const char* rule = "";
+  HealthState severity = HealthState::kDegraded;
+  std::string reason;
+};
+
+struct HealthReport {
+  HealthState state = HealthState::kOk;
+  double t_us = 0;
+  uint64_t samples = 0;      // evaluations so far
+  uint64_t transitions = 0;  // state changes so far
+  std::vector<HealthViolation> violations;
+
+  /// {"state":"ok","reasons":[{"rule":...,"severity":...,"reason":...}]}
+  std::string ToJson() const;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthOptions options) : options_(options) {}
+
+  /// Evaluates every rule against `in`, updates streaks, publishes the
+  /// report, and returns it. Call from the single sampler context; the
+  /// published report (last()) may be read from any thread.
+  HealthReport Evaluate(const HealthInputs& in);
+
+  HealthReport last() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_;
+  }
+  uint64_t transitions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_.transitions;
+  }
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  HealthOptions options_;
+  mutable std::mutex mu_;
+  HealthReport last_;  // guarded by mu_
+  uint64_t transitions_ = 0;
+  uint64_t samples_ = 0;
+
+  // Streak state.
+  bool has_prev_ = false;
+  double prev_t_us_ = 0;
+  uint64_t prev_lag_ = 0;
+  int lag_growth_streak_ = 0;
+  int mailbox_pinned_streak_ = 0;
+  int roots_pinned_streak_ = 0;
+  uint64_t prev_shed_ = 0;
+  uint64_t prev_deadline_ = 0;
+  std::vector<uint64_t> prev_heartbeats_;
+  std::vector<int> stall_streaks_;
+};
+
+}  // namespace obs
+}  // namespace reactdb
+
+#endif  // REACTDB_OBS_HEALTH_H_

@@ -32,6 +32,20 @@ void AppendNumber(std::string* out, double v) {
   }
 }
 
+/// HELP-line escaping per the exposition format: backslash and newline only
+/// (quotes are legal in help text, unlike in label values).
+void AppendHelpEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
 void AppendEscaped(std::string* out, const std::string& s) {
   for (char c : s) {
     if (c == '\\' || c == '"') out->push_back('\\');
@@ -234,7 +248,7 @@ std::string StatsSnapshot::ToPrometheus() const {
         out.append("# HELP ");
         out.append(s.name);
         out.push_back(' ');
-        out.append(s.help);
+        AppendHelpEscaped(&out, s.help);
         out.push_back('\n');
       }
       out.append("# TYPE ");
@@ -320,7 +334,7 @@ std::string StatsSnapshot::ToJson() const {
       out.append(",\"p50\":");
       AppendNumber(&out, s.hist.Median());
       out.append(",\"p99\":");
-      AppendNumber(&out, s.hist.Percentile(0.99));
+      AppendNumber(&out, s.hist.Quantile(0.99));
       out.append(",\"min\":");
       AppendNumber(&out, s.hist.min());
       out.append(",\"max\":");

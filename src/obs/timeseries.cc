@@ -1,0 +1,251 @@
+#include "src/obs/timeseries.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace reactdb {
+namespace obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min(n, static_cast<int>(sizeof buf) - 1));
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\' || c == '"') out->push_back('\\');
+    if (c == '\n') {
+      out->append("\\n");
+      continue;
+    }
+    out->push_back(c);
+  }
+}
+
+/// Stable series key: the name plus the registration-ordered label pairs,
+/// joined on a separator no metric name contains.
+std::string SeriesKey(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& kv : labels) {
+    key.push_back('\x1f');
+    key.append(kv.first);
+    key.push_back('=');
+    key.append(kv.second);
+  }
+  return key;
+}
+
+bool LabelsMatch(const Labels& want, const Labels& have) {
+  for (const auto& w : want) {
+    bool found = false;
+    for (const auto& h : have) {
+      if (h.first == w.first && h.second == w.second) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(size_t window)
+    : window_(window == 0 ? 1 : window) {}
+
+void TimeSeriesStore::PushPoint(Series* s, size_t window, SeriesPoint p) {
+  if (s->ring.size() < window) {
+    s->ring.push_back(p);
+    s->next = s->ring.size() % window;
+  } else {
+    s->ring[s->next] = p;
+    s->next = (s->next + 1) % s->ring.size();
+  }
+  s->count = std::min(s->count + 1, window);
+}
+
+void TimeSeriesStore::Sample(double t_us, const StatsSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++samples_;
+  for (const MetricSample& m : snap.samples) {
+    std::string key = SeriesKey(m.name, m.labels);
+    Series& s = series_[key];
+    if (s.name.empty()) {
+      s.name = m.name;
+      s.type = m.type;
+      s.labels = m.labels;
+    }
+    SeriesPoint p;
+    p.t_us = t_us;
+    switch (m.type) {
+      case MetricType::kCounter: {
+        p.value = m.value;
+        if (s.has_prev && s.count > 0) {
+          double dt_us = t_us - s.ring[(s.next + s.ring.size() - 1) %
+                                       s.ring.size()].t_us;
+          if (dt_us > 0) {
+            p.rate_per_s = (m.value - s.prev_value) * 1e6 / dt_us;
+          }
+        }
+        s.prev_value = m.value;
+        break;
+      }
+      case MetricType::kGauge: {
+        p.value = m.value;
+        s.prev_value = m.value;
+        break;
+      }
+      case MetricType::kHistogram: {
+        p.value = static_cast<double>(m.hist.count());
+        if (s.has_prev && s.count > 0) {
+          double dt_us = t_us - s.ring[(s.next + s.ring.size() - 1) %
+                                       s.ring.size()].t_us;
+          if (dt_us > 0) {
+            p.rate_per_s = (p.value - s.prev_value) * 1e6 / dt_us;
+          }
+        }
+        // Per-interval delta: cumulative buckets minus the previous
+        // cumulative buckets (both sides bin identically — fixed layout).
+        Histogram delta;
+        for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+          uint64_t cur = m.hist.bucket_count(b);
+          uint64_t prev = s.has_prev ? s.prev_hist.bucket_count(b) : 0;
+          if (cur > prev) delta.AccumulateBucket(b, cur - prev);
+        }
+        delta.AddToSum(m.hist.sum() -
+                       (s.has_prev ? s.prev_hist.sum() : 0.0));
+        if (s.hist_ring.size() < window_) {
+          s.hist_ring.push_back(std::move(delta));
+        } else {
+          s.hist_ring[s.next] = std::move(delta);
+        }
+        s.prev_hist = m.hist;
+        s.prev_value = p.value;
+        break;
+      }
+    }
+    PushPoint(&s, window_, p);
+    s.has_prev = true;
+  }
+}
+
+const TimeSeriesStore::Series* TimeSeriesStore::FindLocked(
+    std::string_view name, const Labels& labels) const {
+  for (const auto& [key, s] : series_) {
+    if (s.name == name && LabelsMatch(labels, s.labels)) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<SeriesPoint> TimeSeriesStore::Points(std::string_view name,
+                                                 const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Series* s = FindLocked(name, labels);
+  std::vector<SeriesPoint> out;
+  if (s == nullptr || s->count == 0) return out;
+  out.reserve(s->count);
+  size_t start = (s->next + s->ring.size() - s->count) % s->ring.size();
+  for (size_t i = 0; i < s->count; ++i) {
+    out.push_back(s->ring[(start + i) % s->ring.size()]);
+  }
+  return out;
+}
+
+Histogram TimeSeriesStore::WindowHistogram(std::string_view name,
+                                           const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Series* s = FindLocked(name, labels);
+  Histogram out;
+  if (s == nullptr) return out;
+  for (const Histogram& h : s->hist_ring) out.Merge(h);
+  return out;
+}
+
+std::string TimeSeriesStore::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  out.append("[\n");
+  bool first_series = true;
+  for (const auto& [key, s] : series_) {
+    if (!first_series) out.append(",\n");
+    first_series = false;
+    out.append("  {\"name\":\"");
+    AppendJsonEscaped(&out, s.name);
+    out.append("\",\"type\":\"");
+    out.append(TypeName(s.type));
+    out.append("\",\"labels\":{");
+    for (size_t j = 0; j < s.labels.size(); ++j) {
+      if (j > 0) out.push_back(',');
+      out.push_back('"');
+      AppendJsonEscaped(&out, s.labels[j].first);
+      out.append("\":\"");
+      AppendJsonEscaped(&out, s.labels[j].second);
+      out.push_back('"');
+    }
+    out.append("},\"points\":[");
+    size_t start =
+        s.count == 0 ? 0 : (s.next + s.ring.size() - s.count) % s.ring.size();
+    for (size_t i = 0; i < s.count; ++i) {
+      const SeriesPoint& p = s.ring[(start + i) % s.ring.size()];
+      if (i > 0) out.push_back(',');
+      out.append("{\"t_us\":");
+      AppendF(&out, "%.3f", p.t_us);
+      out.append(",\"value\":");
+      AppendF(&out, "%.6g", p.value);
+      out.append(",\"rate_per_s\":");
+      AppendF(&out, "%.6g", p.rate_per_s);
+      out.push_back('}');
+    }
+    out.push_back(']');
+    if (s.type == MetricType::kHistogram) {
+      Histogram win;
+      for (const Histogram& h : s.hist_ring) win.Merge(h);
+      AppendF(&out, ",\"window\":{\"count\":%" PRIu64, win.count());
+      out.append(",\"mean\":");
+      AppendF(&out, "%.6g", win.Mean());
+      out.append(",\"p50\":");
+      AppendF(&out, "%.6g", win.Quantile(0.5));
+      out.append(",\"p99\":");
+      AppendF(&out, "%.6g", win.Quantile(0.99));
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out.append("\n]\n");
+  return out;
+}
+
+uint64_t TimeSeriesStore::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+size_t TimeSeriesStore::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+}  // namespace obs
+}  // namespace reactdb

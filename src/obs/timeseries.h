@@ -1,0 +1,97 @@
+// Metric time series: bounded ring windows over registry snapshots.
+//
+// The metrics registry (obs/metrics.h) keeps lifetime sums; this store
+// turns them into *windows*. A periodic sampler (a real thread under
+// ThreadRuntime, the EventQueue ticker under SimRuntime — see ROADMAP
+// "Operational plane" for the clock domains) calls Sample() with the
+// session-clock timestamp and a fresh StatsSnapshot; the store keeps, per
+// metric, a bounded ring of points with the instantaneous value and — for
+// counters — the delta rate since the previous sample. Histogram-typed
+// metrics additionally keep the per-interval bucket *delta* histogram, so
+// "p99 over the last window" is an exact merge of window deltas
+// (Histogram::Quantile), not a lifetime aggregate.
+//
+// Sampling allocates (string keys, ring growth on first sight of a
+// metric); it runs on the sampler context, never on the transaction hot
+// path. Queries copy out under the same mutex.
+
+#ifndef REACTDB_OBS_TIMESERIES_H_
+#define REACTDB_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/histogram.h"
+
+namespace reactdb {
+namespace obs {
+
+/// One sample of one metric. For counters `value` is the cumulative total
+/// and `rate_per_s` the delta rate over the sampling interval; for gauges
+/// the instantaneous value (rate 0); for histograms the cumulative count.
+struct SeriesPoint {
+  double t_us = 0;
+  double value = 0;
+  double rate_per_s = 0;
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(size_t window = 64);
+
+  /// Folds one registry snapshot taken at session time `t_us` into the
+  /// per-metric rings.
+  void Sample(double t_us, const StatsSnapshot& snap);
+
+  /// Points of one series, oldest first (empty when unknown). Labels match
+  /// as in StatsSnapshot::Find: every given pair must be present.
+  std::vector<SeriesPoint> Points(std::string_view name,
+                                  const Labels& labels = {}) const;
+
+  /// Exact merge of the histogram deltas currently in the window (empty
+  /// histogram for non-histogram or unknown series). Quantile() of the
+  /// result is "pN over the last window".
+  Histogram WindowHistogram(std::string_view name,
+                            const Labels& labels = {}) const;
+
+  /// Every series as one JSON object: name, labels, type, points; window
+  /// p50/p99/mean for histogram series. Deterministic: series are emitted
+  /// in sorted key order, points oldest first.
+  std::string ToJson() const;
+
+  uint64_t samples_taken() const;
+  size_t series_count() const;
+  size_t window() const { return window_; }
+
+ private:
+  struct Series {
+    std::string name;
+    MetricType type = MetricType::kGauge;
+    Labels labels;
+    std::vector<SeriesPoint> ring;  // ring over `window_` slots
+    size_t next = 0;
+    size_t count = 0;
+    bool has_prev = false;
+    double prev_value = 0;
+    Histogram prev_hist;               // last cumulative histogram
+    std::vector<Histogram> hist_ring;  // per-interval deltas (histograms)
+  };
+
+  const Series* FindLocked(std::string_view name, const Labels& labels) const;
+  static void PushPoint(Series* s, size_t window, SeriesPoint p);
+
+  size_t window_;
+  mutable std::mutex mu_;
+  std::map<std::string, Series> series_;  // key: name + serialized labels
+  uint64_t samples_ = 0;
+};
+
+}  // namespace obs
+}  // namespace reactdb
+
+#endif  // REACTDB_OBS_TIMESERIES_H_

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "src/obs/flight.h"
+
 namespace reactdb {
 namespace obs {
 
@@ -76,6 +78,11 @@ void TraceStore::Finish(TxnTrace* trace, uint32_t executor, bool committed,
       trace->latency_us() >= options_.slow_threshold_us) {
     retained_.Push(*trace);
     ++promoted_;
+    if (flight_ != nullptr) {
+      flight_->Record(executor, FlightEventKind::kTracePromote,
+                      trace->root_id,
+                      static_cast<uint64_t>(trace->latency_us()));
+    }
   }
   free_.push_back(trace);
 }

@@ -39,6 +39,8 @@
 namespace reactdb {
 namespace obs {
 
+class FlightRecorder;
+
 enum class SpanKind : uint8_t {
   kSubmit,        // client handed the root to the runtime
   kDispatch,      // root frame started on its home executor
@@ -176,6 +178,12 @@ class TraceStore {
   /// Ordered spans of the retained ring (then recent rings) as JSON.
   std::string DumpJson() const;
 
+  /// Flight recorder (may be null): every slow-trace promotion is stamped
+  /// kTracePromote (a = root id, b = latency in whole microseconds) so a
+  /// postmortem dump shows which transactions went slow before a health
+  /// transition. Install before traffic starts.
+  void set_flight(FlightRecorder* flight) { flight_ = flight; }
+
  private:
   struct Ring {
     std::vector<TxnTrace> slots;
@@ -195,6 +203,7 @@ class TraceStore {
   std::vector<Ring> recent_;  // one per executor
   Ring retained_;
   uint64_t promoted_ = 0;
+  FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace obs

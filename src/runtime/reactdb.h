@@ -109,6 +109,21 @@
 //   db.AuditStatus().violation;            // latched online verdict
 //   // offline: `reactdb_audit /var/lib/myapp` (exit 0 clean, 1 violation)
 //
+//   // Operational plane (src/obs/, PR 10): Options::monitor arms a
+//   // periodic sampler — metric time-series windows with delta rates and
+//   // a health watchdog; the flight recorder (always on) keeps a bounded
+//   // ring of system events and auto-dumps once on the first unhealthy
+//   // transition, audit violation, or IO-error latch.
+//   client::Database::Options mopts;
+//   mopts.monitor.enabled = true;          // off by default
+//   mopts.monitor.sample_interval_us = 100000;
+//   mopts.exporter_port = 9464;            // live HTTP (threads only):
+//   db.Open(&def, dc, mopts);              //   /metrics /healthz /vars
+//   ...                                    //   /series /traces /flight
+//   db.Health().state;                     // kOk / kDegraded / kUnhealthy
+//   db.Series();                           // time-series windows, JSON
+//   db.DumpFlight();                       // merged black-box dump, JSON
+//
 // Changing the database architecture (shared-nothing vs shared-everything,
 // affinity, MPL) only changes the DeploymentConfig — never application
 // code. Changing between real threads and the calibrated discrete-event

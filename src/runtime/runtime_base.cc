@@ -227,6 +227,112 @@ void RuntimeBase::RegisterMetrics() {
   // swaps in an enabled one.
   tracer_ = std::make_unique<obs::TraceStore>(obs::TraceOptions{},
                                               executors_.size());
+
+  // The flight recorder is always armed: emitters are all off the
+  // transaction hot path (epoch advances, durability flushes, sheds, fault
+  // fires), so a disabled-monitor run records the same black box for free.
+  flight_ = std::make_unique<obs::FlightRecorder>(
+      executors_.size(), monitor_options_.flight_ring);
+  flight_->set_clock([this] { return SessionNowUs(); });
+  tracer_->set_flight(flight_.get());
+  epochs_.set_on_advance([this](uint64_t epoch) {
+    last_epoch_advance_us_.store(static_cast<uint64_t>(SessionNowUs()),
+                                 std::memory_order_relaxed);
+    flight_->RecordShared(obs::FlightEventKind::kEpochAdvance, epoch);
+  });
+  if (fault_injector_ != nullptr) fault_injector_->set_flight(flight_.get());
+}
+
+Status RuntimeBase::EnableMonitoring(const MonitorOptions& options) {
+  if (def_ == nullptr) return Status::Internal("Bootstrap first");
+  if (series_ != nullptr) return Status::Internal("monitoring already on");
+  monitor_options_ = options;
+  if (!options.enabled) return Status::OK();
+  if (options.flight_ring != flight_->ring_capacity()) {
+    // Re-arm the black box at the requested capacity (drops bootstrap-era
+    // events) and re-wire the emitters that hold raw pointers. Runs before
+    // any transaction, so the swap is unobserved.
+    flight_ = std::make_unique<obs::FlightRecorder>(executors_.size(),
+                                                    options.flight_ring);
+    flight_->set_clock([this] { return SessionNowUs(); });
+    tracer_->set_flight(flight_.get());
+    if (fault_injector_ != nullptr) {
+      fault_injector_->set_flight(flight_.get());
+    }
+    if (durability_ != nullptr) durability_->set_flight(flight_.get());
+  }
+  series_ = std::make_unique<obs::TimeSeriesStore>(options.window);
+  health_ = std::make_unique<obs::HealthMonitor>(options.health);
+  last_epoch_advance_us_.store(static_cast<uint64_t>(SessionNowUs()),
+                               std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void RuntimeBase::MonitorTick() {
+  if (series_ == nullptr || health_ == nullptr) return;
+  double now = SessionNowUs();
+  obs::StatsSnapshot snap = metrics_.Collect();
+  series_->Sample(now, snap);
+
+  obs::HealthInputs in;
+  in.now_us = now;
+  in.epoch_current = epochs_.current();
+  uint64_t last_advance =
+      last_epoch_advance_us_.load(std::memory_order_relaxed);
+  in.epoch_age_us = now > static_cast<double>(last_advance)
+                        ? now - static_cast<double>(last_advance)
+                        : 0;
+  if (durability_ != nullptr) {
+    in.durability_enabled = true;
+    in.durable_epoch = durability_->durable_epoch();
+    in.max_appended_epoch = durability_->max_appended_epoch();
+    in.io_halted = durability_->halted();
+    if (in.io_halted) in.io_status = durability_->io_status().ToString();
+  }
+  if (auditor_ != nullptr) in.audit_violation = auditor_->status().violation;
+  if (transport_ != nullptr) {
+    for (uint32_t c = 0; c < transport_->num_containers(); ++c) {
+      transport::Mailbox& mb =
+          const_cast<transport::Transport*>(transport_.get())->mailbox(c);
+      in.mailbox_depth_max =
+          std::max<uint64_t>(in.mailbox_depth_max, mb.size());
+    }
+    in.mailbox_capacity = static_cast<uint64_t>(
+        dc_.mailbox_capacity > 0 ? dc_.mailbox_capacity : 0);
+  }
+  in.outstanding_roots = outstanding_roots();
+  in.admission_watermark = static_cast<uint64_t>(
+      dc_.shed_outstanding_roots > 0 ? dc_.shed_outstanding_roots : 0);
+  in.shed_total = stats_.shed.load(std::memory_order_relaxed);
+  in.deadline_total = stats_.aborted_deadline.load(std::memory_order_relaxed);
+  SampleExecutors(&in.executors);
+
+  obs::HealthState prev = health_->last().state;
+  obs::HealthReport report = health_->Evaluate(in);
+  if (report.state != prev) {
+    const char* detail = report.violations.empty()
+                             ? ""
+                             : report.violations.front().rule;
+    flight_->RecordShared(obs::FlightEventKind::kHealthTransition,
+                          static_cast<uint64_t>(report.state),
+                          static_cast<uint64_t>(prev), detail);
+    if (report.state == obs::HealthState::kUnhealthy) {
+      flight_->TriggerAutoDump("health_unhealthy");
+    }
+  }
+  if (in.audit_violation) flight_->TriggerAutoDump("audit_violation");
+}
+
+void RuntimeBase::SampleExecutors(
+    std::vector<obs::ExecutorHealthSample>* out) const {
+  out->clear();
+  out->reserve(executors_.size());
+  for (const ExecutorInfo* info : executors_) {
+    obs::ExecutorHealthSample s;
+    s.heartbeat = info->heartbeat.load(std::memory_order_relaxed);
+    s.has_work = false;
+    out->push_back(s);
+  }
 }
 
 Status RuntimeBase::EnableTracing(const obs::TraceOptions& options) {
@@ -235,6 +341,7 @@ Status RuntimeBase::EnableTracing(const obs::TraceOptions& options) {
     return Status::Internal("EnableTracing with transactions in flight");
   }
   tracer_ = std::make_unique<obs::TraceStore>(options, executors_.size());
+  tracer_->set_flight(flight_.get());
   if (options.enabled && durability_ != nullptr) {
     // Group commit seals epochs after finalize; stamp retained traces when
     // the durable watermark advances past their commit epoch.
@@ -363,6 +470,32 @@ void RuntimeBase::CollectRuntimeSamples(
     }
   }
 
+  // Health surface: the watchdog's last published report (one sample of
+  // lag behind the live evaluation — the collector may run mid-interval).
+  if (health_ != nullptr) {
+    obs::HealthReport h = health_->last();
+    gauge("reactdb_health_state",
+          "Watchdog state: 0 ok, 1 degraded, 2 unhealthy",
+          static_cast<double>(static_cast<int>(h.state)));
+    counter("reactdb_health_transitions_total",
+            "Watchdog state changes since startup",
+            static_cast<double>(h.transitions));
+    counter("reactdb_health_samples_total",
+            "Watchdog evaluations since startup",
+            static_cast<double>(h.samples));
+    for (const obs::HealthViolation& v : h.violations) {
+      gauge("reactdb_health_rule_active",
+            "1 while a health rule is firing, by rule",
+            static_cast<double>(static_cast<int>(v.severity)),
+            {{"rule", v.rule}});
+    }
+  }
+  if (flight_ != nullptr) {
+    counter("reactdb_flight_events_total",
+            "System events recorded by the flight recorder",
+            static_cast<double>(flight_->recorded()));
+  }
+
   if (tracer_ != nullptr && tracer_->enabled()) {
     counter("reactdb_trace_promoted_total",
             "Traces promoted into the slow-transaction ring",
@@ -418,6 +551,7 @@ Status RuntimeBase::EnableDurability(const log::DurabilityOptions& options) {
   durability_ = std::make_unique<log::DurabilityManager>(
       &epochs_, dc_.num_containers, dc_.executors_per_container, options);
   durability_->set_notify_progress([this] { NotifyClientProgress(); });
+  durability_->set_flight(flight_.get());
   direct_epoch_slot_ = epochs_.RegisterSlot();
   return durability_->OpenStorage();
 }
@@ -728,6 +862,7 @@ Status RuntimeBase::Submit(ReactorId reactor_id, ProcId proc_id, Row args,
       submitted_roots_.fetch_sub(1, std::memory_order_seq_cst);
       stats_.shed.fetch_add(1, std::memory_order_relaxed);
       metrics_.AddShared(metric_ids_.txn_shed);
+      flight_->RecordShared(obs::FlightEventKind::kShed, outstanding_roots());
       NotifyClientProgress();
       return Status::Overloaded("admission: over watermark");
     }

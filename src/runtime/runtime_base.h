@@ -26,7 +26,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/obs/flight.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/reactor/context.h"
 #include "src/reactor/frame.h"
@@ -69,6 +72,23 @@ struct RuntimeStats {
     return aborted_cc.load() + aborted_user.load() + aborted_safety.load() +
            aborted_deadline.load();
   }
+};
+
+/// Operational-plane configuration (Database::Options::monitor): the
+/// periodic sampler, its time-series windows, and the health watchdog.
+/// The flight recorder is always on (it is passive until events happen);
+/// sampling and health evaluation run only when `enabled`.
+struct MonitorOptions {
+  bool enabled = false;
+  /// Sampling cadence on the session clock (virtual microseconds under
+  /// SimRuntime — deterministic; steady-clock microseconds under
+  /// ThreadRuntime).
+  uint64_t sample_interval_us = 100000;
+  /// Points retained per metric time series.
+  size_t window = 64;
+  obs::HealthOptions health;
+  /// Flight-recorder ring capacity (events per ring).
+  size_t flight_ring = 256;
 };
 
 /// Per-submission options of the handle-path Submit overload.
@@ -281,6 +301,23 @@ class RuntimeBase : public CallBridge {
   /// Never null after Bootstrap; disabled store unless EnableTracing ran.
   obs::TraceStore* tracer() const { return tracer_.get(); }
 
+  /// Turns on the operational plane: the time-series store and the health
+  /// watchdog (see ROADMAP "Operational plane"). Call after Bootstrap,
+  /// EnableDurability, and EnableAudit; the sampler *driver* — a real
+  /// thread under ThreadRuntime, the EventQueue ticker under SimRuntime —
+  /// is installed by Database::Open and calls MonitorTick per interval.
+  Status EnableMonitoring(const MonitorOptions& options);
+  /// One monitor sample: registry snapshot → time-series fold → health
+  /// evaluation → flight event + auto dump on a transition to kUnhealthy.
+  /// No-op unless EnableMonitoring ran. Single sampler context only.
+  void MonitorTick();
+  /// Null unless EnableMonitoring ran.
+  obs::TimeSeriesStore* series() const { return series_.get(); }
+  obs::HealthMonitor* health() const { return health_.get(); }
+  /// Never null after Bootstrap (the black box is always armed).
+  obs::FlightRecorder* flight() const { return flight_.get(); }
+  const MonitorOptions& monitor_options() const { return monitor_options_; }
+
   EpochManager* epochs() { return &epochs_; }
   const DeploymentConfig& deployment() const { return dc_; }
   const RuntimeStats& stats() const { return stats_; }
@@ -305,6 +342,11 @@ class RuntimeBase : public CallBridge {
     TidSource tids;
     size_t epoch_slot = 0;
     std::atomic<int> open_frames{0};
+    /// Liveness heartbeat: bumped (single-writer, relaxed) by every pump
+    /// iteration of the owning executor — ThreadRuntime's ExecutorLoop,
+    /// SimRuntime's ProcessTask. The health watchdog reads it per sample;
+    /// a frozen value with work pending means a stalled executor.
+    std::atomic<uint64_t> heartbeat{0};
     /// Transaction arenas owned by this executor: one is bound to each root
     /// it starts and reclaimed when that root finalizes (both on this
     /// executor, so the pool needs no locking). See ROADMAP "Allocation
@@ -365,6 +407,13 @@ class RuntimeBase : public CallBridge {
   /// `force` requests a flush even with auto_flush off (WaitDurable,
   /// checkpoint fences).
   virtual void KickDurability(bool force = false);
+
+  /// Fills one liveness sample per executor for the health watchdog:
+  /// its heartbeat counter and whether it had runnable work at sample
+  /// time. The base fills heartbeats with has_work=false; the runtimes
+  /// override to consult their queues.
+  virtual void SampleExecutors(
+      std::vector<obs::ExecutorHealthSample>* out) const;
 
   /// Whether FinalizeRoot broadcasts CommitVote messages to the other
   /// participant containers of a multi-container transaction (the decision
@@ -469,6 +518,17 @@ class RuntimeBase : public CallBridge {
   /// Constructed (disabled) at Bootstrap; EnableTracing swaps in an enabled
   /// store. Executors only ever see it through root->trace null tests.
   std::unique_ptr<obs::TraceStore> tracer_;
+
+  // --- Operational plane (see ROADMAP "Operational plane") ------------------
+  /// Always-on black box, constructed at Bootstrap; every emitter
+  /// (durability, faults, traces, epoch advances, sheds) records into it.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  /// Null unless EnableMonitoring ran.
+  std::unique_ptr<obs::TimeSeriesStore> series_;
+  std::unique_ptr<obs::HealthMonitor> health_;
+  MonitorOptions monitor_options_;
+  /// Session time of the last epoch advance (for the stuck-epoch rule).
+  std::atomic<uint64_t> last_epoch_advance_us_{0};
 };
 
 }  // namespace reactdb

@@ -184,6 +184,7 @@ void SimRuntime::Dispatch(uint32_t executor) {
 
 void SimRuntime::ProcessTask(SimExecutor* exec, SimTask task) {
   REACTDB_CHECK(current_executor_ == kNoExecutor);
+  exec->heartbeat.fetch_add(1, std::memory_order_relaxed);
   current_executor_ = exec->id;
   segment_start_ = std::max(events_.now(), exec->busy_until);
   segment_cost_ = 0;
@@ -201,6 +202,18 @@ void SimRuntime::ProcessTask(SimExecutor* exec, SimTask task) {
   exec->busy_total += segment_cost_;
   current_executor_ = kNoExecutor;
   segment_cost_ = 0;
+}
+
+void SimRuntime::SampleExecutors(
+    std::vector<obs::ExecutorHealthSample>* out) const {
+  out->clear();
+  out->reserve(sim_execs_.size());
+  for (const auto& exec : sim_execs_) {
+    obs::ExecutorHealthSample s;
+    s.heartbeat = exec->heartbeat.load(std::memory_order_relaxed);
+    s.has_work = HasEligible(*exec) || exec->dispatch_scheduled;
+    out->push_back(s);
+  }
 }
 
 std::unique_ptr<transport::Link> SimRuntime::MakeLink() {

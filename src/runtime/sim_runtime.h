@@ -78,6 +78,10 @@ class SimRuntime : public RuntimeBase {
   void CreateExecutors() override;
   void ChargeCs() override { Charge(ChargeKind::kCs, params_.cs_us); }
   void ChargeCommitCost(RootTxn* root) override;
+  /// has_work = a lane has an eligible task or a dispatch event is already
+  /// in flight; heartbeats advance once per ProcessTask segment.
+  void SampleExecutors(
+      std::vector<obs::ExecutorHealthSample>* out) const override;
 
   // --- Transport (virtual-time integration) --------------------------------
   //

@@ -129,6 +129,7 @@ void ThreadRuntime::ExecutorLoop(ThreadExecutor* exec) {
         }
       }
       if (exec->stop) break;
+      exec->heartbeat.fetch_add(1, std::memory_order_relaxed);
       if (!exec->ready.empty()) {
         task = std::move(exec->ready.front());
         exec->ready.pop_front();
@@ -150,6 +151,23 @@ void ThreadRuntime::ExecutorLoop(ThreadExecutor* exec) {
   // left is response/vote traffic whose envelopes teardown reclaims.
   if (transport_ != nullptr) transport_->Flush(exec->id);
   internal::SetCurrentResumeHook(nullptr);
+}
+
+void ThreadRuntime::SampleExecutors(
+    std::vector<obs::ExecutorHealthSample>* out) const {
+  out->clear();
+  out->reserve(threads_.size());
+  for (const auto& exec : threads_) {
+    obs::ExecutorHealthSample s;
+    s.heartbeat = exec->heartbeat.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(exec->mu);
+      s.has_work = !exec->ready.empty() ||
+                   (!exec->admission.empty() &&
+                    (dc_.mpl == 0 || exec->active_roots < dc_.mpl));
+    }
+    out->push_back(s);
+  }
 }
 
 void ThreadRuntime::PostReady(uint32_t executor, std::function<void()> task) {

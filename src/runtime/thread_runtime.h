@@ -69,6 +69,11 @@ class ThreadRuntime : public RuntimeBase {
   /// Real threads pay real cross-container traffic: broadcast the commit
   /// decision records of multi-container transactions.
   bool EmitCommitVotes() const override { return true; }
+  /// has_work = queued work an executor should be making progress on
+  /// (ready lane non-empty, or an admissible root under the MPL);
+  /// heartbeats advance once per ExecutorLoop iteration.
+  void SampleExecutors(
+      std::vector<obs::ExecutorHealthSample>* out) const override;
 
  private:
   struct ThreadExecutor : ExecutorInfo {

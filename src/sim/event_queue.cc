@@ -11,6 +11,9 @@ void EventQueue::Schedule(double time_us, EventFn fn) {
 
 bool EventQueue::RunNext() {
   if (events_.empty()) return false;
+  // Any ticks the clock crosses on the way to the next event fire first, in
+  // time order, before the event dispatches.
+  FireTicksUpTo(events_.top().time);
   // priority_queue::top is const; the event is copied cheaply apart from the
   // closure, which we must move — const_cast is the standard workaround.
   Event event = std::move(const_cast<Event&>(events_.top()));
@@ -25,7 +28,30 @@ void EventQueue::RunUntil(double until_us) {
   while (!events_.empty() && events_.top().time <= until_us) {
     RunNext();
   }
+  FireTicksUpTo(until_us);
   now_ = std::max(now_, until_us);
+}
+
+void EventQueue::SetTicker(double interval_us,
+                           std::function<void(double)> fn) {
+  if (interval_us <= 0 || !fn) {
+    tick_interval_us_ = 0;
+    ticker_ = nullptr;
+    return;
+  }
+  tick_interval_us_ = interval_us;
+  ticker_ = std::move(fn);
+  next_tick_us_ = now_ + interval_us;
+}
+
+void EventQueue::FireTicksUpTo(double time_us) {
+  if (tick_interval_us_ <= 0) return;
+  while (next_tick_us_ <= time_us) {
+    double tick = next_tick_us_;
+    next_tick_us_ += tick_interval_us_;
+    now_ = std::max(now_, tick);
+    ticker_(tick);
+  }
 }
 
 void EventQueue::RunAll() {

@@ -39,6 +39,15 @@ class EventQueue {
   /// Runs until the queue is empty.
   void RunAll();
 
+  /// Installs a periodic ticker: `fn(tick_time_us)` fires at every multiple
+  /// of `interval_us` the clock crosses while real events are still being
+  /// dispatched. Ticks never enqueue events of their own, so an empty queue
+  /// fires no ticks and RunAll still terminates — the monitor sampler rides
+  /// on this without perturbing calibrated traces (the ticker only advances
+  /// `now` to tick times the clock was about to pass anyway). One ticker at
+  /// a time; `interval_us <= 0` uninstalls.
+  void SetTicker(double interval_us, std::function<void(double)> fn);
+
   double now() const { return now_; }
   bool empty() const { return events_.empty(); }
   size_t size() const { return events_.size(); }
@@ -57,10 +66,16 @@ class EventQueue {
     }
   };
 
+  /// Fires the installed ticker for every tick time <= `time_us`.
+  void FireTicksUpTo(double time_us);
+
   std::priority_queue<Event, std::vector<Event>, Later> events_;
   double now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
+  double tick_interval_us_ = 0;  // 0 = no ticker installed
+  double next_tick_us_ = 0;
+  std::function<void(double)> ticker_;
 };
 
 }  // namespace reactdb

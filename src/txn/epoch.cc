@@ -13,7 +13,8 @@ EpochManager::~EpochManager() {
 }
 
 void EpochManager::Advance() {
-  global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  uint64_t fresh = global_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (on_advance_) on_advance_(fresh);
   uint64_t min_active = MinActiveEpoch();
   std::lock_guard<std::mutex> lock(retire_mu_);
   CollectLocked(min_active);
@@ -21,10 +22,15 @@ void EpochManager::Advance() {
 
 void EpochManager::AdvanceTo(uint64_t epoch) {
   uint64_t cur = global_epoch_.load(std::memory_order_acquire);
-  while (cur < epoch &&
-         !global_epoch_.compare_exchange_weak(cur, epoch,
-                                              std::memory_order_acq_rel)) {
+  bool advanced = false;
+  while (cur < epoch) {
+    if (global_epoch_.compare_exchange_weak(cur, epoch,
+                                            std::memory_order_acq_rel)) {
+      advanced = true;
+      break;
+    }
   }
+  if (advanced && on_advance_) on_advance_(epoch);
   uint64_t min_active = MinActiveEpoch();
   std::lock_guard<std::mutex> lock(retire_mu_);
   CollectLocked(min_active);

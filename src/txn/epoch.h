@@ -17,6 +17,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -44,6 +45,14 @@ class EpochManager {
   /// Advances the global epoch by one and opportunistically frees retired
   /// rows that no executor can still reference.
   void Advance();
+
+  /// Hook invoked (with the new epoch) after every Advance/AdvanceTo, on
+  /// the advancing context. Install before transactions start (Bootstrap);
+  /// the callback must be cheap and thread-safe — the flight recorder uses
+  /// it to stamp kEpochAdvance events.
+  void set_on_advance(std::function<void(uint64_t)> fn) {
+    on_advance_ = std::move(fn);
+  }
 
   /// Jumps the global epoch forward to `epoch` (no-op when already past
   /// it) and collects. Used to restore the epoch after recovery and by the
@@ -103,6 +112,7 @@ class EpochManager {
   void CollectLocked(uint64_t min_active);
 
   std::atomic<uint64_t> global_epoch_{1};
+  std::function<void(uint64_t)> on_advance_;
 
   mutable std::mutex slots_mu_;
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> slots_;

@@ -76,10 +76,10 @@ void Histogram::Reset() {
   buckets_.fill(0);
 }
 
-double Histogram::Percentile(double q) const {
+double Histogram::Quantile(double p) const {
   if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  double target = q * static_cast<double>(count_);
+  p = std::clamp(p, 0.0, 1.0);
+  double target = p * static_cast<double>(count_);
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     if (buckets_[i] == 0) continue;

@@ -65,10 +65,13 @@ class Histogram {
   double min() const { return count_ == 0 ? 0 : min_; }
   double max() const { return max_; }
   double Mean() const { return count_ == 0 ? 0 : sum_ / count_; }
-  /// Approximate percentile (q in [0,1]) by linear interpolation within the
-  /// containing bucket.
-  double Percentile(double q) const;
-  double Median() const { return Percentile(0.5); }
+  /// Approximate quantile (p in [0,1]) by linear interpolation within the
+  /// containing bucket, clamped to the observed [min, max]. This is the one
+  /// percentile implementation in the codebase — benches and stats reporting
+  /// all go through it rather than sorting sample vectors.
+  double Quantile(double p) const;
+  double Percentile(double q) const { return Quantile(q); }
+  double Median() const { return Quantile(0.5); }
   uint64_t bucket_count(size_t index) const { return buckets_[index]; }
 
   std::string ToString() const;

@@ -10,10 +10,18 @@ namespace reactdb {
 namespace {
 
 /// Level from REACTDB_LOG_LEVEL, read once at first use (function-local
-/// static, so concurrent first logs are safe).
+/// static, so concurrent first logs are safe). Warns directly on stderr —
+/// REACTDB_LOG would recurse into the static being initialized here.
 int InitialLevel() {
-  LogLevel level = LogLevel::kInfo;
-  ParseLogLevel(std::getenv("REACTDB_LOG_LEVEL"), &level);
+  const char* value = std::getenv("REACTDB_LOG_LEVEL");
+  bool unrecognized = false;
+  LogLevel level = LogLevelFromEnvValue(value, &unrecognized);
+  if (unrecognized) {
+    std::fprintf(stderr,
+                 "[WARN logging] unrecognized REACTDB_LOG_LEVEL=\"%s\" "
+                 "(want debug/info/warn/error or 0..3); using info\n",
+                 value);
+  }
   return static_cast<int>(level);
 }
 
@@ -43,6 +51,16 @@ LogLevel GetLogLevel() {
 
 void SetLogLevel(LogLevel level) {
   LevelCell().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel LogLevelFromEnvValue(const char* value, bool* unrecognized) {
+  if (unrecognized != nullptr) *unrecognized = false;
+  LogLevel level = LogLevel::kInfo;
+  if (value == nullptr || *value == '\0') return level;
+  if (!ParseLogLevel(value, &level) && unrecognized != nullptr) {
+    *unrecognized = true;
+  }
+  return level;
 }
 
 bool ParseLogLevel(const char* value, LogLevel* out) {

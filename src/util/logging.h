@@ -20,6 +20,11 @@ void SetLogLevel(LogLevel level);
 /// Parses a REACTDB_LOG_LEVEL-style value; false (and no change through
 /// `out`) for unrecognized input.
 bool ParseLogLevel(const char* value, LogLevel* out);
+/// Resolves an environment value to a level: unset/empty → kInfo quietly;
+/// unrecognized → kInfo with `*unrecognized` set so the caller can warn
+/// rather than silently defaulting. Pure (no env read, no logging) so tests
+/// can exercise it directly.
+LogLevel LogLevelFromEnvValue(const char* value, bool* unrecognized);
 
 namespace internal {
 

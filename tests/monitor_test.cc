@@ -1,0 +1,584 @@
+// Operational-plane tests (src/obs/ sampler, health watchdog, flight
+// recorder, HTTP exporter): time-series rate/window math, health rule
+// transitions on synthetic inputs, flight ring wrap + merge order + the
+// auto-dump latch, the embedded HTTP server end-to-end over a real socket,
+// and the Database surface: a deterministic Ok -> Degraded -> Unhealthy
+// watchdog progression under a simulated durability stall, the fsync-latch
+// path, same-seed run determinism, and monitoring-off inertness.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault.h"
+#include "src/obs/exporter.h"
+#include "src/obs/flight.h"
+#include "src/obs/health.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
+#include "src/runtime/reactdb.h"
+#include "src/util/logging.h"
+
+namespace reactdb {
+namespace {
+
+namespace fs = std::filesystem;
+using client::Database;
+
+// --- TimeSeriesStore ---------------------------------------------------
+
+TEST(TimeSeries, CounterRatesComeFromDeltas) {
+  obs::MetricsRegistry reg;
+  obs::MetricId ops = reg.Counter("ts_ops_total", "ops");
+  reg.Freeze(1);
+  obs::TimeSeriesStore store(/*window=*/4);
+
+  reg.Add(0, ops, 10);
+  store.Sample(0, reg.Collect());
+  reg.Add(0, ops, 20);
+  store.Sample(1e6, reg.Collect());  // +20 over 1 s
+  reg.Add(0, ops, 5);
+  store.Sample(1.5e6, reg.Collect());  // +5 over 0.5 s
+
+  std::vector<obs::SeriesPoint> pts = store.Points("ts_ops_total");
+  ASSERT_EQ(3u, pts.size());
+  EXPECT_DOUBLE_EQ(10, pts[0].value);
+  EXPECT_DOUBLE_EQ(0, pts[0].rate_per_s) << "no previous sample, no rate";
+  EXPECT_DOUBLE_EQ(30, pts[1].value);
+  EXPECT_DOUBLE_EQ(20, pts[1].rate_per_s);
+  EXPECT_DOUBLE_EQ(35, pts[2].value);
+  EXPECT_DOUBLE_EQ(10, pts[2].rate_per_s);
+  EXPECT_EQ(3u, store.samples_taken());
+}
+
+TEST(TimeSeries, WindowWrapsKeepingNewestPoints) {
+  obs::MetricsRegistry reg;
+  obs::MetricId depth = reg.Gauge("ts_depth", "d");
+  reg.Freeze(1);
+  obs::TimeSeriesStore store(/*window=*/3);
+  for (int i = 0; i < 7; ++i) {
+    reg.GaugeSet(0, depth, i);
+    store.Sample(i * 1000.0, reg.Collect());
+  }
+  std::vector<obs::SeriesPoint> pts = store.Points("ts_depth");
+  ASSERT_EQ(3u, pts.size());
+  EXPECT_DOUBLE_EQ(4, pts[0].value);
+  EXPECT_DOUBLE_EQ(6, pts[2].value) << "oldest first, newest last";
+}
+
+// A histogram series windows bucket *deltas*: only the observations of the
+// retained intervals contribute to the window quantile.
+TEST(TimeSeries, HistogramWindowIsDeltaMerge) {
+  obs::MetricsRegistry reg;
+  obs::MetricId lat = reg.Histo("ts_latency_us", "lat");
+  reg.Freeze(1);
+  obs::TimeSeriesStore store(/*window=*/2);
+
+  for (int i = 0; i < 100; ++i) reg.Observe(0, lat, 10.0);
+  store.Sample(0, reg.Collect());  // delta: 100 x 10us
+  for (int i = 0; i < 50; ++i) reg.Observe(0, lat, 1000.0);
+  store.Sample(1e5, reg.Collect());  // delta: 50 x 1ms
+  for (int i = 0; i < 50; ++i) reg.Observe(0, lat, 2000.0);
+  store.Sample(2e5, reg.Collect());  // delta: 50 x 2ms; first sample evicted
+
+  Histogram w = store.WindowHistogram("ts_latency_us");
+  EXPECT_EQ(100u, w.count()) << "the 10us interval fell out of the window";
+  EXPECT_GT(w.Quantile(0.5), 500.0) << "window p50 reflects only the "
+                                       "retained slow intervals";
+  std::string json = store.ToJson();
+  EXPECT_NE(std::string::npos, json.find("\"ts_latency_us\""));
+  EXPECT_NE(std::string::npos, json.find("\"window\""));
+}
+
+// --- HealthMonitor (synthetic inputs) ----------------------------------
+
+obs::HealthInputs BaseInputs(double t_us) {
+  obs::HealthInputs in;
+  in.now_us = t_us;
+  in.epoch_current = 10;
+  in.executors.resize(2);
+  return in;
+}
+
+TEST(Health, DurableLagMagnitudeThresholds) {
+  obs::HealthMonitor mon{obs::HealthOptions{}};
+  obs::HealthInputs in = BaseInputs(0);
+  in.durability_enabled = true;
+  in.max_appended_epoch = 10;
+  in.durable_epoch = 10;
+  EXPECT_EQ(obs::HealthState::kOk, mon.Evaluate(in).state);
+
+  in.now_us = 1e5;
+  in.max_appended_epoch = 18;  // lag 8 -> degraded
+  obs::HealthReport r = mon.Evaluate(in);
+  EXPECT_EQ(obs::HealthState::kDegraded, r.state);
+  ASSERT_EQ(1u, r.violations.size());
+  EXPECT_STREQ("durable_lag", r.violations[0].rule);
+
+  in.now_us = 2e5;
+  in.max_appended_epoch = 26;  // lag 16 -> unhealthy
+  EXPECT_EQ(obs::HealthState::kUnhealthy, mon.Evaluate(in).state);
+
+  in.now_us = 3e5;
+  in.durable_epoch = 26;  // caught up -> recovers
+  r = mon.Evaluate(in);
+  EXPECT_EQ(obs::HealthState::kOk, r.state);
+  EXPECT_EQ(3u, r.transitions) << "ok->degraded->unhealthy->ok";
+}
+
+TEST(Health, IoLatchIsImmediatelyUnhealthy) {
+  obs::HealthMonitor mon{obs::HealthOptions{}};
+  obs::HealthInputs in = BaseInputs(0);
+  in.io_halted = true;
+  in.io_status = "IOError: injected fsync fault";
+  obs::HealthReport r = mon.Evaluate(in);
+  EXPECT_EQ(obs::HealthState::kUnhealthy, r.state);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_STREQ("io_error", r.violations[0].rule);
+  EXPECT_NE(std::string::npos, r.ToJson().find("injected fsync fault"));
+}
+
+// A frozen heartbeat only trips the watchdog with work pending and only
+// after the configured streak — an idle executor is not a stalled one.
+TEST(Health, ExecutorStallNeedsWorkAndStreak) {
+  obs::HealthMonitor mon{obs::HealthOptions{}};  // stall_samples = 2
+
+  // Idle executor, frozen heartbeat: stays healthy forever.
+  obs::HealthInputs in = BaseInputs(0);
+  in.executors[0].heartbeat = 7;
+  in.executors[1].heartbeat = 7;
+  for (int s = 0; s < 4; ++s) {
+    in.now_us = s * 1e5;
+    EXPECT_EQ(obs::HealthState::kOk, mon.Evaluate(in).state);
+  }
+
+  // Work appears and the heartbeat stays frozen: streak 1, then trip at 2.
+  in.executors[1].has_work = true;
+  in.now_us = 5e5;
+  EXPECT_EQ(obs::HealthState::kOk, mon.Evaluate(in).state);
+  in.now_us = 6e5;
+  obs::HealthReport r = mon.Evaluate(in);
+  EXPECT_EQ(obs::HealthState::kUnhealthy, r.state);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_STREQ("executor_stall", r.violations[0].rule);
+
+  // The heartbeat moves again: recovers on the next sample.
+  in.executors[1].heartbeat = 8;
+  in.now_us = 7e5;
+  EXPECT_EQ(obs::HealthState::kOk, mon.Evaluate(in).state);
+}
+
+TEST(Health, ShedRateSpikesDegrade) {
+  obs::HealthMonitor mon{obs::HealthOptions{}};  // 500/s threshold
+  obs::HealthInputs in = BaseInputs(0);
+  in.shed_total = 0;
+  mon.Evaluate(in);
+  in.now_us = 1e6;
+  in.shed_total = 200;  // 200/s: fine
+  EXPECT_EQ(obs::HealthState::kOk, mon.Evaluate(in).state);
+  in.now_us = 2e6;
+  in.shed_total = 1000;  // 800/s: spike
+  obs::HealthReport r = mon.Evaluate(in);
+  EXPECT_EQ(obs::HealthState::kDegraded, r.state);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_STREQ("shed_rate", r.violations[0].rule);
+}
+
+// --- FlightRecorder ----------------------------------------------------
+
+TEST(Flight, RingWrapsAndDumpMergesTimeOrdered) {
+  obs::FlightRecorder flight(/*num_executors=*/2, /*ring_capacity=*/4);
+  double now = 0;
+  flight.set_clock([&now] { return now; });
+
+  // Interleave executors so the merged dump has to reorder across rings;
+  // overflow executor 0's ring so only the newest 4 survive.
+  for (int i = 0; i < 6; ++i) {
+    now = 10.0 * i;
+    flight.Record(0, obs::FlightEventKind::kEpochAdvance, i);
+  }
+  now = 15;
+  flight.Record(1, obs::FlightEventKind::kShed, 99);
+  now = 100;
+  flight.RecordShared(obs::FlightEventKind::kDurableAdvance, 7);
+
+  EXPECT_EQ(8u, flight.recorded());
+  std::string json = flight.DumpJson();
+  // Executor 0 kept events 2..5 (t=20..50); the shed at t=15 sorts first.
+  EXPECT_EQ(std::string::npos, json.find("\"a\":1"))
+      << "overwritten ring slots must not appear";
+  size_t shed = json.find("\"shed\"");
+  size_t first_epoch = json.find("\"epoch_advance\"");
+  size_t durable = json.find("\"durable_advance\"");
+  ASSERT_NE(std::string::npos, shed);
+  ASSERT_NE(std::string::npos, durable);
+  EXPECT_LT(shed, first_epoch) << "t=15 shed precedes t=20 epoch advance";
+  EXPECT_LT(first_epoch, durable);
+  EXPECT_NE(std::string::npos, json.find("\"executor\":\"shared\""));
+}
+
+TEST(Flight, AutoDumpLatchFiresExactlyOnce) {
+  obs::FlightRecorder flight(1, 8);
+  int dumps = 0;
+  std::string last_reason;
+  flight.set_dump_sink([&](const char* reason, const std::string& json) {
+    ++dumps;
+    last_reason = reason;
+    EXPECT_FALSE(json.empty());
+  });
+  flight.RecordShared(obs::FlightEventKind::kIOError, 1);
+  EXPECT_TRUE(flight.TriggerAutoDump("io_error"));
+  EXPECT_FALSE(flight.TriggerAutoDump("health_unhealthy"))
+      << "the latch admits one dump per run";
+  EXPECT_EQ(1, dumps);
+  EXPECT_EQ("io_error", last_reason);
+  EXPECT_TRUE(flight.auto_dump_fired());
+}
+
+TEST(Flight, DetailStringsAreTruncatedNotOverrun) {
+  obs::FlightRecorder flight(1, 4);
+  std::string longsite(200, 'x');
+  flight.RecordShared(obs::FlightEventKind::kFaultFire, 1, 2,
+                      longsite.c_str());
+  std::string json = flight.DumpJson();
+  EXPECT_NE(std::string::npos, json.find("xxxx"));
+  EXPECT_EQ(std::string::npos, json.find(longsite))
+      << "detail is capped at the inline buffer";
+}
+
+// --- HttpExporter over a real socket -----------------------------------
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(0, ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr));
+  std::string req = "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(static_cast<ssize_t>(req.size()),
+            ::send(fd, req.data(), req.size(), 0));
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) out.append(buf, n);
+  ::close(fd);
+  return out;
+}
+
+TEST(Exporter, ServesHandlersStatusCodesAnd404) {
+  obs::HttpExporter exporter;
+  exporter.Handle("/metrics", [] {
+    obs::HttpExporter::Response r;
+    r.body = "reactdb_up 1\n";
+    return r;
+  });
+  exporter.Handle("/healthz", [] {
+    obs::HttpExporter::Response r;
+    r.status = 503;
+    r.content_type = "application/json";
+    r.body = "{\"state\":\"unhealthy\"}\n";
+    return r;
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());  // ephemeral port
+  ASSERT_NE(0, exporter.bound_port());
+
+  std::string metrics = HttpGet(exporter.bound_port(), "/metrics");
+  EXPECT_NE(std::string::npos, metrics.find("200 OK"));
+  EXPECT_NE(std::string::npos, metrics.find("reactdb_up 1"));
+
+  std::string healthz = HttpGet(exporter.bound_port(), "/healthz?verbose=1");
+  EXPECT_NE(std::string::npos, healthz.find("503"))
+      << "unhealthy surfaces as HTTP 503; query strings are stripped";
+  EXPECT_NE(std::string::npos, healthz.find("\"unhealthy\""));
+
+  std::string missing = HttpGet(exporter.bound_port(), "/nope");
+  EXPECT_NE(std::string::npos, missing.find("404"));
+  EXPECT_NE(std::string::npos, missing.find("/metrics"))
+      << "404 body lists the registered endpoints";
+
+  EXPECT_EQ(3u, exporter.requests_served());
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+}
+
+// --- Database end-to-end (SimRuntime) ----------------------------------
+
+Proc BumpProc(TxnContext& ctx, Row args) {
+  int64_t by = args.empty() ? 1 : args[0].AsInt64();
+  REACTDB_CO_ASSIGN_OR_RETURN(Row row, ctx.Get("counter", {Value(int64_t{0})}));
+  REACTDB_CO_RETURN_IF_ERROR(
+      ctx.Update("counter", {Value(int64_t{0})},
+                 {Value(int64_t{0}), Value(row[1].AsInt64() + by)}));
+  co_return Value(row[1].AsInt64() + by);
+}
+
+std::unique_ptr<ReactorDatabaseDef> MonitorDef(int n) {
+  auto def = std::make_unique<ReactorDatabaseDef>();
+  ReactorType& t = def->DefineType("Counter");
+  t.AddSchema(SchemaBuilder("counter")
+                  .AddColumn("k", ValueType::kInt64)
+                  .AddColumn("v", ValueType::kInt64)
+                  .SetKey({"k"})
+                  .Build()
+                  .value());
+  t.AddProcedure("bump", &BumpProc);
+  for (int i = 0; i < n; ++i) {
+    REACTDB_CHECK_OK(def->DeclareReactor("c" + std::to_string(i), "Counter"));
+  }
+  return def;
+}
+
+void LoadCounters(Database* db, int n) {
+  REACTDB_CHECK_OK(db->RunDirect([db, n](SiloTxn& txn) -> Status {
+    for (int i = 0; i < n; ++i) {
+      std::string name = "c" + std::to_string(i);
+      REACTDB_ASSIGN_OR_RETURN(Table * t, db->FindTable(name, "counter"));
+      REACTDB_RETURN_IF_ERROR(
+          txn.Insert(t, {Value(int64_t{0}), Value(int64_t{0})},
+                     db->FindReactor(name)->container_id()));
+    }
+    return Status::OK();
+  }));
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "reactdb_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// The tentpole watchdog scenario: durability stalls (auto_flush off — the
+// deterministic stand-in for a wedged log device), epochs keep advancing
+// with the committed workload, and the durable lag walks through the
+// degraded (8) and unhealthy (16) thresholds. The health state must step
+// Ok -> Degraded -> Unhealthy in that order, fire exactly one automatic
+// flight dump, and surface everything in Stats() and the flight JSON.
+TEST(MonitorE2E, WatchdogStepsDegradedThenUnhealthyOnDurabilityStall) {
+  std::string dir = FreshDir("monitor_stall");
+  auto def = MonitorDef(1);
+  Database::Options options = Database::Sim();
+  options.data_dir = dir;
+  options.log_flush_interval_us = 0;
+  options.log_auto_flush = false;  // the stall: nothing ever fsyncs
+  options.monitor.enabled = true;
+  options.monitor.sample_interval_us = 50;  // virtual-time cadence
+
+  Database db;
+  ASSERT_TRUE(db.Open(def.get(), DeploymentConfig::SharedNothing(1), options)
+                  .ok());
+  LoadCounters(&db, 1);
+
+  std::vector<obs::HealthState> progression;
+  for (int i = 0; i < 1400; ++i) {
+    ASSERT_TRUE(db.Execute("c0", "bump", {Value(int64_t{1})}).ok());
+    obs::HealthState s = db.Health().state;
+    if (progression.empty() || progression.back() != s) {
+      progression.push_back(s);
+    }
+  }
+
+  ASSERT_EQ(3u, progression.size())
+      << "expected exactly Ok -> Degraded -> Unhealthy";
+  EXPECT_EQ(obs::HealthState::kOk, progression[0]);
+  EXPECT_EQ(obs::HealthState::kDegraded, progression[1]);
+  EXPECT_EQ(obs::HealthState::kUnhealthy, progression[2]);
+
+  obs::HealthReport report = db.Health();
+  EXPECT_EQ(2u, report.transitions);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_STREQ("durable_lag", report.violations[0].rule);
+  EXPECT_GT(report.samples, 0u);
+
+  // Surfaced through the metric registry...
+  obs::StatsSnapshot snap = db.Stats();
+  EXPECT_DOUBLE_EQ(2, snap.Value("reactdb_health_state"));
+  EXPECT_DOUBLE_EQ(2, snap.Value("reactdb_health_transitions_total"));
+  EXPECT_DOUBLE_EQ(
+      2, snap.Value("reactdb_health_rule_active", {{"rule", "durable_lag"}}));
+
+  // ...in the time series...
+  std::string series = db.Series();
+  EXPECT_NE(std::string::npos, series.find("reactdb_txn_committed_total"));
+  EXPECT_NE(std::string::npos, series.find("reactdb_log_durable_lag_epochs"));
+
+  // ...and in the flight recorder: the transition events and exactly one
+  // automatic dump, written into the data dir.
+  std::string flight = db.DumpFlight();
+  EXPECT_NE(std::string::npos, flight.find("\"health_transition\""));
+  EXPECT_NE(std::string::npos, flight.find("\"epoch_advance\""));
+  EXPECT_TRUE(db.runtime()->flight()->auto_dump_fired());
+  EXPECT_TRUE(fs::exists(dir + "/flight_health_unhealthy.json"));
+  EXPECT_FALSE(fs::exists(dir + "/flight_io_error.json"));
+
+  db.Shutdown();
+  fs::remove_all(dir);
+}
+
+// An injected fsync failure latches the durability manager; the watchdog
+// reports io_error (kUnhealthy) and the latch dump fires once with reason
+// io_error — the later health transition must not dump again.
+TEST(MonitorE2E, FsyncLatchTripsIoErrorAndDumpsOnce) {
+  std::string dir = FreshDir("monitor_fsync");
+  auto def = MonitorDef(1);
+  Database::Options options = Database::Sim();
+  options.data_dir = dir;
+  options.log_flush_interval_us = 0;
+  options.monitor.enabled = true;
+  options.monitor.sample_interval_us = 50;
+  options.fault.enabled = true;
+  options.fault.seed = 7;
+  // Skip the open/bootstrap-era fsyncs, then fail every one: the latch
+  // lands deterministically on the first workload-era flush.
+  options.fault.file_fsync = {.probability = 1, .after_n = 8};
+
+  Database db;
+  ASSERT_TRUE(db.Open(def.get(), DeploymentConfig::SharedNothing(1), options)
+                  .ok());
+  LoadCounters(&db, 1);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(db.Execute("c0", "bump", {Value(int64_t{1})}).ok());
+  }
+  ASSERT_TRUE(db.durability()->halted()) << "fsync fault must latch";
+
+  obs::HealthReport report = db.Health();
+  EXPECT_EQ(obs::HealthState::kUnhealthy, report.state);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_STREQ("io_error", report.violations[0].rule);
+
+  std::string flight = db.DumpFlight();
+  EXPECT_NE(std::string::npos, flight.find("\"io_error\""));
+  EXPECT_NE(std::string::npos, flight.find("\"fault_fire\""));
+  EXPECT_NE(std::string::npos, flight.find("log.fsync"));
+  EXPECT_TRUE(fs::exists(dir + "/flight_io_error.json"))
+      << "the latch dump carries the io_error reason";
+  EXPECT_FALSE(fs::exists(dir + "/flight_health_unhealthy.json"))
+      << "the dump latch admits exactly one dump";
+
+  db.Shutdown();
+  fs::remove_all(dir);
+}
+
+// Monitoring under SimRuntime is deterministic: two same-seed runs produce
+// byte-identical series JSON and flight-recorder JSON.
+TEST(MonitorE2E, SameSeedRunsProduceIdenticalSeriesAndFlight) {
+  auto run = [](std::string* series, std::string* flight, int salt) {
+    std::string dir = FreshDir("monitor_det" + std::to_string(salt));
+    auto def = MonitorDef(2);
+    Database::Options options = Database::Sim();
+    options.data_dir = dir;
+    options.log_flush_interval_us = 0;
+    options.monitor.enabled = true;
+    options.monitor.sample_interval_us = 25;
+    Database db;
+    ASSERT_TRUE(db.Open(def.get(), DeploymentConfig::SharedNothing(2), options)
+                    .ok());
+    LoadCounters(&db, 2);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(
+          db.Execute(i % 2 ? "c1" : "c0", "bump", {Value(int64_t{1})}).ok());
+    }
+    *series = db.Series();
+    *flight = db.DumpFlight();
+    db.Shutdown();
+    fs::remove_all(dir);
+  };
+  std::string series_a, flight_a, series_b, flight_b;
+  run(&series_a, &flight_a, 0);
+  run(&series_b, &flight_b, 1);
+  ASSERT_FALSE(series_a.empty());
+  ASSERT_NE("{}\n", series_a);
+  EXPECT_EQ(series_a, series_b) << "virtual-time sampling is deterministic";
+  EXPECT_EQ(flight_a, flight_b) << "flight timelines are deterministic";
+  EXPECT_NE(std::string::npos, flight_a.find("\"durable_advance\""));
+}
+
+// A clean monitored run — even one with absorbed link chaos — stays kOk
+// end to end: transient faults that retries hide are not health incidents.
+TEST(MonitorE2E, CleanChaosRunStaysHealthy) {
+  auto def = MonitorDef(2);
+  Database::Options options = Database::Sim();
+  options.monitor.enabled = true;
+  options.monitor.sample_interval_us = 50;
+  options.fault.enabled = true;
+  options.fault.seed = 11;
+  options.fault.link_delay = {.probability = 0.2};
+  options.fault.link_dup = {.probability = 0.1};
+
+  Database db;
+  ASSERT_TRUE(db.Open(def.get(), DeploymentConfig::SharedNothing(2), options)
+                  .ok());
+  LoadCounters(&db, 2);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        db.Execute(i % 2 ? "c1" : "c0", "bump", {Value(int64_t{1})}).ok());
+  }
+  obs::HealthReport report = db.Health();
+  EXPECT_EQ(obs::HealthState::kOk, report.state);
+  EXPECT_EQ(0u, report.transitions);
+  EXPECT_GT(report.samples, 0u);
+  EXPECT_FALSE(db.runtime()->flight()->auto_dump_fired());
+  // The absorbed chaos is still visible in the black box.
+  EXPECT_NE(std::string::npos, db.DumpFlight().find("\"fault_fire\""));
+  db.Shutdown();
+}
+
+// Monitoring off (the default): no sampler, no series, health pinned kOk,
+// and the flight recorder still arms as the always-on black box.
+TEST(MonitorE2E, DisabledMonitoringIsInert) {
+  auto def = MonitorDef(1);
+  Database db;
+  ASSERT_TRUE(
+      db.Open(def.get(), DeploymentConfig::SharedNothing(1), Database::Sim())
+          .ok());
+  LoadCounters(&db, 1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Execute("c0", "bump", {Value(int64_t{1})}).ok());
+  }
+  EXPECT_EQ("{}\n", db.Series());
+  obs::HealthReport report = db.Health();
+  EXPECT_EQ(obs::HealthState::kOk, report.state);
+  EXPECT_EQ(0u, report.samples) << "the watchdog never evaluated";
+  EXPECT_EQ(nullptr, db.runtime()->series());
+  EXPECT_GT(db.runtime()->flight()->recorded(), 0u)
+      << "epoch advances land in the always-on flight recorder";
+  db.Shutdown();
+}
+
+// Thread mode: the sampler is a real background thread; a short run must
+// take samples and stay healthy.
+TEST(MonitorE2E, ThreadModeSamplerTakesSamples) {
+  auto def = MonitorDef(1);
+  Database::Options options;  // kThreads
+  options.monitor.enabled = true;
+  options.monitor.sample_interval_us = 2000;  // 2 ms real time
+
+  Database db;
+  ASSERT_TRUE(db.Open(def.get(), DeploymentConfig::SharedNothing(1), options)
+                  .ok());
+  LoadCounters(&db, 1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Execute("c0", "bump", {Value(int64_t{1})}).ok());
+  }
+  // Give the sampler a few intervals.
+  for (int spins = 0; spins < 500 && db.Health().samples < 3; ++spins) {
+    usleep(1000);
+  }
+  obs::HealthReport report = db.Health();
+  EXPECT_GE(report.samples, 3u);
+  EXPECT_EQ(obs::HealthState::kOk, report.state);
+  EXPECT_NE(std::string::npos,
+            db.Series().find("reactdb_txn_committed_total"));
+  db.Shutdown();
+}
+
+}  // namespace
+}  // namespace reactdb

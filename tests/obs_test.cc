@@ -192,6 +192,30 @@ TEST(StatsSnapshot, PrometheusExposition) {
   EXPECT_NE(std::string::npos, text.find("test_latency_us_sum"));
 }
 
+// Hostile label values and help text: backslashes, quotes, and newlines
+// must escape per the Prometheus text exposition spec — label values
+// escape \, ", and newline; HELP text escapes only \ and newline.
+TEST(StatsSnapshot, PrometheusEscapesHostileLabelsAndHelp) {
+  obs::MetricsRegistry reg;
+  obs::MetricId ops =
+      reg.Counter("test_hostile_total", "multi\nline \\ help",
+                  {{"path", "C:\\tmp\n\"quoted\""}});
+  reg.Freeze(1);
+  reg.Add(0, ops, 1);
+
+  std::string text = reg.Collect().ToPrometheus();
+  EXPECT_NE(std::string::npos,
+            text.find("path=\"C:\\\\tmp\\n\\\"quoted\\\"\""))
+      << "label value escapes backslash, newline, and quote:\n" << text;
+  EXPECT_NE(std::string::npos,
+            text.find("# HELP test_hostile_total multi\\nline \\\\ help"))
+      << "help escapes backslash and newline (quotes stay literal):\n"
+      << text;
+  // No raw newline may survive inside any exposition line.
+  EXPECT_EQ(std::string::npos, text.find("multi\nline"));
+  EXPECT_EQ(std::string::npos, text.find("tmp\n\""));
+}
+
 TEST(StatsSnapshot, JsonContainsSeries) {
   obs::MetricsRegistry reg;
   obs::MetricId ops =

@@ -8,6 +8,7 @@
 #include "src/util/config.h"
 #include "src/util/histogram.h"
 #include "src/util/keycodec.h"
+#include "src/util/logging.h"
 #include "src/util/rng.h"
 #include "src/util/statusor.h"
 #include "src/util/value.h"
@@ -316,6 +317,25 @@ TEST(Histogram, Merge) {
   EXPECT_EQ(30, a.max());
 }
 
+// Quantile is the one percentile implementation (Percentile and Median
+// delegate to it): monotone in p, clamped to [min, max], p clamped to
+// [0, 1], and 0 on an empty histogram.
+TEST(Histogram, QuantileIsCanonicalAndClamped) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(0, empty.Quantile(0.5));
+
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(i);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), h.Percentile(0.99));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), h.Median());
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.999));
+  EXPECT_DOUBLE_EQ(1, h.Quantile(-3)) << "p clamps low to min";
+  EXPECT_DOUBLE_EQ(1000, h.Quantile(7)) << "p clamps high to max";
+  EXPECT_NEAR(500, h.Quantile(0.5), 35);
+  EXPECT_NEAR(990, h.Quantile(0.99), 70);
+}
+
 TEST(EpochStats, MeanAndDeviation) {
   EpochStats stats;
   stats.AddEpoch(100, 0, 1e6, 100 * 50.0);   // 100 tps, 50us
@@ -324,6 +344,40 @@ TEST(EpochStats, MeanAndDeviation) {
   EXPECT_DOUBLE_EQ(60, stats.MeanLatencyUs());
   EXPECT_GT(stats.StdDevThroughputTps(), 0);
   EXPECT_NEAR(10.0 / 310.0, stats.AbortRate(), 1e-9);
+}
+
+// --- Logging ---------------------------------------------------------------
+
+TEST(Logging, ParseLogLevelIsCaseInsensitive) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(LogLevel::kDebug, level);
+  EXPECT_TRUE(ParseLogLevel("WARN", &level));
+  EXPECT_EQ(LogLevel::kWarn, level);
+  EXPECT_TRUE(ParseLogLevel("Error", &level));
+  EXPECT_EQ(LogLevel::kError, level);
+  EXPECT_TRUE(ParseLogLevel("2", &level));
+  EXPECT_EQ(LogLevel::kWarn, level);
+
+  level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_EQ(LogLevel::kError, level) << "failed parse leaves `out` alone";
+}
+
+TEST(Logging, EnvValueResolutionFlagsUnrecognized) {
+  bool unrecognized = true;
+  EXPECT_EQ(LogLevel::kInfo, LogLevelFromEnvValue(nullptr, &unrecognized));
+  EXPECT_FALSE(unrecognized) << "unset is not an error";
+  EXPECT_EQ(LogLevel::kInfo, LogLevelFromEnvValue("", &unrecognized));
+  EXPECT_FALSE(unrecognized) << "empty is not an error";
+
+  EXPECT_EQ(LogLevel::kDebug, LogLevelFromEnvValue("DEBUG", &unrecognized));
+  EXPECT_FALSE(unrecognized);
+  EXPECT_EQ(LogLevel::kError, LogLevelFromEnvValue("3", &unrecognized));
+  EXPECT_FALSE(unrecognized);
+
+  EXPECT_EQ(LogLevel::kInfo, LogLevelFromEnvValue("verbose", &unrecognized));
+  EXPECT_TRUE(unrecognized) << "unknown values fall back to info and warn";
 }
 
 // --- Config ----------------------------------------------------------------
